@@ -1,0 +1,139 @@
+// Ablation benchmarks for the modeled design choices DESIGN.md calls out:
+// each isolates one mechanism of the reproduction and reports its effect,
+// so the headline results can be attributed.
+package svbench_test
+
+import (
+	"testing"
+
+	"svbench/internal/db"
+	"svbench/internal/gemsys"
+	"svbench/internal/harness"
+	"svbench/internal/ir"
+	"svbench/internal/isa"
+	"svbench/internal/libc"
+	"svbench/internal/vswarm"
+)
+
+func runSpec(b *testing.B, cfg gemsys.Config, spec harness.Spec) *harness.Result {
+	b.Helper()
+	res, err := harness.RunWith(cfg, spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkAblationSoftwareStack quantifies how much of the RISC-V-vs-x86
+// gap is the software stack (libc flavor) rather than the ISA encoding:
+// the same CISC64 machine with the lean static libc versus the dynamic
+// compat libc its real images shipped.
+func BenchmarkAblationSoftwareStack(b *testing.B) {
+	spec := harness.StandaloneSpecs()[3] // aes-go
+	cfg := gemsys.DefaultConfig(isa.CISC64)
+	var static, dynamic *harness.Result
+	for i := 0; i < b.N; i++ {
+		fast := libc.Fast
+		s := spec
+		s.Flavor = &fast
+		static = runSpec(b, cfg, s)
+		dynamic = runSpec(b, cfg, spec)
+	}
+	b.ReportMetric(float64(static.Cold.Cycles), "static-cold-cycles")
+	b.ReportMetric(float64(dynamic.Cold.Cycles), "dynamic-cold-cycles")
+	b.ReportMetric(float64(dynamic.Cold.Insts)/float64(static.Cold.Insts), "insts-ratio")
+	if dynamic.Cold.Insts <= static.Cold.Insts {
+		b.Fatal("the dynamic software stack must execute more instructions")
+	}
+}
+
+// BenchmarkAblationMemcached removes the look-aside cache from the hotel
+// rate function (the "cache" channel answered by Cassandra itself), making
+// the cache's contribution to the warm path visible.
+func BenchmarkAblationMemcached(b *testing.B) {
+	cached := harness.HotelSpec("rate", harness.EngineCassandra)
+	uncached := cached
+	uncached.Build = func(env *harness.Env) (*ir.Module, error) {
+		store := db.NewCassandra(db.CassandraConfig{})
+		vswarm.SeedHotel(store)
+		dbReq, dbResp := env.NewService(db.NewService(store))
+		// The "memcached" endpoints answer from the same Cassandra
+		// instance: every look-aside probe pays database cost.
+		mcReq, mcResp := env.NewService(db.NewService(store))
+		return vswarm.HotelRateFn(vswarm.HotelChans{
+			DBReq: dbReq, DBResp: dbResp, MCReq: mcReq, MCResp: mcResp,
+		}), nil
+	}
+	cfg := gemsys.DefaultConfig(isa.RV64)
+	var with, without *harness.Result
+	for i := 0; i < b.N; i++ {
+		with = runSpec(b, cfg, cached)
+		without = runSpec(b, cfg, uncached)
+	}
+	b.ReportMetric(float64(with.Warm.Cycles), "cached-warm-cycles")
+	b.ReportMetric(float64(without.Warm.Cycles), "uncached-warm-cycles")
+	if without.Warm.Cycles <= with.Warm.Cycles {
+		b.Fatal("removing the cache must slow warm requests")
+	}
+}
+
+// BenchmarkAblationDRAMLatency sweeps the memory latency, showing how the
+// cold penalty tracks DRAM (the compulsory-miss-dominated regime).
+func BenchmarkAblationDRAMLatency(b *testing.B) {
+	spec := harness.StandaloneSpecs()[0] // fibonacci-go
+	var fastCold, slowCold uint64
+	for i := 0; i < b.N; i++ {
+		fast := gemsys.DefaultConfig(isa.RV64)
+		fast.DRAM.Latency = 60
+		fastCold = runSpec(b, fast, spec).Cold.Cycles
+		slow := gemsys.DefaultConfig(isa.RV64)
+		slow.DRAM.Latency = 400
+		slowCold = runSpec(b, slow, spec).Cold.Cycles
+	}
+	b.ReportMetric(float64(fastCold), "dram60-cold-cycles")
+	b.ReportMetric(float64(slowCold), "dram400-cold-cycles")
+	if slowCold <= fastCold {
+		b.Fatal("slower DRAM must lengthen cold execution")
+	}
+}
+
+// BenchmarkAblationBranchPredictor shrinks the bimodal/BTB tables,
+// degrading the interpreted runtime's branchy dispatch loop.
+func BenchmarkAblationBranchPredictor(b *testing.B) {
+	spec := harness.StandaloneSpecs()[1] // fibonacci-python
+	var big, small *harness.Result
+	for i := 0; i < b.N; i++ {
+		cfgBig := gemsys.DefaultConfig(isa.RV64)
+		big = runSpec(b, cfgBig, spec)
+		cfgSmall := gemsys.DefaultConfig(isa.RV64)
+		cfgSmall.O3.BPred.BimodalEntries = 64
+		cfgSmall.O3.BPred.BTBEntries = 16
+		small = runSpec(b, cfgSmall, spec)
+	}
+	b.ReportMetric(float64(big.Warm.Mispredicts), "big-warm-mispredicts")
+	b.ReportMetric(float64(small.Warm.Mispredicts), "small-warm-mispredicts")
+	if small.Warm.Mispredicts <= big.Warm.Mispredicts {
+		b.Fatal("a smaller predictor must mispredict more in the dispatch loop")
+	}
+}
+
+// BenchmarkAblationWarmRequests verifies the warm plateau: measuring
+// request 5 instead of request 10 should give nearly the same warm number
+// (the caches converge quickly).
+func BenchmarkAblationWarmRequests(b *testing.B) {
+	spec := harness.StandaloneSpecs()[0]
+	short := spec
+	short.Requests = 5
+	cfg := gemsys.DefaultConfig(isa.RV64)
+	var r10, r5 *harness.Result
+	for i := 0; i < b.N; i++ {
+		r10 = runSpec(b, cfg, spec)
+		r5 = runSpec(b, cfg, short)
+	}
+	b.ReportMetric(float64(r10.Warm.Cycles), "warm@10-cycles")
+	b.ReportMetric(float64(r5.Warm.Cycles), "warm@5-cycles")
+	ratio := float64(r5.Warm.Cycles) / float64(r10.Warm.Cycles)
+	if ratio < 0.5 || ratio > 2.0 {
+		b.Fatalf("warm plateau violated: ratio %.2f", ratio)
+	}
+}

@@ -1,0 +1,175 @@
+// Benchmark harness: one testing.B target per figure and table of the
+// thesis's evaluation (DESIGN.md §3). The underlying experiment sweep runs
+// once per `go test -bench` invocation and is shared by the figure
+// projections; each benchmark reports its figure's headline numbers as
+// custom metrics so a bench run regenerates the full evaluation.
+package svbench_test
+
+import (
+	"sync"
+	"testing"
+
+	"svbench/internal/figures"
+)
+
+var (
+	sweepOnce sync.Once
+	sweep     *figures.Results
+	sweepErr  error
+)
+
+func results(b *testing.B) *figures.Results {
+	b.Helper()
+	sweepOnce.Do(func() {
+		sweep, sweepErr = figures.Collect(nil)
+	})
+	if sweepErr != nil {
+		b.Fatal(sweepErr)
+	}
+	return sweep
+}
+
+// reportFig re-projects the figure b.N times (the projection itself is the
+// benchmarked operation; the sweep is amortized) and reports the figure's
+// mean cold and warm values as metrics.
+func reportFig(b *testing.B, gen func() figures.Data) {
+	var d figures.Data
+	for i := 0; i < b.N; i++ {
+		d = gen()
+	}
+	if len(d.Rows) == 0 {
+		b.Fatal("empty figure")
+	}
+	var c0, c1 float64
+	for _, r := range d.Rows {
+		c0 += r.Values[0]
+		c1 += r.Values[len(r.Values)-1]
+	}
+	b.ReportMetric(c0/float64(len(d.Rows)), "first-col/row")
+	b.ReportMetric(c1/float64(len(d.Rows)), "last-col/row")
+}
+
+func BenchmarkTable41Config(b *testing.B) {
+	reportFig(b, figures.Table41)
+}
+
+func BenchmarkFig44RiscvStandaloneCycles(b *testing.B) {
+	r := results(b)
+	reportFig(b, r.Fig44)
+}
+
+func BenchmarkFig45RiscvHotelCycles(b *testing.B) {
+	r := results(b)
+	reportFig(b, r.Fig45)
+}
+
+func BenchmarkFig46HotelL1Cold(b *testing.B) {
+	r := results(b)
+	reportFig(b, r.Fig46)
+}
+
+func BenchmarkFig47HotelL1Warm(b *testing.B) {
+	r := results(b)
+	reportFig(b, r.Fig47)
+}
+
+func BenchmarkFig48HotelL1PctCold(b *testing.B) {
+	r := results(b)
+	reportFig(b, r.Fig48)
+}
+
+func BenchmarkFig49HotelL1PctWarm(b *testing.B) {
+	r := results(b)
+	reportFig(b, r.Fig49)
+}
+
+func BenchmarkFig410GoCycles(b *testing.B) {
+	r := results(b)
+	reportFig(b, r.Fig410)
+}
+
+func BenchmarkFig411GoL2(b *testing.B) {
+	r := results(b)
+	reportFig(b, r.Fig411)
+}
+
+func BenchmarkFig412X86StandaloneCycles(b *testing.B) {
+	r := results(b)
+	reportFig(b, r.Fig412)
+}
+
+func BenchmarkFig413X86PythonL2(b *testing.B) {
+	r := results(b)
+	reportFig(b, r.Fig413)
+}
+
+func BenchmarkFig414X86HotelCycles(b *testing.B) {
+	r := results(b)
+	reportFig(b, r.Fig414)
+}
+
+func BenchmarkFig415IsaCycles(b *testing.B) {
+	r := results(b)
+	reportFig(b, r.Fig415)
+}
+
+func BenchmarkFig416IsaInstructions(b *testing.B) {
+	r := results(b)
+	reportFig(b, r.Fig416)
+}
+
+func BenchmarkFig417IsaL1I(b *testing.B) {
+	r := results(b)
+	reportFig(b, r.Fig417)
+}
+
+func BenchmarkFig418IsaL2(b *testing.B) {
+	r := results(b)
+	reportFig(b, r.Fig418)
+}
+
+func BenchmarkFig419IsaHotelCycles(b *testing.B) {
+	r := results(b)
+	reportFig(b, r.Fig419)
+}
+
+var (
+	fig420Once sync.Once
+	fig420Data figures.Data
+	fig420Err  error
+)
+
+func BenchmarkFig420MongoVsCassandra(b *testing.B) {
+	fig420Once.Do(func() {
+		fig420Data, fig420Err = figures.Fig420(4)
+	})
+	if fig420Err != nil {
+		b.Fatal(fig420Err)
+	}
+	reportFig(b, func() figures.Data { return fig420Data })
+}
+
+var (
+	t44Once sync.Once
+	t44Data figures.Data
+	t44Err  error
+	t45Once sync.Once
+	t45Data figures.Data
+	t45Err  error
+)
+
+func BenchmarkTable44ContainerSizes(b *testing.B) {
+	t44Once.Do(func() { t44Data, t44Err = figures.Table44() })
+	if t44Err != nil {
+		b.Fatal(t44Err)
+	}
+	reportFig(b, func() figures.Data { return t44Data })
+}
+
+func BenchmarkTable45PriorPortSizes(b *testing.B) {
+	t45Once.Do(func() { t45Data, t45Err = figures.Table45() })
+	if t45Err != nil {
+		b.Fatal(t45Err)
+	}
+	reportFig(b, func() figures.Data { return t45Data })
+}

@@ -1,0 +1,86 @@
+// Command experiments regenerates every figure and table of the thesis's
+// evaluation section and writes them as markdown (stdout or -out file)
+// plus per-figure CSVs when -csv DIR is given.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"svbench/internal/figures"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "", "write the markdown report to this file (default stdout)")
+		csvDir  = flag.String("csv", "", "also write per-figure CSVs into this directory")
+		quiet   = flag.Bool("q", false, "suppress progress lines")
+		nreq    = flag.Int("requests", 6, "requests per function in the emulation study (fig 4.20)")
+		skipEmu = flag.Bool("skip-emulation", false, "skip fig 4.20 (the slowest study)")
+	)
+	flag.Parse()
+
+	logf := func(s string) { fmt.Fprintln(os.Stderr, s) }
+	if *quiet {
+		logf = nil
+	}
+	res, err := figures.Collect(logf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+
+	var all []figures.Data
+	all = append(all, figures.Table41(),
+		res.Fig44(), res.Fig45(), res.Fig46(), res.Fig47(), res.Fig48(), res.Fig49(),
+		res.Fig410(), res.Fig411(), res.Fig412(), res.Fig413(), res.Fig414(),
+		res.Fig415(), res.Fig416(), res.Fig417(), res.Fig418(), res.Fig419())
+	if !*skipEmu {
+		f420, err := figures.Fig420(*nreq)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		all = append(all, f420)
+	}
+	t44, err := figures.Table44()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	t45, err := figures.Table45()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	all = append(all, t44, t45)
+
+	var sb strings.Builder
+	sb.WriteString("# Evaluation figures and tables (regenerated)\n\n")
+	for _, d := range all {
+		sb.WriteString(d.Markdown())
+		sb.WriteString("\n")
+	}
+	if *out == "" {
+		fmt.Print(sb.String())
+	} else if err := os.WriteFile(*out, []byte(sb.String()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		for _, d := range all {
+			name := strings.ReplaceAll(d.ID, ".", "_") + ".csv"
+			if err := os.WriteFile(filepath.Join(*csvDir, name), []byte(d.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

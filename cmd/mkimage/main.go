@@ -1,0 +1,55 @@
+// Command mkimage builds the container images of the benchmark suite for
+// both ISAs and prints the compressed-size comparison tables (Tables 4.4
+// and 4.5 of the thesis). With -image NAME it shows one image's layers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"svbench/internal/container"
+	"svbench/internal/figures"
+	"svbench/internal/isa"
+)
+
+func main() {
+	var (
+		image = flag.String("image", "", "show layer detail for one image")
+		arch  = flag.String("arch", "rv64", "arch for -image")
+	)
+	flag.Parse()
+
+	if *image != "" {
+		for _, sp := range figures.ImageCatalog() {
+			if sp.Name != *image {
+				continue
+			}
+			img, err := figures.BuildFunctionImage(sp, isa.Arch(*arch), container.GPourProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mkimage:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%s (%s): %d bytes, %d compressed\n", img.Name, img.Arch, img.Size(), img.CompressedSize())
+			for _, l := range img.Layers {
+				fmt.Printf("  %-14s %8d bytes\n", l.Name, len(l.Data))
+			}
+			return
+		}
+		fmt.Fprintf(os.Stderr, "mkimage: unknown image %q\n", *image)
+		os.Exit(2)
+	}
+
+	t44, err := figures.Table44()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mkimage:", err)
+		os.Exit(1)
+	}
+	t45, err := figures.Table45()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mkimage:", err)
+		os.Exit(1)
+	}
+	fmt.Println(t44.Markdown())
+	fmt.Println(t45.Markdown())
+}

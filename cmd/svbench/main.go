@@ -1,0 +1,88 @@
+// Command svbench runs a single serverless function experiment through the
+// full methodology (setup → checkpoint → detailed cold/warm evaluation) and
+// prints the measured statistics, or — with -emulate — times requests under
+// functional (QEMU-style) emulation.
+//
+// Usage:
+//
+//	svbench -list
+//	svbench -fn fibonacci-go [-arch rv64|cisc64] [-engine cassandra|mongodb|mariadb]
+//	svbench -fn profile -emulate -requests 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"svbench"
+)
+
+func main() {
+	var (
+		fn       = flag.String("fn", "", "experiment name (see -list)")
+		arch     = flag.String("arch", "rv64", "target ISA: rv64 or cisc64")
+		engine   = flag.String("engine", "cassandra", "hotel database backend")
+		emulate  = flag.Bool("emulate", false, "functional (QEMU-style) emulation instead of detailed simulation")
+		requests = flag.Int("requests", 10, "requests to issue under -emulate")
+		list     = flag.Bool("list", false, "list experiment names")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, sp := range svbench.AllSpecs() {
+			fmt.Println(sp.Name)
+		}
+		return
+	}
+	if *fn == "" {
+		fmt.Fprintln(os.Stderr, "svbench: -fn is required (try -list)")
+		os.Exit(2)
+	}
+	var spec *svbench.Spec
+	for _, sp := range append(append(svbench.StandaloneSpecs(), svbench.ShopSpecs()...),
+		svbench.HotelSpecs(svbench.HotelEngine(*engine))...) {
+		if sp.Name == *fn {
+			sp := sp
+			spec = &sp
+			break
+		}
+	}
+	if spec == nil {
+		fmt.Fprintf(os.Stderr, "svbench: unknown experiment %q (try -list)\n", *fn)
+		os.Exit(2)
+	}
+	a := svbench.Arch(*arch)
+	if a != svbench.RV64 && a != svbench.CISC64 {
+		fmt.Fprintf(os.Stderr, "svbench: unknown arch %q\n", *arch)
+		os.Exit(2)
+	}
+
+	if *emulate {
+		lats, err := svbench.RunEmulated(a, *spec, *requests)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "svbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s on %s under emulation (%s backend):\n", spec.Name, a, *engine)
+		for _, l := range lats {
+			fmt.Printf("  request %2d: %8d ns\n", l.Request, l.NS)
+		}
+		return
+	}
+
+	res, err := svbench.RunFunction(a, *spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "svbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s on %s (server core, detailed O3 model):\n", res.Name, res.Arch)
+	row := func(label string, s svbench.CoreStats) {
+		fmt.Printf("  %-5s cycles=%-10d insts=%-10d cpi=%-5.2f l1i=%-7d l1d=%-7d l2=%-6d mispred=%d\n",
+			label, s.Cycles, s.Insts, s.CPI(), s.L1IMisses, s.L1DMisses, s.L2Misses, s.Mispredicts)
+	}
+	row("cold", res.Cold)
+	row("warm", res.Warm)
+	fmt.Printf("  cold/warm ratio: %.2fx   setup instructions: %d\n",
+		float64(res.Cold.Cycles)/float64(res.Warm.Cycles), res.SetupInsts)
+}

@@ -1,0 +1,140 @@
+// Command svdump disassembles the compiled program of a benchmark
+// container for either ISA — the objdump of the simulated toolchain.
+//
+// Usage:
+//
+//	svdump -fn fibonacci-go -arch rv64 [-sym handler] [-runtime go]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"svbench/internal/isa"
+	"svbench/internal/isa/cisc"
+	"svbench/internal/isa/riscv"
+	"svbench/internal/langrt"
+	"svbench/internal/libc"
+	"svbench/internal/vswarm"
+
+	irpkg "svbench/internal/ir"
+)
+
+func workloadByName(name string) (*irpkg.Module, langrt.Runtime, bool) {
+	switch name {
+	case "fibonacci":
+		return vswarm.Fibonacci(), langrt.GoRT, true
+	case "aes":
+		return vswarm.AES(), langrt.GoRT, true
+	case "auth":
+		return vswarm.Auth(), langrt.GoRT, true
+	case "productcatalog":
+		return vswarm.ProductCatalog(), langrt.GoRT, true
+	case "shipping":
+		return vswarm.Shipping(), langrt.GoRT, true
+	case "recommendation":
+		return vswarm.Recommendation(), langrt.PyRT, true
+	case "email":
+		return vswarm.Email(), langrt.PyRT, true
+	case "currency":
+		return vswarm.Currency(), langrt.NodeRT, true
+	case "payment":
+		return vswarm.Payment(), langrt.NodeRT, true
+	}
+	for _, hf := range vswarm.HotelFuncs {
+		if hf.Name == name {
+			return hf.Build(vswarm.HotelChans{}), langrt.GoRT, true
+		}
+	}
+	return nil, "", false
+}
+
+func main() {
+	var (
+		fn      = flag.String("fn", "fibonacci", "workload name (e.g. fibonacci, aes, geo)")
+		arch    = flag.String("arch", "rv64", "rv64 or cisc64")
+		symOnly = flag.String("sym", "", "disassemble only this function")
+		rtName  = flag.String("runtime", "", "override the runtime (go, python, nodejs)")
+	)
+	flag.Parse()
+
+	mod, rt, ok := workloadByName(*fn)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "svdump: unknown workload %q\n", *fn)
+		os.Exit(2)
+	}
+	if *rtName != "" {
+		rt = langrt.Runtime(*rtName)
+	}
+	a := isa.Arch(*arch)
+	server, err := langrt.BuildServer(rt, libc.ForArch(string(a)), mod, vswarm.Handler)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "svdump:", err)
+		os.Exit(1)
+	}
+
+	var prog *isa.Program
+	switch a {
+	case isa.RV64:
+		prog, err = riscv.Compile(server, 0x400000)
+	case isa.CISC64:
+		prog, err = cisc.Compile(server, 0x400000)
+	default:
+		fmt.Fprintf(os.Stderr, "svdump: unknown arch %q\n", *arch)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "svdump:", err)
+		os.Exit(1)
+	}
+
+	type fnSpan struct {
+		name       string
+		start, end uint64
+	}
+	var fns []fnSpan
+	for name, start := range prog.Syms {
+		if end, ok := prog.FuncEnd[name]; ok {
+			fns = append(fns, fnSpan{name, start, end})
+		}
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].start < fns[j].start })
+
+	fmt.Printf("%s (%s): text %d bytes at %#x, data %d bytes at %#x\n\n",
+		*fn, a, len(prog.Text), prog.TextBase, len(prog.Data), prog.DataBase)
+	for _, f := range fns {
+		if *symOnly != "" && f.name != *symOnly {
+			continue
+		}
+		fmt.Printf("%08x <%s>:\n", f.start, f.name)
+		pc := f.start
+		for pc < f.end {
+			off := pc - prog.TextBase
+			switch a {
+			case isa.RV64:
+				w := uint32(prog.Text[off]) | uint32(prog.Text[off+1])<<8 |
+					uint32(prog.Text[off+2])<<16 | uint32(prog.Text[off+3])<<24
+				in, err := riscv.Decode(w)
+				if err != nil {
+					fmt.Printf("  %08x:  %08x  <decode error: %v>\n", pc, w, err)
+					pc += 4
+					continue
+				}
+				fmt.Printf("  %08x:  %08x  %s\n", pc, w, in)
+				pc += 4
+			case isa.CISC64:
+				in, err := cisc.Decode(prog.Text[off:])
+				if err != nil {
+					fmt.Printf("  %08x:  <decode error: %v>\n", pc, err)
+					pc++
+					continue
+				}
+				fmt.Printf("  %08x:  % -22x %s\n", pc, prog.Text[off:off+uint64(in.Size)], in)
+				pc += uint64(in.Size)
+			}
+		}
+		fmt.Println()
+	}
+}

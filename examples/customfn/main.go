@@ -1,0 +1,78 @@
+// Custom function: write a new serverless workload against the IR builder
+// (a CRC-style checksum service), wrap it in each language runtime, and
+// measure it — how a user extends the suite with their own benchmark.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"svbench"
+	"svbench/internal/ir"
+	"svbench/internal/rpc"
+	"svbench/internal/vswarm"
+)
+
+// buildChecksum defines handler(req, reqLen, resp): read a bytes field,
+// fold it with a polynomial-ish rolling checksum, respond with the sum.
+func buildChecksum() *ir.Module {
+	m := ir.NewModule("checksum")
+	b := ir.NewFunc(vswarm.Handler, 3)
+	req, resp := b.Param(0), b.Param(2)
+
+	cur := b.Frame(b.Buf("cur", 8), 0)
+	b.Store(cur, 0, b.Const(8), 8)
+	data := b.Frame(b.Buf("data", 512), 0)
+	n := b.Call("mbuf_get_bytes", req, cur, data, b.Const(512))
+
+	sum := b.Const(0xFFFF)
+	i := b.Const(0)
+	loop, done := b.NewLabel("loop"), b.NewLabel("done")
+	b.Label(loop)
+	b.Br(ir.Ge, i, n, done)
+	c := b.LoadU(b.Add(data, i), 0, 1)
+	b.XorInto(sum, sum, c)
+	hi := b.ShrI(sum, 11)
+	b.XorInto(sum, sum, hi)
+	b.MulInto(sum, sum, b.Const(0x101))
+	sum = b.AndI(sum, 0xFFFFFF)
+	b.AddIInto(i, i, 1)
+	b.Jmp(loop)
+	b.Label(done)
+
+	b.CallV("mbuf_reset", resp)
+	b.CallV("mbuf_put_int", resp, sum)
+	b.Ret(b.Call("mbuf_len", resp))
+	m.AddFunc(b.Build())
+	return m
+}
+
+func main() {
+	payload := make([]byte, 256)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	w := rpc.NewWriter()
+	w.PutBytes(payload)
+	request := w.Bytes()
+
+	for _, rt := range []svbench.Runtime{svbench.GoRT, svbench.PyRT, svbench.NodeRT} {
+		spec := svbench.Spec{
+			Name:    "checksum-" + string(rt),
+			Runtime: rt,
+			Build:   func(*svbench.Env) (*ir.Module, error) { return buildChecksum(), nil },
+			Request: func() []byte { return request },
+		}
+		res, err := svbench.RunFunction(svbench.RV64, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := rpc.NewReader(res.Response)
+		sum, err := r.Int()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s checksum=%#x cold=%-8d warm=%d cycles\n",
+			res.Name, sum, res.Cold.Cycles, res.Warm.Cycles)
+	}
+}

@@ -1,0 +1,42 @@
+// Design-space exploration: sweep microarchitectural parameters (L2 size,
+// ROB depth) for one function and report how cold and warm executions
+// respond — the follow-on study the thesis names as future work (§6).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"svbench"
+)
+
+func main() {
+	// The interpreted runtimes' dispatch loops are icache-hungry: shrink
+	// the L1I and watch warm executions degrade (the microarchitectural
+	// sensitivity the thesis positions this infrastructure to study).
+	pyFib := svbench.StandaloneSpecs()[1] // fibonacci-python
+	fmt.Println("L1I size sweep (fibonacci-python, RISC-V):")
+	for _, kb := range []int{4, 8, 16, 32, 64} {
+		cfg := svbench.DefaultConfig(svbench.RV64)
+		cfg.Hier.L1I.Size = kb << 10
+		res, err := svbench.RunFunctionWith(cfg, pyFib)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  L1I=%3d KiB: cold=%-9d warm=%-8d l1i-misses(warm)=%d\n",
+			kb, res.Cold.Cycles, res.Warm.Cycles, res.Warm.L1IMisses)
+	}
+
+	fmt.Println("\nROB depth sweep (aes-go, RISC-V):")
+	aes := svbench.StandaloneSpecs()[3] // aes-go
+	for _, rob := range []int{32, 64, 128, 192, 256} {
+		cfg := svbench.DefaultConfig(svbench.RV64)
+		cfg.O3.ROBSize = rob
+		res, err := svbench.RunFunctionWith(cfg, aes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  ROB=%3d: cold=%-8d warm=%-8d warm CPI=%.2f\n",
+			rob, res.Cold.Cycles, res.Warm.Cycles, res.Warm.CPI())
+	}
+}

@@ -1,0 +1,33 @@
+// Hotel application: run the DB-backed hotel functions on the simulated
+// RISC-V system (Cassandra + Memcached, as the thesis ported it), then
+// compare the Cassandra and MongoDB backends under functional emulation —
+// the Fig. 4.5 and Fig. 4.20 studies in one program.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"svbench"
+)
+
+func main() {
+	fmt.Println("hotel application on simulated RISC-V (Cassandra + Memcached):")
+	for _, spec := range svbench.HotelSpecs(svbench.EngineCassandra) {
+		res, err := svbench.RunFunction(svbench.RV64, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-15s cold=%-9d warm=%-8d l1d-misses(cold)=%-6d l2-misses(cold)=%d\n",
+			res.Name, res.Cold.Cycles, res.Warm.Cycles, res.Cold.L1DMisses, res.Cold.L2Misses)
+	}
+
+	fmt.Println("\nMongoDB vs Cassandra under emulation (profile function, x86):")
+	for _, engine := range []svbench.HotelEngine{svbench.EngineCassandra, svbench.EngineMongo} {
+		lats, err := svbench.RunEmulated(svbench.CISC64, svbench.HotelSpec("profile", engine), 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s cold=%-8d ns  warm=%d ns\n", engine, lats[0].NS, lats[4].NS)
+	}
+}

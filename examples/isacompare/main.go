@@ -1,0 +1,33 @@
+// ISA comparison: run the same functions on the simulated RISC-V and
+// x86-class systems at identical microarchitecture and reproduce the
+// thesis's headline observation — the RISC-V software stack executes fewer
+// instructions and finishes in fewer cycles (Figs. 4.15/4.16).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"svbench"
+)
+
+func main() {
+	fmt.Println("function              ISA     cold cycles  warm cycles  cold insts")
+	for _, spec := range svbench.StandaloneSpecs()[:6] {
+		var rv, x *svbench.Result
+		var err error
+		if rv, err = svbench.RunFunction(svbench.RV64, spec); err != nil {
+			log.Fatal(err)
+		}
+		if x, err = svbench.RunFunction(svbench.CISC64, spec); err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range []*svbench.Result{x, rv} {
+			fmt.Printf("%-20s  %-6s  %11d  %11d  %10d\n",
+				r.Name, r.Arch, r.Cold.Cycles, r.Warm.Cycles, r.Cold.Insts)
+		}
+		fmt.Printf("%-20s  => riscv is %.2fx faster cold, executes %.2fx fewer instructions\n",
+			"", float64(x.Cold.Cycles)/float64(rv.Cold.Cycles),
+			float64(x.Cold.Insts)/float64(rv.Cold.Insts))
+	}
+}

@@ -1,0 +1,54 @@
+// Lukewarm execution: interleave two functions on the same core and watch
+// the "warm" function lose its microarchitectural state between
+// invocations — the effect the thesis's background section (§2.1)
+// highlights from Schall et al., reproduced with the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"svbench"
+)
+
+func main() {
+	specs := svbench.StandaloneSpecs()
+	byName := map[string]svbench.Spec{}
+	for _, sp := range specs {
+		byName[sp.Name] = sp
+	}
+
+	pairs := [][2]string{
+		{"auth-go", "fibonacci-python"},
+		{"fibonacci-go", "aes-nodejs"},
+		{"shipping-go", "auth-python"},
+	}
+	fmt.Println("function        interleaved with        solo-warm  lukewarm  slowdown  L1I misses")
+	for _, p := range pairs {
+		a, okA := byName[p[0]]
+		b, okB := byName[p[1]]
+		if !okA {
+			a = findShop(p[0])
+		}
+		if !okB {
+			b = findShop(p[1])
+		}
+		res, err := svbench.RunLukewarm(svbench.RV64, a, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-15s %-22s %9d %9d   %5.1f%%   %d -> %d\n",
+			p[0], p[1], res.Solo, res.Lukewarm,
+			100*(float64(res.Lukewarm)/float64(res.Solo)-1),
+			res.SoloL1I, res.LukeL1I)
+	}
+}
+
+func findShop(name string) svbench.Spec {
+	for _, sp := range svbench.ShopSpecs() {
+		if sp.Name == name {
+			return sp
+		}
+	}
+	panic("unknown spec " + name)
+}

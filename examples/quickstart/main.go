@@ -1,0 +1,29 @@
+// Quickstart: run one serverless function (fibonacci on the Go runtime)
+// through the full methodology on the simulated RISC-V system and print
+// the cold-versus-warm statistics — the minimal end-to-end use of the
+// public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"svbench"
+)
+
+func main() {
+	spec := svbench.StandaloneSpecs()[0] // fibonacci-go
+	res, err := svbench.RunFunction(svbench.RV64, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("function %s on %s\n", res.Name, res.Arch)
+	fmt.Printf("  cold execution: %8d cycles  (%d instructions, CPI %.2f)\n",
+		res.Cold.Cycles, res.Cold.Insts, res.Cold.CPI())
+	fmt.Printf("  warm execution: %8d cycles  (%d instructions, CPI %.2f)\n",
+		res.Warm.Cycles, res.Warm.Insts, res.Warm.CPI())
+	fmt.Printf("  cold start penalty: %.1fx\n",
+		float64(res.Cold.Cycles)/float64(res.Warm.Cycles))
+	fmt.Printf("  cold cache misses: L1I=%d L1D=%d L2=%d\n",
+		res.Cold.L1IMisses, res.Cold.L1DMisses, res.Cold.L2Misses)
+}

@@ -1,0 +1,3 @@
+module svbench
+
+go 1.22

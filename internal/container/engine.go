@@ -1,0 +1,103 @@
+package container
+
+import (
+	"fmt"
+
+	"svbench/internal/gemsys"
+	"svbench/internal/kernel"
+)
+
+// State is a container's lifecycle state — the thesis's function states
+// (§2.1): Dead (no resources), Waiting (resident, idle), Running.
+type State int
+
+// Container states.
+const (
+	Dead State = iota
+	Waiting
+	Running
+)
+
+func (s State) String() string {
+	switch s {
+	case Dead:
+		return "dead"
+	case Waiting:
+		return "waiting"
+	case Running:
+		return "running"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Container is one instance of an image.
+type Container struct {
+	ID    int
+	Image *Image
+	State State
+	Proc  *kernel.Process
+	// Starts counts cold starts (Dead -> Running transitions).
+	Starts int
+}
+
+// Engine is the container runtime: it pulls images from a registry and
+// runs them as pinned processes on a machine.
+type Engine struct {
+	Registry *Registry
+	M        *gemsys.Machine
+	conts    []*Container
+}
+
+// NewEngine creates an engine over a registry and machine.
+func NewEngine(reg *Registry, m *gemsys.Machine) *Engine {
+	return &Engine{Registry: reg, M: m}
+}
+
+// Create instantiates a container in the Dead state.
+func (e *Engine) Create(imageName string) (*Container, error) {
+	img, err := e.Registry.Pull(imageName, e.M.Cfg.Arch)
+	if err != nil {
+		return nil, err
+	}
+	c := &Container{ID: len(e.conts), Image: img, State: Dead}
+	e.conts = append(e.conts, c)
+	return c, nil
+}
+
+// Start boots a Dead container: the image's module is compiled into a
+// fresh region and its main spawned pinned to coreID with args (the
+// cold-start path). Starting a Waiting container is a warm transition and
+// spawns nothing.
+func (e *Engine) Start(c *Container, coreID int, args []uint64) error {
+	switch c.State {
+	case Running:
+		return fmt.Errorf("container: %s already running", c.Image.Name)
+	case Waiting:
+		c.State = Running
+		return nil
+	}
+	if c.Image.Module == nil {
+		return fmt.Errorf("container: image %s has no program", c.Image.Name)
+	}
+	p, err := e.M.Spawn(fmt.Sprintf("ctr-%s-%d", c.Image.Name, c.ID), c.Image.Module, "main", coreID, args)
+	if err != nil {
+		return err
+	}
+	c.Proc = p
+	c.State = Running
+	c.Starts++
+	return nil
+}
+
+// Pause moves a Running container to Waiting (resident in memory; its
+// process keeps its region but is descheduled naturally when blocked).
+func (e *Engine) Pause(c *Container) error {
+	if c.State != Running {
+		return fmt.Errorf("container: %s not running", c.Image.Name)
+	}
+	c.State = Waiting
+	return nil
+}
+
+// Containers lists the engine's containers.
+func (e *Engine) Containers() []*Container { return e.conts }

@@ -1,0 +1,41 @@
+package cpu
+
+// Atomic models gem5's AtomicSimpleCPU: instructions complete one per
+// cycle with instantaneous memory. It is used for the setup phase (boot,
+// container start, functional warming) where only a virtual clock is
+// needed, never for measurement.
+type Atomic struct {
+	Insts uint64
+}
+
+// Retire accounts n functionally-executed instructions.
+func (a *Atomic) Retire(n uint64) { a.Insts += n }
+
+// Cycles returns the virtual time: 1 CPI.
+func (a *Atomic) Cycles() uint64 { return a.Insts }
+
+// KVM models gem5's KVM-accelerated CPU: near-native fast-forwarding whose
+// interaction with m5 magic instructions is unstable — the thesis (§3.4.1)
+// reports frequent freezes when taking checkpoints under KVM, which is why
+// its methodology boots with the atomic core instead. The instability is
+// reproduced deterministically so the harness's fallback path is testable.
+type KVM struct {
+	// Unstable enables the documented checkpoint flakiness.
+	Unstable bool
+	Insts    uint64
+	ckpts    uint64
+}
+
+// Retire accounts n fast-forwarded instructions.
+func (k *KVM) Retire(n uint64) { k.Insts += n }
+
+// TryCheckpoint reports whether a checkpoint attempt succeeds. Under
+// Unstable it fails on a fixed pattern (two of every three attempts),
+// reproducing the freeze-on-magic-instruction behaviour.
+func (k *KVM) TryCheckpoint() bool {
+	k.ckpts++
+	if !k.Unstable {
+		return true
+	}
+	return k.ckpts%3 == 0
+}

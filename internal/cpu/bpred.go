@@ -1,0 +1,138 @@
+// Package cpu implements the simulated CPU models, mirroring the gem5
+// models the thesis uses: a detailed out-of-order timing model (the
+// DerivO3CPU stand-in) driven by the functional cores' instruction traces,
+// an atomic 1-CPI model used for setup/boot, and a KVM-style fast-forward
+// model (including its documented instability).
+package cpu
+
+import "svbench/internal/isa"
+
+// BPredConfig sizes the branch prediction structures.
+type BPredConfig struct {
+	BimodalEntries int // direction predictor, 2-bit counters
+	BTBEntries     int
+	RASEntries     int
+}
+
+// DefaultBPredConfig returns a modest front end matching the thesis's
+// out-of-order core.
+func DefaultBPredConfig() BPredConfig {
+	return BPredConfig{BimodalEntries: 4096, BTBEntries: 1024, RASEntries: 16}
+}
+
+type btbEntry struct {
+	tag    uint64
+	target uint64
+	valid  bool
+}
+
+// BPred is a bimodal direction predictor with a direct-mapped BTB and a
+// return address stack.
+type BPred struct {
+	cfg      BPredConfig
+	counters []uint8
+	btb      []btbEntry
+	ras      []uint64
+	rasTop   int
+
+	Lookups     uint64
+	Mispredicts uint64
+}
+
+// NewBPred builds a predictor.
+func NewBPred(cfg BPredConfig) *BPred {
+	if cfg.BimodalEntries == 0 {
+		cfg = DefaultBPredConfig()
+	}
+	b := &BPred{
+		cfg:      cfg,
+		counters: make([]uint8, cfg.BimodalEntries),
+		btb:      make([]btbEntry, cfg.BTBEntries),
+		ras:      make([]uint64, cfg.RASEntries),
+	}
+	for i := range b.counters {
+		b.counters[i] = 1 // weakly not-taken
+	}
+	return b
+}
+
+// Flush clears all prediction state (cold front end after restore).
+func (b *BPred) Flush() {
+	for i := range b.counters {
+		b.counters[i] = 1
+	}
+	for i := range b.btb {
+		b.btb[i] = btbEntry{}
+	}
+	b.rasTop = 0
+}
+
+// ResetStats zeroes counters.
+func (b *BPred) ResetStats() { b.Lookups, b.Mispredicts = 0, 0 }
+
+func (b *BPred) bimodalIdx(pc uint64) int {
+	return int((pc >> 1) % uint64(len(b.counters)))
+}
+
+func (b *BPred) btbIdx(pc uint64) int {
+	return int((pc >> 1) % uint64(len(b.btb)))
+}
+
+// Mispredicted consults and updates the predictor for a control-flow trace
+// record, reporting whether the front end would have mispredicted.
+func (b *BPred) Mispredicted(rec *isa.TraceRec) bool {
+	b.Lookups++
+	miss := false
+	switch rec.Class {
+	case isa.ClassBranch:
+		idx := b.bimodalIdx(rec.PC)
+		predTaken := b.counters[idx] >= 2
+		if predTaken != rec.Taken {
+			miss = true
+		} else if rec.Taken {
+			e := &b.btb[b.btbIdx(rec.PC)]
+			if !e.valid || e.tag != rec.PC || e.target != rec.Target {
+				miss = true
+			}
+		}
+		// Update direction counter.
+		if rec.Taken {
+			if b.counters[idx] < 3 {
+				b.counters[idx]++
+			}
+			b.btb[b.btbIdx(rec.PC)] = btbEntry{tag: rec.PC, target: rec.Target, valid: true}
+		} else if b.counters[idx] > 0 {
+			b.counters[idx]--
+		}
+	case isa.ClassJump:
+		e := &b.btb[b.btbIdx(rec.PC)]
+		if !e.valid || e.tag != rec.PC || e.target != rec.Target {
+			miss = true
+		}
+		b.btb[b.btbIdx(rec.PC)] = btbEntry{tag: rec.PC, target: rec.Target, valid: true}
+	case isa.ClassCall:
+		e := &b.btb[b.btbIdx(rec.PC)]
+		if !e.valid || e.tag != rec.PC || e.target != rec.Target {
+			miss = true
+		}
+		b.btb[b.btbIdx(rec.PC)] = btbEntry{tag: rec.PC, target: rec.Target, valid: true}
+		// Push the return address.
+		b.ras[b.rasTop%len(b.ras)] = rec.PC + uint64(rec.Size)
+		b.rasTop++
+	case isa.ClassRet:
+		if b.rasTop > 0 {
+			b.rasTop--
+			if b.ras[b.rasTop%len(b.ras)] != rec.Target {
+				miss = true
+			}
+		} else {
+			miss = true
+		}
+	default:
+		return false
+	}
+	if miss {
+		b.Mispredicts++
+	}
+	return miss
+}

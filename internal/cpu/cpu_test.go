@@ -1,0 +1,248 @@
+package cpu
+
+import (
+	"testing"
+
+	"svbench/internal/isa"
+	"svbench/internal/mem"
+)
+
+func newTestO3() *O3 {
+	dram := mem.NewDRAM(mem.DRAMConfig{Latency: 200, BusCycle: 16})
+	h := mem.NewHierarchy(mem.DefaultHierConfig(), dram)
+	return NewO3(DefaultO3Config(), h, NewCoupler())
+}
+
+func alu(pc uint64, dst, src1, src2 uint8) isa.TraceRec {
+	return isa.TraceRec{PC: pc, Size: 4, Class: isa.ClassAlu,
+		Src1: src1, Src2: src2, Dst: dst, MicroOps: 1}
+}
+
+func retireAll(t *testing.T, o *O3, recs []isa.TraceRec) uint64 {
+	t.Helper()
+	var last uint64
+	for i := range recs {
+		ct, err := o.Retire(&recs[i])
+		if err != nil {
+			t.Fatalf("retire %d: %v", i, err)
+		}
+		last = ct
+	}
+	return last
+}
+
+func TestO3IndependentALUOpsSuperscalar(t *testing.T) {
+	o := newTestO3()
+	// 400 independent single-cycle ops on one cache line stream: IPC must
+	// approach the rename width (4), certainly above 2 once warm.
+	var recs []isa.TraceRec
+	for i := 0; i < 400; i++ {
+		recs = append(recs, alu(0x1000+uint64(4*i), uint8(i%8), isa.NoDep, isa.NoDep))
+	}
+	retireAll(t, o, recs) // warm the instruction cache
+	o.ResetStats()
+	retireAll(t, o, recs)
+	cycles := o.WindowCycles()
+	ipc := float64(o.Stats.Insts) / float64(cycles)
+	if ipc < 2.0 {
+		t.Fatalf("independent ALU IPC = %.2f (cycles=%d), want >= 2", ipc, cycles)
+	}
+	if ipc > float64(o.Cfg.CommitWidth)+0.01 {
+		t.Fatalf("IPC %.2f exceeds commit width", ipc)
+	}
+}
+
+func TestO3DependentChainIsSerial(t *testing.T) {
+	o := newTestO3()
+	// A chain r1 = r1 + r1 executes one per cycle at best.
+	var recs []isa.TraceRec
+	for i := 0; i < 300; i++ {
+		recs = append(recs, alu(0x1000+uint64(4*i), 1, 1, 1))
+	}
+	o.ResetStats()
+	retireAll(t, o, recs)
+	ipc := float64(o.Stats.Insts) / float64(o.WindowCycles())
+	if ipc > 1.1 {
+		t.Fatalf("dependent chain IPC = %.2f, want <= ~1", ipc)
+	}
+}
+
+func TestO3DivSlowerThanAlu(t *testing.T) {
+	mk := func(class isa.Class) uint64 {
+		o := newTestO3()
+		var recs []isa.TraceRec
+		for i := 0; i < 200; i++ {
+			r := alu(0x1000+uint64(4*i), 1, 1, isa.NoDep)
+			r.Class = class
+			recs = append(recs, r)
+		}
+		retireAll(t, o, recs) // warm the instruction cache
+		o.ResetStats()
+		retireAll(t, o, recs)
+		return o.WindowCycles()
+	}
+	aluC, divC := mk(isa.ClassAlu), mk(isa.ClassDiv)
+	if divC < 10*aluC {
+		t.Fatalf("div chain (%d cycles) should be >=10x alu chain (%d)", divC, aluC)
+	}
+}
+
+func TestO3ColdVsWarmCacheEffect(t *testing.T) {
+	o := newTestO3()
+	// A pointer-chase over 512 distinct lines: cold pass pays DRAM, a
+	// second pass hits L1/L2.
+	var pass []isa.TraceRec
+	for i := 0; i < 512; i++ {
+		r := alu(0x1000+uint64(4*(i%64)), 1, 1, isa.NoDep)
+		r.Class = isa.ClassLoad
+		r.MemAddr = 0x100000 + uint64(i)*64
+		r.MemSize = 8
+		pass = append(pass, r)
+	}
+	o.ColdStart()
+	o.ResetStats()
+	retireAll(t, o, pass)
+	cold := o.WindowCycles()
+	coldMisses := o.Hier.L1D.Stats.Misses
+
+	o.ResetStats()
+	retireAll(t, o, pass)
+	warm := o.WindowCycles()
+	warmMisses := o.Hier.L1D.Stats.Misses
+
+	if coldMisses < 500 {
+		t.Fatalf("cold pass misses = %d, want ~512", coldMisses)
+	}
+	if warmMisses > 20 {
+		t.Fatalf("warm pass misses = %d, want ~0", warmMisses)
+	}
+	if cold < 2*warm {
+		t.Fatalf("cold %d cycles vs warm %d: expected >=2x gap", cold, warm)
+	}
+}
+
+func TestO3MispredictsHurt(t *testing.T) {
+	run := func(alternate bool) uint64 {
+		o := newTestO3()
+		var recs []isa.TraceRec
+		for i := 0; i < 2000; i++ {
+			taken := true
+			if alternate {
+				// A pattern the 2-bit counter cannot learn per-branch
+				// because each branch address is visited with an
+				// alternating outcome.
+				taken = i%2 == 0
+			}
+			r := isa.TraceRec{PC: 0x1000, Size: 4, Class: isa.ClassBranch,
+				Src1: isa.NoDep, Src2: isa.NoDep, Dst: isa.NoDep,
+				Taken: taken, Target: 0x1000, MicroOps: 1}
+			recs = append(recs, r)
+		}
+		o.ResetStats()
+		retireAll(t, o, recs)
+		if alternate && o.Stats.Mispredicts < 500 {
+			t.Fatalf("alternating pattern mispredicts = %d, want many", o.Stats.Mispredicts)
+		}
+		if !alternate && o.Stats.Mispredicts > 50 {
+			t.Fatalf("steady pattern mispredicts = %d, want few", o.Stats.Mispredicts)
+		}
+		return o.WindowCycles()
+	}
+	steady, alternating := run(false), run(true)
+	if alternating < 2*steady {
+		t.Fatalf("alternating (%d cycles) should be much slower than steady (%d)", alternating, steady)
+	}
+}
+
+func TestO3SendRecvCoupling(t *testing.T) {
+	dram := mem.NewDRAM(mem.DRAMConfig{})
+	cpl := NewCoupler()
+	h0 := mem.NewHierarchy(mem.DefaultHierConfig(), dram)
+	h1 := mem.NewHierarchy(mem.DefaultHierConfig(), dram)
+	sender := NewO3(DefaultO3Config(), h0, cpl)
+	receiver := NewO3(DefaultO3Config(), h1, cpl)
+
+	recv := isa.TraceRec{PC: 0x2000, Size: 4, Class: isa.ClassEcall,
+		Src1: isa.NoDep, Src2: isa.NoDep, Dst: isa.NoDep,
+		Flags: isa.FlagRecv, Seq: 7, MicroOps: 1}
+	if _, err := receiver.Retire(&recv); err != ErrWait {
+		t.Fatalf("recv before send: err=%v, want ErrWait", err)
+	}
+
+	// Sender executes filler then the send.
+	var filler []isa.TraceRec
+	for i := 0; i < 500; i++ {
+		filler = append(filler, alu(0x1000+uint64(4*i), 1, 1, isa.NoDep))
+	}
+	retireAll(t, sender, filler)
+	send := isa.TraceRec{PC: 0x3000, Size: 4, Class: isa.ClassEcall,
+		Src1: isa.NoDep, Src2: isa.NoDep, Dst: isa.NoDep,
+		Flags: isa.FlagSend, Seq: 7, MicroOps: 1}
+	sendCommit, err := sender.Retire(&send)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ct, err := receiver.Retire(&recv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct < sendCommit+receiver.Cfg.WakeLat {
+		t.Fatalf("recv committed at %d, before send commit %d + wake latency", ct, sendCommit)
+	}
+}
+
+func TestO3IdleRecord(t *testing.T) {
+	cpl := NewCoupler()
+	dram := mem.NewDRAM(mem.DRAMConfig{})
+	o := NewO3(DefaultO3Config(), mem.NewHierarchy(mem.DefaultHierConfig(), dram), cpl)
+	idle := isa.TraceRec{Class: isa.ClassIdle, Seq: 3}
+	if _, err := o.Retire(&idle); err != ErrWait {
+		t.Fatalf("idle before wake: %v", err)
+	}
+	cpl.post(3, 1000)
+	ct, err := o.Retire(&idle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct < 1000 {
+		t.Fatalf("idle resumed at %d, want >= 1000", ct)
+	}
+}
+
+func TestAtomicAndKVM(t *testing.T) {
+	var a Atomic
+	a.Retire(100)
+	a.Retire(50)
+	if a.Cycles() != 150 {
+		t.Fatalf("atomic cycles = %d", a.Cycles())
+	}
+	k := &KVM{Unstable: true}
+	ok := 0
+	for i := 0; i < 9; i++ {
+		if k.TryCheckpoint() {
+			ok++
+		}
+	}
+	if ok != 3 {
+		t.Fatalf("unstable KVM succeeded %d/9 times, want 3", ok)
+	}
+	stable := &KVM{}
+	if !stable.TryCheckpoint() {
+		t.Fatal("stable KVM must checkpoint")
+	}
+}
+
+func TestBPredRAS(t *testing.T) {
+	b := NewBPred(DefaultBPredConfig())
+	call := isa.TraceRec{PC: 0x1000, Size: 4, Class: isa.ClassCall, Taken: true, Target: 0x2000}
+	ret := isa.TraceRec{PC: 0x2004, Size: 4, Class: isa.ClassRet, Taken: true, Target: 0x1004}
+	b.Mispredicted(&call) // first sight: BTB cold
+	if b.Mispredicted(&ret) {
+		t.Fatal("matched return must be predicted by the RAS")
+	}
+	bad := isa.TraceRec{PC: 0x3000, Size: 4, Class: isa.ClassRet, Taken: true, Target: 0x9999}
+	if !b.Mispredicted(&bad) {
+		t.Fatal("underflowed RAS must mispredict")
+	}
+}

@@ -1,0 +1,411 @@
+package cpu
+
+import (
+	"fmt"
+
+	"svbench/internal/isa"
+	"svbench/internal/mem"
+)
+
+// O3Config parameterizes the detailed out-of-order model. Defaults mirror
+// Table 4.1 of the thesis.
+type O3Config struct {
+	RenameWidth int // front-end width (fetch/decode/rename per cycle)
+	IssueWidth  int
+	CommitWidth int
+	ROBSize     int
+	LQSize      int
+	SQSize      int
+	MulDivUnits int
+	LoadPorts   int
+	StorePorts  int
+
+	MulLat            uint64
+	DivLat            uint64
+	EcallLat          uint64 // privilege-switch overhead on top of serialization
+	MispredictPenalty uint64
+	WakeLat           uint64 // cross-core wakeup latency after an IPC send
+
+	BPred BPredConfig
+}
+
+// DefaultO3Config returns the thesis configuration: 192-entry ROB,
+// 32-entry load and store queues, 4-wide front end.
+func DefaultO3Config() O3Config {
+	return O3Config{
+		RenameWidth: 4, IssueWidth: 8, CommitWidth: 4,
+		ROBSize: 192, LQSize: 32, SQSize: 32,
+		MulDivUnits: 1, LoadPorts: 2, StorePorts: 1,
+		MulLat: 3, DivLat: 16, EcallLat: 24,
+		MispredictPenalty: 12, WakeLat: 60,
+		BPred: DefaultBPredConfig(),
+	}
+}
+
+// WindowStats accumulates per-core statistics within one m5 stats window.
+type WindowStats struct {
+	Insts       uint64
+	MicroOps    uint64
+	Loads       uint64
+	Stores      uint64
+	Branches    uint64
+	Mispredicts uint64
+	StartCycle  uint64
+}
+
+// Coupler carries cross-core IPC ordering: commit times of FlagSend
+// records, consumed by FlagRecv/idle records on the other core. Derived
+// sequences model native services (the databases): their reply commits a
+// fixed service latency after the request's commit.
+type Coupler struct {
+	commitAt map[uint64]uint64
+	derived  map[uint64][]derivation // base seq -> dependents
+}
+
+type derivation struct {
+	seq   uint64
+	delay uint64
+}
+
+// NewCoupler returns an empty coupler.
+func NewCoupler() *Coupler {
+	return &Coupler{
+		commitAt: map[uint64]uint64{},
+		derived:  map[uint64][]derivation{},
+	}
+}
+
+// Derive declares that sequence derived becomes ready delay cycles after
+// base commits.
+func (c *Coupler) Derive(base, derived, delay uint64) {
+	if t, ok := c.commitAt[base]; ok {
+		c.post(derived, t+delay)
+		return
+	}
+	c.derived[base] = append(c.derived[base], derivation{seq: derived, delay: delay})
+}
+
+// post records that send sequence seq committed at cycle t, resolving any
+// derived sequences transitively.
+func (c *Coupler) post(seq, t uint64) {
+	c.commitAt[seq] = t
+	if deps, ok := c.derived[seq]; ok {
+		delete(c.derived, seq)
+		for _, d := range deps {
+			c.post(d.seq, t+d.delay)
+		}
+	}
+}
+
+// ready returns the commit time of seq, if posted.
+func (c *Coupler) ready(seq uint64) (uint64, bool) {
+	t, ok := c.commitAt[seq]
+	return t, ok
+}
+
+const ringWindow = 8192
+
+type slotRing struct {
+	cycle [ringWindow]uint64
+	used  [ringWindow]uint8
+	cap   uint8
+}
+
+func (r *slotRing) reserve(t uint64) uint64 {
+	for {
+		i := t % ringWindow
+		if r.cycle[i] != t {
+			r.cycle[i] = t
+			r.used[i] = 0
+		}
+		if r.used[i] < r.cap {
+			r.used[i]++
+			return t
+		}
+		t++
+	}
+}
+
+// O3 is the per-core detailed timing model. It replays the functional
+// trace through an analytical out-of-order pipeline: in-order rename
+// bounded by ROB/LQ/SQ occupancy and front-end width, dataflow-scheduled
+// issue bounded by functional-unit ports, cache-timed memory operations,
+// branch-predictor-driven fetch redirects, and in-order commit.
+type O3 struct {
+	Cfg     O3Config
+	Hier    *mem.Hierarchy
+	BP      *BPred
+	coupler *Coupler
+
+	// Front-end cursors.
+	now          uint64 // cycle at which the next instruction renames
+	renameCount  int    // instructions renamed at cycle `now`
+	curFetchLine uint64
+	lineReady    uint64
+
+	// Register scoreboard: architectural reg -> value-ready cycle.
+	regReady [34]uint64
+
+	// Occupancy rings (commit times of the last N entries).
+	robRing   []uint64
+	robHead   int
+	loadRing  []uint64
+	loadHead  int
+	storeRing []uint64
+	storeHead int
+
+	// Commit cursors.
+	lastCommit     uint64
+	commitCycle    uint64
+	commitsAtCycle int
+
+	// Execution ports.
+	issueRing  slotRing
+	mulDivRing slotRing
+	loadPorts  slotRing
+	storePorts slotRing
+
+	// Store-to-load forwarding horizon: 8-byte-granule address ->
+	// completion time of the most recent store.
+	storeDone map[uint64]uint64
+
+	Stats WindowStats
+}
+
+// NewO3 builds a detailed core over a cache hierarchy.
+func NewO3(cfg O3Config, hier *mem.Hierarchy, coupler *Coupler) *O3 {
+	o := &O3{
+		Cfg:       cfg,
+		Hier:      hier,
+		BP:        NewBPred(cfg.BPred),
+		coupler:   coupler,
+		robRing:   make([]uint64, cfg.ROBSize),
+		loadRing:  make([]uint64, cfg.LQSize),
+		storeRing: make([]uint64, cfg.SQSize),
+		storeDone: map[uint64]uint64{},
+		now:       1,
+	}
+	o.issueRing.cap = uint8(cfg.IssueWidth)
+	o.mulDivRing.cap = uint8(cfg.MulDivUnits)
+	o.loadPorts.cap = uint8(cfg.LoadPorts)
+	o.storePorts.cap = uint8(cfg.StorePorts)
+	return o
+}
+
+// Now returns the core's committed-time cursor.
+func (o *O3) Now() uint64 { return o.lastCommit }
+
+// ErrWait is a sentinel: the record needs a coupling sequence that has not
+// committed on the other core yet.
+var ErrWait = fmt.Errorf("cpu: waiting for peer send")
+
+// advanceFrontEnd accounts rename bandwidth: at most RenameWidth
+// instructions enter the ROB per cycle.
+func (o *O3) advanceFrontEnd() {
+	o.renameCount++
+	if o.renameCount >= o.Cfg.RenameWidth {
+		o.now++
+		o.renameCount = 0
+	}
+}
+
+func (o *O3) bump(t uint64) {
+	if t > o.now {
+		o.now = t
+		o.renameCount = 0
+	}
+}
+
+// Retire replays one trace record, returning its commit cycle.
+// It returns ErrWait when the record waits on a peer send that has not
+// been replayed yet.
+func (o *O3) Retire(rec *isa.TraceRec) (uint64, error) {
+	// Idle pseudo-record: the core sleeps until the wake arrives.
+	if rec.Class == isa.ClassIdle {
+		t, ok := o.coupler.ready(rec.Seq)
+		if !ok {
+			return 0, ErrWait
+		}
+		o.bump(t + o.Cfg.WakeLat)
+		if o.lastCommit < o.now {
+			o.lastCommit = o.now
+		}
+		return o.now, nil
+	}
+	if rec.Flags&isa.FlagRecv != 0 {
+		// The receiving ecall cannot complete before the sender commits.
+		t, ok := o.coupler.ready(rec.Seq)
+		if !ok {
+			return 0, ErrWait
+		}
+		o.bump(t + o.Cfg.WakeLat)
+	}
+
+	// --- Fetch: instruction cache access per line. ---
+	line := rec.PC >> 6
+	if line != o.curFetchLine {
+		o.curFetchLine = line
+		o.lineReady = o.Hier.FetchI(o.now, rec.PC)
+	}
+	renameAt := o.now
+	if o.lineReady > renameAt {
+		o.bump(o.lineReady)
+		renameAt = o.now
+	}
+
+	// --- Structural occupancy: ROB and LSQ entries must be free. ---
+	if t := o.robRing[o.robHead]; t > renameAt {
+		o.bump(t)
+		renameAt = o.now
+	}
+	isLoad := rec.Class == isa.ClassLoad
+	isStore := rec.Class == isa.ClassStore
+	if isLoad {
+		if t := o.loadRing[o.loadHead]; t > renameAt {
+			o.bump(t)
+			renameAt = o.now
+		}
+	}
+	if isStore {
+		if t := o.storeRing[o.storeHead]; t > renameAt {
+			o.bump(t)
+			renameAt = o.now
+		}
+	}
+
+	// --- Schedule: dataflow readiness. ---
+	ready := renameAt + 1 // rename-to-issue minimum
+	if rec.Src1 != isa.NoDep {
+		if t := o.regReady[rec.Src1]; t > ready {
+			ready = t
+		}
+	}
+	if rec.Src2 != isa.NoDep {
+		if t := o.regReady[rec.Src2]; t > ready {
+			ready = t
+		}
+	}
+
+	var complete uint64
+	serialize := false
+	switch rec.Class {
+	case isa.ClassAlu, isa.ClassJump, isa.ClassCall, isa.ClassRet, isa.ClassBranch:
+		issue := o.issueRing.reserve(ready)
+		complete = issue + 1
+	case isa.ClassMul:
+		issue := o.issueRing.reserve(o.mulDivRing.reserve(ready))
+		complete = issue + o.Cfg.MulLat
+	case isa.ClassDiv:
+		issue := o.issueRing.reserve(o.mulDivRing.reserve(ready))
+		complete = issue + o.Cfg.DivLat
+	case isa.ClassLoad:
+		issue := o.issueRing.reserve(o.loadPorts.reserve(ready))
+		// Store-to-load dependency on the same granule.
+		if t, ok := o.storeDone[rec.MemAddr>>3]; ok && t > issue {
+			issue = t
+		}
+		complete = o.Hier.AccessD(issue, rec.MemAddr, false)
+		o.Stats.Loads++
+	case isa.ClassStore:
+		issue := o.issueRing.reserve(o.storePorts.reserve(ready))
+		complete = o.Hier.AccessD(issue, rec.MemAddr, true)
+		o.storeDone[rec.MemAddr>>3] = complete
+		if len(o.storeDone) > 512 {
+			o.storeDone = map[uint64]uint64{} // bound the forwarding map
+		}
+		o.Stats.Stores++
+	case isa.ClassEcall, isa.ClassFence:
+		// Serializing: waits for every older instruction to commit.
+		if o.lastCommit+1 > ready {
+			ready = o.lastCommit + 1
+		}
+		issue := o.issueRing.reserve(ready)
+		complete = issue + o.Cfg.EcallLat
+		serialize = true
+	default:
+		issue := o.issueRing.reserve(ready)
+		complete = issue + 1
+	}
+
+	// --- Branch prediction / fetch redirects. ---
+	switch rec.Class {
+	case isa.ClassBranch, isa.ClassJump, isa.ClassCall, isa.ClassRet:
+		o.Stats.Branches++
+		if o.BP.Mispredicted(rec) {
+			o.Stats.Mispredicts++
+			o.bump(complete + o.Cfg.MispredictPenalty)
+			o.curFetchLine = 0 // refetch after redirect
+		}
+	case isa.ClassEcall:
+		// Trap entry redirects the front end.
+		o.bump(complete + o.Cfg.MispredictPenalty)
+		o.curFetchLine = 0
+	}
+
+	// --- Writeback: destination becomes ready. ---
+	if rec.Dst != isa.NoDep {
+		o.regReady[rec.Dst] = complete
+	}
+
+	// --- In-order commit with width limit. ---
+	ct := complete
+	if ct <= o.lastCommit {
+		ct = o.lastCommit
+	}
+	if ct == o.commitCycle {
+		o.commitsAtCycle++
+		if o.commitsAtCycle >= o.Cfg.CommitWidth {
+			ct++
+			o.commitCycle = ct
+			o.commitsAtCycle = 0
+		}
+	} else {
+		o.commitCycle = ct
+		o.commitsAtCycle = 1
+	}
+	o.lastCommit = ct
+	if serialize {
+		// Nothing younger may rename before a serializing op commits.
+		o.bump(ct)
+	}
+
+	// Record occupancy releases.
+	o.robRing[o.robHead] = ct
+	o.robHead = (o.robHead + 1) % len(o.robRing)
+	if isLoad {
+		o.loadRing[o.loadHead] = ct
+		o.loadHead = (o.loadHead + 1) % len(o.loadRing)
+	}
+	if isStore {
+		o.storeRing[o.storeHead] = ct
+		o.storeHead = (o.storeHead + 1) % len(o.storeRing)
+	}
+
+	o.Stats.Insts++
+	o.Stats.MicroOps += uint64(rec.MicroOps)
+	o.advanceFrontEnd()
+
+	if rec.Flags&isa.FlagSend != 0 {
+		o.coupler.post(rec.Seq, ct)
+	}
+	return ct, nil
+}
+
+// ResetStats begins a new stats window at the current commit time and
+// clears hierarchy and predictor counters.
+func (o *O3) ResetStats() {
+	o.Stats = WindowStats{StartCycle: o.lastCommit}
+	o.Hier.ResetStats()
+	o.BP.ResetStats()
+}
+
+// WindowCycles reports cycles elapsed in the current window.
+func (o *O3) WindowCycles() uint64 { return o.lastCommit - o.Stats.StartCycle }
+
+// ColdStart flushes all microarchitectural state (caches, TLBs, branch
+// predictor), modeling a gem5 restore into the detailed CPU.
+func (o *O3) ColdStart() {
+	o.Hier.Flush()
+	o.BP.Flush()
+	o.storeDone = map[uint64]uint64{}
+}

@@ -1,0 +1,123 @@
+package cpu
+
+import (
+	"testing"
+
+	"svbench/internal/isa"
+	"svbench/internal/mem"
+)
+
+// TestO3ROBStall: with a tiny ROB, a long-latency load must throttle the
+// independent work behind it; a large ROB hides it.
+func TestO3ROBStall(t *testing.T) {
+	run := func(robSize int) uint64 {
+		dram := mem.NewDRAM(mem.DRAMConfig{Latency: 400, BusCycle: 16})
+		h := mem.NewHierarchy(mem.DefaultHierConfig(), dram)
+		cfg := DefaultO3Config()
+		cfg.ROBSize = robSize
+		o := NewO3(cfg, h, NewCoupler())
+
+		var recs []isa.TraceRec
+		for i := 0; i < 64; i++ {
+			// One cold load followed by a burst of independent ALU ops.
+			ld := alu(0x1000, 2, isa.NoDep, isa.NoDep)
+			ld.Class = isa.ClassLoad
+			ld.MemAddr = 0x200000 + uint64(i)*4096 // always misses
+			ld.MemSize = 8
+			recs = append(recs, ld)
+			for k := 0; k < 32; k++ {
+				recs = append(recs, alu(0x1100+uint64(4*k), uint8(3+k%4), isa.NoDep, isa.NoDep))
+			}
+		}
+		retireAll(t, o, recs) // warm icache
+		o.ColdStart()         // but keep dcache misses: flush all
+		o.ResetStats()
+		retireAll(t, o, recs)
+		return o.WindowCycles()
+	}
+	small, big := run(8), run(192)
+	if big >= small {
+		t.Fatalf("ROB 192 (%d cycles) must beat ROB 8 (%d cycles)", big, small)
+	}
+	if float64(small)/float64(big) < 1.3 {
+		t.Fatalf("expected >=1.3x from ROB scaling, got %.2f", float64(small)/float64(big))
+	}
+}
+
+// TestO3LoadQueueStall: a burst of loads larger than the LQ must serialize
+// on queue occupancy.
+func TestO3LoadQueueStall(t *testing.T) {
+	run := func(lq int) uint64 {
+		dram := mem.NewDRAM(mem.DRAMConfig{Latency: 300, BusCycle: 4})
+		h := mem.NewHierarchy(mem.DefaultHierConfig(), dram)
+		cfg := DefaultO3Config()
+		cfg.LQSize = lq
+		o := NewO3(cfg, h, NewCoupler())
+		var recs []isa.TraceRec
+		for i := 0; i < 256; i++ {
+			ld := alu(0x1000+uint64(4*(i%16)), 2, isa.NoDep, isa.NoDep)
+			ld.Class = isa.ClassLoad
+			ld.MemAddr = 0x300000 + uint64(i)*4096
+			ld.MemSize = 8
+			recs = append(recs, ld)
+		}
+		retireAll(t, o, recs)
+		o.ColdStart()
+		o.ResetStats()
+		retireAll(t, o, recs)
+		return o.WindowCycles()
+	}
+	tiny, wide := run(2), run(32)
+	if wide >= tiny {
+		t.Fatalf("LQ 32 (%d) must beat LQ 2 (%d)", wide, tiny)
+	}
+}
+
+// TestCouplerDerivedChain: derived sequences resolve transitively even when
+// registered before the base commits.
+func TestCouplerDerivedChain(t *testing.T) {
+	c := NewCoupler()
+	c.Derive(1, 2, 100)
+	c.Derive(2, 3, 50)
+	if _, ok := c.ready(3); ok {
+		t.Fatal("derived seq ready before base")
+	}
+	c.post(1, 1000)
+	if tm, ok := c.ready(2); !ok || tm != 1100 {
+		t.Fatalf("seq2 = %d,%v", tm, ok)
+	}
+	if tm, ok := c.ready(3); !ok || tm != 1150 {
+		t.Fatalf("seq3 = %d,%v", tm, ok)
+	}
+	// Derivation after the base commits resolves immediately.
+	c.Derive(3, 4, 25)
+	if tm, ok := c.ready(4); !ok || tm != 1175 {
+		t.Fatalf("seq4 = %d,%v", tm, ok)
+	}
+}
+
+// TestO3EcallSerializes: an ecall cannot retire before older instructions
+// and stalls younger ones.
+func TestO3EcallSerializes(t *testing.T) {
+	o := newTestO3()
+	var recs []isa.TraceRec
+	for i := 0; i < 100; i++ {
+		recs = append(recs, alu(0x1000+uint64(4*i), 1, isa.NoDep, isa.NoDep))
+	}
+	ec := isa.TraceRec{PC: 0x2000, Size: 4, Class: isa.ClassEcall,
+		Src1: isa.NoDep, Src2: isa.NoDep, Dst: isa.NoDep, MicroOps: 1}
+	recs = append(recs, ec)
+	retireAll(t, o, recs)
+	o.ResetStats()
+	base := retireAll(t, o, recs[:100])
+	ct, err := o.Retire(&ec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct <= base {
+		t.Fatal("ecall committed before older instructions")
+	}
+	if ct < base+o.Cfg.EcallLat {
+		t.Fatalf("ecall latency not charged: %d vs %d", ct, base)
+	}
+}

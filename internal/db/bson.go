@@ -1,0 +1,124 @@
+package db
+
+import (
+	"fmt"
+	"sort"
+)
+
+// A minimal BSON-style document codec for the MongoDB model: a document is
+// an ordered element list of (type, name, value) with int64 and string
+// values, length-prefixed like BSON.
+
+// Doc is a document as a field map (encoded in sorted field order).
+type Doc map[string]any
+
+// Element type tags (BSON-compatible values).
+const (
+	bsonString byte = 0x02
+	bsonInt64  byte = 0x12
+)
+
+// MarshalDoc encodes a document.
+func MarshalDoc(d Doc) []byte {
+	names := make([]string, 0, len(d))
+	for k := range d {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	body := []byte{}
+	for _, name := range names {
+		switch v := d[name].(type) {
+		case int64:
+			body = append(body, bsonInt64)
+			body = append(body, name...)
+			body = append(body, 0)
+			for i := 0; i < 8; i++ {
+				body = append(body, byte(uint64(v)>>(8*i)))
+			}
+		case int:
+			return MarshalDoc(normalize(d))
+		case string:
+			body = append(body, bsonString)
+			body = append(body, name...)
+			body = append(body, 0)
+			n := uint32(len(v) + 1)
+			body = append(body, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+			body = append(body, v...)
+			body = append(body, 0)
+		default:
+			panic(fmt.Sprintf("db: unsupported BSON value %T", v))
+		}
+	}
+	total := uint32(len(body) + 5)
+	out := []byte{byte(total), byte(total >> 8), byte(total >> 16), byte(total >> 24)}
+	out = append(out, body...)
+	out = append(out, 0)
+	return out
+}
+
+func normalize(d Doc) Doc {
+	out := Doc{}
+	for k, v := range d {
+		if i, ok := v.(int); ok {
+			out[k] = int64(i)
+		} else {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// UnmarshalDoc decodes a document encoded by MarshalDoc.
+func UnmarshalDoc(b []byte) (Doc, error) {
+	if len(b) < 5 {
+		return nil, fmt.Errorf("db: document too short")
+	}
+	total := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	if int(total) != len(b) {
+		return nil, fmt.Errorf("db: document length %d does not match buffer %d", total, len(b))
+	}
+	if b[len(b)-1] != 0 {
+		return nil, fmt.Errorf("db: missing document terminator")
+	}
+	d := Doc{}
+	i := 4
+	for i < len(b)-1 {
+		typ := b[i]
+		i++
+		j := i
+		for j < len(b) && b[j] != 0 {
+			j++
+		}
+		if j >= len(b) {
+			return nil, fmt.Errorf("db: unterminated field name")
+		}
+		name := string(b[i:j])
+		i = j + 1
+		switch typ {
+		case bsonInt64:
+			if i+8 > len(b) {
+				return nil, fmt.Errorf("db: truncated int64 field %q", name)
+			}
+			var v uint64
+			for k := 0; k < 8; k++ {
+				v |= uint64(b[i+k]) << (8 * k)
+			}
+			d[name] = int64(v)
+			i += 8
+		case bsonString:
+			if i+4 > len(b) {
+				return nil, fmt.Errorf("db: truncated string header %q", name)
+			}
+			n := int(uint32(b[i]) | uint32(b[i+1])<<8 | uint32(b[i+2])<<16 | uint32(b[i+3])<<24)
+			i += 4
+			if n < 1 || i+n > len(b) {
+				return nil, fmt.Errorf("db: bad string length %d for %q", n, name)
+			}
+			d[name] = string(b[i : i+n-1])
+			i += n
+		default:
+			return nil, fmt.Errorf("db: unknown element type %#x", typ)
+		}
+	}
+	return d, nil
+}

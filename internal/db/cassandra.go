@@ -1,0 +1,241 @@
+package db
+
+import (
+	"sort"
+	"strings"
+)
+
+// CassandraConfig tunes the LSM engine, mirroring the knobs the thesis
+// experimented with when fighting Cassandra's boot time (heap size, token
+// count — §3.3.3.2).
+type CassandraConfig struct {
+	MemtableLimit int // bytes before a flush
+	LevelFanout   int // sstables per level before compaction
+	RowCacheCap   int // entries
+	NumTokens     int // token-ring size (drives boot cost)
+	HeapMB        int
+}
+
+// DefaultCassandraConfig returns the tuned configuration.
+func DefaultCassandraConfig() CassandraConfig {
+	return CassandraConfig{
+		MemtableLimit: 16 << 10,
+		LevelFanout:   4,
+		RowCacheCap:   256,
+		NumTokens:     256,
+		HeapMB:        512,
+	}
+}
+
+// CassandraStats counts engine events.
+type CassandraStats struct {
+	Reads, Writes  uint64
+	MemtableHits   uint64
+	RowCacheHits   uint64
+	SSTablesProbed uint64
+	Flushes        uint64
+	Compactions    uint64
+}
+
+type sstable struct {
+	keys []string // sorted
+	vals [][]byte
+}
+
+func (s *sstable) get(key string) ([]byte, bool) {
+	i := sort.SearchStrings(s.keys, key)
+	if i < len(s.keys) && s.keys[i] == key {
+		return s.vals[i], true
+	}
+	return nil, false
+}
+
+// Cassandra is the LSM-tree engine: writes land in a sorted memtable that
+// flushes to immutable SSTables; reads probe memtable, row cache, then
+// SSTables newest-first; compaction merges tables when a level overflows.
+type Cassandra struct {
+	cfg      CassandraConfig
+	mem      map[string][]byte
+	memBytes int
+	tables   []*sstable // newest first
+	rowCache map[string][]byte
+	rcOrder  []string
+	Stats    CassandraStats
+	booted   bool
+}
+
+// NewCassandra creates an engine with cfg (zero value fields take
+// defaults).
+func NewCassandra(cfg CassandraConfig) *Cassandra {
+	def := DefaultCassandraConfig()
+	if cfg.MemtableLimit == 0 {
+		cfg.MemtableLimit = def.MemtableLimit
+	}
+	if cfg.LevelFanout == 0 {
+		cfg.LevelFanout = def.LevelFanout
+	}
+	if cfg.RowCacheCap == 0 {
+		cfg.RowCacheCap = def.RowCacheCap
+	}
+	if cfg.NumTokens == 0 {
+		cfg.NumTokens = def.NumTokens
+	}
+	if cfg.HeapMB == 0 {
+		cfg.HeapMB = def.HeapMB
+	}
+	return &Cassandra{
+		cfg:      cfg,
+		mem:      map[string][]byte{},
+		rowCache: map[string][]byte{},
+	}
+}
+
+// Name identifies the engine.
+func (c *Cassandra) Name() string { return "cassandra" }
+
+// Boot performs the token-ring/gossip initialization and returns its
+// virtual cycle cost. The thesis measured Cassandra boots of ~17 minutes
+// in its RISC-V VM versus seconds for MongoDB; the cost model scales with
+// NumTokens and HeapMB so that asymmetry is reproducible.
+func (c *Cassandra) Boot() uint64 {
+	c.booted = true
+	return uint64(c.cfg.NumTokens)*120_000 + uint64(c.cfg.HeapMB)*8_000
+}
+
+func nskey(table, key string) string { return table + "\x00" + key }
+
+// Put stores val, flushing the memtable when it overflows.
+func (c *Cassandra) Put(table, key string, val []byte) {
+	c.Stats.Writes++
+	k := nskey(table, key)
+	old, had := c.mem[k]
+	c.mem[k] = append([]byte(nil), val...)
+	c.memBytes += len(k) + len(val)
+	if had {
+		c.memBytes -= len(k) + len(old)
+	}
+	delete(c.rowCache, k)
+	if c.memBytes >= c.cfg.MemtableLimit {
+		c.flush()
+	}
+}
+
+func (c *Cassandra) flush() {
+	if len(c.mem) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(c.mem))
+	for k := range c.mem {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	t := &sstable{keys: keys}
+	for _, k := range keys {
+		t.vals = append(t.vals, c.mem[k])
+	}
+	c.tables = append([]*sstable{t}, c.tables...)
+	c.mem = map[string][]byte{}
+	c.memBytes = 0
+	c.Stats.Flushes++
+	if len(c.tables) > c.cfg.LevelFanout {
+		c.compact()
+	}
+}
+
+// compact merges all SSTables into one (newest value wins).
+func (c *Cassandra) compact() {
+	merged := map[string][]byte{}
+	for i := len(c.tables) - 1; i >= 0; i-- {
+		t := c.tables[i]
+		for j, k := range t.keys {
+			merged[k] = t.vals[j]
+		}
+	}
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	t := &sstable{keys: keys}
+	for _, k := range keys {
+		t.vals = append(t.vals, merged[k])
+	}
+	c.tables = []*sstable{t}
+	c.Stats.Compactions++
+}
+
+// Get probes memtable, row cache, then SSTables newest-first. probed
+// reports how many SSTables were touched (the read-amplification signal
+// the cost model charges for).
+func (c *Cassandra) GetProbed(table, key string) (val []byte, ok bool, probed int) {
+	c.Stats.Reads++
+	k := nskey(table, key)
+	if v, hit := c.mem[k]; hit {
+		c.Stats.MemtableHits++
+		return v, true, 0
+	}
+	if v, hit := c.rowCache[k]; hit {
+		c.Stats.RowCacheHits++
+		return v, true, 0
+	}
+	for _, t := range c.tables {
+		probed++
+		c.Stats.SSTablesProbed++
+		if v, hit := t.get(k); hit {
+			c.cacheRow(k, v)
+			return v, true, probed
+		}
+	}
+	return nil, false, probed
+}
+
+// Get implements Store.
+func (c *Cassandra) Get(table, key string) ([]byte, bool) {
+	v, ok, _ := c.GetProbed(table, key)
+	return v, ok
+}
+
+func (c *Cassandra) cacheRow(k string, v []byte) {
+	if len(c.rowCache) >= c.cfg.RowCacheCap && c.cfg.RowCacheCap > 0 {
+		victim := c.rcOrder[0]
+		c.rcOrder = c.rcOrder[1:]
+		delete(c.rowCache, victim)
+	}
+	c.rowCache[k] = v
+	c.rcOrder = append(c.rcOrder, k)
+}
+
+// Scan merges memtable and SSTables in key order.
+func (c *Cassandra) Scan(table, prefix string, limit int) []Pair {
+	pfx := nskey(table, prefix)
+	merged := map[string][]byte{}
+	for i := len(c.tables) - 1; i >= 0; i-- {
+		t := c.tables[i]
+		start := sort.SearchStrings(t.keys, pfx)
+		for j := start; j < len(t.keys) && strings.HasPrefix(t.keys[j], pfx); j++ {
+			merged[t.keys[j]] = t.vals[j]
+		}
+	}
+	for k, v := range c.mem {
+		if strings.HasPrefix(k, pfx) {
+			merged[k] = v
+		}
+	}
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if limit > 0 && len(keys) > limit {
+		keys = keys[:limit]
+	}
+	out := make([]Pair, 0, len(keys))
+	ns := nskey(table, "")
+	for _, k := range keys {
+		out = append(out, Pair{Key: strings.TrimPrefix(k, ns), Val: merged[k]})
+	}
+	return out
+}
+
+// SSTableCount reports the current number of SSTables.
+func (c *Cassandra) SSTableCount() int { return len(c.tables) }

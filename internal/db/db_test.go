@@ -1,0 +1,293 @@
+package db
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"svbench/internal/rpc"
+)
+
+// TestLSMMatchesMap property-checks the Cassandra engine against a plain
+// map under random operation sequences, forcing flushes and compactions
+// with a tiny memtable.
+func TestLSMMatchesMap(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	f := func() bool {
+		c := NewCassandra(CassandraConfig{MemtableLimit: 256, LevelFanout: 3})
+		ref := map[string][]byte{}
+		for op := 0; op < 600; op++ {
+			key := fmt.Sprintf("k%03d", rnd.Intn(80))
+			if rnd.Intn(3) > 0 {
+				val := make([]byte, rnd.Intn(24)+1)
+				rnd.Read(val)
+				c.Put("t", key, val)
+				ref["t\x00"+key] = append([]byte(nil), val...)
+			} else {
+				got, ok := c.Get("t", key)
+				want, wok := ref["t\x00"+key]
+				if ok != wok || (ok && !reflect.DeepEqual(got, want)) {
+					t.Logf("op %d key %s: got (%x,%v) want (%x,%v)", op, key, got, ok, want, wok)
+					return false
+				}
+			}
+		}
+		if c.Stats.Flushes == 0 || c.Stats.Compactions == 0 {
+			t.Logf("expected flushes and compactions: %+v", c.Stats)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCassandraScan(t *testing.T) {
+	c := NewCassandra(CassandraConfig{MemtableLimit: 128})
+	for i := 0; i < 30; i++ {
+		c.Put("hotels", fmt.Sprintf("h%02d", i), []byte(fmt.Sprintf("hotel-%d", i)))
+	}
+	c.Put("rates", "h00", []byte("unrelated"))
+	got := c.Scan("hotels", "h0", 5)
+	if len(got) != 5 {
+		t.Fatalf("scan returned %d pairs, want 5", len(got))
+	}
+	for i, p := range got {
+		if p.Key != fmt.Sprintf("h%02d", i) {
+			t.Fatalf("pair %d key %q", i, p.Key)
+		}
+	}
+	if all := c.Scan("hotels", "", 0); len(all) != 30 {
+		t.Fatalf("full scan returned %d", len(all))
+	}
+}
+
+func TestCassandraRowCacheWarming(t *testing.T) {
+	c := NewCassandra(CassandraConfig{MemtableLimit: 64})
+	for i := 0; i < 50; i++ {
+		c.Put("t", fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	// Cold read probes SSTables, warm read hits the row cache.
+	_, ok, probed1 := c.GetProbed("t", "k3")
+	if !ok {
+		t.Fatal("k3 missing")
+	}
+	_, _, probed2 := c.GetProbed("t", "k3")
+	if probed1 == 0 {
+		t.Fatal("cold read should probe SSTables")
+	}
+	if probed2 != 0 {
+		t.Fatalf("warm read probed %d SSTables, want 0 (row cache)", probed2)
+	}
+}
+
+func TestBtreeMatchesMap(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	f := func() bool {
+		m := NewMongo()
+		ref := map[string][]byte{}
+		for op := 0; op < 800; op++ {
+			key := fmt.Sprintf("doc%03d", rnd.Intn(150))
+			if rnd.Intn(3) > 0 {
+				val := MarshalDoc(Doc{"i": int64(op), "s": key})
+				m.Put("c", key, val)
+				ref[key] = val
+			} else {
+				got, ok := m.Get("c", key)
+				want, wok := ref[key]
+				if ok != wok || (ok && !reflect.DeepEqual(got, want)) {
+					return false
+				}
+			}
+		}
+		// Ordered scan equals sorted ref keys.
+		scan := m.Scan("c", "doc", 0)
+		if len(scan) != len(ref) {
+			t.Logf("scan %d != ref %d", len(scan), len(ref))
+			return false
+		}
+		for i := 1; i < len(scan); i++ {
+			if scan[i-1].Key >= scan[i].Key {
+				t.Logf("scan out of order at %d", i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBSONRoundTrip(t *testing.T) {
+	rnd := rand.New(rand.NewSource(9))
+	f := func() bool {
+		d := Doc{}
+		for i := 0; i < rnd.Intn(8)+1; i++ {
+			name := fmt.Sprintf("f%d", i)
+			if rnd.Intn(2) == 0 {
+				d[name] = rnd.Int63()
+			} else {
+				b := make([]byte, rnd.Intn(40))
+				for j := range b {
+					b[j] = byte('a' + rnd.Intn(26))
+				}
+				d[name] = string(b)
+			}
+		}
+		enc := MarshalDoc(d)
+		back, err := UnmarshalDoc(enc)
+		if err != nil {
+			t.Logf("unmarshal: %v", err)
+			return false
+		}
+		return reflect.DeepEqual(d, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBSONRejectsGarbage(t *testing.T) {
+	rnd := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		b := make([]byte, rnd.Intn(40))
+		rnd.Read(b)
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("UnmarshalDoc(%x) panicked: %v", b, p)
+				}
+			}()
+			_, _ = UnmarshalDoc(b)
+		}()
+	}
+	// Truncating a valid doc must error, not panic.
+	enc := MarshalDoc(Doc{"a": int64(1), "b": "hello"})
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := UnmarshalDoc(enc[:cut]); err == nil {
+			t.Fatalf("truncated doc at %d accepted", cut)
+		}
+	}
+}
+
+func TestMemcachedLRUEviction(t *testing.T) {
+	mc := NewMemcached(MemcachedConfig{CapacityBytes: 400, Shards: 1})
+	for i := 0; i < 20; i++ {
+		mc.Put("t", fmt.Sprintf("k%02d", i), make([]byte, 32))
+	}
+	if mc.Stats.Evictions == 0 {
+		t.Fatal("expected evictions")
+	}
+	if _, ok := mc.Get("t", "k00"); ok {
+		t.Fatal("oldest entry should be evicted")
+	}
+	if _, ok := mc.Get("t", "k19"); !ok {
+		t.Fatal("newest entry should survive")
+	}
+}
+
+func TestMariaDBRows(t *testing.T) {
+	m := NewMariaDB()
+	m.CreateTable("users", "id", "name", "email")
+	if err := m.InsertRow("users", "u1", "Ada", "ada@example.com"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InsertRow("users", "u2", "Grace"); err == nil {
+		t.Fatal("column count mismatch accepted")
+	}
+	row, ok := m.SelectByPK("users", "u1")
+	if !ok || row[1] != "Ada" {
+		t.Fatalf("row = %v ok=%v", row, ok)
+	}
+	if _, ok := m.SelectByPK("users", "nope"); ok {
+		t.Fatal("phantom row")
+	}
+}
+
+func TestServiceProtocol(t *testing.T) {
+	for _, store := range []Store{
+		NewCassandra(CassandraConfig{}), NewMongo(), NewMemcached(MemcachedConfig{}), NewMariaDB(),
+	} {
+		svc := NewService(store)
+		// PUT
+		w := rpc.NewWriter()
+		w.PutInt(OpPut)
+		w.PutString("t")
+		w.PutString("key1")
+		w.PutBytes([]byte("value-1"))
+		resp, cycles := svc.Handle(w.Bytes())
+		if cycles == 0 {
+			t.Fatalf("%s: put cost zero", store.Name())
+		}
+		r := rpc.NewReader(resp)
+		if st, _ := r.Int(); st != StatusOK {
+			t.Fatalf("%s: put status %d", store.Name(), st)
+		}
+		// GET hit
+		w = rpc.NewWriter()
+		w.PutInt(OpGet)
+		w.PutString("t")
+		w.PutString("key1")
+		resp, _ = svc.Handle(w.Bytes())
+		r = rpc.NewReader(resp)
+		st, _ := r.Int()
+		if st != StatusOK {
+			t.Fatalf("%s: get status %d", store.Name(), st)
+		}
+		val, err := r.Bytes()
+		if err != nil || string(val) != "value-1" {
+			t.Fatalf("%s: get value %q err %v", store.Name(), val, err)
+		}
+		// GET miss
+		w = rpc.NewWriter()
+		w.PutInt(OpGet)
+		w.PutString("t")
+		w.PutString("absent")
+		resp, _ = svc.Handle(w.Bytes())
+		r = rpc.NewReader(resp)
+		if st, _ := r.Int(); st != StatusNotFound {
+			t.Fatalf("%s: miss status %d", store.Name(), st)
+		}
+		// Garbage request
+		resp, _ = svc.Handle([]byte{0xFF, 0xFF})
+		r = rpc.NewReader(resp)
+		if st, _ := r.Int(); st != StatusBadReq {
+			t.Fatalf("%s: garbage status %d", store.Name(), st)
+		}
+	}
+}
+
+func TestBootCostOrdering(t *testing.T) {
+	cass := NewCassandra(CassandraConfig{})
+	mongo := NewMongo()
+	mc := NewMemcached(MemcachedConfig{})
+	maria := NewMariaDB()
+	if cass.Boot() <= mongo.Boot() {
+		t.Fatal("cassandra must boot slower than mongodb (§3.3.3)")
+	}
+	if mongo.Boot() <= mc.Boot() {
+		t.Fatal("mongodb must boot slower than memcached")
+	}
+	if cass.Boot() <= maria.Boot() {
+		t.Fatal("cassandra must boot slower than mariadb")
+	}
+}
+
+func TestCassandraCompactionUnderChurn(t *testing.T) {
+	c := NewCassandra(CassandraConfig{MemtableLimit: 128, LevelFanout: 2})
+	for i := 0; i < 2000; i++ {
+		c.Put("t", fmt.Sprintf("k%d", i%40), []byte(fmt.Sprintf("v%d", i)))
+	}
+	if c.SSTableCount() > 3 {
+		t.Fatalf("compaction failed to bound SSTables: %d", c.SSTableCount())
+	}
+	// Latest value wins after heavy churn.
+	v, ok := c.Get("t", "k39")
+	if !ok || string(v) != "v1999" {
+		t.Fatalf("k39 = %q ok=%v, want v1999", v, ok)
+	}
+}

@@ -1,0 +1,49 @@
+// Package db implements the datastore substrates the Hotel application
+// depends on, as working in-memory engines: a Cassandra model (LSM tree
+// with memtable, SSTable flushes, leveled compaction, row cache and a slow
+// token-ring boot — §3.3.3), a MongoDB model (BSON-style documents over a
+// B-tree primary index), a Memcached model (sharded LRU cache) and a
+// MariaDB model (relational rows with a primary-key index). Engines attach
+// to the simulated machine as native services on the unmeasured core; a
+// per-engine cost model charges virtual service cycles.
+package db
+
+// Pair is one key/value result.
+type Pair struct {
+	Key string
+	Val []byte
+}
+
+// Store is the common key-value surface the wire service exposes.
+type Store interface {
+	// Get returns the value for key in table.
+	Get(table, key string) ([]byte, bool)
+	// Put stores val under key in table.
+	Put(table, key string, val []byte)
+	// Scan returns up to limit pairs whose key has the given prefix, in
+	// key order.
+	Scan(table, prefix string, limit int) []Pair
+	// Name identifies the engine ("cassandra", "mongodb", ...).
+	Name() string
+}
+
+// CostModel converts an operation into virtual service cycles, standing in
+// for the database's processing time on the unmeasured core.
+type CostModel struct {
+	GetBase, PutBase, ScanBase uint64
+	PerByte                    uint64
+	PerExtra                   uint64 // per SSTable probed / index node visited
+	PerRow                     uint64 // per row returned by a scan
+}
+
+func (c CostModel) get(bytes, extra int) uint64 {
+	return c.GetBase + c.PerByte*uint64(bytes) + c.PerExtra*uint64(extra)
+}
+
+func (c CostModel) put(bytes int) uint64 {
+	return c.PutBase + c.PerByte*uint64(bytes)
+}
+
+func (c CostModel) scan(bytes, rows int) uint64 {
+	return c.ScanBase + c.PerByte*uint64(bytes) + c.PerRow*uint64(rows)
+}

@@ -1,0 +1,110 @@
+package db
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MariaDB is the relational model the thesis evaluated as a MongoDB
+// alternative before settling on Cassandra (§3.3.3.2): tables of typed
+// rows with a B-tree primary-key index. The Store interface maps onto it
+// as single-column rows so the same wire service can drive it.
+type MariaDB struct {
+	tables map[string]*sqlTable
+	Stats  MongoStats // same shape: reads/writes/nodes
+}
+
+type sqlTable struct {
+	columns []string
+	index   *btree // pk -> encoded row
+}
+
+// NewMariaDB creates an empty instance.
+func NewMariaDB() *MariaDB {
+	return &MariaDB{tables: map[string]*sqlTable{}}
+}
+
+// Name identifies the engine.
+func (m *MariaDB) Name() string { return "mariadb" }
+
+// Boot returns the startup cost (minutes-scale under emulation per the
+// thesis, far below Cassandra's).
+func (m *MariaDB) Boot() uint64 { return 2_500_000 }
+
+// CreateTable declares a table schema.
+func (m *MariaDB) CreateTable(name string, columns ...string) {
+	m.tables[name] = &sqlTable{columns: columns, index: newBtree()}
+}
+
+func (m *MariaDB) table(name string) *sqlTable {
+	t, ok := m.tables[name]
+	if !ok {
+		t = &sqlTable{columns: []string{"pk", "val"}, index: newBtree()}
+		m.tables[name] = t
+	}
+	return t
+}
+
+// InsertRow stores a row keyed by its first column value.
+func (m *MariaDB) InsertRow(table string, values ...string) error {
+	t := m.table(table)
+	if len(values) != len(t.columns) {
+		return fmt.Errorf("db: %s expects %d columns, got %d", table, len(t.columns), len(values))
+	}
+	m.Stats.Writes++
+	t.index.insert(values[0], []byte(strings.Join(values, "\x1F")))
+	return nil
+}
+
+// SelectByPK fetches a row by primary key.
+func (m *MariaDB) SelectByPK(table, pk string) ([]string, bool) {
+	t := m.table(table)
+	m.Stats.Reads++
+	v, ok, visited := t.index.search(pk)
+	m.Stats.NodesVisited += uint64(visited)
+	if !ok {
+		return nil, false
+	}
+	return strings.Split(string(v), "\x1F"), true
+}
+
+// Get implements Store: the row's value columns (the primary key column
+// is implied by the lookup).
+func (m *MariaDB) Get(table, key string) ([]byte, bool) {
+	row, ok := m.SelectByPK(table, key)
+	if !ok {
+		return nil, false
+	}
+	return []byte(strings.Join(row[1:], "\x1F")), true
+}
+
+// Put implements Store as a two-column upsert.
+func (m *MariaDB) Put(table, key string, val []byte) {
+	t := m.table(table)
+	m.Stats.Writes++
+	t.index.insert(key, []byte(key+"\x1F"+string(val)))
+}
+
+// Scan walks the primary index over a key prefix.
+func (m *MariaDB) Scan(table, prefix string, limit int) []Pair {
+	t := m.table(table)
+	var out []Pair
+	t.index.root.walk(func(k string, v []byte) bool {
+		switch {
+		case strings.HasPrefix(k, prefix):
+			parts := strings.SplitN(string(v), "\x1F", 2)
+			val := v
+			if len(parts) == 2 {
+				val = []byte(parts[1])
+			}
+			out = append(out, Pair{Key: k, Val: val})
+			if limit > 0 && len(out) >= limit {
+				return false
+			}
+		case k > prefix:
+			return false
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,109 @@
+package db
+
+import "container/list"
+
+// MemcachedConfig sizes the cache.
+type MemcachedConfig struct {
+	CapacityBytes int
+	Shards        int
+}
+
+// MemcachedStats counts cache events.
+type MemcachedStats struct {
+	Gets, Hits, Misses, Sets, Evictions uint64
+}
+
+type mcEntry struct {
+	key string
+	val []byte
+}
+
+type mcShard struct {
+	items map[string]*list.Element
+	lru   *list.List
+	bytes int
+	cap   int
+}
+
+// Memcached is the sharded LRU cache model backing the Hotel application's
+// rate/profile/reservation functions.
+type Memcached struct {
+	shards []*mcShard
+	Stats  MemcachedStats
+}
+
+// NewMemcached builds a cache (zero config takes 1 MiB over 4 shards).
+func NewMemcached(cfg MemcachedConfig) *Memcached {
+	if cfg.CapacityBytes == 0 {
+		cfg.CapacityBytes = 1 << 20
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 4
+	}
+	m := &Memcached{}
+	per := cfg.CapacityBytes / cfg.Shards
+	for i := 0; i < cfg.Shards; i++ {
+		m.shards = append(m.shards, &mcShard{
+			items: map[string]*list.Element{},
+			lru:   list.New(),
+			cap:   per,
+		})
+	}
+	return m
+}
+
+// Name identifies the engine.
+func (m *Memcached) Name() string { return "memcached" }
+
+// Boot returns the (fast) startup cost.
+func (m *Memcached) Boot() uint64 { return 400_000 }
+
+func (m *Memcached) shard(key string) *mcShard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return m.shards[h%uint64(len(m.shards))]
+}
+
+// Get implements Store.
+func (m *Memcached) Get(table, key string) ([]byte, bool) {
+	m.Stats.Gets++
+	s := m.shard(table + key)
+	if e, ok := s.items[table+"\x00"+key]; ok {
+		s.lru.MoveToFront(e)
+		m.Stats.Hits++
+		return e.Value.(*mcEntry).val, true
+	}
+	m.Stats.Misses++
+	return nil, false
+}
+
+// Put implements Store (memcached SET semantics with LRU eviction).
+func (m *Memcached) Put(table, key string, val []byte) {
+	m.Stats.Sets++
+	s := m.shard(table + key)
+	k := table + "\x00" + key
+	if e, ok := s.items[k]; ok {
+		old := e.Value.(*mcEntry)
+		s.bytes += len(val) - len(old.val)
+		old.val = append([]byte(nil), val...)
+		s.lru.MoveToFront(e)
+	} else {
+		ent := &mcEntry{key: k, val: append([]byte(nil), val...)}
+		s.items[k] = s.lru.PushFront(ent)
+		s.bytes += len(k) + len(val)
+	}
+	for s.bytes > s.cap && s.lru.Len() > 0 {
+		tail := s.lru.Back()
+		ent := tail.Value.(*mcEntry)
+		s.lru.Remove(tail)
+		delete(s.items, ent.key)
+		s.bytes -= len(ent.key) + len(ent.val)
+		m.Stats.Evictions++
+	}
+}
+
+// Scan is unsupported on memcached; it returns nothing.
+func (m *Memcached) Scan(table, prefix string, limit int) []Pair { return nil }

@@ -1,0 +1,137 @@
+package db
+
+import (
+	"svbench/internal/rpc"
+)
+
+// Wire operations of the store service protocol (the CQL/wire-protocol
+// stand-in the simulated client stubs speak).
+const (
+	OpGet  = 0
+	OpPut  = 1
+	OpScan = 2
+)
+
+// Status codes.
+const (
+	StatusOK       = 0
+	StatusNotFound = 1
+	StatusBadReq   = 2
+)
+
+// Service adapts a Store to the kernel's native-service interface: it
+// decodes requests from simulated memory, executes them on the engine, and
+// charges virtual cycles per the engine's cost model.
+type Service struct {
+	Store Store
+	Cost  CostModel
+	// Requests counts wire operations served.
+	Requests uint64
+}
+
+// DefaultCost returns the per-engine service-time model. Cassandra's read
+// path (JVM, SSTable probing) is substantially heavier than Memcached's;
+// MongoDB sits between — matching the relative behaviour in §3.3.3 and
+// Fig. 4.20.
+func DefaultCost(engine string) CostModel {
+	switch engine {
+	case "cassandra":
+		return CostModel{GetBase: 4200, PutBase: 9500, ScanBase: 9000,
+			PerByte: 12, PerExtra: 3200, PerRow: 320}
+	case "mongodb":
+		return CostModel{GetBase: 2600, PutBase: 4200, ScanBase: 5200,
+			PerByte: 8, PerExtra: 260, PerRow: 210}
+	case "mariadb":
+		return CostModel{GetBase: 3000, PutBase: 5200, ScanBase: 6200,
+			PerByte: 9, PerExtra: 280, PerRow: 230}
+	case "memcached":
+		return CostModel{GetBase: 850, PutBase: 1050, ScanBase: 1400, PerByte: 2}
+	default:
+		return CostModel{GetBase: 4000, PutBase: 5000, ScanBase: 6000,
+			PerByte: 8, PerExtra: 200, PerRow: 200}
+	}
+}
+
+// NewService wraps an engine with its default cost model.
+func NewService(s Store) *Service {
+	return &Service{Store: s, Cost: DefaultCost(s.Name())}
+}
+
+func badRequest() ([]byte, uint64) {
+	w := rpc.NewWriter()
+	w.PutInt(StatusBadReq)
+	return w.Bytes(), 500
+}
+
+// Handle implements kernel.Service.
+func (s *Service) Handle(req []byte) ([]byte, uint64) {
+	s.Requests++
+	r := rpc.NewReader(req)
+	op, err := r.Int()
+	if err != nil {
+		return badRequest()
+	}
+	table, err := r.String()
+	if err != nil {
+		return badRequest()
+	}
+	switch op {
+	case OpGet:
+		key, err := r.String()
+		if err != nil {
+			return badRequest()
+		}
+		extra := 0
+		var val []byte
+		var ok bool
+		switch e := s.Store.(type) {
+		case *Cassandra:
+			val, ok, extra = e.GetProbed(table, key)
+		case *Mongo:
+			val, ok, extra = e.GetVisited(table, key)
+		default:
+			val, ok = s.Store.Get(table, key)
+		}
+		w := rpc.NewWriter()
+		if !ok {
+			w.PutInt(StatusNotFound)
+			return w.Bytes(), s.Cost.get(0, extra)
+		}
+		w.PutInt(StatusOK)
+		w.PutBytes(val)
+		return w.Bytes(), s.Cost.get(len(val), extra)
+	case OpPut:
+		key, err := r.String()
+		if err != nil {
+			return badRequest()
+		}
+		val, err := r.Bytes()
+		if err != nil {
+			return badRequest()
+		}
+		s.Store.Put(table, key, val)
+		w := rpc.NewWriter()
+		w.PutInt(StatusOK)
+		return w.Bytes(), s.Cost.put(len(val))
+	case OpScan:
+		prefix, err := r.String()
+		if err != nil {
+			return badRequest()
+		}
+		limit, err := r.Int()
+		if err != nil {
+			return badRequest()
+		}
+		pairs := s.Store.Scan(table, prefix, int(limit))
+		w := rpc.NewWriter()
+		w.PutInt(StatusOK)
+		w.PutInt(uint64(len(pairs)))
+		bytes := 0
+		for _, p := range pairs {
+			w.PutBytes(p.Val)
+			bytes += len(p.Val)
+		}
+		return w.Bytes(), s.Cost.scan(bytes, len(pairs))
+	}
+	return badRequest()
+}

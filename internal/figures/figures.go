@@ -1,0 +1,321 @@
+// Package figures regenerates every figure and table of the thesis's
+// evaluation section (§4.2) from the simulated infrastructure: it sweeps
+// the experiment catalog across both ISAs once, then projects the results
+// into the per-figure series. See DESIGN.md §3 for the experiment index.
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"svbench/internal/gemsys"
+	"svbench/internal/harness"
+	"svbench/internal/isa"
+	"svbench/internal/qemu"
+	"svbench/internal/stats"
+)
+
+// Data is one figure's or table's rows.
+type Data struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    []Row
+}
+
+// Row is one labeled series entry.
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// Markdown renders the data as a GitHub table.
+func (d Data) Markdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### %s — %s\n\n", d.ID, d.Title)
+	sb.WriteString("| " + strings.Join(append([]string{"benchmark"}, d.Columns...), " | ") + " |\n")
+	sb.WriteString(strings.Repeat("|---", len(d.Columns)+1) + "|\n")
+	for _, r := range d.Rows {
+		cells := []string{r.Label}
+		for _, v := range r.Values {
+			if v == float64(int64(v)) {
+				cells = append(cells, fmt.Sprintf("%.0f", v))
+			} else {
+				cells = append(cells, fmt.Sprintf("%.2f", v))
+			}
+		}
+		sb.WriteString("| " + strings.Join(cells, " | ") + " |\n")
+	}
+	return sb.String()
+}
+
+// CSV renders the data as comma-separated rows.
+func (d Data) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("benchmark," + strings.Join(d.Columns, ",") + "\n")
+	for _, r := range d.Rows {
+		cells := []string{r.Label}
+		for _, v := range r.Values {
+			cells = append(cells, fmt.Sprintf("%g", v))
+		}
+		sb.WriteString(strings.Join(cells, ",") + "\n")
+	}
+	return sb.String()
+}
+
+// Results caches one full sweep: every spec on every ISA.
+type Results struct {
+	// Standalone and shop results by arch then spec name.
+	Fn map[isa.Arch]map[string]*harness.Result
+	// Hotel results by arch then function name.
+	Hotel map[isa.Arch]map[string]*harness.Result
+}
+
+// Collect runs the complete sweep. Progress (one line per experiment) is
+// reported through log, which may be nil.
+func Collect(log func(string)) (*Results, error) {
+	say := func(f string, args ...any) {
+		if log != nil {
+			log(fmt.Sprintf(f, args...))
+		}
+	}
+	res := &Results{
+		Fn:    map[isa.Arch]map[string]*harness.Result{},
+		Hotel: map[isa.Arch]map[string]*harness.Result{},
+	}
+	specs := append(harness.StandaloneSpecs(), harness.ShopSpecs()...)
+	for _, arch := range []isa.Arch{isa.RV64, isa.CISC64} {
+		res.Fn[arch] = map[string]*harness.Result{}
+		for _, sp := range specs {
+			r, err := harness.Run(arch, sp)
+			if err != nil {
+				return nil, fmt.Errorf("figures: %s/%s: %w", arch, sp.Name, err)
+			}
+			res.Fn[arch][sp.Name] = r
+			say("%s %-24s cold=%-9d warm=%d", arch, sp.Name, r.Cold.Cycles, r.Warm.Cycles)
+		}
+		res.Hotel[arch] = map[string]*harness.Result{}
+		for _, sp := range harness.HotelSpecs(harness.EngineCassandra) {
+			r, err := harness.Run(arch, sp)
+			if err != nil {
+				return nil, fmt.Errorf("figures: %s/hotel-%s: %w", arch, sp.Name, err)
+			}
+			res.Hotel[arch][sp.Name] = r
+			say("%s hotel/%-17s cold=%-9d warm=%d", arch, sp.Name, r.Cold.Cycles, r.Warm.Cycles)
+		}
+	}
+	return res, nil
+}
+
+// FnOrder is the standalone+shop presentation order of the figures.
+var FnOrder = []string{
+	"fibonacci-go", "fibonacci-python", "fibonacci-nodejs",
+	"aes-go", "aes-python", "aes-nodejs",
+	"auth-go", "auth-python", "auth-nodejs",
+	"productcatalog-go", "shipping-go",
+	"recommendation-python", "emailservice-python",
+	"currency-nodejs", "payment-nodejs",
+}
+
+// HotelOrder is the hotel presentation order.
+var HotelOrder = []string{"geo", "recommendation", "user", "reservation", "rate", "profile"}
+
+// GoFnOrder lists the Go functions of Figs. 4.10/4.11.
+var GoFnOrder = []string{
+	"fibonacci-go", "aes-go", "auth-go", "productcatalog-go", "shipping-go",
+	"geo", "recommendation", "user", "reservation", "rate", "profile",
+}
+
+func (r *Results) fn(arch isa.Arch, name string) *harness.Result {
+	if res, ok := r.Fn[arch][name]; ok {
+		return res
+	}
+	return r.Hotel[arch][name]
+}
+
+func (r *Results) project(id, title string, names []string, cols []string,
+	get func(*harness.Result) []float64, arches ...isa.Arch) Data {
+	d := Data{ID: id, Title: title, Columns: cols}
+	for _, n := range names {
+		var vals []float64
+		for _, a := range arches {
+			vals = append(vals, get(r.fn(a, n))...)
+		}
+		d.Rows = append(d.Rows, Row{Label: n, Values: vals})
+	}
+	return d
+}
+
+func coldWarm(f func(stats.CoreStats) float64) func(*harness.Result) []float64 {
+	return func(r *harness.Result) []float64 {
+		return []float64{f(r.Cold), f(r.Warm)}
+	}
+}
+
+func cycles(s stats.CoreStats) float64 { return float64(s.Cycles) }
+func insts(s stats.CoreStats) float64  { return float64(s.Insts) }
+func l1i(s stats.CoreStats) float64    { return float64(s.L1IMisses) }
+func l1d(s stats.CoreStats) float64    { return float64(s.L1DMisses) }
+func l2(s stats.CoreStats) float64     { return float64(s.L2Misses) }
+
+// Fig44: cycles, standalone + shop, RISC-V, cold vs warm.
+func (r *Results) Fig44() Data {
+	return r.project("fig4.4", "Cycles, standalone functions and online shop (RISC-V)",
+		FnOrder, []string{"riscv cold", "riscv warm"}, coldWarm(cycles), isa.RV64)
+}
+
+// Fig45: cycles, hotel, RISC-V.
+func (r *Results) Fig45() Data {
+	return r.project("fig4.5", "Cycles, hotel application (RISC-V)",
+		HotelOrder, []string{"riscv cold", "riscv warm"}, coldWarm(cycles), isa.RV64)
+}
+
+// Fig46: hotel L1 misses after cold execution (I and D).
+func (r *Results) Fig46() Data {
+	return r.project("fig4.6", "Hotel L1 misses, cold (RISC-V)",
+		HotelOrder, []string{"l1 instruction", "l1 data"},
+		func(res *harness.Result) []float64 { return []float64{l1i(res.Cold), l1d(res.Cold)} }, isa.RV64)
+}
+
+// Fig47: hotel L1 misses after warm execution.
+func (r *Results) Fig47() Data {
+	return r.project("fig4.7", "Hotel L1 misses, warm (RISC-V)",
+		HotelOrder, []string{"l1 instruction", "l1 data"},
+		func(res *harness.Result) []float64 { return []float64{l1i(res.Warm), l1d(res.Warm)} }, isa.RV64)
+}
+
+func pctSplit(i, d float64) []float64 {
+	t := i + d
+	if t == 0 {
+		return []float64{0, 0}
+	}
+	return []float64{100 * i / t, 100 * d / t}
+}
+
+// Fig48: percentage split of hotel L1 misses, cold.
+func (r *Results) Fig48() Data {
+	return r.project("fig4.8", "Hotel L1 miss split %, cold (RISC-V)",
+		HotelOrder, []string{"% instruction", "% data"},
+		func(res *harness.Result) []float64 { return pctSplit(l1i(res.Cold), l1d(res.Cold)) }, isa.RV64)
+}
+
+// Fig49: percentage split of hotel L1 misses, warm.
+func (r *Results) Fig49() Data {
+	return r.project("fig4.9", "Hotel L1 miss split %, warm (RISC-V)",
+		HotelOrder, []string{"% instruction", "% data"},
+		func(res *harness.Result) []float64 { return pctSplit(l1i(res.Warm), l1d(res.Warm)) }, isa.RV64)
+}
+
+// Fig410: cycles of the Go functions, RISC-V.
+func (r *Results) Fig410() Data {
+	return r.project("fig4.10", "Cycles, Go functions (RISC-V)",
+		GoFnOrder, []string{"riscv cold", "riscv warm"}, coldWarm(cycles), isa.RV64)
+}
+
+// Fig411: L2 misses of the Go functions, RISC-V.
+func (r *Results) Fig411() Data {
+	return r.project("fig4.11", "L2 misses, Go functions (RISC-V)",
+		GoFnOrder, []string{"riscv cold", "riscv warm"}, coldWarm(l2), isa.RV64)
+}
+
+// Fig412: cycles, standalone + shop, x86.
+func (r *Results) Fig412() Data {
+	return r.project("fig4.12", "Cycles, standalone functions and online shop (x86)",
+		FnOrder, []string{"x86 cold", "x86 warm"}, coldWarm(cycles), isa.CISC64)
+}
+
+// PyFnOrder lists the Python functions of Fig. 4.13.
+var PyFnOrder = []string{"fibonacci-python", "aes-python", "auth-python",
+	"recommendation-python", "emailservice-python"}
+
+// Fig413: L2 misses of the Python functions, x86.
+func (r *Results) Fig413() Data {
+	return r.project("fig4.13", "L2 misses, Python functions (x86)",
+		PyFnOrder, []string{"x86 cold", "x86 warm"}, coldWarm(l2), isa.CISC64)
+}
+
+// Fig414: cycles, hotel, x86.
+func (r *Results) Fig414() Data {
+	return r.project("fig4.14", "Cycles, hotel application (x86)",
+		HotelOrder, []string{"x86 cold", "x86 warm"}, coldWarm(cycles), isa.CISC64)
+}
+
+// Fig415: cycles, RISC-V vs x86, standalone + shop.
+func (r *Results) Fig415() Data {
+	return r.project("fig4.15", "Cycles, RISC-V vs x86",
+		FnOrder, []string{"x86 cold", "x86 warm", "riscv cold", "riscv warm"},
+		coldWarm(cycles), isa.CISC64, isa.RV64)
+}
+
+// Fig416: executed instructions, RISC-V vs x86.
+func (r *Results) Fig416() Data {
+	return r.project("fig4.16", "Instructions, RISC-V vs x86",
+		FnOrder, []string{"x86 cold", "x86 warm", "riscv cold", "riscv warm"},
+		coldWarm(insts), isa.CISC64, isa.RV64)
+}
+
+// Fig417: L1 instruction misses, RISC-V vs x86.
+func (r *Results) Fig417() Data {
+	return r.project("fig4.17", "L1 instruction misses, RISC-V vs x86",
+		FnOrder, []string{"x86 cold", "x86 warm", "riscv cold", "riscv warm"},
+		coldWarm(l1i), isa.CISC64, isa.RV64)
+}
+
+// Fig418: L2 misses, RISC-V vs x86.
+func (r *Results) Fig418() Data {
+	return r.project("fig4.18", "L2 misses, RISC-V vs x86",
+		FnOrder, []string{"x86 cold", "x86 warm", "riscv cold", "riscv warm"},
+		coldWarm(l2), isa.CISC64, isa.RV64)
+}
+
+// Fig419: cycles, hotel, RISC-V vs x86.
+func (r *Results) Fig419() Data {
+	return r.project("fig4.19", "Cycles, hotel application, RISC-V vs x86",
+		HotelOrder, []string{"x86 cold", "x86 warm", "riscv cold", "riscv warm"},
+		coldWarm(cycles), isa.CISC64, isa.RV64)
+}
+
+// Fig420 runs the QEMU-mode MongoDB-vs-Cassandra comparison (x86).
+func Fig420(nreq int) (Data, error) {
+	d := Data{
+		ID:      "fig4.20",
+		Title:   "MongoDB vs Cassandra request latency under emulation (x86, ns)",
+		Columns: []string{"cass cold", "cass warm", "mongo cold", "mongo warm"},
+	}
+	for _, fn := range HotelOrder {
+		cass, err := qemu.Run(isa.CISC64, harness.HotelSpec(fn, harness.EngineCassandra), nreq)
+		if err != nil {
+			return d, fmt.Errorf("fig4.20 %s/cassandra: %w", fn, err)
+		}
+		mongo, err := qemu.Run(isa.CISC64, harness.HotelSpec(fn, harness.EngineMongo), nreq)
+		if err != nil {
+			return d, fmt.Errorf("fig4.20 %s/mongodb: %w", fn, err)
+		}
+		d.Rows = append(d.Rows, Row{Label: fn, Values: []float64{
+			float64(cass[0].NS), float64(cass[nreq-1].NS),
+			float64(mongo[0].NS), float64(mongo[nreq-1].NS),
+		}})
+	}
+	return d, nil
+}
+
+// Table41 renders the common configuration parameters.
+func Table41() Data {
+	cfg := gemsys.DefaultConfig(isa.RV64)
+	d := Data{ID: "table4.1", Title: "Common simulated system configuration", Columns: []string{"value"}}
+	add := func(k string, v float64) { d.Rows = append(d.Rows, Row{Label: k, Values: []float64{v}}) }
+	add("cores", float64(cfg.Cores))
+	add("clock MHz", float64(cfg.ClockMHz))
+	add("L1I bytes/core", float64(cfg.Hier.L1I.Size))
+	add("L1I assoc", float64(cfg.Hier.L1I.Assoc))
+	add("L1D bytes/core", float64(cfg.Hier.L1D.Size))
+	add("L1D assoc", float64(cfg.Hier.L1D.Assoc))
+	add("L2 bytes/core", float64(cfg.Hier.L2.Size))
+	add("L2 assoc", float64(cfg.Hier.L2.Assoc))
+	add("ROB entries", float64(cfg.O3.ROBSize))
+	add("LQ entries", float64(cfg.O3.LQSize))
+	add("SQ entries", float64(cfg.O3.SQSize))
+	add("ITLB entries", float64(cfg.Hier.ITLB.Entries))
+	add("DTLB entries", float64(cfg.Hier.DTLB.Entries))
+	return d
+}

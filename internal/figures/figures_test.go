@@ -1,0 +1,118 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"svbench/internal/harness"
+	"svbench/internal/isa"
+	"svbench/internal/stats"
+)
+
+func fakeResults() *Results {
+	mk := func(base uint64) *harness.Result {
+		return &harness.Result{
+			Cold: stats.CoreStats{Cycles: base * 10, Insts: base * 4,
+				L1IMisses: base, L1DMisses: base * 2, L2Misses: base / 2},
+			Warm: stats.CoreStats{Cycles: base, Insts: base * 2,
+				L1IMisses: base / 4, L1DMisses: base / 8, L2Misses: base / 16},
+		}
+	}
+	r := &Results{
+		Fn:    map[isa.Arch]map[string]*harness.Result{},
+		Hotel: map[isa.Arch]map[string]*harness.Result{},
+	}
+	for _, a := range []isa.Arch{isa.RV64, isa.CISC64} {
+		r.Fn[a] = map[string]*harness.Result{}
+		r.Hotel[a] = map[string]*harness.Result{}
+		for i, n := range FnOrder {
+			r.Fn[a][n] = mk(uint64(100 + 10*i))
+		}
+		for i, n := range HotelOrder {
+			r.Hotel[a][n] = mk(uint64(1000 + 100*i))
+		}
+	}
+	return r
+}
+
+func TestAllFigureProjections(t *testing.T) {
+	r := fakeResults()
+	figs := []struct {
+		name string
+		gen  func() Data
+		rows int
+		cols int
+	}{
+		{"4.4", r.Fig44, len(FnOrder), 2},
+		{"4.5", r.Fig45, len(HotelOrder), 2},
+		{"4.6", r.Fig46, len(HotelOrder), 2},
+		{"4.7", r.Fig47, len(HotelOrder), 2},
+		{"4.8", r.Fig48, len(HotelOrder), 2},
+		{"4.9", r.Fig49, len(HotelOrder), 2},
+		{"4.10", r.Fig410, len(GoFnOrder), 2},
+		{"4.11", r.Fig411, len(GoFnOrder), 2},
+		{"4.12", r.Fig412, len(FnOrder), 2},
+		{"4.13", r.Fig413, len(PyFnOrder), 2},
+		{"4.14", r.Fig414, len(HotelOrder), 2},
+		{"4.15", r.Fig415, len(FnOrder), 4},
+		{"4.16", r.Fig416, len(FnOrder), 4},
+		{"4.17", r.Fig417, len(FnOrder), 4},
+		{"4.18", r.Fig418, len(FnOrder), 4},
+		{"4.19", r.Fig419, len(HotelOrder), 4},
+	}
+	for _, f := range figs {
+		d := f.gen()
+		if len(d.Rows) != f.rows {
+			t.Errorf("fig %s: %d rows, want %d", f.name, len(d.Rows), f.rows)
+		}
+		if len(d.Columns) != f.cols {
+			t.Errorf("fig %s: %d columns, want %d", f.name, len(d.Columns), f.cols)
+		}
+		for _, row := range d.Rows {
+			if len(row.Values) != f.cols {
+				t.Errorf("fig %s row %s: %d values", f.name, row.Label, len(row.Values))
+			}
+		}
+	}
+}
+
+func TestPercentSplitSumsTo100(t *testing.T) {
+	r := fakeResults()
+	for _, d := range []Data{r.Fig48(), r.Fig49()} {
+		for _, row := range d.Rows {
+			if s := row.Values[0] + row.Values[1]; s < 99.9 || s > 100.1 {
+				t.Errorf("%s %s: split sums to %.2f", d.ID, row.Label, s)
+			}
+		}
+	}
+	if got := pctSplit(0, 0); got[0] != 0 || got[1] != 0 {
+		t.Error("empty split must be 0/0")
+	}
+}
+
+func TestMarkdownAndCSVRendering(t *testing.T) {
+	d := Data{
+		ID: "figX", Title: "Demo", Columns: []string{"a", "b"},
+		Rows: []Row{{Label: "row1", Values: []float64{1, 2.5}}},
+	}
+	md := d.Markdown()
+	if !strings.Contains(md, "### figX — Demo") || !strings.Contains(md, "| row1 | 1 | 2.50 |") {
+		t.Fatalf("markdown:\n%s", md)
+	}
+	csv := d.CSV()
+	if !strings.HasPrefix(csv, "benchmark,a,b\n") || !strings.Contains(csv, "row1,1,2.5\n") {
+		t.Fatalf("csv:\n%s", csv)
+	}
+}
+
+func TestTable41ContainsThesisParameters(t *testing.T) {
+	d := Table41()
+	byLabel := map[string]float64{}
+	for _, r := range d.Rows {
+		byLabel[r.Label] = r.Values[0]
+	}
+	if byLabel["ROB entries"] != 192 || byLabel["L2 bytes/core"] != 512<<10 ||
+		byLabel["cores"] != 2 || byLabel["clock MHz"] != 1000 {
+		t.Fatalf("table 4.1 values: %v", byLabel)
+	}
+}

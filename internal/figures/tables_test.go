@@ -1,0 +1,88 @@
+package figures
+
+import (
+	"testing"
+
+	"svbench/internal/container"
+	"svbench/internal/isa"
+)
+
+func TestTable44Shapes(t *testing.T) {
+	d, err := Table44()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Rows) != 21 {
+		t.Fatalf("Table 4.4 has %d rows, want 21", len(d.Rows))
+	}
+	byName := map[string][]float64{}
+	for _, r := range d.Rows {
+		byName[r.Label] = r.Values // [x86, riscv]
+	}
+	// Go images smallest, Python largest (both ISAs).
+	for i, col := range []string{"x86", "riscv"} {
+		if byName["Fibonacci-Go"][i] >= byName["Fibonacci-NodeJs"][i] {
+			t.Errorf("%s: go image should be smaller than node", col)
+		}
+		if byName["Fibonacci-NodeJs"][i] >= byName["Fibonacci-Python"][i] {
+			t.Errorf("%s: node image should be smaller than python", col)
+		}
+	}
+	// ISA asymmetries of Table 4.4: riscv go/node smaller than x86;
+	// riscv python larger than x86.
+	if byName["Fibonacci-Go"][1] >= byName["Fibonacci-Go"][0] {
+		t.Error("riscv go image should be smaller than x86")
+	}
+	if byName["Fibonacci-NodeJs"][1] >= byName["Fibonacci-NodeJs"][0] {
+		t.Error("riscv node image should be smaller than x86")
+	}
+	if byName["Fibonacci-Python"][1] <= byName["Fibonacci-Python"][0] {
+		t.Error("riscv python image should be larger than x86 (no slim base)")
+	}
+	// Auth-NodeJs carries the extra dependency layer.
+	if byName["Auth-NodeJs"][0] <= byName["Aes-NodeJs"][0] {
+		t.Error("auth-nodejs should be larger than aes-nodejs")
+	}
+}
+
+func TestTable45PriorPortLarger(t *testing.T) {
+	d, err := Table45()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Rows) != 15 {
+		t.Fatalf("Table 4.5 has %d rows, want 15", len(d.Rows))
+	}
+	for _, r := range d.Rows {
+		nat, ours := r.Values[0], r.Values[1]
+		switch r.Label {
+		case "Fibonacci-Go", "Aes-Go", "Auth-Go":
+			// The prior port's plain Go images were slightly smaller.
+			if nat >= ours {
+				t.Errorf("%s: natheesan go image should be smaller (%.1f vs %.1f)", r.Label, nat, ours)
+			}
+		default:
+			if nat <= ours {
+				t.Errorf("%s: natheesan image should be larger (%.1f vs %.1f)", r.Label, nat, ours)
+			}
+		}
+	}
+}
+
+func TestEngineLifecycle(t *testing.T) {
+	// Covered in detail by container tests; here just ensure an image for
+	// each ISA compiles and has a non-empty app layer.
+	for _, arch := range []isa.Arch{isa.RV64, isa.CISC64} {
+		img, err := BuildFunctionImage(ImageCatalog()[0], arch, container.GPourProfile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := img.Layers[len(img.Layers)-1]
+		if last.Name != "app" || len(last.Data) == 0 {
+			t.Fatalf("%s: missing app layer", arch)
+		}
+		if img.CompressedSize() >= img.Size() {
+			t.Fatalf("%s: compression had no effect", arch)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package gemsys
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"svbench/internal/kernel"
+)
+
+// ProcSnap is one process's checkpointed state.
+type ProcSnap struct {
+	ID        int
+	State     kernel.ProcState
+	Brk       uint64
+	WakeSeq   uint64
+	NeedsIdle bool
+	CoreState []uint64
+}
+
+// Checkpoint is a snapshot of the simulated machine, taken by the m5
+// checkpoint operation at the end of setup mode. Restoring one resets the
+// microarchitectural state (caches, predictors) exactly as gem5 does when
+// switching from the boot CPU to the detailed CPU.
+type Checkpoint struct {
+	Arch      string
+	MemData   []byte
+	Procs     []ProcSnap
+	Chans     []kernel.ChanSnap
+	Seq       uint64
+	SlabCur   uint64
+	VirtInstr uint64
+	Cur       []int // per-core current process ID, -1 if none
+	RunQ      [][]int
+	NextRgn   uint64
+}
+
+// TakeCheckpoint captures the machine state and clears the pending
+// checkpoint request so execution can continue.
+func (m *Machine) TakeCheckpoint() *Checkpoint {
+	ck := &Checkpoint{
+		Arch:      string(m.Cfg.Arch),
+		MemData:   append([]byte(nil), m.Mem.Data...),
+		Chans:     m.K.SnapChannels(),
+		VirtInstr: m.virtInstr,
+		NextRgn:   m.nextRegion,
+	}
+	ck.Seq, ck.SlabCur = m.K.SnapState()
+	for _, p := range m.K.Procs {
+		ck.Procs = append(ck.Procs, ProcSnap{
+			ID: p.ID, State: p.State, Brk: p.Brk,
+			WakeSeq: p.WakeSeq, NeedsIdle: p.NeedsIdle,
+			CoreState: p.Core.Snapshot(),
+		})
+	}
+	for ci := 0; ci < m.Cfg.Cores; ci++ {
+		id := -1
+		if m.cur[ci] != nil {
+			id = m.cur[ci].ID
+		}
+		ck.Cur = append(ck.Cur, id)
+		var q []int
+		for _, p := range m.rq[ci] {
+			q = append(q, p.ID)
+		}
+		ck.RunQ = append(ck.RunQ, q)
+	}
+	m.ckptReq = false
+	return ck
+}
+
+// Restore reinstates a checkpoint on the same machine (processes must have
+// been spawned identically). Microarchitectural state starts cold: caches,
+// TLBs and branch predictors are flushed, trace queues cleared, and the
+// IPC coupler reset.
+func (m *Machine) Restore(ck *Checkpoint) error {
+	if ck.Arch != string(m.Cfg.Arch) {
+		return fmt.Errorf("gemsys: checkpoint arch %q does not match machine %q", ck.Arch, m.Cfg.Arch)
+	}
+	if len(ck.MemData) != len(m.Mem.Data) {
+		return fmt.Errorf("gemsys: checkpoint memory size mismatch")
+	}
+	if len(ck.Procs) != len(m.K.Procs) {
+		return fmt.Errorf("gemsys: checkpoint has %d processes, machine has %d", len(ck.Procs), len(m.K.Procs))
+	}
+	copy(m.Mem.Data, ck.MemData)
+	byID := map[int]*kernel.Process{}
+	for _, p := range m.K.Procs {
+		byID[p.ID] = p
+	}
+	for _, ps := range ck.Procs {
+		p, ok := byID[ps.ID]
+		if !ok {
+			return fmt.Errorf("gemsys: checkpoint references unknown process %d", ps.ID)
+		}
+		p.State = ps.State
+		p.Brk = ps.Brk
+		p.WakeSeq = ps.WakeSeq
+		p.NeedsIdle = ps.NeedsIdle
+		p.Core.Restore(ps.CoreState)
+	}
+	m.K.RestoreChannels(ck.Chans, byID)
+	m.K.RestoreState(ck.Seq, ck.SlabCur)
+	m.virtInstr = ck.VirtInstr
+	m.nextRegion = ck.NextRgn
+	for ci := 0; ci < m.Cfg.Cores; ci++ {
+		if ck.Cur[ci] >= 0 {
+			m.cur[ci] = byID[ck.Cur[ci]]
+		} else {
+			m.cur[ci] = nil
+		}
+		m.rq[ci] = nil
+		for _, id := range ck.RunQ[ci] {
+			m.rq[ci] = append(m.rq[ci], byID[id])
+		}
+		m.traces[ci] = nil
+		m.cursor[ci] = 0
+	}
+	m.halted = false
+	m.ckptReq = false
+	// Fresh coupler and cold microarchitecture, re-wired everywhere. The
+	// shared DRAM channel's occupancy cursor must also reset: it carries
+	// absolute cycle times from the previous run.
+	m.Coupler = newCouplerFor(m)
+	m.DRAM.Reset()
+	for ci := range m.O3 {
+		m.O3[ci] = newO3For(m, ci)
+		m.O3[ci].ColdStart()
+	}
+	return nil
+}
+
+// WriteTo serializes the checkpoint (gzip+gob), the on-disk format the
+// command-line tools use.
+func (ck *Checkpoint) WriteTo(w io.Writer) (int64, error) {
+	var buf bytes.Buffer
+	zw, _ := gzip.NewWriterLevel(&buf, gzip.BestSpeed)
+	if err := gob.NewEncoder(zw).Encode(ck); err != nil {
+		return 0, err
+	}
+	if err := zw.Close(); err != nil {
+		return 0, err
+	}
+	n, err := w.Write(buf.Bytes())
+	return int64(n), err
+}
+
+// ReadCheckpoint deserializes a checkpoint written by WriteTo.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("gemsys: corrupt checkpoint: %w", err)
+	}
+	defer zr.Close()
+	var ck Checkpoint
+	if err := gob.NewDecoder(zr).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("gemsys: corrupt checkpoint: %w", err)
+	}
+	return &ck, nil
+}

@@ -1,0 +1,66 @@
+// Package gemsys implements the full-system simulation harness standing in
+// for gem5: a two-core machine with the Table 4.1 microarchitecture, the
+// miniature OS kernel, setup-mode (atomic) and evaluation-mode (detailed
+// out-of-order) execution, checkpoints, and m5-style magic operations.
+package gemsys
+
+import (
+	"svbench/internal/cpu"
+	"svbench/internal/isa"
+	"svbench/internal/mem"
+)
+
+// Config describes the simulated system, mirroring Tables 4.1–4.3 of the
+// thesis.
+type Config struct {
+	Arch     isa.Arch
+	Cores    int
+	ClockMHz int
+	MemBytes int
+	Hier     mem.HierConfig
+	DRAM     mem.DRAMConfig
+	O3       cpu.O3Config
+	// RegionBytes is each process's address-space slice.
+	RegionBytes uint64
+	// Quantum is the functional scheduler's instruction quantum.
+	Quantum int
+	// OSLabel and KernelLabel reproduce the software rows of
+	// Tables 4.1–4.3.
+	OSLabel     string
+	KernelLabel string
+	Compiler    string
+	DockerLabel string
+}
+
+// DefaultConfig returns the thesis configuration for the given ISA.
+func DefaultConfig(arch isa.Arch) Config {
+	c := Config{
+		Arch:        arch,
+		Cores:       2,
+		ClockMHz:    1000,
+		MemBytes:    32 << 20,
+		Hier:        mem.DefaultHierConfig(),
+		DRAM:        mem.DRAMConfig{Latency: 180, BusCycle: 16},
+		O3:          cpu.DefaultO3Config(),
+		RegionBytes: 4 << 20,
+		Quantum:     256,
+		KernelLabel: "Linux 5.15.59 (model)",
+		DockerLabel: "Docker 25.0.0 (model)",
+	}
+	if arch == isa.RV64 {
+		c.OSLabel = "Ubuntu Jammy 22.04.3 Preinstalled Server (model)"
+		c.Compiler = "riscv64-unknown-linux-gnu-gcc 13.2.0 (model)"
+	} else {
+		c.OSLabel = "Ubuntu Jammy 22.04.4 Live Server (model)"
+		c.Compiler = "gcc 11.4.0 (model)"
+	}
+	return c
+}
+
+// Memory map constants.
+const (
+	kernelBase = 0x10000
+	slabBase   = 0x200000
+	slabSize   = 0x200000
+	firstProc  = 0x400000
+)

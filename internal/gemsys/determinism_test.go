@@ -1,0 +1,61 @@
+package gemsys
+
+import (
+	"testing"
+
+	"svbench/internal/isa"
+)
+
+// TestRestoreTwiceIsIdentical: restoring the same checkpoint twice and
+// re-running evaluation must produce bit-identical statistics — the
+// property gem5 checkpoints exist for, and the foundation of every
+// A/B comparison in the evaluation.
+func TestRestoreTwiceIsIdentical(t *testing.T) {
+	mach, err := New(DefaultConfig(isa.RV64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := mach.K.NewChannel()
+	resp := mach.K.NewChannel()
+	if _, err := mach.Spawn("server", serverMod(), "main", 1, []uint64{uint64(req), uint64(resp)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mach.Spawn("client", clientMod(6, 15), "main", 0, []uint64{uint64(req), uint64(resp)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mach.RunSetup(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	ck := mach.TakeCheckpoint()
+
+	run := func() (uint64, uint64, string) {
+		if err := mach.Restore(ck); err != nil {
+			t.Fatal(err)
+		}
+		mach.K.Console.Reset()
+		dumps, err := mach.RunEval(100_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dumps[0].Server().Cycles, dumps[1].Server().Cycles, mach.Console()
+	}
+	c1, w1, out1 := run()
+	c2, w2, out2 := run()
+	if c1 != c2 || w1 != w2 {
+		t.Fatalf("stats differ across restores: (%d,%d) vs (%d,%d)", c1, w1, c2, w2)
+	}
+	if out1 != out2 {
+		t.Fatalf("functional output differs across restores")
+	}
+	// The checkpoint bytes must be unchanged by the runs (no aliasing of
+	// live machine memory).
+	ck2 := mach.TakeCheckpoint()
+	_ = ck2
+	if err := mach.Restore(ck); err != nil {
+		t.Fatal(err)
+	}
+	c3, _, _ := run()
+	if c3 != c1 {
+		t.Fatal("checkpoint mutated by evaluation runs")
+	}
+}

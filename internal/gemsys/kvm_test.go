@@ -1,0 +1,69 @@
+package gemsys
+
+import (
+	"errors"
+	"testing"
+
+	"svbench/internal/cpu"
+	"svbench/internal/ir"
+	"svbench/internal/isa"
+	"svbench/internal/kernel"
+)
+
+func ckptModule() *ir.Module {
+	m := ir.NewModule("ckpt")
+	b := ir.NewFunc("main", 0)
+	b.EcallV(kernel.M5Checkpoint)
+	b.EcallV(kernel.M5Exit)
+	m.AddFunc(b.Build())
+	return m
+}
+
+// TestKVMSetupFallback reproduces the §3.4.1 methodology story: setup
+// under the unstable KVM core freezes at the checkpoint magic instruction
+// most of the time, and the harness falls back to the atomic core.
+func TestKVMSetupFallback(t *testing.T) {
+	kvm := &cpu.KVM{Unstable: true}
+	failures := 0
+	for attempt := 0; attempt < 3; attempt++ {
+		m, err := New(DefaultConfig(isa.RV64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Spawn("p", ckptModule(), "main", 0, nil); err != nil {
+			t.Fatal(err)
+		}
+		err = m.RunSetupKVM(kvm, 10_000_000)
+		if errors.Is(err, ErrKVMUnstable) {
+			failures++
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.CheckpointPending() {
+			t.Fatal("successful KVM setup must leave a checkpoint pending")
+		}
+	}
+	if failures != 2 {
+		t.Fatalf("unstable KVM failed %d/3 setups, want 2 (deterministic model)", failures)
+	}
+
+	// The stable fallback path (the atomic core) always succeeds.
+	m, err := New(DefaultConfig(isa.RV64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Spawn("p", ckptModule(), "main", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunSetup(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !m.CheckpointPending() {
+		t.Fatal("atomic setup must reach the checkpoint")
+	}
+	if kvm.Insts == 0 {
+		t.Fatal("KVM fast-forward did not account instructions")
+	}
+}

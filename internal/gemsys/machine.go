@@ -1,0 +1,484 @@
+package gemsys
+
+import (
+	"errors"
+	"fmt"
+
+	"svbench/internal/cpu"
+	"svbench/internal/ir"
+	"svbench/internal/isa"
+	"svbench/internal/isa/cisc"
+	"svbench/internal/isa/riscv"
+	"svbench/internal/kernel"
+	"svbench/internal/libc"
+	"svbench/internal/mem"
+	"svbench/internal/stats"
+)
+
+// Machine is a simulated two-core full system: flat memory, the miniature
+// kernel, per-core cache hierarchies over a shared DRAM channel, and both
+// execution modes of the vSwarm-u methodology — functional (atomic/KVM
+// style, for setup) and detailed timing (O3 trace replay, for evaluation).
+type Machine struct {
+	Cfg     Config
+	Mem     *isa.Mem
+	K       *kernel.Kernel
+	DRAM    *mem.DRAM
+	Hier    []*mem.Hierarchy
+	O3      []*cpu.O3
+	Coupler *cpu.Coupler
+	Atomic  cpu.Atomic
+
+	decRV *riscv.DecodeCache
+	decC  *cisc.DecodeCache
+
+	cur []*kernel.Process
+	rq  [][]*kernel.Process
+
+	traces    [][]isa.TraceRec
+	cursor    []int
+	recording bool
+	scratch   []isa.TraceRec
+
+	nextRegion uint64
+	virtInstr  uint64
+	halted     bool
+	ckptReq    bool
+	hookProc   *kernel.Process
+
+	kernelProg *isa.Program
+}
+
+// ErrDeadlock reports that neither core can make progress.
+var ErrDeadlock = errors.New("gemsys: machine deadlocked")
+
+// newCouplerFor creates a coupler and routes the kernel's service-reply
+// derivations into it.
+func newCouplerFor(m *Machine) *cpu.Coupler {
+	c := cpu.NewCoupler()
+	m.K.OnDerive = func(base, derived, delay uint64) { c.Derive(base, derived, delay) }
+	return c
+}
+
+// newO3For builds a detailed core for hardware thread ci using the
+// machine's current coupler.
+func newO3For(m *Machine, ci int) *cpu.O3 {
+	return cpu.NewO3(m.Cfg.O3, m.Hier[ci], m.Coupler)
+}
+
+// New boots a machine: allocates memory, compiles and loads the kernel for
+// the configured ISA, and wires the cache hierarchies.
+func New(cfg Config) (*Machine, error) {
+	if cfg.Cores != 2 {
+		return nil, fmt.Errorf("gemsys: this system model is two-core (client+server), got %d", cfg.Cores)
+	}
+	m := &Machine{
+		Cfg:        cfg,
+		Mem:        isa.NewMem(cfg.MemBytes),
+		DRAM:       mem.NewDRAM(cfg.DRAM),
+		decRV:      riscv.NewDecodeCache(),
+		decC:       cisc.NewDecodeCache(),
+		cur:        make([]*kernel.Process, cfg.Cores),
+		rq:         make([][]*kernel.Process, cfg.Cores),
+		traces:     make([][]isa.TraceRec, cfg.Cores),
+		cursor:     make([]int, cfg.Cores),
+		nextRegion: firstProc,
+	}
+	m.K = kernel.New(m.Mem, slabBase, slabSize)
+	m.K.Clock = func() uint64 { return m.virtInstr }
+	m.K.OnWake = func(p *kernel.Process) { m.rq[p.CoreID] = append(m.rq[p.CoreID], p) }
+	m.Coupler = newCouplerFor(m)
+	// Native service processing advances the virtual (QEMU-mode) clock:
+	// under emulation the database work executes for real.
+	m.K.OnServiceTime = func(cycles uint64) { m.virtInstr += cycles }
+
+	for i := 0; i < cfg.Cores; i++ {
+		h := mem.NewHierarchy(cfg.Hier, m.DRAM)
+		m.Hier = append(m.Hier, h)
+	}
+	m.Hier[0].SetPeer(m.Hier[1])
+	m.Hier[1].SetPeer(m.Hier[0])
+	for i := 0; i < cfg.Cores; i++ {
+		m.O3 = append(m.O3, newO3For(m, i))
+	}
+
+	// Compile and load the kernel.
+	kmod := kernel.Module(libc.ForArch(string(cfg.Arch)))
+	prog, err := m.compile(kmod, kernelBase)
+	if err != nil {
+		return nil, fmt.Errorf("gemsys: kernel: %w", err)
+	}
+	if end := prog.DataBase + uint64(len(prog.Data)); end > slabBase {
+		return nil, fmt.Errorf("gemsys: kernel image overruns slab base (%#x)", end)
+	}
+	prog.LoadInto(m.Mem)
+	m.kernelProg = prog
+	for _, num := range kernel.UserSyscalls {
+		m.K.HandlerAddr[num] = prog.SymAddr(kernel.HandlerName(num))
+	}
+	m.K.UserExitAddr = prog.SymAddr("k_user_exit")
+	return m, nil
+}
+
+func (m *Machine) compile(mod *ir.Module, base uint64) (*isa.Program, error) {
+	switch m.Cfg.Arch {
+	case isa.RV64:
+		return riscv.Compile(mod, base)
+	case isa.CISC64:
+		return cisc.Compile(mod, base)
+	}
+	return nil, fmt.Errorf("gemsys: unknown arch %q", m.Cfg.Arch)
+}
+
+// Console returns everything simulated code wrote to the console.
+func (m *Machine) Console() string { return m.K.Console.String() }
+
+// VirtNS returns the machine's virtual clock (ns at 1 GHz, 1 CPI
+// functional time) — the QEMU-mode time base.
+func (m *Machine) VirtNS() uint64 { return m.virtInstr }
+
+// Halted reports whether an m5 exit was executed.
+func (m *Machine) Halted() bool { return m.halted }
+
+// Spawn compiles mod into a fresh region, creates a process running entry
+// with args, pins it to coreID and enqueues it.
+func (m *Machine) Spawn(name string, mod *ir.Module, entry string, coreID int, args []uint64) (*kernel.Process, error) {
+	if coreID < 0 || coreID >= m.Cfg.Cores {
+		return nil, fmt.Errorf("gemsys: bad core %d", coreID)
+	}
+	base := m.nextRegion
+	if base+m.Cfg.RegionBytes > uint64(m.Cfg.MemBytes) {
+		return nil, fmt.Errorf("gemsys: out of memory regions")
+	}
+	m.nextRegion += m.Cfg.RegionBytes
+
+	prog, err := m.compile(mod, base)
+	if err != nil {
+		return nil, fmt.Errorf("gemsys: %s: %w", name, err)
+	}
+	imageEnd := prog.DataBase + uint64(len(prog.Data))
+	if imageEnd > base+m.Cfg.RegionBytes {
+		return nil, fmt.Errorf("gemsys: %s: image too large (%d bytes)", name, imageEnd-base)
+	}
+	prog.LoadInto(m.Mem)
+
+	stackTop := base + m.Cfg.RegionBytes - 64
+	p := &kernel.Process{
+		Name:   name,
+		CoreID: coreID,
+		State:  kernel.ProcRunnable,
+		Region: kernel.Region{Base: base, Size: m.Cfg.RegionBytes},
+		Brk:    (imageEnd + 4095) &^ 4095,
+	}
+
+	switch m.Cfg.Arch {
+	case isa.RV64:
+		c := riscv.NewCore(m.Mem, m.decRV)
+		c.Hook = m.hook
+		c.Regs[riscv.RegRA] = m.K.UserExitAddr
+		c.SetStackPtr(stackTop)
+		p.Core = c
+	case isa.CISC64:
+		c := cisc.NewCore(m.Mem, m.decC)
+		c.Hook = m.hook
+		c.SetStackPtr(stackTop)
+		// Push the exit stub as the entry function's return address.
+		c.Regs[cisc.RSP] -= 8
+		m.Mem.Store(c.Regs[cisc.RSP], 8, m.K.UserExitAddr)
+		p.Core = c
+	}
+	p.Core.SetPC(prog.SymAddr(entry))
+	for i, a := range args {
+		p.Core.SetArg(i, a)
+	}
+	m.K.AddProcess(p)
+	m.rq[coreID] = append(m.rq[coreID], p)
+	return p, nil
+}
+
+// hook is the machine's environment-call dispatcher.
+func (m *Machine) hook(c isa.Core) isa.EcallResult {
+	switch c.EcallNum() {
+	case kernel.M5ResetStats:
+		c.Annotate(isa.FlagM5Reset, 0)
+		c.SetRet(0)
+		return isa.EcallHandled
+	case kernel.M5DumpStats:
+		c.Annotate(isa.FlagM5Dump, 0)
+		c.SetRet(0)
+		return isa.EcallHandled
+	case kernel.M5Checkpoint:
+		m.ckptReq = true
+		c.SetRet(0)
+		return isa.EcallHandled
+	case kernel.M5Exit:
+		c.SetRet(0)
+		return isa.EcallHalt
+	}
+	return m.K.Ecall(c, m.hookProc)
+}
+
+func (m *Machine) pickNext(ci int) *kernel.Process {
+	if p := m.cur[ci]; p != nil && p.State == kernel.ProcRunnable {
+		return p
+	}
+	m.cur[ci] = nil
+	rq := m.rq[ci]
+	for len(rq) > 0 {
+		p := rq[0]
+		rq = rq[1:]
+		if p.State == kernel.ProcRunnable {
+			m.cur[ci] = p
+			break
+		}
+	}
+	m.rq[ci] = rq
+	return m.cur[ci]
+}
+
+// stepQuantum runs up to Quantum instructions of core ci's current
+// process, reporting whether any instruction executed.
+func (m *Machine) stepQuantum(ci int) (bool, error) {
+	p := m.pickNext(ci)
+	if p == nil {
+		return false, nil
+	}
+	m.hookProc = p
+	ran := false
+	for i := 0; i < m.Cfg.Quantum; i++ {
+		if p.NeedsIdle {
+			p.NeedsIdle = false
+			if m.recording {
+				m.traces[ci] = append(m.traces[ci], isa.TraceRec{
+					Class: isa.ClassIdle, Seq: p.WakeSeq,
+					Src1: isa.NoDep, Src2: isa.NoDep, Dst: isa.NoDep,
+				})
+			}
+		}
+		var err error
+		if m.recording {
+			m.traces[ci], err = p.Core.Step(m.traces[ci])
+		} else {
+			m.scratch, err = p.Core.Step(m.scratch[:0])
+		}
+		m.virtInstr++
+		ran = true
+		if err != nil {
+			switch err {
+			case isa.ErrBlock:
+				m.cur[ci] = nil
+				return ran, nil
+			case isa.ErrHalt:
+				m.halted = true
+				return ran, nil
+			default:
+				return ran, fmt.Errorf("gemsys: core %d proc %s: %w", ci, p.Name, err)
+			}
+		}
+		if m.ckptReq || m.K.Panicked {
+			return ran, nil
+		}
+	}
+	return ran, nil
+}
+
+// pump advances functional execution one scheduling round.
+func (m *Machine) pump() (bool, error) {
+	any := false
+	for ci := 0; ci < m.Cfg.Cores; ci++ {
+		ran, err := m.stepQuantum(ci)
+		if err != nil {
+			return any, err
+		}
+		any = any || ran
+		if m.halted || m.ckptReq || m.K.Panicked {
+			break
+		}
+	}
+	if m.K.Panicked {
+		return any, fmt.Errorf("gemsys: simulated panic: %s", m.K.PanicInfo)
+	}
+	return any, nil
+}
+
+// RunSetup executes functionally (the atomic-CPU setup mode) until an m5
+// checkpoint is requested, the machine halts, or budget instructions run.
+func (m *Machine) RunSetup(budget uint64) error {
+	m.recording = false
+	start := m.virtInstr
+	for !m.halted && !m.ckptReq {
+		ran, err := m.pump()
+		if err != nil {
+			return err
+		}
+		if !ran {
+			return fmt.Errorf("%w (setup: all processes blocked)", ErrDeadlock)
+		}
+		if m.virtInstr-start > budget {
+			return fmt.Errorf("gemsys: setup exceeded %d instructions", budget)
+		}
+	}
+	m.Atomic.Retire(m.virtInstr - start)
+	return nil
+}
+
+// CheckpointPending reports whether an m5 checkpoint was requested.
+func (m *Machine) CheckpointPending() bool { return m.ckptReq }
+
+func (m *Machine) queueLen(ci int) int { return len(m.traces[ci]) - m.cursor[ci] }
+
+func (m *Machine) popRec(ci int) {
+	m.cursor[ci]++
+	// Compact the queue once the consumed prefix dominates.
+	if m.cursor[ci] > 1<<16 && m.cursor[ci]*2 > len(m.traces[ci]) {
+		n := copy(m.traces[ci], m.traces[ci][m.cursor[ci]:])
+		m.traces[ci] = m.traces[ci][:n]
+		m.cursor[ci] = 0
+	}
+}
+
+func (m *Machine) collectStats(label string) stats.Dump {
+	d := stats.Dump{Label: label}
+	for ci := 0; ci < m.Cfg.Cores; ci++ {
+		o := m.O3[ci]
+		h := m.Hier[ci]
+		d.Cores = append(d.Cores, stats.CoreStats{
+			Cycles:      o.WindowCycles(),
+			Insts:       o.Stats.Insts,
+			MicroOps:    o.Stats.MicroOps,
+			Loads:       o.Stats.Loads,
+			Stores:      o.Stats.Stores,
+			Branches:    o.Stats.Branches,
+			Mispredicts: o.Stats.Mispredicts,
+			L1IAccesses: h.L1I.Stats.Accesses,
+			L1IMisses:   h.L1I.Stats.Misses,
+			L1DAccesses: h.L1D.Stats.Accesses,
+			L1DMisses:   h.L1D.Stats.Misses,
+			L2Accesses:  h.L2.Stats.Accesses,
+			L2Misses:    h.L2.Stats.Misses,
+			ITLBMisses:  h.ITLB.Misses,
+			DTLBMisses:  h.DTLB.Misses,
+		})
+	}
+	return d
+}
+
+// RunEval runs evaluation mode: functional execution feeds per-core
+// instruction traces into the detailed O3 models; m5 reset/dump markers
+// delimit stats windows. It returns one Dump per m5 dump-stats operation.
+func (m *Machine) RunEval(budget uint64) ([]stats.Dump, error) {
+	m.recording = true
+	for _, o := range m.O3 {
+		o.ColdStart()
+		o.ResetStats()
+	}
+	var dumps []stats.Dump
+	var retired uint64
+	ndump := 0
+	for {
+		// Order candidate cores by local time to approximate global
+		// interleaving on the shared DRAM channel.
+		order := []int{0, 1}
+		if m.O3[1].Now() < m.O3[0].Now() {
+			order = []int{1, 0}
+		}
+		progressed := false
+		for _, ci := range order {
+			if m.queueLen(ci) == 0 {
+				continue
+			}
+			rec := &m.traces[ci][m.cursor[ci]]
+			_, err := m.O3[ci].Retire(rec)
+			if err == cpu.ErrWait {
+				continue
+			}
+			if err != nil {
+				return dumps, err
+			}
+			flags := rec.Flags
+			m.popRec(ci)
+			progressed = true
+			retired++
+			if flags&isa.FlagM5Reset != 0 {
+				for _, o := range m.O3 {
+					o.ResetStats()
+				}
+			}
+			if flags&isa.FlagM5Dump != 0 {
+				ndump++
+				dumps = append(dumps, m.collectStats(fmt.Sprintf("dump%d", ndump)))
+			}
+			break
+		}
+		if progressed {
+			if retired > budget {
+				return dumps, fmt.Errorf("gemsys: eval exceeded %d instructions", budget)
+			}
+			continue
+		}
+		if m.halted {
+			if m.queueLen(0) == 0 && m.queueLen(1) == 0 {
+				return dumps, nil
+			}
+			return dumps, fmt.Errorf("%w (eval: pending trace cannot retire)", ErrDeadlock)
+		}
+		ran, err := m.pump()
+		if err != nil {
+			return dumps, err
+		}
+		if !ran && m.queueLen(0) == 0 && m.queueLen(1) == 0 {
+			return dumps, fmt.Errorf("%w (eval: all processes blocked)", ErrDeadlock)
+		}
+	}
+}
+
+// RunFunctional executes functionally until halt (QEMU mode).
+func (m *Machine) RunFunctional(budget uint64) error {
+	m.recording = false
+	start := m.virtInstr
+	for !m.halted {
+		ran, err := m.pump()
+		if err != nil {
+			return err
+		}
+		if !ran {
+			return fmt.Errorf("%w (functional)", ErrDeadlock)
+		}
+		if m.virtInstr-start > budget {
+			return fmt.Errorf("gemsys: functional run exceeded %d instructions", budget)
+		}
+	}
+	return nil
+}
+
+// ErrKVMUnstable reports that the KVM-accelerated setup tripped the
+// documented instability around m5 magic instructions (§3.4.1 of the
+// thesis: frequent freezes when checkpointing under KVM).
+var ErrKVMUnstable = errors.New("gemsys: KVM core froze at the checkpoint magic instruction")
+
+// RunSetupKVM fast-forwards the setup phase using the KVM-style CPU model.
+// When the checkpoint magic instruction trips KVM's instability, it
+// returns ErrKVMUnstable and the machine must be rebuilt and re-run with
+// the atomic core (RunSetup) — the fallback the thesis's methodology
+// settled on.
+func (m *Machine) RunSetupKVM(kvm *cpu.KVM, budget uint64) error {
+	m.recording = false
+	start := m.virtInstr
+	for !m.halted && !m.ckptReq {
+		ran, err := m.pump()
+		if err != nil {
+			return err
+		}
+		if !ran {
+			return fmt.Errorf("%w (kvm setup: all processes blocked)", ErrDeadlock)
+		}
+		if m.virtInstr-start > budget {
+			return fmt.Errorf("gemsys: kvm setup exceeded %d instructions", budget)
+		}
+	}
+	kvm.Retire(m.virtInstr - start)
+	if m.ckptReq && !kvm.TryCheckpoint() {
+		return ErrKVMUnstable
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+// Package harness implements the vSwarm-u experiment methodology on the
+// simulated machine (Fig. 4.1 of the thesis): boot the system and the
+// function container in functional (atomic) setup mode, take a checkpoint
+// right before the first request, restore into the detailed out-of-order
+// CPU with cold microarchitectural state, replay ten requests, and dump
+// statistics around the first (cold) and tenth (warm) request. The client
+// is pinned to core 0 and the function server to core 1; all reported
+// statistics come from core 1.
+package harness
+
+import (
+	"fmt"
+
+	"svbench/internal/gemsys"
+	"svbench/internal/ir"
+	"svbench/internal/isa"
+	"svbench/internal/kernel"
+	"svbench/internal/langrt"
+	"svbench/internal/libc"
+	"svbench/internal/rpc"
+	"svbench/internal/stats"
+	"svbench/internal/vswarm"
+)
+
+// Env gives a workload builder access to machine facilities (native
+// services, channels) while the experiment is assembled.
+type Env struct {
+	M *gemsys.Machine
+}
+
+// NewService creates a request/response channel pair and binds a native
+// service (a database or cache engine) to it. The returned ids are baked
+// into the workload module's configuration globals.
+func (e *Env) NewService(svc kernel.Service) (reqCh, respCh int) {
+	reqCh = e.M.K.NewChannel()
+	respCh = e.M.K.NewChannel()
+	e.M.K.Bind(reqCh, respCh, svc)
+	return reqCh, respCh
+}
+
+// Spec describes one function experiment.
+type Spec struct {
+	Name    string
+	Runtime langrt.Runtime
+	// Build constructs the workload module (creating services first when
+	// the function depends on them).
+	Build func(env *Env) (*ir.Module, error)
+	// Request returns the encoded request message.
+	Request func() []byte
+	// Requests is the invocation count (default 10: request 1 is the
+	// cold execution, request Requests the warm one).
+	Requests int
+	// Check validates the functional response (optional).
+	Check func(resp *rpc.Reader) error
+	// Flavor overrides the libc flavor (ablation studies); nil selects
+	// the architecture's default software stack.
+	Flavor *libc.Flavor
+}
+
+// Result is one experiment's outcome.
+type Result struct {
+	Name       string
+	Runtime    langrt.Runtime
+	Arch       isa.Arch
+	Cold, Warm stats.CoreStats
+	SetupInsts uint64
+	Response   []byte
+}
+
+// Budgets for the two phases.
+const (
+	setupBudget = 600_000_000
+	evalBudget  = 600_000_000
+)
+
+// Run executes the full methodology for one function on one ISA.
+func Run(arch isa.Arch, spec Spec) (*Result, error) {
+	cfg := gemsys.DefaultConfig(arch)
+	return RunWith(cfg, spec)
+}
+
+// RunWith executes the methodology with an explicit machine configuration
+// (used by the design-space exploration tooling).
+func RunWith(cfg gemsys.Config, spec Spec) (*Result, error) {
+	m, err := gemsys.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	env := &Env{M: m}
+	workload, err := spec.Build(env)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s: build workload: %w", spec.Name, err)
+	}
+	flavor := libc.ForArch(string(cfg.Arch))
+	if spec.Flavor != nil {
+		flavor = *spec.Flavor
+	}
+	server, err := langrt.BuildServer(spec.Runtime, flavor, workload, vswarm.Handler)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s: build server: %w", spec.Name, err)
+	}
+
+	reqCh := m.K.NewChannel()
+	respCh := m.K.NewChannel()
+	if _, err := m.Spawn("server", server, "main", 1, []uint64{uint64(reqCh), uint64(respCh)}); err != nil {
+		return nil, fmt.Errorf("harness: %s: spawn server: %w", spec.Name, err)
+	}
+	nreq := spec.Requests
+	if nreq == 0 {
+		nreq = 10
+	}
+	client := BuildClient(spec.Request(), int64(nreq))
+	if _, err := m.Spawn("client", client, "main", 0, []uint64{uint64(reqCh), uint64(respCh)}); err != nil {
+		return nil, fmt.Errorf("harness: %s: spawn client: %w", spec.Name, err)
+	}
+
+	// Setup mode (atomic CPU) up to the checkpoint before request 1.
+	if err := m.RunSetup(setupBudget); err != nil {
+		return nil, fmt.Errorf("harness: %s: setup: %w", spec.Name, err)
+	}
+	if !m.CheckpointPending() {
+		return nil, fmt.Errorf("harness: %s: setup finished without checkpoint", spec.Name)
+	}
+	ck := m.TakeCheckpoint()
+	if err := m.Restore(ck); err != nil {
+		return nil, fmt.Errorf("harness: %s: restore: %w", spec.Name, err)
+	}
+
+	// Evaluation mode (detailed O3 CPU).
+	dumps, err := m.RunEval(evalBudget)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s: eval: %w", spec.Name, err)
+	}
+	if len(dumps) != 2 {
+		return nil, fmt.Errorf("harness: %s: got %d stat dumps, want 2", spec.Name, len(dumps))
+	}
+	res := &Result{
+		Name:       spec.Name,
+		Runtime:    spec.Runtime,
+		Arch:       cfg.Arch,
+		Cold:       dumps[0].Server(),
+		Warm:       dumps[1].Server(),
+		SetupInsts: m.Atomic.Insts,
+		Response:   append([]byte(nil), m.K.Console.Bytes()...),
+	}
+	if spec.Check != nil {
+		if err := spec.Check(rpc.NewReader(res.Response)); err != nil {
+			return nil, fmt.Errorf("harness: %s: response check: %w", spec.Name, err)
+		}
+	}
+	return res, nil
+}
+
+// BuildClient builds the load-generator module: it performs the readiness
+// handshake, requests the checkpoint, then issues nreq identical requests
+// with m5 reset/dump around the first and last, finally writing the last
+// response to the console and exiting the simulation.
+func BuildClient(request []byte, nreq int64) *ir.Module {
+	m := ir.NewModule("client")
+	m.AddGlobal(&ir.Global{Name: "cli_req", Data: request})
+	m.AddGlobal(&ir.Global{Name: "cli_rbuf", Data: make([]byte, langrt.WBufSize)})
+
+	b := ir.NewFunc("main", 2)
+	req, resp := b.Param(0), b.Param(1)
+	rbuf := b.Global("cli_rbuf", 0)
+	b.EcallV(kernel.SysRecv, resp, rbuf, b.Const(langrt.WBufSize)) // ready
+	b.EcallV(kernel.M5Checkpoint)
+
+	reqG := b.Global("cli_req", 0)
+	reqLen := b.Const(int64(len(request)))
+	n := b.Const(0)
+
+	i := b.Const(1)
+	loop, done := b.NewLabel("loop"), b.NewLabel("done")
+	b.Label(loop)
+	b.BrI(ir.Gt, i, nreq, done)
+	notFirst := b.NewLabel("nf")
+	b.BrI(ir.Ne, i, 1, notFirst)
+	b.EcallV(kernel.M5ResetStats)
+	b.Label(notFirst)
+	notLast := b.NewLabel("nl")
+	b.BrI(ir.Ne, i, nreq, notLast)
+	b.EcallV(kernel.M5ResetStats)
+	b.Label(notLast)
+
+	b.EcallV(kernel.SysSend, req, reqG, reqLen)
+	rn := b.Ecall(kernel.SysRecv, resp, rbuf, b.Const(langrt.WBufSize))
+	b.MovInto(n, rn)
+
+	noDump1 := b.NewLabel("nd1")
+	b.BrI(ir.Ne, i, 1, noDump1)
+	b.EcallV(kernel.M5DumpStats)
+	b.Label(noDump1)
+	noDump2 := b.NewLabel("nd2")
+	b.BrI(ir.Ne, i, nreq, noDump2)
+	b.EcallV(kernel.M5DumpStats)
+	b.Label(noDump2)
+
+	b.AddIInto(i, i, 1)
+	b.Jmp(loop)
+	b.Label(done)
+	b.EcallV(kernel.SysWrite, rbuf, n)
+	b.EcallV(kernel.M5Exit)
+	m.AddFunc(b.Build())
+	return m
+}

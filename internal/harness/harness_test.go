@@ -1,0 +1,50 @@
+package harness
+
+import (
+	"testing"
+
+	"svbench/internal/isa"
+)
+
+func TestShopSpecsFunctional(t *testing.T) {
+	for _, spec := range ShopSpecs() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			res, err := Run(isa.RV64, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Cold.Cycles <= res.Warm.Cycles {
+				t.Errorf("cold %d <= warm %d", res.Cold.Cycles, res.Warm.Cycles)
+			}
+			t.Logf("cold=%d warm=%d insts=%d", res.Cold.Cycles, res.Warm.Cycles, res.Cold.Insts)
+		})
+	}
+}
+
+func TestHotelSpecsFunctional(t *testing.T) {
+	for _, spec := range HotelSpecs(EngineCassandra) {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			res, err := Run(isa.RV64, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Cold.Cycles <= res.Warm.Cycles {
+				t.Errorf("cold %d <= warm %d", res.Cold.Cycles, res.Warm.Cycles)
+			}
+			t.Logf("cold=%d warm=%d l1i=%d l1d=%d l2=%d", res.Cold.Cycles, res.Warm.Cycles,
+				res.Cold.L1IMisses, res.Cold.L1DMisses, res.Cold.L2Misses)
+		})
+	}
+}
+
+func TestHotelOnMongoAndMariaDB(t *testing.T) {
+	for _, eng := range []HotelEngine{EngineMongo, EngineMariaDB} {
+		res, err := Run(isa.RV64, HotelSpec("rate", eng))
+		if err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+		t.Logf("%s: cold=%d warm=%d", eng, res.Cold.Cycles, res.Warm.Cycles)
+	}
+}

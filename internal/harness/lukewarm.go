@@ -1,0 +1,160 @@
+package harness
+
+import (
+	"fmt"
+
+	"svbench/internal/gemsys"
+	"svbench/internal/ir"
+	"svbench/internal/isa"
+	"svbench/internal/kernel"
+	"svbench/internal/langrt"
+	"svbench/internal/libc"
+	"svbench/internal/vswarm"
+)
+
+// Lukewarm execution study (§2.1 of the thesis, after Schall et al.):
+// when invocations of different functions interleave on the same core, a
+// warm container cannot capitalize on the microarchitectural state of its
+// previous invocation — each request behaves closer to a first call. Two
+// function containers share core 1 and the client alternates between
+// them; the measured window brackets function A's final request.
+
+// LukewarmResult compares function A's interleaved "warm" request against
+// its solo warm execution.
+type LukewarmResult struct {
+	Name     string
+	Arch     isa.Arch
+	Solo     uint64 // solo warm cycles (requests back to back)
+	Lukewarm uint64 // warm cycles with B's requests interleaved
+	SoloL1I  uint64
+	LukeL1I  uint64
+}
+
+// RunLukewarm measures spec's warm request in isolation and interleaved
+// with other's requests on the same core.
+func RunLukewarm(arch isa.Arch, spec, other Spec) (*LukewarmResult, error) {
+	solo, err := Run(arch, spec)
+	if err != nil {
+		return nil, err
+	}
+	cfg := gemsys.DefaultConfig(arch)
+	m, err := gemsys.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	env := &Env{M: m}
+	flavor := libc.ForArch(string(arch))
+
+	spawn := func(sp Spec) (reqCh, respCh int, err error) {
+		workload, err := sp.Build(env)
+		if err != nil {
+			return 0, 0, err
+		}
+		server, err := langrt.BuildServer(sp.Runtime, flavor, workload, vswarm.Handler)
+		if err != nil {
+			return 0, 0, err
+		}
+		reqCh = m.K.NewChannel()
+		respCh = m.K.NewChannel()
+		_, err = m.Spawn("server-"+sp.Name, server, "main", 1,
+			[]uint64{uint64(reqCh), uint64(respCh)})
+		return reqCh, respCh, err
+	}
+	aReq, aResp, err := spawn(spec)
+	if err != nil {
+		return nil, err
+	}
+	bReq, bResp, err := spawn(other)
+	if err != nil {
+		return nil, err
+	}
+
+	client := buildInterleavedClient(spec.Request(), other.Request(), 10,
+		uint64(bReq), uint64(bResp))
+	if _, err := m.Spawn("client", client, "main", 0,
+		[]uint64{uint64(aReq), uint64(aResp)}); err != nil {
+		return nil, err
+	}
+
+	if err := m.RunSetup(setupBudget); err != nil {
+		return nil, fmt.Errorf("harness: lukewarm setup: %w", err)
+	}
+	if !m.CheckpointPending() {
+		return nil, fmt.Errorf("harness: lukewarm setup finished without checkpoint")
+	}
+	ck := m.TakeCheckpoint()
+	if err := m.Restore(ck); err != nil {
+		return nil, err
+	}
+	dumps, err := m.RunEval(evalBudget)
+	if err != nil {
+		return nil, fmt.Errorf("harness: lukewarm eval: %w", err)
+	}
+	if len(dumps) != 1 {
+		return nil, fmt.Errorf("harness: lukewarm got %d dumps, want 1", len(dumps))
+	}
+	return &LukewarmResult{
+		Name:     spec.Name,
+		Arch:     arch,
+		Solo:     solo.Warm.Cycles,
+		Lukewarm: dumps[0].Server().Cycles,
+		SoloL1I:  solo.Warm.L1IMisses,
+		LukeL1I:  dumps[0].Server().L1IMisses,
+	}, nil
+}
+
+// buildInterleavedClient alternates A and B requests; the stats window
+// brackets only A's final request. B's channel ids are baked into the
+// image (they are known at build time, like a configured endpoint).
+func buildInterleavedClient(reqA, reqB []byte, rounds int64, bReqCh, bRespCh uint64) *ir.Module {
+	m := ir.NewModule("lukewarm-client")
+	m.AddGlobal(&ir.Global{Name: "cli_reqA", Data: reqA})
+	m.AddGlobal(&ir.Global{Name: "cli_reqB", Data: reqB})
+	m.AddGlobal(&ir.Global{Name: "cli_rbuf", Data: make([]byte, langrt.WBufSize)})
+	bch := make([]byte, 16)
+	for k := 0; k < 8; k++ {
+		bch[k] = byte(bReqCh >> (8 * k))
+		bch[8+k] = byte(bRespCh >> (8 * k))
+	}
+	m.AddGlobal(&ir.Global{Name: "cli_bch", Data: bch})
+
+	b := ir.NewFunc("main", 2)
+	aReq, aResp := b.Param(0), b.Param(1)
+	rbuf := b.Global("cli_rbuf", 0)
+	bcfg := b.Global("cli_bch", 0)
+	bReq := b.Load(bcfg, 0, 8)
+	bResp := b.Load(bcfg, 8, 8)
+	// Ready handshakes from both servers (order matches scheduling).
+	b.EcallV(kernel.SysRecv, aResp, rbuf, b.Const(langrt.WBufSize))
+	b.EcallV(kernel.SysRecv, bResp, rbuf, b.Const(langrt.WBufSize))
+	b.EcallV(kernel.M5Checkpoint)
+
+	gA := b.Global("cli_reqA", 0)
+	gB := b.Global("cli_reqB", 0)
+	lA := b.Const(int64(len(reqA)))
+	lB := b.Const(int64(len(reqB)))
+
+	i := b.Const(1)
+	loop, done := b.NewLabel("loop"), b.NewLabel("done")
+	b.Label(loop)
+	b.BrI(ir.Gt, i, rounds, done)
+	notLast := b.NewLabel("nl")
+	b.BrI(ir.Ne, i, rounds, notLast)
+	b.EcallV(kernel.M5ResetStats)
+	b.Label(notLast)
+	b.EcallV(kernel.SysSend, aReq, gA, lA)
+	b.EcallV(kernel.SysRecv, aResp, rbuf, b.Const(langrt.WBufSize))
+	dumped := b.NewLabel("nd")
+	b.BrI(ir.Ne, i, rounds, dumped)
+	b.EcallV(kernel.M5DumpStats)
+	b.Label(dumped)
+	// B's interleaving request thrashes A's microarchitectural state.
+	b.EcallV(kernel.SysSend, bReq, gB, lB)
+	b.EcallV(kernel.SysRecv, bResp, rbuf, b.Const(langrt.WBufSize))
+	b.AddIInto(i, i, 1)
+	b.Jmp(loop)
+	b.Label(done)
+	b.EcallV(kernel.M5Exit)
+	m.AddFunc(b.Build())
+	return m
+}

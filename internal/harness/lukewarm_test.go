@@ -1,0 +1,36 @@
+package harness
+
+import (
+	"testing"
+
+	"svbench/internal/isa"
+)
+
+func TestLukewarmExecution(t *testing.T) {
+	// Interleaving auth-go with fibonacci-python on the same core must
+	// leave auth-go's "warm" requests slower than its solo warm — the
+	// §2.1 lukewarm effect: the interpreter's footprint evicts auth's
+	// front-end state between invocations.
+	specs := StandaloneSpecs()
+	var authGo, fibPy *Spec
+	for i := range specs {
+		switch specs[i].Name {
+		case "auth-go":
+			authGo = &specs[i]
+		case "fibonacci-python":
+			fibPy = &specs[i]
+		}
+	}
+	res, err := RunLukewarm(isa.RV64, *authGo, *fibPy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("auth-go warm: solo=%d lukewarm=%d (l1i %d -> %d)",
+		res.Solo, res.Lukewarm, res.SoloL1I, res.LukeL1I)
+	if res.Lukewarm <= res.Solo {
+		t.Fatalf("lukewarm (%d) must exceed solo warm (%d)", res.Lukewarm, res.Solo)
+	}
+	if res.LukeL1I <= res.SoloL1I {
+		t.Fatalf("lukewarm L1I misses (%d) must exceed solo (%d)", res.LukeL1I, res.SoloL1I)
+	}
+}

@@ -1,0 +1,175 @@
+package harness
+
+import (
+	"sync"
+	"testing"
+
+	"svbench/internal/isa"
+	"svbench/internal/langrt"
+)
+
+// The shape checks of DESIGN.md §3: every qualitative claim of the
+// thesis's evaluation, asserted against the regenerated results.
+
+var (
+	shapeOnce sync.Once
+	shapeRes  map[isa.Arch]map[string]*Result
+	shapeErr  error
+)
+
+func sweep(t *testing.T) map[isa.Arch]map[string]*Result {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full shape sweep")
+	}
+	shapeOnce.Do(func() {
+		shapeRes = map[isa.Arch]map[string]*Result{}
+		specs := append(append(StandaloneSpecs(), ShopSpecs()...), HotelSpecs(EngineCassandra)...)
+		for _, arch := range []isa.Arch{isa.RV64, isa.CISC64} {
+			shapeRes[arch] = map[string]*Result{}
+			for _, sp := range specs {
+				r, err := Run(arch, sp)
+				if err != nil {
+					shapeErr = err
+					return
+				}
+				shapeRes[arch][sp.Name] = r
+			}
+		}
+	})
+	if shapeErr != nil {
+		t.Fatal(shapeErr)
+	}
+	return shapeRes
+}
+
+// Shape 1: warm beats cold everywhere; Node.js shows a strong JIT warm-up.
+func TestShapeColdWarm(t *testing.T) {
+	res := sweep(t)
+	for arch, byName := range res {
+		for name, r := range byName {
+			if r.Cold.Cycles <= r.Warm.Cycles {
+				t.Errorf("%s/%s: cold %d <= warm %d", arch, name, r.Cold.Cycles, r.Warm.Cycles)
+			}
+		}
+	}
+	nd := res[isa.RV64]["fibonacci-nodejs"]
+	if ratio := float64(nd.Cold.Cycles) / float64(nd.Warm.Cycles); ratio < 1.5 {
+		t.Errorf("nodejs cold/warm ratio %.2f, want >= 1.5 (Fig 4.4)", ratio)
+	}
+}
+
+// Shape 2: the hotel application dwarfs the standalone functions in cold
+// cycles; profile has the worst cold of the suite and is among the best
+// warm within the Memcached trio (Fig 4.5).
+func TestShapeHotelHeavier(t *testing.T) {
+	res := sweep(t)[isa.RV64]
+	goCold := res["fibonacci-go"].Cold.Cycles
+	profCold := res["profile"].Cold.Cycles
+	// The thesis reports ~10x at its workload scale; at this repository's
+	// reduced inputs the gap compresses (EXPERIMENTS.md documents this).
+	if profCold < 6*goCold {
+		t.Errorf("profile cold (%d) should be >= 6x fibonacci-go cold (%d)", profCold, goCold)
+	}
+	for _, fn := range []string{"geo", "recommendation", "user", "reservation", "rate"} {
+		if res[fn].Cold.Cycles >= profCold {
+			t.Errorf("%s cold (%d) should be below profile cold (%d)", fn, res[fn].Cold.Cycles, profCold)
+		}
+	}
+}
+
+// Shape 3: the Memcached-backed functions show far more L2 misses than the
+// database-only trio in cold runs (Figs 4.10/4.11).
+func TestShapeMemcachedL2(t *testing.T) {
+	res := sweep(t)[isa.RV64]
+	mcWorst := res["rate"].Cold.L2Misses
+	if p := res["profile"].Cold.L2Misses; p > mcWorst {
+		mcWorst = p
+	}
+	for _, fn := range []string{"geo", "recommendation", "user"} {
+		if res[fn].Cold.L2Misses >= mcWorst {
+			t.Errorf("%s cold L2 misses (%d) should be below the memcached-backed worst (%d)",
+				fn, res[fn].Cold.L2Misses, mcWorst)
+		}
+	}
+}
+
+// Shape 4: the hotel L1-miss split shifts from data-dominated in cold runs
+// toward instruction-dominated in warm runs (Figs 4.8/4.9).
+func TestShapeL1Split(t *testing.T) {
+	res := sweep(t)[isa.RV64]
+	var coldD, coldT, warmD, warmT float64
+	for _, fn := range []string{"geo", "recommendation", "user", "reservation", "rate", "profile"} {
+		r := res[fn]
+		coldD += float64(r.Cold.L1DMisses)
+		coldT += float64(r.Cold.L1DMisses + r.Cold.L1IMisses)
+		warmD += float64(r.Warm.L1DMisses)
+		warmT += float64(r.Warm.L1DMisses + r.Warm.L1IMisses)
+	}
+	coldPct := 100 * coldD / coldT
+	warmPct := 100 * warmD / warmT
+	if coldPct <= warmPct {
+		t.Errorf("data-miss share should drop from cold (%.0f%%) to warm (%.0f%%)", coldPct, warmPct)
+	}
+	if coldPct < 40 {
+		t.Errorf("cold data-miss share %.0f%%, expected the data-dominated regime", coldPct)
+	}
+}
+
+// Shape 5: RISC-V beats x86 on cycles for every ported benchmark; for
+// several, RISC-V cold beats x86 warm; the driver is instruction count
+// (Figs 4.15/4.16).
+func TestShapeISAAdvantage(t *testing.T) {
+	res := sweep(t)
+	crossovers := 0
+	for name, rv := range res[isa.RV64] {
+		x := res[isa.CISC64][name]
+		if rv.Cold.Cycles >= x.Cold.Cycles {
+			t.Errorf("%s: rv64 cold (%d) should beat cisc64 cold (%d)", name, rv.Cold.Cycles, x.Cold.Cycles)
+		}
+		if rv.Warm.Cycles >= x.Warm.Cycles {
+			t.Errorf("%s: rv64 warm (%d) should beat cisc64 warm (%d)", name, rv.Warm.Cycles, x.Warm.Cycles)
+		}
+		if rv.Cold.Insts >= x.Cold.Insts {
+			t.Errorf("%s: rv64 cold insts (%d) should be below cisc64 (%d)", name, rv.Cold.Insts, x.Cold.Insts)
+		}
+		if rv.Cold.Cycles < x.Warm.Cycles {
+			crossovers++
+		}
+	}
+	if crossovers == 0 {
+		t.Error("expected some functions where rv64 cold beats cisc64 warm (Fig 4.15)")
+	}
+}
+
+// Shape 6: Python cold starts dominate on x86 — roughly 10x their warm
+// executions (Fig 4.12), with fibonacci the clearest case.
+func TestShapePythonColdX86(t *testing.T) {
+	res := sweep(t)[isa.CISC64]
+	fib := res["fibonacci-python"]
+	if ratio := float64(fib.Cold.Cycles) / float64(fib.Warm.Cycles); ratio < 5 {
+		t.Errorf("x86 fibonacci-python cold/warm %.1fx, want >= 5x", ratio)
+	}
+	// emailservice is the documented exception: a smaller cold/warm gap
+	// than the other Python functions thanks to fewer L2 misses.
+	email := res["emailservice-python"]
+	emailRatio := float64(email.Cold.Cycles) / float64(email.Warm.Cycles)
+	fibRatio := float64(fib.Cold.Cycles) / float64(fib.Warm.Cycles)
+	if emailRatio >= fibRatio {
+		t.Errorf("emailservice cold/warm (%.1fx) should be below fibonacci-python's (%.1fx)",
+			emailRatio, fibRatio)
+	}
+}
+
+// Shape 7: the Go runtime is the leanest in both phases on RISC-V.
+func TestShapeGoLeanest(t *testing.T) {
+	res := sweep(t)[isa.RV64]
+	for _, fn := range []string{"fibonacci", "auth"} {
+		gr := res[fn+"-go"]
+		py := res[fn+"-python"]
+		if py.Cold.Cycles <= gr.Cold.Cycles {
+			t.Errorf("%s: python cold (%d) should exceed go cold (%d)", fn, py.Cold.Cycles, gr.Cold.Cycles)
+		}
+	}
+	_ = langrt.GoRT
+}

@@ -1,0 +1,265 @@
+package ir
+
+import "fmt"
+
+// Builder constructs a Function imperatively. Methods that produce values
+// allocate and return fresh virtual registers; labels are forward-referenced
+// by name and resolved by Build.
+type Builder struct {
+	fn      *Function
+	labels  map[string]int
+	pending []int // instruction indices with unresolved labels
+	syms    []string
+	nlabel  int
+}
+
+// NewFunc starts building a function with the given number of parameters.
+// Parameters occupy registers 0..nParams-1.
+func NewFunc(name string, nParams int) *Builder {
+	return &Builder{
+		fn: &Function{
+			Name:    name,
+			NParams: nParams,
+			NRegs:   nParams,
+		},
+		labels: map[string]int{},
+	}
+}
+
+// Reg allocates a fresh virtual register.
+func (b *Builder) Reg() Reg {
+	r := Reg(b.fn.NRegs)
+	b.fn.NRegs++
+	return r
+}
+
+// Param returns the register holding parameter i.
+func (b *Builder) Param(i int) Reg {
+	if i < 0 || i >= b.fn.NParams {
+		panic(fmt.Sprintf("ir: %s has no parameter %d", b.fn.Name, i))
+	}
+	return Reg(i)
+}
+
+// Buf declares a frame-local buffer of size bytes and returns its name.
+func (b *Builder) Buf(name string, size int64) string {
+	b.fn.Bufs = append(b.fn.Bufs, Buffer{Name: name, Size: size})
+	return name
+}
+
+func (b *Builder) emit(in Instr) int {
+	b.fn.Code = append(b.fn.Code, in)
+	return len(b.fn.Code) - 1
+}
+
+func (b *Builder) emitBranch(in Instr, label string) {
+	idx := b.emit(in)
+	b.pending = append(b.pending, idx)
+	b.syms = append(b.syms, label)
+}
+
+// NewLabel returns a unique label name.
+func (b *Builder) NewLabel(hint string) string {
+	b.nlabel++
+	return fmt.Sprintf(".%s.%d", hint, b.nlabel)
+}
+
+// Label binds name to the next instruction.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		panic("ir: duplicate label " + name)
+	}
+	b.labels[name] = len(b.fn.Code)
+}
+
+// Const materializes an immediate into a fresh register.
+func (b *Builder) Const(v int64) Reg {
+	d := b.Reg()
+	b.emit(Instr{Op: OpConst, Dst: d, Imm: v})
+	return d
+}
+
+// ConstInto sets an existing register to an immediate.
+func (b *Builder) ConstInto(d Reg, v int64) {
+	b.emit(Instr{Op: OpConst, Dst: d, Imm: v})
+}
+
+// Mov copies a into a fresh register.
+func (b *Builder) Mov(a Reg) Reg {
+	d := b.Reg()
+	b.emit(Instr{Op: OpMov, Dst: d, A: a})
+	return d
+}
+
+// MovInto copies a into d.
+func (b *Builder) MovInto(d, a Reg) {
+	b.emit(Instr{Op: OpMov, Dst: d, A: a})
+}
+
+func (b *Builder) bin(op Op, a, c Reg) Reg {
+	d := b.Reg()
+	b.emit(Instr{Op: op, Dst: d, A: a, B: c})
+	return d
+}
+
+func (b *Builder) binInto(op Op, d, a, c Reg) {
+	b.emit(Instr{Op: op, Dst: d, A: a, B: c})
+}
+
+// Binary operations producing fresh registers.
+func (b *Builder) Add(a, c Reg) Reg  { return b.bin(OpAdd, a, c) }
+func (b *Builder) Sub(a, c Reg) Reg  { return b.bin(OpSub, a, c) }
+func (b *Builder) Mul(a, c Reg) Reg  { return b.bin(OpMul, a, c) }
+func (b *Builder) Div(a, c Reg) Reg  { return b.bin(OpDiv, a, c) }
+func (b *Builder) Rem(a, c Reg) Reg  { return b.bin(OpRem, a, c) }
+func (b *Builder) DivU(a, c Reg) Reg { return b.bin(OpDivU, a, c) }
+func (b *Builder) RemU(a, c Reg) Reg { return b.bin(OpRemU, a, c) }
+func (b *Builder) And(a, c Reg) Reg  { return b.bin(OpAnd, a, c) }
+func (b *Builder) Or(a, c Reg) Reg   { return b.bin(OpOr, a, c) }
+func (b *Builder) Xor(a, c Reg) Reg  { return b.bin(OpXor, a, c) }
+func (b *Builder) Shl(a, c Reg) Reg  { return b.bin(OpShl, a, c) }
+func (b *Builder) Shr(a, c Reg) Reg  { return b.bin(OpShr, a, c) }
+func (b *Builder) Sra(a, c Reg) Reg  { return b.bin(OpSra, a, c) }
+
+// In-place binary operations.
+func (b *Builder) AddInto(d, a, c Reg) { b.binInto(OpAdd, d, a, c) }
+func (b *Builder) SubInto(d, a, c Reg) { b.binInto(OpSub, d, a, c) }
+func (b *Builder) MulInto(d, a, c Reg) { b.binInto(OpMul, d, a, c) }
+func (b *Builder) XorInto(d, a, c Reg) { b.binInto(OpXor, d, a, c) }
+func (b *Builder) OrInto(d, a, c Reg)  { b.binInto(OpOr, d, a, c) }
+func (b *Builder) AndInto(d, a, c Reg) { b.binInto(OpAnd, d, a, c) }
+
+func (b *Builder) binI(op Op, a Reg, imm int64) Reg {
+	d := b.Reg()
+	b.emit(Instr{Op: op, Dst: d, A: a, Imm: imm})
+	return d
+}
+
+// Immediate binary operations.
+func (b *Builder) AddI(a Reg, imm int64) Reg { return b.binI(OpAddI, a, imm) }
+func (b *Builder) MulI(a Reg, imm int64) Reg { return b.binI(OpMulI, a, imm) }
+func (b *Builder) AndI(a Reg, imm int64) Reg { return b.binI(OpAndI, a, imm) }
+func (b *Builder) OrI(a Reg, imm int64) Reg  { return b.binI(OpOrI, a, imm) }
+func (b *Builder) XorI(a Reg, imm int64) Reg { return b.binI(OpXorI, a, imm) }
+func (b *Builder) ShlI(a Reg, imm int64) Reg { return b.binI(OpShlI, a, imm) }
+func (b *Builder) ShrI(a Reg, imm int64) Reg { return b.binI(OpShrI, a, imm) }
+func (b *Builder) SraI(a Reg, imm int64) Reg { return b.binI(OpSraI, a, imm) }
+
+// AddIInto computes d = a + imm.
+func (b *Builder) AddIInto(d, a Reg, imm int64) {
+	b.emit(Instr{Op: OpAddI, Dst: d, A: a, Imm: imm})
+}
+
+// Set computes (a cond c) as 0/1 in a fresh register.
+func (b *Builder) Set(cond Cond, a, c Reg) Reg {
+	d := b.Reg()
+	b.emit(Instr{Op: OpSet, Dst: d, A: a, B: c, Cond: cond})
+	return d
+}
+
+// Load reads sz bytes at a+off into a fresh register (sign-extended).
+func (b *Builder) Load(a Reg, off int64, sz uint8) Reg {
+	d := b.Reg()
+	b.emit(Instr{Op: OpLoad, Dst: d, A: a, Imm: off, Sz: sz})
+	return d
+}
+
+// LoadU reads sz bytes at a+off zero-extended.
+func (b *Builder) LoadU(a Reg, off int64, sz uint8) Reg {
+	d := b.Reg()
+	b.emit(Instr{Op: OpLoad, Dst: d, A: a, Imm: off, Sz: sz, Uns: true})
+	return d
+}
+
+// LoadInto reads sz bytes at a+off into d.
+func (b *Builder) LoadInto(d, a Reg, off int64, sz uint8, unsigned bool) {
+	b.emit(Instr{Op: OpLoad, Dst: d, A: a, Imm: off, Sz: sz, Uns: unsigned})
+}
+
+// Store writes the low sz bytes of v to a+off.
+func (b *Builder) Store(a Reg, off int64, v Reg, sz uint8) {
+	b.emit(Instr{Op: OpStore, A: a, B: v, Imm: off, Sz: sz})
+}
+
+// Br branches to label when a cond c.
+func (b *Builder) Br(cond Cond, a, c Reg, label string) {
+	b.emitBranch(Instr{Op: OpBr, A: a, B: c, Cond: cond}, label)
+}
+
+// BrI branches to label when a cond imm.
+func (b *Builder) BrI(cond Cond, a Reg, imm int64, label string) {
+	b.emitBranch(Instr{Op: OpBrI, A: a, Imm: imm, Cond: cond}, label)
+}
+
+// Jmp jumps to label.
+func (b *Builder) Jmp(label string) {
+	b.emitBranch(Instr{Op: OpJmp}, label)
+}
+
+// Call invokes fn with args, returning the result register.
+func (b *Builder) Call(fn string, args ...Reg) Reg {
+	d := b.Reg()
+	b.emit(Instr{Op: OpCall, Dst: d, Sym: fn, Args: args})
+	return d
+}
+
+// CallV invokes fn with args, discarding any result.
+func (b *Builder) CallV(fn string, args ...Reg) {
+	b.emit(Instr{Op: OpCall, Dst: NoReg, Sym: fn, Args: args})
+}
+
+// Ecall issues environment call num with args, returning the result.
+func (b *Builder) Ecall(num int64, args ...Reg) Reg {
+	d := b.Reg()
+	b.emit(Instr{Op: OpEcall, Dst: d, Imm: num, Args: args})
+	return d
+}
+
+// EcallV issues environment call num with args, discarding the result.
+func (b *Builder) EcallV(num int64, args ...Reg) {
+	b.emit(Instr{Op: OpEcall, Dst: NoReg, Imm: num, Args: args})
+}
+
+// Global yields the address of global sym plus off.
+func (b *Builder) Global(sym string, off int64) Reg {
+	d := b.Reg()
+	b.emit(Instr{Op: OpGlobal, Dst: d, Sym: sym, Imm: off})
+	return d
+}
+
+// Frame yields the address of frame buffer buf plus off.
+func (b *Builder) Frame(buf string, off int64) Reg {
+	d := b.Reg()
+	b.emit(Instr{Op: OpFrame, Dst: d, Sym: buf, Imm: off})
+	return d
+}
+
+// Ret returns a (pass NoReg for void).
+func (b *Builder) Ret(a Reg) {
+	b.emit(Instr{Op: OpRet, A: a})
+}
+
+// Ret0 returns constant zero.
+func (b *Builder) Ret0() {
+	b.Ret(b.Const(0))
+}
+
+// Fence emits a memory fence marker.
+func (b *Builder) Fence() { b.emit(Instr{Op: OpFence}) }
+
+// Build resolves labels and returns the finished function.
+func (b *Builder) Build() *Function {
+	for i, idx := range b.pending {
+		tgt, ok := b.labels[b.syms[i]]
+		if !ok {
+			panic(fmt.Sprintf("ir: %s: undefined label %q", b.fn.Name, b.syms[i]))
+		}
+		b.fn.Code[idx].Tgt = tgt
+	}
+	// Guarantee the function terminates even if the author forgot a
+	// trailing return.
+	if n := len(b.fn.Code); n == 0 || (b.fn.Code[n-1].Op != OpRet && b.fn.Code[n-1].Op != OpJmp) {
+		b.Ret(b.Const(0))
+	}
+	return b.fn
+}

@@ -1,0 +1,241 @@
+package ir
+
+import "fmt"
+
+// Inline returns a copy of fn with every OpCall expanded into the callee's
+// body (transitively). It is used by the bytecode compiler in the language
+// runtimes, whose virtual machine executes flat, intraprocedural bytecode —
+// mirroring how small serverless handlers are flattened by e.g. a tracing
+// JIT. Recursive call chains are rejected.
+//
+// Frame buffers of inlined callees are hoisted into the caller with
+// uniquified names. Ecalls are preserved as-is.
+func Inline(m *Module, fn *Function) (*Function, error) {
+	out := &Function{
+		Name:    fn.Name + ".flat",
+		NParams: fn.NParams,
+	}
+	var seen []string
+	nregs, err := inlineInto(m, fn, out, nil, &seen, 0)
+	if err != nil {
+		return nil, err
+	}
+	out.NRegs = nregs
+	return out, nil
+}
+
+// inlineInto appends f's body to out. argRegs maps f's parameters to
+// caller registers (nil for the root function). Returns the running
+// register high-water mark.
+func inlineInto(m *Module, f *Function, out *Function, argRegs []Reg, seen *[]string, regBase int) (int, error) {
+	for _, s := range *seen {
+		if s == f.Name {
+			return 0, fmt.Errorf("ir: inline: recursive call to %s", f.Name)
+		}
+	}
+	*seen = append(*seen, f.Name)
+	defer func() { *seen = (*seen)[:len(*seen)-1] }()
+
+	// Register remapping: parameters map to caller-provided registers;
+	// everything else shifts up by regBase.
+	remap := func(r Reg) Reg {
+		if r == NoReg {
+			return NoReg
+		}
+		if argRegs != nil && int(r) < f.NParams {
+			return argRegs[r]
+		}
+		return Reg(int(r) + regBase)
+	}
+	high := regBase + f.NRegs
+
+	// Hoist frame buffers with unique names.
+	bufPrefix := fmt.Sprintf("i%d.", len(out.Code))
+	bufName := map[string]string{}
+	for _, bf := range f.Bufs {
+		nn := bufPrefix + bf.Name
+		bufName[bf.Name] = nn
+		out.Bufs = append(out.Bufs, Buffer{Name: nn, Size: bf.Size})
+	}
+
+	base := len(out.Code)
+	// First pass: copy instructions, expanding calls. Record a mapping
+	// from callee instruction index to out index for branch fixup.
+	idxMap := make([]int, len(f.Code)+1)
+	type fix struct{ outIdx, tgt int }
+	var fixes []fix
+	endLabelUses := []int{} // OpRet sites turned into jumps to the end
+
+	for i, in := range f.Code {
+		idxMap[i] = len(out.Code)
+		switch in.Op {
+		case OpCall:
+			callee := m.Func(in.Sym)
+			if callee == nil {
+				return 0, fmt.Errorf("ir: inline: unknown callee %s", in.Sym)
+			}
+			if callee.Lib {
+				// Library calls stay calls: interpreted runtimes invoke
+				// them as native builtins, mirroring CPython's C calls.
+				out.Code = append(out.Code, remapInstr(in, remap, bufName))
+				continue
+			}
+			// Materialize args into the callee's (remapped) param regs.
+			cArgs := make([]Reg, callee.NParams)
+			for ai := 0; ai < callee.NParams; ai++ {
+				pr := Reg(high + ai)
+				var src Reg
+				if ai < len(in.Args) {
+					src = remap(in.Args[ai])
+				} else {
+					src = NoReg
+				}
+				if src == NoReg {
+					out.Code = append(out.Code, Instr{Op: OpConst, Dst: pr, Imm: 0})
+				} else {
+					out.Code = append(out.Code, Instr{Op: OpMov, Dst: pr, A: src})
+				}
+				cArgs[ai] = pr
+			}
+			childBase := high + callee.NParams
+			h2, err := inlineCallee(m, callee, out, cArgs, remap(in.Dst), seen, childBase)
+			if err != nil {
+				return 0, err
+			}
+			if h2 > high {
+				high = h2
+			}
+		case OpBr, OpBrI, OpJmp:
+			out.Code = append(out.Code, remapInstr(in, remap, bufName))
+			fixes = append(fixes, fix{len(out.Code) - 1, in.Tgt})
+		case OpRet:
+			if argRegs == nil {
+				// Root function: keep the return.
+				out.Code = append(out.Code, remapInstr(in, remap, bufName))
+			} else {
+				panic("ir: inlineInto root reached callee path") // handled in inlineCallee
+			}
+		default:
+			out.Code = append(out.Code, remapInstr(in, remap, bufName))
+		}
+	}
+	idxMap[len(f.Code)] = len(out.Code)
+	_ = endLabelUses
+	_ = base
+	for _, fx := range fixes {
+		out.Code[fx.outIdx].Tgt = idxMap[fx.tgt]
+	}
+	return high, nil
+}
+
+// inlineCallee splices callee's body into out, turning returns into
+// assignments to dst plus jumps past the spliced body.
+func inlineCallee(m *Module, f *Function, out *Function, argRegs []Reg, dst Reg, seen *[]string, regBase int) (int, error) {
+	for _, s := range *seen {
+		if s == f.Name {
+			return 0, fmt.Errorf("ir: inline: recursive call to %s", f.Name)
+		}
+	}
+	*seen = append(*seen, f.Name)
+	defer func() { *seen = (*seen)[:len(*seen)-1] }()
+
+	remap := func(r Reg) Reg {
+		if r == NoReg {
+			return NoReg
+		}
+		if int(r) < f.NParams {
+			return argRegs[r]
+		}
+		return Reg(int(r) + regBase)
+	}
+	high := regBase + f.NRegs
+
+	bufPrefix := fmt.Sprintf("i%d.", len(out.Code))
+	bufName := map[string]string{}
+	for _, bf := range f.Bufs {
+		nn := bufPrefix + bf.Name
+		bufName[bf.Name] = nn
+		out.Bufs = append(out.Bufs, Buffer{Name: nn, Size: bf.Size})
+	}
+
+	idxMap := make([]int, len(f.Code)+1)
+	type fix struct{ outIdx, tgt int }
+	var fixes []fix
+	var retJumps []int
+
+	for i, in := range f.Code {
+		idxMap[i] = len(out.Code)
+		switch in.Op {
+		case OpCall:
+			callee := m.Func(in.Sym)
+			if callee == nil {
+				return 0, fmt.Errorf("ir: inline: unknown callee %s", in.Sym)
+			}
+			if callee.Lib {
+				out.Code = append(out.Code, remapInstr(in, remap, bufName))
+				continue
+			}
+			cArgs := make([]Reg, callee.NParams)
+			for ai := 0; ai < callee.NParams; ai++ {
+				pr := Reg(high + ai)
+				if ai < len(in.Args) && remap(in.Args[ai]) != NoReg {
+					out.Code = append(out.Code, Instr{Op: OpMov, Dst: pr, A: remap(in.Args[ai])})
+				} else {
+					out.Code = append(out.Code, Instr{Op: OpConst, Dst: pr, Imm: 0})
+				}
+				cArgs[ai] = pr
+			}
+			childBase := high + callee.NParams
+			h2, err := inlineCallee(m, callee, out, cArgs, remap(in.Dst), seen, childBase)
+			if err != nil {
+				return 0, err
+			}
+			if h2 > high {
+				high = h2
+			}
+		case OpBr, OpBrI, OpJmp:
+			out.Code = append(out.Code, remapInstr(in, remap, bufName))
+			fixes = append(fixes, fix{len(out.Code) - 1, in.Tgt})
+		case OpRet:
+			if dst != NoReg {
+				if in.A == NoReg {
+					out.Code = append(out.Code, Instr{Op: OpConst, Dst: dst, Imm: 0})
+				} else {
+					out.Code = append(out.Code, Instr{Op: OpMov, Dst: dst, A: remap(in.A)})
+				}
+			}
+			out.Code = append(out.Code, Instr{Op: OpJmp})
+			retJumps = append(retJumps, len(out.Code)-1)
+		default:
+			out.Code = append(out.Code, remapInstr(in, remap, bufName))
+		}
+	}
+	idxMap[len(f.Code)] = len(out.Code)
+	for _, fx := range fixes {
+		out.Code[fx.outIdx].Tgt = idxMap[fx.tgt]
+	}
+	end := len(out.Code)
+	for _, rj := range retJumps {
+		out.Code[rj].Tgt = end
+	}
+	return high, nil
+}
+
+func remapInstr(in Instr, remap func(Reg) Reg, bufName map[string]string) Instr {
+	cp := in
+	cp.Dst = remap(in.Dst)
+	cp.A = remap(in.A)
+	cp.B = remap(in.B)
+	if len(in.Args) > 0 {
+		cp.Args = make([]Reg, len(in.Args))
+		for i, a := range in.Args {
+			cp.Args[i] = remap(a)
+		}
+	}
+	if in.Op == OpFrame {
+		if nn, ok := bufName[in.Sym]; ok {
+			cp.Sym = nn
+		}
+	}
+	return cp
+}

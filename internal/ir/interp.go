@@ -1,0 +1,263 @@
+package ir
+
+import "fmt"
+
+// EcallFunc handles an environment call in the reference interpreter.
+type EcallFunc func(num int64, args [6]int64, m []byte) int64
+
+// Interp is a reference interpreter for IR modules. It executes IR
+// directly (no machine code) and is used for differential testing: a
+// program must produce identical results under the interpreter, the RV64
+// backend and the CISC64 backend.
+type Interp struct {
+	Mod    *Module
+	Mem    []byte
+	Ecall  EcallFunc
+	glob   map[string]int64
+	sp     int64
+	MaxIns int64 // execution budget; 0 means default
+	nexec  int64
+}
+
+// NewInterp builds an interpreter with memSize bytes of memory, laying out
+// the module's globals from address 0x1000 upward and a stack at the top.
+func NewInterp(m *Module, memSize int) *Interp {
+	it := &Interp{
+		Mod:  m,
+		Mem:  make([]byte, memSize),
+		glob: map[string]int64{},
+		sp:   int64(memSize),
+	}
+	addr := int64(0x1000)
+	for _, g := range m.Globals {
+		if g.Align > 1 {
+			addr = (addr + g.Align - 1) / g.Align * g.Align
+		}
+		it.glob[g.Name] = addr
+		copy(it.Mem[addr:], g.Data)
+		addr += int64(len(g.Data))
+	}
+	return it
+}
+
+// GlobalAddr returns the interpreter's address of a global.
+func (it *Interp) GlobalAddr(name string) int64 {
+	a, ok := it.glob[name]
+	if !ok {
+		panic("ir: unknown global " + name)
+	}
+	return a
+}
+
+func (it *Interp) read(addr int64, sz uint8, unsigned bool) int64 {
+	if addr < 0 || addr+int64(sz) > int64(len(it.Mem)) {
+		panic(fmt.Sprintf("ir: interp load out of range addr=%#x sz=%d", addr, sz))
+	}
+	var v uint64
+	for i := uint8(0); i < sz; i++ {
+		v |= uint64(it.Mem[addr+int64(i)]) << (8 * i)
+	}
+	if !unsigned {
+		switch sz {
+		case 1:
+			v = uint64(int64(int8(v)))
+		case 2:
+			v = uint64(int64(int16(v)))
+		case 4:
+			v = uint64(int64(int32(v)))
+		}
+	}
+	return int64(v)
+}
+
+func (it *Interp) write(addr int64, sz uint8, val int64) {
+	if addr < 0 || addr+int64(sz) > int64(len(it.Mem)) {
+		panic(fmt.Sprintf("ir: interp store out of range addr=%#x sz=%d", addr, sz))
+	}
+	v := uint64(val)
+	for i := uint8(0); i < sz; i++ {
+		it.Mem[addr+int64(i)] = byte(v >> (8 * i))
+	}
+}
+
+// Run executes the named function with args and returns its result.
+func (it *Interp) Run(fn string, args ...int64) int64 {
+	f := it.Mod.Func(fn)
+	if f == nil {
+		panic("ir: unknown function " + fn)
+	}
+	it.nexec = 0
+	return it.call(f, args)
+}
+
+// Executed reports the number of IR instructions executed by the last Run.
+func (it *Interp) Executed() int64 { return it.nexec }
+
+func (it *Interp) call(f *Function, args []int64) int64 {
+	budget := it.MaxIns
+	if budget == 0 {
+		budget = 1 << 30
+	}
+	regs := make([]int64, f.NRegs)
+	copy(regs, args)
+	// Allocate frame buffer area on the interpreter stack.
+	area := f.BufArea()
+	it.sp -= area
+	frameBase := it.sp
+	defer func() { it.sp += area }()
+
+	pc := 0
+	for pc < len(f.Code) {
+		if it.nexec++; it.nexec > budget {
+			panic("ir: interp execution budget exceeded in " + f.Name)
+		}
+		in := &f.Code[pc]
+		switch in.Op {
+		case OpNop, OpFence:
+		case OpConst:
+			regs[in.Dst] = in.Imm
+		case OpMov:
+			regs[in.Dst] = regs[in.A]
+		case OpAdd:
+			regs[in.Dst] = regs[in.A] + regs[in.B]
+		case OpSub:
+			regs[in.Dst] = regs[in.A] - regs[in.B]
+		case OpMul:
+			regs[in.Dst] = regs[in.A] * regs[in.B]
+		case OpDiv:
+			regs[in.Dst] = divS(regs[in.A], regs[in.B])
+		case OpRem:
+			regs[in.Dst] = remS(regs[in.A], regs[in.B])
+		case OpDivU:
+			regs[in.Dst] = divU(regs[in.A], regs[in.B])
+		case OpRemU:
+			regs[in.Dst] = remU(regs[in.A], regs[in.B])
+		case OpAnd:
+			regs[in.Dst] = regs[in.A] & regs[in.B]
+		case OpOr:
+			regs[in.Dst] = regs[in.A] | regs[in.B]
+		case OpXor:
+			regs[in.Dst] = regs[in.A] ^ regs[in.B]
+		case OpShl:
+			regs[in.Dst] = regs[in.A] << (uint64(regs[in.B]) & 63)
+		case OpShr:
+			regs[in.Dst] = int64(uint64(regs[in.A]) >> (uint64(regs[in.B]) & 63))
+		case OpSra:
+			regs[in.Dst] = regs[in.A] >> (uint64(regs[in.B]) & 63)
+		case OpAddI:
+			regs[in.Dst] = regs[in.A] + in.Imm
+		case OpMulI:
+			regs[in.Dst] = regs[in.A] * in.Imm
+		case OpAndI:
+			regs[in.Dst] = regs[in.A] & in.Imm
+		case OpOrI:
+			regs[in.Dst] = regs[in.A] | in.Imm
+		case OpXorI:
+			regs[in.Dst] = regs[in.A] ^ in.Imm
+		case OpShlI:
+			regs[in.Dst] = regs[in.A] << (uint64(in.Imm) & 63)
+		case OpShrI:
+			regs[in.Dst] = int64(uint64(regs[in.A]) >> (uint64(in.Imm) & 63))
+		case OpSraI:
+			regs[in.Dst] = regs[in.A] >> (uint64(in.Imm) & 63)
+		case OpSet:
+			if in.Cond.Eval(regs[in.A], regs[in.B]) {
+				regs[in.Dst] = 1
+			} else {
+				regs[in.Dst] = 0
+			}
+		case OpLoad:
+			regs[in.Dst] = it.read(regs[in.A]+in.Imm, in.Sz, in.Uns)
+		case OpStore:
+			it.write(regs[in.A]+in.Imm, in.Sz, regs[in.B])
+		case OpBr:
+			if in.Cond.Eval(regs[in.A], regs[in.B]) {
+				pc = in.Tgt
+				continue
+			}
+		case OpBrI:
+			if in.Cond.Eval(regs[in.A], in.Imm) {
+				pc = in.Tgt
+				continue
+			}
+		case OpJmp:
+			pc = in.Tgt
+			continue
+		case OpCall:
+			callee := it.Mod.Func(in.Sym)
+			if callee == nil {
+				panic("ir: call to unknown function " + in.Sym)
+			}
+			cargs := make([]int64, len(in.Args))
+			for i, a := range in.Args {
+				cargs[i] = regs[a]
+			}
+			ret := it.call(callee, cargs)
+			if in.Dst != NoReg {
+				regs[in.Dst] = ret
+			}
+		case OpRet:
+			if in.A == NoReg {
+				return 0
+			}
+			return regs[in.A]
+		case OpEcall:
+			var eargs [6]int64
+			for i, a := range in.Args {
+				eargs[i] = regs[a]
+			}
+			var ret int64
+			if it.Ecall != nil {
+				ret = it.Ecall(in.Imm, eargs, it.Mem)
+			}
+			if in.Dst != NoReg {
+				regs[in.Dst] = ret
+			}
+		case OpGlobal:
+			regs[in.Dst] = it.GlobalAddr(in.Sym) + in.Imm
+		case OpFrame:
+			off, _ := f.BufOffset(in.Sym)
+			regs[in.Dst] = frameBase + off + in.Imm
+		default:
+			panic(fmt.Sprintf("ir: interp: bad op %d", in.Op))
+		}
+		pc++
+	}
+	return 0
+}
+
+// divS implements RISC-V style signed division semantics (x/0 = -1,
+// overflow wraps), which both backends follow.
+func divS(a, b int64) int64 {
+	if b == 0 {
+		return -1
+	}
+	if a == -1<<63 && b == -1 {
+		return a
+	}
+	return a / b
+}
+
+func remS(a, b int64) int64 {
+	if b == 0 {
+		return a
+	}
+	if a == -1<<63 && b == -1 {
+		return 0
+	}
+	return a % b
+}
+
+func divU(a, b int64) int64 {
+	if b == 0 {
+		return -1
+	}
+	return int64(uint64(a) / uint64(b))
+}
+
+func remU(a, b int64) int64 {
+	if b == 0 {
+		return a
+	}
+	return int64(uint64(a) % uint64(b))
+}

@@ -1,0 +1,403 @@
+// Package ir defines the portable intermediate representation in which every
+// simulated program in this repository is written: the vSwarm workloads, the
+// language runtimes, the RPC stubs, the miniature kernel's syscall handlers,
+// and the libc variants. IR functions are compiled by the per-ISA code
+// generators (internal/isa/riscv, internal/isa/cisc) into genuine machine
+// code that executes on the simulated CPUs.
+//
+// The IR is a simple virtual-register machine: every value is a 64-bit
+// integer held in a virtual register, memory is accessed through explicit
+// load/store operations, and control flow uses labels. The representation is
+// deliberately low-level so that the code generators stay small and the
+// dynamic instruction streams remain faithful to what a real toolchain
+// would produce for these workloads.
+package ir
+
+import "fmt"
+
+// Reg identifies a virtual register within a function. Registers are
+// function-local; register 0..NParams-1 hold the incoming arguments.
+type Reg int
+
+// NoReg marks an absent register operand (e.g. a call whose result is
+// discarded).
+const NoReg Reg = -1
+
+// Op enumerates IR operations.
+type Op uint8
+
+// IR operations. Binary operations compute Dst = A <op> B; immediate
+// variants compute Dst = A <op> Imm.
+const (
+	OpNop Op = iota
+	// OpConst sets Dst = Imm.
+	OpConst
+	// OpMov sets Dst = A.
+	OpMov
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv // signed division; division by zero traps the interpreter
+	OpRem // signed remainder
+	OpDivU
+	OpRemU
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr // logical shift right
+	OpSra // arithmetic shift right
+	// OpAddI etc. compute Dst = A <op> Imm.
+	OpAddI
+	OpMulI
+	OpAndI
+	OpOrI
+	OpXorI
+	OpShlI
+	OpShrI
+	OpSraI
+	// OpSet* compute Dst = (A <cond> B) ? 1 : 0 using Cond.
+	OpSet
+	// OpLoad loads Sz bytes from address A+Imm into Dst (sign- or
+	// zero-extended according to Unsigned).
+	OpLoad
+	// OpStore stores the low Sz bytes of B to address A+Imm.
+	OpStore
+	// OpBr branches to Label when A <cond> B holds.
+	OpBr
+	// OpBrI branches to Label when A <cond> Imm holds.
+	OpBrI
+	// OpJmp jumps unconditionally to Label.
+	OpJmp
+	// OpCall invokes function Sym with Args, placing the result in Dst.
+	OpCall
+	// OpRet returns A (or nothing when A == NoReg).
+	OpRet
+	// OpEcall issues environment call number Imm with Args; result in Dst.
+	OpEcall
+	// OpGlobal sets Dst = address of global Sym plus Imm.
+	OpGlobal
+	// OpFrame sets Dst = address of frame-local buffer Sym plus Imm.
+	OpFrame
+	// OpFence is a no-op memory ordering marker (compiled to a real fence).
+	OpFence
+)
+
+// Cond enumerates comparison conditions for OpSet, OpBr and OpBrI.
+type Cond uint8
+
+// Comparison conditions.
+const (
+	Eq Cond = iota
+	Ne
+	Lt  // signed <
+	Le  // signed <=
+	Gt  // signed >
+	Ge  // signed >=
+	Ltu // unsigned <
+	Geu // unsigned >=
+)
+
+// Negate returns the logical negation of c.
+func (c Cond) Negate() Cond {
+	switch c {
+	case Eq:
+		return Ne
+	case Ne:
+		return Eq
+	case Lt:
+		return Ge
+	case Ge:
+		return Lt
+	case Le:
+		return Gt
+	case Gt:
+		return Le
+	case Ltu:
+		return Geu
+	case Geu:
+		return Ltu
+	}
+	panic("ir: bad cond")
+}
+
+// Eval reports whether a <c> b holds.
+func (c Cond) Eval(a, b int64) bool {
+	switch c {
+	case Eq:
+		return a == b
+	case Ne:
+		return a != b
+	case Lt:
+		return a < b
+	case Le:
+		return a <= b
+	case Gt:
+		return a > b
+	case Ge:
+		return a >= b
+	case Ltu:
+		return uint64(a) < uint64(b)
+	case Geu:
+		return uint64(a) >= uint64(b)
+	}
+	panic("ir: bad cond")
+}
+
+func (c Cond) String() string {
+	switch c {
+	case Eq:
+		return "eq"
+	case Ne:
+		return "ne"
+	case Lt:
+		return "lt"
+	case Le:
+		return "le"
+	case Gt:
+		return "gt"
+	case Ge:
+		return "ge"
+	case Ltu:
+		return "ltu"
+	case Geu:
+		return "geu"
+	}
+	return fmt.Sprintf("cond(%d)", uint8(c))
+}
+
+// Instr is a single IR instruction. Unused fields are zero.
+type Instr struct {
+	Op   Op
+	Dst  Reg
+	A, B Reg
+	Imm  int64
+	Sz   uint8 // access size for OpLoad/OpStore: 1, 2, 4 or 8
+	Uns  bool  // zero-extend loads when true
+	Cond Cond
+	Sym  string // callee, global or frame-buffer name
+	Tgt  int    // resolved label target (instruction index)
+	Args []Reg  // call/ecall arguments
+}
+
+// Buffer describes a frame-local scratch buffer.
+type Buffer struct {
+	Name string
+	Size int64
+}
+
+// Function is a compiled-form IR function: a flat instruction list with
+// resolved branch targets.
+type Function struct {
+	Name    string
+	NParams int
+	NRegs   int
+	Bufs    []Buffer
+	Code    []Instr
+	// Lib marks the function as library code (libc, runtime support).
+	// The CISC64 backend routes calls to Lib functions through its
+	// PLT/GOT model, mirroring dynamically-linked x86 userspace.
+	Lib bool
+}
+
+// BufOffset returns the byte offset of the named frame buffer within the
+// function's local-buffer area, and the total area size.
+func (f *Function) BufOffset(name string) (off, total int64) {
+	for _, b := range f.Bufs {
+		sz := (b.Size + 7) &^ 7
+		if b.Name == name {
+			off = total
+		}
+		total += sz
+	}
+	return off, total
+}
+
+// BufArea returns the total size of the function's frame buffer area.
+func (f *Function) BufArea() int64 {
+	_, total := f.BufOffset("")
+	return total
+}
+
+// Global is a named data blob placed in the program image.
+type Global struct {
+	Name  string
+	Data  []byte
+	Align int64
+}
+
+// Module is a set of functions and globals that link into one program.
+type Module struct {
+	Name    string
+	Funcs   []*Function
+	Globals []*Global
+	funcIdx map[string]*Function
+	globIdx map[string]*Global
+}
+
+// NewModule returns an empty module.
+func NewModule(name string) *Module {
+	return &Module{
+		Name:    name,
+		funcIdx: map[string]*Function{},
+		globIdx: map[string]*Global{},
+	}
+}
+
+// AddFunc adds fn to the module. It panics on duplicate names.
+func (m *Module) AddFunc(fn *Function) {
+	if _, dup := m.funcIdx[fn.Name]; dup {
+		panic("ir: duplicate function " + fn.Name)
+	}
+	m.Funcs = append(m.Funcs, fn)
+	m.funcIdx[fn.Name] = fn
+}
+
+// AddGlobal adds g to the module. It panics on duplicate names.
+func (m *Module) AddGlobal(g *Global) {
+	if _, dup := m.globIdx[g.Name]; dup {
+		panic("ir: duplicate global " + g.Name)
+	}
+	if g.Align == 0 {
+		g.Align = 8
+	}
+	m.Globals = append(m.Globals, g)
+	m.globIdx[g.Name] = g
+}
+
+// Func returns the named function, or nil.
+func (m *Module) Func(name string) *Function { return m.funcIdx[name] }
+
+// Glob returns the named global, or nil.
+func (m *Module) Glob(name string) *Global { return m.globIdx[name] }
+
+// Merge copies every function and global of other into m.
+// Duplicate names panic, keeping link errors loud and early.
+func (m *Module) Merge(other *Module) {
+	for _, f := range other.Funcs {
+		m.AddFunc(f)
+	}
+	for _, g := range other.Globals {
+		m.AddGlobal(g)
+	}
+}
+
+// MergeShared copies functions/globals from other, skipping names already
+// present. It is used to pull library code (libc) into multiple modules.
+func (m *Module) MergeShared(other *Module) {
+	for _, f := range other.Funcs {
+		if m.funcIdx[f.Name] == nil {
+			m.AddFunc(f)
+		}
+	}
+	for _, g := range other.Globals {
+		if m.globIdx[g.Name] == nil {
+			m.AddGlobal(g)
+		}
+	}
+}
+
+// Validate checks structural invariants of the module: branch targets in
+// range, register indices within NRegs, referenced symbols resolvable.
+func (m *Module) Validate() error {
+	for _, f := range m.Funcs {
+		if err := m.validateFunc(f); err != nil {
+			return fmt.Errorf("ir: function %s: %w", f.Name, err)
+		}
+	}
+	return nil
+}
+
+func (m *Module) validateFunc(f *Function) error {
+	checkReg := func(r Reg, what string, i int) error {
+		if r == NoReg {
+			return nil
+		}
+		if r < 0 || int(r) >= f.NRegs {
+			return fmt.Errorf("instr %d: %s register %d out of range [0,%d)", i, what, r, f.NRegs)
+		}
+		return nil
+	}
+	for i, in := range f.Code {
+		switch in.Op {
+		case OpBr, OpBrI, OpJmp:
+			if in.Tgt < 0 || in.Tgt > len(f.Code) {
+				return fmt.Errorf("instr %d: branch target %d out of range", i, in.Tgt)
+			}
+		case OpCall:
+			if m.funcIdx[in.Sym] == nil {
+				return fmt.Errorf("instr %d: call to undefined function %q", i, in.Sym)
+			}
+			if len(in.Args) > 6 {
+				return fmt.Errorf("instr %d: too many call arguments (%d)", i, len(in.Args))
+			}
+			if callee := m.funcIdx[in.Sym]; callee != nil && callee.NParams > 6 {
+				return fmt.Errorf("instr %d: callee %s has too many parameters", i, in.Sym)
+			}
+		case OpEcall:
+			if len(in.Args) > 6 {
+				return fmt.Errorf("instr %d: too many ecall arguments (%d)", i, len(in.Args))
+			}
+		case OpGlobal:
+			if m.globIdx[in.Sym] == nil {
+				return fmt.Errorf("instr %d: undefined global %q", i, in.Sym)
+			}
+		case OpFrame:
+			found := false
+			for _, b := range f.Bufs {
+				if b.Name == in.Sym {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("instr %d: undefined frame buffer %q", i, in.Sym)
+			}
+		case OpLoad, OpStore:
+			switch in.Sz {
+			case 1, 2, 4, 8:
+			default:
+				return fmt.Errorf("instr %d: bad access size %d", i, in.Sz)
+			}
+		}
+		// Check only the operand fields the operation actually reads —
+		// unused fields are zero, which would otherwise demand NRegs>0.
+		var useDst, useA, useB bool
+		switch in.Op {
+		case OpNop, OpFence, OpJmp:
+		case OpConst, OpGlobal, OpFrame:
+			useDst = true
+		case OpMov, OpAddI, OpMulI, OpAndI, OpOrI, OpXorI, OpShlI, OpShrI, OpSraI, OpLoad:
+			useDst, useA = true, true
+		case OpStore, OpBr:
+			useA, useB = true, true
+		case OpBrI, OpRet:
+			useA = true
+		case OpCall, OpEcall:
+			useDst = true
+		default:
+			useDst, useA, useB = true, true, true
+		}
+		if useDst {
+			if err := checkReg(in.Dst, "dst", i); err != nil {
+				return err
+			}
+		}
+		if useA {
+			if err := checkReg(in.A, "a", i); err != nil {
+				return err
+			}
+		}
+		if useB {
+			if err := checkReg(in.B, "b", i); err != nil {
+				return err
+			}
+		}
+		for _, a := range in.Args {
+			if err := checkReg(a, "arg", i); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

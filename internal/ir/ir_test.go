@@ -1,0 +1,391 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewFunc("f", 2)
+	if b.Param(0) != 0 || b.Param(1) != 1 {
+		t.Fatal("params must occupy the first registers")
+	}
+	r := b.Add(b.Param(0), b.Param(1))
+	b.Ret(r)
+	f := b.Build()
+	if f.NParams != 2 || f.NRegs < 3 {
+		t.Fatalf("NParams=%d NRegs=%d", f.NParams, f.NRegs)
+	}
+	if f.Code[len(f.Code)-1].Op != OpRet {
+		t.Fatal("function must end in a return")
+	}
+}
+
+func TestBuilderAppendsMissingReturn(t *testing.T) {
+	b := NewFunc("f", 0)
+	b.Const(5) // no explicit return
+	f := b.Build()
+	if f.Code[len(f.Code)-1].Op != OpRet {
+		t.Fatal("Build must append a trailing return")
+	}
+}
+
+func TestBuilderPanicsOnBadParam(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b := NewFunc("f", 1)
+	b.Param(1)
+}
+
+func TestBuilderPanicsOnUndefinedLabel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b := NewFunc("f", 0)
+	b.Jmp("nowhere")
+	b.Build()
+}
+
+func TestBuilderPanicsOnDuplicateLabel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b := NewFunc("f", 0)
+	b.Label("x")
+	b.Label("x")
+}
+
+func TestValidateCatchesBadTargets(t *testing.T) {
+	m := NewModule("t")
+	f := &Function{Name: "f", NRegs: 1, Code: []Instr{
+		{Op: OpJmp, Tgt: 99},
+	}}
+	m.AddFunc(f)
+	if err := m.Validate(); err == nil {
+		t.Fatal("out-of-range branch target accepted")
+	}
+}
+
+func TestValidateCatchesUnknownCallee(t *testing.T) {
+	m := NewModule("t")
+	b := NewFunc("f", 0)
+	b.CallV("ghost")
+	m.AddFunc(b.Build())
+	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Fatalf("unknown callee accepted: %v", err)
+	}
+}
+
+func TestValidateCatchesBadRegister(t *testing.T) {
+	m := NewModule("t")
+	f := &Function{Name: "f", NRegs: 2, Code: []Instr{
+		{Op: OpAdd, Dst: 1, A: 0, B: 7},
+		{Op: OpRet, A: NoReg},
+	}}
+	m.AddFunc(f)
+	if err := m.Validate(); err == nil {
+		t.Fatal("out-of-range register accepted")
+	}
+}
+
+func TestValidateCatchesBadAccessSize(t *testing.T) {
+	m := NewModule("t")
+	f := &Function{Name: "f", NRegs: 2, Code: []Instr{
+		{Op: OpLoad, Dst: 1, A: 0, Sz: 3},
+		{Op: OpRet, A: NoReg},
+	}}
+	m.AddFunc(f)
+	if err := m.Validate(); err == nil {
+		t.Fatal("bad access size accepted")
+	}
+}
+
+func TestValidateCatchesTooManyArgs(t *testing.T) {
+	m := NewModule("t")
+	callee := NewFunc("callee", 2)
+	callee.Ret0()
+	m.AddFunc(callee.Build())
+	f := &Function{Name: "f", NRegs: 8, Code: []Instr{
+		{Op: OpCall, Dst: NoReg, Sym: "callee", Args: []Reg{0, 1, 2, 3, 4, 5, 6}},
+		{Op: OpRet, A: NoReg},
+	}}
+	m.AddFunc(f)
+	if err := m.Validate(); err == nil {
+		t.Fatal("7-argument call accepted")
+	}
+}
+
+func TestModuleDuplicatePanics(t *testing.T) {
+	m := NewModule("t")
+	b := NewFunc("f", 0)
+	b.Ret0()
+	m.AddFunc(b.Build())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate function accepted")
+		}
+	}()
+	b2 := NewFunc("f", 0)
+	b2.Ret0()
+	m.AddFunc(b2.Build())
+}
+
+func TestMergeShared(t *testing.T) {
+	a := NewModule("a")
+	fa := NewFunc("shared", 0)
+	fa.Ret(fa.Const(1))
+	a.AddFunc(fa.Build())
+
+	b := NewModule("b")
+	fb := NewFunc("shared", 0)
+	fb.Ret(fb.Const(2))
+	b.AddFunc(fb.Build())
+	b.AddGlobal(&Global{Name: "g", Data: []byte{1}})
+
+	a.MergeShared(b)
+	// The existing definition wins.
+	it := NewInterp(a, 1<<16)
+	if got := it.Run("shared"); got != 1 {
+		t.Fatalf("shared() = %d, want the first definition", got)
+	}
+	if a.Glob("g") == nil {
+		t.Fatal("global not merged")
+	}
+}
+
+func TestCondEvalAndNegate(t *testing.T) {
+	cases := []struct {
+		c    Cond
+		a, b int64
+		want bool
+	}{
+		{Eq, 3, 3, true}, {Ne, 3, 3, false}, {Lt, -1, 0, true},
+		{Le, 0, 0, true}, {Gt, 1, 0, true}, {Ge, -1, 0, false},
+		{Ltu, -1, 0, false}, // unsigned: -1 is huge
+		{Geu, -1, 0, true},
+	}
+	for _, c := range cases {
+		if got := c.c.Eval(c.a, c.b); got != c.want {
+			t.Errorf("%v.Eval(%d,%d) = %v", c.c, c.a, c.b, got)
+		}
+		if got := c.c.Negate().Eval(c.a, c.b); got == c.want {
+			t.Errorf("%v.Negate() did not flip for (%d,%d)", c.c, c.a, c.b)
+		}
+	}
+}
+
+func TestCondNegateIsInvolution(t *testing.T) {
+	f := func(c uint8, a, b int64) bool {
+		cond := Cond(c % 8)
+		return cond.Negate().Negate() == cond &&
+			cond.Eval(a, b) != cond.Negate().Eval(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterpMemoryBounds(t *testing.T) {
+	m := NewModule("t")
+	b := NewFunc("f", 0)
+	p := b.Const(1 << 30)
+	b.Ret(b.Load(p, 0, 8))
+	m.AddFunc(b.Build())
+	it := NewInterp(m, 1<<16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range load must panic")
+		}
+	}()
+	it.Run("f")
+}
+
+func TestInterpBudget(t *testing.T) {
+	m := NewModule("t")
+	b := NewFunc("spin", 0)
+	l := b.NewLabel("l")
+	b.Label(l)
+	b.Jmp(l)
+	m.AddFunc(b.Build())
+	it := NewInterp(m, 1<<16)
+	it.MaxIns = 1000
+	defer func() {
+		if recover() == nil {
+			t.Fatal("infinite loop must exhaust the budget")
+		}
+	}()
+	it.Run("spin")
+}
+
+func TestDivisionSemantics(t *testing.T) {
+	// RISC-V semantics: x/0 = -1, x%0 = x, overflow wraps.
+	if divS(5, 0) != -1 || remS(5, 0) != 5 {
+		t.Fatal("division by zero semantics")
+	}
+	min := int64(-1) << 63
+	if divS(min, -1) != min || remS(min, -1) != 0 {
+		t.Fatal("overflow semantics")
+	}
+	if divU(5, 0) != -1 {
+		t.Fatal("unsigned division by zero must saturate")
+	}
+}
+
+func TestInlineFlattensCalls(t *testing.T) {
+	m := NewModule("t")
+	h := NewFunc("helper", 1)
+	h.Ret(h.MulI(h.Param(0), 3))
+	m.AddFunc(h.Build())
+
+	b := NewFunc("main", 1)
+	r := b.Call("helper", b.Param(0))
+	r = b.Call("helper", r)
+	b.Ret(r)
+	m.AddFunc(b.Build())
+
+	flat, err := Inline(m, m.Func("main"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range flat.Code {
+		if in.Op == OpCall {
+			t.Fatalf("call to %s survived inlining", in.Sym)
+		}
+	}
+	// Differential: flattened function computes the same value.
+	m2 := NewModule("t2")
+	m2.AddFunc(flat)
+	it := NewInterp(m2, 1<<16)
+	for _, x := range []int64{0, 1, -7, 1000} {
+		want := x * 9
+		if got := it.Run(flat.Name, x); got != want {
+			t.Fatalf("flat(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestInlineKeepsLibCalls(t *testing.T) {
+	m := NewModule("t")
+	lib := NewFunc("libfn", 1)
+	lib.Ret(lib.AddI(lib.Param(0), 1))
+	lf := lib.Build()
+	lf.Lib = true
+	m.AddFunc(lf)
+
+	b := NewFunc("main", 1)
+	b.Ret(b.Call("libfn", b.Param(0)))
+	m.AddFunc(b.Build())
+
+	flat, err := Inline(m, m.Func("main"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	for _, in := range flat.Code {
+		if in.Op == OpCall && in.Sym == "libfn" {
+			calls++
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("lib call count = %d, want 1 (kept as builtin)", calls)
+	}
+}
+
+func TestInlineRejectsRecursion(t *testing.T) {
+	m := NewModule("t")
+	f := &Function{Name: "rec", NParams: 1, NRegs: 2, Code: []Instr{
+		{Op: OpCall, Dst: 1, Sym: "rec", Args: []Reg{0}},
+		{Op: OpRet, A: 1},
+	}}
+	m.AddFunc(f)
+	if _, err := Inline(m, f); err == nil {
+		t.Fatal("recursive inline accepted")
+	}
+}
+
+func TestInlineHoistsBuffers(t *testing.T) {
+	m := NewModule("t")
+	h := NewFunc("helper", 0)
+	p := h.Frame(h.Buf("scratch", 32), 0)
+	h.Store(p, 0, h.Const(77), 8)
+	h.Ret(h.Load(p, 0, 8))
+	m.AddFunc(h.Build())
+
+	b := NewFunc("main", 0)
+	b.Ret(b.Call("helper"))
+	m.AddFunc(b.Build())
+
+	flat, err := Inline(m, m.Func("main"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flat.Bufs) == 0 {
+		t.Fatal("callee buffer not hoisted")
+	}
+	m2 := NewModule("t2")
+	m2.AddFunc(flat)
+	if got := NewInterp(m2, 1<<16).Run(flat.Name); got != 77 {
+		t.Fatalf("flat() = %d, want 77", got)
+	}
+}
+
+func TestInlineDeepChainMatchesInterp(t *testing.T) {
+	// Three-level call chain with branches; the flattened result must
+	// agree with the original on a sweep of inputs.
+	m := NewModule("t")
+	l2 := NewFunc("l2", 2)
+	neg := l2.NewLabel("neg")
+	l2.BrI(Lt, l2.Param(0), 0, neg)
+	l2.Ret(l2.Add(l2.Param(0), l2.Param(1)))
+	l2.Label(neg)
+	l2.Ret(l2.Sub(l2.Param(1), l2.Param(0)))
+	m.AddFunc(l2.Build())
+
+	l1 := NewFunc("l1", 1)
+	a := l1.Call("l2", l1.Param(0), l1.Const(10))
+	bv := l1.Call("l2", l1.MulI(l1.Param(0), -1), a)
+	l1.Ret(bv)
+	m.AddFunc(l1.Build())
+
+	l0 := NewFunc("l0", 1)
+	l0.Ret(l0.Call("l1", l0.AddI(l0.Param(0), 3)))
+	m.AddFunc(l0.Build())
+
+	flat, err := Inline(m, m.Func("l0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewModule("t2")
+	m2.AddFunc(flat)
+	orig := NewInterp(m, 1<<16)
+	flatIt := NewInterp(m2, 1<<16)
+	for x := int64(-20); x <= 20; x++ {
+		if a, b := orig.Run("l0", x), flatIt.Run(flat.Name, x); a != b {
+			t.Fatalf("l0(%d): original %d, flattened %d", x, a, b)
+		}
+	}
+}
+
+func TestBufOffsets(t *testing.T) {
+	f := &Function{Bufs: []Buffer{{"a", 10}, {"b", 8}, {"c", 1}}}
+	offA, _ := f.BufOffset("a")
+	offB, _ := f.BufOffset("b")
+	offC, total := f.BufOffset("c")
+	if offA != 0 || offB != 16 || offC != 24 {
+		t.Fatalf("offsets %d %d %d", offA, offB, offC)
+	}
+	if total != 32 {
+		t.Fatalf("total %d", total)
+	}
+	if f.BufArea() != 32 {
+		t.Fatalf("area %d", f.BufArea())
+	}
+}

@@ -1,0 +1,259 @@
+package cisc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"svbench/internal/ir"
+	"svbench/internal/ir/irtest"
+	"svbench/internal/isa"
+)
+
+func randInst(r *rand.Rand) Inst {
+	for {
+		k := Kind(1 + r.Intn(int(kindCount)-1))
+		in := Inst{Kind: k, Dst: uint8(r.Intn(16)), Src: uint8(r.Intn(16)), Size: formSize(kindForm[k])}
+		switch kindForm[k] {
+		case formOp:
+			in.Dst, in.Src = 0, 0
+		case formRel32:
+			in.Dst, in.Src = 0, 0
+			in.Imm = int64(int32(r.Uint32()))
+		case formModI8:
+			in.Imm = int64(r.Intn(256))
+		case formModI32:
+			in.Imm = int64(int32(r.Uint32()))
+		case formModI64:
+			in.Imm = int64(r.Uint64())
+		}
+		return in
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	f := func() bool {
+		in := randInst(r)
+		buf := in.Encode(nil)
+		if len(buf) != int(in.Size) {
+			t.Logf("size mismatch for %s: encoded %d, Size %d", in, len(buf), in.Size)
+			return false
+		}
+		out, err := Decode(buf)
+		if err != nil {
+			t.Logf("decode(%s): %v", in, err)
+			return false
+		}
+		if out != in {
+			t.Logf("round trip mismatch: in=%+v out=%+v", in, out)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 20000; i++ {
+		n := r.Intn(12)
+		buf := make([]byte, n)
+		r.Read(buf)
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("decode(%x) panicked: %v", buf, p)
+				}
+			}()
+			_, _ = Decode(buf)
+		}()
+	}
+}
+
+// execute compiles the module and runs fn on a bare core, returning RAX.
+func execute(t *testing.T, m *ir.Module, fn string, args []int64) int64 {
+	t.Helper()
+	prog, err := Compile(m, 0x10000)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	mem := isa.NewMem(1 << 21)
+	prog.LoadInto(mem)
+
+	// Exit stub: save the result in rdi, then movri32 rax, 255; syscall.
+	stub := uint64(0x100)
+	var sb []byte
+	sb = Inst{Kind: KindMOVrr, Dst: RDI, Src: RAX}.Encode(sb)
+	sb = Inst{Kind: KindMOVri32, Dst: RAX, Imm: 255}.Encode(sb)
+	sb = Inst{Kind: KindSYSCALL}.Encode(sb)
+	copy(mem.Data[stub:], sb)
+
+	core := NewCore(mem, nil)
+	core.Hook = func(c isa.Core) isa.EcallResult {
+		switch c.EcallNum() {
+		case 255:
+			return isa.EcallHalt
+		case PanicEcall:
+			t.Fatalf("stack check failed")
+		}
+		t.Fatalf("unexpected syscall %d", c.EcallNum())
+		return isa.EcallHalt
+	}
+	core.SetPC(prog.SymAddr(fn))
+	// Push the stub as the return address, as a caller would.
+	core.SetStackPtr(1 << 20)
+	core.Regs[RSP] -= 8
+	mem.Store(core.Regs[RSP], 8, stub)
+	for i, a := range args {
+		core.SetArg(i, uint64(a))
+	}
+	var trace []isa.TraceRec
+	for steps := 0; ; steps++ {
+		if steps > 5_000_000 {
+			t.Fatal("execution did not halt")
+		}
+		var err error
+		trace, err = core.Step(trace[:0])
+		if err == ErrHalt {
+			break
+		}
+		if err != nil {
+			t.Fatalf("step: %v", err)
+		}
+	}
+	return int64(core.Regs[RDI])
+}
+
+func TestCorpusMatchesInterpreter(t *testing.T) {
+	m, cases := irtest.Corpus()
+	for _, c := range cases {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			got := execute(t, m, c.Fn, c.Args)
+			if got != c.Want {
+				t.Fatalf("%s(%v) = %d, interpreter says %d", c.Fn, c.Args, got, c.Want)
+			}
+		})
+	}
+}
+
+func TestPLTIndirection(t *testing.T) {
+	// Calls to Lib functions must route through a PLT stub: the trace
+	// must contain an indirect jump through r11 between the caller and
+	// the callee body.
+	m := ir.NewModule("t")
+	lib := ir.NewFunc("libadd", 2)
+	lib.Ret(lib.Add(lib.Param(0), lib.Param(1)))
+	f := lib.Build()
+	f.Lib = true
+	m.AddFunc(f)
+
+	b := ir.NewFunc("main", 0)
+	b.Ret(b.Call("libadd", b.Const(40), b.Const(2)))
+	m.AddFunc(b.Build())
+
+	prog, err := Compile(m, 0x10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := isa.NewMem(1 << 20)
+	prog.LoadInto(mem)
+	stub := uint64(0x100)
+	var sb []byte
+	sb = Inst{Kind: KindMOVrr, Dst: RDI, Src: RAX}.Encode(sb)
+	sb = Inst{Kind: KindMOVri32, Dst: RAX, Imm: 255}.Encode(sb)
+	sb = Inst{Kind: KindSYSCALL}.Encode(sb)
+	copy(mem.Data[stub:], sb)
+	core := NewCore(mem, nil)
+	core.Hook = func(c isa.Core) isa.EcallResult { return isa.EcallHalt }
+	core.SetPC(prog.SymAddr("main"))
+	core.SetStackPtr(1 << 19)
+	core.Regs[RSP] -= 8
+	mem.Store(core.Regs[RSP], 8, stub)
+
+	var trace []isa.TraceRec
+	for {
+		var err error
+		trace, err = core.Step(trace)
+		if err == ErrHalt {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := int64(core.Regs[RDI]); got != 42 {
+		t.Fatalf("main() = %d, want 42", got)
+	}
+	indirect := 0
+	for _, r := range trace {
+		if r.Class == isa.ClassJump && r.Src1 == R11 {
+			indirect++
+		}
+	}
+	if indirect == 0 {
+		t.Fatal("no PLT indirect jump observed in trace")
+	}
+}
+
+func TestStackCanaryTriggersOnSmash(t *testing.T) {
+	// Overwrite the canary slot through a frame buffer overflow and
+	// confirm __stack_chk_fail raises the panic ecall.
+	// The canary sits at rbp-8, above the vreg slots, which sit above the
+	// frame buffer. Build the function twice: the first pass reveals the
+	// register count, from which the canary's offset from the buffer
+	// follows; the second pass overwrites exactly that slot.
+	build := func(canaryOff int64) *ir.Function {
+		b := ir.NewFunc("smash", 0)
+		buf := b.Buf("b", 16)
+		p := b.Frame(buf, 0)
+		v := b.Const(-1)
+		b.Store(p, canaryOff, v, 8)
+		b.Ret0()
+		return b.Build()
+	}
+	probe := build(0)
+	canaryOff := 8 + 8*int64(probe.NRegs) + probe.BufArea()
+	m := ir.NewModule("t")
+	m.AddFunc(build(canaryOff))
+
+	prog, err := Compile(m, 0x10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := isa.NewMem(1 << 21)
+	prog.LoadInto(mem)
+	core := NewCore(mem, nil)
+	panicked := false
+	core.Hook = func(c isa.Core) isa.EcallResult {
+		if c.EcallNum() == PanicEcall {
+			panicked = true
+		}
+		return isa.EcallHalt
+	}
+	var sb []byte
+	sb = Inst{Kind: KindMOVri32, Dst: RAX, Imm: 255}.Encode(sb)
+	sb = Inst{Kind: KindSYSCALL}.Encode(sb)
+	copy(mem.Data[0x100:], sb)
+	core.SetPC(prog.SymAddr("smash"))
+	core.SetStackPtr(1 << 20)
+	core.Regs[RSP] -= 8
+	mem.Store(core.Regs[RSP], 8, 0x100)
+	var trace []isa.TraceRec
+	for steps := 0; steps < 1_000_000; steps++ {
+		var err error
+		trace, err = core.Step(trace[:0])
+		if err == ErrHalt {
+			break
+		}
+		if err != nil {
+			t.Fatalf("step: %v", err)
+		}
+	}
+	if !panicked {
+		t.Fatal("stack smash not detected")
+	}
+}

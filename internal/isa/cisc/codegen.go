@@ -1,0 +1,469 @@
+package cisc
+
+import (
+	"fmt"
+
+	"svbench/internal/ir"
+	"svbench/internal/isa"
+)
+
+// The CISC64 code generator mirrors the RV64 stack-slot discipline but
+// models the software stack the thesis measured on its x86 containers:
+// frame-pointer prologues, stack-protector canaries on every function, and
+// PLT/GOT indirection for calls into library code (ir.Function.Lib). These
+// are the mechanisms behind the paper's observation that the x86 stack
+// executes significantly more instructions than the RISC-V one (Fig. 4.16).
+//
+// Frame layout (rbp-relative):
+//
+//	[rbp]        saved rbp
+//	[rbp-8]      stack canary
+//	[rbp-16-8i]  virtual register i
+//	below        frame-local buffers
+
+type relKind uint8
+
+const (
+	relCall relKind = iota // CALL rel32 to a function (byte offset of opcode)
+	relAbs                 // MOVri32 absolute symbol address
+)
+
+type reloc struct {
+	off  int // byte offset within function of the instruction opcode
+	kind relKind
+	sym  string
+	add  int64
+	plt  bool // route through the PLT
+}
+
+type fnCode struct {
+	name   string
+	code   []byte
+	relocs []reloc
+}
+
+type codegen struct {
+	mod *ir.Module
+	fns []*fnCode
+
+	cur      *fnCode
+	fn       *ir.Function
+	frame    int64
+	bufTop   int64       // rbp-relative offset where buffers end (most negative)
+	brFix    map[int]int // byte offset of Jcc/JMP opcode -> IR target index
+	irOff    []int
+	pltSyms  map[string]bool
+	pltOrder []string
+}
+
+// GuardSymbol is the stack-protector canary location.
+const GuardSymbol = "__stack_chk_guard"
+
+// FailSymbol is the stack-protector failure handler.
+const FailSymbol = "__stack_chk_fail"
+
+// PanicEcall is the environment call issued by __stack_chk_fail.
+const PanicEcall = 0x1FFF
+
+// Compile lowers every function in the module and links at textBase.
+func Compile(m *ir.Module, textBase uint64) (*isa.Program, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	cg := &codegen{mod: m, pltSyms: map[string]bool{}}
+	for _, f := range m.Funcs {
+		if err := cg.emitFunc(f); err != nil {
+			return nil, fmt.Errorf("cisc: compile %s: %w", f.Name, err)
+		}
+	}
+	cg.emitStackChkFail()
+	return cg.link(textBase)
+}
+
+func (cg *codegen) emit(in Inst) int {
+	off := len(cg.cur.code)
+	cg.cur.code = in.Encode(cg.cur.code)
+	return off
+}
+
+func slotOff(r ir.Reg) int64 { return -16 - 8*int64(r) }
+
+func (cg *codegen) loadSlot(reg uint8, r ir.Reg) {
+	cg.emit(Inst{Kind: KindLDQ, Dst: reg, Src: RBP, Imm: slotOff(r)})
+}
+
+func (cg *codegen) storeSlot(r ir.Reg, reg uint8) {
+	cg.emit(Inst{Kind: KindSTQ, Dst: RBP, Src: reg, Imm: slotOff(r)})
+}
+
+func (cg *codegen) movImm(reg uint8, v int64) {
+	if v == int64(int32(v)) {
+		cg.emit(Inst{Kind: KindMOVri32, Dst: reg, Imm: v})
+	} else {
+		cg.emit(Inst{Kind: KindMOVri, Dst: reg, Imm: v})
+	}
+}
+
+func (cg *codegen) emitFunc(f *ir.Function) error {
+	cg.cur = &fnCode{name: f.Name}
+	cg.fn = f
+	cg.brFix = map[int]int{}
+	cg.irOff = make([]int, len(f.Code)+1)
+	// Extent below rbp: canary [rbp-8, rbp), slots down to rbp-16-8(n-1),
+	// then the buffer area — 16+8n+area in total.
+	cg.frame = (16 + 8*int64(f.NRegs) + f.BufArea() + 15) &^ 15
+	cg.bufTop = -16 - 8*int64(f.NRegs)
+
+	// Prologue: frame pointer chain + stack protector.
+	cg.emit(Inst{Kind: KindPUSH, Dst: RBP})
+	cg.emit(Inst{Kind: KindMOVrr, Dst: RBP, Src: RSP})
+	cg.emit(Inst{Kind: KindADDri32, Dst: RSP, Imm: -cg.frame})
+	cg.relocAbs(R11, GuardSymbol, 0)
+	cg.emit(Inst{Kind: KindLDQ, Dst: R11, Src: R11})
+	cg.emit(Inst{Kind: KindSTQ, Dst: RBP, Src: R11, Imm: -8})
+
+	for i := 0; i < f.NParams && i < 6; i++ {
+		cg.storeSlot(ir.Reg(i), argRegs[i])
+	}
+
+	for i := range f.Code {
+		cg.irOff[i] = len(cg.cur.code)
+		if err := cg.emitInstr(&f.Code[i]); err != nil {
+			return fmt.Errorf("instr %d: %w", i, err)
+		}
+	}
+	cg.irOff[len(f.Code)] = len(cg.cur.code)
+
+	// Branch fixups: rel32 at opcode+1, relative to the end of the
+	// instruction (opcode + 5 bytes).
+	for off, irTgt := range cg.brFix {
+		rel := int64(cg.irOff[irTgt] - (off + 5))
+		putI32(cg.cur.code[off+1:], rel)
+	}
+	cg.fns = append(cg.fns, cg.cur)
+	return nil
+}
+
+// relocAbs emits MOVri32 reg, <sym+add> with a relocation.
+func (cg *codegen) relocAbs(reg uint8, sym string, add int64) {
+	off := cg.emit(Inst{Kind: KindMOVri32, Dst: reg, Imm: 0})
+	cg.cur.relocs = append(cg.cur.relocs, reloc{off: off, kind: relAbs, sym: sym, add: add})
+}
+
+func (cg *codegen) epilogue() {
+	// Stack-protector check.
+	cg.emit(Inst{Kind: KindLDQ, Dst: RCX, Src: RBP, Imm: -8})
+	cg.relocAbs(R11, GuardSymbol, 0)
+	cg.emit(Inst{Kind: KindLDQ, Dst: R11, Src: R11})
+	cg.emit(Inst{Kind: KindCMPrr, Dst: RCX, Src: R11})
+	cg.emit(Inst{Kind: KindJE, Imm: 5}) // skip the CALL below
+	off := cg.emit(Inst{Kind: KindCALL, Imm: 0})
+	cg.cur.relocs = append(cg.cur.relocs, reloc{off: off, kind: relCall, sym: FailSymbol})
+	// Tear down the frame.
+	cg.emit(Inst{Kind: KindMOVrr, Dst: RSP, Src: RBP})
+	cg.emit(Inst{Kind: KindPOP, Dst: RBP})
+	cg.emit(Inst{Kind: KindRET})
+}
+
+var aluKind = map[ir.Op]Kind{
+	ir.OpAdd: KindADD, ir.OpSub: KindSUB, ir.OpMul: KindMUL,
+	ir.OpDiv: KindDIV, ir.OpRem: KindREM, ir.OpDivU: KindDIVU, ir.OpRemU: KindREMU,
+	ir.OpAnd: KindAND, ir.OpOr: KindOR, ir.OpXor: KindXOR,
+	ir.OpShl: KindSHL, ir.OpShr: KindSHR, ir.OpSra: KindSAR,
+}
+
+var setKind = map[ir.Cond]Kind{
+	ir.Eq: KindSETE, ir.Ne: KindSETNE, ir.Lt: KindSETL, ir.Le: KindSETLE,
+	ir.Gt: KindSETG, ir.Ge: KindSETGE, ir.Ltu: KindSETB, ir.Geu: KindSETAE,
+}
+
+var jccKind = map[ir.Cond]Kind{
+	ir.Eq: KindJE, ir.Ne: KindJNE, ir.Lt: KindJL, ir.Le: KindJLE,
+	ir.Gt: KindJG, ir.Ge: KindJGE, ir.Ltu: KindJB, ir.Geu: KindJAE,
+}
+
+func ldKind(sz uint8, uns bool) Kind {
+	switch sz {
+	case 1:
+		if uns {
+			return KindLDBU
+		}
+		return KindLDB
+	case 2:
+		if uns {
+			return KindLDHU
+		}
+		return KindLDH
+	case 4:
+		if uns {
+			return KindLDWU
+		}
+		return KindLDW
+	default:
+		return KindLDQ
+	}
+}
+
+func stKind(sz uint8) Kind {
+	switch sz {
+	case 1:
+		return KindSTB
+	case 2:
+		return KindSTH
+	case 4:
+		return KindSTW
+	default:
+		return KindSTQ
+	}
+}
+
+func (cg *codegen) emitInstr(in *ir.Instr) error {
+	switch in.Op {
+	case ir.OpNop:
+	case ir.OpFence:
+		cg.emit(Inst{Kind: KindFENCE})
+	case ir.OpConst:
+		cg.movImm(RAX, in.Imm)
+		cg.storeSlot(in.Dst, RAX)
+	case ir.OpMov:
+		cg.loadSlot(RAX, in.A)
+		cg.storeSlot(in.Dst, RAX)
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem, ir.OpDivU, ir.OpRemU,
+		ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr, ir.OpSra:
+		cg.loadSlot(RAX, in.A)
+		cg.loadSlot(RCX, in.B)
+		cg.emit(Inst{Kind: aluKind[in.Op], Dst: RAX, Src: RCX})
+		cg.storeSlot(in.Dst, RAX)
+	case ir.OpAddI, ir.OpAndI, ir.OpOrI, ir.OpXorI, ir.OpMulI:
+		cg.loadSlot(RAX, in.A)
+		if in.Imm == int64(int32(in.Imm)) {
+			k := map[ir.Op]Kind{ir.OpAddI: KindADDri32, ir.OpAndI: KindANDri32,
+				ir.OpOrI: KindORri32, ir.OpXorI: KindXORri32, ir.OpMulI: KindMULri32}[in.Op]
+			cg.emit(Inst{Kind: k, Dst: RAX, Imm: in.Imm})
+		} else {
+			cg.movImm(RCX, in.Imm)
+			k := map[ir.Op]Kind{ir.OpAddI: KindADD, ir.OpAndI: KindAND,
+				ir.OpOrI: KindOR, ir.OpXorI: KindXOR, ir.OpMulI: KindMUL}[in.Op]
+			cg.emit(Inst{Kind: k, Dst: RAX, Src: RCX})
+		}
+		cg.storeSlot(in.Dst, RAX)
+	case ir.OpShlI, ir.OpShrI, ir.OpSraI:
+		cg.loadSlot(RAX, in.A)
+		k := map[ir.Op]Kind{ir.OpShlI: KindSHLri8, ir.OpShrI: KindSHRri8, ir.OpSraI: KindSARri8}[in.Op]
+		cg.emit(Inst{Kind: k, Dst: RAX, Imm: in.Imm & 63})
+		cg.storeSlot(in.Dst, RAX)
+	case ir.OpSet:
+		cg.loadSlot(RAX, in.A)
+		cg.loadSlot(RCX, in.B)
+		cg.emit(Inst{Kind: KindCMPrr, Dst: RAX, Src: RCX})
+		cg.emit(Inst{Kind: setKind[in.Cond], Dst: RAX})
+		cg.storeSlot(in.Dst, RAX)
+	case ir.OpLoad:
+		cg.loadSlot(RAX, in.A)
+		if in.Imm != int64(int32(in.Imm)) {
+			return fmt.Errorf("load displacement too large")
+		}
+		cg.emit(Inst{Kind: ldKind(in.Sz, in.Uns), Dst: RDX, Src: RAX, Imm: in.Imm})
+		cg.storeSlot(in.Dst, RDX)
+	case ir.OpStore:
+		cg.loadSlot(RAX, in.A)
+		cg.loadSlot(RCX, in.B)
+		cg.emit(Inst{Kind: stKind(in.Sz), Dst: RAX, Src: RCX, Imm: in.Imm})
+	case ir.OpBr:
+		cg.loadSlot(RAX, in.A)
+		cg.loadSlot(RCX, in.B)
+		cg.emit(Inst{Kind: KindCMPrr, Dst: RAX, Src: RCX})
+		off := cg.emit(Inst{Kind: jccKind[in.Cond], Imm: 0})
+		cg.brFix[off] = in.Tgt
+	case ir.OpBrI:
+		cg.loadSlot(RAX, in.A)
+		if in.Imm == int64(int32(in.Imm)) {
+			cg.emit(Inst{Kind: KindCMPri32, Dst: RAX, Imm: in.Imm})
+		} else {
+			cg.movImm(RCX, in.Imm)
+			cg.emit(Inst{Kind: KindCMPrr, Dst: RAX, Src: RCX})
+		}
+		off := cg.emit(Inst{Kind: jccKind[in.Cond], Imm: 0})
+		cg.brFix[off] = in.Tgt
+	case ir.OpJmp:
+		off := cg.emit(Inst{Kind: KindJMP, Imm: 0})
+		cg.brFix[off] = in.Tgt
+	case ir.OpCall:
+		if len(in.Args) > 6 {
+			return fmt.Errorf("too many args")
+		}
+		for i, a := range in.Args {
+			cg.loadSlot(argRegs[i], a)
+		}
+		callee := cg.mod.Func(in.Sym)
+		usePLT := callee != nil && callee.Lib
+		if usePLT && !cg.pltSyms[in.Sym] {
+			cg.pltSyms[in.Sym] = true
+			cg.pltOrder = append(cg.pltOrder, in.Sym)
+		}
+		off := cg.emit(Inst{Kind: KindCALL, Imm: 0})
+		cg.cur.relocs = append(cg.cur.relocs, reloc{off: off, kind: relCall, sym: in.Sym, plt: usePLT})
+		if in.Dst != ir.NoReg {
+			cg.storeSlot(in.Dst, RAX)
+		}
+	case ir.OpRet:
+		if in.A != ir.NoReg {
+			cg.loadSlot(RAX, in.A)
+		} else {
+			cg.emit(Inst{Kind: KindMOVri32, Dst: RAX, Imm: 0})
+		}
+		cg.epilogue()
+	case ir.OpEcall:
+		if len(in.Args) > 6 {
+			return fmt.Errorf("too many ecall args")
+		}
+		for i, a := range in.Args {
+			cg.loadSlot(argRegs[i], a)
+		}
+		cg.movImm(RAX, in.Imm)
+		cg.emit(Inst{Kind: KindSYSCALL})
+		if in.Dst != ir.NoReg {
+			cg.storeSlot(in.Dst, RAX)
+		}
+	case ir.OpGlobal:
+		cg.relocAbs(RAX, in.Sym, in.Imm)
+		cg.storeSlot(in.Dst, RAX)
+	case ir.OpFrame:
+		off, _ := cg.fn.BufOffset(in.Sym)
+		// Buffers sit below the vreg slots; buffer byte 0 is the lowest
+		// address of the area.
+		base := cg.bufTop - cg.fn.BufArea()
+		cg.emit(Inst{Kind: KindLEA, Dst: RAX, Src: RBP, Imm: base + off + in.Imm})
+		cg.storeSlot(in.Dst, RAX)
+	default:
+		return fmt.Errorf("unhandled op %d", in.Op)
+	}
+	return nil
+}
+
+// emitStackChkFail appends the __stack_chk_fail routine, which raises the
+// panic environment call.
+func (cg *codegen) emitStackChkFail() {
+	cg.cur = &fnCode{name: FailSymbol}
+	cg.emit(Inst{Kind: KindMOVri32, Dst: RAX, Imm: PanicEcall})
+	cg.emit(Inst{Kind: KindSYSCALL})
+	cg.emit(Inst{Kind: KindRET})
+	cg.fns = append(cg.fns, cg.cur)
+}
+
+func putI32(b []byte, v int64) {
+	if v != int64(int32(v)) {
+		panic(fmt.Sprintf("cisc: rel32 overflow: %d", v))
+	}
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+// link lays out functions, PLT stubs, the GOT and globals, then patches
+// relocations.
+func (cg *codegen) link(textBase uint64) (*isa.Program, error) {
+	p := &isa.Program{
+		Arch:     isa.CISC64,
+		TextBase: textBase,
+		Syms:     map[string]uint64{},
+		FuncEnd:  map[string]uint64{},
+	}
+	addr := textBase
+	starts := make([]uint64, len(cg.fns))
+	for i, f := range cg.fns {
+		starts[i] = addr
+		p.Syms[f.name] = addr
+		addr += uint64(len(f.code))
+		p.FuncEnd[f.name] = addr
+	}
+
+	// PLT stubs: movri32 r11, <got>; ldq r11, [r11]; jmpr r11  (10 bytes).
+	pltAddr := map[string]uint64{}
+	gotIdx := map[string]int{}
+	var pltBytes []byte
+	for i, sym := range cg.pltOrder {
+		pltAddr[sym] = addr + uint64(len(pltBytes))
+		gotIdx[sym] = i
+		pltBytes = Inst{Kind: KindMOVri32, Dst: R11, Imm: 0}.Encode(pltBytes) // patched below
+		pltBytes = Inst{Kind: KindLDQ, Dst: R11, Src: R11}.Encode(pltBytes)
+		pltBytes = Inst{Kind: KindJMPr, Src: R11}.Encode(pltBytes)
+	}
+	addr += uint64(len(pltBytes))
+
+	// Data: GOT first, then the canary guard, then module globals.
+	dataBase := (addr + 63) &^ 63
+	p.DataBase = dataBase
+	gotBase := dataBase
+	var data []byte
+	for range cg.pltOrder {
+		data = append(data, make([]byte, 8)...)
+	}
+	guardAddr := gotBase + uint64(len(data))
+	p.Syms[GuardSymbol] = guardAddr
+	data = append(data, 0xEF, 0xBE, 0xAD, 0xDE, 0x0D, 0xF0, 0xCA, 0x5C)
+	gaddr := gotBase + uint64(len(data))
+	for _, g := range cg.mod.Globals {
+		al := uint64(g.Align)
+		if al > 1 {
+			na := (gaddr + al - 1) / al * al
+			data = append(data, make([]byte, na-gaddr)...)
+			gaddr = na
+		}
+		p.Syms[g.Name] = gaddr
+		data = append(data, g.Data...)
+		gaddr += uint64(len(g.Data))
+	}
+
+	// Fill GOT entries and patch PLT stub GOT pointers.
+	for sym, i := range gotIdx {
+		tgt, ok := p.Syms[sym]
+		if !ok {
+			return nil, fmt.Errorf("cisc: undefined PLT symbol %q", sym)
+		}
+		for k := 0; k < 8; k++ {
+			data[i*8+k] = byte(tgt >> (8 * k))
+		}
+		// Stub i: movri32(6) + ldq(6) + jmpr(2) = 14 bytes; the GOT
+		// pointer immediate sits at +2.
+		const stubSize = 14
+		got := gotBase + uint64(i*8)
+		putI32(pltBytes[i*stubSize+2:], int64(got))
+	}
+
+	// Patch relocations.
+	for i, f := range cg.fns {
+		base := starts[i]
+		for _, rl := range f.relocs {
+			switch rl.kind {
+			case relCall:
+				var tgt uint64
+				if rl.plt {
+					tgt = pltAddr[rl.sym]
+				} else {
+					var ok bool
+					tgt, ok = p.Syms[rl.sym]
+					if !ok {
+						return nil, fmt.Errorf("cisc: undefined symbol %q", rl.sym)
+					}
+				}
+				endOfCall := base + uint64(rl.off) + 5
+				putI32(f.code[rl.off+1:], int64(tgt)-int64(endOfCall))
+			case relAbs:
+				tgt, ok := p.Syms[rl.sym]
+				if !ok {
+					return nil, fmt.Errorf("cisc: undefined symbol %q", rl.sym)
+				}
+				putI32(f.code[rl.off+2:], int64(tgt)+rl.add)
+			}
+		}
+		p.Text = append(p.Text, f.code...)
+	}
+	p.Text = append(p.Text, pltBytes...)
+	p.Data = data
+	if len(cg.fns) > 0 {
+		p.Entry = starts[0]
+	}
+	return p, nil
+}

@@ -1,0 +1,280 @@
+// Package cisc implements CISC64, the x86-class instruction set model used
+// as the comparison ISA: variable-length byte encodings, two-operand ALU
+// forms, condition flags, push/pop stack linkage, and a code generator that
+// models the dynamically-linked software stacks the thesis measured on x86
+// (frame pointers, stack-protector canaries, PLT/GOT call indirection).
+package cisc
+
+import "fmt"
+
+// Kind enumerates CISC64 instructions.
+type Kind uint8
+
+// Instruction kinds.
+const (
+	KindInvalid Kind = iota
+	KindMOVri        // dst = imm64          [op mod imm64]     10 bytes
+	KindMOVri32      // dst = signext(imm32) [op mod imm32]      6 bytes
+	KindMOVrr        // dst = src            [op mod]             2 bytes
+	KindADD          // two-operand ALU: dst = dst op src         2 bytes
+	KindSUB
+	KindMUL
+	KindDIV
+	KindREM
+	KindDIVU
+	KindREMU
+	KindAND
+	KindOR
+	KindXOR
+	KindSHL
+	KindSHR
+	KindSAR
+	KindADDri32 // dst += imm32  [op mod imm32] 6 bytes
+	KindANDri32
+	KindORri32
+	KindXORri32
+	KindMULri32
+	KindSHLri8 // dst <<= imm8 [op mod imm8] 3 bytes
+	KindSHRri8
+	KindSARri8
+	KindLDB // dst = mem[src+disp32], sign-extended [op mod disp32] 6 bytes
+	KindLDBU
+	KindLDH
+	KindLDHU
+	KindLDW
+	KindLDWU
+	KindLDQ
+	KindSTB // mem[dst+disp32] = src [op mod disp32] 6 bytes
+	KindSTH
+	KindSTW
+	KindSTQ
+	KindCMPrr   // flags = compare(dst, src) [op mod] 2 bytes
+	KindCMPri32 // flags = compare(dst, imm32) [op mod imm32] 6 bytes
+	KindJE      // conditional jumps [op rel32] 5 bytes
+	KindJNE
+	KindJL
+	KindJLE
+	KindJG
+	KindJGE
+	KindJB
+	KindJAE
+	KindSETE // dst = flags cond [op mod] 2 bytes
+	KindSETNE
+	KindSETL
+	KindSETLE
+	KindSETG
+	KindSETGE
+	KindSETB
+	KindSETAE
+	KindJMP     // [op rel32] 5 bytes
+	KindCALL    // push ret; jump [op rel32] 5 bytes
+	KindCALLr   // indirect call through src [op mod] 2 bytes
+	KindJMPr    // indirect jump through src [op mod] 2 bytes
+	KindRET     // pop and jump [op] 1 byte
+	KindPUSH    // [op mod] 2 bytes
+	KindPOP     // [op mod] 2 bytes
+	KindLEA     // dst = src + disp32 [op mod disp32] 6 bytes
+	KindSYSCALL // [op] 1 byte
+	KindNOP     // [op] 1 byte
+	KindFENCE   // [op] 1 byte
+	kindCount
+)
+
+var kindNames = [...]string{
+	"invalid", "movri", "movri32", "movrr",
+	"add", "sub", "mul", "div", "rem", "divu", "remu", "and", "or", "xor",
+	"shl", "shr", "sar",
+	"addri32", "andri32", "orri32", "xorri32", "mulri32", "shlri8", "shrri8", "sarri8",
+	"ldb", "ldbu", "ldh", "ldhu", "ldw", "ldwu", "ldq",
+	"stb", "sth", "stw", "stq",
+	"cmprr", "cmpri32",
+	"je", "jne", "jl", "jle", "jg", "jge", "jb", "jae",
+	"sete", "setne", "setl", "setle", "setg", "setge", "setb", "setae",
+	"jmp", "call", "callr", "jmpr", "ret", "push", "pop", "lea",
+	"syscall", "nop", "fence",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Architectural registers.
+const (
+	RAX = 0
+	RCX = 1
+	RDX = 2
+	RBX = 3
+	RSP = 4
+	RBP = 5
+	RSI = 6
+	RDI = 7
+	R8  = 8
+	R9  = 9
+	R10 = 10
+	R11 = 11
+	R12 = 12
+	R13 = 13
+	R14 = 14
+	R15 = 15
+	// RegFlags is the pseudo-register carrying condition flags in trace
+	// dependence records.
+	RegFlags = 16
+)
+
+// Inst is a decoded instruction. Size is its encoded length in bytes.
+type Inst struct {
+	Kind Kind
+	Dst  uint8
+	Src  uint8
+	Imm  int64
+	Size uint8
+}
+
+type encForm uint8
+
+const (
+	formOp     encForm = iota // [op]                     1 byte
+	formMod                   // [op mod]                 2 bytes
+	formModI8                 // [op mod imm8]            3 bytes
+	formModI32                // [op mod imm32]           6 bytes
+	formModI64                // [op mod imm64]          10 bytes
+	formRel32                 // [op rel32]               5 bytes
+)
+
+var kindForm = map[Kind]encForm{
+	KindMOVri: formModI64, KindMOVri32: formModI32, KindMOVrr: formMod,
+	KindADD: formMod, KindSUB: formMod, KindMUL: formMod, KindDIV: formMod,
+	KindREM: formMod, KindDIVU: formMod, KindREMU: formMod, KindAND: formMod,
+	KindOR: formMod, KindXOR: formMod, KindSHL: formMod, KindSHR: formMod,
+	KindSAR:     formMod,
+	KindADDri32: formModI32, KindANDri32: formModI32, KindORri32: formModI32,
+	KindXORri32: formModI32, KindMULri32: formModI32,
+	KindSHLri8: formModI8, KindSHRri8: formModI8, KindSARri8: formModI8,
+	KindLDB: formModI32, KindLDBU: formModI32, KindLDH: formModI32,
+	KindLDHU: formModI32, KindLDW: formModI32, KindLDWU: formModI32,
+	KindLDQ: formModI32,
+	KindSTB: formModI32, KindSTH: formModI32, KindSTW: formModI32,
+	KindSTQ:   formModI32,
+	KindCMPrr: formMod, KindCMPri32: formModI32,
+	KindJE: formRel32, KindJNE: formRel32, KindJL: formRel32, KindJLE: formRel32,
+	KindJG: formRel32, KindJGE: formRel32, KindJB: formRel32, KindJAE: formRel32,
+	KindSETE: formMod, KindSETNE: formMod, KindSETL: formMod, KindSETLE: formMod,
+	KindSETG: formMod, KindSETGE: formMod, KindSETB: formMod, KindSETAE: formMod,
+	KindJMP: formRel32, KindCALL: formRel32, KindCALLr: formMod, KindJMPr: formMod,
+	KindRET: formOp, KindPUSH: formMod, KindPOP: formMod, KindLEA: formModI32,
+	KindSYSCALL: formOp, KindNOP: formOp, KindFENCE: formOp,
+}
+
+func formSize(f encForm) uint8 {
+	switch f {
+	case formOp:
+		return 1
+	case formMod:
+		return 2
+	case formModI8:
+		return 3
+	case formModI32:
+		return 6
+	case formModI64:
+		return 10
+	case formRel32:
+		return 5
+	}
+	panic("cisc: bad form")
+}
+
+// Size returns the encoded length in bytes for kind k.
+func Size(k Kind) uint8 { return formSize(kindForm[k]) }
+
+// Encode appends the instruction's encoding to buf.
+func (in Inst) Encode(buf []byte) []byte {
+	f, ok := kindForm[in.Kind]
+	if !ok {
+		panic("cisc: cannot encode " + in.Kind.String())
+	}
+	buf = append(buf, byte(in.Kind))
+	mod := byte(in.Dst&0xF)<<4 | byte(in.Src&0xF)
+	switch f {
+	case formOp:
+	case formMod:
+		buf = append(buf, mod)
+	case formModI8:
+		if in.Imm < 0 || in.Imm > 255 {
+			panic(fmt.Sprintf("cisc: imm8 out of range: %d", in.Imm))
+		}
+		buf = append(buf, mod, byte(in.Imm))
+	case formModI32:
+		if in.Imm != int64(int32(in.Imm)) {
+			panic(fmt.Sprintf("cisc: imm32 out of range: %d (%s)", in.Imm, in.Kind))
+		}
+		buf = append(buf, mod,
+			byte(in.Imm), byte(in.Imm>>8), byte(in.Imm>>16), byte(in.Imm>>24))
+	case formModI64:
+		buf = append(buf, mod,
+			byte(in.Imm), byte(in.Imm>>8), byte(in.Imm>>16), byte(in.Imm>>24),
+			byte(in.Imm>>32), byte(in.Imm>>40), byte(in.Imm>>48), byte(in.Imm>>56))
+	case formRel32:
+		if in.Imm != int64(int32(in.Imm)) {
+			panic(fmt.Sprintf("cisc: rel32 out of range: %d", in.Imm))
+		}
+		buf = append(buf,
+			byte(in.Imm), byte(in.Imm>>8), byte(in.Imm>>16), byte(in.Imm>>24))
+	}
+	return buf
+}
+
+// Decode decodes one instruction from code (which must start at an
+// instruction boundary).
+func Decode(code []byte) (Inst, error) {
+	if len(code) == 0 {
+		return Inst{}, fmt.Errorf("cisc: empty code")
+	}
+	k := Kind(code[0])
+	f, ok := kindForm[k]
+	if !ok || k == KindInvalid {
+		return Inst{}, fmt.Errorf("cisc: bad opcode %#02x", code[0])
+	}
+	sz := formSize(f)
+	if len(code) < int(sz) {
+		return Inst{}, fmt.Errorf("cisc: truncated %s", k)
+	}
+	in := Inst{Kind: k, Size: sz}
+	if f != formOp && f != formRel32 {
+		in.Dst = code[1] >> 4
+		in.Src = code[1] & 0xF
+	}
+	switch f {
+	case formModI8:
+		in.Imm = int64(code[2])
+	case formModI32:
+		in.Imm = int64(int32(uint32(code[2]) | uint32(code[3])<<8 |
+			uint32(code[4])<<16 | uint32(code[5])<<24))
+	case formModI64:
+		var v uint64
+		for i := 0; i < 8; i++ {
+			v |= uint64(code[2+i]) << (8 * i)
+		}
+		in.Imm = int64(v)
+	case formRel32:
+		in.Imm = int64(int32(uint32(code[1]) | uint32(code[2])<<8 |
+			uint32(code[3])<<16 | uint32(code[4])<<24))
+	}
+	return in, nil
+}
+
+func (in Inst) String() string {
+	f := kindForm[in.Kind]
+	switch f {
+	case formOp:
+		return in.Kind.String()
+	case formMod:
+		return fmt.Sprintf("%s r%d, r%d", in.Kind, in.Dst, in.Src)
+	case formRel32:
+		return fmt.Sprintf("%s %+d", in.Kind, in.Imm)
+	default:
+		return fmt.Sprintf("%s r%d, r%d, %#x", in.Kind, in.Dst, in.Src, in.Imm)
+	}
+}

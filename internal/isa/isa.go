@@ -1,0 +1,229 @@
+// Package isa defines the architecture-neutral contracts shared by the two
+// instruction set implementations (internal/isa/riscv and internal/isa/cisc):
+// the linked program image, the flat memory model, the dynamic instruction
+// trace record consumed by the timing CPU models, and the functional core
+// interface the kernel drives.
+package isa
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrHalt is returned by Core.Step when the environment hook requested
+// machine halt.
+var ErrHalt = errors.New("isa: halt")
+
+// ErrBlock is returned by Core.Step when the current process blocked
+// inside an environment call.
+var ErrBlock = errors.New("isa: blocked")
+
+// Arch names an instruction set architecture.
+type Arch string
+
+// Supported architectures.
+const (
+	RV64   Arch = "rv64"   // RISC-V RV64IM
+	CISC64 Arch = "cisc64" // the x86-class CISC model
+)
+
+// Class categorizes a dynamic instruction for the timing models.
+type Class uint8
+
+// Instruction classes.
+const (
+	ClassAlu Class = iota
+	ClassMul
+	ClassDiv
+	ClassLoad
+	ClassStore
+	ClassBranch // conditional
+	ClassJump   // unconditional direct
+	ClassCall
+	ClassRet
+	ClassEcall
+	ClassFence
+	ClassIdle // pseudo-record: core idle waiting for a wake sequence
+)
+
+func (c Class) String() string {
+	names := [...]string{"alu", "mul", "div", "load", "store", "branch", "jump",
+		"call", "ret", "ecall", "fence", "idle"}
+	if int(c) < len(names) {
+		return names[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// NoDep marks an absent register operand in a trace record.
+const NoDep uint8 = 255
+
+// Trace flags.
+const (
+	FlagSend uint8 = 1 << iota // record produces wake sequence Seq
+	FlagRecv                   // record must wait for wake sequence Seq
+	FlagM5Reset
+	FlagM5Dump
+)
+
+// TraceRec is one dynamic instruction as observed by the functional core,
+// replayed by the timing models.
+type TraceRec struct {
+	PC       uint64
+	Size     uint8
+	Class    Class
+	Taken    bool   // branch outcome
+	Target   uint64 // branch/jump/call target (actual next PC when taken)
+	MemAddr  uint64
+	MemSize  uint8
+	Src1     uint8 // architectural source registers (NoDep if none)
+	Src2     uint8
+	Dst      uint8 // architectural destination register (NoDep if none)
+	Flags    uint8
+	Seq      uint64 // IPC coupling sequence for FlagSend/FlagRecv
+	MicroOps uint8  // decoded micro-operations (>=1); CISC may expand
+}
+
+// Mem is the flat physical memory of a simulated machine. All functional
+// cores of the machine share one Mem; the cache models only observe the
+// trace, so functional accesses go straight to the backing slice.
+type Mem struct {
+	Data []byte
+}
+
+// NewMem allocates size bytes of zeroed memory.
+func NewMem(size int) *Mem { return &Mem{Data: make([]byte, size)} }
+
+// Load reads sz little-endian bytes at addr.
+func (m *Mem) Load(addr uint64, sz uint8) uint64 {
+	if addr+uint64(sz) > uint64(len(m.Data)) {
+		panic(fmt.Sprintf("isa: load fault addr=%#x sz=%d", addr, sz))
+	}
+	var v uint64
+	for i := uint8(0); i < sz; i++ {
+		v |= uint64(m.Data[addr+uint64(i)]) << (8 * i)
+	}
+	return v
+}
+
+// Store writes the low sz bytes of val at addr, little-endian.
+func (m *Mem) Store(addr uint64, sz uint8, val uint64) {
+	if addr+uint64(sz) > uint64(len(m.Data)) {
+		panic(fmt.Sprintf("isa: store fault addr=%#x sz=%d", addr, sz))
+	}
+	for i := uint8(0); i < sz; i++ {
+		m.Data[addr+uint64(i)] = byte(val >> (8 * i))
+	}
+}
+
+// Bytes returns the slice [addr, addr+n).
+func (m *Mem) Bytes(addr, n uint64) []byte {
+	if addr+n > uint64(len(m.Data)) {
+		panic(fmt.Sprintf("isa: bytes fault addr=%#x n=%d", addr, n))
+	}
+	return m.Data[addr : addr+n]
+}
+
+// SignExtend sign-extends the low sz bytes of v.
+func SignExtend(v uint64, sz uint8) uint64 {
+	switch sz {
+	case 1:
+		return uint64(int64(int8(v)))
+	case 2:
+		return uint64(int64(int16(v)))
+	case 4:
+		return uint64(int64(int32(v)))
+	}
+	return v
+}
+
+// Program is a linked machine-code image for one architecture.
+type Program struct {
+	Arch     Arch
+	TextBase uint64
+	Text     []byte
+	DataBase uint64
+	Data     []byte
+	Entry    uint64            // address of the entry function
+	Syms     map[string]uint64 // function and global symbol addresses
+	FuncEnd  map[string]uint64 // end address of each function (diagnostics)
+}
+
+// SymAddr returns the address of a symbol, panicking if absent.
+func (p *Program) SymAddr(name string) uint64 {
+	a, ok := p.Syms[name]
+	if !ok {
+		panic("isa: unknown symbol " + name)
+	}
+	return a
+}
+
+// LoadInto copies the program image into memory.
+func (p *Program) LoadInto(m *Mem) {
+	copy(m.Bytes(p.TextBase, uint64(len(p.Text))), p.Text)
+	copy(m.Bytes(p.DataBase, uint64(len(p.Data))), p.Data)
+}
+
+// Size returns the total image footprint in bytes.
+func (p *Program) Size() int { return len(p.Text) + len(p.Data) }
+
+// EcallResult tells a functional core how to proceed after the environment
+// hook handled an ECALL.
+type EcallResult int
+
+// Ecall dispositions.
+const (
+	// EcallHandled: the hook performed the call; execution continues at
+	// the next instruction with the return value already set.
+	EcallHandled EcallResult = iota
+	// EcallVector: the hook redirected the core into handler code (the
+	// kernel's syscall path); the core's PC was changed by CallInto.
+	EcallVector
+	// EcallBlock: the current process blocked; the machine must stop
+	// stepping this core until it is woken.
+	EcallBlock
+	// EcallHalt: the machine should stop simulating entirely.
+	EcallHalt
+)
+
+// EcallHook is invoked by a functional core when it executes an ECALL
+// instruction. The hook inspects/updates core state through the Core
+// interface.
+type EcallHook func(c Core) EcallResult
+
+// Core is the functional (architectural) state of one hardware thread.
+// Each simulated process owns a Core; the machine multiplexes them onto
+// simulated CPUs.
+type Core interface {
+	// Step executes one instruction, appending its trace record to out,
+	// and returns the possibly-grown slice.
+	Step(out []TraceRec) ([]TraceRec, error)
+	PC() uint64
+	SetPC(pc uint64)
+	// Arg returns the i-th ecall argument register (0-based).
+	Arg(i int) uint64
+	// SetArg sets the i-th ecall argument register.
+	SetArg(i int, v uint64)
+	// EcallNum returns the pending ecall number.
+	EcallNum() uint64
+	// SetRet sets the ecall/function return register.
+	SetRet(v uint64)
+	// CallInto redirects execution into a handler at addr using the
+	// architecture's calling convention, arranging for the handler's
+	// return to resume at the instruction after the current ecall.
+	CallInto(addr uint64)
+	// Annotate sets trace flags and a coupling sequence on the
+	// instruction currently executing; only valid inside an EcallHook.
+	Annotate(flags uint8, seq uint64)
+	// StackPtr returns the current stack pointer.
+	StackPtr() uint64
+	// SetStackPtr sets the stack pointer.
+	SetStackPtr(v uint64)
+	// Snapshot serializes architectural state (for checkpoints).
+	Snapshot() []uint64
+	// Restore loads architectural state saved by Snapshot.
+	Restore([]uint64)
+	// InstrCount reports instructions executed by this core state.
+	InstrCount() uint64
+	Arch() Arch
+}

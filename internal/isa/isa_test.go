@@ -1,0 +1,105 @@
+package isa
+
+import "testing"
+
+func TestMemLoadStoreRoundTrip(t *testing.T) {
+	m := NewMem(4096)
+	for _, sz := range []uint8{1, 2, 4, 8} {
+		v := uint64(0x1122334455667788)
+		m.Store(64, sz, v)
+		got := m.Load(64, sz)
+		mask := ^uint64(0)
+		if sz < 8 {
+			mask = (1 << (8 * sz)) - 1
+		}
+		if got != v&mask {
+			t.Fatalf("sz=%d: %#x != %#x", sz, got, v&mask)
+		}
+	}
+}
+
+func TestMemLittleEndian(t *testing.T) {
+	m := NewMem(64)
+	m.Store(0, 4, 0x0A0B0C0D)
+	if m.Data[0] != 0x0D || m.Data[3] != 0x0A {
+		t.Fatalf("not little-endian: % x", m.Data[:4])
+	}
+}
+
+func TestMemFaults(t *testing.T) {
+	m := NewMem(64)
+	for _, f := range []func(){
+		func() { m.Load(60, 8) },
+		func() { m.Store(64, 1, 0) },
+		func() { m.Bytes(32, 33) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("out-of-range access must panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSignExtend(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		sz   uint8
+		want uint64
+	}{
+		{0x80, 1, 0xFFFFFFFFFFFFFF80},
+		{0x7F, 1, 0x7F},
+		{0x8000, 2, 0xFFFFFFFFFFFF8000},
+		{0x80000000, 4, 0xFFFFFFFF80000000},
+		{0x80000000, 8, 0x80000000},
+	}
+	for _, c := range cases {
+		if got := SignExtend(c.v, c.sz); got != c.want {
+			t.Errorf("SignExtend(%#x, %d) = %#x, want %#x", c.v, c.sz, got, c.want)
+		}
+	}
+}
+
+func TestProgramSymbols(t *testing.T) {
+	p := &Program{
+		TextBase: 0x1000, Text: []byte{1, 2, 3, 4},
+		DataBase: 0x2000, Data: []byte{9},
+		Syms: map[string]uint64{"f": 0x1000},
+	}
+	if p.SymAddr("f") != 0x1000 {
+		t.Fatal("symbol lookup")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown symbol must panic")
+		}
+	}()
+	p.SymAddr("ghost")
+}
+
+func TestProgramLoadInto(t *testing.T) {
+	p := &Program{
+		TextBase: 16, Text: []byte{0xAA, 0xBB},
+		DataBase: 32, Data: []byte{0xCC},
+	}
+	m := NewMem(64)
+	p.LoadInto(m)
+	if m.Data[16] != 0xAA || m.Data[17] != 0xBB || m.Data[32] != 0xCC {
+		t.Fatal("image not loaded")
+	}
+	if p.Size() != 3 {
+		t.Fatalf("size %d", p.Size())
+	}
+}
+
+func TestClassNames(t *testing.T) {
+	if ClassLoad.String() != "load" || ClassIdle.String() != "idle" {
+		t.Fatal("class names")
+	}
+	if Class(200).String() == "" {
+		t.Fatal("unknown class must render")
+	}
+}

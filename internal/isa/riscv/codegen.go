@@ -1,0 +1,489 @@
+package riscv
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"svbench/internal/ir"
+	"svbench/internal/isa"
+)
+
+// The code generator lowers portable IR to RV64IM machine code. It uses a
+// straightforward stack-slot discipline — every virtual register lives in
+// the frame; each IR operation loads its operands into temporaries,
+// computes, and stores the result — which matches what a non-optimizing
+// toolchain emits and keeps both ISA backends structurally comparable.
+//
+// Frame layout (sp-relative, grows down):
+//
+//	0          saved ra
+//	8 + 8*i    virtual register i
+//	8 + 8*n..  frame-local buffers
+//
+// Temporaries: t0/t1 operands, t2 address scratch, t4/t5 li64 + reloc
+// scratch. a0..a7 carry arguments and results.
+
+type relKind uint8
+
+const (
+	relCall relKind = iota // auipc t4 / jalr ra pair, pc-relative
+	relAbs                 // lui/addi pair, absolute symbol address
+)
+
+type reloc struct {
+	idx  int // index of the first instruction of the pair
+	kind relKind
+	sym  string
+	add  int64
+}
+
+type fnCode struct {
+	name   string
+	insts  []Inst
+	relocs []reloc
+}
+
+type codegen struct {
+	mod *ir.Module
+	fns []*fnCode
+
+	// per-function state
+	cur     *fnCode
+	fn      *ir.Function
+	bufBase int64 // frame offset where buffers start
+	frame   int64
+	// branch fixups: instruction index -> IR target instruction
+	brFix map[int]int
+	irIdx []int // IR instruction index -> first machine instruction index
+}
+
+// Compile lowers every function in the module and links the result at
+// textBase, placing globals after the text.
+func Compile(m *ir.Module, textBase uint64) (*isa.Program, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	cg := &codegen{mod: m}
+	for _, f := range m.Funcs {
+		if err := cg.emitFunc(f); err != nil {
+			return nil, fmt.Errorf("riscv: compile %s: %w", f.Name, err)
+		}
+	}
+	return cg.link(textBase)
+}
+
+func (cg *codegen) emit(in Inst) int {
+	cg.cur.insts = append(cg.cur.insts, in)
+	return len(cg.cur.insts) - 1
+}
+
+func slotOff(r ir.Reg) int64 { return 8 + 8*int64(r) }
+
+// loadSlot loads virtual register r into machine register t.
+func (cg *codegen) loadSlot(t uint8, r ir.Reg) {
+	off := slotOff(r)
+	if immFits(off, 12) {
+		cg.emit(Inst{Kind: KindLD, Rd: t, Rs1: RegSP, Imm: off})
+		return
+	}
+	cg.li(RegT5, off)
+	cg.emit(Inst{Kind: KindADD, Rd: t, Rs1: RegSP, Rs2: RegT5})
+	cg.emit(Inst{Kind: KindLD, Rd: t, Rs1: t})
+}
+
+// storeSlot stores machine register t into virtual register r.
+func (cg *codegen) storeSlot(r ir.Reg, t uint8) {
+	off := slotOff(r)
+	if immFits(off, 12) {
+		cg.emit(Inst{Kind: KindSD, Rs1: RegSP, Rs2: t, Imm: off})
+		return
+	}
+	cg.li(RegT5, off)
+	cg.emit(Inst{Kind: KindADD, Rd: RegT5, Rs1: RegSP, Rs2: RegT5})
+	cg.emit(Inst{Kind: KindSD, Rs1: RegT5, Rs2: t})
+}
+
+// li materializes v into register rd (1–8 instructions).
+func (cg *codegen) li(rd uint8, v int64) {
+	if immFits(v, 12) {
+		cg.emit(Inst{Kind: KindADDI, Rd: rd, Rs1: RegZero, Imm: v})
+		return
+	}
+	if v == int64(int32(v)) {
+		hi := int64(int32(uint32(v)+0x800)) >> 12
+		lo := int64(int32(uint32(v) - uint32(hi)<<12))
+		cg.emit(Inst{Kind: KindLUI, Rd: rd, Imm: hi & 0xFFFFF})
+		if lo != 0 {
+			// addiw wraps at 32 bits and sign-extends, covering values
+			// near the 2^31 boundary that lui+addi cannot reach.
+			cg.emit(Inst{Kind: KindADDIW, Rd: rd, Rs1: rd, Imm: lo})
+		}
+		return
+	}
+	// 64-bit: v = hi<<32 + signext(lo32)
+	lo := int64(int32(v))
+	hi := (v - lo) >> 32
+	cg.li(rd, hi)
+	cg.emit(Inst{Kind: KindSLLI, Rd: rd, Rs1: rd, Imm: 32})
+	if lo != 0 {
+		cg.li(RegT6, lo)
+		cg.emit(Inst{Kind: KindADD, Rd: rd, Rs1: rd, Rs2: RegT6})
+	}
+}
+
+func (cg *codegen) emitFunc(f *ir.Function) error {
+	if f.NRegs > 4000 {
+		return fmt.Errorf("too many virtual registers (%d)", f.NRegs)
+	}
+	cg.cur = &fnCode{name: f.Name}
+	cg.fn = f
+	cg.brFix = map[int]int{}
+	cg.irIdx = make([]int, len(f.Code)+1)
+	cg.bufBase = 8 + 8*int64(f.NRegs)
+	cg.frame = (cg.bufBase + f.BufArea() + 15) &^ 15
+
+	// Prologue.
+	if immFits(-cg.frame, 12) {
+		cg.emit(Inst{Kind: KindADDI, Rd: RegSP, Rs1: RegSP, Imm: -cg.frame})
+	} else {
+		cg.li(RegT5, -cg.frame)
+		cg.emit(Inst{Kind: KindADD, Rd: RegSP, Rs1: RegSP, Rs2: RegT5})
+	}
+	cg.emit(Inst{Kind: KindSD, Rs1: RegSP, Rs2: RegRA, Imm: 0})
+	for i := 0; i < f.NParams && i < 8; i++ {
+		cg.storeSlot(ir.Reg(i), uint8(RegA0+i))
+	}
+
+	for i := range f.Code {
+		cg.irIdx[i] = len(cg.cur.insts)
+		if err := cg.emitInstr(&f.Code[i]); err != nil {
+			return fmt.Errorf("instr %d: %w", i, err)
+		}
+	}
+	cg.irIdx[len(f.Code)] = len(cg.cur.insts)
+
+	// Fix intra-function branches (all are JALs whose Imm is the IR
+	// target index at this point).
+	for idx, irTgt := range cg.brFix {
+		delta := int64(cg.irIdx[irTgt]-idx) * 4
+		if !immFits(delta, 21) {
+			return fmt.Errorf("jal displacement %d out of range", delta)
+		}
+		cg.cur.insts[idx].Imm = delta
+	}
+	cg.fns = append(cg.fns, cg.cur)
+	return nil
+}
+
+// epilogue restores ra/sp and returns.
+func (cg *codegen) epilogue() {
+	cg.emit(Inst{Kind: KindLD, Rd: RegRA, Rs1: RegSP, Imm: 0})
+	if immFits(cg.frame, 12) {
+		cg.emit(Inst{Kind: KindADDI, Rd: RegSP, Rs1: RegSP, Imm: cg.frame})
+	} else {
+		cg.li(RegT5, cg.frame)
+		cg.emit(Inst{Kind: KindADD, Rd: RegSP, Rs1: RegSP, Rs2: RegT5})
+	}
+	cg.emit(Inst{Kind: KindJALR, Rd: RegZero, Rs1: RegRA})
+}
+
+var binKind = map[ir.Op]Kind{
+	ir.OpAdd: KindADD, ir.OpSub: KindSUB, ir.OpMul: KindMUL,
+	ir.OpDiv: KindDIV, ir.OpRem: KindREM, ir.OpDivU: KindDIVU, ir.OpRemU: KindREMU,
+	ir.OpAnd: KindAND, ir.OpOr: KindOR, ir.OpXor: KindXOR,
+	ir.OpShl: KindSLL, ir.OpShr: KindSRL, ir.OpSra: KindSRA,
+}
+
+func loadKindFor(sz uint8, uns bool) Kind {
+	switch sz {
+	case 1:
+		if uns {
+			return KindLBU
+		}
+		return KindLB
+	case 2:
+		if uns {
+			return KindLHU
+		}
+		return KindLH
+	case 4:
+		if uns {
+			return KindLWU
+		}
+		return KindLW
+	default:
+		return KindLD
+	}
+}
+
+func storeKindFor(sz uint8) Kind {
+	switch sz {
+	case 1:
+		return KindSB
+	case 2:
+		return KindSH
+	case 4:
+		return KindSW
+	default:
+		return KindSD
+	}
+}
+
+func (cg *codegen) emitInstr(in *ir.Instr) error {
+	switch in.Op {
+	case ir.OpNop:
+	case ir.OpFence:
+		cg.emit(Inst{Kind: KindFENCE})
+	case ir.OpConst:
+		cg.li(RegT0, in.Imm)
+		cg.storeSlot(in.Dst, RegT0)
+	case ir.OpMov:
+		cg.loadSlot(RegT0, in.A)
+		cg.storeSlot(in.Dst, RegT0)
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem, ir.OpDivU, ir.OpRemU,
+		ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr, ir.OpSra:
+		cg.loadSlot(RegT0, in.A)
+		cg.loadSlot(RegT1, in.B)
+		cg.emit(Inst{Kind: binKind[in.Op], Rd: RegT0, Rs1: RegT0, Rs2: RegT1})
+		cg.storeSlot(in.Dst, RegT0)
+	case ir.OpAddI, ir.OpAndI, ir.OpOrI, ir.OpXorI:
+		cg.loadSlot(RegT0, in.A)
+		k := map[ir.Op]Kind{ir.OpAddI: KindADDI, ir.OpAndI: KindANDI,
+			ir.OpOrI: KindORI, ir.OpXorI: KindXORI}[in.Op]
+		if immFits(in.Imm, 12) {
+			cg.emit(Inst{Kind: k, Rd: RegT0, Rs1: RegT0, Imm: in.Imm})
+		} else {
+			cg.li(RegT1, in.Imm)
+			rk := map[ir.Op]Kind{ir.OpAddI: KindADD, ir.OpAndI: KindAND,
+				ir.OpOrI: KindOR, ir.OpXorI: KindXOR}[in.Op]
+			cg.emit(Inst{Kind: rk, Rd: RegT0, Rs1: RegT0, Rs2: RegT1})
+		}
+		cg.storeSlot(in.Dst, RegT0)
+	case ir.OpMulI:
+		cg.loadSlot(RegT0, in.A)
+		cg.li(RegT1, in.Imm)
+		cg.emit(Inst{Kind: KindMUL, Rd: RegT0, Rs1: RegT0, Rs2: RegT1})
+		cg.storeSlot(in.Dst, RegT0)
+	case ir.OpShlI, ir.OpShrI, ir.OpSraI:
+		cg.loadSlot(RegT0, in.A)
+		k := map[ir.Op]Kind{ir.OpShlI: KindSLLI, ir.OpShrI: KindSRLI, ir.OpSraI: KindSRAI}[in.Op]
+		cg.emit(Inst{Kind: k, Rd: RegT0, Rs1: RegT0, Imm: in.Imm & 63})
+		cg.storeSlot(in.Dst, RegT0)
+	case ir.OpSet:
+		cg.loadSlot(RegT0, in.A)
+		cg.loadSlot(RegT1, in.B)
+		cg.emitSet(in.Cond)
+		cg.storeSlot(in.Dst, RegT0)
+	case ir.OpLoad:
+		cg.loadSlot(RegT0, in.A)
+		off := in.Imm
+		if !immFits(off, 12) {
+			cg.li(RegT2, off)
+			cg.emit(Inst{Kind: KindADD, Rd: RegT0, Rs1: RegT0, Rs2: RegT2})
+			off = 0
+		}
+		cg.emit(Inst{Kind: loadKindFor(in.Sz, in.Uns), Rd: RegT0, Rs1: RegT0, Imm: off})
+		cg.storeSlot(in.Dst, RegT0)
+	case ir.OpStore:
+		cg.loadSlot(RegT0, in.A)
+		cg.loadSlot(RegT1, in.B)
+		off := in.Imm
+		if !immFits(off, 12) {
+			cg.li(RegT2, off)
+			cg.emit(Inst{Kind: KindADD, Rd: RegT0, Rs1: RegT0, Rs2: RegT2})
+			off = 0
+		}
+		cg.emit(Inst{Kind: storeKindFor(in.Sz), Rs1: RegT0, Rs2: RegT1, Imm: off})
+	case ir.OpBr:
+		cg.loadSlot(RegT0, in.A)
+		cg.loadSlot(RegT1, in.B)
+		cg.emitBranch(in.Cond, in.Tgt)
+	case ir.OpBrI:
+		cg.loadSlot(RegT0, in.A)
+		cg.li(RegT1, in.Imm)
+		cg.emitBranch(in.Cond, in.Tgt)
+	case ir.OpJmp:
+		idx := cg.emit(Inst{Kind: KindJAL, Rd: RegZero})
+		cg.brFix[idx] = in.Tgt
+	case ir.OpCall:
+		if len(in.Args) > 8 {
+			return fmt.Errorf("too many args")
+		}
+		for i, a := range in.Args {
+			cg.loadSlot(uint8(RegA0+i), a)
+		}
+		idx := cg.emit(Inst{Kind: KindAUIPC, Rd: RegT4})
+		cg.emit(Inst{Kind: KindJALR, Rd: RegRA, Rs1: RegT4})
+		cg.cur.relocs = append(cg.cur.relocs, reloc{idx: idx, kind: relCall, sym: in.Sym})
+		if in.Dst != ir.NoReg {
+			cg.storeSlot(in.Dst, RegA0)
+		}
+	case ir.OpRet:
+		if in.A != ir.NoReg {
+			cg.loadSlot(RegA0, in.A)
+		} else {
+			cg.emit(Inst{Kind: KindADDI, Rd: RegA0, Rs1: RegZero})
+		}
+		cg.epilogue()
+	case ir.OpEcall:
+		if len(in.Args) > 6 {
+			return fmt.Errorf("too many ecall args")
+		}
+		for i, a := range in.Args {
+			cg.loadSlot(uint8(RegA0+i), a)
+		}
+		cg.li(RegA7, in.Imm)
+		cg.emit(Inst{Kind: KindECALL})
+		if in.Dst != ir.NoReg {
+			cg.storeSlot(in.Dst, RegA0)
+		}
+	case ir.OpGlobal:
+		idx := cg.emit(Inst{Kind: KindLUI, Rd: RegT0})
+		cg.emit(Inst{Kind: KindADDI, Rd: RegT0, Rs1: RegT0})
+		cg.cur.relocs = append(cg.cur.relocs, reloc{idx: idx, kind: relAbs, sym: in.Sym, add: in.Imm})
+		cg.storeSlot(in.Dst, RegT0)
+	case ir.OpFrame:
+		off, _ := cg.fn.BufOffset(in.Sym)
+		total := cg.bufBase + off + in.Imm
+		if immFits(total, 12) {
+			cg.emit(Inst{Kind: KindADDI, Rd: RegT0, Rs1: RegSP, Imm: total})
+		} else {
+			cg.li(RegT0, total)
+			cg.emit(Inst{Kind: KindADD, Rd: RegT0, Rs1: RegSP, Rs2: RegT0})
+		}
+		cg.storeSlot(in.Dst, RegT0)
+	default:
+		return fmt.Errorf("unhandled op %d", in.Op)
+	}
+	return nil
+}
+
+// emitSet leaves (t0 cond t1) as 0/1 in t0.
+func (cg *codegen) emitSet(c ir.Cond) {
+	switch c {
+	case ir.Lt:
+		cg.emit(Inst{Kind: KindSLT, Rd: RegT0, Rs1: RegT0, Rs2: RegT1})
+	case ir.Ltu:
+		cg.emit(Inst{Kind: KindSLTU, Rd: RegT0, Rs1: RegT0, Rs2: RegT1})
+	case ir.Gt:
+		cg.emit(Inst{Kind: KindSLT, Rd: RegT0, Rs1: RegT1, Rs2: RegT0})
+	case ir.Ge:
+		cg.emit(Inst{Kind: KindSLT, Rd: RegT0, Rs1: RegT0, Rs2: RegT1})
+		cg.emit(Inst{Kind: KindXORI, Rd: RegT0, Rs1: RegT0, Imm: 1})
+	case ir.Le:
+		cg.emit(Inst{Kind: KindSLT, Rd: RegT0, Rs1: RegT1, Rs2: RegT0})
+		cg.emit(Inst{Kind: KindXORI, Rd: RegT0, Rs1: RegT0, Imm: 1})
+	case ir.Geu:
+		cg.emit(Inst{Kind: KindSLTU, Rd: RegT0, Rs1: RegT0, Rs2: RegT1})
+		cg.emit(Inst{Kind: KindXORI, Rd: RegT0, Rs1: RegT0, Imm: 1})
+	case ir.Eq:
+		cg.emit(Inst{Kind: KindSUB, Rd: RegT0, Rs1: RegT0, Rs2: RegT1})
+		cg.emit(Inst{Kind: KindSLTIU, Rd: RegT0, Rs1: RegT0, Imm: 1})
+	case ir.Ne:
+		cg.emit(Inst{Kind: KindSUB, Rd: RegT0, Rs1: RegT0, Rs2: RegT1})
+		cg.emit(Inst{Kind: KindSLTU, Rd: RegT0, Rs1: RegZero, Rs2: RegT0})
+	}
+}
+
+// emitBranch compares t0/t1 and jumps to IR target tgt when cond holds,
+// lowered as an inverted short branch over an unbounded jal.
+func (cg *codegen) emitBranch(c ir.Cond, tgt int) {
+	var k Kind
+	swap := false
+	switch c.Negate() {
+	case ir.Eq:
+		k = KindBEQ
+	case ir.Ne:
+		k = KindBNE
+	case ir.Lt:
+		k = KindBLT
+	case ir.Ge:
+		k = KindBGE
+	case ir.Ltu:
+		k = KindBLTU
+	case ir.Geu:
+		k = KindBGEU
+	case ir.Le: // t0 <= t1  ==  t1 >= t0
+		k, swap = KindBGE, true
+	case ir.Gt: // t0 > t1  ==  t1 < t0
+		k, swap = KindBLT, true
+	}
+	rs1, rs2 := uint8(RegT0), uint8(RegT1)
+	if swap {
+		rs1, rs2 = rs2, rs1
+	}
+	cg.emit(Inst{Kind: k, Rs1: rs1, Rs2: rs2, Imm: 8})
+	idx := cg.emit(Inst{Kind: KindJAL, Rd: RegZero})
+	cg.brFix[idx] = tgt
+}
+
+// link lays out functions and globals and patches relocations.
+func (cg *codegen) link(textBase uint64) (*isa.Program, error) {
+	p := &isa.Program{
+		Arch:     isa.RV64,
+		TextBase: textBase,
+		Syms:     map[string]uint64{},
+		FuncEnd:  map[string]uint64{},
+	}
+	addr := textBase
+	starts := make([]uint64, len(cg.fns))
+	for i, f := range cg.fns {
+		starts[i] = addr
+		p.Syms[f.name] = addr
+		addr += uint64(len(f.insts)) * 4
+		p.FuncEnd[f.name] = addr
+	}
+	// Globals after text, 64-byte aligned.
+	dataBase := (addr + 63) &^ 63
+	p.DataBase = dataBase
+	gaddr := dataBase
+	for _, g := range cg.mod.Globals {
+		al := uint64(g.Align)
+		if al > 1 {
+			gaddr = (gaddr + al - 1) / al * al
+		}
+		p.Syms[g.Name] = gaddr
+		pad := int(gaddr - dataBase - uint64(len(p.Data)))
+		p.Data = append(p.Data, make([]byte, pad)...)
+		p.Data = append(p.Data, g.Data...)
+		gaddr += uint64(len(g.Data))
+	}
+
+	// Patch relocations and encode.
+	for i, f := range cg.fns {
+		base := starts[i]
+		for _, rl := range f.relocs {
+			tgt, ok := p.Syms[rl.sym]
+			if !ok {
+				return nil, fmt.Errorf("riscv: undefined symbol %q", rl.sym)
+			}
+			switch rl.kind {
+			case relCall:
+				pc := base + uint64(rl.idx)*4
+				delta := int64(tgt) - int64(pc)
+				hi := (delta + 0x800) >> 12
+				lo := delta - hi<<12
+				f.insts[rl.idx].Imm = hi & 0xFFFFF
+				f.insts[rl.idx+1].Imm = lo
+			case relAbs:
+				v := int64(tgt) + rl.add
+				if v != int64(int32(v)) {
+					return nil, fmt.Errorf("riscv: symbol %q address %#x too large", rl.sym, v)
+				}
+				hi := (v + 0x800) >> 12
+				lo := v - hi<<12
+				f.insts[rl.idx].Imm = hi & 0xFFFFF
+				f.insts[rl.idx+1].Imm = lo
+			}
+		}
+		for _, in := range f.insts {
+			var w [4]byte
+			binary.LittleEndian.PutUint32(w[:], in.Encode())
+			p.Text = append(p.Text, w[:]...)
+		}
+	}
+	if len(cg.fns) > 0 {
+		p.Entry = starts[0]
+	}
+	return p, nil
+}

@@ -1,0 +1,428 @@
+// Package riscv implements the RV64IM instruction set: authentic 32-bit
+// instruction encodings, a decoder, a functional interpreter core, and a
+// code generator from the portable IR. This is the simulated target that
+// stands in for the thesis's RISC-V systems.
+package riscv
+
+import "fmt"
+
+// Kind enumerates the RV64IM instructions this implementation supports.
+type Kind uint8
+
+// Instruction kinds.
+const (
+	KindInvalid Kind = iota
+	KindLUI
+	KindAUIPC
+	KindJAL
+	KindJALR
+	KindBEQ
+	KindBNE
+	KindBLT
+	KindBGE
+	KindBLTU
+	KindBGEU
+	KindLB
+	KindLH
+	KindLW
+	KindLD
+	KindLBU
+	KindLHU
+	KindLWU
+	KindSB
+	KindSH
+	KindSW
+	KindSD
+	KindADDI
+	KindSLTI
+	KindSLTIU
+	KindXORI
+	KindORI
+	KindANDI
+	KindSLLI
+	KindSRLI
+	KindSRAI
+	KindADDIW
+	KindADD
+	KindSUB
+	KindSLL
+	KindSLT
+	KindSLTU
+	KindXOR
+	KindSRL
+	KindSRA
+	KindOR
+	KindAND
+	KindMUL
+	KindMULHU
+	KindDIV
+	KindDIVU
+	KindREM
+	KindREMU
+	KindECALL
+	KindEBREAK
+	KindFENCE
+	kindCount
+)
+
+var kindNames = [...]string{
+	"invalid", "lui", "auipc", "jal", "jalr",
+	"beq", "bne", "blt", "bge", "bltu", "bgeu",
+	"lb", "lh", "lw", "ld", "lbu", "lhu", "lwu",
+	"sb", "sh", "sw", "sd",
+	"addi", "slti", "sltiu", "xori", "ori", "andi", "slli", "srli", "srai", "addiw",
+	"add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or", "and",
+	"mul", "mulhu", "div", "divu", "rem", "remu",
+	"ecall", "ebreak", "fence",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Inst is a decoded (or to-be-encoded) instruction.
+type Inst struct {
+	Kind Kind
+	Rd   uint8
+	Rs1  uint8
+	Rs2  uint8
+	Imm  int64
+}
+
+// ABI register numbers.
+const (
+	RegZero = 0
+	RegRA   = 1
+	RegSP   = 2
+	RegGP   = 3
+	RegTP   = 4
+	RegT0   = 5
+	RegT1   = 6
+	RegT2   = 7
+	RegS0   = 8
+	RegS1   = 9
+	RegA0   = 10
+	RegA1   = 11
+	RegA2   = 12
+	RegA3   = 13
+	RegA4   = 14
+	RegA5   = 15
+	RegA6   = 16
+	RegA7   = 17
+	RegT3   = 28
+	RegT4   = 29
+	RegT5   = 30
+	RegT6   = 31
+)
+
+// Base opcode fields.
+const (
+	opLoad    = 0x03
+	opMiscMem = 0x0F
+	opOpImm   = 0x13
+	opAUIPC   = 0x17
+	opStore   = 0x23
+	opOp      = 0x33
+	opLUI     = 0x37
+	opBranch  = 0x63
+	opJALR    = 0x67
+	opJAL     = 0x6F
+	opSystem  = 0x73
+)
+
+func immFits(v int64, bits uint) bool {
+	min := -(int64(1) << (bits - 1))
+	max := int64(1)<<(bits-1) - 1
+	return v >= min && v <= max
+}
+
+// Encode returns the 32-bit encoding of the instruction. It panics when an
+// immediate is out of range for the format — encoder bugs must be loud.
+func (in Inst) Encode() uint32 {
+	r := func(v uint8) uint32 { return uint32(v) & 31 }
+	encR := func(funct7, funct3, opcode uint32) uint32 {
+		return funct7<<25 | r(in.Rs2)<<20 | r(in.Rs1)<<15 | funct3<<12 | r(in.Rd)<<7 | opcode
+	}
+	encI := func(funct3, opcode uint32) uint32 {
+		if !immFits(in.Imm, 12) {
+			panic(fmt.Sprintf("riscv: I-imm out of range: %d (%s)", in.Imm, in.Kind))
+		}
+		return uint32(in.Imm&0xFFF)<<20 | r(in.Rs1)<<15 | funct3<<12 | r(in.Rd)<<7 | opcode
+	}
+	encShift := func(funct6, funct3 uint32) uint32 {
+		if in.Imm < 0 || in.Imm > 63 {
+			panic("riscv: shift amount out of range")
+		}
+		return funct6<<26 | uint32(in.Imm&63)<<20 | r(in.Rs1)<<15 | funct3<<12 | r(in.Rd)<<7 | opOpImm
+	}
+	encS := func(funct3 uint32) uint32 {
+		if !immFits(in.Imm, 12) {
+			panic(fmt.Sprintf("riscv: S-imm out of range: %d", in.Imm))
+		}
+		imm := uint32(in.Imm & 0xFFF)
+		return (imm>>5)<<25 | r(in.Rs2)<<20 | r(in.Rs1)<<15 | funct3<<12 | (imm&31)<<7 | opStore
+	}
+	encB := func(funct3 uint32) uint32 {
+		if in.Imm&1 != 0 || !immFits(in.Imm, 13) {
+			panic(fmt.Sprintf("riscv: B-imm out of range: %d", in.Imm))
+		}
+		imm := uint32(in.Imm) & 0x1FFF
+		return (imm>>12&1)<<31 | (imm>>5&0x3F)<<25 | r(in.Rs2)<<20 | r(in.Rs1)<<15 |
+			funct3<<12 | (imm>>1&0xF)<<8 | (imm>>11&1)<<7 | opBranch
+	}
+	encU := func(opcode uint32) uint32 {
+		return uint32(in.Imm&0xFFFFF)<<12 | r(in.Rd)<<7 | opcode
+	}
+	encJ := func() uint32 {
+		if in.Imm&1 != 0 || !immFits(in.Imm, 21) {
+			panic(fmt.Sprintf("riscv: J-imm out of range: %d", in.Imm))
+		}
+		imm := uint32(in.Imm) & 0x1FFFFF
+		return (imm>>20&1)<<31 | (imm>>1&0x3FF)<<21 | (imm>>11&1)<<20 |
+			(imm>>12&0xFF)<<12 | r(in.Rd)<<7 | opJAL
+	}
+
+	switch in.Kind {
+	case KindLUI:
+		return encU(opLUI)
+	case KindAUIPC:
+		return encU(opAUIPC)
+	case KindJAL:
+		return encJ()
+	case KindJALR:
+		return encI(0, opJALR)
+	case KindBEQ:
+		return encB(0)
+	case KindBNE:
+		return encB(1)
+	case KindBLT:
+		return encB(4)
+	case KindBGE:
+		return encB(5)
+	case KindBLTU:
+		return encB(6)
+	case KindBGEU:
+		return encB(7)
+	case KindLB:
+		return encI(0, opLoad)
+	case KindLH:
+		return encI(1, opLoad)
+	case KindLW:
+		return encI(2, opLoad)
+	case KindLD:
+		return encI(3, opLoad)
+	case KindLBU:
+		return encI(4, opLoad)
+	case KindLHU:
+		return encI(5, opLoad)
+	case KindLWU:
+		return encI(6, opLoad)
+	case KindSB:
+		return encS(0)
+	case KindSH:
+		return encS(1)
+	case KindSW:
+		return encS(2)
+	case KindSD:
+		return encS(3)
+	case KindADDI:
+		return encI(0, opOpImm)
+	case KindADDIW:
+		return encI(0, 0x1B)
+	case KindSLTI:
+		return encI(2, opOpImm)
+	case KindSLTIU:
+		return encI(3, opOpImm)
+	case KindXORI:
+		return encI(4, opOpImm)
+	case KindORI:
+		return encI(6, opOpImm)
+	case KindANDI:
+		return encI(7, opOpImm)
+	case KindSLLI:
+		return encShift(0, 1)
+	case KindSRLI:
+		return encShift(0, 5)
+	case KindSRAI:
+		return encShift(0x10, 5)
+	case KindADD:
+		return encR(0, 0, opOp)
+	case KindSUB:
+		return encR(0x20, 0, opOp)
+	case KindSLL:
+		return encR(0, 1, opOp)
+	case KindSLT:
+		return encR(0, 2, opOp)
+	case KindSLTU:
+		return encR(0, 3, opOp)
+	case KindXOR:
+		return encR(0, 4, opOp)
+	case KindSRL:
+		return encR(0, 5, opOp)
+	case KindSRA:
+		return encR(0x20, 5, opOp)
+	case KindOR:
+		return encR(0, 6, opOp)
+	case KindAND:
+		return encR(0, 7, opOp)
+	case KindMUL:
+		return encR(1, 0, opOp)
+	case KindMULHU:
+		return encR(1, 3, opOp)
+	case KindDIV:
+		return encR(1, 4, opOp)
+	case KindDIVU:
+		return encR(1, 5, opOp)
+	case KindREM:
+		return encR(1, 6, opOp)
+	case KindREMU:
+		return encR(1, 7, opOp)
+	case KindECALL:
+		return opSystem
+	case KindEBREAK:
+		return 1<<20 | opSystem
+	case KindFENCE:
+		return opMiscMem
+	}
+	panic("riscv: cannot encode " + in.Kind.String())
+}
+
+// Decode decodes a 32-bit instruction word.
+func Decode(w uint32) (Inst, error) {
+	opcode := w & 0x7F
+	rd := uint8(w >> 7 & 31)
+	funct3 := w >> 12 & 7
+	rs1 := uint8(w >> 15 & 31)
+	rs2 := uint8(w >> 20 & 31)
+	funct7 := w >> 25
+
+	immI := int64(int32(w) >> 20)
+	immS := int64(int32(w&0xFE000000)>>20) | int64(w>>7&31)
+	immB := int64(int32(w&0x80000000)>>19) | int64(w>>25&0x3F)<<5 |
+		int64(w>>8&0xF)<<1 | int64(w>>7&1)<<11
+	immU := int64(int32(w&0xFFFFF000) >> 12)
+	immJ := int64(int32(w&0x80000000)>>11) | int64(w>>21&0x3FF)<<1 |
+		int64(w>>20&1)<<11 | int64(w>>12&0xFF)<<12
+
+	switch opcode {
+	case opLUI:
+		return Inst{Kind: KindLUI, Rd: rd, Imm: immU}, nil
+	case opAUIPC:
+		return Inst{Kind: KindAUIPC, Rd: rd, Imm: immU}, nil
+	case opJAL:
+		return Inst{Kind: KindJAL, Rd: rd, Imm: immJ}, nil
+	case opJALR:
+		if funct3 != 0 {
+			return Inst{}, fmt.Errorf("riscv: bad jalr funct3 %d", funct3)
+		}
+		return Inst{Kind: KindJALR, Rd: rd, Rs1: rs1, Imm: immI}, nil
+	case opBranch:
+		kinds := map[uint32]Kind{0: KindBEQ, 1: KindBNE, 4: KindBLT, 5: KindBGE, 6: KindBLTU, 7: KindBGEU}
+		k, ok := kinds[funct3]
+		if !ok {
+			return Inst{}, fmt.Errorf("riscv: bad branch funct3 %d", funct3)
+		}
+		return Inst{Kind: k, Rs1: rs1, Rs2: rs2, Imm: immB}, nil
+	case opLoad:
+		kinds := map[uint32]Kind{0: KindLB, 1: KindLH, 2: KindLW, 3: KindLD, 4: KindLBU, 5: KindLHU, 6: KindLWU}
+		k, ok := kinds[funct3]
+		if !ok {
+			return Inst{}, fmt.Errorf("riscv: bad load funct3 %d", funct3)
+		}
+		return Inst{Kind: k, Rd: rd, Rs1: rs1, Imm: immI}, nil
+	case opStore:
+		kinds := map[uint32]Kind{0: KindSB, 1: KindSH, 2: KindSW, 3: KindSD}
+		k, ok := kinds[funct3]
+		if !ok {
+			return Inst{}, fmt.Errorf("riscv: bad store funct3 %d", funct3)
+		}
+		return Inst{Kind: k, Rs1: rs1, Rs2: rs2, Imm: immS}, nil
+	case opOpImm:
+		switch funct3 {
+		case 0:
+			return Inst{Kind: KindADDI, Rd: rd, Rs1: rs1, Imm: immI}, nil
+		case 1:
+			if funct7>>1 != 0 {
+				return Inst{}, fmt.Errorf("riscv: bad slli funct6")
+			}
+			return Inst{Kind: KindSLLI, Rd: rd, Rs1: rs1, Imm: int64(w >> 20 & 63)}, nil
+		case 2:
+			return Inst{Kind: KindSLTI, Rd: rd, Rs1: rs1, Imm: immI}, nil
+		case 3:
+			return Inst{Kind: KindSLTIU, Rd: rd, Rs1: rs1, Imm: immI}, nil
+		case 4:
+			return Inst{Kind: KindXORI, Rd: rd, Rs1: rs1, Imm: immI}, nil
+		case 5:
+			switch funct7 >> 1 {
+			case 0:
+				return Inst{Kind: KindSRLI, Rd: rd, Rs1: rs1, Imm: int64(w >> 20 & 63)}, nil
+			case 0x10:
+				return Inst{Kind: KindSRAI, Rd: rd, Rs1: rs1, Imm: int64(w >> 20 & 63)}, nil
+			}
+			return Inst{}, fmt.Errorf("riscv: bad shift funct6 %#x", funct7>>1)
+		case 6:
+			return Inst{Kind: KindORI, Rd: rd, Rs1: rs1, Imm: immI}, nil
+		case 7:
+			return Inst{Kind: KindANDI, Rd: rd, Rs1: rs1, Imm: immI}, nil
+		}
+	case opOp:
+		type key struct {
+			f7, f3 uint32
+		}
+		kinds := map[key]Kind{
+			{0, 0}: KindADD, {0x20, 0}: KindSUB, {0, 1}: KindSLL,
+			{0, 2}: KindSLT, {0, 3}: KindSLTU, {0, 4}: KindXOR,
+			{0, 5}: KindSRL, {0x20, 5}: KindSRA, {0, 6}: KindOR, {0, 7}: KindAND,
+			{1, 0}: KindMUL, {1, 3}: KindMULHU, {1, 4}: KindDIV,
+			{1, 5}: KindDIVU, {1, 6}: KindREM, {1, 7}: KindREMU,
+		}
+		k, ok := kinds[key{funct7, funct3}]
+		if !ok {
+			return Inst{}, fmt.Errorf("riscv: bad OP funct7=%#x funct3=%d", funct7, funct3)
+		}
+		return Inst{Kind: k, Rd: rd, Rs1: rs1, Rs2: rs2}, nil
+	case opSystem:
+		switch w >> 20 {
+		case 0:
+			return Inst{Kind: KindECALL}, nil
+		case 1:
+			return Inst{Kind: KindEBREAK}, nil
+		}
+		return Inst{}, fmt.Errorf("riscv: bad SYSTEM imm %#x", w>>20)
+	case opMiscMem:
+		return Inst{Kind: KindFENCE}, nil
+	case 0x1B:
+		if funct3 != 0 {
+			return Inst{}, fmt.Errorf("riscv: bad OP-IMM-32 funct3 %d", funct3)
+		}
+		return Inst{Kind: KindADDIW, Rd: rd, Rs1: rs1, Imm: immI}, nil
+	}
+	return Inst{}, fmt.Errorf("riscv: cannot decode %#08x", w)
+}
+
+// String renders the instruction in assembler-like syntax.
+func (in Inst) String() string {
+	switch in.Kind {
+	case KindLUI, KindAUIPC:
+		return fmt.Sprintf("%s x%d, %#x", in.Kind, in.Rd, in.Imm)
+	case KindJAL:
+		return fmt.Sprintf("jal x%d, %d", in.Rd, in.Imm)
+	case KindJALR:
+		return fmt.Sprintf("jalr x%d, %d(x%d)", in.Rd, in.Imm, in.Rs1)
+	case KindBEQ, KindBNE, KindBLT, KindBGE, KindBLTU, KindBGEU:
+		return fmt.Sprintf("%s x%d, x%d, %d", in.Kind, in.Rs1, in.Rs2, in.Imm)
+	case KindLB, KindLH, KindLW, KindLD, KindLBU, KindLHU, KindLWU:
+		return fmt.Sprintf("%s x%d, %d(x%d)", in.Kind, in.Rd, in.Imm, in.Rs1)
+	case KindSB, KindSH, KindSW, KindSD:
+		return fmt.Sprintf("%s x%d, %d(x%d)", in.Kind, in.Rs2, in.Imm, in.Rs1)
+	case KindADDI, KindADDIW, KindSLTI, KindSLTIU, KindXORI, KindORI, KindANDI, KindSLLI, KindSRLI, KindSRAI:
+		return fmt.Sprintf("%s x%d, x%d, %d", in.Kind, in.Rd, in.Rs1, in.Imm)
+	case KindECALL, KindEBREAK, KindFENCE:
+		return in.Kind.String()
+	default:
+		return fmt.Sprintf("%s x%d, x%d, x%d", in.Kind, in.Rd, in.Rs1, in.Rs2)
+	}
+}

@@ -1,0 +1,249 @@
+package riscv
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"svbench/internal/ir"
+	"svbench/internal/ir/irtest"
+	"svbench/internal/isa"
+)
+
+// randInst produces a random valid instruction for round-trip testing.
+func randInst(r *rand.Rand) Inst {
+	for {
+		k := Kind(1 + r.Intn(int(kindCount)-1))
+		in := Inst{
+			Kind: k,
+			Rd:   uint8(r.Intn(32)),
+			Rs1:  uint8(r.Intn(32)),
+			Rs2:  uint8(r.Intn(32)),
+		}
+		switch k {
+		case KindLUI, KindAUIPC:
+			in.Rs1, in.Rs2 = 0, 0
+			in.Imm = int64(r.Intn(1 << 20))
+			if in.Imm >= 1<<19 {
+				in.Imm -= 1 << 20 // decoded as signed 20-bit
+			}
+		case KindJAL:
+			in.Rs1, in.Rs2 = 0, 0
+			in.Imm = int64(r.Intn(1<<20)-1<<19) * 2
+		case KindJALR, KindLB, KindLH, KindLW, KindLD, KindLBU, KindLHU, KindLWU,
+			KindADDI, KindADDIW, KindSLTI, KindSLTIU, KindXORI, KindORI, KindANDI:
+			in.Rs2 = 0
+			in.Imm = int64(r.Intn(1<<12) - 1<<11)
+		case KindSB, KindSH, KindSW, KindSD:
+			in.Rd = 0
+			in.Imm = int64(r.Intn(1<<12) - 1<<11)
+		case KindBEQ, KindBNE, KindBLT, KindBGE, KindBLTU, KindBGEU:
+			in.Rd = 0
+			in.Imm = int64(r.Intn(1<<12)-1<<11) * 2
+		case KindSLLI, KindSRLI, KindSRAI:
+			in.Rs2 = 0
+			in.Imm = int64(r.Intn(64))
+		case KindECALL, KindEBREAK, KindFENCE:
+			in.Rd, in.Rs1, in.Rs2 = 0, 0, 0
+		}
+		return in
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func() bool {
+		in := randInst(r)
+		w := in.Encode()
+		out, err := Decode(w)
+		if err != nil {
+			t.Logf("decode(%s = %#08x): %v", in, w, err)
+			return false
+		}
+		if out != in {
+			t.Logf("round trip mismatch: in=%+v out=%+v word=%#08x", in, out, w)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	// Decoding arbitrary words must never panic; it either succeeds or
+	// returns an error.
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		w := r.Uint32()
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("decode(%#08x) panicked: %v", w, p)
+				}
+			}()
+			_, _ = Decode(w)
+		}()
+	}
+}
+
+// execute compiles the module and runs fn on a bare core, returning a0.
+func execute(t *testing.T, m *ir.Module, fn string, args []int64) int64 {
+	t.Helper()
+	prog, err := Compile(m, 0x10000)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	mem := isa.NewMem(1 << 21)
+	prog.LoadInto(mem)
+
+	// Exit stub: addi a7, x0, 255; ecall
+	stub := uint64(0x100)
+	w1 := Inst{Kind: KindADDI, Rd: RegA7, Rs1: RegZero, Imm: 255}.Encode()
+	w2 := Inst{Kind: KindECALL}.Encode()
+	mem.Store(stub, 4, uint64(w1))
+	mem.Store(stub+4, 4, uint64(w2))
+
+	core := NewCore(mem, nil)
+	core.Hook = func(c isa.Core) isa.EcallResult {
+		if c.EcallNum() == 255 {
+			return isa.EcallHalt
+		}
+		t.Fatalf("unexpected ecall %d", c.EcallNum())
+		return isa.EcallHalt
+	}
+	core.SetPC(prog.SymAddr(fn))
+	core.SetStackPtr(1 << 20)
+	core.Regs[RegRA] = stub
+	for i, a := range args {
+		core.SetArg(i, uint64(a))
+	}
+	var trace []isa.TraceRec
+	for steps := 0; ; steps++ {
+		if steps > 5_000_000 {
+			t.Fatal("execution did not halt")
+		}
+		var err error
+		trace, err = core.Step(trace[:0])
+		if err == ErrHalt {
+			break
+		}
+		if err != nil {
+			t.Fatalf("step: %v", err)
+		}
+	}
+	return int64(core.Regs[RegA0])
+}
+
+func TestCorpusMatchesInterpreter(t *testing.T) {
+	m, cases := irtest.Corpus()
+	for _, c := range cases {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			got := execute(t, m, c.Fn, c.Args)
+			if got != c.Want {
+				t.Fatalf("%s(%v) = %d, interpreter says %d", c.Fn, c.Args, got, c.Want)
+			}
+		})
+	}
+}
+
+func TestTraceRecords(t *testing.T) {
+	// A load-bearing sanity check on the trace: compile a tiny loop and
+	// verify the trace contains the expected classes.
+	b := ir.NewFunc("loop", 1)
+	n := b.Param(0)
+	i := b.Const(0)
+	s := b.Const(0)
+	loop, done := b.NewLabel("loop"), b.NewLabel("done")
+	b.Label(loop)
+	b.Br(ir.Ge, i, n, done)
+	b.AddInto(s, s, i)
+	b.AddIInto(i, i, 1)
+	b.Jmp(loop)
+	b.Label(done)
+	b.Ret(s)
+	m := ir.NewModule("t")
+	m.AddFunc(b.Build())
+
+	prog, err := Compile(m, 0x10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := isa.NewMem(1 << 20)
+	prog.LoadInto(mem)
+	stub := uint64(0x100)
+	mem.Store(stub, 4, uint64(Inst{Kind: KindADDI, Rd: RegA7, Rs1: RegZero, Imm: 255}.Encode()))
+	mem.Store(stub+4, 4, uint64(Inst{Kind: KindECALL}.Encode()))
+	core := NewCore(mem, nil)
+	core.Hook = func(c isa.Core) isa.EcallResult { return isa.EcallHalt }
+	core.SetPC(prog.Entry)
+	core.SetStackPtr(1 << 19)
+	core.Regs[RegRA] = stub
+	core.SetArg(0, 10)
+
+	var trace []isa.TraceRec
+	for {
+		var err error
+		trace, err = core.Step(trace)
+		if err == ErrHalt {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var counts [12]int
+	for _, r := range trace {
+		counts[r.Class]++
+		if r.Size != 4 {
+			t.Fatalf("bad size %d", r.Size)
+		}
+	}
+	if counts[isa.ClassBranch] < 11 {
+		t.Errorf("expected >=11 branches, got %d", counts[isa.ClassBranch])
+	}
+	if counts[isa.ClassLoad] == 0 || counts[isa.ClassStore] == 0 {
+		t.Errorf("expected loads and stores in trace: %v", counts)
+	}
+	if counts[isa.ClassRet] == 0 {
+		t.Errorf("expected a return in trace")
+	}
+	if counts[isa.ClassEcall] != 1 {
+		t.Errorf("expected exactly 1 ecall, got %d", counts[isa.ClassEcall])
+	}
+	if got := int64(core.Regs[RegA0]); got != 45 {
+		t.Fatalf("loop(10) = %d, want 45", got)
+	}
+}
+
+func TestLiMaterialization(t *testing.T) {
+	vals := []int64{0, 1, -1, 2047, -2048, 2048, -2049, 0x7FFFF000, -0x80000000,
+		0x80000000, 0x123456789ABCDEF0 >> 4, -0x123456789ABCDE, 1 << 62, -1 << 62}
+	for _, v := range vals {
+		b := ir.NewFunc("f", 0)
+		b.Ret(b.Const(v))
+		m := ir.NewModule("t")
+		m.AddFunc(b.Build())
+		if got := execute(t, m, "f", nil); got != v {
+			t.Errorf("li %#x: got %#x", v, got)
+		}
+	}
+}
+
+func TestBigFrame(t *testing.T) {
+	// Frame larger than 12-bit immediates exercises the large-offset
+	// paths in the prologue, epilogue and OpFrame.
+	b := ir.NewFunc("big", 0)
+	buf := b.Buf("big", 8192)
+	p := b.Frame(buf, 4096)
+	v := b.Const(77)
+	b.Store(p, 0, v, 8)
+	b.Ret(b.Load(p, 0, 8))
+	m := ir.NewModule("t")
+	m.AddFunc(b.Build())
+	if got := execute(t, m, "big", nil); got != 77 {
+		t.Fatalf("got %d, want 77", got)
+	}
+}

@@ -1,0 +1,302 @@
+package kernel
+
+import (
+	"bytes"
+	"fmt"
+
+	"svbench/internal/isa"
+)
+
+// ProcState is a process's scheduler state.
+type ProcState int
+
+// Process states (the thesis's Running/Waiting/Dead function states map
+// onto these plus container-engine state).
+const (
+	ProcRunnable ProcState = iota
+	ProcBlocked
+	ProcDead
+)
+
+// Region is a process's private slice of the flat physical address space.
+type Region struct {
+	Base, Size uint64
+}
+
+// Process is a schedulable entity: one program instance with its own
+// architectural core state, pinned to a hardware core.
+type Process struct {
+	ID     int
+	Name   string
+	Core   isa.Core
+	CoreID int
+	State  ProcState
+	Region Region
+	Brk    uint64
+
+	// WakeSeq is the IPC sequence whose commit ends this process's idle
+	// period; NeedsIdle tells the machine to emit an idle trace record
+	// before resuming.
+	WakeSeq   uint64
+	NeedsIdle bool
+	ExitCode  uint64
+}
+
+type message struct {
+	addr uint64
+	ln   uint64
+	seq  uint64
+}
+
+// Service is a native-model endpoint (a database or cache engine) attached
+// to a channel. It runs host-side — representing work on the unmeasured
+// core — and charges serviceCycles of virtual latency; the measured core
+// observes only the round trip and the reply payload, exactly as the
+// thesis's methodology measures the function core, not the DB.
+type Service interface {
+	Handle(req []byte) (resp []byte, serviceCycles uint64)
+}
+
+// Channel is a kernel IPC endpoint: a FIFO of messages held in kernel
+// memory, with blocking receivers.
+type Channel struct {
+	id      int
+	msgs    []message
+	waiters []*Process
+	svc     Service
+	svcOut  int // reply channel when svc != nil
+}
+
+// Kernel is the host-side OS state.
+type Kernel struct {
+	Mem   *isa.Mem
+	Procs []*Process
+	chans []*Channel
+
+	seq      uint64
+	slabBase uint64
+	slabSize uint64
+	slabCur  uint64
+
+	Console bytes.Buffer
+
+	// HandlerAddr maps user syscall numbers to kernel text addresses;
+	// UserExitAddr is the return target for process entry functions.
+	HandlerAddr  map[uint64]uint64
+	UserExitAddr uint64
+
+	// Clock returns virtual nanoseconds (supplied by the machine).
+	Clock func() uint64
+	// OnDerive tells the timing layer that sequence derived commits
+	// delay cycles after base (native service replies).
+	OnDerive func(base, derived, delay uint64)
+	// OnWake notifies the machine's scheduler.
+	OnWake func(p *Process)
+	// OnServiceTime reports native service processing time (advances the
+	// functional/QEMU virtual clock).
+	OnServiceTime func(cycles uint64)
+
+	// Panicked is set when simulated code raised the panic host call
+	// (e.g. a stack-smash detection).
+	Panicked  bool
+	PanicInfo string
+
+	nextProcID int
+}
+
+// New creates a kernel over mem with a message slab at [slabBase,
+// slabBase+slabSize).
+func New(mem *isa.Mem, slabBase, slabSize uint64) *Kernel {
+	return &Kernel{
+		Mem:         mem,
+		slabBase:    slabBase,
+		slabSize:    slabSize,
+		slabCur:     slabBase,
+		HandlerAddr: map[uint64]uint64{},
+		Clock:       func() uint64 { return 0 },
+	}
+}
+
+// NewChannel allocates a channel and returns its id.
+func (k *Kernel) NewChannel() int {
+	c := &Channel{id: len(k.chans)}
+	k.chans = append(k.chans, c)
+	return c.id
+}
+
+// Bind attaches a native service to reqCh; replies are delivered on outCh.
+func (k *Kernel) Bind(reqCh, outCh int, svc Service) {
+	k.chans[reqCh].svc = svc
+	k.chans[reqCh].svcOut = outCh
+}
+
+// AddProcess registers p and assigns its id.
+func (k *Kernel) AddProcess(p *Process) {
+	p.ID = k.nextProcID
+	k.nextProcID++
+	k.Procs = append(k.Procs, p)
+}
+
+func (k *Kernel) alloc(n uint64) uint64 {
+	n = (n + 15) &^ 15
+	if n > k.slabSize {
+		panic(fmt.Sprintf("kernel: message of %d bytes exceeds slab", n))
+	}
+	if k.slabCur+n > k.slabBase+k.slabSize {
+		k.slabCur = k.slabBase
+	}
+	a := k.slabCur
+	k.slabCur += n
+	return a
+}
+
+func (k *Kernel) chanFor(id uint64) *Channel {
+	if id >= uint64(len(k.chans)) {
+		panic(fmt.Sprintf("kernel: bad channel %d", id))
+	}
+	return k.chans[id]
+}
+
+func (k *Kernel) wake(c *Channel, seq uint64) {
+	if len(c.waiters) == 0 {
+		return
+	}
+	p := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	p.State = ProcRunnable
+	p.WakeSeq = seq
+	p.NeedsIdle = true
+	if k.OnWake != nil {
+		k.OnWake(p)
+	}
+}
+
+// enqueue appends a message and wakes one waiter.
+func (k *Kernel) enqueue(c *Channel, m message) {
+	c.msgs = append(c.msgs, m)
+	k.wake(c, m.seq)
+}
+
+// Ecall dispatches an environment call raised by process p. The machine's
+// hook routes all non-m5 ecalls here.
+func (k *Kernel) Ecall(c isa.Core, p *Process) isa.EcallResult {
+	num := c.EcallNum()
+	if HandlerName(num) != "" {
+		addr, ok := k.HandlerAddr[num]
+		if !ok {
+			panic(fmt.Sprintf("kernel: unvectored syscall %d", num))
+		}
+		c.CallInto(addr)
+		return isa.EcallVector
+	}
+	switch num {
+	case HWrite:
+		buf, ln := c.Arg(0), c.Arg(1)
+		k.Console.Write(k.Mem.Bytes(buf, ln))
+		c.SetRet(ln)
+	case HReserve:
+		_, ln := c.Arg(0), c.Arg(1)
+		c.SetRet(k.alloc(ln))
+	case HCommit:
+		ch := k.chanFor(c.Arg(0))
+		kbuf, ln := c.Arg(1), c.Arg(2)
+		k.seq++
+		seq := k.seq
+		c.Annotate(isa.FlagSend, seq)
+		if ch.svc != nil {
+			// Native service: run host-side, deliver the reply on the
+			// bound output channel after serviceCycles of virtual time.
+			req := append([]byte(nil), k.Mem.Bytes(kbuf, ln)...)
+			resp, cycles := ch.svc.Handle(req)
+			if k.OnServiceTime != nil {
+				k.OnServiceTime(cycles)
+			}
+			raddr := k.alloc(uint64(len(resp)))
+			copy(k.Mem.Bytes(raddr, uint64(len(resp))), resp)
+			k.seq++
+			rseq := k.seq
+			if k.OnDerive != nil {
+				k.OnDerive(seq, rseq, cycles)
+			}
+			k.enqueue(k.chanFor(uint64(ch.svcOut)), message{addr: raddr, ln: uint64(len(resp)), seq: rseq})
+		} else {
+			k.enqueue(ch, message{addr: kbuf, ln: ln, seq: seq})
+		}
+		c.SetRet(0)
+	case HPoll:
+		ch := k.chanFor(c.Arg(0))
+		if len(ch.msgs) == 0 {
+			c.SetRet(0)
+		} else {
+			m := ch.msgs[0]
+			c.Annotate(isa.FlagRecv, m.seq)
+			c.SetRet(m.addr)
+		}
+	case HMsgLen:
+		ch := k.chanFor(c.Arg(0))
+		if len(ch.msgs) == 0 {
+			panic("kernel: HMsgLen on empty channel")
+		}
+		c.SetRet(ch.msgs[0].ln)
+	case HConsume:
+		ch := k.chanFor(c.Arg(0))
+		if len(ch.msgs) == 0 {
+			panic("kernel: HConsume on empty channel")
+		}
+		ch.msgs = ch.msgs[1:]
+		c.SetRet(0)
+	case HBlock:
+		ch := k.chanFor(c.Arg(0))
+		// Re-check under "interrupts off": a message may have raced in
+		// between the poll and the block.
+		if len(ch.msgs) > 0 {
+			c.SetRet(0)
+			return isa.EcallHandled
+		}
+		ch.waiters = append(ch.waiters, p)
+		p.State = ProcBlocked
+		c.SetRet(0)
+		return isa.EcallBlock
+	case HSbrk:
+		n := int64(c.Arg(0))
+		old := p.Brk
+		nb := uint64(int64(p.Brk) + n)
+		if nb < p.Region.Base || nb > p.Region.Base+p.Region.Size {
+			panic(fmt.Sprintf("kernel: %s sbrk out of region", p.Name))
+		}
+		p.Brk = nb
+		c.SetRet(old)
+	case HExit:
+		p.State = ProcDead
+		p.ExitCode = c.Arg(0)
+		c.SetRet(0)
+		return isa.EcallBlock
+	case HYield:
+		c.SetRet(0)
+	case HClock:
+		c.SetRet(k.Clock())
+	case HPanic:
+		k.Panicked = true
+		k.PanicInfo = fmt.Sprintf("proc %s pc=%#x", p.Name, c.PC())
+		return isa.EcallHalt
+	default:
+		panic(fmt.Sprintf("kernel: unknown ecall %#x from %s", num, p.Name))
+	}
+	return isa.EcallHandled
+}
+
+// Pending reports how many messages sit in channel ch.
+func (k *Kernel) Pending(ch int) int { return len(k.chans[ch].msgs) }
+
+// Snapshot/Restore support: channel and process bookkeeping that must
+// survive a checkpoint.
+type kernelState struct {
+	Seq     uint64
+	SlabCur uint64
+}
+
+// SnapState captures kernel counters for checkpointing.
+func (k *Kernel) SnapState() (seq, slabCur uint64) { return k.seq, k.slabCur }
+
+// RestoreState restores kernel counters.
+func (k *Kernel) RestoreState(seq, slabCur uint64) { k.seq, k.slabCur = seq, slabCur }

@@ -1,0 +1,173 @@
+// Package kernel implements the miniature operating system of the
+// simulated machine: the syscall handlers that user code traps into
+// (written in the portable IR, so kernel time is visible in the measured
+// instruction stream exactly as in the thesis's full-system methodology),
+// and the host-side state — processes, scheduler run queues, blocking
+// channel IPC (the loopback network), native services (the databases), and
+// the m5-style magic operations.
+package kernel
+
+import (
+	"svbench/internal/ir"
+	"svbench/internal/libc"
+)
+
+// User-visible syscall numbers (vectored into kernel IR handlers).
+const (
+	SysWrite = 1 // write(buf, len) to the console
+	SysSend  = 2 // send(ch, buf, len) blocking message send
+	SysRecv  = 3 // recv(ch, buf, maxlen) -> len, blocking
+	SysSbrk  = 4 // sbrk(n) -> old break
+	SysExit  = 5 // exit(code)
+	SysYield = 6 // yield()
+	SysClock = 7 // clock() -> virtual nanoseconds
+)
+
+// m5-style magic operations (host-handled).
+const (
+	M5ResetStats = 0x100
+	M5DumpStats  = 0x101
+	M5Checkpoint = 0x102
+	M5Exit       = 0x103
+)
+
+// Host calls: issued only by kernel IR code (and the stack protector).
+const (
+	HWrite   = 0x1001
+	HReserve = 0x1002
+	HCommit  = 0x1003
+	HPoll    = 0x1004
+	HBlock   = 0x1005
+	HMsgLen  = 0x1006
+	HConsume = 0x1007
+	HSbrk    = 0x1008
+	HExit    = 0x1009
+	HYield   = 0x100A
+	HClock   = 0x100B
+	HPanic   = 0x1FFF
+)
+
+// HandlerName returns the kernel IR function handling a user syscall.
+func HandlerName(num uint64) string {
+	switch num {
+	case SysWrite:
+		return "k_sys_write"
+	case SysSend:
+		return "k_sys_send"
+	case SysRecv:
+		return "k_sys_recv"
+	case SysSbrk:
+		return "k_sys_sbrk"
+	case SysExit:
+		return "k_sys_exit"
+	case SysYield:
+		return "k_sys_yield"
+	case SysClock:
+		return "k_sys_clock"
+	}
+	return ""
+}
+
+// UserSyscalls lists the vectored syscall numbers.
+var UserSyscalls = []uint64{SysWrite, SysSend, SysRecv, SysSbrk, SysExit, SysYield, SysClock}
+
+// Module builds the kernel's IR module for a libc flavor. The handlers do
+// their data movement (message copies between user buffers and kernel
+// channel slots) with simulated instructions, so IPC cost lands in the
+// caches of the core that performs it.
+func Module(f libc.Flavor) *ir.Module {
+	m := ir.NewModule("kernel")
+	m.MergeShared(libc.Module(f))
+	// Kernel bookkeeping memory touched on syscall entry, modeling the
+	// task/trap structures a real kernel dirties.
+	m.AddGlobal(&ir.Global{Name: "k_taskstate", Data: make([]byte, 256)})
+
+	// entry/exit accounting shared by all handlers.
+	entry := func(b *ir.Builder) {
+		ts := b.Global("k_taskstate", 0)
+		cnt := b.Load(ts, 0, 8)
+		cnt = b.AddI(cnt, 1)
+		b.Store(ts, 0, cnt, 8)
+	}
+
+	{ // k_sys_write(buf, len)
+		b := ir.NewFunc("k_sys_write", 2)
+		entry(b)
+		b.Ret(b.Ecall(HWrite, b.Param(0), b.Param(1)))
+		m.AddFunc(b.Build())
+	}
+
+	{ // k_sys_send(ch, buf, len)
+		b := ir.NewFunc("k_sys_send", 3)
+		ch, buf, ln := b.Param(0), b.Param(1), b.Param(2)
+		entry(b)
+		kbuf := b.Ecall(HReserve, ch, ln)
+		b.CallV("memcpy", kbuf, buf, ln)
+		b.Ret(b.Ecall(HCommit, ch, kbuf, ln))
+		m.AddFunc(b.Build())
+	}
+
+	{ // k_sys_recv(ch, buf, maxlen) -> len
+		b := ir.NewFunc("k_sys_recv", 3)
+		ch, buf, maxlen := b.Param(0), b.Param(1), b.Param(2)
+		entry(b)
+		loop, got := b.NewLabel("loop"), b.NewLabel("got")
+		b.Label(loop)
+		kbuf := b.Ecall(HPoll, ch)
+		b.BrI(ir.Ne, kbuf, 0, got)
+		b.EcallV(HBlock, ch)
+		b.Jmp(loop)
+		b.Label(got)
+		ln := b.Ecall(HMsgLen, ch)
+		fits := b.NewLabel("fits")
+		b.Br(ir.Le, ln, maxlen, fits)
+		b.MovInto(ln, maxlen)
+		b.Label(fits)
+		b.CallV("memcpy", buf, kbuf, ln)
+		b.EcallV(HConsume, ch)
+		b.Ret(ln)
+		m.AddFunc(b.Build())
+	}
+
+	{ // k_sys_sbrk(n) -> old break
+		b := ir.NewFunc("k_sys_sbrk", 1)
+		entry(b)
+		b.Ret(b.Ecall(HSbrk, b.Param(0)))
+		m.AddFunc(b.Build())
+	}
+
+	{ // k_sys_exit(code)
+		b := ir.NewFunc("k_sys_exit", 1)
+		entry(b)
+		b.EcallV(HExit, b.Param(0))
+		b.Ret0() // unreachable; HExit never returns
+		m.AddFunc(b.Build())
+	}
+
+	{ // k_sys_yield()
+		b := ir.NewFunc("k_sys_yield", 0)
+		entry(b)
+		b.EcallV(HYield)
+		b.Ret0()
+		m.AddFunc(b.Build())
+	}
+
+	{ // k_sys_clock() -> virtual ns
+		b := ir.NewFunc("k_sys_clock", 0)
+		entry(b)
+		b.Ret(b.Ecall(HClock))
+		m.AddFunc(b.Build())
+	}
+
+	{ // k_user_exit: return target for a process's entry function.
+		b := ir.NewFunc("k_user_exit", 0)
+		b.EcallV(HExit, b.Const(0))
+		b.Ret0()
+		m.AddFunc(b.Build())
+	}
+
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	return m
+}

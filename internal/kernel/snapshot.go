@@ -1,0 +1,43 @@
+package kernel
+
+// MsgSnap is one in-flight channel message in a checkpoint.
+type MsgSnap struct {
+	Addr, Len, Seq uint64
+}
+
+// ChanSnap is one channel's checkpointable state. Service bindings are
+// reattached by the caller, not checkpointed.
+type ChanSnap struct {
+	Msgs    []MsgSnap
+	Waiters []int // process IDs
+}
+
+// SnapChannels captures all channel contents and waiter lists.
+func (k *Kernel) SnapChannels() []ChanSnap {
+	out := make([]ChanSnap, len(k.chans))
+	for i, c := range k.chans {
+		for _, m := range c.msgs {
+			out[i].Msgs = append(out[i].Msgs, MsgSnap{Addr: m.addr, Len: m.ln, Seq: m.seq})
+		}
+		for _, w := range c.waiters {
+			out[i].Waiters = append(out[i].Waiters, w.ID)
+		}
+	}
+	return out
+}
+
+// RestoreChannels reinstates channel contents from snaps. byID maps
+// process IDs to live processes.
+func (k *Kernel) RestoreChannels(snaps []ChanSnap, byID map[int]*Process) {
+	for i, s := range snaps {
+		c := k.chans[i]
+		c.msgs = nil
+		for _, m := range s.Msgs {
+			c.msgs = append(c.msgs, message{addr: m.Addr, ln: m.Len, seq: m.Seq})
+		}
+		c.waiters = nil
+		for _, id := range s.Waiters {
+			c.waiters = append(c.waiters, byID[id])
+		}
+	}
+}

@@ -1,0 +1,336 @@
+// Package langrt implements the language runtime models the vSwarm
+// containers run on:
+//
+//   - Go: ahead-of-time compiled handlers with a small runtime init and a
+//     garbage-collection poll per request.
+//   - Python: a register-based bytecode virtual machine written in the
+//     portable IR (the CPython stand-in); the handler is compiled to
+//     bytecode and interpreted, the gRPC core stays native (AOT), and the
+//     first request pays a lazy module-import pass.
+//   - Node.js: the same VM plus a tiered JIT — the first invocation
+//     interprets and compiles, later invocations run the AOT body.
+//
+// These reproduce the per-runtime cold/warm signatures of the thesis
+// (Fig. 4.4, 4.12): lean Go, import-dominated Python cold starts, and
+// Node's strong warm speedup.
+package langrt
+
+import (
+	"fmt"
+
+	"svbench/internal/ir"
+)
+
+// VM bytecode operations. Instructions are 16 bytes:
+// op(u8) pad(u8) dst(u16) a(u16) b(u16) imm(i64).
+const (
+	vNop   uint8 = 0
+	vConst uint8 = 1
+	vMov   uint8 = 2
+	vAdd   uint8 = 3
+	vSub   uint8 = 4
+	vMul   uint8 = 5
+	vDiv   uint8 = 6
+	vRem   uint8 = 7
+	vDivU  uint8 = 8
+	vRemU  uint8 = 9
+	vAnd   uint8 = 10
+	vOr    uint8 = 11
+	vXor   uint8 = 12
+	vShl   uint8 = 13
+	vShr   uint8 = 14
+	vSra   uint8 = 15
+	vAddI  uint8 = 16
+	vMulI  uint8 = 17
+	vAndI  uint8 = 18
+	vOrI   uint8 = 19
+	vXorI  uint8 = 20
+	vShlI  uint8 = 21
+	vShrI  uint8 = 22
+	vSraI  uint8 = 23
+	// vSetBase+cond, 8 conditions in ir.Cond order.
+	vSetBase uint8 = 24
+	vLd8     uint8 = 32
+	vLd8u    uint8 = 33
+	vLd16    uint8 = 34
+	vLd16u   uint8 = 35
+	vLd32    uint8 = 36
+	vLd32u   uint8 = 37
+	vLd64    uint8 = 38
+	vSt8     uint8 = 39
+	vSt16    uint8 = 40
+	vSt32    uint8 = 41
+	vSt64    uint8 = 42
+	// vBrBase+cond: if a cond b -> pc = imm.
+	vBrBase  uint8 = 43
+	vJmp     uint8 = 51
+	vLeaL    uint8 = 52 // dst = locals + imm
+	vLeaG    uint8 = 53 // dst = globtab[imm]
+	vEcall   uint8 = 54 // dst = ecall imm(args at regs a..a+b-1)
+	vRet     uint8 = 55 // return reg a
+	vCallB   uint8 = 56 // dst = builtin[imm](args at regs a..a+b-1)
+	vOpCount uint8 = 57
+)
+
+// builtin is a native routine callable from bytecode (the C-implemented
+// library surface of the interpreted runtimes).
+type builtin struct {
+	name  string
+	arity int
+}
+
+// builtins is the fixed registry shared by the bytecode compiler and the
+// VM builder; imm in vCallB indexes it.
+var builtins = []builtin{
+	{"memcpy", 3}, {"memset", 3}, {"memcmp", 3}, {"strlen", 1},
+	{"fnv64", 2}, {"bcopy_down", 3},
+	{"mbuf_reset", 1}, {"mbuf_put_int", 2}, {"mbuf_put_bytes", 3},
+	{"mbuf_len", 1}, {"mbuf_get_int", 2}, {"mbuf_get_bytes", 4},
+	{"grpc_frame", 1},
+	// Native-extension crypto/hash surfaces (PyCryptodome/hashlib-style
+	// C modules): interpreted handlers call these at native speed.
+	{"aes_expand_key", 2}, {"aes_encrypt_block", 2},
+	{"auth_hash", 2}, {"hp_hash", 2},
+	{"kv_get", 5}, {"kv_put", 5}, {"kv_scan", 4},
+}
+
+func builtinIndex(name string) int {
+	for i, bi := range builtins {
+		if bi.name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// InsnSize is the bytecode instruction width.
+const InsnSize = 16
+
+// Compiled is a handler lowered to VM bytecode.
+type Compiled struct {
+	Code       []byte
+	NInsns     int
+	NRegs      int
+	LocalsSize int64
+	Globals    []string // names resolved into the globtab at runtime
+}
+
+type bcAsm struct {
+	code    []byte
+	globals []string
+	gidx    map[string]int
+}
+
+func (a *bcAsm) emit(op uint8, dst, ra, rb int, imm int64) int {
+	// Absent operands read/write register 0 harmlessly (the interpreter
+	// decodes all operand fields unconditionally).
+	if dst < 0 {
+		dst = 0
+	}
+	if ra < 0 {
+		ra = 0
+	}
+	if rb < 0 {
+		rb = 0
+	}
+	var b [InsnSize]byte
+	b[0] = op
+	b[2] = byte(dst)
+	b[3] = byte(dst >> 8)
+	b[4] = byte(ra)
+	b[5] = byte(ra >> 8)
+	b[6] = byte(rb)
+	b[7] = byte(rb >> 8)
+	for i := 0; i < 8; i++ {
+		b[8+i] = byte(uint64(imm) >> (8 * i))
+	}
+	a.code = append(a.code, b[:]...)
+	return len(a.code)/InsnSize - 1
+}
+
+func (a *bcAsm) global(name string) int {
+	if i, ok := a.gidx[name]; ok {
+		return i
+	}
+	i := len(a.globals)
+	a.globals = append(a.globals, name)
+	a.gidx[name] = i
+	return i
+}
+
+func (a *bcAsm) patchImm(idx int, imm int64) {
+	off := idx*InsnSize + 8
+	for i := 0; i < 8; i++ {
+		a.code[off+i] = byte(uint64(imm) >> (8 * i))
+	}
+}
+
+var binVOp = map[ir.Op]uint8{
+	ir.OpAdd: vAdd, ir.OpSub: vSub, ir.OpMul: vMul, ir.OpDiv: vDiv,
+	ir.OpRem: vRem, ir.OpDivU: vDivU, ir.OpRemU: vRemU, ir.OpAnd: vAnd,
+	ir.OpOr: vOr, ir.OpXor: vXor, ir.OpShl: vShl, ir.OpShr: vShr, ir.OpSra: vSra,
+}
+
+var immVOp = map[ir.Op]uint8{
+	ir.OpAddI: vAddI, ir.OpMulI: vMulI, ir.OpAndI: vAndI, ir.OpOrI: vOrI,
+	ir.OpXorI: vXorI, ir.OpShlI: vShlI, ir.OpShrI: vShrI, ir.OpSraI: vSraI,
+}
+
+func ldVOp(sz uint8, uns bool) uint8 {
+	switch sz {
+	case 1:
+		if uns {
+			return vLd8u
+		}
+		return vLd8
+	case 2:
+		if uns {
+			return vLd16u
+		}
+		return vLd16
+	case 4:
+		if uns {
+			return vLd32u
+		}
+		return vLd32
+	default:
+		return vLd64
+	}
+}
+
+func stVOp(sz uint8) uint8 {
+	switch sz {
+	case 1:
+		return vSt8
+	case 2:
+		return vSt16
+	case 4:
+		return vSt32
+	default:
+		return vSt64
+	}
+}
+
+// CompileBytecode lowers a flat (call-free) IR function to VM bytecode.
+// Use ir.Inline first for handlers that call helpers.
+func CompileBytecode(f *ir.Function) (*Compiled, error) {
+	a := &bcAsm{gidx: map[string]int{}}
+	scratch := f.NRegs // one scratch register for BrI expansion
+	nregs := f.NRegs + 1
+
+	// Locals layout.
+	localOff := map[string]int64{}
+	var lsz int64
+	for _, buf := range f.Bufs {
+		localOff[buf.Name] = lsz
+		lsz += (buf.Size + 7) &^ 7
+	}
+
+	idxMap := make([]int, len(f.Code)+1)
+	type fix struct{ insn, tgt int }
+	var fixes []fix
+
+	for i, in := range f.Code {
+		idxMap[i] = len(a.code) / InsnSize
+		switch in.Op {
+		case ir.OpNop, ir.OpFence:
+			a.emit(vNop, 0, 0, 0, 0)
+		case ir.OpConst:
+			a.emit(vConst, int(in.Dst), 0, 0, in.Imm)
+		case ir.OpMov:
+			a.emit(vMov, int(in.Dst), int(in.A), 0, 0)
+		case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem, ir.OpDivU,
+			ir.OpRemU, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr, ir.OpSra:
+			a.emit(binVOp[in.Op], int(in.Dst), int(in.A), int(in.B), 0)
+		case ir.OpAddI, ir.OpMulI, ir.OpAndI, ir.OpOrI, ir.OpXorI,
+			ir.OpShlI, ir.OpShrI, ir.OpSraI:
+			a.emit(immVOp[in.Op], int(in.Dst), int(in.A), 0, in.Imm)
+		case ir.OpSet:
+			a.emit(vSetBase+uint8(in.Cond), int(in.Dst), int(in.A), int(in.B), 0)
+		case ir.OpLoad:
+			a.emit(ldVOp(in.Sz, in.Uns), int(in.Dst), int(in.A), 0, in.Imm)
+		case ir.OpStore:
+			a.emit(stVOp(in.Sz), 0, int(in.A), int(in.B), in.Imm)
+		case ir.OpBr:
+			idx := a.emit(vBrBase+uint8(in.Cond), 0, int(in.A), int(in.B), 0)
+			fixes = append(fixes, fix{idx, in.Tgt})
+		case ir.OpBrI:
+			a.emit(vConst, scratch, 0, 0, in.Imm)
+			idx := a.emit(vBrBase+uint8(in.Cond), 0, int(in.A), scratch, 0)
+			fixes = append(fixes, fix{idx, in.Tgt})
+		case ir.OpJmp:
+			idx := a.emit(vJmp, 0, 0, 0, 0)
+			fixes = append(fixes, fix{idx, in.Tgt})
+		case ir.OpFrame:
+			off, ok := localOff[in.Sym]
+			if !ok {
+				return nil, fmt.Errorf("langrt: unknown frame buffer %q", in.Sym)
+			}
+			a.emit(vLeaL, int(in.Dst), 0, 0, off+in.Imm)
+		case ir.OpGlobal:
+			gi := a.global(in.Sym)
+			a.emit(vLeaG, int(in.Dst), 0, 0, int64(gi))
+			if in.Imm != 0 {
+				a.emit(vAddI, int(in.Dst), int(in.Dst), 0, in.Imm)
+			}
+		case ir.OpEcall:
+			// Gather args into consecutive registers after scratch.
+			base := nregs
+			for ai, r := range in.Args {
+				a.emit(vMov, base+ai, int(r), 0, 0)
+			}
+			if base+len(in.Args) > nregs+6 {
+				nregs = base + len(in.Args)
+			}
+			d := int(in.Dst)
+			if in.Dst == ir.NoReg {
+				d = scratch
+			}
+			a.emit(vEcall, d, base, len(in.Args), in.Imm)
+		case ir.OpRet:
+			ra := int(in.A)
+			if in.A == ir.NoReg {
+				a.emit(vConst, scratch, 0, 0, 0)
+				ra = scratch
+			}
+			a.emit(vRet, 0, ra, 0, 0)
+		case ir.OpCall:
+			bi := builtinIndex(in.Sym)
+			if bi < 0 {
+				return nil, fmt.Errorf("langrt: call to %s survived flattening and is not a builtin", in.Sym)
+			}
+			if len(in.Args) > 5 {
+				return nil, fmt.Errorf("langrt: builtin %s: too many args", in.Sym)
+			}
+			base := nregs
+			for ai, r := range in.Args {
+				a.emit(vMov, base+ai, int(r), 0, 0)
+			}
+			d := int(in.Dst)
+			if in.Dst == ir.NoReg {
+				d = scratch
+			}
+			a.emit(vCallB, d, base, len(in.Args), int64(bi))
+		default:
+			return nil, fmt.Errorf("langrt: unhandled op %d", in.Op)
+		}
+	}
+	idxMap[len(f.Code)] = len(a.code) / InsnSize
+	for _, fx := range fixes {
+		a.patchImm(fx.insn, int64(idxMap[fx.tgt]))
+	}
+	// Reserve the ecall arg block even when unused.
+	if nregs < f.NRegs+1+6 {
+		nregs = f.NRegs + 1 + 6
+	}
+	if nregs > 0xFFFE {
+		return nil, fmt.Errorf("langrt: too many VM registers (%d)", nregs)
+	}
+	return &Compiled{
+		Code:       a.code,
+		NInsns:     len(a.code) / InsnSize,
+		NRegs:      nregs,
+		LocalsSize: lsz,
+		Globals:    a.globals,
+	}, nil
+}

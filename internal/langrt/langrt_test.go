@@ -1,0 +1,183 @@
+package langrt
+
+import (
+	"testing"
+
+	"svbench/internal/ir"
+	"svbench/internal/ir/irtest"
+	"svbench/internal/isa"
+	"svbench/internal/isa/isatest"
+	"svbench/internal/libc"
+)
+
+// vmModule packages one corpus function for interpretation: flatten it,
+// compile to bytecode, and add a driver run_vm(a, b) that wires the VM's
+// register file and global table.
+func vmModule(t *testing.T, src *ir.Module, fn string) *ir.Module {
+	t.Helper()
+	m := ir.NewModule("vmtest")
+	m.MergeShared(libc.Module(libc.Fast))
+	m.MergeShared(src)
+	flat, err := ir.Inline(m, m.Func(fn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := CompileBytecode(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.AddFunc(BuildVM(m))
+	m.AddGlobal(&ir.Global{Name: "py_code", Data: bc.Code})
+	m.AddGlobal(&ir.Global{Name: "py_regs", Data: make([]byte, bc.NRegs*8)})
+	locals := bc.LocalsSize
+	if locals < 8 {
+		locals = 8
+	}
+	m.AddGlobal(&ir.Global{Name: "py_locals", Data: make([]byte, locals)})
+	ng := len(bc.Globals)
+	if ng == 0 {
+		ng = 1
+	}
+	m.AddGlobal(&ir.Global{Name: "py_globtab", Data: make([]byte, 8*ng)})
+
+	b := ir.NewFunc("run_vm", 2)
+	tab := b.Global("py_globtab", 0)
+	for i, g := range bc.Globals {
+		b.Store(tab, int64(i*8), b.Global(g, 0), 8)
+	}
+	regs := b.Global("py_regs", 0)
+	b.Store(regs, 0, b.Param(0), 8)
+	b.Store(regs, 8, b.Param(1), 8)
+	code := b.Global("py_code", 0)
+	loc := b.Global("py_locals", 0)
+	b.Ret(b.Call("py_vm", code, b.Const(int64(bc.NInsns)), regs, loc, tab))
+	m.AddFunc(b.Build())
+	return m
+}
+
+// TestVMMatchesAOTOnCorpus is the central VM correctness check: every
+// corpus program must produce the same result interpreted as compiled.
+func TestVMMatchesAOTOnCorpus(t *testing.T) {
+	src, cases := irtest.Corpus()
+	for _, arch := range []isa.Arch{isa.RV64, isa.CISC64} {
+		runners := map[string]*isatest.Runner{}
+		for _, c := range cases {
+			c := c
+			t.Run(string(arch)+"/"+c.Name, func(t *testing.T) {
+				r, ok := runners[c.Fn]
+				if !ok {
+					var err error
+					r, err = isatest.NewRunner(arch, vmModule(t, src, c.Fn))
+					if err != nil {
+						t.Fatal(err)
+					}
+					runners[c.Fn] = r
+				}
+				args := make([]int64, 2)
+				copy(args, c.Args)
+				got, err := r.Call("run_vm", args...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != c.Want {
+					t.Fatalf("VM %s(%v) = %d, AOT/interp say %d", c.Fn, c.Args, got, c.Want)
+				}
+			})
+		}
+	}
+}
+
+func TestBytecodeCompilerRejectsNonBuiltinCalls(t *testing.T) {
+	m := ir.NewModule("t")
+	callee := ir.NewFunc("callee", 0)
+	callee.Ret0()
+	cf := callee.Build()
+	cf.Lib = true // lib, but not in the builtin registry
+	m.AddFunc(cf)
+	b := ir.NewFunc("f", 0)
+	b.CallV("callee")
+	b.Ret0()
+	m.AddFunc(b.Build())
+	flat, err := ir.Inline(m, m.Func("f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompileBytecode(flat); err == nil {
+		t.Fatal("non-builtin lib call accepted by the bytecode compiler")
+	}
+}
+
+func TestBytecodeLayout(t *testing.T) {
+	b := ir.NewFunc("f", 1)
+	r := b.AddI(b.Param(0), 5)
+	b.Ret(r)
+	f := b.Build()
+	bc, err := CompileBytecode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bc.Code)%InsnSize != 0 {
+		t.Fatalf("code length %d not instruction-aligned", len(bc.Code))
+	}
+	if bc.NInsns != len(bc.Code)/InsnSize {
+		t.Fatal("NInsns mismatch")
+	}
+	if bc.NRegs < f.NRegs+1+6 {
+		t.Fatalf("register reservation too small: %d", bc.NRegs)
+	}
+}
+
+func TestBuildServerUnknownHandler(t *testing.T) {
+	m := ir.NewModule("empty")
+	if _, err := BuildServer(GoRT, libc.Fast, m, "handler"); err == nil {
+		t.Fatal("missing handler accepted")
+	}
+}
+
+func TestBuildServerAllRuntimes(t *testing.T) {
+	// Each runtime wrapper must produce a module that compiles on both
+	// ISAs and contains the expected machinery.
+	src := ir.NewModule("w")
+	h := ir.NewFunc("handler", 3)
+	resp := h.Param(2)
+	h.CallV("mbuf_reset", resp)
+	h.CallV("mbuf_put_int", resp, h.Const(1))
+	h.Ret(h.Call("mbuf_len", resp))
+	src.AddFunc(h.Build())
+
+	for _, rt := range Runtimes {
+		m, err := BuildServer(rt, libc.Fast, src, "handler")
+		if err != nil {
+			t.Fatalf("%s: %v", rt, err)
+		}
+		if m.Func("main") == nil {
+			t.Fatalf("%s: no main", rt)
+		}
+		switch rt {
+		case GoRT:
+			if m.Func("go_rt_init") == nil || m.Func("go_gc_poll") == nil {
+				t.Fatalf("go runtime machinery missing")
+			}
+		case PyRT:
+			if m.Func("py_vm") == nil || m.Func("py_lazy_import") == nil {
+				t.Fatalf("python runtime machinery missing")
+			}
+			if m.Func("handler_jit") != nil {
+				t.Fatalf("python must not carry a JIT tier")
+			}
+		case NodeRT:
+			if m.Func("py_vm") == nil || m.Func("handler_jit") == nil ||
+				m.Func("node_jit_compile") == nil {
+				t.Fatalf("node runtime machinery missing")
+			}
+		}
+		if m.Func("rt_frame_chain") == nil {
+			t.Fatalf("%s: framework path missing", rt)
+		}
+		for _, arch := range []isa.Arch{isa.RV64, isa.CISC64} {
+			if _, err := isatest.NewRunner(arch, m); err != nil {
+				t.Fatalf("%s/%s: %v", rt, arch, err)
+			}
+		}
+	}
+}

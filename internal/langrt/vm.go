@@ -1,0 +1,243 @@
+package langrt
+
+import (
+	"fmt"
+
+	"svbench/internal/ir"
+	"svbench/internal/kernel"
+)
+
+// BuildVM constructs the interpreter function
+//
+//	py_vm(code, nInsns, regs, locals, globtab) -> value
+//
+// in the portable IR. The interpreter is a classic switch-dispatch loop:
+// fetch the 16-byte instruction, decode its fields, then walk a balanced
+// branch tree to the handler — the big, branchy, icache-hungry code body
+// that gives the interpreted runtimes their characteristic front-end
+// behaviour on the simulated cores.
+func BuildVM(m *ir.Module) *ir.Function {
+	b := ir.NewFunc("py_vm", 5)
+	code, nIns, regs, locals, globtab := b.Param(0), b.Param(1), b.Param(2), b.Param(3), b.Param(4)
+
+	pc := b.Const(0)
+	loop := b.NewLabel("loop")
+	next := b.NewLabel("next")
+	out := b.NewLabel("out")
+
+	handlers := make([]string, vOpCount)
+	for op := uint8(0); op < vOpCount; op++ {
+		handlers[op] = b.NewLabel(fmt.Sprintf("op%d", op))
+	}
+
+	b.Label(loop)
+	b.Br(ir.Geu, pc, nIns, out)
+	// Fetch and decode.
+	off := b.ShlI(pc, 4)
+	insn := b.Add(code, off)
+	op := b.LoadU(insn, 0, 1)
+	dstI := b.LoadU(insn, 2, 2)
+	aI := b.LoadU(insn, 4, 2)
+	bI := b.LoadU(insn, 6, 2)
+	imm := b.Load(insn, 8, 8)
+	// Operand reads.
+	dAddr := b.Add(regs, b.ShlI(dstI, 3))
+	av := b.Load(b.Add(regs, b.ShlI(aI, 3)), 0, 8)
+	bv := b.Load(b.Add(regs, b.ShlI(bI, 3)), 0, 8)
+
+	// Balanced dispatch tree over the opcode.
+	var emitTree func(lo, hi int)
+	emitTree = func(lo, hi int) {
+		if lo == hi {
+			b.Jmp(handlers[lo])
+			return
+		}
+		mid := (lo + hi + 1) / 2
+		hiLbl := b.NewLabel("d")
+		b.BrI(ir.Geu, op, int64(mid), hiLbl)
+		emitTree(lo, mid-1)
+		b.Label(hiLbl)
+		emitTree(mid, hi)
+	}
+	emitTree(0, int(vOpCount)-1)
+
+	wr := func(v ir.Reg) {
+		b.Store(dAddr, 0, v, 8)
+		b.Jmp(next)
+	}
+
+	// --- Handlers ---
+	b.Label(handlers[vNop])
+	b.Jmp(next)
+	b.Label(handlers[vConst])
+	wr(imm)
+	b.Label(handlers[vMov])
+	wr(av)
+
+	type binf func(x, y ir.Reg) ir.Reg
+	bins := []struct {
+		op uint8
+		f  binf
+	}{
+		{vAdd, b.Add}, {vSub, b.Sub}, {vMul, b.Mul}, {vDiv, b.Div},
+		{vRem, b.Rem}, {vDivU, b.DivU}, {vRemU, b.RemU}, {vAnd, b.And},
+		{vOr, b.Or}, {vXor, b.Xor}, {vShl, b.Shl}, {vShr, b.Shr}, {vSra, b.Sra},
+	}
+	for _, bf := range bins {
+		b.Label(handlers[bf.op])
+		wr(bf.f(av, bv))
+	}
+	immBins := []struct {
+		op uint8
+		f  binf
+	}{
+		{vAddI, b.Add}, {vMulI, b.Mul}, {vAndI, b.And}, {vOrI, b.Or},
+		{vXorI, b.Xor}, {vShlI, b.Shl}, {vShrI, b.Shr}, {vSraI, b.Sra},
+	}
+	for _, bf := range immBins {
+		b.Label(handlers[bf.op])
+		wr(bf.f(av, imm))
+	}
+	for c := 0; c < 8; c++ {
+		b.Label(handlers[vSetBase+uint8(c)])
+		wr(b.Set(ir.Cond(c), av, bv))
+	}
+	loads := []struct {
+		op  uint8
+		sz  uint8
+		uns bool
+	}{
+		{vLd8, 1, false}, {vLd8u, 1, true}, {vLd16, 2, false}, {vLd16u, 2, true},
+		{vLd32, 4, false}, {vLd32u, 4, true}, {vLd64, 8, true},
+	}
+	for _, lf := range loads {
+		b.Label(handlers[lf.op])
+		addr := b.Add(av, imm)
+		var v ir.Reg
+		if lf.uns {
+			v = b.LoadU(addr, 0, lf.sz)
+		} else {
+			v = b.Load(addr, 0, lf.sz)
+		}
+		wr(v)
+	}
+	stores := []struct {
+		op uint8
+		sz uint8
+	}{{vSt8, 1}, {vSt16, 2}, {vSt32, 4}, {vSt64, 8}}
+	for _, sf := range stores {
+		b.Label(handlers[sf.op])
+		addr := b.Add(av, imm)
+		b.Store(addr, 0, bv, sf.sz)
+		b.Jmp(next)
+	}
+	for c := 0; c < 8; c++ {
+		b.Label(handlers[vBrBase+uint8(c)])
+		taken := b.NewLabel("taken")
+		b.Br(ir.Cond(c), av, bv, taken)
+		b.Jmp(next)
+		b.Label(taken)
+		b.MovInto(pc, imm)
+		b.Jmp(loop)
+	}
+	b.Label(handlers[vJmp])
+	b.MovInto(pc, imm)
+	b.Jmp(loop)
+
+	b.Label(handlers[vLeaL])
+	wr(b.Add(locals, imm))
+	b.Label(handlers[vLeaG])
+	gaddr := b.Add(globtab, b.ShlI(imm, 3))
+	wr(b.Load(gaddr, 0, 8))
+
+	// vEcall: imm selects the (static) environment call; arguments sit in
+	// consecutive VM registers starting at aI, bI holds the count.
+	b.Label(handlers[vEcall])
+	{
+		argAddr := b.Add(regs, b.ShlI(aI, 3))
+		a0 := b.Load(argAddr, 0, 8)
+		a1 := b.Load(argAddr, 8, 8)
+		a2 := b.Load(argAddr, 16, 8)
+		_ = bI
+		dispatch := []struct {
+			num   int64
+			nargs int
+		}{
+			{kernel.SysSend, 3}, {kernel.SysRecv, 3}, {kernel.SysWrite, 2},
+			{kernel.SysSbrk, 1}, {kernel.SysClock, 0}, {kernel.SysYield, 0},
+		}
+		endE := b.NewLabel("ecend")
+		for _, d := range dispatch {
+			skip := b.NewLabel("ecn")
+			b.BrI(ir.Ne, imm, d.num, skip)
+			var r ir.Reg
+			switch d.nargs {
+			case 0:
+				r = b.Ecall(d.num)
+			case 1:
+				r = b.Ecall(d.num, a0)
+			case 2:
+				r = b.Ecall(d.num, a0, a1)
+			default:
+				r = b.Ecall(d.num, a0, a1, a2)
+			}
+			b.Store(dAddr, 0, r, 8)
+			b.Jmp(endE)
+			b.Label(skip)
+		}
+		// Unknown ecall from bytecode: raise the panic host call.
+		b.EcallV(kernel.HPanic)
+		b.Label(endE)
+		b.Jmp(next)
+	}
+
+	// vCallB: native builtin call (the interpreted runtime's C surface).
+	// Only builtins that exist in this container's program get dispatch
+	// entries; a handler cannot reference functions it does not link.
+	b.Label(handlers[vCallB])
+	{
+		argAddr := b.Add(regs, b.ShlI(aI, 3))
+		a0 := b.Load(argAddr, 0, 8)
+		a1 := b.Load(argAddr, 8, 8)
+		a2 := b.Load(argAddr, 16, 8)
+		a3 := b.Load(argAddr, 24, 8)
+		a4 := b.Load(argAddr, 32, 8)
+		endC := b.NewLabel("cbend")
+		for bi, bt := range builtins {
+			if m.Func(bt.name) == nil {
+				continue
+			}
+			skip := b.NewLabel("cbn")
+			b.BrI(ir.Ne, imm, int64(bi), skip)
+			var r ir.Reg
+			switch bt.arity {
+			case 1:
+				r = b.Call(bt.name, a0)
+			case 2:
+				r = b.Call(bt.name, a0, a1)
+			case 3:
+				r = b.Call(bt.name, a0, a1, a2)
+			case 4:
+				r = b.Call(bt.name, a0, a1, a2, a3)
+			default:
+				r = b.Call(bt.name, a0, a1, a2, a3, a4)
+			}
+			b.Store(dAddr, 0, r, 8)
+			b.Jmp(endC)
+			b.Label(skip)
+		}
+		b.EcallV(kernel.HPanic)
+		b.Label(endC)
+		b.Jmp(next)
+	}
+
+	b.Label(handlers[vRet])
+	b.Ret(av)
+
+	b.Label(next)
+	b.AddIInto(pc, pc, 1)
+	b.Jmp(loop)
+	b.Label(out)
+	b.Ret(b.Const(0))
+	return b.Build()
+}

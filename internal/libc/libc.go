@@ -1,0 +1,240 @@
+// Package libc provides the C-library routines (memcpy, memset, memcmp,
+// strlen, hashing) that the kernel, RPC layer, runtimes and workloads call,
+// written in the portable IR in two flavors:
+//
+//   - Fast: word-at-a-time loops, the lean statically-linked builds used by
+//     the freshly-built RISC-V container images of the thesis.
+//   - Compat: the generic dynamically-linked distro builds of its x86
+//     images — an ifunc-style dispatch check on entry and conservative
+//     byte-at-a-time bulk loops.
+//
+// This split is the dominant, deliberately modeled source of the thesis's
+// headline observation that its x86 software stack executed significantly
+// more instructions than the RISC-V one for the same work (Fig. 4.16); see
+// DESIGN.md §1.
+package libc
+
+import "svbench/internal/ir"
+
+// Flavor selects a library implementation.
+type Flavor int
+
+// Library flavors.
+const (
+	Fast   Flavor = iota // word-wise, statically linked (RISC-V images)
+	Compat               // byte-wise with ifunc dispatch (x86 images)
+)
+
+func (f Flavor) String() string {
+	if f == Fast {
+		return "fast"
+	}
+	return "compat"
+}
+
+// Module builds the library for the given flavor. All functions are marked
+// Lib so the CISC64 backend routes calls through its PLT model.
+func Module(f Flavor) *ir.Module {
+	m := ir.NewModule("libc-" + f.String())
+	if f == Compat {
+		// The ifunc resolution state consulted on each entry.
+		m.AddGlobal(&ir.Global{Name: "__ifunc_state", Data: make([]byte, 64)})
+	}
+	add := func(fn *ir.Function) {
+		fn.Lib = true
+		m.AddFunc(fn)
+	}
+	add(buildMemcpy(f))
+	add(buildMemset(f))
+	add(buildMemcmp(f))
+	add(buildStrlen(f))
+	add(buildFNV(f))
+	add(buildBcopyDown(f))
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// ifuncPrologue models glibc's indirect-function dispatch: load the
+// resolver state and fall through (the branch is never taken after
+// startup, but costs fetch, a load and a prediction slot on every call).
+func ifuncPrologue(b *ir.Builder, f Flavor) {
+	if f != Compat {
+		return
+	}
+	st := b.Global("__ifunc_state", 0)
+	v := b.Load(st, 0, 8)
+	skip := b.NewLabel("resolved")
+	b.BrI(ir.Eq, v, 0, skip)
+	// Resolver path (cold, never taken once state is zero-initialized,
+	// but present in the text and on the predicted path).
+	b.Store(st, 0, b.Const(0), 8)
+	b.Label(skip)
+}
+
+// buildMemcpy: memcpy(dst, src, n) -> dst.
+func buildMemcpy(f Flavor) *ir.Function {
+	b := ir.NewFunc("memcpy", 3)
+	dst, src, n := b.Param(0), b.Param(1), b.Param(2)
+	ifuncPrologue(b, f)
+	i := b.Const(0)
+	if f == Fast {
+		// 8 bytes per iteration, then a byte tail.
+		wloop, wdone := b.NewLabel("wloop"), b.NewLabel("wdone")
+		lim := b.AddI(n, -7)
+		b.Label(wloop)
+		b.Br(ir.Ge, i, lim, wdone)
+		sa := b.Add(src, i)
+		da := b.Add(dst, i)
+		v := b.Load(sa, 0, 8)
+		b.Store(da, 0, v, 8)
+		b.AddIInto(i, i, 8)
+		b.Jmp(wloop)
+		b.Label(wdone)
+	}
+	bloop, bdone := b.NewLabel("bloop"), b.NewLabel("bdone")
+	b.Label(bloop)
+	b.Br(ir.Ge, i, n, bdone)
+	sa := b.Add(src, i)
+	da := b.Add(dst, i)
+	v := b.LoadU(sa, 0, 1)
+	b.Store(da, 0, v, 1)
+	b.AddIInto(i, i, 1)
+	b.Jmp(bloop)
+	b.Label(bdone)
+	b.Ret(dst)
+	return b.Build()
+}
+
+// buildMemset: memset(dst, c, n) -> dst.
+func buildMemset(f Flavor) *ir.Function {
+	b := ir.NewFunc("memset", 3)
+	dst, c, n := b.Param(0), b.Param(1), b.Param(2)
+	ifuncPrologue(b, f)
+	i := b.Const(0)
+	if f == Fast {
+		// Broadcast the byte into a word.
+		c8 := b.AndI(c, 0xFF)
+		w := b.Mov(c8)
+		for _, sh := range []int64{8, 16, 32} {
+			t := b.ShlI(w, sh)
+			b.OrInto(w, w, t)
+		}
+		wloop, wdone := b.NewLabel("wloop"), b.NewLabel("wdone")
+		lim := b.AddI(n, -7)
+		b.Label(wloop)
+		b.Br(ir.Ge, i, lim, wdone)
+		da := b.Add(dst, i)
+		b.Store(da, 0, w, 8)
+		b.AddIInto(i, i, 8)
+		b.Jmp(wloop)
+		b.Label(wdone)
+	}
+	bloop, bdone := b.NewLabel("bloop"), b.NewLabel("bdone")
+	b.Label(bloop)
+	b.Br(ir.Ge, i, n, bdone)
+	da := b.Add(dst, i)
+	b.Store(da, 0, c, 1)
+	b.AddIInto(i, i, 1)
+	b.Jmp(bloop)
+	b.Label(bdone)
+	b.Ret(dst)
+	return b.Build()
+}
+
+// buildMemcmp: memcmp(a, b, n) -> <0/0/>0 as the first differing byte.
+func buildMemcmp(f Flavor) *ir.Function {
+	b := ir.NewFunc("memcmp", 3)
+	pa, pb, n := b.Param(0), b.Param(1), b.Param(2)
+	ifuncPrologue(b, f)
+	i := b.Const(0)
+	loop, done, diff := b.NewLabel("loop"), b.NewLabel("done"), b.NewLabel("diff")
+	va := b.Const(0)
+	vb := b.Const(0)
+	b.Label(loop)
+	b.Br(ir.Ge, i, n, done)
+	aa := b.Add(pa, i)
+	ba := b.Add(pb, i)
+	b.LoadInto(va, aa, 0, 1, true)
+	b.LoadInto(vb, ba, 0, 1, true)
+	b.Br(ir.Ne, va, vb, diff)
+	b.AddIInto(i, i, 1)
+	b.Jmp(loop)
+	b.Label(diff)
+	b.Ret(b.Sub(va, vb))
+	b.Label(done)
+	b.Ret(b.Const(0))
+	return b.Build()
+}
+
+// buildStrlen: strlen(p) -> length of the NUL-terminated string.
+func buildStrlen(f Flavor) *ir.Function {
+	b := ir.NewFunc("strlen", 1)
+	p := b.Param(0)
+	ifuncPrologue(b, f)
+	i := b.Const(0)
+	loop, done := b.NewLabel("loop"), b.NewLabel("done")
+	b.Label(loop)
+	a := b.Add(p, i)
+	v := b.LoadU(a, 0, 1)
+	b.BrI(ir.Eq, v, 0, done)
+	b.AddIInto(i, i, 1)
+	b.Jmp(loop)
+	b.Label(done)
+	b.Ret(i)
+	return b.Build()
+}
+
+// buildFNV: fnv64(p, n) -> FNV-1a hash. The hot hashing primitive used by
+// the auth workload, the databases' partitioners and the memcached model.
+func buildFNV(f Flavor) *ir.Function {
+	b := ir.NewFunc("fnv64", 2)
+	p, n := b.Param(0), b.Param(1)
+	ifuncPrologue(b, f)
+	h := b.Const(-3750763034362895579) // 0xcbf29ce484222325
+	prime := b.Const(0x100000001b3)
+	i := b.Const(0)
+	loop, done := b.NewLabel("loop"), b.NewLabel("done")
+	b.Label(loop)
+	b.Br(ir.Ge, i, n, done)
+	a := b.Add(p, i)
+	v := b.LoadU(a, 0, 1)
+	b.XorInto(h, h, v)
+	b.MulInto(h, h, prime)
+	b.AddIInto(i, i, 1)
+	b.Jmp(loop)
+	b.Label(done)
+	b.Ret(h)
+	return b.Build()
+}
+
+// buildBcopyDown: bcopy_down(dst, src, n) copies backwards, used by ring
+// buffer compaction in the RPC layer.
+func buildBcopyDown(f Flavor) *ir.Function {
+	b := ir.NewFunc("bcopy_down", 3)
+	dst, src, n := b.Param(0), b.Param(1), b.Param(2)
+	ifuncPrologue(b, f)
+	i := b.Mov(n)
+	loop, done := b.NewLabel("loop"), b.NewLabel("done")
+	b.Label(loop)
+	b.BrI(ir.Le, i, 0, done)
+	b.AddIInto(i, i, -1)
+	sa := b.Add(src, i)
+	da := b.Add(dst, i)
+	v := b.LoadU(sa, 0, 1)
+	b.Store(da, 0, v, 1)
+	b.Jmp(loop)
+	b.Label(done)
+	b.Ret(dst)
+	return b.Build()
+}
+
+// ForArch returns the flavor a given software stack uses: Fast for RISC-V
+// images (static builds), Compat for x86 images (distro dynamic builds).
+func ForArch(arch string) Flavor {
+	if arch == "cisc64" || arch == "x86" {
+		return Compat
+	}
+	return Fast
+}

@@ -1,0 +1,209 @@
+package libc_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"svbench/internal/ir"
+	"svbench/internal/isa"
+	"svbench/internal/isa/isatest"
+	"svbench/internal/libc"
+)
+
+// runner builds a libc module with two scratch globals and a runner.
+func runner(t *testing.T, arch isa.Arch, f libc.Flavor) *isatest.Runner {
+	t.Helper()
+	m := ir.NewModule("t")
+	m.MergeShared(libc.Module(f))
+	m.AddGlobal(&ir.Global{Name: "bufA", Data: make([]byte, 512)})
+	m.AddGlobal(&ir.Global{Name: "bufB", Data: make([]byte, 512)})
+	r, err := isatest.NewRunner(arch, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func allVariants(t *testing.T, run func(t *testing.T, r *isatest.Runner)) {
+	for _, arch := range []isa.Arch{isa.RV64, isa.CISC64} {
+		for _, fl := range []libc.Flavor{libc.Fast, libc.Compat} {
+			arch, fl := arch, fl
+			t.Run(string(arch)+"/"+fl.String(), func(t *testing.T) {
+				run(t, runner(t, arch, fl))
+			})
+		}
+	}
+}
+
+func TestMemcpySemantics(t *testing.T) {
+	allVariants(t, func(t *testing.T, r *isatest.Runner) {
+		a, b := r.GlobalAddr("bufA"), r.GlobalAddr("bufB")
+		rnd := rand.New(rand.NewSource(5))
+		for _, n := range []int{0, 1, 7, 8, 9, 63, 64, 65, 200} {
+			src := make([]byte, n)
+			rnd.Read(src)
+			r.WriteBytes(a, src)
+			r.WriteBytes(b, make([]byte, 512))
+			ret, err := r.Call("memcpy", int64(b), int64(a), int64(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if uint64(ret) != b {
+				t.Fatalf("memcpy must return dst")
+			}
+			if !bytes.Equal(r.ReadBytes(b, uint64(n)), src) {
+				t.Fatalf("n=%d: copy mismatch", n)
+			}
+		}
+	})
+}
+
+func TestMemsetSemantics(t *testing.T) {
+	allVariants(t, func(t *testing.T, r *isatest.Runner) {
+		a := r.GlobalAddr("bufA")
+		for _, n := range []int{0, 1, 8, 15, 100} {
+			if _, err := r.Call("memset", int64(a), 0xAB, int64(n)); err != nil {
+				t.Fatal(err)
+			}
+			got := r.ReadBytes(a, uint64(n))
+			for i, c := range got {
+				if c != 0xAB {
+					t.Fatalf("n=%d byte %d = %#x", n, i, c)
+				}
+			}
+		}
+	})
+}
+
+func TestMemcmpSemantics(t *testing.T) {
+	allVariants(t, func(t *testing.T, r *isatest.Runner) {
+		a, b := r.GlobalAddr("bufA"), r.GlobalAddr("bufB")
+		cases := []struct {
+			x, y string
+			sign int
+		}{
+			{"abc", "abc", 0}, {"abd", "abc", 1}, {"abb", "abc", -1},
+			{"", "", 0}, {"a\xffb", "a\x01b", 1},
+		}
+		for _, c := range cases {
+			r.WriteBytes(a, []byte(c.x))
+			r.WriteBytes(b, []byte(c.y))
+			got, err := r.Call("memcmp", int64(a), int64(b), int64(len(c.x)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch {
+			case c.sign == 0 && got != 0:
+				t.Fatalf("memcmp(%q,%q) = %d", c.x, c.y, got)
+			case c.sign > 0 && got <= 0:
+				t.Fatalf("memcmp(%q,%q) = %d", c.x, c.y, got)
+			case c.sign < 0 && got >= 0:
+				t.Fatalf("memcmp(%q,%q) = %d", c.x, c.y, got)
+			}
+		}
+	})
+}
+
+func TestStrlenSemantics(t *testing.T) {
+	allVariants(t, func(t *testing.T, r *isatest.Runner) {
+		a := r.GlobalAddr("bufA")
+		for _, s := range []string{"", "x", "hello world", "abc\x00hidden"} {
+			r.WriteBytes(a, append([]byte(s), 0))
+			got, err := r.Call("strlen", int64(a))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := int64(len(s))
+			if i := bytes.IndexByte([]byte(s), 0); i >= 0 {
+				want = int64(i)
+			}
+			if got != want {
+				t.Fatalf("strlen(%q) = %d, want %d", s, got, want)
+			}
+		}
+	})
+}
+
+func TestFNVMatchesGoMirror(t *testing.T) {
+	mirror := func(p []byte) uint64 {
+		h := uint64(0xcbf29ce484222325)
+		for _, c := range p {
+			h ^= uint64(c)
+			h *= 0x100000001b3
+		}
+		return h
+	}
+	allVariants(t, func(t *testing.T, r *isatest.Runner) {
+		a := r.GlobalAddr("bufA")
+		rnd := rand.New(rand.NewSource(9))
+		for i := 0; i < 8; i++ {
+			p := make([]byte, rnd.Intn(64))
+			rnd.Read(p)
+			r.WriteBytes(a, p)
+			got, err := r.Call("fnv64", int64(a), int64(len(p)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if uint64(got) != mirror(p) {
+				t.Fatalf("fnv64(%x) = %#x, want %#x", p, got, mirror(p))
+			}
+		}
+	})
+}
+
+// TestFlavorsAgree property-checks that the Fast and Compat flavors are
+// observationally identical (only their cost differs).
+func TestFlavorsAgree(t *testing.T) {
+	fast := runner(t, isa.RV64, libc.Fast)
+	compat := runner(t, isa.RV64, libc.Compat)
+	a1, b1 := fast.GlobalAddr("bufA"), fast.GlobalAddr("bufB")
+	a2, b2 := compat.GlobalAddr("bufA"), compat.GlobalAddr("bufB")
+	rnd := rand.New(rand.NewSource(77))
+	f := func() bool {
+		n := rnd.Intn(128)
+		src := make([]byte, n)
+		rnd.Read(src)
+		fast.WriteBytes(a1, src)
+		compat.WriteBytes(a2, src)
+		if _, err := fast.Call("memcpy", int64(b1), int64(a1), int64(n)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := compat.Call("memcpy", int64(b2), int64(a2), int64(n)); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(fast.ReadBytes(b1, uint64(n)), compat.ReadBytes(b2, uint64(n))) {
+			return false
+		}
+		h1, _ := fast.Call("fnv64", int64(a1), int64(n))
+		h2, _ := compat.Call("fnv64", int64(a2), int64(n))
+		return h1 == h2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcopyDownOverlap(t *testing.T) {
+	allVariants(t, func(t *testing.T, r *isatest.Runner) {
+		a := r.GlobalAddr("bufA")
+		r.WriteBytes(a, []byte("0123456789"))
+		// Copy [0,8) to [2,10): backward copy handles the overlap.
+		if _, err := r.Call("bcopy_down", int64(a+2), int64(a), 8); err != nil {
+			t.Fatal(err)
+		}
+		if got := string(r.ReadBytes(a, 10)); got != "0101234567" {
+			t.Fatalf("overlap copy = %q", got)
+		}
+	})
+}
+
+func TestForArch(t *testing.T) {
+	if libc.ForArch("rv64") != libc.Fast {
+		t.Fatal("rv64 must use the fast flavor")
+	}
+	if libc.ForArch("cisc64") != libc.Compat {
+		t.Fatal("cisc64 must use the compat flavor")
+	}
+}

@@ -1,0 +1,49 @@
+package qemu
+
+import (
+	"testing"
+
+	"svbench/internal/harness"
+	"svbench/internal/isa"
+)
+
+func TestFunctionalLatencies(t *testing.T) {
+	lats, err := Run(isa.RV64, harness.HotelSpec("rate", harness.EngineCassandra), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lats) != 5 {
+		t.Fatalf("got %d latencies", len(lats))
+	}
+	for _, l := range lats {
+		if l.NS == 0 {
+			t.Fatalf("request %d: zero latency", l.Request)
+		}
+	}
+	// Cold (memcached misses -> Cassandra) must exceed warm (cache hits).
+	if lats[0].NS <= lats[4].NS {
+		t.Fatalf("cold %d <= warm %d", lats[0].NS, lats[4].NS)
+	}
+}
+
+func TestMongoVsCassandraShape(t *testing.T) {
+	// Fig. 4.20: MongoDB's cold request is faster than Cassandra's; warm
+	// requests are comparable (both served from memcached).
+	cass, err := Run(isa.CISC64, harness.HotelSpec("profile", harness.EngineCassandra), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mongo, err := Run(isa.CISC64, harness.HotelSpec("profile", harness.EngineMongo), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mongo[0].NS >= cass[0].NS {
+		t.Errorf("mongo cold (%d) should beat cassandra cold (%d)", mongo[0].NS, cass[0].NS)
+	}
+	warmRatio := float64(cass[3].NS) / float64(mongo[3].NS)
+	if warmRatio > 1.6 || warmRatio < 0.6 {
+		t.Errorf("warm latencies should be comparable, ratio %.2f", warmRatio)
+	}
+	t.Logf("cold: cass=%d mongo=%d | warm: cass=%d mongo=%d",
+		cass[0].NS, mongo[0].NS, cass[3].NS, mongo[3].NS)
+}

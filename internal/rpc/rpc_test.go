@@ -1,0 +1,278 @@
+package rpc_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"svbench/internal/ir"
+	"svbench/internal/isa"
+	"svbench/internal/isa/isatest"
+	"svbench/internal/libc"
+	"svbench/internal/rpc"
+)
+
+func TestGoCodecRoundTrip(t *testing.T) {
+	w := rpc.NewWriter()
+	w.PutInt(0)
+	w.PutInt(127)
+	w.PutInt(128)
+	w.PutInt(1 << 40)
+	w.PutBytes([]byte("hello"))
+	w.PutString("")
+	msg := w.Bytes()
+
+	r := rpc.NewReader(msg)
+	for _, want := range []uint64{0, 127, 128, 1 << 40} {
+		v, err := r.Int()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != want {
+			t.Fatalf("got %d want %d", v, want)
+		}
+	}
+	b, err := r.Bytes()
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("bytes %q err %v", b, err)
+	}
+	s, err := r.String()
+	if err != nil || s != "" {
+		t.Fatalf("string %q err %v", s, err)
+	}
+}
+
+func TestGoCodecRejectsCorruption(t *testing.T) {
+	w := rpc.NewWriter()
+	w.PutInt(300)
+	w.PutBytes([]byte("payload"))
+	msg := w.Bytes()
+
+	// Truncations must error, never panic.
+	for cut := 0; cut <= len(msg); cut++ {
+		r := rpc.NewReader(msg[:cut])
+		_, err1 := r.Int()
+		_, err2 := r.Bytes()
+		_ = err1
+		_ = err2
+	}
+	// Wrong field type.
+	r := rpc.NewReader(msg)
+	if _, err := r.Bytes(); err == nil {
+		t.Fatal("int field read as bytes")
+	}
+	// Varint overflow.
+	bad := append([]byte(nil), msg[:rpc.Header]...)
+	bad = append(bad, 0)
+	for i := 0; i < 11; i++ {
+		bad = append(bad, 0xFF)
+	}
+	rr := rpc.NewReader(bad)
+	if _, err := rr.Int(); err == nil {
+		t.Fatal("overlong varint accepted")
+	}
+}
+
+func TestGoCodecPropertyRoundTrip(t *testing.T) {
+	rnd := rand.New(rand.NewSource(4))
+	f := func() bool {
+		w := rpc.NewWriter()
+		var ints []uint64
+		var blobs [][]byte
+		order := []int{}
+		for i := 0; i < rnd.Intn(10)+1; i++ {
+			if rnd.Intn(2) == 0 {
+				v := rnd.Uint64() >> uint(rnd.Intn(64))
+				w.PutInt(v)
+				ints = append(ints, v)
+				order = append(order, 0)
+			} else {
+				b := make([]byte, rnd.Intn(100))
+				rnd.Read(b)
+				w.PutBytes(b)
+				blobs = append(blobs, b)
+				order = append(order, 1)
+			}
+		}
+		r := rpc.NewReader(w.Bytes())
+		ii, bi := 0, 0
+		for _, kind := range order {
+			if kind == 0 {
+				v, err := r.Int()
+				if err != nil || v != ints[ii] {
+					return false
+				}
+				ii++
+			} else {
+				b, err := r.Bytes()
+				if err != nil || !bytes.Equal(b, blobs[bi]) {
+					return false
+				}
+				bi++
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// buildWireTester wires a module that writes fields via the IR library and
+// returns the message length; the test decodes the simulated memory with
+// the Go codec (cross-implementation differential).
+func TestIRWriterMatchesGoReader(t *testing.T) {
+	for _, arch := range []isa.Arch{isa.RV64, isa.CISC64} {
+		m := ir.NewModule("t")
+		m.MergeShared(libc.Module(libc.ForArch(string(arch))))
+		m.MergeShared(rpc.Module())
+		m.AddGlobal(&ir.Global{Name: "msg", Data: make([]byte, 1024)})
+		m.AddGlobal(&ir.Global{Name: "payload", Data: []byte("the quick brown fox")})
+
+		b := ir.NewFunc("emit", 1)
+		v := b.Param(0)
+		buf := b.Global("msg", 0)
+		pay := b.Global("payload", 0)
+		b.CallV("mbuf_reset", buf)
+		b.CallV("mbuf_put_int", buf, v)
+		b.CallV("mbuf_put_int", buf, b.Const(0))
+		b.CallV("mbuf_put_bytes", buf, pay, b.Const(19))
+		b.CallV("mbuf_put_int", buf, b.Const(1<<40))
+		b.Ret(b.Call("mbuf_len", buf))
+		m.AddFunc(b.Build())
+
+		r, err := isatest.NewRunner(arch, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := r.Call("emit", 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw := r.ReadBytes(r.GlobalAddr("msg"), uint64(n))
+		rd := rpc.NewReader(raw)
+		if v, err := rd.Int(); err != nil || v != 300 {
+			t.Fatalf("%s: field1 %d err %v", arch, v, err)
+		}
+		if v, err := rd.Int(); err != nil || v != 0 {
+			t.Fatalf("%s: field2 %d err %v", arch, v, err)
+		}
+		if s, err := rd.String(); err != nil || s != "the quick brown fox" {
+			t.Fatalf("%s: field3 %q err %v", arch, s, err)
+		}
+		if v, err := rd.Int(); err != nil || v != 1<<40 {
+			t.Fatalf("%s: field4 %d err %v", arch, v, err)
+		}
+	}
+}
+
+// TestIRReaderMatchesGoWriter: the inverse direction — the Go codec
+// encodes, the IR library decodes on the simulated core.
+func TestIRReaderMatchesGoWriter(t *testing.T) {
+	for _, arch := range []isa.Arch{isa.RV64, isa.CISC64} {
+		m := ir.NewModule("t")
+		m.MergeShared(libc.Module(libc.ForArch(string(arch))))
+		m.MergeShared(rpc.Module())
+		m.AddGlobal(&ir.Global{Name: "msg", Data: make([]byte, 1024)})
+		m.AddGlobal(&ir.Global{Name: "out", Data: make([]byte, 256)})
+
+		// consume() -> intField + bytesLen*1000000 + firstByte*1000
+		b := ir.NewFunc("consume", 0)
+		buf := b.Global("msg", 0)
+		out := b.Global("out", 0)
+		cur := b.Frame(b.Buf("cur", 8), 0)
+		b.Store(cur, 0, b.Const(rpc.Header), 8)
+		v := b.Call("mbuf_get_int", buf, cur)
+		n := b.Call("mbuf_get_bytes", buf, cur, out, b.Const(256))
+		first := b.LoadU(out, 0, 1)
+		sum := b.Add(v, b.MulI(n, 1000000))
+		sum = b.Add(sum, b.MulI(first, 1000))
+		b.Ret(sum)
+		m.AddFunc(b.Build())
+
+		r, err := isatest.NewRunner(arch, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := rpc.NewWriter()
+		w.PutInt(321)
+		w.PutBytes([]byte("Zebra"))
+		r.WriteBytes(r.GlobalAddr("msg"), w.Bytes())
+		got, err := r.Call("consume")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64(321 + 5*1000000 + int64('Z')*1000)
+		if got != want {
+			t.Fatalf("%s: consume() = %d, want %d", arch, got, want)
+		}
+	}
+}
+
+func TestIRVarintPropertyAgainstGo(t *testing.T) {
+	// One runner, many values: write an int via IR, read with Go.
+	m := ir.NewModule("t")
+	m.MergeShared(libc.Module(libc.Fast))
+	m.MergeShared(rpc.Module())
+	m.AddGlobal(&ir.Global{Name: "msg", Data: make([]byte, 64)})
+	b := ir.NewFunc("one", 1)
+	buf := b.Global("msg", 0)
+	b.CallV("mbuf_reset", buf)
+	b.CallV("mbuf_put_int", buf, b.Param(0))
+	b.Ret(b.Call("mbuf_len", buf))
+	m.AddFunc(b.Build())
+	r, err := isatest.NewRunner(isa.RV64, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd := rand.New(rand.NewSource(6))
+	f := func() bool {
+		v := rnd.Uint64() >> uint(rnd.Intn(64))
+		n, err := r.Call("one", int64(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw := r.ReadBytes(r.GlobalAddr("msg"), uint64(n))
+		rd := rpc.NewReader(raw)
+		got, err := rd.Int()
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetBytesTruncatesAtMax(t *testing.T) {
+	m := ir.NewModule("t")
+	m.MergeShared(libc.Module(libc.Fast))
+	m.MergeShared(rpc.Module())
+	m.AddGlobal(&ir.Global{Name: "msg", Data: make([]byte, 256)})
+	m.AddGlobal(&ir.Global{Name: "small", Data: make([]byte, 8)})
+	b := ir.NewFunc("trunc", 0)
+	buf := b.Global("msg", 0)
+	out := b.Global("small", 0)
+	cur := b.Frame(b.Buf("cur", 8), 0)
+	b.Store(cur, 0, b.Const(rpc.Header), 8)
+	n := b.Call("mbuf_get_bytes", buf, cur, out, b.Const(4))
+	// A following field must still parse correctly (cursor advanced by
+	// the full field length, not the truncated copy).
+	v := b.Call("mbuf_get_int", buf, cur)
+	b.Ret(b.Add(n, b.MulI(v, 100)))
+	m.AddFunc(b.Build())
+	r, err := isatest.NewRunner(isa.RV64, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := rpc.NewWriter()
+	w.PutBytes([]byte("0123456789"))
+	w.PutInt(7)
+	r.WriteBytes(r.GlobalAddr("msg"), w.Bytes())
+	got, err := r.Call("trunc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4+700 {
+		t.Fatalf("trunc() = %d, want 704", got)
+	}
+}

@@ -1,0 +1,317 @@
+// Package rpc implements the gRPC-style messaging layer the vSwarm
+// workloads communicate over: a varint-based wire format with IR builder
+// functions (the simulated library code that runs on the measured core)
+// and a mirrored Go codec used by native services and tests.
+//
+// Message buffers hold a write cursor in their first 8 bytes; fields
+// follow as (type varint, payload) pairs: type 0 = varint integer,
+// type 1 = length-delimited bytes.
+package rpc
+
+import (
+	"fmt"
+
+	"svbench/internal/ir"
+)
+
+// Header is the size of the message buffer's cursor header.
+const Header = 8
+
+// Module builds the RPC library in IR. All functions are Lib (library
+// code: the gRPC stack).
+func Module() *ir.Module {
+	m := ir.NewModule("rpc")
+	add := func(f *ir.Function) {
+		f.Lib = true
+		m.AddFunc(f)
+	}
+	add(buildReset())
+	add(buildPutInt())
+	add(buildPutBytes())
+	add(buildLen())
+	add(buildGetInt())
+	add(buildGetBytes())
+	add(buildFrame())
+	m.AddGlobal(&ir.Global{Name: "rpc_hpack", Data: hpackTable()})
+	// No Validate here: the module references libc's memcpy, which the
+	// final program link merges in (backends validate at compile time).
+	return m
+}
+
+// hpackTable is the static header-compression table the framing pass
+// consults, sized like gRPC's HPACK static table.
+func hpackTable() []byte {
+	t := make([]byte, 61*16)
+	for i := range t {
+		t[i] = byte(i * 131)
+	}
+	return t
+}
+
+// buildReset: mbuf_reset(buf) initializes the write cursor.
+func buildReset() *ir.Function {
+	b := ir.NewFunc("mbuf_reset", 1)
+	buf := b.Param(0)
+	b.Store(buf, 0, b.Const(Header), 8)
+	b.Ret0()
+	return b.Build()
+}
+
+// varint emit loop: while v >= 0x80 { *p++ = v|0x80; v >>= 7 }; *p++ = v.
+func emitVarintWrite(b *ir.Builder, buf, off, v ir.Reg) ir.Reg {
+	loop, done := b.NewLabel("vloop"), b.NewLabel("vdone")
+	val := b.Mov(v)
+	o := b.Mov(off)
+	b.Label(loop)
+	b.BrI(ir.Ltu, val, 0x80, done)
+	low := b.AndI(val, 0x7F)
+	low = b.OrI(low, 0x80)
+	p := b.Add(buf, o)
+	b.Store(p, 0, low, 1)
+	b.AddIInto(o, o, 1)
+	sh := b.ShrI(val, 7)
+	b.MovInto(val, sh)
+	b.Jmp(loop)
+	b.Label(done)
+	p2 := b.Add(buf, o)
+	b.Store(p2, 0, val, 1)
+	b.AddIInto(o, o, 1)
+	return o
+}
+
+// emitVarintRead reads a varint at buf+*curPtr, advancing the cursor.
+func emitVarintRead(b *ir.Builder, buf, curPtr ir.Reg) ir.Reg {
+	v := b.Const(0)
+	shift := b.Const(0)
+	cur := b.Load(curPtr, 0, 8)
+	loop, done := b.NewLabel("rloop"), b.NewLabel("rdone")
+	b.Label(loop)
+	p := b.Add(buf, cur)
+	c := b.LoadU(p, 0, 1)
+	b.AddIInto(cur, cur, 1)
+	low := b.AndI(c, 0x7F)
+	sh := b.Shl(low, shift)
+	b.OrInto(v, v, sh)
+	b.AddIInto(shift, shift, 7)
+	b.BrI(ir.Ltu, c, 0x80, done)
+	b.Jmp(loop)
+	b.Label(done)
+	b.Store(curPtr, 0, cur, 8)
+	return v
+}
+
+// buildPutInt: mbuf_put_int(buf, v) appends an integer field.
+func buildPutInt() *ir.Function {
+	b := ir.NewFunc("mbuf_put_int", 2)
+	buf, v := b.Param(0), b.Param(1)
+	off := b.Load(buf, 0, 8)
+	// type tag 0
+	p := b.Add(buf, off)
+	b.Store(p, 0, b.Const(0), 1)
+	off1 := b.AddI(off, 1)
+	off2 := emitVarintWrite(b, buf, off1, v)
+	b.Store(buf, 0, off2, 8)
+	b.Ret0()
+	return b.Build()
+}
+
+// buildPutBytes: mbuf_put_bytes(buf, ptr, n) appends a bytes field.
+func buildPutBytes() *ir.Function {
+	b := ir.NewFunc("mbuf_put_bytes", 3)
+	buf, ptr, n := b.Param(0), b.Param(1), b.Param(2)
+	off := b.Load(buf, 0, 8)
+	p := b.Add(buf, off)
+	b.Store(p, 0, b.Const(1), 1)
+	off1 := b.AddI(off, 1)
+	off2 := emitVarintWrite(b, buf, off1, n)
+	dst := b.Add(buf, off2)
+	b.CallV("memcpy", dst, ptr, n)
+	newOff := b.Add(off2, n)
+	b.Store(buf, 0, newOff, 8)
+	b.Ret0()
+	return b.Build()
+}
+
+// buildLen: mbuf_len(buf) returns the total encoded length.
+func buildLen() *ir.Function {
+	b := ir.NewFunc("mbuf_len", 1)
+	b.Ret(b.Load(b.Param(0), 0, 8))
+	return b.Build()
+}
+
+// buildGetInt: mbuf_get_int(buf, curPtr) reads an integer field at the
+// cursor (a pointer to an 8-byte cursor the caller owns) and advances it.
+func buildGetInt() *ir.Function {
+	b := ir.NewFunc("mbuf_get_int", 2)
+	buf, curPtr := b.Param(0), b.Param(1)
+	// Skip the type tag.
+	cur := b.Load(curPtr, 0, 8)
+	b.Store(curPtr, 0, b.AddI(cur, 1), 8)
+	v := emitVarintRead(b, buf, curPtr)
+	b.Ret(v)
+	return b.Build()
+}
+
+// buildGetBytes: mbuf_get_bytes(buf, curPtr, dst, max) copies the bytes
+// field at the cursor into dst (truncating at max) and returns its length.
+func buildGetBytes() *ir.Function {
+	b := ir.NewFunc("mbuf_get_bytes", 4)
+	buf, curPtr, dst, max := b.Param(0), b.Param(1), b.Param(2), b.Param(3)
+	cur := b.Load(curPtr, 0, 8)
+	b.Store(curPtr, 0, b.AddI(cur, 1), 8)
+	n := emitVarintRead(b, buf, curPtr)
+	cn := b.Mov(n)
+	fits := b.NewLabel("fits")
+	b.Br(ir.Le, cn, max, fits)
+	b.MovInto(cn, max)
+	b.Label(fits)
+	cur2 := b.Load(curPtr, 0, 8)
+	src := b.Add(buf, cur2)
+	b.CallV("memcpy", dst, src, cn)
+	adv := b.Add(cur2, n)
+	b.Store(curPtr, 0, adv, 8)
+	b.Ret(cn)
+	return b.Build()
+}
+
+// buildFrame: grpc_frame(buf) performs the per-message framing pass —
+// HPACK static-table lookups and a rolling checksum over the payload —
+// modeling the per-request cost of the RPC stack itself.
+func buildFrame() *ir.Function {
+	b := ir.NewFunc("grpc_frame", 1)
+	buf := b.Param(0)
+	n := b.Load(buf, 0, 8)
+	tab := b.Global("rpc_hpack", 0)
+	sum := b.Const(0)
+	i := b.Const(Header)
+	loop, done := b.NewLabel("loop"), b.NewLabel("done")
+	b.Label(loop)
+	b.Br(ir.Ge, i, n, done)
+	p := b.Add(buf, i)
+	c := b.LoadU(p, 0, 1)
+	// Static table probe keyed by the byte.
+	idx := b.AndI(c, 63)
+	e := b.ShlI(idx, 4)
+	tp := b.Add(tab, e)
+	tv := b.LoadU(tp, 0, 1)
+	x := b.Add(c, tv)
+	b.AddInto(sum, sum, x)
+	b.AddIInto(i, i, 1)
+	b.Jmp(loop)
+	b.Label(done)
+	b.Ret(sum)
+	return b.Build()
+}
+
+// --- Go-side mirror codec (used by native services and tests) ---
+
+// Writer builds messages in the wire format.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a writer with the cursor header reserved.
+func NewWriter() *Writer {
+	return &Writer{buf: make([]byte, Header, 256)}
+}
+
+func (w *Writer) varint(v uint64) {
+	for v >= 0x80 {
+		w.buf = append(w.buf, byte(v)|0x80)
+		v >>= 7
+	}
+	w.buf = append(w.buf, byte(v))
+}
+
+// PutInt appends an integer field.
+func (w *Writer) PutInt(v uint64) {
+	w.buf = append(w.buf, 0)
+	w.varint(v)
+}
+
+// PutBytes appends a bytes field.
+func (w *Writer) PutBytes(p []byte) {
+	w.buf = append(w.buf, 1)
+	w.varint(uint64(len(p)))
+	w.buf = append(w.buf, p...)
+}
+
+// PutString appends a string field.
+func (w *Writer) PutString(s string) { w.PutBytes([]byte(s)) }
+
+// Bytes finalizes the message: the header carries the total length.
+func (w *Writer) Bytes() []byte {
+	n := uint64(len(w.buf))
+	for i := 0; i < 8; i++ {
+		w.buf[i] = byte(n >> (8 * i))
+	}
+	return w.buf
+}
+
+// Reader decodes messages in the wire format.
+type Reader struct {
+	buf []byte
+	cur int
+}
+
+// NewReader wraps a received message.
+func NewReader(b []byte) *Reader { return &Reader{buf: b, cur: Header} }
+
+func (r *Reader) varint() (uint64, error) {
+	var v uint64
+	var sh uint
+	for {
+		if r.cur >= len(r.buf) {
+			return 0, fmt.Errorf("rpc: truncated varint")
+		}
+		c := r.buf[r.cur]
+		r.cur++
+		v |= uint64(c&0x7F) << sh
+		sh += 7
+		if c < 0x80 {
+			return v, nil
+		}
+		if sh > 63 {
+			return 0, fmt.Errorf("rpc: varint overflow")
+		}
+	}
+}
+
+// Int reads an integer field.
+func (r *Reader) Int() (uint64, error) {
+	if r.cur >= len(r.buf) {
+		return 0, fmt.Errorf("rpc: truncated message")
+	}
+	if r.buf[r.cur] != 0 {
+		return 0, fmt.Errorf("rpc: expected int field, got type %d", r.buf[r.cur])
+	}
+	r.cur++
+	return r.varint()
+}
+
+// Bytes reads a bytes field.
+func (r *Reader) Bytes() ([]byte, error) {
+	if r.cur >= len(r.buf) {
+		return nil, fmt.Errorf("rpc: truncated message")
+	}
+	if r.buf[r.cur] != 1 {
+		return nil, fmt.Errorf("rpc: expected bytes field, got type %d", r.buf[r.cur])
+	}
+	r.cur++
+	n, err := r.varint()
+	if err != nil {
+		return nil, err
+	}
+	if r.cur+int(n) > len(r.buf) {
+		return nil, fmt.Errorf("rpc: bytes field overruns message")
+	}
+	p := r.buf[r.cur : r.cur+int(n)]
+	r.cur += int(n)
+	return p, nil
+}
+
+// String reads a string field.
+func (r *Reader) String() (string, error) {
+	p, err := r.Bytes()
+	return string(p), err
+}

@@ -1,0 +1,63 @@
+// Package stats defines the statistics records produced by the simulated
+// machine's m5-style dump operations — the numbers every figure of the
+// thesis's evaluation is built from.
+package stats
+
+import "fmt"
+
+// CoreStats is one core's counters for one stats window.
+type CoreStats struct {
+	Cycles      uint64
+	Insts       uint64
+	MicroOps    uint64
+	Loads       uint64
+	Stores      uint64
+	Branches    uint64
+	Mispredicts uint64
+
+	L1IAccesses uint64
+	L1IMisses   uint64
+	L1DAccesses uint64
+	L1DMisses   uint64
+	L2Accesses  uint64
+	L2Misses    uint64
+
+	ITLBMisses uint64
+	DTLBMisses uint64
+}
+
+// CPI returns cycles per instruction for the window.
+func (c CoreStats) CPI() float64 {
+	if c.Insts == 0 {
+		return 0
+	}
+	return float64(c.Cycles) / float64(c.Insts)
+}
+
+// L1Misses returns combined instruction+data L1 misses.
+func (c CoreStats) L1Misses() uint64 { return c.L1IMisses + c.L1DMisses }
+
+// String summarizes the window.
+func (c CoreStats) String() string {
+	return fmt.Sprintf("cycles=%d insts=%d cpi=%.2f l1i=%d l1d=%d l2=%d mispred=%d",
+		c.Cycles, c.Insts, c.CPI(), c.L1IMisses, c.L1DMisses, c.L2Misses, c.Mispredicts)
+}
+
+// Dump is one m5 dump-stats event: a labeled snapshot of every core's
+// window counters.
+type Dump struct {
+	Label string
+	Cores []CoreStats
+}
+
+// Server returns the measured core's stats (the function server is pinned
+// to core 1 in the thesis's methodology).
+func (d Dump) Server() CoreStats {
+	if len(d.Cores) > 1 {
+		return d.Cores[1]
+	}
+	if len(d.Cores) == 1 {
+		return d.Cores[0]
+	}
+	return CoreStats{}
+}

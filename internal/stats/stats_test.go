@@ -1,0 +1,44 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCPI(t *testing.T) {
+	c := CoreStats{Cycles: 100, Insts: 40}
+	if c.CPI() != 2.5 {
+		t.Fatalf("CPI %v", c.CPI())
+	}
+	if (CoreStats{}).CPI() != 0 {
+		t.Fatal("idle CPI must be 0")
+	}
+}
+
+func TestL1Misses(t *testing.T) {
+	c := CoreStats{L1IMisses: 3, L1DMisses: 4}
+	if c.L1Misses() != 7 {
+		t.Fatal("L1 sum")
+	}
+}
+
+func TestDumpServer(t *testing.T) {
+	d := Dump{Cores: []CoreStats{{Cycles: 1}, {Cycles: 2}}}
+	if d.Server().Cycles != 2 {
+		t.Fatal("server must be core 1")
+	}
+	single := Dump{Cores: []CoreStats{{Cycles: 9}}}
+	if single.Server().Cycles != 9 {
+		t.Fatal("single-core fallback")
+	}
+	if (Dump{}).Server().Cycles != 0 {
+		t.Fatal("empty dump")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := CoreStats{Cycles: 10, Insts: 5}.String()
+	if !strings.Contains(s, "cycles=10") || !strings.Contains(s, "cpi=2.00") {
+		t.Fatalf("render %q", s)
+	}
+}

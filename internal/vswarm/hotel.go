@@ -1,0 +1,716 @@
+package vswarm
+
+import (
+	"fmt"
+
+	"svbench/internal/ir"
+	"svbench/internal/kernel"
+	"svbench/internal/rpc"
+)
+
+// The Hotel reservation application (vSwarm's port of DeathStarBench's
+// hotel backend, Table 3.4): six Go functions, each talking to a database
+// service; reservation, rate and profile additionally use a Memcached
+// instance as a look-aside cache — the cold/warm and L2-miss signatures of
+// Figs. 4.5–4.11 come from exactly this structure.
+
+// HotelChans carries the kernel channel ids of the attached services,
+// baked into the workload image at build time (the container's service
+// endpoints).
+type HotelChans struct {
+	DBReq, DBResp int
+	MCReq, MCResp int
+}
+
+// Hotel dataset geometry.
+const (
+	HotelCount       = 24
+	HotelUsers       = 12
+	profileParagraph = "A charming stay near the waterfront with generous rooms, " +
+		"a quiet reading lounge, late breakfast service and bicycles for rent. "
+)
+
+// HotelID returns the canonical 8-byte key of hotel i.
+func HotelID(i int) uint64 { return uint64(100 + i) }
+
+// hotelKey renders the binary key used in the stores.
+func hotelKey(id uint64) string {
+	b := make([]byte, 8)
+	for k := 0; k < 8; k++ {
+		b[k] = byte(id >> (8 * k))
+	}
+	return string(b)
+}
+
+// HotelGeo returns hotel i's fixed-point (×10⁴) coordinates.
+func HotelGeo(i int) (lat, lon int64) {
+	lat = 377700 + int64(i)*137%900
+	lon = -1224000 + int64(i)*211%1100
+	return
+}
+
+// HotelRatePlans renders hotel i's rate table (the "ratePlans" document).
+func HotelRatePlans(i int) []byte {
+	out := []byte{}
+	for p := 0; p < 3; p++ {
+		out = append(out, fmt.Sprintf("plan=%d;hotel=%d;code=RACK%02d;price=%d;tax=%d;"+
+			"desc=king room with courtyard view, breakfast included, late checkout on request, "+
+			"free cancellation until 48 hours before arrival, loyalty points eligible|",
+			p, HotelID(i), p, 10900+i*700+p*2500, 1200+p*100)...)
+	}
+	return out
+}
+
+// HotelProfile renders hotel i's profile document (~1.5 KiB).
+func HotelProfile(i int) []byte {
+	head := fmt.Sprintf("id=%d;name=Hotel %c%c;addr=%d Harbor Street;city=Port Meridian;cap=%d;",
+		HotelID(i), 'A'+i%26, 'a'+(i*7)%26, 100+i*3, 40+i*2)
+	body := head
+	for len(body) < 4000 {
+		body += profileParagraph
+	}
+	return []byte(body[:4000])
+}
+
+// HotelUserName returns user u's login.
+func HotelUserName(u int) []byte { return []byte(fmt.Sprintf("guest_%02d", u)) }
+
+// HotelUserPass returns user u's password.
+func HotelUserPass(u int) []byte { return []byte(fmt.Sprintf("pass_%02d_secret", u)) }
+
+// hotelPassHash must mirror the IR-side hp_hash (10-round chained FNV).
+func hotelPassHash(p []byte) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for r := 0; r < 10; r++ {
+		for _, c := range p {
+			h ^= uint64(c)
+			h *= 0x100000001b3
+		}
+		h ^= h >> 31
+	}
+	return h
+}
+
+func le64(v uint64) []byte {
+	b := make([]byte, 8)
+	for k := 0; k < 8; k++ {
+		b[k] = byte(v >> (8 * k))
+	}
+	return b
+}
+
+// Seeder is the subset of db.Store the seeding needs (avoids an import
+// cycle with internal/db).
+type Seeder interface {
+	Put(table, key string, val []byte)
+}
+
+// SeedHotel populates a store with the application dataset: geo points,
+// rate plans, profiles, users and reservation availability.
+func SeedHotel(s Seeder) {
+	for i := 0; i < HotelCount; i++ {
+		id := HotelID(i)
+		lat, lon := HotelGeo(i)
+		// geo: id, lat, lon (24 bytes).
+		geo := append(append(le64(id), le64(uint64(lat))...), le64(uint64(lon))...)
+		s.Put("geo", hotelKey(id), geo)
+		s.Put("rate", hotelKey(id), HotelRatePlans(i))
+		s.Put("profile", hotelKey(id), HotelProfile(i))
+		// attrs: id, lat, lon, rate (32 bytes) for recommendation.
+		attrs := append(geo, le64(uint64(10900+i*700))...)
+		s.Put("attrs", hotelKey(id), attrs)
+		// reservation: booked, capacity (16 bytes).
+		resv := append(le64(uint64(i%7)), le64(uint64(40+i*2))...)
+		s.Put("reservation", hotelKey(id), resv)
+	}
+	for u := 0; u < HotelUsers; u++ {
+		s.Put("user", string(HotelUserName(u)), le64(hotelPassHash(HotelUserPass(u))))
+	}
+}
+
+// hotelBase builds the shared module scaffolding: the service channel
+// configuration, the client-stub buffers, and the kv_get/kv_put/kv_scan
+// stubs that run on the measured core (marshal, block on the service,
+// unmarshal — the simulated database driver).
+func hotelBase(name string, ch HotelChans) *ir.Module {
+	m := ir.NewModule(name)
+	cfg := make([]byte, 32)
+	for i, v := range []int{ch.DBReq, ch.DBResp, ch.MCReq, ch.MCResp} {
+		for k := 0; k < 8; k++ {
+			cfg[i*8+k] = byte(uint64(v) >> (8 * k))
+		}
+	}
+	m.AddGlobal(&ir.Global{Name: "db_cfg", Data: cfg})
+	m.AddGlobal(&ir.Global{Name: "db_qbuf", Data: make([]byte, 8192)})
+	m.AddGlobal(&ir.Global{Name: "db_rbuf", Data: make([]byte, 8192)})
+	m.AddGlobal(&ir.Global{Name: "db_vbuf", Data: make([]byte, 8192)})
+	m.AddGlobal(&ir.Global{Name: "db_state", Data: make([]byte, 32)}) // vlen, cursor
+
+	// kv_get(isMC, tablePtr, tableLen, keyPtr, keyLen) -> value address in
+	// db_vbuf (0 on miss); length in db_state[0].
+	{
+		b := ir.NewFunc("kv_get", 5)
+		isMC, tp, tl, kp, kl := b.Param(0), b.Param(1), b.Param(2), b.Param(3), b.Param(4)
+		qbuf := b.Global("db_qbuf", 0)
+		rbuf := b.Global("db_rbuf", 0)
+		vbuf := b.Global("db_vbuf", 0)
+		st := b.Global("db_state", 0)
+		b.CallV("mbuf_reset", qbuf)
+		b.CallV("mbuf_put_int", qbuf, b.Const(0))
+		b.CallV("mbuf_put_bytes", qbuf, tp, tl)
+		b.CallV("mbuf_put_bytes", qbuf, kp, kl)
+		cfgG := b.Global("db_cfg", 0)
+		chOff := b.ShlI(isMC, 4)
+		reqCh := b.Load(b.Add(cfgG, chOff), 0, 8)
+		respCh := b.Load(b.Add(cfgG, chOff), 8, 8)
+		b.EcallV(kernel.SysSend, reqCh, qbuf, b.Call("mbuf_len", qbuf))
+		b.EcallV(kernel.SysRecv, respCh, rbuf, b.Const(8192))
+		cur := b.Frame(b.Buf("cur", 8), 0)
+		b.Store(cur, 0, b.Const(8), 8)
+		status := b.Call("mbuf_get_int", rbuf, cur)
+		miss := b.NewLabel("miss")
+		b.BrI(ir.Ne, status, 0, miss)
+		n := b.Call("mbuf_get_bytes", rbuf, cur, vbuf, b.Const(8192))
+		b.Store(st, 0, n, 8)
+		b.Ret(vbuf)
+		b.Label(miss)
+		b.Store(st, 0, b.Const(0), 8)
+		b.Ret(b.Const(0))
+		m.AddFunc(b.Build())
+	}
+
+	// kv_put(isMC, tablePtr, tableLen, keyPtr, keyLen): value taken from
+	// db_vbuf with length db_state[0]. Returns the status.
+	{
+		b := ir.NewFunc("kv_put", 5)
+		isMC, tp, tl, kp, kl := b.Param(0), b.Param(1), b.Param(2), b.Param(3), b.Param(4)
+		qbuf := b.Global("db_qbuf", 0)
+		rbuf := b.Global("db_rbuf", 0)
+		vbuf := b.Global("db_vbuf", 0)
+		st := b.Global("db_state", 0)
+		vlen := b.Load(st, 0, 8)
+		b.CallV("mbuf_reset", qbuf)
+		b.CallV("mbuf_put_int", qbuf, b.Const(1))
+		b.CallV("mbuf_put_bytes", qbuf, tp, tl)
+		b.CallV("mbuf_put_bytes", qbuf, kp, kl)
+		b.CallV("mbuf_put_bytes", qbuf, vbuf, vlen)
+		cfgG := b.Global("db_cfg", 0)
+		chOff := b.ShlI(isMC, 4)
+		reqCh := b.Load(b.Add(cfgG, chOff), 0, 8)
+		respCh := b.Load(b.Add(cfgG, chOff), 8, 8)
+		b.EcallV(kernel.SysSend, reqCh, qbuf, b.Call("mbuf_len", qbuf))
+		b.EcallV(kernel.SysRecv, respCh, rbuf, b.Const(8192))
+		cur := b.Frame(b.Buf("cur", 8), 0)
+		b.Store(cur, 0, b.Const(8), 8)
+		b.Ret(b.Call("mbuf_get_int", rbuf, cur))
+		m.AddFunc(b.Build())
+	}
+
+	// kv_scan(isMC, tablePtr, tableLen, limit) -> count; leaves the read
+	// cursor (for mbuf_get_bytes over db_rbuf) in db_state[8].
+	{
+		b := ir.NewFunc("kv_scan", 4)
+		isMC, tp, tl, limit := b.Param(0), b.Param(1), b.Param(2), b.Param(3)
+		qbuf := b.Global("db_qbuf", 0)
+		rbuf := b.Global("db_rbuf", 0)
+		st := b.Global("db_state", 0)
+		b.CallV("mbuf_reset", qbuf)
+		b.CallV("mbuf_put_int", qbuf, b.Const(2))
+		b.CallV("mbuf_put_bytes", qbuf, tp, tl)
+		empty := b.Frame(b.Buf("empty", 8), 0)
+		b.CallV("mbuf_put_bytes", qbuf, empty, b.Const(0)) // prefix ""
+		b.CallV("mbuf_put_int", qbuf, limit)
+		cfgG := b.Global("db_cfg", 0)
+		chOff := b.ShlI(isMC, 4)
+		reqCh := b.Load(b.Add(cfgG, chOff), 0, 8)
+		respCh := b.Load(b.Add(cfgG, chOff), 8, 8)
+		b.EcallV(kernel.SysSend, reqCh, qbuf, b.Call("mbuf_len", qbuf))
+		b.EcallV(kernel.SysRecv, respCh, rbuf, b.Const(8192))
+		b.Store(st, 8, b.Const(8), 8)
+		curAddr := b.AddI(st, 8)
+		status := b.Call("mbuf_get_int", rbuf, curAddr)
+		bad := b.NewLabel("bad")
+		b.BrI(ir.Ne, status, 0, bad)
+		b.Ret(b.Call("mbuf_get_int", rbuf, curAddr))
+		b.Label(bad)
+		b.Ret(b.Const(0))
+		m.AddFunc(b.Build())
+	}
+
+	// hp_hash(p, n): the password hash (10-round chained FNV).
+	{
+		b := ir.NewFunc("hp_hash", 2)
+		p, n := b.Param(0), b.Param(1)
+		h := b.Const(-3750763034362895579)
+		prime := b.Const(0x100000001b3)
+		r := b.Const(0)
+		rl, rd := b.NewLabel("rl"), b.NewLabel("rd")
+		b.Label(rl)
+		b.BrI(ir.Ge, r, 10, rd)
+		i := b.Const(0)
+		il, id := b.NewLabel("il"), b.NewLabel("id")
+		b.Label(il)
+		b.Br(ir.Ge, i, n, id)
+		c := b.LoadU(b.Add(p, i), 0, 1)
+		b.XorInto(h, h, c)
+		b.MulInto(h, h, prime)
+		b.AddIInto(i, i, 1)
+		b.Jmp(il)
+		b.Label(id)
+		sh := b.ShrI(h, 31)
+		b.XorInto(h, h, sh)
+		b.AddIInto(r, r, 1)
+		b.Jmp(rl)
+		b.Label(rd)
+		b.Ret(h)
+		m.AddFunc(b.Build())
+	}
+	return m
+}
+
+// tableGlobal registers the table-name constant and returns emit helpers.
+func tableGlobal(m *ir.Module, name string) (string, int64) {
+	g := "tbl_" + name
+	if m.Glob(g) == nil {
+		m.AddGlobal(&ir.Global{Name: g, Data: []byte(name)})
+	}
+	return g, int64(len(name))
+}
+
+// HotelGeoFn builds the geo function: request {lat:int, lon:int};
+// response {count, 5×(id)} — nearest hotels by squared distance over a
+// full geo-table scan.
+func HotelGeoFn(ch HotelChans) *ir.Module {
+	m := hotelBase("hotel-geo", ch)
+	tg, tl := tableGlobal(m, "geo")
+
+	b := ir.NewFunc(Handler, 3)
+	req, resp := b.Param(0), b.Param(2)
+	cur := newCursor(b, "cur")
+	lat := b.Call("mbuf_get_int", req, cur)
+	lon := b.Call("mbuf_get_int", req, cur)
+
+	tgr := b.Global(tg, 0)
+	count := b.Call("kv_scan", b.Const(0), tgr, b.Const(tl), b.Const(0))
+	rbuf := b.Global("db_rbuf", 0)
+	st := b.Global("db_state", 0)
+	curAddr := b.AddI(st, 8)
+
+	// Track the 5 nearest: arrays of (dist, id).
+	best := b.Frame(b.Buf("best", 5*16), 0)
+	i := b.Const(0)
+	initL, initD := b.NewLabel("init"), b.NewLabel("initd")
+	b.Label(initL)
+	b.BrI(ir.Ge, i, 5, initD)
+	slot := b.Add(best, b.ShlI(i, 4))
+	b.Store(slot, 0, b.Const(1<<62), 8)
+	b.Store(slot, 8, b.Const(0), 8)
+	b.AddIInto(i, i, 1)
+	b.Jmp(initL)
+	b.Label(initD)
+
+	rec := b.Frame(b.Buf("rec", 32), 0)
+	j := b.Const(0)
+	loop, done := b.NewLabel("scan"), b.NewLabel("scand")
+	b.Label(loop)
+	b.Br(ir.Ge, j, count, done)
+	b.CallV("mbuf_get_bytes", rbuf, curAddr, rec, b.Const(32))
+	id := b.Load(rec, 0, 8)
+	hlat := b.Load(rec, 8, 8)
+	hlon := b.Load(rec, 16, 8)
+	dlat := b.Sub(hlat, lat)
+	dlon := b.Sub(hlon, lon)
+	d := b.Add(b.Mul(dlat, dlat), b.Mul(dlon, dlon))
+	// Insertion into the top-5 (bubble the worst out).
+	k := b.Const(0)
+	insL, insD := b.NewLabel("ins"), b.NewLabel("insd")
+	b.Label(insL)
+	b.BrI(ir.Ge, k, 5, insD)
+	slot2 := b.Add(best, b.ShlI(k, 4))
+	cd := b.Load(slot2, 0, 8)
+	noSwap := b.NewLabel("nosw")
+	b.Br(ir.Ge, d, cd, noSwap)
+	// Swap (d,id) with the slot and continue pushing the displaced pair.
+	cid := b.Load(slot2, 8, 8)
+	b.Store(slot2, 0, d, 8)
+	b.Store(slot2, 8, id, 8)
+	b.MovInto(d, cd)
+	b.MovInto(id, cid)
+	b.Label(noSwap)
+	b.AddIInto(k, k, 1)
+	b.Jmp(insL)
+	b.Label(insD)
+	b.AddIInto(j, j, 1)
+	b.Jmp(loop)
+	b.Label(done)
+
+	b.CallV("mbuf_reset", resp)
+	b.CallV("mbuf_put_int", resp, b.Const(5))
+	o := b.Const(0)
+	el, ed := b.NewLabel("emit"), b.NewLabel("emitd")
+	b.Label(el)
+	b.BrI(ir.Ge, o, 5, ed)
+	slot3 := b.Add(best, b.ShlI(o, 4))
+	b.CallV("mbuf_put_int", resp, b.Load(slot3, 8, 8))
+	b.AddIInto(o, o, 1)
+	b.Jmp(el)
+	b.Label(ed)
+	b.Ret(b.Call("mbuf_len", resp))
+	m.AddFunc(b.Build())
+	return m
+}
+
+// HotelUserFn builds the user function: request {name, pass}; response
+// {ok:int}.
+func HotelUserFn(ch HotelChans) *ir.Module {
+	m := hotelBase("hotel-user", ch)
+	tg, tl := tableGlobal(m, "user")
+
+	b := ir.NewFunc(Handler, 3)
+	req, resp := b.Param(0), b.Param(2)
+	cur := newCursor(b, "cur")
+	name := b.Frame(b.Buf("name", 32), 0)
+	pass := b.Frame(b.Buf("pass", 32), 0)
+	nn := b.Call("mbuf_get_bytes", req, cur, name, b.Const(32))
+	pn := b.Call("mbuf_get_bytes", req, cur, pass, b.Const(32))
+
+	tgr := b.Global(tg, 0)
+	vaddr := b.Call("kv_get", b.Const(0), tgr, b.Const(tl), name, nn)
+	ok := b.Const(0)
+	deny := b.NewLabel("deny")
+	b.BrI(ir.Eq, vaddr, 0, deny)
+	stored := b.Load(vaddr, 0, 8)
+	h := b.Call("hp_hash", pass, pn)
+	b.Br(ir.Ne, stored, h, deny)
+	b.ConstInto(ok, 1)
+	b.Label(deny)
+
+	b.CallV("mbuf_reset", resp)
+	b.CallV("mbuf_put_int", resp, ok)
+	b.Ret(b.Call("mbuf_len", resp))
+	m.AddFunc(b.Build())
+	return m
+}
+
+// HotelRecommendFn builds the recommendation function: request
+// {mode:int (0 distance, 1 price), lat, lon}; response {count, ids...}.
+func HotelRecommendFn(ch HotelChans) *ir.Module {
+	m := hotelBase("hotel-recommendation", ch)
+	tg, tl := tableGlobal(m, "attrs")
+
+	b := ir.NewFunc(Handler, 3)
+	req, resp := b.Param(0), b.Param(2)
+	cur := newCursor(b, "cur")
+	mode := b.Call("mbuf_get_int", req, cur)
+	lat := b.Call("mbuf_get_int", req, cur)
+	lon := b.Call("mbuf_get_int", req, cur)
+
+	tgr := b.Global(tg, 0)
+	count := b.Call("kv_scan", b.Const(0), tgr, b.Const(tl), b.Const(0))
+	rbuf := b.Global("db_rbuf", 0)
+	st := b.Global("db_state", 0)
+	curAddr := b.AddI(st, 8)
+
+	best := b.Frame(b.Buf("best", 5*16), 0)
+	i := b.Const(0)
+	initL, initD := b.NewLabel("init"), b.NewLabel("initd")
+	b.Label(initL)
+	b.BrI(ir.Ge, i, 5, initD)
+	slot := b.Add(best, b.ShlI(i, 4))
+	b.Store(slot, 0, b.Const(1<<62), 8)
+	b.Store(slot, 8, b.Const(0), 8)
+	b.AddIInto(i, i, 1)
+	b.Jmp(initL)
+	b.Label(initD)
+
+	rec := b.Frame(b.Buf("rec", 32), 0)
+	j := b.Const(0)
+	loop, done := b.NewLabel("scan"), b.NewLabel("scand")
+	b.Label(loop)
+	b.Br(ir.Ge, j, count, done)
+	b.CallV("mbuf_get_bytes", rbuf, curAddr, rec, b.Const(32))
+	id := b.Load(rec, 0, 8)
+	var scoreReg ir.Reg
+	{
+		hlat := b.Load(rec, 8, 8)
+		hlon := b.Load(rec, 16, 8)
+		rate := b.Load(rec, 24, 8)
+		dlat := b.Sub(hlat, lat)
+		dlon := b.Sub(hlon, lon)
+		dist := b.Add(b.Mul(dlat, dlat), b.Mul(dlon, dlon))
+		scoreReg = b.Mov(dist)
+		byPrice := b.NewLabel("byprice")
+		rank := b.NewLabel("rank")
+		b.BrI(ir.Eq, mode, 1, byPrice)
+		b.Jmp(rank)
+		b.Label(byPrice)
+		b.MovInto(scoreReg, rate)
+		b.Label(rank)
+	}
+	k := b.Const(0)
+	insL, insD := b.NewLabel("ins"), b.NewLabel("insd")
+	b.Label(insL)
+	b.BrI(ir.Ge, k, 5, insD)
+	slot2 := b.Add(best, b.ShlI(k, 4))
+	cd := b.Load(slot2, 0, 8)
+	noSwap := b.NewLabel("nosw")
+	b.Br(ir.Ge, scoreReg, cd, noSwap)
+	cid := b.Load(slot2, 8, 8)
+	b.Store(slot2, 0, scoreReg, 8)
+	b.Store(slot2, 8, id, 8)
+	b.MovInto(scoreReg, cd)
+	b.MovInto(id, cid)
+	b.Label(noSwap)
+	b.AddIInto(k, k, 1)
+	b.Jmp(insL)
+	b.Label(insD)
+	b.AddIInto(j, j, 1)
+	b.Jmp(loop)
+	b.Label(done)
+
+	b.CallV("mbuf_reset", resp)
+	b.CallV("mbuf_put_int", resp, b.Const(5))
+	o := b.Const(0)
+	el, ed := b.NewLabel("emit"), b.NewLabel("emitd")
+	b.Label(el)
+	b.BrI(ir.Ge, o, 5, ed)
+	slot3 := b.Add(best, b.ShlI(o, 4))
+	b.CallV("mbuf_put_int", resp, b.Load(slot3, 8, 8))
+	b.AddIInto(o, o, 1)
+	b.Jmp(el)
+	b.Label(ed)
+	b.Ret(b.Call("mbuf_len", resp))
+	m.AddFunc(b.Build())
+	return m
+}
+
+// cachedFetch emits the look-aside pattern shared by rate and profile:
+// check memcached, fall back to the database, then populate the cache.
+// The fetched value sits in db_vbuf; returns its length (0 on miss).
+func cachedFetch(b *ir.Builder, tgr ir.Reg, tl int64, key ir.Reg, keyLen ir.Reg) ir.Reg {
+	st := b.Global("db_state", 0)
+	out := b.Const(0)
+	endL := b.NewLabel("cfend")
+	hitV := b.Call("kv_get", b.Const(1), tgr, b.Const(tl), key, keyLen)
+	missL := b.NewLabel("cfmiss")
+	b.BrI(ir.Eq, hitV, 0, missL)
+	b.MovInto(out, b.Load(st, 0, 8))
+	b.Jmp(endL)
+	b.Label(missL)
+	dbV := b.Call("kv_get", b.Const(0), tgr, b.Const(tl), key, keyLen)
+	b.BrI(ir.Eq, dbV, 0, endL)
+	// Populate the cache (value already staged in db_vbuf/db_state[0]).
+	vlen := b.Load(st, 0, 8)
+	b.CallV("kv_put", b.Const(1), tgr, b.Const(tl), key, keyLen)
+	// kv_put's reply overwrote db_rbuf but db_vbuf still holds the value;
+	// restore the length clobbered by nothing (kv_put preserves it).
+	b.Store(st, 0, vlen, 8)
+	b.MovInto(out, vlen)
+	b.Label(endL)
+	return out
+}
+
+// HotelRateFn builds the rate function: request {inDate, outDate, n,
+// ids...}; response {n × plans:bytes} via the memcached look-aside path —
+// like the DeathStarBench original, one cache/database round per hotel.
+func HotelRateFn(ch HotelChans) *ir.Module {
+	m := hotelBase("hotel-rate", ch)
+	tg, tl := tableGlobal(m, "rate")
+
+	b := ir.NewFunc(Handler, 3)
+	req, resp := b.Param(0), b.Param(2)
+	cur := newCursor(b, "cur")
+	_ = b.Call("mbuf_get_int", req, cur) // inDate
+	_ = b.Call("mbuf_get_int", req, cur) // outDate
+	n := b.Call("mbuf_get_int", req, cur)
+	caps := b.NewLabel("caps")
+	b.BrI(ir.Le, n, 4, caps)
+	b.ConstInto(n, 4)
+	b.Label(caps)
+
+	b.CallV("mbuf_reset", resp)
+	b.CallV("mbuf_put_int", resp, n)
+	tgr := b.Global(tg, 0)
+	vbuf := b.Global("db_vbuf", 0)
+	key := b.Frame(b.Buf("key", 8), 0)
+	i := b.Const(0)
+	loop, done := b.NewLabel("loop"), b.NewLabel("done")
+	b.Label(loop)
+	b.Br(ir.Ge, i, n, done)
+	id := b.Call("mbuf_get_int", req, cur)
+	b.Store(key, 0, id, 8)
+	vn := cachedFetch(b, tgr, tl, key, b.Const(8))
+	b.CallV("mbuf_put_bytes", resp, vbuf, vn)
+	b.AddIInto(i, i, 1)
+	b.Jmp(loop)
+	b.Label(done)
+	b.Ret(b.Call("mbuf_len", resp))
+	m.AddFunc(b.Build())
+	return m
+}
+
+// HotelProfileFn builds the profile function: request {n, ids...};
+// response {n × profile:bytes} — the heaviest payloads of the suite.
+func HotelProfileFn(ch HotelChans) *ir.Module {
+	m := hotelBase("hotel-profile", ch)
+	tg, tl := tableGlobal(m, "profile")
+
+	b := ir.NewFunc(Handler, 3)
+	req, resp := b.Param(0), b.Param(2)
+	cur := newCursor(b, "cur")
+	n := b.Call("mbuf_get_int", req, cur)
+	caps := b.NewLabel("caps")
+	b.BrI(ir.Le, n, 4, caps)
+	b.ConstInto(n, 4)
+	b.Label(caps)
+
+	b.CallV("mbuf_reset", resp)
+	b.CallV("mbuf_put_int", resp, n)
+	tgr := b.Global(tg, 0)
+	vbuf := b.Global("db_vbuf", 0)
+	key := b.Frame(b.Buf("key", 8), 0)
+	i := b.Const(0)
+	loop, done := b.NewLabel("loop"), b.NewLabel("done")
+	b.Label(loop)
+	b.Br(ir.Ge, i, n, done)
+	id := b.Call("mbuf_get_int", req, cur)
+	b.Store(key, 0, id, 8)
+	vn := cachedFetch(b, tgr, tl, key, b.Const(8))
+	b.CallV("mbuf_put_bytes", resp, vbuf, vn)
+	b.AddIInto(i, i, 1)
+	b.Jmp(loop)
+	b.Label(done)
+	b.Ret(b.Call("mbuf_len", resp))
+	m.AddFunc(b.Build())
+	return m
+}
+
+// HotelReservationFn builds the reservation function: request {hotelId,
+// inDate, outDate, rooms}; response {ok:int, booked:int}. Reads
+// availability through the cache, updates the database, refreshes the
+// cache.
+func HotelReservationFn(ch HotelChans) *ir.Module {
+	m := hotelBase("hotel-reservation", ch)
+	tg, tl := tableGlobal(m, "reservation")
+
+	b := ir.NewFunc(Handler, 3)
+	req, resp := b.Param(0), b.Param(2)
+	cur := newCursor(b, "cur")
+	id := b.Call("mbuf_get_int", req, cur)
+	_ = b.Call("mbuf_get_int", req, cur) // inDate
+	_ = b.Call("mbuf_get_int", req, cur) // outDate
+	rooms := b.Call("mbuf_get_int", req, cur)
+
+	key := b.Frame(b.Buf("key", 8), 0)
+	b.Store(key, 0, id, 8)
+	tgr := b.Global(tg, 0)
+	vn := cachedFetch(b, tgr, tl, key, b.Const(8))
+
+	vbuf := b.Global("db_vbuf", 0)
+	st := b.Global("db_state", 0)
+	ok := b.Const(0)
+	booked := b.Const(0)
+	out := b.NewLabel("out")
+	b.BrI(ir.Eq, vn, 0, out)
+	b.MovInto(booked, b.Load(vbuf, 0, 8))
+	capacity := b.Load(vbuf, 8, 8)
+	want := b.Add(booked, rooms)
+	full := b.NewLabel("full")
+	b.Br(ir.Gt, want, capacity, full)
+	// Commit: write back to the database and refresh the cache.
+	b.Store(vbuf, 0, want, 8)
+	b.Store(st, 0, b.Const(16), 8)
+	b.CallV("kv_put", b.Const(0), tgr, b.Const(tl), key, b.Const(8))
+	b.Store(st, 0, b.Const(16), 8)
+	b.CallV("kv_put", b.Const(1), tgr, b.Const(tl), key, b.Const(8))
+	b.ConstInto(ok, 1)
+	b.MovInto(booked, want)
+	b.Label(full)
+	b.Label(out)
+
+	b.CallV("mbuf_reset", resp)
+	b.CallV("mbuf_put_int", resp, ok)
+	b.CallV("mbuf_put_int", resp, booked)
+	b.Ret(b.Call("mbuf_len", resp))
+	m.AddFunc(b.Build())
+	return m
+}
+
+// HotelFuncs maps function names to their builders and whether they use
+// Memcached (Table 3.4).
+var HotelFuncs = []struct {
+	Name      string
+	Memcached bool
+	Build     func(HotelChans) *ir.Module
+}{
+	{"geo", false, HotelGeoFn},
+	{"recommendation", false, HotelRecommendFn},
+	{"user", false, HotelUserFn},
+	{"reservation", true, HotelReservationFn},
+	{"rate", true, HotelRateFn},
+	{"profile", true, HotelProfileFn},
+}
+
+// --- Request builders ---
+
+// GeoRequest encodes a nearest-hotels query.
+func GeoRequest(lat, lon int64) []byte {
+	w := rpc.NewWriter()
+	w.PutInt(uint64(lat))
+	w.PutInt(uint64(lon))
+	return w.Bytes()
+}
+
+// UserRequest encodes a login check.
+func UserRequest(u int, valid bool) []byte {
+	w := rpc.NewWriter()
+	w.PutBytes(HotelUserName(u))
+	pass := HotelUserPass(u)
+	if !valid {
+		pass = append([]byte(nil), pass...)
+		pass[0] ^= 0x55
+	}
+	w.PutBytes(pass)
+	return w.Bytes()
+}
+
+// RecommendRequest encodes a ranked recommendation query.
+func RecommendRequest(mode int, lat, lon int64) []byte {
+	w := rpc.NewWriter()
+	w.PutInt(uint64(mode))
+	w.PutInt(uint64(lat))
+	w.PutInt(uint64(lon))
+	return w.Bytes()
+}
+
+// RateRequest encodes a rate-plan query for several hotels.
+func RateRequest(in, out int, hotels ...int) []byte {
+	w := rpc.NewWriter()
+	w.PutInt(uint64(in))
+	w.PutInt(uint64(out))
+	w.PutInt(uint64(len(hotels)))
+	for _, h := range hotels {
+		w.PutInt(HotelID(h))
+	}
+	return w.Bytes()
+}
+
+// ProfileRequest encodes a multi-hotel profile fetch.
+func ProfileRequest(hotels ...int) []byte {
+	w := rpc.NewWriter()
+	w.PutInt(uint64(len(hotels)))
+	for _, h := range hotels {
+		w.PutInt(HotelID(h))
+	}
+	return w.Bytes()
+}
+
+// ReservationRequest encodes a booking.
+func ReservationRequest(hotel, in, out, rooms int) []byte {
+	w := rpc.NewWriter()
+	w.PutInt(HotelID(hotel))
+	w.PutInt(uint64(in))
+	w.PutInt(uint64(out))
+	w.PutInt(uint64(rooms))
+	return w.Bytes()
+}

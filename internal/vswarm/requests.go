@@ -1,0 +1,60 @@
+package vswarm
+
+import "svbench/internal/rpc"
+
+// Default request parameters, sized per DESIGN.md's scaling note.
+const (
+	DefaultFibN       = 30
+	DefaultAESPayload = 64
+)
+
+// FibRequest encodes a fibonacci request.
+func FibRequest(n int) []byte {
+	w := rpc.NewWriter()
+	w.PutInt(uint64(n))
+	return w.Bytes()
+}
+
+// AESKey returns the deterministic benchmark key.
+func AESKey() []byte {
+	k := make([]byte, 16)
+	for i := range k {
+		k[i] = byte(0x24*i + 7)
+	}
+	return k
+}
+
+// AESPayload returns a deterministic n-byte plaintext.
+func AESPayload(n int) []byte {
+	p := make([]byte, n)
+	x := uint32(0xA5A5A5A5)
+	for i := range p {
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		p[i] = byte(x)
+	}
+	return p
+}
+
+// AESRequest encodes an aes request for an n-byte payload.
+func AESRequest(n int) []byte {
+	w := rpc.NewWriter()
+	w.PutBytes(AESKey())
+	w.PutBytes(AESPayload(n))
+	return w.Bytes()
+}
+
+// AuthRequestMsg encodes an auth request for user i; valid selects whether
+// the token matches.
+func AuthRequestMsg(i int, valid bool) []byte {
+	name, token := AuthRequest(i)
+	if !valid {
+		token = append([]byte(nil), token...)
+		token[0] ^= 0xFF
+	}
+	w := rpc.NewWriter()
+	w.PutBytes(name)
+	w.PutBytes(token)
+	return w.Bytes()
+}

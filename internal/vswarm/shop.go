@@ -1,0 +1,458 @@
+package vswarm
+
+import (
+	"svbench/internal/ir"
+	"svbench/internal/rpc"
+)
+
+// The Online Shop application (vSwarm's port of Google's Online Boutique,
+// Table 3.3): six functions across the three runtimes.
+
+// Shop catalog geometry.
+const (
+	shopProducts   = 24
+	productRecSize = 64 // id(8) price(8) weight(8) namelen(8) name(32)
+)
+
+// shopProductName returns the catalog name of product i.
+func shopProductName(i int) string {
+	kinds := []string{"vintage-camera", "film-roll", "lens-kit", "tripod",
+		"flash-unit", "camera-bag", "光filter-set", "strap"}
+	_ = kinds
+	names := []string{
+		"vintage-camera", "film-roll-bw", "lens-kit-50mm", "tripod-carbon",
+		"flash-unit-pro", "camera-bag-xl", "filter-set-nd", "strap-leather",
+		"vintage-radio", "record-player", "speaker-kit", "amp-tube",
+		"headphones-hd", "mic-condenser", "mixer-4ch", "cable-xlr",
+		"watch-auto", "watch-quartz", "band-steel", "band-nato",
+		"glass-loupe", "cleaning-kit", "album-photo", "frame-wood",
+	}
+	return names[i%len(names)]
+}
+
+func shopCatalog() []byte {
+	out := make([]byte, 0, shopProducts*productRecSize)
+	put64 := func(b []byte, v uint64) {
+		for k := 0; k < 8; k++ {
+			b[k] = byte(v >> (8 * k))
+		}
+	}
+	for i := 0; i < shopProducts; i++ {
+		rec := make([]byte, productRecSize)
+		put64(rec[0:], uint64(1000+i))
+		put64(rec[8:], uint64(990+i*137)) // price in cents
+		put64(rec[16:], uint64(120+i*55)) // weight in grams
+		name := shopProductName(i)
+		put64(rec[24:], uint64(len(name)))
+		copy(rec[32:], name)
+		out = append(out, rec...)
+	}
+	return out
+}
+
+// ProductCatalog builds the product catalog service (Go): request
+// {query:bytes}; response {count:int, (id:int, price:int)*}.
+func ProductCatalog() *ir.Module {
+	m := ir.NewModule("productcatalog")
+	m.AddGlobal(&ir.Global{Name: "shop_catalog", Data: shopCatalog()})
+
+	// contains(hay, hayLen, needle, needleLen) -> 1 if substring.
+	{
+		b := ir.NewFunc("contains", 4)
+		hay, hn, nd, nn := b.Param(0), b.Param(1), b.Param(2), b.Param(3)
+		i := b.Const(0)
+		lim := b.Sub(hn, nn)
+		loop, done, yes := b.NewLabel("loop"), b.NewLabel("done"), b.NewLabel("yes")
+		b.Label(loop)
+		b.Br(ir.Gt, i, lim, done)
+		p := b.Add(hay, i)
+		r := b.Call("memcmp", p, nd, nn)
+		b.BrI(ir.Eq, r, 0, yes)
+		b.AddIInto(i, i, 1)
+		b.Jmp(loop)
+		b.Label(yes)
+		b.Ret(b.Const(1))
+		b.Label(done)
+		b.Ret(b.Const(0))
+		m.AddFunc(b.Build())
+	}
+
+	b := ir.NewFunc(Handler, 3)
+	req, resp := b.Param(0), b.Param(2)
+	cur := newCursor(b, "cur")
+	query := b.Frame(b.Buf("query", 64), 0)
+	qn := b.Call("mbuf_get_bytes", req, cur, query, b.Const(64))
+
+	b.CallV("mbuf_reset", resp)
+	cat := b.Global("shop_catalog", 0)
+	count := b.Const(0)
+	ids := b.Frame(b.Buf("ids", shopProducts*16), 0)
+	i := b.Const(0)
+	loop, done := b.NewLabel("loop"), b.NewLabel("done")
+	b.Label(loop)
+	b.BrI(ir.Ge, i, shopProducts, done)
+	rec := b.Add(cat, b.MulI(i, productRecSize))
+	nameLen := b.Load(rec, 24, 8)
+	name := b.AddI(rec, 32)
+	hit := b.Call("contains", name, nameLen, query, qn)
+	skip := b.NewLabel("skip")
+	b.BrI(ir.Eq, hit, 0, skip)
+	slot := b.Add(ids, b.ShlI(count, 4))
+	b.Store(slot, 0, b.Load(rec, 0, 8), 8)
+	b.Store(slot, 8, b.Load(rec, 8, 8), 8)
+	b.AddIInto(count, count, 1)
+	b.Label(skip)
+	b.AddIInto(i, i, 1)
+	b.Jmp(loop)
+	b.Label(done)
+
+	b.CallV("mbuf_put_int", resp, count)
+	j := b.Const(0)
+	l2, d2 := b.NewLabel("emit"), b.NewLabel("emitd")
+	b.Label(l2)
+	b.Br(ir.Ge, j, count, d2)
+	eslot := b.Add(ids, b.ShlI(j, 4))
+	b.CallV("mbuf_put_int", resp, b.Load(eslot, 0, 8))
+	b.CallV("mbuf_put_int", resp, b.Load(eslot, 8, 8))
+	b.AddIInto(j, j, 1)
+	b.Jmp(l2)
+	b.Label(d2)
+	b.Ret(b.Call("mbuf_len", resp))
+	m.AddFunc(b.Build())
+	return m
+}
+
+// Shipping builds the shipping quote service (Go): request
+// {zip:int, nitems:int, (productIdx:int, qty:int)*}; response {quote:int}.
+func Shipping() *ir.Module {
+	m := ir.NewModule("shipping")
+	m.AddGlobal(&ir.Global{Name: "shop_catalog", Data: shopCatalog()})
+
+	b := ir.NewFunc(Handler, 3)
+	req, resp := b.Param(0), b.Param(2)
+	cur := newCursor(b, "cur")
+	zip := b.Call("mbuf_get_int", req, cur)
+	n := b.Call("mbuf_get_int", req, cur)
+	cat := b.Global("shop_catalog", 0)
+
+	grams := b.Const(0)
+	i := b.Const(0)
+	loop, done := b.NewLabel("loop"), b.NewLabel("done")
+	b.Label(loop)
+	b.Br(ir.Ge, i, n, done)
+	idx := b.Call("mbuf_get_int", req, cur)
+	qty := b.Call("mbuf_get_int", req, cur)
+	rec := b.Add(cat, b.MulI(b.RemU(idx, b.Const(shopProducts)), productRecSize))
+	w := b.Load(rec, 16, 8)
+	b.AddInto(grams, grams, b.Mul(w, qty))
+	b.AddIInto(i, i, 1)
+	b.Jmp(loop)
+	b.Label(done)
+
+	// Zone distance from the zip code, then the tariff formula.
+	zone := b.RemU(zip, b.Const(9))
+	dist := b.MulI(b.AddI(zone, 1), 173)
+	perKg := b.AddI(b.MulI(dist, 3), 499)
+	kg100 := b.DivU(b.MulI(grams, 100), b.Const(1000)) // hundredths of kg
+	quote := b.DivU(b.Mul(kg100, perKg), b.Const(100))
+	quote = b.AddI(quote, 299) // base fee
+
+	b.CallV("mbuf_reset", resp)
+	b.CallV("mbuf_put_int", resp, quote)
+	b.Ret(b.Call("mbuf_len", resp))
+	m.AddFunc(b.Build())
+	return m
+}
+
+// Recommendation builds the shop recommendation service (Python): request
+// {userId:int, k:int}; response {k product ids}. It scores the catalog
+// with a hash mix and selects the top-k by repeated maximum selection.
+func Recommendation() *ir.Module {
+	m := ir.NewModule("recommendationservice")
+	m.AddGlobal(&ir.Global{Name: "shop_catalog", Data: shopCatalog()})
+
+	b := ir.NewFunc(Handler, 3)
+	req, resp := b.Param(0), b.Param(2)
+	cur := newCursor(b, "cur")
+	user := b.Call("mbuf_get_int", req, cur)
+	k := b.Call("mbuf_get_int", req, cur)
+	caps := b.NewLabel("caps")
+	b.BrI(ir.Le, k, 8, caps)
+	b.ConstInto(k, 8)
+	b.Label(caps)
+
+	scores := b.Frame(b.Buf("scores", shopProducts*8), 0)
+	cat := b.Global("shop_catalog", 0)
+	i := b.Const(0)
+	sl, sd := b.NewLabel("score"), b.NewLabel("scored")
+	b.Label(sl)
+	b.BrI(ir.Ge, i, shopProducts, sd)
+	rec := b.Add(cat, b.MulI(i, productRecSize))
+	id := b.Load(rec, 0, 8)
+	mix := b.Xor(b.MulI(id, 0x9E3779B1), b.MulI(user, 0x85EBCA77))
+	mix = b.Xor(mix, b.ShrI(mix, 13))
+	mix = b.AndI(mix, 0x7FFFFFFF)
+	b.Store(b.Add(scores, b.ShlI(i, 3)), 0, mix, 8)
+	b.AddIInto(i, i, 1)
+	b.Jmp(sl)
+	b.Label(sd)
+
+	b.CallV("mbuf_reset", resp)
+	b.CallV("mbuf_put_int", resp, k)
+	// Top-k selection: find and clear the max k times.
+	r := b.Const(0)
+	ol, od := b.NewLabel("outer"), b.NewLabel("outerd")
+	b.Label(ol)
+	b.Br(ir.Ge, r, k, od)
+	best := b.Const(-1)
+	bestIdx := b.Const(0)
+	j := b.Const(0)
+	il, id2 := b.NewLabel("inner"), b.NewLabel("innerd")
+	b.Label(il)
+	b.BrI(ir.Ge, j, shopProducts, id2)
+	sc := b.Load(b.Add(scores, b.ShlI(j, 3)), 0, 8)
+	le := b.NewLabel("le")
+	b.Br(ir.Le, sc, best, le)
+	b.MovInto(best, sc)
+	b.MovInto(bestIdx, j)
+	b.Label(le)
+	b.AddIInto(j, j, 1)
+	b.Jmp(il)
+	b.Label(id2)
+	b.Store(b.Add(scores, b.ShlI(bestIdx, 3)), 0, b.Const(-1), 8)
+	b.CallV("mbuf_put_int", resp, b.AddI(bestIdx, 1000))
+	b.AddIInto(r, r, 1)
+	b.Jmp(ol)
+	b.Label(od)
+	b.Ret(b.Call("mbuf_len", resp))
+	m.AddFunc(b.Build())
+	return m
+}
+
+const emailTemplate = "Hello @! Your order #@ has shipped. Thank you for shopping " +
+	"with the boutique. Track your parcel in the app. With kind regards, the shop team."
+
+// Email builds the email rendering service (Python): request
+// {name:bytes, order:int}; response {rendered:bytes}.
+func Email() *ir.Module {
+	m := ir.NewModule("emailservice")
+	m.AddGlobal(&ir.Global{Name: "email_tmpl", Data: []byte(emailTemplate)})
+
+	b := ir.NewFunc(Handler, 3)
+	req, resp := b.Param(0), b.Param(2)
+	cur := newCursor(b, "cur")
+	name := b.Frame(b.Buf("name", 64), 0)
+	nn := b.Call("mbuf_get_bytes", req, cur, name, b.Const(64))
+	order := b.Call("mbuf_get_int", req, cur)
+
+	out := b.Frame(b.Buf("out", 512), 0)
+	tmpl := b.Global("email_tmpl", 0)
+	tl := b.Const(int64(len(emailTemplate)))
+	oi := b.Const(0)
+	ti := b.Const(0)
+	loop, done := b.NewLabel("loop"), b.NewLabel("done")
+	sub := b.NewLabel("sub")
+	cont := b.NewLabel("cont")
+	first := b.Const(1)
+	b.Label(loop)
+	b.Br(ir.Ge, ti, tl, done)
+	c := b.LoadU(b.Add(tmpl, ti), 0, 1)
+	b.BrI(ir.Eq, c, '@', sub)
+	b.Store(b.Add(out, oi), 0, c, 1)
+	b.AddIInto(oi, oi, 1)
+	b.Jmp(cont)
+	b.Label(sub)
+	isOrder := b.NewLabel("isord")
+	b.BrI(ir.Eq, first, 0, isOrder)
+	// Substitute the customer name.
+	b.CallV("memcpy", b.Add(out, oi), name, nn)
+	b.AddInto(oi, oi, nn)
+	b.ConstInto(first, 0)
+	b.Jmp(cont)
+	b.Label(isOrder)
+	// Substitute the order number as decimal digits (reversed-then-
+	// swapped in place).
+	v := b.Mov(order)
+	start := b.Mov(oi)
+	dl, dd := b.NewLabel("dig"), b.NewLabel("digd")
+	b.Label(dl)
+	d := b.RemU(v, b.Const(10))
+	b.Store(b.Add(out, oi), 0, b.AddI(d, '0'), 1)
+	b.AddIInto(oi, oi, 1)
+	b.MovInto(v, b.DivU(v, b.Const(10)))
+	b.BrI(ir.Eq, v, 0, dd)
+	b.Jmp(dl)
+	b.Label(dd)
+	// Reverse the digits.
+	lo := b.Mov(start)
+	hi := b.AddI(oi, -1)
+	rl, rd := b.NewLabel("rev"), b.NewLabel("revd")
+	b.Label(rl)
+	b.Br(ir.Ge, lo, hi, rd)
+	cl := b.LoadU(b.Add(out, lo), 0, 1)
+	ch := b.LoadU(b.Add(out, hi), 0, 1)
+	b.Store(b.Add(out, lo), 0, ch, 1)
+	b.Store(b.Add(out, hi), 0, cl, 1)
+	b.AddIInto(lo, lo, 1)
+	b.AddIInto(hi, hi, -1)
+	b.Jmp(rl)
+	b.Label(rd)
+	b.Label(cont)
+	b.AddIInto(ti, ti, 1)
+	b.Jmp(loop)
+	b.Label(done)
+
+	b.CallV("mbuf_reset", resp)
+	b.CallV("mbuf_put_bytes", resp, out, oi)
+	b.Ret(b.Call("mbuf_len", resp))
+	m.AddFunc(b.Build())
+	return m
+}
+
+// Currency rates in millionths of the base unit.
+var currencyRates = []uint64{1000000, 920000, 1310000, 148950, 790330, 680110, 1520000, 109240}
+
+func currencyTable() []byte {
+	out := make([]byte, 8*len(currencyRates))
+	for i, r := range currencyRates {
+		for k := 0; k < 8; k++ {
+			out[i*8+k] = byte(r >> (8 * k))
+		}
+	}
+	return out
+}
+
+// Currency builds the conversion service (Node.js): request
+// {amount:int, from:int, to:int}; response {converted:int}. Fixed-point
+// through 128-bit-free integer math: (amount*rate[from])/rate[to].
+func Currency() *ir.Module {
+	m := ir.NewModule("currencyservice")
+	m.AddGlobal(&ir.Global{Name: "fx_rates", Data: currencyTable()})
+
+	b := ir.NewFunc(Handler, 3)
+	req, resp := b.Param(0), b.Param(2)
+	cur := newCursor(b, "cur")
+	amount := b.Call("mbuf_get_int", req, cur)
+	from := b.Call("mbuf_get_int", req, cur)
+	to := b.Call("mbuf_get_int", req, cur)
+	n := int64(len(currencyRates))
+	rates := b.Global("fx_rates", 0)
+	rf := b.Load(b.Add(rates, b.ShlI(b.RemU(from, b.Const(n)), 3)), 0, 8)
+	rt := b.Load(b.Add(rates, b.ShlI(b.RemU(to, b.Const(n)), 3)), 0, 8)
+	conv := b.DivU(b.Mul(amount, rf), rt)
+
+	b.CallV("mbuf_reset", resp)
+	b.CallV("mbuf_put_int", resp, conv)
+	b.Ret(b.Call("mbuf_len", resp))
+	m.AddFunc(b.Build())
+	return m
+}
+
+// Payment builds the payment service (Node.js): request {card:bytes,
+// amount:int}; response {ok:int, txn:int}. The card is validated with the
+// Luhn checksum.
+func Payment() *ir.Module {
+	m := ir.NewModule("paymentservice")
+
+	b := ir.NewFunc(Handler, 3)
+	req, resp := b.Param(0), b.Param(2)
+	cur := newCursor(b, "cur")
+	card := b.Frame(b.Buf("card", 32), 0)
+	cn := b.Call("mbuf_get_bytes", req, cur, card, b.Const(32))
+	amount := b.Call("mbuf_get_int", req, cur)
+	_ = amount
+
+	// Luhn: from the rightmost digit, double every second digit.
+	sum := b.Const(0)
+	i := b.AddI(cn, -1)
+	dbl := b.Const(0)
+	loop, done := b.NewLabel("loop"), b.NewLabel("done")
+	b.Label(loop)
+	b.BrI(ir.Lt, i, 0, done)
+	d := b.AddI(b.LoadU(b.Add(card, i), 0, 1), -'0')
+	noDbl := b.NewLabel("nodbl")
+	b.BrI(ir.Eq, dbl, 0, noDbl)
+	b.MovInto(d, b.ShlI(d, 1))
+	small := b.NewLabel("small")
+	b.BrI(ir.Lt, d, 10, small)
+	b.MovInto(d, b.AddI(d, -9))
+	b.Label(small)
+	b.Label(noDbl)
+	b.AddInto(sum, sum, d)
+	b.XorInto(dbl, dbl, b.Const(1))
+	b.AddIInto(i, i, -1)
+	b.Jmp(loop)
+	b.Label(done)
+	rem := b.RemU(sum, b.Const(10))
+	ok := b.Set(ir.Eq, rem, b.Const(0))
+	txn := b.Call("fnv64", card, cn)
+	txn = b.AndI(txn, 0x7FFFFFFF)
+
+	b.CallV("mbuf_reset", resp)
+	b.CallV("mbuf_put_int", resp, ok)
+	b.CallV("mbuf_put_int", resp, txn)
+	b.Ret(b.Call("mbuf_len", resp))
+	m.AddFunc(b.Build())
+	return m
+}
+
+// --- Request builders ---
+
+// CatalogRequest encodes a product search.
+func CatalogRequest(query string) []byte {
+	w := rpc.NewWriter()
+	w.PutString(query)
+	return w.Bytes()
+}
+
+// ShippingRequest encodes a quote request for item (index, qty) pairs.
+func ShippingRequest(zip int, items [][2]int) []byte {
+	w := rpc.NewWriter()
+	w.PutInt(uint64(zip))
+	w.PutInt(uint64(len(items)))
+	for _, it := range items {
+		w.PutInt(uint64(it[0]))
+		w.PutInt(uint64(it[1]))
+	}
+	return w.Bytes()
+}
+
+// RecommendationRequest encodes a top-k recommendation query.
+func RecommendationRequest(user, k int) []byte {
+	w := rpc.NewWriter()
+	w.PutInt(uint64(user))
+	w.PutInt(uint64(k))
+	return w.Bytes()
+}
+
+// EmailRequest encodes an order-confirmation rendering request.
+func EmailRequest(name string, order int) []byte {
+	w := rpc.NewWriter()
+	w.PutString(name)
+	w.PutInt(uint64(order))
+	return w.Bytes()
+}
+
+// CurrencyRequest encodes a conversion request.
+func CurrencyRequest(amount uint64, from, to int) []byte {
+	w := rpc.NewWriter()
+	w.PutInt(amount)
+	w.PutInt(uint64(from))
+	w.PutInt(uint64(to))
+	return w.Bytes()
+}
+
+// PaymentRequest encodes a charge request. ValidCard generates a
+// Luhn-valid number.
+func PaymentRequest(card string, amount uint64) []byte {
+	w := rpc.NewWriter()
+	w.PutString(card)
+	w.PutInt(amount)
+	return w.Bytes()
+}
+
+// ValidCard returns a 16-digit Luhn-valid card number.
+func ValidCard() string {
+	digits := []byte("4242424242424242")
+	return string(digits)
+}

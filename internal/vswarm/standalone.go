@@ -1,0 +1,421 @@
+// Package vswarm re-implements the vSwarm benchmark workloads against the
+// portable IR: the standalone functions (Fibonacci, AES, Auth — Table 3.2),
+// the Online Shop application (Table 3.3) and the Hotel reservation
+// application (Table 3.4). Each workload exports a handler function with
+// the contract handler(reqPtr, reqLen, respPtr) -> respLen over the rpc
+// wire format; the language runtime wrappers (internal/langrt) turn a
+// handler into a complete container program.
+package vswarm
+
+import (
+	"svbench/internal/ir"
+)
+
+// Handler names the entry point of every workload module.
+const Handler = "handler"
+
+// newCursor allocates the message-read cursor in the builder's frame and
+// initializes it past the wire header.
+func newCursor(b *ir.Builder, name string) ir.Reg {
+	cur := b.Frame(b.Buf(name, 8), 0)
+	b.Store(cur, 0, b.Const(8), 8)
+	return cur
+}
+
+// Fibonacci builds the fibonacci workload: request {n:int},
+// response {fib(n):int}.
+func Fibonacci() *ir.Module {
+	m := ir.NewModule("fibonacci")
+	b := ir.NewFunc(Handler, 3)
+	req, resp := b.Param(0), b.Param(2)
+	cur := newCursor(b, "cur")
+	n := b.Call("mbuf_get_int", req, cur)
+
+	x := b.Const(0)
+	y := b.Const(1)
+	i := b.Const(0)
+	loop, done := b.NewLabel("loop"), b.NewLabel("done")
+	b.Label(loop)
+	b.Br(ir.Ge, i, n, done)
+	t := b.Add(x, y)
+	b.MovInto(x, y)
+	b.MovInto(y, t)
+	b.AddIInto(i, i, 1)
+	b.Jmp(loop)
+	b.Label(done)
+
+	b.CallV("mbuf_reset", resp)
+	b.CallV("mbuf_put_int", resp, x)
+	b.Ret(b.Call("mbuf_len", resp))
+	m.AddFunc(b.Build())
+	return m
+}
+
+// aesSbox generates the standard AES S-box.
+func aesSbox() []byte {
+	var sbox [256]byte
+	rotl := func(x byte, n uint) byte { return x<<n | x>>(8-n) }
+	p, q := byte(1), byte(1)
+	sbox[0] = 0x63
+	for {
+		// p := p * 3 in GF(2^8)
+		if p&0x80 != 0 {
+			p = p ^ (p << 1) ^ 0x1B
+		} else {
+			p = p ^ (p << 1)
+		}
+		// q := q / 3 (q *= 0xf6 inverse walk)
+		q ^= q << 1
+		q ^= q << 2
+		q ^= q << 4
+		if q&0x80 != 0 {
+			q ^= 0x09
+		}
+		sbox[p] = q ^ rotl(q, 1) ^ rotl(q, 2) ^ rotl(q, 3) ^ rotl(q, 4) ^ 0x63
+		if p == 1 {
+			break
+		}
+	}
+	return sbox[:]
+}
+
+// aesXtime generates the GF(2^8) multiply-by-two table.
+func aesXtime() []byte {
+	t := make([]byte, 256)
+	for i := 0; i < 256; i++ {
+		v := i << 1
+		if i&0x80 != 0 {
+			v ^= 0x1B
+		}
+		t[i] = byte(v)
+	}
+	return t
+}
+
+// AES builds the aes workload: a genuine AES-128 ECB encryption of the
+// request payload. Request {key:bytes16, plain:bytes}; response
+// {cipher:bytes}. The S-box and xtime lookups drive data-cache behaviour,
+// exactly like the reference implementation the suite ships.
+func AES() *ir.Module {
+	m := ir.NewModule("aes")
+	m.AddGlobal(&ir.Global{Name: "aes_sbox", Data: aesSbox()})
+	m.AddGlobal(&ir.Global{Name: "aes_xtime", Data: aesXtime()})
+	m.AddGlobal(&ir.Global{Name: "aes_rcon", Data: []byte{0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36}})
+
+	// aes_expand_key(key, rks): 176-byte AES-128 key schedule.
+	{
+		b := ir.NewFunc("aes_expand_key", 2)
+		key, rks := b.Param(0), b.Param(1)
+		b.CallV("memcpy", rks, key, b.Const(16))
+		sbox := b.Global("aes_sbox", 0)
+		rcon := b.Global("aes_rcon", 0)
+		i := b.Const(4) // word index 4..43
+		loop, done := b.NewLabel("loop"), b.NewLabel("done")
+		b.Label(loop)
+		b.BrI(ir.Ge, i, 44, done)
+		prev := b.ShlI(b.AddI(i, -1), 2) // byte offset of word i-1
+		p := b.Add(rks, prev)
+		t0 := b.LoadU(p, 0, 1)
+		t1 := b.LoadU(p, 1, 1)
+		t2 := b.LoadU(p, 2, 1)
+		t3 := b.LoadU(p, 3, 1)
+		rem := b.AndI(i, 3)
+		noRot := b.NewLabel("norot")
+		b.BrI(ir.Ne, rem, 0, noRot)
+		// RotWord + SubWord + Rcon.
+		r0 := b.LoadU(b.Add(sbox, t1), 0, 1)
+		r1 := b.LoadU(b.Add(sbox, t2), 0, 1)
+		r2 := b.LoadU(b.Add(sbox, t3), 0, 1)
+		r3 := b.LoadU(b.Add(sbox, t0), 0, 1)
+		idx := b.SraI(i, 2)
+		rc := b.LoadU(b.Add(rcon, b.AddI(idx, -1)), 0, 1)
+		b.MovInto(t0, b.Xor(r0, rc))
+		b.MovInto(t1, r1)
+		b.MovInto(t2, r2)
+		b.MovInto(t3, r3)
+		b.Label(noRot)
+		back := b.ShlI(b.AddI(i, -4), 2)
+		q := b.Add(rks, back)
+		w0 := b.Xor(b.LoadU(q, 0, 1), t0)
+		w1 := b.Xor(b.LoadU(q, 1, 1), t1)
+		w2 := b.Xor(b.LoadU(q, 2, 1), t2)
+		w3 := b.Xor(b.LoadU(q, 3, 1), t3)
+		dst := b.Add(rks, b.ShlI(i, 2))
+		b.Store(dst, 0, w0, 1)
+		b.Store(dst, 1, w1, 1)
+		b.Store(dst, 2, w2, 1)
+		b.Store(dst, 3, w3, 1)
+		b.AddIInto(i, i, 1)
+		b.Jmp(loop)
+		b.Label(done)
+		b.Ret0()
+		f := b.Build()
+		f.Lib = true // C-extension crypto in the interpreted runtimes
+		m.AddFunc(f)
+	}
+
+	// aes_encrypt_block(state, rks): in-place AES-128 block encryption.
+	// Structured as a round loop over shared helpers, as the reference C
+	// implementations are — keeping register pressure realistic.
+	{
+		b := ir.NewFunc("aes_encrypt_block", 2)
+		st, rks := b.Param(0), b.Param(1)
+		sbox := b.Global("aes_sbox", 0)
+		xt := b.Global("aes_xtime", 0)
+		tmp := b.Frame(b.Buf("tmp", 16), 0)
+
+		// addRK(roundReg): state ^= roundKey[round].
+		round := b.Const(0)
+		addRK := func() {
+			rk := b.Add(rks, b.ShlI(round, 4))
+			i := b.Const(0)
+			loop, done := b.NewLabel("ark"), b.NewLabel("arkd")
+			b.Label(loop)
+			b.BrI(ir.Ge, i, 16, done)
+			sv := b.LoadU(b.Add(st, i), 0, 1)
+			kv := b.LoadU(b.Add(rk, i), 0, 1)
+			b.Store(b.Add(st, i), 0, b.Xor(sv, kv), 1)
+			b.AddIInto(i, i, 1)
+			b.Jmp(loop)
+			b.Label(done)
+		}
+		subShift := func() {
+			// tmp[r+4c] = sbox[st[r + 4((c+r)%4)]] with i = r+4c.
+			i := b.Const(0)
+			loop, done := b.NewLabel("ss"), b.NewLabel("ssd")
+			b.Label(loop)
+			b.BrI(ir.Ge, i, 16, done)
+			r := b.AndI(i, 3)
+			c := b.ShrI(i, 2)
+			rot := b.AndI(b.Add(c, r), 3)
+			src := b.Add(r, b.ShlI(rot, 2))
+			v := b.LoadU(b.Add(st, src), 0, 1)
+			sv := b.LoadU(b.Add(sbox, v), 0, 1)
+			b.Store(b.Add(tmp, i), 0, sv, 1)
+			b.AddIInto(i, i, 1)
+			b.Jmp(loop)
+			b.Label(done)
+			b.CallV("memcpy", st, tmp, b.Const(16))
+		}
+		mix := func() {
+			c := b.Const(0)
+			loop, done := b.NewLabel("mix"), b.NewLabel("mixd")
+			b.Label(loop)
+			b.BrI(ir.Ge, c, 16, done)
+			col := b.Add(st, c)
+			a0 := b.LoadU(col, 0, 1)
+			a1 := b.LoadU(col, 1, 1)
+			a2 := b.LoadU(col, 2, 1)
+			a3 := b.LoadU(col, 3, 1)
+			x0 := b.LoadU(b.Add(xt, a0), 0, 1)
+			x1 := b.LoadU(b.Add(xt, a1), 0, 1)
+			x2 := b.LoadU(b.Add(xt, a2), 0, 1)
+			x3 := b.LoadU(b.Add(xt, a3), 0, 1)
+			b0 := b.Xor(x0, b.Xor(b.Xor(x1, a1), b.Xor(a2, a3)))
+			b1 := b.Xor(a0, b.Xor(x1, b.Xor(b.Xor(x2, a2), a3)))
+			b2 := b.Xor(a0, b.Xor(a1, b.Xor(x2, b.Xor(x3, a3))))
+			b3 := b.Xor(b.Xor(x0, a0), b.Xor(a1, b.Xor(a2, x3)))
+			b.Store(col, 0, b0, 1)
+			b.Store(col, 1, b1, 1)
+			b.Store(col, 2, b2, 1)
+			b.Store(col, 3, b3, 1)
+			b.AddIInto(c, c, 4)
+			b.Jmp(loop)
+			b.Label(done)
+		}
+
+		addRK() // round 0
+		rounds, roundsDone := b.NewLabel("rounds"), b.NewLabel("roundsd")
+		b.AddIInto(round, round, 1)
+		b.Label(rounds)
+		b.BrI(ir.Gt, round, 9, roundsDone)
+		subShift()
+		mix()
+		addRK()
+		b.AddIInto(round, round, 1)
+		b.Jmp(rounds)
+		b.Label(roundsDone)
+		subShift()
+		b.ConstInto(round, 10)
+		addRK()
+		b.Ret0()
+		f := b.Build()
+		f.Lib = true // C-extension crypto in the interpreted runtimes
+		m.AddFunc(f)
+	}
+
+	// handler(req, reqLen, resp): ECB-encrypt the payload.
+	{
+		b := ir.NewFunc(Handler, 3)
+		req, resp := b.Param(0), b.Param(2)
+		cur := newCursor(b, "cur")
+		key := b.Frame(b.Buf("key", 16), 0)
+		data := b.Frame(b.Buf("data", 1024), 0)
+		rks := b.Frame(b.Buf("rks", 176), 0)
+		b.CallV("mbuf_get_bytes", req, cur, key, b.Const(16))
+		n := b.Call("mbuf_get_bytes", req, cur, data, b.Const(1024))
+		b.CallV("aes_expand_key", key, rks)
+		// Round down to whole blocks, minimum one.
+		blocks := b.AndI(n, ^int64(15))
+		atLeast := b.NewLabel("nz")
+		b.BrI(ir.Ne, blocks, 0, atLeast)
+		b.MovInto(blocks, b.Const(16))
+		b.Label(atLeast)
+		off := b.Const(0)
+		loop, done := b.NewLabel("blk"), b.NewLabel("blkd")
+		b.Label(loop)
+		b.Br(ir.Ge, off, blocks, done)
+		b.CallV("aes_encrypt_block", b.Add(data, off), rks)
+		b.AddIInto(off, off, 16)
+		b.Jmp(loop)
+		b.Label(done)
+		b.CallV("mbuf_reset", resp)
+		b.CallV("mbuf_put_bytes", resp, data, blocks)
+		b.Ret(b.Call("mbuf_len", resp))
+		m.AddFunc(b.Build())
+	}
+	return m
+}
+
+// authUsers synthesizes the credential table: 16 users of
+// (nameHash, tokenHash) pairs, hashed exactly as the handler hashes.
+func authUsers() []byte {
+	out := make([]byte, 0, 16*16)
+	for i := 0; i < 16; i++ {
+		name := authName(i)
+		token := authToken(i)
+		nh := chainedFNV(name)
+		th := chainedFNV(token)
+		var b [16]byte
+		for k := 0; k < 8; k++ {
+			b[k] = byte(nh >> (8 * k))
+			b[8+k] = byte(th >> (8 * k))
+		}
+		out = append(out, b[:]...)
+	}
+	return out
+}
+
+// AuthName returns the i-th synthetic user name.
+func authName(i int) []byte {
+	return []byte("user-" + string(rune('a'+i%26)) + "-credential")
+}
+
+// AuthToken returns the i-th synthetic bearer token.
+func authToken(i int) []byte {
+	t := make([]byte, 24)
+	x := uint32(i*2654435761 + 12345)
+	for k := range t {
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		t[k] = 'A' + byte(x%26)
+	}
+	return t
+}
+
+// AuthRequest returns (name, token) for user i — helpers for clients.
+func AuthRequest(i int) ([]byte, []byte) { return authName(i), authToken(i) }
+
+// chainedFNV mirrors the handler's 8-round chained FNV-1a hash.
+func chainedFNV(p []byte) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for round := 0; round < 8; round++ {
+		for _, c := range p {
+			h ^= uint64(c)
+			h *= 0x100000001b3
+		}
+		h ^= h >> 29
+	}
+	return h
+}
+
+// Auth builds the auth workload: request {name:bytes, token:bytes};
+// response {granted:int, session:int}. The handler hashes the credentials
+// with an 8-round chained FNV (the HMAC stand-in) and scans the user
+// table.
+func Auth() *ir.Module {
+	m := ir.NewModule("auth")
+	m.AddGlobal(&ir.Global{Name: "auth_users", Data: authUsers()})
+
+	// auth_hash(p, n): the 8-round chained hash.
+	{
+		b := ir.NewFunc("auth_hash", 2)
+		p, n := b.Param(0), b.Param(1)
+		h := b.Const(-3750763034362895579)
+		prime := b.Const(0x100000001b3)
+		r := b.Const(0)
+		rl, rd := b.NewLabel("rl"), b.NewLabel("rd")
+		b.Label(rl)
+		b.BrI(ir.Ge, r, 8, rd)
+		i := b.Const(0)
+		il, id := b.NewLabel("il"), b.NewLabel("id")
+		b.Label(il)
+		b.Br(ir.Ge, i, n, id)
+		c := b.LoadU(b.Add(p, i), 0, 1)
+		b.XorInto(h, h, c)
+		b.MulInto(h, h, prime)
+		b.AddIInto(i, i, 1)
+		b.Jmp(il)
+		b.Label(id)
+		sh := b.ShrI(h, 29)
+		b.XorInto(h, h, sh)
+		b.AddIInto(r, r, 1)
+		b.Jmp(rl)
+		b.Label(rd)
+		b.Ret(h)
+		f := b.Build()
+		f.Lib = true // hashlib-style C extension in the interpreted runtimes
+		m.AddFunc(f)
+	}
+
+	{
+		b := ir.NewFunc(Handler, 3)
+		req, resp := b.Param(0), b.Param(2)
+		cur := newCursor(b, "cur")
+		name := b.Frame(b.Buf("name", 64), 0)
+		token := b.Frame(b.Buf("token", 64), 0)
+		nn := b.Call("mbuf_get_bytes", req, cur, name, b.Const(64))
+		tn := b.Call("mbuf_get_bytes", req, cur, token, b.Const(64))
+		nh := b.Call("auth_hash", name, nn)
+		th := b.Call("auth_hash", token, tn)
+
+		users := b.Global("auth_users", 0)
+		granted := b.Const(0)
+		i := b.Const(0)
+		loop, done, hit := b.NewLabel("loop"), b.NewLabel("done"), b.NewLabel("hit")
+		b.Label(loop)
+		b.BrI(ir.Ge, i, 16, done)
+		e := b.Add(users, b.ShlI(i, 4))
+		un := b.Load(e, 0, 8)
+		b.Br(ir.Ne, un, nh, nextUser(b, i, loop))
+		ut := b.Load(e, 8, 8)
+		b.Br(ir.Eq, ut, th, hit)
+		b.AddIInto(i, i, 1)
+		b.Jmp(loop)
+		b.Label(hit)
+		b.ConstInto(granted, 1)
+		b.Label(done)
+
+		session := b.Xor(nh, th)
+		b.CallV("mbuf_reset", resp)
+		b.CallV("mbuf_put_int", resp, granted)
+		b.CallV("mbuf_put_int", resp, b.AndI(session, 0x7FFFFFFF))
+		b.Ret(b.Call("mbuf_len", resp))
+		m.AddFunc(b.Build())
+	}
+	return m
+}
+
+// nextUser emits the advance-and-continue step for the scan loop and
+// returns its label.
+func nextUser(b *ir.Builder, i ir.Reg, loop string) string {
+	skipTo := b.NewLabel("nextu")
+	cont := b.NewLabel("cont")
+	b.Jmp(cont)
+	b.Label(skipTo)
+	b.AddIInto(i, i, 1)
+	b.Jmp(loop)
+	b.Label(cont)
+	return skipTo
+}

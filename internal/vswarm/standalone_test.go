@@ -1,0 +1,152 @@
+package vswarm_test
+
+import (
+	"bytes"
+	"crypto/aes"
+	"fmt"
+	"testing"
+
+	"svbench/internal/harness"
+	"svbench/internal/ir"
+	"svbench/internal/isa"
+	"svbench/internal/langrt"
+	"svbench/internal/rpc"
+	"svbench/internal/vswarm"
+)
+
+func run(t *testing.T, arch isa.Arch, rt langrt.Runtime, name string,
+	build func() *ir.Module, req []byte) *harness.Result {
+	t.Helper()
+	res, err := harness.Run(arch, harness.Spec{
+		Name:    name,
+		Runtime: rt,
+		Build:   func(*harness.Env) (*ir.Module, error) { return build(), nil },
+		Request: func() []byte { return req },
+	})
+	if err != nil {
+		t.Fatalf("%s/%s/%s: %v", arch, rt, name, err)
+	}
+	return res
+}
+
+func TestFibonacciGo(t *testing.T) {
+	res := run(t, isa.RV64, langrt.GoRT, "fibonacci", vswarm.Fibonacci, vswarm.FibRequest(30))
+	r := rpc.NewReader(res.Response)
+	v, err := r.Int()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 832040 {
+		t.Fatalf("fib(30) = %d, want 832040", v)
+	}
+	if res.Cold.Cycles <= res.Warm.Cycles {
+		t.Fatalf("cold %d <= warm %d", res.Cold.Cycles, res.Warm.Cycles)
+	}
+}
+
+func TestFibonacciAllRuntimesAgree(t *testing.T) {
+	for _, arch := range []isa.Arch{isa.RV64, isa.CISC64} {
+		for _, rt := range langrt.Runtimes {
+			res := run(t, arch, rt, "fibonacci", vswarm.Fibonacci, vswarm.FibRequest(25))
+			r := rpc.NewReader(res.Response)
+			v, err := r.Int()
+			if err != nil {
+				t.Fatalf("%s/%s: %v", arch, rt, err)
+			}
+			if v != 75025 {
+				t.Fatalf("%s/%s: fib(25) = %d, want 75025", arch, rt, v)
+			}
+			t.Logf("%s/%s: cold=%d warm=%d", arch, rt, res.Cold.Cycles, res.Warm.Cycles)
+		}
+	}
+}
+
+func TestAESMatchesCryptoAES(t *testing.T) {
+	payload := vswarm.AESPayload(vswarm.DefaultAESPayload)
+	res := run(t, isa.RV64, langrt.GoRT, "aes", vswarm.AES, vswarm.AESRequest(len(payload)))
+	r := rpc.NewReader(res.Response)
+	got, err := r.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: crypto/aes in ECB over the same blocks.
+	c, err := aes.NewCipher(vswarm.AESKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, len(payload))
+	for off := 0; off+16 <= len(payload); off += 16 {
+		c.Encrypt(want[off:off+16], payload[off:off+16])
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("simulated AES disagrees with crypto/aes:\n got %x\nwant %x", got, want)
+	}
+}
+
+func TestAuthGrantsAndDenies(t *testing.T) {
+	res := run(t, isa.RV64, langrt.GoRT, "auth", vswarm.Auth, vswarm.AuthRequestMsg(3, true))
+	r := rpc.NewReader(res.Response)
+	granted, err := r.Int()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if granted != 1 {
+		t.Fatal("valid credentials denied")
+	}
+	res2 := run(t, isa.RV64, langrt.GoRT, "auth", vswarm.Auth, vswarm.AuthRequestMsg(3, false))
+	r2 := rpc.NewReader(res2.Response)
+	granted2, err := r2.Int()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if granted2 != 0 {
+		t.Fatal("invalid credentials granted")
+	}
+}
+
+func TestRuntimeSignatures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full runtime sweep")
+	}
+	// The thesis's runtime signatures on RISC-V (Fig. 4.4): Node.js shows
+	// a pronounced warm speedup; Python pays a large cold start.
+	results := map[langrt.Runtime]*harness.Result{}
+	for _, rt := range langrt.Runtimes {
+		results[rt] = run(t, isa.RV64, rt, "fibonacci", vswarm.Fibonacci, vswarm.FibRequest(30))
+	}
+	gr, py, nd := results[langrt.GoRT], results[langrt.PyRT], results[langrt.NodeRT]
+	if py.Cold.Cycles <= gr.Cold.Cycles {
+		t.Errorf("python cold (%d) should exceed go cold (%d)", py.Cold.Cycles, gr.Cold.Cycles)
+	}
+	nodeRatio := float64(nd.Cold.Cycles) / float64(nd.Warm.Cycles)
+	if nodeRatio < 1.4 {
+		t.Errorf("node cold/warm ratio %.2f, want >= 1.4 (JIT warm speedup)", nodeRatio)
+	}
+	for rt, r := range results {
+		t.Logf("%s: cold=%d warm=%d insts(cold)=%d l1i(cold)=%d",
+			rt, r.Cold.Cycles, r.Warm.Cycles, r.Cold.Insts, r.Cold.L1IMisses)
+	}
+}
+
+func TestISAInstructionGap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-ISA sweep")
+	}
+	// Fig. 4.16: the x86 software stack executes more instructions.
+	for _, rt := range []langrt.Runtime{langrt.GoRT, langrt.PyRT} {
+		rv := run(t, isa.RV64, rt, "aes", vswarm.AES, vswarm.AESRequest(64))
+		x := run(t, isa.CISC64, rt, "aes", vswarm.AES, vswarm.AESRequest(64))
+		if x.Cold.Insts <= rv.Cold.Insts {
+			t.Errorf("%s: cisc64 cold insts (%d) should exceed rv64 (%d)", rt, x.Cold.Insts, rv.Cold.Insts)
+		}
+		t.Logf("%s: insts rv=%d x86=%d cycles rv=%d x86=%d", rt,
+			rv.Cold.Insts, x.Cold.Insts, rv.Cold.Cycles, x.Cold.Cycles)
+	}
+}
+
+func ExampleFibRequest() {
+	r := rpc.NewReader(vswarm.FibRequest(10))
+	v, _ := r.Int()
+	fmt.Println(v)
+	// Output: 10
+}

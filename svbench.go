@@ -1,0 +1,121 @@
+// Package svbench is the public API of the serverless/RISC-V benchmarking
+// infrastructure: a from-scratch, stdlib-only reproduction of
+// "Benchmarking Support for RISC-V CPUs in Serverless Computing"
+// (Pournaras, 2024). See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-versus-measured record.
+//
+// The three entry points most users need:
+//
+//   - RunFunction executes one serverless function experiment (setup →
+//     checkpoint → detailed cold/warm evaluation) on a chosen ISA.
+//   - CollectFigures sweeps the full catalog and projects every figure of
+//     the thesis's evaluation.
+//   - NewMachine builds a bare simulated machine for custom programs
+//     written against the ir package's builder.
+package svbench
+
+import (
+	"svbench/internal/figures"
+	"svbench/internal/gemsys"
+	"svbench/internal/harness"
+	"svbench/internal/isa"
+	"svbench/internal/langrt"
+	"svbench/internal/qemu"
+	"svbench/internal/stats"
+)
+
+// Re-exported architecture identifiers.
+const (
+	RV64   = isa.RV64   // the RISC-V target
+	CISC64 = isa.CISC64 // the x86-class comparison target
+)
+
+// Core types, aliased from the implementation packages so downstream code
+// can name them.
+type (
+	// Arch selects an instruction set architecture.
+	Arch = isa.Arch
+	// Spec describes one function experiment.
+	Spec = harness.Spec
+	// Result is a cold/warm measurement for one function.
+	Result = harness.Result
+	// Env gives workload builders access to machine services.
+	Env = harness.Env
+	// Config is the simulated system configuration (Table 4.1).
+	Config = gemsys.Config
+	// Machine is a simulated two-core full system.
+	Machine = gemsys.Machine
+	// CoreStats is one stats window's counters.
+	CoreStats = stats.CoreStats
+	// Runtime names a language runtime model.
+	Runtime = langrt.Runtime
+	// FigureData is a rendered figure/table.
+	FigureData = figures.Data
+	// Results caches a full experiment sweep.
+	Results = figures.Results
+	// Latency is a QEMU-mode request measurement.
+	Latency = qemu.Latency
+	// HotelEngine selects the Hotel application's database backend.
+	HotelEngine = harness.HotelEngine
+	// LukewarmResult compares solo-warm against interleaved execution.
+	LukewarmResult = harness.LukewarmResult
+)
+
+// Runtime models.
+const (
+	GoRT   = langrt.GoRT
+	PyRT   = langrt.PyRT
+	NodeRT = langrt.NodeRT
+)
+
+// Hotel database backends.
+const (
+	EngineCassandra = harness.EngineCassandra
+	EngineMongo     = harness.EngineMongo
+	EngineMariaDB   = harness.EngineMariaDB
+)
+
+// DefaultConfig returns the thesis's simulated system configuration for
+// the given ISA (Tables 4.1–4.3).
+func DefaultConfig(arch Arch) Config { return gemsys.DefaultConfig(arch) }
+
+// NewMachine boots a bare simulated machine.
+func NewMachine(cfg Config) (*Machine, error) { return gemsys.New(cfg) }
+
+// RunFunction executes one experiment with the default configuration.
+func RunFunction(arch Arch, spec Spec) (*Result, error) { return harness.Run(arch, spec) }
+
+// RunFunctionWith executes one experiment with an explicit configuration
+// (design-space exploration).
+func RunFunctionWith(cfg Config, spec Spec) (*Result, error) { return harness.RunWith(cfg, spec) }
+
+// RunEmulated executes one experiment under functional (QEMU-style)
+// emulation, returning per-request latencies.
+func RunEmulated(arch Arch, spec Spec, requests int) ([]Latency, error) {
+	return qemu.Run(arch, spec, requests)
+}
+
+// StandaloneSpecs returns the nine standalone function experiments.
+func StandaloneSpecs() []Spec { return harness.StandaloneSpecs() }
+
+// ShopSpecs returns the six Online Shop experiments.
+func ShopSpecs() []Spec { return harness.ShopSpecs() }
+
+// HotelSpecs returns the six Hotel experiments on the given backend.
+func HotelSpecs(engine HotelEngine) []Spec { return harness.HotelSpecs(engine) }
+
+// HotelSpec returns one Hotel experiment.
+func HotelSpec(fn string, engine HotelEngine) Spec { return harness.HotelSpec(fn, engine) }
+
+// AllSpecs returns the complete experiment catalog.
+func AllSpecs() []Spec { return harness.AllSpecs() }
+
+// CollectFigures sweeps every experiment on both ISAs; log (optional)
+// receives one progress line per experiment.
+func CollectFigures(log func(string)) (*Results, error) { return figures.Collect(log) }
+
+// RunLukewarm interleaves two functions on the measured core and reports
+// how much of spec's warm state survives (the §2.1 lukewarm effect).
+func RunLukewarm(arch Arch, spec, other Spec) (*LukewarmResult, error) {
+	return harness.RunLukewarm(arch, spec, other)
+}

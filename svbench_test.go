@@ -1,0 +1,57 @@
+package svbench_test
+
+import (
+	"fmt"
+	"testing"
+
+	"svbench"
+	"svbench/internal/rpc"
+)
+
+func TestPublicAPISmoke(t *testing.T) {
+	specs := svbench.AllSpecs()
+	if len(specs) != 9+6+6 {
+		t.Fatalf("catalog has %d specs, want 21", len(specs))
+	}
+	res, err := svbench.RunFunction(svbench.RV64, specs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cold.Cycles <= res.Warm.Cycles {
+		t.Fatal("cold must exceed warm")
+	}
+	// A custom configuration through the public surface.
+	cfg := svbench.DefaultConfig(svbench.CISC64)
+	cfg.O3.ROBSize = 64
+	res2, err := svbench.RunFunctionWith(cfg, specs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Arch != svbench.CISC64 {
+		t.Fatal("arch not propagated")
+	}
+}
+
+func TestPublicAPIEmulation(t *testing.T) {
+	lats, err := svbench.RunEmulated(svbench.RV64, svbench.HotelSpec("user", svbench.EngineMongo), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lats) != 3 {
+		t.Fatalf("%d latencies", len(lats))
+	}
+}
+
+func ExampleRunFunction() {
+	res, err := svbench.RunFunction(svbench.RV64, svbench.StandaloneSpecs()[0])
+	if err != nil {
+		panic(err)
+	}
+	r := rpc.NewReader(res.Response)
+	v, _ := r.Int()
+	fmt.Println("fib(30) =", v)
+	fmt.Println("cold slower than warm:", res.Cold.Cycles > res.Warm.Cycles)
+	// Output:
+	// fib(30) = 832040
+	// cold slower than warm: true
+}
