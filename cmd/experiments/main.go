@@ -20,6 +20,8 @@ func main() {
 		quiet   = flag.Bool("q", false, "suppress progress lines")
 		nreq    = flag.Int("requests", 6, "requests per function in the emulation study (fig 4.20)")
 		skipEmu = flag.Bool("skip-emulation", false, "skip fig 4.20 (the slowest study)")
+		chaos   = flag.Bool("chaos", false, "also run the fault-injection/recovery table")
+		seed    = flag.Uint64("seed", 1, "fault-injection seed for -chaos")
 	)
 	flag.Parse()
 
@@ -57,12 +59,29 @@ func main() {
 		os.Exit(1)
 	}
 	all = append(all, t44, t45)
+	if *chaos {
+		tc, err := figures.TableChaos(*seed, logf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		all = append(all, tc)
+	}
 
 	var sb strings.Builder
 	sb.WriteString("# Evaluation figures and tables (regenerated)\n\n")
 	for _, d := range all {
 		sb.WriteString(d.Markdown())
 		sb.WriteString("\n")
+	}
+	if len(res.Failures) > 0 {
+		sb.WriteString("## Failed experiments\n\n")
+		for _, f := range res.Failures {
+			fmt.Fprintf(&sb, "- %v\n", f)
+		}
+		sb.WriteString("\n")
+		fmt.Fprintf(os.Stderr, "experiments: %d experiment(s) failed; report includes a failure section\n",
+			len(res.Failures))
 	}
 	if *out == "" {
 		fmt.Print(sb.String())

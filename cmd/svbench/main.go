@@ -8,6 +8,7 @@
 //	svbench -list
 //	svbench -fn fibonacci-go [-arch rv64|cisc64] [-engine cassandra|mongodb|mariadb]
 //	svbench -fn profile -emulate -requests 10
+//	svbench -fn geo -chaos -seed 7
 package main
 
 import (
@@ -26,6 +27,8 @@ func main() {
 		emulate  = flag.Bool("emulate", false, "functional (QEMU-style) emulation instead of detailed simulation")
 		requests = flag.Int("requests", 10, "requests to issue under -emulate")
 		list     = flag.Bool("list", false, "list experiment names")
+		chaos    = flag.Bool("chaos", false, "inject the default fault plan and compile the retry policy into the client")
+		seed     = flag.Uint64("seed", 1, "fault-injection seed (same seed = same fault schedule)")
 	)
 	flag.Parse()
 
@@ -58,6 +61,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *chaos {
+		spec.Faults = svbench.DefaultFaultPlan(*seed)
+		spec.Retry = svbench.DefaultRetry()
+	}
+
 	if *emulate {
 		lats, err := svbench.RunEmulated(a, *spec, *requests)
 		if err != nil {
@@ -85,4 +93,11 @@ func main() {
 	row("warm", res.Warm)
 	fmt.Printf("  cold/warm ratio: %.2fx   setup instructions: %d\n",
 		float64(res.Cold.Cycles)/float64(res.Warm.Cycles), res.SetupInsts)
+	if rep := res.FaultReport; rep != nil {
+		fmt.Printf("  faults (seed %d): injected=%d dropped=%d corrupted=%d delayed=%d errors=%d spikes=%d outages=%d\n",
+			*seed, rep.Injected, rep.Dropped, rep.Corrupted, rep.Delayed,
+			rep.ErrorReplies, rep.Spikes, rep.Outages)
+		fmt.Printf("  recovery: surfaced=%d timeouts=%d badreplies=%d retried=%d recovered=%d exhausted=%d\n",
+			rep.Surfaced, rep.Timeouts, rep.BadReplies, rep.Retried, rep.Recovered, rep.Exhausted)
+	}
 }

@@ -57,6 +57,10 @@ func NewService(s Store) *Service {
 	return &Service{Store: s, Cost: DefaultCost(s.Name())}
 }
 
+// ServiceName identifies the engine behind this service ("cassandra",
+// "memcached", ...), letting fault-injection rules target it by name.
+func (s *Service) ServiceName() string { return s.Store.Name() }
+
 func badRequest() ([]byte, uint64) {
 	w := rpc.NewWriter()
 	w.PutInt(StatusBadReq)

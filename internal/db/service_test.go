@@ -1,0 +1,127 @@
+package db
+
+import (
+	"testing"
+
+	"svbench/internal/rpc"
+)
+
+// decodeStatus reads the status field of a service reply.
+func decodeStatus(t *testing.T, resp []byte) uint64 {
+	t.Helper()
+	st, err := rpc.NewReader(resp).Int()
+	if err != nil {
+		t.Fatalf("reply does not decode: %v", err)
+	}
+	return st
+}
+
+// truncate drops the last n encoded bytes of a request, keeping the
+// cursor header consistent with the shortened body.
+func truncate(req []byte, n int) []byte {
+	out := append([]byte(nil), req[:len(req)-n]...)
+	ln := uint64(len(out))
+	for i := 0; i < 8; i++ {
+		out[i] = byte(ln >> (8 * i))
+	}
+	return out
+}
+
+func TestServiceHandleErrorPaths(t *testing.T) {
+	getReq := func() []byte {
+		w := rpc.NewWriter()
+		w.PutInt(OpGet)
+		w.PutString("tbl")
+		w.PutString("some-key")
+		return w.Bytes()
+	}
+	putReq := func() []byte {
+		w := rpc.NewWriter()
+		w.PutInt(OpPut)
+		w.PutString("tbl")
+		w.PutString("some-key")
+		w.PutBytes([]byte("value"))
+		return w.Bytes()
+	}
+	cases := []struct {
+		name string
+		req  []byte
+	}{
+		{"empty", rpc.NewWriter().Bytes()},
+		{"bad op", func() []byte {
+			w := rpc.NewWriter()
+			w.PutInt(99)
+			w.PutString("tbl")
+			return w.Bytes()
+		}()},
+		{"missing table", func() []byte {
+			w := rpc.NewWriter()
+			w.PutInt(OpGet)
+			return w.Bytes()
+		}()},
+		{"truncated key", truncate(getReq(), 4)},
+		{"truncated value", truncate(putReq(), 3)},
+		{"scan missing limit", func() []byte {
+			w := rpc.NewWriter()
+			w.PutInt(OpScan)
+			w.PutString("tbl")
+			w.PutString("prefix")
+			return w.Bytes()
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewService(NewMemcached(MemcachedConfig{}))
+			before := s.Requests
+			resp, cycles := s.Handle(tc.req)
+			if st := decodeStatus(t, resp); st != StatusBadReq {
+				t.Fatalf("status = %d, want StatusBadReq (%d)", st, StatusBadReq)
+			}
+			if cycles == 0 {
+				t.Fatal("bad request charged zero cycles")
+			}
+			if s.Requests != before+1 {
+				t.Fatalf("Requests = %d, want %d (malformed requests still count)",
+					s.Requests, before+1)
+			}
+		})
+	}
+}
+
+func TestServiceHandleHappyAfterError(t *testing.T) {
+	// A malformed request must not wedge the service: the next valid
+	// operation still works.
+	s := NewService(NewMemcached(MemcachedConfig{}))
+	s.Handle([]byte{1, 2, 3})
+
+	w := rpc.NewWriter()
+	w.PutInt(OpPut)
+	w.PutString("tbl")
+	w.PutString("k")
+	w.PutBytes([]byte("v"))
+	if st := decodeStatus(t, mustHandle(s, w.Bytes())); st != StatusOK {
+		t.Fatalf("put after error: status %d", st)
+	}
+
+	w = rpc.NewWriter()
+	w.PutInt(OpGet)
+	w.PutString("tbl")
+	w.PutString("k")
+	resp := mustHandle(s, w.Bytes())
+	r := rpc.NewReader(resp)
+	if st, _ := r.Int(); st != StatusOK {
+		t.Fatalf("get after error: status %d", st)
+	}
+	val, err := r.Bytes()
+	if err != nil || string(val) != "v" {
+		t.Fatalf("get value = %q, %v", val, err)
+	}
+	if s.Requests != 3 {
+		t.Fatalf("Requests = %d, want 3", s.Requests)
+	}
+}
+
+func mustHandle(s *Service, req []byte) []byte {
+	resp, _ := s.Handle(req)
+	return resp
+}

@@ -1,0 +1,257 @@
+package faults
+
+import (
+	"testing"
+
+	"svbench/internal/rpc"
+)
+
+func TestPRNGDeterministic(t *testing.T) {
+	a, b := NewPRNG(42), NewPRNG(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("draw %d: %d != %d", i, av, bv)
+		}
+	}
+	c := NewPRNG(43)
+	same := 0
+	a = NewPRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 42 and 43 collided on %d of 1000 draws", same)
+	}
+}
+
+func TestPRNGZeroSeed(t *testing.T) {
+	p := NewPRNG(0)
+	if p.Uint64() == 0 && p.Uint64() == 0 {
+		t.Fatal("zero seed degenerated to a zero stream")
+	}
+}
+
+func TestPRNGFloat64Range(t *testing.T) {
+	p := NewPRNG(7)
+	for i := 0; i < 10000; i++ {
+		if f := p.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestChanceDrawCountStable(t *testing.T) {
+	// Chance must consume exactly one draw for prob in (0,1] and none for
+	// prob <= 0, so a plan's draw schedule does not depend on outcomes.
+	a, b := NewPRNG(5), NewPRNG(5)
+	a.Chance(0.5)
+	a.Chance(1.5) // >= 1: still burns a draw
+	b.Uint64()
+	b.Uint64()
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Chance draw count diverged from one draw per call")
+	}
+	a.Chance(0)  // no draw
+	a.Chance(-1) // no draw
+	b2 := NewPRNG(5)
+	for i := 0; i < 3; i++ {
+		b2.Uint64()
+	}
+	if a.Uint64() != b2.Uint64() {
+		t.Fatal("Chance(<=0) consumed a draw")
+	}
+}
+
+func TestInjectorDisarmed(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1, Rules: []Rule{{Kind: DropMsg, Channel: AnyChannel, Prob: 1}}})
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if drop, delay := in.IPCFault(0, payload); drop || delay != 0 {
+		t.Fatal("disarmed injector injected a fault")
+	}
+	if in.Report != (Report{}) {
+		t.Fatalf("disarmed injector counted: %+v", in.Report)
+	}
+}
+
+func TestInjectorNilSafe(t *testing.T) {
+	var in *Injector
+	if drop, delay := in.IPCFault(0, nil); drop || delay != 0 {
+		t.Fatal("nil injector injected")
+	}
+	in.Note(EvTimeout)
+	svc := countingService{}
+	if got := in.WrapService(&svc); got != &svc {
+		t.Fatal("nil injector wrapped a service")
+	}
+}
+
+func TestInjectorDrop(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1, Rules: []Rule{{Kind: DropMsg, Channel: 3, Prob: 1}}})
+	in.Arm()
+	if drop, _ := in.IPCFault(2, nil); drop {
+		t.Fatal("rule for channel 3 fired on channel 2")
+	}
+	if drop, _ := in.IPCFault(3, nil); !drop {
+		t.Fatal("certain drop rule did not fire")
+	}
+	if in.Report.Dropped != 1 || in.Report.Injected != 1 {
+		t.Fatalf("report = %+v, want 1 dropped/injected", in.Report)
+	}
+}
+
+func TestInjectorCorruptAndDelay(t *testing.T) {
+	in := NewInjector(Plan{Seed: 9, Rules: []Rule{
+		{Kind: CorruptMsg, Channel: AnyChannel, Prob: 1},
+		{Kind: DelayMsg, Channel: AnyChannel, Prob: 1, Delay: 500},
+	}})
+	in.Arm()
+	payload := make([]byte, 32)
+	orig := append([]byte(nil), payload...)
+	drop, delay := in.IPCFault(0, payload)
+	if drop {
+		t.Fatal("unexpected drop")
+	}
+	if delay != 500 {
+		t.Fatalf("delay = %d, want 500", delay)
+	}
+	diff := 0
+	for i := range payload {
+		if payload[i] != orig[i] {
+			diff++
+			if i < 8 {
+				t.Fatalf("corruption touched header byte %d", i)
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes corrupted, want exactly 1", diff)
+	}
+	// Short payloads (header only) must survive corruption untouched.
+	short := []byte{1, 2, 3}
+	in.IPCFault(0, short)
+	if short[0] != 1 || short[1] != 2 || short[2] != 3 {
+		t.Fatal("header-only payload was corrupted")
+	}
+}
+
+func TestClientChannelBinding(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1, Rules: []Rule{{Kind: DropMsg, Channel: ClientResp, Prob: 1}}})
+	in.Arm()
+	// Unbound symbolic targets must not match anything.
+	if drop, _ := in.IPCFault(5, nil); drop {
+		t.Fatal("unbound ClientResp rule fired")
+	}
+	in.BindClientChans(4, 5)
+	if drop, _ := in.IPCFault(4, nil); drop {
+		t.Fatal("ClientResp rule fired on the request channel")
+	}
+	if drop, _ := in.IPCFault(5, nil); !drop {
+		t.Fatal("bound ClientResp rule did not fire")
+	}
+}
+
+func TestNoteCounters(t *testing.T) {
+	in := NewInjector(Plan{})
+	for _, ev := range []uint64{EvTimeout, EvBadReply, EvRetry, EvRecovered, EvExhausted} {
+		in.Note(ev)
+	}
+	want := Report{Surfaced: 2, Timeouts: 1, BadReplies: 1, Retried: 1, Recovered: 1, Exhausted: 1}
+	if in.Report != want {
+		t.Fatalf("report = %+v, want %+v", in.Report, want)
+	}
+}
+
+// countingService is a trivial named service for wrapper tests.
+type countingService struct {
+	name  string
+	calls int
+}
+
+func (c *countingService) Handle([]byte) ([]byte, uint64) {
+	c.calls++
+	w := rpc.NewWriter()
+	w.PutInt(0)
+	return w.Bytes(), 1000
+}
+
+func (c *countingService) ServiceName() string { return c.name }
+
+func TestWrapServiceMatching(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1, Rules: []Rule{{Kind: ErrorReply, Service: "cassandra", Prob: 1}}})
+	mongo := &countingService{name: "mongodb"}
+	if _, wrapped := in.WrapService(mongo).(*FlakyService); wrapped {
+		t.Fatal("rule for cassandra wrapped mongodb")
+	}
+	cass := &countingService{name: "cassandra"}
+	if _, ok := in.WrapService(cass).(*FlakyService); !ok {
+		t.Fatal("rule for cassandra did not wrap cassandra")
+	}
+	any := NewInjector(Plan{Seed: 1, Rules: []Rule{{Kind: LatencySpike, Service: "*", Prob: 1, Mult: 4}}})
+	if _, ok := any.WrapService(mongo).(*FlakyService); !ok {
+		t.Fatal("wildcard rule did not wrap")
+	}
+}
+
+func TestFlakyServiceOutage(t *testing.T) {
+	in := NewInjector(Plan{})
+	in.Arm()
+	inner := &countingService{name: "cassandra"}
+	f := NewFlakyService(in, inner, []Rule{{Kind: Outage, After: 2, For: 3}})
+	var statuses []uint64
+	for i := 0; i < 7; i++ {
+		resp, _ := f.Handle(nil)
+		st, err := rpc.NewReader(resp).Int()
+		if err != nil {
+			t.Fatalf("request %d: bad reply frame: %v", i, err)
+		}
+		statuses = append(statuses, st)
+	}
+	want := []uint64{0, 0, StatusUnavailable, StatusUnavailable, StatusUnavailable, 0, 0}
+	for i := range want {
+		if statuses[i] != want[i] {
+			t.Fatalf("statuses = %v, want %v", statuses, want)
+		}
+	}
+	if inner.calls != 4 {
+		t.Fatalf("inner saw %d calls, want 4 (outage window must not reach the engine)", inner.calls)
+	}
+	if in.Report.Outages != 3 {
+		t.Fatalf("Outages = %d, want 3", in.Report.Outages)
+	}
+}
+
+func TestFlakyServiceSpike(t *testing.T) {
+	in := NewInjector(Plan{})
+	in.Arm()
+	f := NewFlakyService(in, &countingService{}, []Rule{{Kind: LatencySpike, Prob: 1, Mult: 8}})
+	if _, cycles := f.Handle(nil); cycles != 8000 {
+		t.Fatalf("spiked cycles = %d, want 8000", cycles)
+	}
+	if in.Report.Spikes != 1 {
+		t.Fatalf("Spikes = %d, want 1", in.Report.Spikes)
+	}
+}
+
+func TestFlakyServiceDisarmedPassthrough(t *testing.T) {
+	in := NewInjector(Plan{})
+	inner := &countingService{}
+	f := NewFlakyService(in, inner, []Rule{{Kind: ErrorReply, Prob: 1}})
+	if _, cycles := f.Handle(nil); cycles != 1000 {
+		t.Fatal("disarmed wrapper altered the reply")
+	}
+	if inner.calls != 1 {
+		t.Fatal("disarmed wrapper swallowed the request")
+	}
+}
+
+func TestErrorFrameDecodes(t *testing.T) {
+	st, err := rpc.NewReader(ErrorFrame()).Int()
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if st != StatusUnavailable {
+		t.Fatalf("status = %d, want %d", st, StatusUnavailable)
+	}
+}

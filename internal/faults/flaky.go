@@ -1,0 +1,81 @@
+package faults
+
+import "svbench/internal/kernel"
+
+// FlakyService wraps a native service (a database or cache engine) with
+// injected failure modes: error replies, latency spikes, and
+// N-requests-then-fail outage windows. It implements kernel.Service, so
+// it binds to a channel exactly like the engine it wraps; the measured
+// core observes only the degraded round trips.
+//
+// Injection order per request: outage windows first (they model the
+// backing store being down, which preempts everything), then
+// probabilistic error replies, then the real operation with an optional
+// latency spike on the charged cycles.
+type FlakyService struct {
+	Inner kernel.Service
+
+	inj   *Injector
+	rules []Rule
+	// served counts requests seen by this wrapper, driving outage
+	// windows; it advances on every request, healthy or not.
+	served int
+}
+
+// NewFlakyService wraps svc with the given rules under an injector
+// (callers normally go through Injector.WrapService instead).
+func NewFlakyService(inj *Injector, svc kernel.Service, rules []Rule) *FlakyService {
+	return &FlakyService{Inner: svc, inj: inj, rules: rules}
+}
+
+// ServiceName forwards the wrapped engine's name, so stacked rules and
+// diagnostics still see it.
+func (f *FlakyService) ServiceName() string {
+	if n, ok := f.Inner.(NamedService); ok {
+		return n.ServiceName()
+	}
+	return ""
+}
+
+// Handle implements kernel.Service.
+func (f *FlakyService) Handle(req []byte) ([]byte, uint64) {
+	f.served++
+	if f.inj == nil || !f.inj.armed {
+		return f.Inner.Handle(req)
+	}
+	for i := range f.rules {
+		r := &f.rules[i]
+		if r.Kind != Outage {
+			continue
+		}
+		if f.served > r.After && f.served <= r.After+r.For {
+			f.inj.Report.Injected++
+			f.inj.Report.Outages++
+			return ErrorFrame(), errorReplyCycles
+		}
+	}
+	for i := range f.rules {
+		r := &f.rules[i]
+		if r.Kind != ErrorReply || !f.inj.rng.Chance(r.Prob) {
+			continue
+		}
+		f.inj.Report.Injected++
+		f.inj.Report.ErrorReplies++
+		return ErrorFrame(), errorReplyCycles
+	}
+	resp, cycles := f.Inner.Handle(req)
+	for i := range f.rules {
+		r := &f.rules[i]
+		if r.Kind != LatencySpike || !f.inj.rng.Chance(r.Prob) {
+			continue
+		}
+		f.inj.Report.Injected++
+		f.inj.Report.Spikes++
+		if r.Mult > 1 {
+			cycles *= r.Mult
+		} else {
+			cycles *= 2
+		}
+	}
+	return resp, cycles
+}

@@ -1,0 +1,163 @@
+package faults
+
+import "svbench/internal/kernel"
+
+// Injector executes a Plan: it owns the PRNG, resolves symbolic channel
+// targets, applies IPC rules on every committed message, wraps native
+// services per the service rules, and accumulates the run's Report.
+//
+// An injector starts disarmed; the harness arms it after the checkpoint
+// restore so the setup phase (boot, readiness handshake) is never
+// faulted — exactly as chaos tooling targets steady-state traffic, not
+// deployment. While disarmed no PRNG draws happen, so the post-arm fault
+// schedule depends only on the seed and the simulated traffic.
+type Injector struct {
+	plan  Plan
+	rng   *PRNG
+	armed bool
+
+	clientReq  int
+	clientResp int
+
+	Report Report
+}
+
+// NewInjector compiles plan into a disarmed injector.
+func NewInjector(plan Plan) *Injector {
+	return &Injector{
+		plan:       plan,
+		rng:        NewPRNG(plan.Seed),
+		clientReq:  AnyChannel,
+		clientResp: AnyChannel,
+	}
+}
+
+// Arm enables injection.
+func (in *Injector) Arm() { in.armed = true }
+
+// Disarm stops injection; counters are preserved.
+func (in *Injector) Disarm() { in.armed = false }
+
+// BindClientChans resolves the symbolic ClientReq/ClientResp rule targets
+// to the load generator's concrete channel ids.
+func (in *Injector) BindClientChans(req, resp int) {
+	in.clientReq, in.clientResp = req, resp
+}
+
+func (in *Injector) chanMatches(target, ch int) bool {
+	switch target {
+	case AnyChannel:
+		return true
+	case ClientReq:
+		return in.clientReq != AnyChannel && ch == in.clientReq
+	case ClientResp:
+		return in.clientResp != AnyChannel && ch == in.clientResp
+	default:
+		return ch == target
+	}
+}
+
+// IPCFault implements the kernel's per-commit fault hook: it may drop the
+// message, corrupt the payload in place, or return extra delivery delay
+// in virtual cycles. Rules are consulted in plan order; a drop wins
+// immediately (later rules draw nothing, keeping the schedule stable).
+func (in *Injector) IPCFault(ch int, payload []byte) (drop bool, delay uint64) {
+	if in == nil || !in.armed {
+		return false, 0
+	}
+	for i := range in.plan.Rules {
+		r := &in.plan.Rules[i]
+		switch r.Kind {
+		case DropMsg, CorruptMsg, DelayMsg:
+		default:
+			continue
+		}
+		if !in.chanMatches(r.Channel, ch) {
+			continue
+		}
+		if !in.rng.Chance(r.Prob) {
+			continue
+		}
+		in.Report.Injected++
+		switch r.Kind {
+		case DropMsg:
+			in.Report.Dropped++
+			return true, 0
+		case CorruptMsg:
+			in.corrupt(payload)
+			in.Report.Corrupted++
+		case DelayMsg:
+			in.Report.Delayed++
+			delay += r.Delay
+		}
+	}
+	return false, delay
+}
+
+// corrupt flips one payload byte past the 8-byte cursor header (messages
+// shorter than that are left alone — there is no field data to damage).
+func (in *Injector) corrupt(payload []byte) {
+	if len(payload) <= 8 {
+		return
+	}
+	pos := 8 + int(in.rng.Uint64()%uint64(len(payload)-8))
+	payload[pos] ^= byte(1 + in.rng.Uint64()%255)
+}
+
+// Note implements the kernel's fault-note hook: the IR client reports
+// retry-loop events (timeouts, bad replies, retries, recoveries).
+func (in *Injector) Note(ev uint64) {
+	if in == nil {
+		return
+	}
+	switch ev {
+	case EvTimeout:
+		in.Report.Timeouts++
+		in.Report.Surfaced++
+	case EvBadReply:
+		in.Report.BadReplies++
+		in.Report.Surfaced++
+	case EvRetry:
+		in.Report.Retried++
+	case EvRecovered:
+		in.Report.Recovered++
+	case EvExhausted:
+		in.Report.Exhausted++
+	}
+}
+
+// NamedService lets a kernel.Service expose an engine name for service
+// rule matching (the db package's wire service implements it).
+type NamedService interface {
+	kernel.Service
+	ServiceName() string
+}
+
+func serviceMatches(target string, svc kernel.Service) bool {
+	if target == "" || target == "*" {
+		return true
+	}
+	n, ok := svc.(NamedService)
+	return ok && n.ServiceName() == target
+}
+
+// WrapService applies the plan's service rules to svc, returning a
+// FlakyService when any rule targets it and svc unchanged otherwise.
+func (in *Injector) WrapService(svc kernel.Service) kernel.Service {
+	if in == nil {
+		return svc
+	}
+	var rules []Rule
+	for _, r := range in.plan.Rules {
+		switch r.Kind {
+		case ErrorReply, LatencySpike, Outage:
+			if serviceMatches(r.Service, svc) {
+				rules = append(rules, r)
+			}
+		}
+	}
+	if len(rules) == 0 {
+		return svc
+	}
+	return &FlakyService{Inner: svc, inj: in, rules: rules}
+}

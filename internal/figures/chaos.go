@@ -1,0 +1,61 @@
+package figures
+
+import (
+	"fmt"
+
+	"svbench/internal/faults"
+	"svbench/internal/harness"
+	"svbench/internal/isa"
+)
+
+// chaosSpecs picks representative workloads for the fault-injection
+// campaign: a compute-only function (no services to degrade besides its
+// own reply path) and two hotel functions whose request paths traverse
+// the Cassandra service rules.
+func chaosSpecs() []harness.Spec {
+	var specs []harness.Spec
+	for _, sp := range harness.StandaloneSpecs() {
+		if sp.Name == "fibonacci-go" || sp.Name == "aes-go" {
+			specs = append(specs, sp)
+		}
+	}
+	specs = append(specs,
+		harness.HotelSpec("geo", harness.EngineCassandra),
+		harness.HotelSpec("profile", harness.EngineCassandra),
+	)
+	return specs
+}
+
+// TableChaos runs the representative workloads on RISC-V under the
+// default fault plan for seed, with the default retry policy compiled
+// into the load generator, and reports the measurements next to the
+// fault ledger. The whole table is a deterministic function of seed.
+func TableChaos(seed uint64, log func(string)) (Data, error) {
+	d := Data{
+		ID:    "chaos",
+		Title: fmt.Sprintf("Fault injection with retry, RISC-V (seed %d)", seed),
+		Columns: []string{"cold cycles", "warm cycles", "injected", "surfaced",
+			"retried", "recovered", "exhausted"},
+	}
+	retry := faults.DefaultRetry()
+	for _, sp := range chaosSpecs() {
+		sp.Faults = faults.DefaultPlan(seed)
+		sp.Retry = retry
+		r, err := harness.Run(isa.RV64, sp)
+		if err != nil {
+			return d, fmt.Errorf("chaos %s: %w", sp.Name, err)
+		}
+		rep := r.FaultReport
+		d.Rows = append(d.Rows, Row{Label: sp.Name, Values: []float64{
+			float64(r.Cold.Cycles), float64(r.Warm.Cycles),
+			float64(rep.Injected), float64(rep.Surfaced),
+			float64(rep.Retried), float64(rep.Recovered), float64(rep.Exhausted),
+		}})
+		if log != nil {
+			log(fmt.Sprintf("chaos %-16s cold=%-9d warm=%-9d inj=%d ret=%d rec=%d exh=%d",
+				sp.Name, r.Cold.Cycles, r.Warm.Cycles,
+				rep.Injected, rep.Retried, rep.Recovered, rep.Exhausted))
+		}
+	}
+	return d, nil
+}

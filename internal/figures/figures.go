@@ -5,6 +5,7 @@
 package figures
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -69,11 +70,17 @@ type Results struct {
 	Fn map[isa.Arch]map[string]*harness.Result
 	// Hotel results by arch then function name.
 	Hotel map[isa.Arch]map[string]*harness.Result
+	// Failures records experiments that did not complete. The sweep
+	// degrades gracefully: one bad spec no longer aborts the campaign,
+	// and projections skip its rows.
+	Failures []*harness.ExperimentError
 }
 
-// Collect runs the complete sweep. Progress (one line per experiment) is
-// reported through log, which may be nil.
-func Collect(log func(string)) (*Results, error) {
+// Sweep runs fnSpecs and hotelSpecs on each arch, degrading gracefully:
+// a failed experiment lands in Results.Failures as a structured
+// *harness.ExperimentError and the sweep continues. Progress (one line
+// per experiment) goes through log, which may be nil.
+func Sweep(arches []isa.Arch, fnSpecs, hotelSpecs []harness.Spec, log func(string)) *Results {
 	say := func(f string, args ...any) {
 		if log != nil {
 			log(fmt.Sprintf(f, args...))
@@ -83,26 +90,50 @@ func Collect(log func(string)) (*Results, error) {
 		Fn:    map[isa.Arch]map[string]*harness.Result{},
 		Hotel: map[isa.Arch]map[string]*harness.Result{},
 	}
-	specs := append(harness.StandaloneSpecs(), harness.ShopSpecs()...)
-	for _, arch := range []isa.Arch{isa.RV64, isa.CISC64} {
+	record := func(arch isa.Arch, name string, err error) {
+		var ee *harness.ExperimentError
+		if !errors.As(err, &ee) {
+			ee = &harness.ExperimentError{Spec: name, Arch: arch, Phase: "run", Err: err}
+		}
+		res.Failures = append(res.Failures, ee)
+		say("%s %-24s FAILED: %v", arch, name, err)
+	}
+	for _, arch := range arches {
 		res.Fn[arch] = map[string]*harness.Result{}
-		for _, sp := range specs {
+		for _, sp := range fnSpecs {
 			r, err := harness.Run(arch, sp)
 			if err != nil {
-				return nil, fmt.Errorf("figures: %s/%s: %w", arch, sp.Name, err)
+				record(arch, sp.Name, err)
+				continue
 			}
 			res.Fn[arch][sp.Name] = r
 			say("%s %-24s cold=%-9d warm=%d", arch, sp.Name, r.Cold.Cycles, r.Warm.Cycles)
 		}
 		res.Hotel[arch] = map[string]*harness.Result{}
-		for _, sp := range harness.HotelSpecs(harness.EngineCassandra) {
+		for _, sp := range hotelSpecs {
 			r, err := harness.Run(arch, sp)
 			if err != nil {
-				return nil, fmt.Errorf("figures: %s/hotel-%s: %w", arch, sp.Name, err)
+				record(arch, "hotel-"+sp.Name, err)
+				continue
 			}
 			res.Hotel[arch][sp.Name] = r
 			say("%s hotel/%-17s cold=%-9d warm=%d", arch, sp.Name, r.Cold.Cycles, r.Warm.Cycles)
 		}
+	}
+	return res
+}
+
+// Collect runs the complete sweep. Progress (one line per experiment) is
+// reported through log, which may be nil. Failed experiments are recorded
+// in Results.Failures and the sweep continues; Collect returns an error
+// only when nothing could run at all.
+func Collect(log func(string)) (*Results, error) {
+	res := Sweep([]isa.Arch{isa.RV64, isa.CISC64},
+		append(harness.StandaloneSpecs(), harness.ShopSpecs()...),
+		harness.HotelSpecs(harness.EngineCassandra), log)
+	if len(res.Fn[isa.RV64])+len(res.Fn[isa.CISC64])+
+		len(res.Hotel[isa.RV64])+len(res.Hotel[isa.CISC64]) == 0 {
+		return nil, fmt.Errorf("figures: every experiment failed (%d failures)", len(res.Failures))
 	}
 	return res, nil
 }
@@ -138,8 +169,19 @@ func (r *Results) project(id, title string, names []string, cols []string,
 	d := Data{ID: id, Title: title, Columns: cols}
 	for _, n := range names {
 		var vals []float64
+		missing := false
 		for _, a := range arches {
-			vals = append(vals, get(r.fn(a, n))...)
+			res := r.fn(a, n)
+			if res == nil {
+				// The experiment failed during Collect; leave its row out
+				// rather than fabricating zeros.
+				missing = true
+				break
+			}
+			vals = append(vals, get(res)...)
+		}
+		if missing {
+			continue
 		}
 		d.Rows = append(d.Rows, Row{Label: n, Values: vals})
 	}

@@ -52,6 +52,25 @@ type Machine struct {
 // ErrDeadlock reports that neither core can make progress.
 var ErrDeadlock = errors.New("gemsys: machine deadlocked")
 
+// PanicError reports that simulated code raised the panic host call
+// (e.g. a stack-smash detection). Info carries the kernel's PanicInfo —
+// the faulting process and program counter — so simulated panics stay
+// diagnosable instead of drowning in a generic budget or halt message.
+type PanicError struct {
+	Info string
+}
+
+func (e *PanicError) Error() string { return "gemsys: simulated panic: " + e.Info }
+
+// panicErr returns the machine's PanicError when the kernel recorded a
+// simulated panic, else nil.
+func (m *Machine) panicErr() error {
+	if m.K.Panicked {
+		return &PanicError{Info: m.K.PanicInfo}
+	}
+	return nil
+}
+
 // newCouplerFor creates a coupler and routes the kernel's service-reply
 // derivations into it.
 func newCouplerFor(m *Machine) *cpu.Coupler {
@@ -295,8 +314,8 @@ func (m *Machine) pump() (bool, error) {
 			break
 		}
 	}
-	if m.K.Panicked {
-		return any, fmt.Errorf("gemsys: simulated panic: %s", m.K.PanicInfo)
+	if err := m.panicErr(); err != nil {
+		return any, err
 	}
 	return any, nil
 }
@@ -317,6 +336,9 @@ func (m *Machine) RunSetup(budget uint64) error {
 		if m.virtInstr-start > budget {
 			return fmt.Errorf("gemsys: setup exceeded %d instructions", budget)
 		}
+	}
+	if err := m.panicErr(); err != nil {
+		return err
 	}
 	m.Atomic.Retire(m.virtInstr - start)
 	return nil
@@ -417,6 +439,9 @@ func (m *Machine) RunEval(budget uint64) ([]stats.Dump, error) {
 			continue
 		}
 		if m.halted {
+			if err := m.panicErr(); err != nil {
+				return dumps, err
+			}
 			if m.queueLen(0) == 0 && m.queueLen(1) == 0 {
 				return dumps, nil
 			}
@@ -448,7 +473,7 @@ func (m *Machine) RunFunctional(budget uint64) error {
 			return fmt.Errorf("gemsys: functional run exceeded %d instructions", budget)
 		}
 	}
-	return nil
+	return m.panicErr()
 }
 
 // ErrKVMUnstable reports that the KVM-accelerated setup tripped the

@@ -1,0 +1,61 @@
+package gemsys
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"svbench/internal/ir"
+	"svbench/internal/isa"
+	"svbench/internal/kernel"
+)
+
+// panicMod builds a program that trips the kernel's panic host call (the
+// path stack-smash detection uses).
+func panicMod() *ir.Module {
+	m := ir.NewModule("panicker")
+	b := ir.NewFunc("main", 2)
+	b.EcallV(kernel.HPanic)
+	b.Ret0()
+	m.AddFunc(b.Build())
+	return m
+}
+
+func TestPanicSurfacesInFunctionalRun(t *testing.T) {
+	mach, err := New(DefaultConfig(isa.RV64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mach.Spawn("victim", panicMod(), "main", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	err = mach.RunFunctional(1_000_000)
+	if err == nil {
+		t.Fatal("simulated panic did not surface as an error")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T is not *PanicError: %v", err, err)
+	}
+	if !strings.Contains(pe.Info, "victim") {
+		t.Fatalf("PanicInfo %q does not name the panicking process", pe.Info)
+	}
+	if !strings.Contains(err.Error(), "simulated panic") {
+		t.Fatalf("message %q does not mention the panic", err.Error())
+	}
+}
+
+func TestPanicSurfacesInSetup(t *testing.T) {
+	mach, err := New(DefaultConfig(isa.RV64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mach.Spawn("victim", panicMod(), "main", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	err = mach.RunSetup(1_000_000)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("setup error %T is not *PanicError: %v", err, err)
+	}
+}

@@ -1,0 +1,43 @@
+package harness
+
+import (
+	"fmt"
+
+	"svbench/internal/faults"
+	"svbench/internal/isa"
+)
+
+// ExperimentError is the structured failure record one experiment
+// produces: which spec failed, in which phase of the methodology, the
+// injected-fault counts at the time of failure (when a fault plan was
+// active), and any partial measurements. Sweep drivers degrade
+// gracefully on it — they record the failure and continue — instead of
+// aborting the whole campaign on one bad spec.
+type ExperimentError struct {
+	Spec string
+	Arch isa.Arch
+	// Phase names the methodology step that failed: "spec" (validation),
+	// "boot", "build", "setup", "checkpoint", "restore", "eval", "shape"
+	// (wrong dump count), or "check" (functional response validation).
+	Phase string
+	// Faults snapshots the injector's counters at failure time; nil when
+	// the spec ran without a fault plan.
+	Faults *faults.Report
+	// Partial holds any measurements completed before the failure (e.g.
+	// a cold dump when the warm window never closed); nil otherwise.
+	Partial *Result
+	Err     error
+}
+
+// Error renders the failure with its phase and fault context.
+func (e *ExperimentError) Error() string {
+	msg := fmt.Sprintf("harness: %s [%s, %s]: %v", e.Spec, e.Arch, e.Phase, e.Err)
+	if e.Faults != nil {
+		msg += fmt.Sprintf(" (faults: %d injected, %d surfaced, %d retried)",
+			e.Faults.Injected, e.Faults.Surfaced, e.Faults.Retried)
+	}
+	return msg
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *ExperimentError) Unwrap() error { return e.Err }

@@ -1,0 +1,121 @@
+package harness
+
+import (
+	"errors"
+	"testing"
+
+	"svbench/internal/faults"
+	"svbench/internal/isa"
+)
+
+// findSpec pulls one named spec from the catalog.
+func findSpec(t *testing.T, name string) Spec {
+	t.Helper()
+	for _, sp := range StandaloneSpecs() {
+		if sp.Name == name {
+			return sp
+		}
+	}
+	t.Fatalf("spec %q not in catalog", name)
+	return Spec{}
+}
+
+func TestRequestsValidation(t *testing.T) {
+	sp := findSpec(t, "fibonacci-go")
+	sp.Requests = 1
+	_, err := Run(isa.RV64, sp)
+	if err == nil {
+		t.Fatal("Requests=1 was accepted")
+	}
+	var ee *ExperimentError
+	if !errors.As(err, &ee) {
+		t.Fatalf("error %T is not *ExperimentError: %v", err, err)
+	}
+	if ee.Phase != "spec" {
+		t.Fatalf("phase = %q, want \"spec\" (%v)", ee.Phase, err)
+	}
+}
+
+// TestChaosDeterminism is the seed-determinism guarantee: the same spec
+// under the same fault plan twice must produce bit-identical fault
+// ledgers and cycle counts.
+func TestChaosDeterminism(t *testing.T) {
+	run := func(seed uint64) *Result {
+		sp := findSpec(t, "fibonacci-go")
+		sp.Faults = faults.DefaultPlan(seed)
+		sp.Retry = faults.DefaultRetry()
+		r, err := Run(isa.RV64, sp)
+		if err != nil {
+			t.Fatalf("chaos run failed: %v", err)
+		}
+		if r.FaultReport == nil {
+			t.Fatal("no FaultReport on a faulted run")
+		}
+		return r
+	}
+	a, b := run(11), run(11)
+	if *a.FaultReport != *b.FaultReport {
+		t.Fatalf("same seed, different fault reports:\n  %+v\n  %+v", *a.FaultReport, *b.FaultReport)
+	}
+	if a.Cold.Cycles != b.Cold.Cycles || a.Warm.Cycles != b.Warm.Cycles {
+		t.Fatalf("same seed, different cycles: cold %d/%d warm %d/%d",
+			a.Cold.Cycles, b.Cold.Cycles, a.Warm.Cycles, b.Warm.Cycles)
+	}
+	// Different seeds must (with these rule probabilities) diverge.
+	c := run(12)
+	if *a.FaultReport == *c.FaultReport && a.Cold.Cycles == c.Cold.Cycles {
+		t.Fatal("seeds 11 and 12 produced identical runs")
+	}
+}
+
+// TestOutageRecovery drives a service outage through the retry loop: the
+// hotel geo function's database fails for a window of requests, the
+// injected bad replies trip the response check, and the compiled retry
+// loop re-issues until the window passes.
+func TestOutageRecovery(t *testing.T) {
+	sp := HotelSpec("geo", EngineCassandra)
+	sp.Faults = &faults.Plan{
+		Seed: 1,
+		Rules: []faults.Rule{
+			{Kind: faults.Outage, Service: "cassandra", After: 1, For: 2},
+		},
+	}
+	sp.Retry = faults.DefaultRetry()
+	r, err := Run(isa.RV64, sp)
+	if err != nil {
+		t.Fatalf("run with outage + retry failed (Check should pass after recovery): %v", err)
+	}
+	rep := r.FaultReport
+	if rep == nil {
+		t.Fatal("no FaultReport")
+	}
+	if rep.Outages == 0 {
+		t.Fatalf("outage window never fired: %+v", *rep)
+	}
+	if rep.Retried == 0 {
+		t.Fatalf("client never retried: %+v", *rep)
+	}
+	if rep.Recovered == 0 {
+		t.Fatalf("client never recovered: %+v", *rep)
+	}
+	if rep.Exhausted != 0 {
+		t.Fatalf("requests exhausted despite recovery window: %+v", *rep)
+	}
+}
+
+// TestBaselineUnchanged pins the no-faults path: a spec without a plan
+// must report no fault ledger and produce the same measurements as the
+// seed methodology (cold slower than warm, both non-zero).
+func TestBaselineUnchanged(t *testing.T) {
+	sp := findSpec(t, "fibonacci-go")
+	r, err := Run(isa.RV64, sp)
+	if err != nil {
+		t.Fatalf("baseline run failed: %v", err)
+	}
+	if r.FaultReport != nil {
+		t.Fatalf("baseline run grew a FaultReport: %+v", *r.FaultReport)
+	}
+	if r.Cold.Cycles == 0 || r.Warm.Cycles == 0 || r.Cold.Cycles <= r.Warm.Cycles {
+		t.Fatalf("implausible baseline: cold=%d warm=%d", r.Cold.Cycles, r.Warm.Cycles)
+	}
+}

@@ -6,11 +6,18 @@
 // statistics around the first (cold) and tenth (warm) request. The client
 // is pinned to core 0 and the function server to core 1; all reported
 // statistics come from core 1.
+//
+// A Spec may additionally carry a fault-injection plan and a retry
+// policy (see internal/faults and docs/faults.md): the plan degrades the
+// IPC and service layers deterministically, the retry policy is compiled
+// into the IR load generator, and the run's Result reports the fault
+// ledger alongside the cold/warm measurements.
 package harness
 
 import (
 	"fmt"
 
+	"svbench/internal/faults"
 	"svbench/internal/gemsys"
 	"svbench/internal/ir"
 	"svbench/internal/isa"
@@ -26,15 +33,18 @@ import (
 // services, channels) while the experiment is assembled.
 type Env struct {
 	M *gemsys.Machine
+	// Inj is the run's fault injector; nil when the spec has no plan.
+	Inj *faults.Injector
 }
 
 // NewService creates a request/response channel pair and binds a native
 // service (a database or cache engine) to it. The returned ids are baked
-// into the workload module's configuration globals.
+// into the workload module's configuration globals. When a fault plan is
+// active, the service is wrapped per its service rules.
 func (e *Env) NewService(svc kernel.Service) (reqCh, respCh int) {
 	reqCh = e.M.K.NewChannel()
 	respCh = e.M.K.NewChannel()
-	e.M.K.Bind(reqCh, respCh, svc)
+	e.M.K.Bind(reqCh, respCh, e.Inj.WrapService(svc))
 	return reqCh, respCh
 }
 
@@ -48,13 +58,25 @@ type Spec struct {
 	// Request returns the encoded request message.
 	Request func() []byte
 	// Requests is the invocation count (default 10: request 1 is the
-	// cold execution, request Requests the warm one).
+	// cold execution, request Requests the warm one). It must be at
+	// least 2 — the cold and warm stat windows need distinct requests.
 	Requests int
-	// Check validates the functional response (optional).
+	// Check validates the functional response (optional). With a Retry
+	// policy it doubles as the per-reply health check: replies failing
+	// it are retried.
 	Check func(resp *rpc.Reader) error
 	// Flavor overrides the libc flavor (ablation studies); nil selects
 	// the architecture's default software stack.
 	Flavor *libc.Flavor
+
+	// Faults, when set, injects the plan's deterministic fault schedule
+	// into the run (armed after the checkpoint restore, so setup is
+	// never faulted).
+	Faults *faults.Plan
+	// Retry, when set, compiles a recovery loop into the load
+	// generator: per-attempt deadlines, bounded attempts, exponential
+	// backoff in virtual cycles.
+	Retry *faults.Retry
 }
 
 // Result is one experiment's outcome.
@@ -65,6 +87,8 @@ type Result struct {
 	Cold, Warm stats.CoreStats
 	SetupInsts uint64
 	Response   []byte
+	// FaultReport is the run's fault ledger; nil without a fault plan.
+	FaultReport *faults.Report
 }
 
 // Budgets for the two phases.
@@ -80,16 +104,42 @@ func Run(arch isa.Arch, spec Spec) (*Result, error) {
 }
 
 // RunWith executes the methodology with an explicit machine configuration
-// (used by the design-space exploration tooling).
+// (used by the design-space exploration tooling). Every failure is
+// returned as a *ExperimentError carrying the phase, fault counters and
+// any partial measurements, so sweep drivers can degrade gracefully.
 func RunWith(cfg gemsys.Config, spec Spec) (*Result, error) {
+	var inj *faults.Injector
+	fail := func(phase string, partial *Result, err error) (*Result, error) {
+		ee := &ExperimentError{Spec: spec.Name, Arch: cfg.Arch, Phase: phase, Partial: partial, Err: err}
+		if inj != nil {
+			rep := inj.Report
+			ee.Faults = &rep
+		}
+		return nil, ee
+	}
+
+	nreq := spec.Requests
+	if nreq == 0 {
+		nreq = 10
+	}
+	if nreq < 2 {
+		return fail("spec", nil, fmt.Errorf(
+			"Requests must be >= 2, got %d: the cold and warm m5 reset/dump markers need distinct requests", nreq))
+	}
+
 	m, err := gemsys.New(cfg)
 	if err != nil {
-		return nil, err
+		return fail("boot", nil, err)
 	}
-	env := &Env{M: m}
+	if spec.Faults != nil {
+		inj = faults.NewInjector(*spec.Faults)
+		m.K.IPCFault = inj.IPCFault
+		m.K.OnFault = inj.Note
+	}
+	env := &Env{M: m, Inj: inj}
 	workload, err := spec.Build(env)
 	if err != nil {
-		return nil, fmt.Errorf("harness: %s: build workload: %w", spec.Name, err)
+		return fail("build", nil, fmt.Errorf("build workload: %w", err))
 	}
 	flavor := libc.ForArch(string(cfg.Arch))
 	if spec.Flavor != nil {
@@ -97,42 +147,54 @@ func RunWith(cfg gemsys.Config, spec Spec) (*Result, error) {
 	}
 	server, err := langrt.BuildServer(spec.Runtime, flavor, workload, vswarm.Handler)
 	if err != nil {
-		return nil, fmt.Errorf("harness: %s: build server: %w", spec.Name, err)
+		return fail("build", nil, fmt.Errorf("build server: %w", err))
 	}
 
 	reqCh := m.K.NewChannel()
 	respCh := m.K.NewChannel()
+	if inj != nil {
+		inj.BindClientChans(reqCh, respCh)
+	}
 	if _, err := m.Spawn("server", server, "main", 1, []uint64{uint64(reqCh), uint64(respCh)}); err != nil {
-		return nil, fmt.Errorf("harness: %s: spawn server: %w", spec.Name, err)
+		return fail("build", nil, fmt.Errorf("spawn server: %w", err))
 	}
-	nreq := spec.Requests
-	if nreq == 0 {
-		nreq = 10
-	}
-	client := BuildClient(spec.Request(), int64(nreq))
+	client := BuildClient(spec.Request(), int64(nreq), spec.Retry)
 	if _, err := m.Spawn("client", client, "main", 0, []uint64{uint64(reqCh), uint64(respCh)}); err != nil {
-		return nil, fmt.Errorf("harness: %s: spawn client: %w", spec.Name, err)
+		return fail("build", nil, fmt.Errorf("spawn client: %w", err))
+	}
+	if spec.Retry != nil {
+		check := spec.Check
+		m.K.ReplyCheck = func(resp []byte) bool {
+			return check == nil || check(rpc.NewReader(resp)) == nil
+		}
 	}
 
 	// Setup mode (atomic CPU) up to the checkpoint before request 1.
 	if err := m.RunSetup(setupBudget); err != nil {
-		return nil, fmt.Errorf("harness: %s: setup: %w", spec.Name, err)
+		return fail("setup", nil, err)
 	}
 	if !m.CheckpointPending() {
-		return nil, fmt.Errorf("harness: %s: setup finished without checkpoint", spec.Name)
+		return fail("checkpoint", nil, fmt.Errorf("setup finished without checkpoint"))
 	}
 	ck := m.TakeCheckpoint()
 	if err := m.Restore(ck); err != nil {
-		return nil, fmt.Errorf("harness: %s: restore: %w", spec.Name, err)
+		return fail("restore", nil, err)
+	}
+	// Faults target steady-state traffic: arm only now, so boot and the
+	// readiness handshake replay cleanly and the post-arm schedule is a
+	// pure function of the seed and the request stream.
+	if inj != nil {
+		inj.Arm()
 	}
 
 	// Evaluation mode (detailed O3 CPU).
 	dumps, err := m.RunEval(evalBudget)
+	partial := partialResult(spec, cfg.Arch, m, dumps, inj)
 	if err != nil {
-		return nil, fmt.Errorf("harness: %s: eval: %w", spec.Name, err)
+		return fail("eval", partial, err)
 	}
 	if len(dumps) != 2 {
-		return nil, fmt.Errorf("harness: %s: got %d stat dumps, want 2", spec.Name, len(dumps))
+		return fail("shape", partial, fmt.Errorf("got %d stat dumps, want 2", len(dumps)))
 	}
 	res := &Result{
 		Name:       spec.Name,
@@ -143,19 +205,56 @@ func RunWith(cfg gemsys.Config, spec Spec) (*Result, error) {
 		SetupInsts: m.Atomic.Insts,
 		Response:   append([]byte(nil), m.K.Console.Bytes()...),
 	}
+	if inj != nil {
+		rep := inj.Report
+		res.FaultReport = &rep
+	}
 	if spec.Check != nil {
 		if err := spec.Check(rpc.NewReader(res.Response)); err != nil {
-			return nil, fmt.Errorf("harness: %s: response check: %w", spec.Name, err)
+			return fail("check", res, fmt.Errorf("response check: %w", err))
 		}
 	}
 	return res, nil
+}
+
+// partialResult salvages whatever a failed evaluation measured: the cold
+// window if it closed, the warm one too if both did.
+func partialResult(spec Spec, arch isa.Arch, m *gemsys.Machine, dumps []stats.Dump, inj *faults.Injector) *Result {
+	if len(dumps) == 0 {
+		return nil
+	}
+	r := &Result{
+		Name:       spec.Name,
+		Runtime:    spec.Runtime,
+		Arch:       arch,
+		Cold:       dumps[0].Server(),
+		SetupInsts: m.Atomic.Insts,
+		Response:   append([]byte(nil), m.K.Console.Bytes()...),
+	}
+	if len(dumps) > 1 {
+		r.Warm = dumps[1].Server()
+	}
+	if inj != nil {
+		rep := inj.Report
+		r.FaultReport = &rep
+	}
+	return r
 }
 
 // BuildClient builds the load-generator module: it performs the readiness
 // handshake, requests the checkpoint, then issues nreq identical requests
 // with m5 reset/dump around the first and last, finally writing the last
 // response to the console and exiting the simulation.
-func BuildClient(request []byte, nreq int64) *ir.Module {
+//
+// With a nil retry policy each request is one blocking send/recv — the
+// exact baseline instruction stream. With a policy, each request becomes
+// a bounded-attempt loop: send, poll the response channel against a
+// virtual-cycle deadline, classify arrived replies host-side (HReplyOK),
+// and back off exponentially between attempts; the loop reports timeout/
+// bad-reply/retry/recovery events through HFaultNote. Requests are
+// identical, so at-least-once delivery is safe: a late reply to an
+// earlier attempt is indistinguishable from the retried one.
+func BuildClient(request []byte, nreq int64, retry *faults.Retry) *ir.Module {
 	m := ir.NewModule("client")
 	m.AddGlobal(&ir.Global{Name: "cli_req", Data: request})
 	m.AddGlobal(&ir.Global{Name: "cli_rbuf", Data: make([]byte, langrt.WBufSize)})
@@ -183,9 +282,13 @@ func BuildClient(request []byte, nreq int64) *ir.Module {
 	b.EcallV(kernel.M5ResetStats)
 	b.Label(notLast)
 
-	b.EcallV(kernel.SysSend, req, reqG, reqLen)
-	rn := b.Ecall(kernel.SysRecv, resp, rbuf, b.Const(langrt.WBufSize))
-	b.MovInto(n, rn)
+	if retry == nil {
+		b.EcallV(kernel.SysSend, req, reqG, reqLen)
+		rn := b.Ecall(kernel.SysRecv, resp, rbuf, b.Const(langrt.WBufSize))
+		b.MovInto(n, rn)
+	} else {
+		emitRetryRequest(b, req, resp, reqG, reqLen, rbuf, n, retry)
+	}
 
 	noDump1 := b.NewLabel("nd1")
 	b.BrI(ir.Ne, i, 1, noDump1)
@@ -203,4 +306,86 @@ func BuildClient(request []byte, nreq int64) *ir.Module {
 	b.EcallV(kernel.M5Exit)
 	m.AddFunc(b.Build())
 	return m
+}
+
+// emitRetryRequest emits one request's bounded-attempt loop into the
+// client body. On success n holds the reply length; on exhaustion n is 0
+// (nothing valid to report).
+func emitRetryRequest(b *ir.Builder, req, resp, reqG, reqLen, rbuf, n ir.Reg, retry *faults.Retry) {
+	maxAttempts := retry.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	deadline := retry.Deadline
+	if deadline == 0 {
+		// A dropped message would block a deadline-less poll loop
+		// forever; fall back to the default.
+		deadline = faults.DefaultRetry().Deadline
+	}
+	bufMax := b.Const(langrt.WBufSize)
+	attempt := b.Const(0)
+
+	attemptL := b.NewLabel("attempt")
+	waitL := b.NewLabel("wait")
+	gotL := b.NewLabel("got")
+	timeoutL := b.NewLabel("tmo")
+	maybeRetryL := b.NewLabel("mretry")
+	reqDone := b.NewLabel("reqdone")
+
+	b.Label(attemptL)
+	b.AddIInto(attempt, attempt, 1)
+	b.EcallV(kernel.SysSend, req, reqG, reqLen)
+	t0 := b.Ecall(kernel.SysClock)
+	dl := b.AddI(t0, int64(deadline))
+
+	b.Label(waitL)
+	rn := b.Ecall(kernel.SysTryRecv, resp, rbuf, bufMax)
+	b.BrI(ir.Ne, rn, -1, gotL)
+	now := b.Ecall(kernel.SysClock)
+	b.Br(ir.Gt, now, dl, timeoutL)
+	b.EcallV(kernel.SysYield)
+	b.Jmp(waitL)
+
+	b.Label(timeoutL)
+	b.EcallV(kernel.HFaultNote, b.Const(int64(faults.EvTimeout)))
+	b.Jmp(maybeRetryL)
+
+	b.Label(gotL)
+	b.MovInto(n, rn)
+	ok := b.Ecall(kernel.HReplyOK, rbuf, rn)
+	okL := b.NewLabel("ok")
+	b.BrI(ir.Ne, ok, 0, okL)
+	b.EcallV(kernel.HFaultNote, b.Const(int64(faults.EvBadReply)))
+	b.Jmp(maybeRetryL)
+	b.Label(okL)
+	firstTry := b.NewLabel("ft")
+	b.BrI(ir.Le, attempt, 1, firstTry)
+	b.EcallV(kernel.HFaultNote, b.Const(int64(faults.EvRecovered)))
+	b.Label(firstTry)
+	b.Jmp(reqDone)
+
+	b.Label(maybeRetryL)
+	canRetry := b.NewLabel("cr")
+	b.BrI(ir.Lt, attempt, int64(maxAttempts), canRetry)
+	b.EcallV(kernel.HFaultNote, b.Const(int64(faults.EvExhausted)))
+	b.ConstInto(n, 0)
+	b.Jmp(reqDone)
+	b.Label(canRetry)
+	b.EcallV(kernel.HFaultNote, b.Const(int64(faults.EvRetry)))
+	if retry.Backoff > 0 {
+		// Exponential backoff: Backoff << (attempt-1) virtual cycles.
+		sh := b.AddI(attempt, -1)
+		wait := b.Shl(b.Const(int64(retry.Backoff)), sh)
+		until := b.Add(b.Ecall(kernel.SysClock), wait)
+		backL, backDone := b.NewLabel("backoff"), b.NewLabel("bdone")
+		b.Label(backL)
+		t := b.Ecall(kernel.SysClock)
+		b.Br(ir.Ge, t, until, backDone)
+		b.EcallV(kernel.SysYield)
+		b.Jmp(backL)
+		b.Label(backDone)
+	}
+	b.Jmp(attemptL)
+
+	b.Label(reqDone)
 }

@@ -96,6 +96,21 @@ type Kernel struct {
 	// functional/QEMU virtual clock).
 	OnServiceTime func(cycles uint64)
 
+	// IPCFault, when set, is consulted on every committed message. It may
+	// drop the message, corrupt the payload slice in place (it aliases
+	// kernel slab memory), or return extra delivery delay in virtual
+	// cycles; delayed messages reach their receiver through a derived
+	// sequence so the timing layer charges the delay like a service round
+	// trip. On a service-bound channel, a drop discards the request before
+	// the engine sees it and a delay stretches the reply's service time.
+	IPCFault func(ch int, payload []byte) (drop bool, delay uint64)
+	// ReplyCheck classifies a reply for the load generator's retry loop
+	// (the HReplyOK host call): it returns false when the response should
+	// be retried. Nil accepts everything.
+	ReplyCheck func(resp []byte) bool
+	// OnFault receives fault events user code reports via HFaultNote.
+	OnFault func(ev uint64)
+
 	// Panicked is set when simulated code raised the panic host call
 	// (e.g. a stack-smash detection).
 	Panicked  bool
@@ -203,11 +218,23 @@ func (k *Kernel) Ecall(c isa.Core, p *Process) isa.EcallResult {
 		k.seq++
 		seq := k.seq
 		c.Annotate(isa.FlagSend, seq)
+		var drop bool
+		var delay uint64
+		if k.IPCFault != nil {
+			drop, delay = k.IPCFault(ch.id, k.Mem.Bytes(kbuf, ln))
+		}
+		if drop {
+			// The message vanishes after the send commits: no receiver
+			// ever waits on seq, so the orphan FlagSend is harmless.
+			c.SetRet(0)
+			return isa.EcallHandled
+		}
 		if ch.svc != nil {
 			// Native service: run host-side, deliver the reply on the
 			// bound output channel after serviceCycles of virtual time.
 			req := append([]byte(nil), k.Mem.Bytes(kbuf, ln)...)
 			resp, cycles := ch.svc.Handle(req)
+			cycles += delay
 			if k.OnServiceTime != nil {
 				k.OnServiceTime(cycles)
 			}
@@ -219,6 +246,19 @@ func (k *Kernel) Ecall(c isa.Core, p *Process) isa.EcallResult {
 				k.OnDerive(seq, rseq, cycles)
 			}
 			k.enqueue(k.chanFor(uint64(ch.svcOut)), message{addr: raddr, ln: uint64(len(resp)), seq: rseq})
+		} else if delay > 0 {
+			// Late delivery: hand the receiver a derived sequence that
+			// becomes ready delay cycles after the send commits, and
+			// advance the functional clock so emulated latencies see it.
+			if k.OnServiceTime != nil {
+				k.OnServiceTime(delay)
+			}
+			k.seq++
+			rseq := k.seq
+			if k.OnDerive != nil {
+				k.OnDerive(seq, rseq, delay)
+			}
+			k.enqueue(ch, message{addr: kbuf, ln: ln, seq: rseq})
 		} else {
 			k.enqueue(ch, message{addr: kbuf, ln: ln, seq: seq})
 		}
@@ -275,6 +315,18 @@ func (k *Kernel) Ecall(c isa.Core, p *Process) isa.EcallResult {
 		c.SetRet(0)
 	case HClock:
 		c.SetRet(k.Clock())
+	case HReplyOK:
+		buf, ln := c.Arg(0), c.Arg(1)
+		ok := uint64(1)
+		if k.ReplyCheck != nil && !k.ReplyCheck(k.Mem.Bytes(buf, ln)) {
+			ok = 0
+		}
+		c.SetRet(ok)
+	case HFaultNote:
+		if k.OnFault != nil {
+			k.OnFault(c.Arg(0))
+		}
+		c.SetRet(0)
 	case HPanic:
 		k.Panicked = true
 		k.PanicInfo = fmt.Sprintf("proc %s pc=%#x", p.Name, c.PC())

@@ -21,6 +21,10 @@ const (
 	SysExit  = 5 // exit(code)
 	SysYield = 6 // yield()
 	SysClock = 7 // clock() -> virtual nanoseconds
+	// SysTryRecv is the non-blocking receive the fault-tolerant load
+	// generator polls with: it returns the message length, or -1 when the
+	// channel is empty (so a deadline can expire instead of blocking).
+	SysTryRecv = 8 // tryrecv(ch, buf, maxlen) -> len | -1
 )
 
 // m5-style magic operations (host-handled).
@@ -44,7 +48,12 @@ const (
 	HExit    = 0x1009
 	HYield   = 0x100A
 	HClock   = 0x100B
-	HPanic   = 0x1FFF
+	// HReplyOK classifies a received reply for the retry loop (host-side
+	// response check); HFaultNote reports a client-observed fault event
+	// to the injector. Both are no-ops when no fault plan is wired.
+	HReplyOK   = 0x100C
+	HFaultNote = 0x100D
+	HPanic     = 0x1FFF
 )
 
 // HandlerName returns the kernel IR function handling a user syscall.
@@ -64,12 +73,14 @@ func HandlerName(num uint64) string {
 		return "k_sys_yield"
 	case SysClock:
 		return "k_sys_clock"
+	case SysTryRecv:
+		return "k_sys_try_recv"
 	}
 	return ""
 }
 
 // UserSyscalls lists the vectored syscall numbers.
-var UserSyscalls = []uint64{SysWrite, SysSend, SysRecv, SysSbrk, SysExit, SysYield, SysClock}
+var UserSyscalls = []uint64{SysWrite, SysSend, SysRecv, SysSbrk, SysExit, SysYield, SysClock, SysTryRecv}
 
 // Module builds the kernel's IR module for a libc flavor. The handlers do
 // their data movement (message copies between user buffers and kernel
@@ -126,6 +137,26 @@ func Module(f libc.Flavor) *ir.Module {
 		b.CallV("memcpy", buf, kbuf, ln)
 		b.EcallV(HConsume, ch)
 		b.Ret(ln)
+		m.AddFunc(b.Build())
+	}
+
+	{ // k_sys_try_recv(ch, buf, maxlen) -> len, or -1 when no message waits
+		b := ir.NewFunc("k_sys_try_recv", 3)
+		ch, buf, maxlen := b.Param(0), b.Param(1), b.Param(2)
+		entry(b)
+		kbuf := b.Ecall(HPoll, ch)
+		empty := b.NewLabel("empty")
+		b.BrI(ir.Eq, kbuf, 0, empty)
+		ln := b.Ecall(HMsgLen, ch)
+		fits := b.NewLabel("fits")
+		b.Br(ir.Le, ln, maxlen, fits)
+		b.MovInto(ln, maxlen)
+		b.Label(fits)
+		b.CallV("memcpy", buf, kbuf, ln)
+		b.EcallV(HConsume, ch)
+		b.Ret(ln)
+		b.Label(empty)
+		b.Ret(b.Const(-1))
 		m.AddFunc(b.Build())
 	}
 

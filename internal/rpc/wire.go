@@ -302,7 +302,9 @@ func (r *Reader) Bytes() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if r.cur+int(n) > len(r.buf) {
+	// Compare in uint64: a huge length must not wrap past the buffer end
+	// when truncated to int.
+	if n > uint64(len(r.buf)-r.cur) {
 		return nil, fmt.Errorf("rpc: bytes field overruns message")
 	}
 	p := r.buf[r.cur : r.cur+int(n)]

@@ -15,6 +15,7 @@
 package svbench
 
 import (
+	"svbench/internal/faults"
 	"svbench/internal/figures"
 	"svbench/internal/gemsys"
 	"svbench/internal/harness"
@@ -59,6 +60,16 @@ type (
 	HotelEngine = harness.HotelEngine
 	// LukewarmResult compares solo-warm against interleaved execution.
 	LukewarmResult = harness.LukewarmResult
+	// FaultPlan is a deterministic, seed-driven fault-injection plan.
+	FaultPlan = faults.Plan
+	// FaultRule is one probabilistic fault rule of a plan.
+	FaultRule = faults.Rule
+	// FaultReport is the fault/recovery ledger of one run.
+	FaultReport = faults.Report
+	// Retry is the load generator's recovery policy.
+	Retry = faults.Retry
+	// ExperimentError is the structured failure one experiment returns.
+	ExperimentError = harness.ExperimentError
 )
 
 // Runtime models.
@@ -73,6 +84,24 @@ const (
 	EngineCassandra = harness.EngineCassandra
 	EngineMongo     = harness.EngineMongo
 	EngineMariaDB   = harness.EngineMariaDB
+)
+
+// Fault kinds for custom FaultPlan rules (internal/faults is not
+// importable from outside the module).
+const (
+	FaultDropMsg      = faults.DropMsg
+	FaultCorruptMsg   = faults.CorruptMsg
+	FaultDelayMsg     = faults.DelayMsg
+	FaultErrorReply   = faults.ErrorReply
+	FaultLatencySpike = faults.LatencySpike
+	FaultOutage       = faults.Outage
+)
+
+// Symbolic channel targets for IPC fault rules.
+const (
+	FaultAnyChannel = faults.AnyChannel
+	FaultClientReq  = faults.ClientReq
+	FaultClientResp = faults.ClientResp
 )
 
 // DefaultConfig returns the thesis's simulated system configuration for
@@ -111,8 +140,20 @@ func HotelSpec(fn string, engine HotelEngine) Spec { return harness.HotelSpec(fn
 func AllSpecs() []Spec { return harness.AllSpecs() }
 
 // CollectFigures sweeps every experiment on both ISAs; log (optional)
-// receives one progress line per experiment.
+// receives one progress line per experiment. Failed experiments are
+// recorded in Results.Failures; the sweep continues past them.
 func CollectFigures(log func(string)) (*Results, error) { return figures.Collect(log) }
+
+// DefaultFaultPlan returns the standard chaos-testing plan for a seed:
+// client-path message drops, delays and response corruption plus service
+// error replies and latency spikes. The same seed always reproduces the
+// same fault schedule (see docs/faults.md).
+func DefaultFaultPlan(seed uint64) *FaultPlan { return faults.DefaultPlan(seed) }
+
+// DefaultRetry returns the standard recovery policy for the load
+// generator: bounded attempts with exponential backoff and a per-attempt
+// deadline, all in virtual time.
+func DefaultRetry() *Retry { return faults.DefaultRetry() }
 
 // RunLukewarm interleaves two functions on the measured core and reports
 // how much of spec's warm state survives (the §2.1 lukewarm effect).
