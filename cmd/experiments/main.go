@@ -39,7 +39,8 @@ func main() {
 	all = append(all, figures.Table41(),
 		res.Fig44(), res.Fig45(), res.Fig46(), res.Fig47(), res.Fig48(), res.Fig49(),
 		res.Fig410(), res.Fig411(), res.Fig412(), res.Fig413(), res.Fig414(),
-		res.Fig415(), res.Fig416(), res.Fig417(), res.Fig418(), res.Fig419())
+		res.Fig415(), res.Fig416(), res.Fig417(), res.Fig418(), res.Fig419(),
+		res.TableMPKI())
 	if !*skipEmu {
 		f420, err := figures.Fig420(*nreq)
 		if err != nil {
@@ -70,6 +71,8 @@ func main() {
 
 	var sb strings.Builder
 	sb.WriteString("# Evaluation figures and tables (regenerated)\n\n")
+	sb.WriteString("Cache-miss rates (MPKI) and all per-core counters come from the\n" +
+		"tracing and stats subsystem — see [docs/tracing.md](tracing.md).\n\n")
 	for _, d := range all {
 		sb.WriteString(d.Markdown())
 		sb.WriteString("\n")

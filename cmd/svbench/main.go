@@ -9,6 +9,7 @@
 //	svbench -fn fibonacci-go [-arch rv64|cisc64] [-engine cassandra|mongodb|mariadb]
 //	svbench -fn profile -emulate -requests 10
 //	svbench -fn geo -chaos -seed 7
+//	svbench -fn fibonacci-go -trace trace.json -profile -stats-txt stats.txt
 package main
 
 import (
@@ -29,6 +30,9 @@ func main() {
 		list     = flag.Bool("list", false, "list experiment names")
 		chaos    = flag.Bool("chaos", false, "inject the default fault plan and compile the retry policy into the client")
 		seed     = flag.Uint64("seed", 1, "fault-injection seed (same seed = same fault schedule)")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON (Perfetto-loadable) to this file")
+		profile  = flag.Bool("profile", false, "print the sampled guest hot-function profile")
+		statsTxt = flag.String("stats-txt", "", "write the gem5-style stats.txt dump to this file")
 	)
 	flag.Parse()
 
@@ -65,6 +69,9 @@ func main() {
 		spec.Faults = svbench.DefaultFaultPlan(*seed)
 		spec.Retry = svbench.DefaultRetry()
 	}
+	if *traceOut != "" || *profile || *statsTxt != "" {
+		spec.Trace = svbench.TraceOptions{Enabled: true}
+	}
 
 	if *emulate {
 		lats, err := svbench.RunEmulated(a, *spec, *requests)
@@ -99,5 +106,24 @@ func main() {
 			rep.ErrorReplies, rep.Spikes, rep.Outages)
 		fmt.Printf("  recovery: surfaced=%d timeouts=%d badreplies=%d retried=%d recovered=%d exhausted=%d\n",
 			rep.Surfaced, rep.Timeouts, rep.BadReplies, rep.Retried, rep.Recovered, rep.Exhausted)
+	}
+	if *traceOut != "" {
+		if err := os.WriteFile(*traceOut, res.TraceJSON, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "svbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  trace: %d events -> %s (load in Perfetto or chrome://tracing)\n",
+			len(res.Events), *traceOut)
+	}
+	if *statsTxt != "" {
+		if err := os.WriteFile(*statsTxt, []byte(res.StatsText), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "svbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  stats: %s\n", *statsTxt)
+	}
+	if *profile {
+		fmt.Println()
+		fmt.Print(res.Profile.Table())
 	}
 }

@@ -1,9 +1,12 @@
 // Command svdump disassembles the compiled program of a benchmark
 // container for either ISA — the objdump of the simulated toolchain.
+// With -trace it instead runs the workload's experiment with the event
+// tracer on and lists the buffered instruction-retire trace.
 //
 // Usage:
 //
 //	svdump -fn fibonacci-go -arch rv64 [-sym handler] [-runtime go]
+//	svdump -fn fibonacci -trace [-trace-limit 200]
 package main
 
 import (
@@ -12,11 +15,13 @@ import (
 	"os"
 	"sort"
 
+	"svbench/internal/harness"
 	"svbench/internal/isa"
 	"svbench/internal/isa/cisc"
 	"svbench/internal/isa/riscv"
 	"svbench/internal/langrt"
 	"svbench/internal/libc"
+	"svbench/internal/trace"
 	"svbench/internal/vswarm"
 
 	irpkg "svbench/internal/ir"
@@ -51,14 +56,81 @@ func workloadByName(name string) (*irpkg.Module, langrt.Runtime, bool) {
 	return nil, "", false
 }
 
+// specFor maps a svdump workload name onto its harness experiment.
+func specFor(name string) (harness.Spec, bool) {
+	for _, hf := range vswarm.HotelFuncs {
+		if hf.Name == name {
+			return harness.HotelSpec(name, harness.EngineCassandra), true
+		}
+	}
+	full := map[string]string{
+		"fibonacci": "fibonacci-go", "aes": "aes-go", "auth": "auth-go",
+		"productcatalog": "productcatalog-go", "shipping": "shipping-go",
+		"recommendation": "recommendation-python", "email": "emailservice-python",
+		"currency": "currency-nodejs", "payment": "payment-nodejs",
+	}[name]
+	for _, sp := range append(harness.StandaloneSpecs(), harness.ShopSpecs()...) {
+		if sp.Name == full || sp.Name == name {
+			return sp, true
+		}
+	}
+	return harness.Spec{}, false
+}
+
+// runRetireTrace executes the workload's full experiment with the event
+// tracer on and prints the buffered instruction-retire records, newest
+// last, each PC resolved against the machine's symbol table.
+func runRetireTrace(name string, a isa.Arch, limit int) error {
+	sp, ok := specFor(name)
+	if !ok {
+		return fmt.Errorf("unknown workload %q", name)
+	}
+	sp.Trace = trace.Options{Enabled: true}
+	res, err := harness.Run(a, sp)
+	if err != nil {
+		return err
+	}
+	var retires []trace.Event
+	for _, ev := range res.Events {
+		if ev.Kind == trace.EvInstRetire {
+			retires = append(retires, ev)
+		}
+	}
+	shown := retires
+	if limit > 0 && len(shown) > limit {
+		shown = shown[len(shown)-limit:]
+	}
+	fmt.Printf("%s on %s: %d retire events buffered, showing last %d\n\n",
+		sp.Name, a, len(retires), len(shown))
+	for _, ev := range shown {
+		_, fnName := res.Syms.Resolve(ev.PC)
+		if fnName == "" {
+			fnName = "?"
+		}
+		fmt.Printf("  cyc=%-10d core=%d pc=%08x %-6s %s\n",
+			ev.Cycle, ev.Core, ev.PC, isa.Class(ev.Arg), fnName)
+	}
+	return nil
+}
+
 func main() {
 	var (
-		fn      = flag.String("fn", "fibonacci", "workload name (e.g. fibonacci, aes, geo)")
-		arch    = flag.String("arch", "rv64", "rv64 or cisc64")
-		symOnly = flag.String("sym", "", "disassemble only this function")
-		rtName  = flag.String("runtime", "", "override the runtime (go, python, nodejs)")
+		fn       = flag.String("fn", "fibonacci", "workload name (e.g. fibonacci, aes, geo)")
+		arch     = flag.String("arch", "rv64", "rv64 or cisc64")
+		symOnly  = flag.String("sym", "", "disassemble only this function")
+		rtName   = flag.String("runtime", "", "override the runtime (go, python, nodejs)")
+		doTrace  = flag.Bool("trace", false, "run the experiment and dump the instruction-retire trace")
+		traceLim = flag.Int("trace-limit", 200, "retire events to show with -trace (0 = all buffered)")
 	)
 	flag.Parse()
+
+	if *doTrace {
+		if err := runRetireTrace(*fn, isa.Arch(*arch), *traceLim); err != nil {
+			fmt.Fprintln(os.Stderr, "svdump:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	mod, rt, ok := workloadByName(*fn)
 	if !ok {

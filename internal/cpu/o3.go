@@ -5,6 +5,7 @@ import (
 
 	"svbench/internal/isa"
 	"svbench/internal/mem"
+	"svbench/internal/trace"
 )
 
 // O3Config parameterizes the detailed out-of-order model. Defaults mirror
@@ -170,6 +171,12 @@ type O3 struct {
 	storeDone map[uint64]uint64
 
 	Stats WindowStats
+
+	// Observability (nil when tracing is disabled: the hot path then
+	// pays only untaken nil-check branches).
+	tr       *trace.Tracer
+	core     uint8
+	ecallLat *trace.Dist
 }
 
 // NewO3 builds a detailed core over a cache hierarchy.
@@ -194,6 +201,78 @@ func NewO3(cfg O3Config, hier *mem.Hierarchy, coupler *Coupler) *O3 {
 
 // Now returns the core's committed-time cursor.
 func (o *O3) Now() uint64 { return o.lastCommit }
+
+// AttachTracer enables event emission from the pipeline: branch
+// mispredict redirects, cache/TLB misses (via the attached hierarchy),
+// and syscall enter/exit pairs observed into ecallLat (may be nil).
+func (o *O3) AttachTracer(tr *trace.Tracer, core int, ecallLat *trace.Dist) {
+	o.tr = tr
+	o.core = uint8(core)
+	o.ecallLat = ecallLat
+	o.Hier.AttachTracer(tr, core)
+}
+
+// RegisterStats registers the core's counters and formulas under prefix
+// (e.g. "machine.core1.o3") in the hierarchical registry. Counters are
+// live pointers into the window stats; the registry reads them at dump
+// time, so registration adds nothing to the replay hot path.
+func (o *O3) RegisterStats(r *trace.Registry, prefix string) {
+	r.Counter(prefix+".insts", "instructions committed this stats window", &o.Stats.Insts)
+	r.Counter(prefix+".microops", "micro-operations committed this stats window", &o.Stats.MicroOps)
+	r.Counter(prefix+".loads", "load instructions committed", &o.Stats.Loads)
+	r.Counter(prefix+".stores", "store instructions committed", &o.Stats.Stores)
+	r.Counter(prefix+".branches", "control-flow instructions committed", &o.Stats.Branches)
+	r.Counter(prefix+".mispredicts", "branch mispredict redirects", &o.Stats.Mispredicts)
+	r.Counter(prefix+".bpred.lookups", "branch predictor lookups", &o.BP.Lookups)
+	r.Func(prefix+".windowCycles", "cycles elapsed in the current stats window", o.WindowCycles)
+	r.Formula(prefix+".cpi", "cycles per committed instruction", func() float64 {
+		if o.Stats.Insts == 0 {
+			return 0
+		}
+		return float64(o.WindowCycles()) / float64(o.Stats.Insts)
+	})
+	r.Formula(prefix+".bpred.mispredictRate", "mispredicts per predictor lookup", func() float64 {
+		if o.BP.Lookups == 0 {
+			return 0
+		}
+		return float64(o.BP.Mispredicts) / float64(o.BP.Lookups)
+	})
+}
+
+// ResetPipeline returns the core to its just-built state over a fresh
+// coupler — the in-place equivalent of NewO3, so statistics registered
+// against this core's counters stay valid across a checkpoint restore.
+func (o *O3) ResetPipeline(coupler *Coupler) {
+	o.coupler = coupler
+	o.now = 1
+	o.renameCount = 0
+	o.curFetchLine = 0
+	o.lineReady = 0
+	o.regReady = [34]uint64{}
+	for i := range o.robRing {
+		o.robRing[i] = 0
+	}
+	o.robHead = 0
+	for i := range o.loadRing {
+		o.loadRing[i] = 0
+	}
+	o.loadHead = 0
+	for i := range o.storeRing {
+		o.storeRing[i] = 0
+	}
+	o.storeHead = 0
+	o.lastCommit = 0
+	o.commitCycle = 0
+	o.commitsAtCycle = 0
+	o.issueRing = slotRing{cap: o.issueRing.cap}
+	o.mulDivRing = slotRing{cap: o.mulDivRing.cap}
+	o.loadPorts = slotRing{cap: o.loadPorts.cap}
+	o.storePorts = slotRing{cap: o.storePorts.cap}
+	o.storeDone = map[uint64]uint64{}
+	o.BP.Flush()
+	o.BP.ResetStats()
+	o.Stats = WindowStats{}
+}
 
 // ErrWait is a sentinel: the record needs a coupling sequence that has not
 // committed on the other core yet.
@@ -287,6 +366,7 @@ func (o *O3) Retire(rec *isa.TraceRec) (uint64, error) {
 	}
 
 	var complete uint64
+	var ecallIssue uint64
 	serialize := false
 	switch rec.Class {
 	case isa.ClassAlu, isa.ClassJump, isa.ClassCall, isa.ClassRet, isa.ClassBranch:
@@ -321,6 +401,7 @@ func (o *O3) Retire(rec *isa.TraceRec) (uint64, error) {
 		}
 		issue := o.issueRing.reserve(ready)
 		complete = issue + o.Cfg.EcallLat
+		ecallIssue = issue
 		serialize = true
 	default:
 		issue := o.issueRing.reserve(ready)
@@ -333,6 +414,9 @@ func (o *O3) Retire(rec *isa.TraceRec) (uint64, error) {
 		o.Stats.Branches++
 		if o.BP.Mispredicted(rec) {
 			o.Stats.Mispredicts++
+			if o.tr != nil {
+				o.tr.EmitAt(trace.EvBranchMiss, o.core, complete, rec.PC, 0, 0)
+			}
 			o.bump(complete + o.Cfg.MispredictPenalty)
 			o.curFetchLine = 0 // refetch after redirect
 		}
@@ -383,6 +467,13 @@ func (o *O3) Retire(rec *isa.TraceRec) (uint64, error) {
 
 	o.Stats.Insts++
 	o.Stats.MicroOps += uint64(rec.MicroOps)
+	if o.tr != nil && rec.Class == isa.ClassEcall {
+		// The privilege-switch window: issue-to-commit of the
+		// serializing ecall.
+		o.tr.EmitAt(trace.EvSyscallEnter, o.core, ecallIssue, rec.PC, 0, 0)
+		o.tr.EmitAt(trace.EvSyscallExit, o.core, ct, rec.PC, 0, 0)
+		o.ecallLat.Observe(ct - ecallIssue)
+	}
 	o.advanceFrontEnd()
 
 	if rec.Flags&isa.FlagSend != 0 {

@@ -1,0 +1,65 @@
+package cpu
+
+import (
+	"testing"
+
+	"svbench/internal/isa"
+	"svbench/internal/trace"
+)
+
+// benchRecs builds a mixed instruction stream representative of the
+// serverless handlers: ALU work with a dependent chain, loads/stores
+// striding over a few cache lines, and taken/not-taken branches.
+func benchRecs(n int) []isa.TraceRec {
+	recs := make([]isa.TraceRec, 0, n)
+	pc := uint64(0x1000)
+	for i := 0; len(recs) < n; i++ {
+		recs = append(recs,
+			isa.TraceRec{PC: pc, Size: 4, Class: isa.ClassAlu,
+				Src1: uint8(i % 8), Src2: isa.NoDep, Dst: uint8((i + 1) % 8), MicroOps: 1},
+			isa.TraceRec{PC: pc + 4, Size: 4, Class: isa.ClassLoad,
+				MemAddr: 0x8000 + uint64(i%64)*8, MemSize: 8,
+				Src1: 2, Src2: isa.NoDep, Dst: 3, MicroOps: 1},
+			isa.TraceRec{PC: pc + 8, Size: 4, Class: isa.ClassStore,
+				MemAddr: 0x9000 + uint64(i%32)*8, MemSize: 8,
+				Src1: 3, Src2: 4, Dst: isa.NoDep, MicroOps: 1},
+			isa.TraceRec{PC: pc + 12, Size: 4, Class: isa.ClassBranch,
+				Taken: i%3 == 0, Target: pc + 32,
+				Src1: 1, Src2: 2, Dst: isa.NoDep, MicroOps: 1},
+		)
+		pc += 16
+		if pc > 0x1400 {
+			pc = 0x1000
+		}
+	}
+	return recs[:n]
+}
+
+func runRetireLoop(b *testing.B, o *O3, recs []isa.TraceRec) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.Retire(&recs[i%len(recs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkO3RetireTracerOff is the tier-1 overhead guard: the O3 retire
+// loop with no tracer attached (the default) must stay within noise of
+// the pre-tracing baseline — the only added work is nil-pointer checks.
+func BenchmarkO3RetireTracerOff(b *testing.B) {
+	o := newTestO3()
+	runRetireLoop(b, o, benchRecs(4096))
+}
+
+// BenchmarkO3RetireTracerOn measures the same loop with the event tracer
+// and latency distribution attached, to quantify the enabled cost.
+func BenchmarkO3RetireTracerOn(b *testing.B) {
+	o := newTestO3()
+	r := trace.NewRegistry()
+	o.AttachTracer(trace.NewTracer(trace.DefaultBufferEvents), 0,
+		r.NewDist("bench.ecallLat", "ecall latency"))
+	runRetireLoop(b, o, benchRecs(4096))
+}

@@ -317,6 +317,19 @@ func (r *Results) Fig419() Data {
 		coldWarm(cycles), isa.CISC64, isa.RV64)
 }
 
+// TableMPKI projects the derived warm-window miss-rate metrics — L1 MPKI,
+// branch MPKI and L2 miss ratio — RISC-V vs x86, using the stats
+// accessors rather than recomputing the ratios per figure.
+func (r *Results) TableMPKI() Data {
+	return r.project("table-mpki", "Warm-window miss rates, RISC-V vs x86",
+		FnOrder,
+		[]string{"riscv MPKI", "riscv branch MPKI", "riscv L2 miss ratio",
+			"x86 MPKI", "x86 branch MPKI", "x86 L2 miss ratio"},
+		func(res *harness.Result) []float64 {
+			return []float64{res.Warm.MPKI(), res.Warm.BranchMPKI(), res.Warm.L2MissRatio()}
+		}, isa.RV64, isa.CISC64)
+}
+
 // Fig420 runs the QEMU-mode MongoDB-vs-Cassandra comparison (x86).
 func Fig420(nreq int) (Data, error) {
 	d := Data{

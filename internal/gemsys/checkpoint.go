@@ -122,12 +122,22 @@ func (m *Machine) Restore(ck *Checkpoint) error {
 	m.ckptReq = false
 	// Fresh coupler and cold microarchitecture, re-wired everywhere. The
 	// shared DRAM channel's occupancy cursor must also reset: it carries
-	// absolute cycle times from the previous run.
+	// absolute cycle times from the previous run. The O3 cores are reset
+	// in place (not rebuilt) so registry pointers into their counters
+	// stay valid.
 	m.Coupler = newCouplerFor(m)
 	m.DRAM.Reset()
 	for ci := range m.O3 {
-		m.O3[ci] = newO3For(m, ci)
+		m.O3[ci].ResetPipeline(m.Coupler)
 		m.O3[ci].ColdStart()
+	}
+	// The observability layer starts a fresh measurement: both restored
+	// runs of a same-seed pair then export identical bytes.
+	m.K.ResetCounts()
+	m.Tracer.Reset()
+	m.Prof.Reset()
+	for _, d := range m.ecallLat {
+		d.Reset()
 	}
 	return nil
 }

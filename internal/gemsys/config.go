@@ -8,6 +8,7 @@ import (
 	"svbench/internal/cpu"
 	"svbench/internal/isa"
 	"svbench/internal/mem"
+	"svbench/internal/trace"
 )
 
 // Config describes the simulated system, mirroring Tables 4.1–4.3 of the
@@ -24,6 +25,10 @@ type Config struct {
 	RegionBytes uint64
 	// Quantum is the functional scheduler's instruction quantum.
 	Quantum int
+	// Trace configures the observability layer (event tracing and the
+	// sampling profiler). The zero value disables both; the stats
+	// registry is always available.
+	Trace trace.Options
 	// OSLabel and KernelLabel reproduce the software rows of
 	// Tables 4.1–4.3.
 	OSLabel     string

@@ -1,9 +1,11 @@
 package gemsys
 
 import (
+	"bytes"
 	"testing"
 
 	"svbench/internal/isa"
+	"svbench/internal/trace"
 )
 
 // TestRestoreTwiceIsIdentical: restoring the same checkpoint twice and
@@ -57,5 +59,59 @@ func TestRestoreTwiceIsIdentical(t *testing.T) {
 	c3, _, _ := run()
 	if c3 != c1 {
 		t.Fatal("checkpoint mutated by evaluation runs")
+	}
+}
+
+// TestTraceExportsDeterministic: with the tracer and profiler on,
+// restoring the same checkpoint twice must yield byte-identical Chrome
+// trace JSON, stats text, and profile tables — observability must not
+// perturb (or be perturbed by) the simulation.
+func TestTraceExportsDeterministic(t *testing.T) {
+	cfg := DefaultConfig(isa.RV64)
+	cfg.Trace = trace.Options{Enabled: true}
+	mach, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := mach.K.NewChannel()
+	resp := mach.K.NewChannel()
+	if _, err := mach.Spawn("server", serverMod(), "main", 1, []uint64{uint64(req), uint64(resp)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mach.Spawn("client", clientMod(6, 15), "main", 0, []uint64{uint64(req), uint64(resp)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mach.RunSetup(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	ck := mach.TakeCheckpoint()
+
+	run := func() ([]byte, string, string) {
+		if err := mach.Restore(ck); err != nil {
+			t.Fatal(err)
+		}
+		mach.K.Console.Reset()
+		if _, err := mach.RunEval(100_000_000); err != nil {
+			t.Fatal(err)
+		}
+		js, err := mach.TraceJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return js, mach.StatsText("eval"), mach.Profile().Table()
+	}
+	js1, st1, pr1 := run()
+	js2, st2, pr2 := run()
+	if !bytes.Equal(js1, js2) {
+		t.Fatal("same checkpoint, different trace JSON bytes")
+	}
+	if st1 != st2 {
+		t.Fatal("same checkpoint, different stats text")
+	}
+	if pr1 != pr2 {
+		t.Fatal("same checkpoint, different profile tables")
+	}
+	if len(js1) == 0 || st1 == "" || pr1 == "" {
+		t.Fatalf("empty export: json=%d stats=%d profile=%d", len(js1), len(st1), len(pr1))
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"svbench/internal/libc"
 	"svbench/internal/mem"
 	"svbench/internal/stats"
+	"svbench/internal/trace"
 )
 
 // Machine is a simulated two-core full system: flat memory, the miniature
@@ -47,6 +48,15 @@ type Machine struct {
 	hookProc   *kernel.Process
 
 	kernelProg *isa.Program
+
+	// Observability. The registry and symbol table always exist (stat
+	// dumps project from the registry); Tracer and Prof are nil unless
+	// Config.Trace.Enabled, which keeps the replay hot path event-free.
+	Reg      *trace.Registry
+	Syms     *trace.SymTable
+	Tracer   *trace.Tracer
+	Prof     *trace.Profiler
+	ecallLat []*trace.Dist
 }
 
 // ErrDeadlock reports that neither core can make progress.
@@ -136,6 +146,36 @@ func New(cfg Config) (*Machine, error) {
 		m.K.HandlerAddr[num] = prog.SymAddr(kernel.HandlerName(num))
 	}
 	m.K.UserExitAddr = prog.SymAddr("k_user_exit")
+
+	// Register every component's counters into the hierarchical registry;
+	// collectStats and the gem5-style text export project from it.
+	m.Reg = trace.NewRegistry()
+	m.Syms = trace.NewSymTable()
+	m.Syms.AddProgram("kernel", prog.Syms, prog.FuncEnd)
+	for ci := 0; ci < cfg.Cores; ci++ {
+		prefix := fmt.Sprintf("machine.core%d", ci)
+		m.O3[ci].RegisterStats(m.Reg, prefix+".o3")
+		m.Hier[ci].RegisterStats(m.Reg, prefix)
+	}
+	m.K.RegisterStats(m.Reg, "machine.kernel")
+	m.Reg.Func("machine.virtInstr", "functional-mode virtual clock (instructions)",
+		func() uint64 { return m.virtInstr })
+	m.Reg.Func("machine.dram.accesses", "shared-channel DRAM line fills",
+		func() uint64 { return m.DRAM.Accesses })
+	if cfg.Trace.Enabled {
+		m.Tracer = trace.NewTracer(cfg.Trace.BufferEvents)
+		period := cfg.Trace.SamplePeriod
+		if period == 0 {
+			period = trace.DefaultSamplePeriod
+		}
+		m.Prof = trace.NewProfiler(m.Syms, cfg.Cores, period)
+		for ci := 0; ci < cfg.Cores; ci++ {
+			d := m.Reg.NewDist(fmt.Sprintf("machine.core%d.o3.ecallLat", ci),
+				"serializing ecall issue-to-commit latency")
+			m.ecallLat = append(m.ecallLat, d)
+			m.O3[ci].AttachTracer(m.Tracer, ci, d)
+		}
+	}
 	return m, nil
 }
 
@@ -210,6 +250,7 @@ func (m *Machine) Spawn(name string, mod *ir.Module, entry string, coreID int, a
 	for i, a := range args {
 		p.Core.SetArg(i, a)
 	}
+	m.Syms.AddProgram(name, prog.Syms, prog.FuncEnd)
 	m.K.AddProcess(p)
 	m.rq[coreID] = append(m.rq[coreID], p)
 	return p, nil
@@ -241,6 +282,7 @@ func (m *Machine) pickNext(ci int) *kernel.Process {
 	if p := m.cur[ci]; p != nil && p.State == kernel.ProcRunnable {
 		return p
 	}
+	prev := m.cur[ci]
 	m.cur[ci] = nil
 	rq := m.rq[ci]
 	for len(rq) > 0 {
@@ -252,6 +294,12 @@ func (m *Machine) pickNext(ci int) *kernel.Process {
 		}
 	}
 	m.rq[ci] = rq
+	if m.Tracer != nil && m.cur[ci] != nil && m.cur[ci] != prev {
+		// Functional-side event: stamped with the virtual clock, exported
+		// on the scheduler track.
+		m.Tracer.EmitAt(trace.EvCtxSwitch, uint8(ci), m.virtInstr, 0,
+			uint64(m.cur[ci].ID), 0)
+	}
 	return m.cur[ci]
 }
 
@@ -359,27 +407,29 @@ func (m *Machine) popRec(ci int) {
 	}
 }
 
+// collectStats projects a stats.Dump out of the hierarchical registry —
+// the registry is the single source; the Dump is just the shape the
+// figures pipeline consumes.
 func (m *Machine) collectStats(label string) stats.Dump {
 	d := stats.Dump{Label: label}
 	for ci := 0; ci < m.Cfg.Cores; ci++ {
-		o := m.O3[ci]
-		h := m.Hier[ci]
+		p := fmt.Sprintf("machine.core%d", ci)
 		d.Cores = append(d.Cores, stats.CoreStats{
-			Cycles:      o.WindowCycles(),
-			Insts:       o.Stats.Insts,
-			MicroOps:    o.Stats.MicroOps,
-			Loads:       o.Stats.Loads,
-			Stores:      o.Stats.Stores,
-			Branches:    o.Stats.Branches,
-			Mispredicts: o.Stats.Mispredicts,
-			L1IAccesses: h.L1I.Stats.Accesses,
-			L1IMisses:   h.L1I.Stats.Misses,
-			L1DAccesses: h.L1D.Stats.Accesses,
-			L1DMisses:   h.L1D.Stats.Misses,
-			L2Accesses:  h.L2.Stats.Accesses,
-			L2Misses:    h.L2.Stats.Misses,
-			ITLBMisses:  h.ITLB.Misses,
-			DTLBMisses:  h.DTLB.Misses,
+			Cycles:      m.Reg.U64(p + ".o3.windowCycles"),
+			Insts:       m.Reg.U64(p + ".o3.insts"),
+			MicroOps:    m.Reg.U64(p + ".o3.microops"),
+			Loads:       m.Reg.U64(p + ".o3.loads"),
+			Stores:      m.Reg.U64(p + ".o3.stores"),
+			Branches:    m.Reg.U64(p + ".o3.branches"),
+			Mispredicts: m.Reg.U64(p + ".o3.mispredicts"),
+			L1IAccesses: m.Reg.U64(p + ".l1i.accesses"),
+			L1IMisses:   m.Reg.U64(p + ".l1i.misses"),
+			L1DAccesses: m.Reg.U64(p + ".l1d.accesses"),
+			L1DMisses:   m.Reg.U64(p + ".l1d.misses"),
+			L2Accesses:  m.Reg.U64(p + ".l2.accesses"),
+			L2Misses:    m.Reg.U64(p + ".l2.misses"),
+			ITLBMisses:  m.Reg.U64(p + ".itlb.misses"),
+			DTLBMisses:  m.Reg.U64(p + ".dtlb.misses"),
 		})
 	}
 	return d
@@ -410,7 +460,7 @@ func (m *Machine) RunEval(budget uint64) ([]stats.Dump, error) {
 				continue
 			}
 			rec := &m.traces[ci][m.cursor[ci]]
-			_, err := m.O3[ci].Retire(rec)
+			ct, err := m.O3[ci].Retire(rec)
 			if err == cpu.ErrWait {
 				continue
 			}
@@ -418,12 +468,51 @@ func (m *Machine) RunEval(budget uint64) ([]stats.Dump, error) {
 				return dumps, err
 			}
 			flags := rec.Flags
+			if m.Tracer != nil {
+				// All reads from rec happen before popRec: queue
+				// compaction may move the record.
+				m.Tracer.EmitAt(trace.EvInstRetire, uint8(ci), ct, rec.PC,
+					uint64(rec.Class), uint64(rec.MicroOps))
+				if flags&isa.FlagSend != 0 {
+					m.Tracer.EmitAt(trace.EvIPCSend, uint8(ci), ct, rec.PC, rec.Seq, 0)
+				}
+				if flags&isa.FlagRecv != 0 {
+					m.Tracer.EmitAt(trace.EvIPCRecv, uint8(ci), ct, rec.PC, rec.Seq, 0)
+				}
+				if flags&isa.FlagM5Reset != 0 {
+					m.Tracer.EmitAt(trace.EvM5Reset, uint8(ci), ct, rec.PC, 0, 0)
+				}
+				if flags&isa.FlagM5Dump != 0 {
+					m.Tracer.EmitAt(trace.EvM5Dump, uint8(ci), ct, rec.PC, 0, 0)
+				}
+			}
+			if m.Prof != nil {
+				switch rec.Class {
+				case isa.ClassCall:
+					m.Prof.OnCall(ci, rec.Target)
+				case isa.ClassRet:
+					m.Prof.OnRet(ci)
+				case isa.ClassEcall:
+					if flags&isa.FlagVector != 0 {
+						// The handler's ret balances this push.
+						m.Prof.OnCall(ci, rec.Seq)
+					}
+				}
+				if rec.Class == isa.ClassIdle {
+					m.Prof.SkipIdle(ci, ct)
+				} else {
+					m.Prof.Observe(ci, ct, rec.PC)
+				}
+			}
 			m.popRec(ci)
 			progressed = true
 			retired++
 			if flags&isa.FlagM5Reset != 0 {
 				for _, o := range m.O3 {
 					o.ResetStats()
+				}
+				for _, d := range m.ecallLat {
+					d.Reset()
 				}
 			}
 			if flags&isa.FlagM5Dump != 0 {

@@ -1,0 +1,41 @@
+package gemsys
+
+import (
+	"errors"
+
+	"svbench/internal/trace"
+)
+
+// ErrTraceDisabled reports that an export needing the event tracer was
+// requested on a machine built without Config.Trace.Enabled.
+var ErrTraceDisabled = errors.New("gemsys: tracing not enabled (set Config.Trace.Enabled)")
+
+// TraceJSON renders the buffered event trace as Chrome trace_event JSON,
+// loadable in Perfetto / chrome://tracing. Output is a pure function of
+// the simulated execution, so same-seed runs export identical bytes.
+func (m *Machine) TraceJSON() ([]byte, error) {
+	if m.Tracer == nil {
+		return nil, ErrTraceDisabled
+	}
+	return trace.ChromeJSON(m.Tracer.Events(), m.Syms, m.Tracer.Dropped)
+}
+
+// StatsText renders the full hierarchical registry as a gem5-style
+// stats.txt block. Available on every machine (the registry always
+// exists).
+func (m *Machine) StatsText(label string) string { return m.Reg.Text(label) }
+
+// Profile returns the sampling profiler's report, or nil when the machine
+// was built without tracing.
+func (m *Machine) Profile() *trace.Profile {
+	if m.Prof == nil {
+		return nil
+	}
+	return m.Prof.Report()
+}
+
+// EmitFault records a fault-injection event on the functional clock (the
+// harness routes kernel fault notes here).
+func (m *Machine) EmitFault(code uint64) {
+	m.Tracer.EmitAt(trace.EvFault, 0, m.virtInstr, 0, code, 0)
+}

@@ -1,11 +1,13 @@
 package harness
 
 import (
+	"bytes"
 	"errors"
 	"testing"
 
 	"svbench/internal/faults"
 	"svbench/internal/isa"
+	"svbench/internal/trace"
 )
 
 // findSpec pulls one named spec from the catalog.
@@ -65,6 +67,37 @@ func TestChaosDeterminism(t *testing.T) {
 	c := run(12)
 	if *a.FaultReport == *c.FaultReport && a.Cold.Cycles == c.Cold.Cycles {
 		t.Fatal("seeds 11 and 12 produced identical runs")
+	}
+}
+
+// TestChaosTraceDeterminism extends the seed-determinism guarantee to
+// the observability exports: the same chaos spec with tracing on, run
+// twice with the same seed, must emit byte-identical Chrome trace JSON
+// and stats text.
+func TestChaosTraceDeterminism(t *testing.T) {
+	run := func() *Result {
+		sp := findSpec(t, "fibonacci-go")
+		sp.Faults = faults.DefaultPlan(11)
+		sp.Retry = faults.DefaultRetry()
+		sp.Trace = trace.Options{Enabled: true}
+		r, err := Run(isa.RV64, sp)
+		if err != nil {
+			t.Fatalf("chaos trace run failed: %v", err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if len(a.TraceJSON) == 0 {
+		t.Fatal("trace-enabled run produced no trace JSON")
+	}
+	if !bytes.Equal(a.TraceJSON, b.TraceJSON) {
+		t.Fatal("same seed, different trace JSON bytes")
+	}
+	if a.StatsText == "" || a.StatsText != b.StatsText {
+		t.Fatal("same seed, different stats text")
+	}
+	if a.Profile == nil || a.Profile.Table() != b.Profile.Table() {
+		t.Fatal("same seed, different profiles")
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"svbench/internal/libc"
 	"svbench/internal/rpc"
 	"svbench/internal/stats"
+	"svbench/internal/trace"
 	"svbench/internal/vswarm"
 )
 
@@ -69,6 +70,11 @@ type Spec struct {
 	// the architecture's default software stack.
 	Flavor *libc.Flavor
 
+	// Trace, when enabled, turns on the machine's observability layer:
+	// the Result then carries the event trace (Chrome JSON), the
+	// gem5-style stats text, and the sampled guest profile.
+	Trace trace.Options
+
 	// Faults, when set, injects the plan's deterministic fault schedule
 	// into the run (armed after the checkpoint restore, so setup is
 	// never faulted).
@@ -89,6 +95,16 @@ type Result struct {
 	Response   []byte
 	// FaultReport is the run's fault ledger; nil without a fault plan.
 	FaultReport *faults.Report
+
+	// Observability artifacts, populated when Spec.Trace.Enabled:
+	// the sampled guest profile, the Chrome trace_event JSON export,
+	// the gem5-style stats.txt text, and the raw buffered events with
+	// the symbol table that resolves their PCs.
+	Profile   *trace.Profile
+	TraceJSON []byte
+	StatsText string
+	Events    []trace.Event
+	Syms      *trace.SymTable
 }
 
 // Budgets for the two phases.
@@ -127,6 +143,9 @@ func RunWith(cfg gemsys.Config, spec Spec) (*Result, error) {
 			"Requests must be >= 2, got %d: the cold and warm m5 reset/dump markers need distinct requests", nreq))
 	}
 
+	if spec.Trace.Enabled {
+		cfg.Trace = spec.Trace
+	}
 	m, err := gemsys.New(cfg)
 	if err != nil {
 		return fail("boot", nil, err)
@@ -135,6 +154,17 @@ func RunWith(cfg gemsys.Config, spec Spec) (*Result, error) {
 		inj = faults.NewInjector(*spec.Faults)
 		m.K.IPCFault = inj.IPCFault
 		m.K.OnFault = inj.Note
+	}
+	if m.Tracer != nil {
+		// Chain the fault-note hook so injected faults also land on the
+		// event trace's fault track.
+		prev := m.K.OnFault
+		m.K.OnFault = func(ev uint64) {
+			if prev != nil {
+				prev(ev)
+			}
+			m.EmitFault(ev)
+		}
 	}
 	env := &Env{M: m, Inj: inj}
 	workload, err := spec.Build(env)
@@ -208,6 +238,17 @@ func RunWith(cfg gemsys.Config, spec Spec) (*Result, error) {
 	if inj != nil {
 		rep := inj.Report
 		res.FaultReport = &rep
+	}
+	if m.Tracer != nil {
+		res.Profile = m.Profile()
+		res.StatsText = m.StatsText(spec.Name)
+		res.Events = m.Tracer.Events()
+		res.Syms = m.Syms
+		tj, terr := m.TraceJSON()
+		if terr != nil {
+			return fail("trace", res, terr)
+		}
+		res.TraceJSON = tj
 	}
 	if spec.Check != nil {
 		if err := spec.Check(rpc.NewReader(res.Response)); err != nil {

@@ -64,6 +64,10 @@ const (
 	FlagRecv                   // record must wait for wake sequence Seq
 	FlagM5Reset
 	FlagM5Dump
+	// FlagVector marks an ecall that vectored into a kernel handler
+	// (Seq carries the handler address): the handler's terminating ret
+	// balances it, which keeps profiler shadow stacks honest.
+	FlagVector
 )
 
 // TraceRec is one dynamic instruction as observed by the functional core,

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"svbench/internal/isa"
+	"svbench/internal/trace"
 )
 
 // ProcState is a process's scheduler state.
@@ -116,8 +117,39 @@ type Kernel struct {
 	Panicked  bool
 	PanicInfo string
 
+	// Counts are the kernel's observability counters.
+	Counts Counts
+
 	nextProcID int
 }
+
+// Counts holds the kernel-side counters registered into the machine's
+// stats registry.
+type Counts struct {
+	Ecalls      uint64 // host environment calls dispatched here
+	Sends       uint64 // IPC messages committed
+	Drops       uint64 // messages dropped by fault injection
+	Delayed     uint64 // messages delivered late by fault injection
+	ServiceReqs uint64 // requests handled by native service engines
+	Wakes       uint64 // processes woken from channel waits
+}
+
+// RegisterStats publishes the kernel's counters under prefix.
+func (k *Kernel) RegisterStats(r *trace.Registry, prefix string) {
+	r.Counter(prefix+".ecalls", "host environment calls dispatched", &k.Counts.Ecalls)
+	r.Counter(prefix+".ipc.sends", "IPC messages committed", &k.Counts.Sends)
+	r.Counter(prefix+".ipc.drops", "messages dropped by fault injection", &k.Counts.Drops)
+	r.Counter(prefix+".ipc.delayed", "messages delivered late by fault injection", &k.Counts.Delayed)
+	r.Counter(prefix+".ipc.serviceReqs", "requests handled by native services", &k.Counts.ServiceReqs)
+	r.Counter(prefix+".sched.wakes", "processes woken from channel waits", &k.Counts.Wakes)
+	r.Func(prefix+".consoleBytes", "bytes written to the console", func() uint64 {
+		return uint64(k.Console.Len())
+	})
+}
+
+// ResetCounts zeroes the kernel counters (checkpoint restore starts a
+// fresh measurement).
+func (k *Kernel) ResetCounts() { k.Counts = Counts{} }
 
 // New creates a kernel over mem with a message slab at [slabBase,
 // slabBase+slabSize).
@@ -178,6 +210,7 @@ func (k *Kernel) wake(c *Channel, seq uint64) {
 	}
 	p := c.waiters[0]
 	c.waiters = c.waiters[1:]
+	k.Counts.Wakes++
 	p.State = ProcRunnable
 	p.WakeSeq = seq
 	p.NeedsIdle = true
@@ -195,6 +228,7 @@ func (k *Kernel) enqueue(c *Channel, m message) {
 // Ecall dispatches an environment call raised by process p. The machine's
 // hook routes all non-m5 ecalls here.
 func (k *Kernel) Ecall(c isa.Core, p *Process) isa.EcallResult {
+	k.Counts.Ecalls++
 	num := c.EcallNum()
 	if HandlerName(num) != "" {
 		addr, ok := k.HandlerAddr[num]
@@ -202,6 +236,7 @@ func (k *Kernel) Ecall(c isa.Core, p *Process) isa.EcallResult {
 			panic(fmt.Sprintf("kernel: unvectored syscall %d", num))
 		}
 		c.CallInto(addr)
+		c.Annotate(isa.FlagVector, addr)
 		return isa.EcallVector
 	}
 	switch num {
@@ -217,6 +252,7 @@ func (k *Kernel) Ecall(c isa.Core, p *Process) isa.EcallResult {
 		kbuf, ln := c.Arg(1), c.Arg(2)
 		k.seq++
 		seq := k.seq
+		k.Counts.Sends++
 		c.Annotate(isa.FlagSend, seq)
 		var drop bool
 		var delay uint64
@@ -226,12 +262,17 @@ func (k *Kernel) Ecall(c isa.Core, p *Process) isa.EcallResult {
 		if drop {
 			// The message vanishes after the send commits: no receiver
 			// ever waits on seq, so the orphan FlagSend is harmless.
+			k.Counts.Drops++
 			c.SetRet(0)
 			return isa.EcallHandled
+		}
+		if delay > 0 {
+			k.Counts.Delayed++
 		}
 		if ch.svc != nil {
 			// Native service: run host-side, deliver the reply on the
 			// bound output channel after serviceCycles of virtual time.
+			k.Counts.ServiceReqs++
 			req := append([]byte(nil), k.Mem.Bytes(kbuf, ln)...)
 			resp, cycles := ch.svc.Handle(req)
 			cycles += delay

@@ -1,5 +1,7 @@
 package mem
 
+import "svbench/internal/trace"
+
 // DRAMConfig describes the memory channel behind the last-level caches.
 type DRAMConfig struct {
 	Latency  uint64 // device access latency in CPU cycles
@@ -135,6 +137,36 @@ type Hierarchy struct {
 	peer         *Hierarchy
 	// CoherenceInvals counts lines invalidated here by peer writes.
 	CoherenceInvals uint64
+
+	tr   *trace.Tracer
+	core uint8
+}
+
+// AttachTracer routes this hierarchy's miss events to tr, stamped with the
+// owning core's id. A nil tracer keeps the hot path event-free.
+func (h *Hierarchy) AttachTracer(tr *trace.Tracer, core int) {
+	h.tr = tr
+	h.core = uint8(core)
+}
+
+// RegisterStats publishes the hierarchy's counters under prefix (e.g.
+// "machine.core1") in the registry. The caches and TLBs keep incrementing
+// their own fields; the registry reads the live pointers at dump time.
+func (h *Hierarchy) RegisterStats(r *trace.Registry, prefix string) {
+	for _, c := range []struct {
+		name  string
+		cache *Cache
+	}{{"l1i", h.L1I}, {"l1d", h.L1D}, {"l2", h.L2}} {
+		c := c
+		r.Counter(prefix+"."+c.name+".accesses", c.name+" cache accesses", &c.cache.Stats.Accesses)
+		r.Counter(prefix+"."+c.name+".misses", c.name+" cache misses", &c.cache.Stats.Misses)
+		r.Formula(prefix+"."+c.name+".missRate", c.name+" miss ratio", func() float64 {
+			return c.cache.Stats.MissRate()
+		})
+	}
+	r.Counter(prefix+".itlb.misses", "instruction TLB misses", &h.ITLB.Misses)
+	r.Counter(prefix+".dtlb.misses", "data TLB misses", &h.DTLB.Misses)
+	r.Counter(prefix+".coherence.invals", "lines invalidated by peer writes", &h.CoherenceInvals)
 }
 
 // NewHierarchy builds a hierarchy over a shared DRAM channel.
@@ -178,10 +210,19 @@ func (h *Hierarchy) remoteInvalidate(addr uint64) uint64 {
 // now, returning its completion time.
 func (h *Hierarchy) FetchI(now uint64, addr uint64) uint64 {
 	lat := h.ITLB.Access(addr)
+	if lat != 0 && h.tr != nil {
+		h.tr.EmitAt(trace.EvTLBMiss, h.core, now, addr, trace.LvlITLB, addr)
+	}
 	lat += h.L1I.Config().HitLatency
 	if r := h.L1I.Access(addr, false); !r.Hit {
+		if h.tr != nil {
+			h.tr.EmitAt(trace.EvCacheMiss, h.core, now, addr, trace.LvlL1I, addr)
+		}
 		lat += h.L2.Config().HitLatency
 		if r2 := h.L2.Access(addr, false); !r2.Hit {
+			if h.tr != nil {
+				h.tr.EmitAt(trace.EvCacheMiss, h.core, now, addr, trace.LvlL2, addr)
+			}
 			done := h.DRAM.Access(now + lat)
 			return done
 		}
@@ -192,6 +233,9 @@ func (h *Hierarchy) FetchI(now uint64, addr uint64) uint64 {
 // AccessD performs a data access at time now, returning completion time.
 func (h *Hierarchy) AccessD(now uint64, addr uint64, write bool) uint64 {
 	lat := h.DTLB.Access(addr)
+	if lat != 0 && h.tr != nil {
+		h.tr.EmitAt(trace.EvTLBMiss, h.core, now, addr, trace.LvlDTLB, addr)
+	}
 	lat += h.L1D.Config().HitLatency
 	var extra uint64
 	if write {
@@ -199,6 +243,9 @@ func (h *Hierarchy) AccessD(now uint64, addr uint64, write bool) uint64 {
 	}
 	r := h.L1D.Access(addr, write)
 	if !r.Hit {
+		if h.tr != nil {
+			h.tr.EmitAt(trace.EvCacheMiss, h.core, now, addr, trace.LvlL1D, addr)
+		}
 		if !write {
 			// A read miss may find the only valid copy dirty in the
 			// peer; model the transfer.
@@ -206,6 +253,9 @@ func (h *Hierarchy) AccessD(now uint64, addr uint64, write bool) uint64 {
 		}
 		lat += h.L2.Config().HitLatency
 		if r2 := h.L2.Access(addr, write); !r2.Hit {
+			if h.tr != nil {
+				h.tr.EmitAt(trace.EvCacheMiss, h.core, now, addr, trace.LvlL2, addr)
+			}
 			done := h.DRAM.Access(now + lat + extra)
 			return done
 		}

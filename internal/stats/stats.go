@@ -37,6 +37,31 @@ func (c CoreStats) CPI() float64 {
 // L1Misses returns combined instruction+data L1 misses.
 func (c CoreStats) L1Misses() uint64 { return c.L1IMisses + c.L1DMisses }
 
+// MPKI returns combined L1 misses per kilo-instruction for the window.
+func (c CoreStats) MPKI() float64 {
+	if c.Insts == 0 {
+		return 0
+	}
+	return 1000 * float64(c.L1Misses()) / float64(c.Insts)
+}
+
+// BranchMPKI returns branch mispredicts per kilo-instruction.
+func (c CoreStats) BranchMPKI() float64 {
+	if c.Insts == 0 {
+		return 0
+	}
+	return 1000 * float64(c.Mispredicts) / float64(c.Insts)
+}
+
+// L2MissRatio returns L2 misses over L2 accesses (0 when the L2 was
+// never accessed).
+func (c CoreStats) L2MissRatio() float64 {
+	if c.L2Accesses == 0 {
+		return 0
+	}
+	return float64(c.L2Misses) / float64(c.L2Accesses)
+}
+
 // String summarizes the window.
 func (c CoreStats) String() string {
 	return fmt.Sprintf("cycles=%d insts=%d cpi=%.2f l1i=%d l1d=%d l2=%d mispred=%d",

@@ -22,6 +22,36 @@ func TestL1Misses(t *testing.T) {
 	}
 }
 
+func TestMPKI(t *testing.T) {
+	c := CoreStats{Insts: 2000, L1IMisses: 3, L1DMisses: 5}
+	if got := c.MPKI(); got != 4 {
+		t.Fatalf("MPKI = %v, want 4 (8 misses / 2 kilo-insts)", got)
+	}
+	if (CoreStats{L1IMisses: 9}).MPKI() != 0 {
+		t.Fatal("idle MPKI must be 0")
+	}
+}
+
+func TestBranchMPKI(t *testing.T) {
+	c := CoreStats{Insts: 4000, Mispredicts: 6}
+	if got := c.BranchMPKI(); got != 1.5 {
+		t.Fatalf("BranchMPKI = %v, want 1.5", got)
+	}
+	if (CoreStats{Mispredicts: 1}).BranchMPKI() != 0 {
+		t.Fatal("idle BranchMPKI must be 0")
+	}
+}
+
+func TestL2MissRatio(t *testing.T) {
+	c := CoreStats{L2Accesses: 8, L2Misses: 2}
+	if got := c.L2MissRatio(); got != 0.25 {
+		t.Fatalf("L2MissRatio = %v, want 0.25", got)
+	}
+	if (CoreStats{L2Misses: 5}).L2MissRatio() != 0 {
+		t.Fatal("no-access ratio must be 0")
+	}
+}
+
 func TestDumpServer(t *testing.T) {
 	d := Dump{Cores: []CoreStats{{Cycles: 1}, {Cycles: 2}}}
 	if d.Server().Cycles != 2 {

@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// chromeEvent is one trace_event record of the Chrome/Perfetto JSON
+// format (the "JSON Array Format" every Chromium-derived trace viewer
+// loads). Virtual cycles are exported through the "ts" microsecond field
+// one-to-one: one simulated cycle renders as one viewer microsecond.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   uint64            `json:"ts"`
+	Dur  uint64            `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	OtherData       struct {
+		Clock   string `json:"clock"`
+		Dropped uint64 `json:"droppedEvents"`
+	} `json:"otherData"`
+}
+
+// Functional-side events (context switch, fault injection) are placed on
+// per-core "functional" tracks offset from the cycle-accurate ones, since
+// their timestamps come from the machine's functional clock.
+const functionalTidBase = 100
+
+func tidFor(ev Event) int {
+	switch ev.Kind {
+	case EvCtxSwitch, EvFault:
+		return functionalTidBase + int(ev.Core)
+	}
+	return int(ev.Core)
+}
+
+// ChromeJSON renders events into Chrome trace_event JSON loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing. syms, when non-nil,
+// annotates instruction and syscall events with the containing function.
+// dropped reports ring overwrites so truncation is visible in the viewer.
+// The output is deterministic: same events, same bytes.
+func ChromeJSON(events []Event, syms *SymTable, dropped uint64) ([]byte, error) {
+	tr := chromeTrace{DisplayTimeUnit: "ns", TraceEvents: []chromeEvent{}}
+	tr.OtherData.Clock = "virtual-cycles (1 ts = 1 cycle)"
+	tr.OtherData.Dropped = dropped
+
+	// Track-naming metadata: one row per core plus functional tracks.
+	seenTid := map[int]bool{}
+	addMeta := func(tid int) {
+		if seenTid[tid] {
+			return
+		}
+		seenTid[tid] = true
+		name := fmt.Sprintf("core%d (cycles)", tid)
+		if tid >= functionalTidBase {
+			name = fmt.Sprintf("core%d (functional)", tid-functionalTidBase)
+		}
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: tid,
+			Args: map[string]string{"name": name},
+		})
+	}
+
+	for _, ev := range events {
+		tid := tidFor(ev)
+		addMeta(tid)
+		ce := chromeEvent{
+			Name: ev.Kind.String(),
+			Cat:  "sim",
+			Ts:   ev.Cycle,
+			Pid:  0,
+			Tid:  tid,
+		}
+		args := map[string]string{}
+		if ev.PC != 0 {
+			args["pc"] = fmt.Sprintf("0x%x", ev.PC)
+			if _, fn := syms.Resolve(ev.PC); fn != "" {
+				args["fn"] = fn
+			}
+		}
+		switch ev.Kind {
+		case EvInstRetire:
+			ce.Ph = "i"
+			ce.S = "t"
+			args["class"] = fmt.Sprintf("%d", ev.Arg)
+		case EvCacheMiss, EvTLBMiss:
+			ce.Ph = "i"
+			ce.S = "t"
+			ce.Name = missName(ev.Kind, ev.Arg)
+			args["addr"] = fmt.Sprintf("0x%x", ev.Arg2)
+		case EvBranchMiss:
+			ce.Ph = "i"
+			ce.S = "t"
+		case EvSyscallEnter:
+			ce.Ph = "B"
+			ce.Name = "syscall"
+		case EvSyscallExit:
+			ce.Ph = "E"
+			ce.Name = "syscall"
+		case EvIPCSend, EvIPCRecv:
+			ce.Ph = "i"
+			ce.S = "p"
+			args["seq"] = fmt.Sprintf("%d", ev.Arg)
+		case EvCtxSwitch:
+			ce.Ph = "i"
+			ce.S = "t"
+			args["proc"] = fmt.Sprintf("%d", ev.Arg)
+		case EvFault:
+			ce.Ph = "i"
+			ce.S = "g"
+			args["event"] = fmt.Sprintf("%d", ev.Arg)
+		case EvM5Reset, EvM5Dump:
+			ce.Ph = "i"
+			ce.S = "g"
+		default:
+			ce.Ph = "i"
+			ce.S = "t"
+		}
+		if len(args) > 0 {
+			ce.Args = args
+		}
+		tr.TraceEvents = append(tr.TraceEvents, ce)
+	}
+	return json.Marshal(tr)
+}
+
+func missName(k Kind, lvl uint64) string {
+	switch lvl {
+	case LvlL1I:
+		return "l1i-miss"
+	case LvlL1D:
+		return "l1d-miss"
+	case LvlL2:
+		return "l2-miss"
+	case LvlITLB:
+		return "itlb-miss"
+	case LvlDTLB:
+		return "dtlb-miss"
+	}
+	return k.String()
+}

@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"testing"
+)
+
+// decodeFuzzEvents turns an arbitrary byte string into a deterministic
+// event sequence: 26 bytes per event, remainder discarded.
+func decodeFuzzEvents(data []byte) []Event {
+	const rec = 26
+	var evs []Event
+	for len(data) >= rec {
+		evs = append(evs, Event{
+			Cycle: binary.LittleEndian.Uint64(data[0:8]),
+			PC:    binary.LittleEndian.Uint64(data[8:16]),
+			Arg:   binary.LittleEndian.Uint64(data[16:24]),
+			Kind:  Kind(data[24] % uint8(evKinds+2)), // includes out-of-range kinds
+			Core:  data[25] % 4,
+		})
+		data = data[rec:]
+	}
+	return evs
+}
+
+// FuzzTraceRingChromeRoundTrip feeds arbitrary event sequences through
+// the ring buffer and the Chrome encoder: the ring must preserve the
+// newest events in order, and the encoder must always produce valid JSON
+// whose traceEvents count matches the buffered events plus metadata.
+func FuzzTraceRingChromeRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 26*3))
+	f.Add(bytes.Repeat([]byte{0x01, 0x80, 0x00}, 40))
+	seed := make([]byte, 26*70) // more events than the ring below holds
+	for i := range seed {
+		seed[i] = byte(i * 31)
+	}
+	f.Add(seed)
+
+	syms := NewSymTable()
+	syms.AddProgram("p", map[string]uint64{"f": 0}, map[string]uint64{"f": ^uint64(0)})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs := decodeFuzzEvents(data)
+		tr := NewTracer(64)
+		for _, ev := range evs {
+			tr.Emit(ev)
+		}
+		want := len(evs)
+		if want > 64 {
+			want = 64
+		}
+		got := tr.Events()
+		if len(got) != want {
+			t.Fatalf("ring holds %d events, want %d", len(got), want)
+		}
+		// The ring keeps the newest events, oldest-first.
+		for i, ev := range got {
+			if ev != evs[len(evs)-want+i] {
+				t.Fatalf("ring event %d mismatch: %+v vs %+v", i, ev, evs[len(evs)-want+i])
+			}
+		}
+		if wantDropped := uint64(len(evs) - want); tr.Dropped != wantDropped {
+			t.Fatalf("Dropped = %d, want %d", tr.Dropped, wantDropped)
+		}
+
+		out, err := ChromeJSON(got, syms, tr.Dropped)
+		if err != nil {
+			t.Fatalf("ChromeJSON: %v", err)
+		}
+		if !json.Valid(out) {
+			t.Fatalf("invalid JSON: %.200s", out)
+		}
+		var parsed struct {
+			TraceEvents []struct {
+				Name string `json:"name"`
+				Ph   string `json:"ph"`
+			} `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(out, &parsed); err != nil {
+			t.Fatalf("round-trip unmarshal: %v", err)
+		}
+		nonMeta := 0
+		for _, ev := range parsed.TraceEvents {
+			if ev.Ph != "M" {
+				nonMeta++
+			}
+			if ev.Name == "" {
+				t.Fatal("event with empty name")
+			}
+		}
+		if nonMeta != want {
+			t.Fatalf("encoded %d non-metadata events, want %d", nonMeta, want)
+		}
+		// Determinism: encoding the same events twice is byte-identical.
+		out2, _ := ChromeJSON(got, syms, tr.Dropped)
+		if !bytes.Equal(out, out2) {
+			t.Fatal("encoder is nondeterministic")
+		}
+	})
+}

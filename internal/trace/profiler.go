@@ -1,0 +1,223 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Profiler is a sampling profiler of the simulated guest: every
+// SamplePeriod virtual cycles of a core's committed time it records the
+// retiring guest PC, resolves it against the machine's symbol table, and
+// maintains per-function flat counts plus cumulative (self + callees)
+// counts derived from a shadow call stack fed by retired call/return
+// records. All sampling is driven by the deterministic virtual clock, so
+// same-seed runs produce identical profiles.
+//
+// A nil *Profiler is a valid "profiling disabled" value for every method.
+type Profiler struct {
+	period uint64
+	syms   *SymTable
+
+	next  []uint64  // per-core next sample cycle
+	stack [][]int32 // per-core shadow call stack of span indices
+
+	flat map[int32]uint64
+	cum  map[int32]uint64
+
+	samples uint64
+	unknown uint64 // samples whose PC resolved to no function
+}
+
+// maxShadowDepth bounds the shadow call stack; deeper frames are dropped
+// (recursion past this depth still profiles flat counts correctly).
+const maxShadowDepth = 128
+
+// NewProfiler builds a profiler over syms for the given core count.
+// period 0 selects DefaultSamplePeriod.
+func NewProfiler(syms *SymTable, cores int, period uint64) *Profiler {
+	if period == 0 {
+		period = DefaultSamplePeriod
+	}
+	p := &Profiler{
+		period: period,
+		syms:   syms,
+		next:   make([]uint64, cores),
+		stack:  make([][]int32, cores),
+		flat:   map[int32]uint64{},
+		cum:    map[int32]uint64{},
+	}
+	for i := range p.next {
+		p.next[i] = period
+	}
+	return p
+}
+
+// OnCall pushes the callee (resolved from the call target) onto the
+// core's shadow stack.
+func (p *Profiler) OnCall(core int, target uint64) {
+	if p == nil {
+		return
+	}
+	idx, _ := p.syms.Resolve(target)
+	if len(p.stack[core]) < maxShadowDepth {
+		p.stack[core] = append(p.stack[core], int32(idx))
+	}
+}
+
+// OnRet pops the core's shadow stack.
+func (p *Profiler) OnRet(core int) {
+	if p == nil {
+		return
+	}
+	if n := len(p.stack[core]); n > 0 {
+		p.stack[core] = p.stack[core][:n-1]
+	}
+}
+
+// SkipIdle advances the core's sampling cursor past an idle span ending
+// at cycle without taking samples, so blocked-core time does not drown
+// the profile in unresolved samples.
+func (p *Profiler) SkipIdle(core int, cycle uint64) {
+	if p == nil || cycle < p.next[core] {
+		return
+	}
+	n := (cycle-p.next[core])/p.period + 1
+	p.next[core] += n * p.period
+}
+
+// Observe accounts one retired instruction committing at cycle on core.
+// It takes samples for every period boundary the commit time crossed.
+func (p *Profiler) Observe(core int, cycle, pc uint64) {
+	if p == nil || cycle < p.next[core] {
+		return
+	}
+	idx, _ := p.syms.Resolve(pc)
+	for p.next[core] <= cycle {
+		p.next[core] += p.period
+		p.sample(core, int32(idx))
+	}
+}
+
+func (p *Profiler) sample(core int, idx int32) {
+	p.samples++
+	if idx < 0 {
+		p.unknown++
+		return
+	}
+	p.flat[idx]++
+	// Cumulative: the sampled function plus every distinct caller on the
+	// shadow stack, each counted once per sample even under recursion.
+	p.cum[idx]++
+	st := p.stack[core]
+	for i := len(st) - 1; i >= 0; i-- {
+		f := st[i]
+		if f < 0 || f == idx {
+			continue
+		}
+		dup := false
+		for j := len(st) - 1; j > i; j-- {
+			if st[j] == f {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			p.cum[f]++
+		}
+	}
+}
+
+// Reset clears all samples and shadow stacks (the period phase restarts,
+// so a restored machine re-profiles identically).
+func (p *Profiler) Reset() {
+	if p == nil {
+		return
+	}
+	for i := range p.next {
+		p.next[i] = p.period
+		p.stack[i] = p.stack[i][:0]
+	}
+	p.flat = map[int32]uint64{}
+	p.cum = map[int32]uint64{}
+	p.samples = 0
+	p.unknown = 0
+}
+
+// ProfileEntry is one function's row of a profile report.
+type ProfileEntry struct {
+	Name string
+	Flat uint64
+	Cum  uint64
+}
+
+// Profile is the rendered result of a profiling run, ordered by flat
+// samples (descending), ties broken by name.
+type Profile struct {
+	Period  uint64
+	Samples uint64
+	Unknown uint64
+	Entries []ProfileEntry
+}
+
+// Report renders the current counts into an ordered Profile.
+func (p *Profiler) Report() *Profile {
+	if p == nil {
+		return nil
+	}
+	out := &Profile{Period: p.period, Samples: p.samples, Unknown: p.unknown}
+	for idx, n := range p.flat {
+		out.Entries = append(out.Entries, ProfileEntry{
+			Name: p.syms.Name(int(idx)),
+			Flat: n,
+			Cum:  p.cum[idx],
+		})
+	}
+	// Functions seen only on stacks (no flat samples) still get rows.
+	for idx, n := range p.cum {
+		if _, ok := p.flat[idx]; !ok {
+			out.Entries = append(out.Entries, ProfileEntry{Name: p.syms.Name(int(idx)), Cum: n})
+		}
+	}
+	sort.Slice(out.Entries, func(i, j int) bool {
+		if out.Entries[i].Flat != out.Entries[j].Flat {
+			return out.Entries[i].Flat > out.Entries[j].Flat
+		}
+		if out.Entries[i].Cum != out.Entries[j].Cum {
+			return out.Entries[i].Cum > out.Entries[j].Cum
+		}
+		return out.Entries[i].Name < out.Entries[j].Name
+	})
+	return out
+}
+
+// Top returns the hottest function by flat samples ("" when empty).
+func (p *Profile) Top() string {
+	if p == nil || len(p.Entries) == 0 {
+		return ""
+	}
+	return p.Entries[0].Name
+}
+
+// Table renders the profile as an aligned text table (flat%, cum%,
+// samples, function), pprof-style.
+func (p *Profile) Table() string {
+	if p == nil {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "profile: %d samples, 1 sample per %d virtual cycles (%d unresolved)\n",
+		p.Samples, p.Period, p.Unknown)
+	fmt.Fprintf(&sb, "%10s %7s %10s %7s  %s\n", "flat", "flat%", "cum", "cum%", "function")
+	total := p.Samples
+	pct := func(n uint64) float64 {
+		if total == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(total)
+	}
+	for _, e := range p.Entries {
+		fmt.Fprintf(&sb, "%10d %6.2f%% %10d %6.2f%%  %s\n", e.Flat, pct(e.Flat), e.Cum, pct(e.Cum), e.Name)
+	}
+	return sb.String()
+}

@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func testSyms() *SymTable {
+	s := NewSymTable()
+	s.AddProgram("server", map[string]uint64{
+		"main":    0x1000,
+		"handler": 0x2000,
+		"fib":     0x3000,
+	}, map[string]uint64{
+		"main":    0x1100,
+		"handler": 0x2100,
+		"fib":     0x3100,
+	})
+	return s
+}
+
+func TestProfilerFlatAndCumulative(t *testing.T) {
+	syms := testSyms()
+	p := NewProfiler(syms, 1, 10)
+
+	// main calls handler calls fib; all sampled cycles land in fib.
+	p.OnCall(0, 0x1000) // into main
+	p.OnCall(0, 0x2000) // into handler
+	p.OnCall(0, 0x3000) // into fib
+	for c := uint64(1); c <= 100; c++ {
+		p.Observe(0, c, 0x3010)
+	}
+	prof := p.Report()
+	if prof.Samples != 10 {
+		t.Fatalf("samples = %d, want 10", prof.Samples)
+	}
+	if top := prof.Top(); top != "server.fib" {
+		t.Fatalf("top = %q, want server.fib", top)
+	}
+	byName := map[string]ProfileEntry{}
+	for _, e := range prof.Entries {
+		byName[e.Name] = e
+	}
+	if e := byName["server.fib"]; e.Flat != 10 || e.Cum != 10 {
+		t.Fatalf("fib flat/cum = %d/%d, want 10/10", e.Flat, e.Cum)
+	}
+	if e := byName["server.handler"]; e.Flat != 0 || e.Cum != 10 {
+		t.Fatalf("handler flat/cum = %d/%d, want 0/10 (on stack)", e.Flat, e.Cum)
+	}
+	if e := byName["server.main"]; e.Flat != 0 || e.Cum != 10 {
+		t.Fatalf("main flat/cum = %d/%d, want 0/10 (on stack)", e.Flat, e.Cum)
+	}
+}
+
+func TestProfilerReturnPopsStack(t *testing.T) {
+	syms := testSyms()
+	p := NewProfiler(syms, 1, 1)
+	p.OnCall(0, 0x1000)
+	p.OnCall(0, 0x3000)
+	p.OnRet(0) // back out of fib
+	p.Observe(0, 5, 0x1010)
+	prof := p.Report()
+	for _, e := range prof.Entries {
+		if e.Name == "server.fib" && e.Cum != 0 {
+			t.Fatalf("fib still on stack after return: %+v", e)
+		}
+	}
+}
+
+func TestProfilerLongStallWeighting(t *testing.T) {
+	p := NewProfiler(testSyms(), 1, 10)
+	// One instruction committing 50 cycles after the last sample point
+	// accounts for all the periods it covers.
+	p.Observe(0, 50, 0x3010)
+	if prof := p.Report(); prof.Samples != 5 {
+		t.Fatalf("samples = %d, want 5 (one per crossed period)", prof.Samples)
+	}
+}
+
+func TestProfilerUnknownPC(t *testing.T) {
+	p := NewProfiler(testSyms(), 1, 1)
+	p.Observe(0, 1, 0xdead0000)
+	prof := p.Report()
+	if prof.Unknown != 1 || len(prof.Entries) != 0 {
+		t.Fatalf("unknown=%d entries=%d, want 1/0", prof.Unknown, len(prof.Entries))
+	}
+}
+
+func TestProfilerResetAndDeterminism(t *testing.T) {
+	run := func(p *Profiler) string {
+		p.OnCall(0, 0x2000)
+		for c := uint64(1); c <= 1000; c += 7 {
+			p.Observe(0, c, 0x2050)
+		}
+		return p.Report().Table()
+	}
+	p := NewProfiler(testSyms(), 1, 13)
+	a := run(p)
+	p.Reset()
+	b := run(p)
+	if a != b {
+		t.Fatal("same observation stream after Reset produced a different table")
+	}
+	if !strings.Contains(a, "server.handler") {
+		t.Fatal("table missing sampled function")
+	}
+}
+
+func TestProfilerSkipIdle(t *testing.T) {
+	p := NewProfiler(testSyms(), 1, 10)
+	// A 75-cycle idle span crosses 7 period boundaries but must not
+	// contribute samples; the next real observation resumes at the
+	// following boundary.
+	p.SkipIdle(0, 75)
+	p.Observe(0, 79, 0x3010) // before next boundary (80): no sample
+	p.Observe(0, 85, 0x3010) // crosses 80: exactly one sample
+	prof := p.Report()
+	if prof.Samples != 1 || prof.Unknown != 0 {
+		t.Fatalf("samples=%d unknown=%d, want 1/0 after idle skip", prof.Samples, prof.Unknown)
+	}
+	// Idle ending before the next sample point moves nothing.
+	q := NewProfiler(testSyms(), 1, 10)
+	q.SkipIdle(0, 5)
+	q.Observe(0, 10, 0x3010)
+	if prof := q.Report(); prof.Samples != 1 {
+		t.Fatalf("samples=%d, want 1 (short idle must not defer sampling)", prof.Samples)
+	}
+}
+
+func TestProfilerNilSafe(t *testing.T) {
+	var p *Profiler
+	p.OnCall(0, 1)
+	p.OnRet(0)
+	p.Observe(0, 1, 1)
+	p.SkipIdle(0, 100)
+	p.Reset()
+	if p.Report() != nil {
+		t.Fatal("nil profiler must report nil")
+	}
+	var prof *Profile
+	if prof.Top() != "" || prof.Table() != "" {
+		t.Fatal("nil profile renders empty")
+	}
+}
+
+func TestProfilerRecursionCountsOnce(t *testing.T) {
+	syms := testSyms()
+	p := NewProfiler(syms, 1, 1)
+	p.OnCall(0, 0x3000) // fib
+	p.OnCall(0, 0x3000) // fib -> fib (recursive)
+	p.OnCall(0, 0x3000)
+	p.Observe(0, 1, 0x3010)
+	prof := p.Report()
+	for _, e := range prof.Entries {
+		if e.Name == "server.fib" && e.Cum != 1 {
+			t.Fatalf("recursive fib cum = %d, want 1 (once per sample)", e.Cum)
+		}
+	}
+}

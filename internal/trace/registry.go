@@ -1,0 +1,226 @@
+package trace
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Registry is the hierarchical statistics registry. Components register
+// named statistics under dotted paths ("machine.core1.l1d.misses"); the
+// registry is the single source the machine's stat dumps and the
+// gem5-style text export project from.
+//
+// Three statistic shapes exist, mirroring gem5's Stats library:
+//
+//   - Counter: a live pointer to a component's uint64 counter. The
+//     component keeps incrementing its own field (zero registry overhead
+//     on the hot path); the registry reads it at dump time.
+//   - Func/Formula: a value computed at dump time (window cycles, CPI,
+//     miss ratios).
+//   - Dist: a power-of-two bucketed histogram the component observes
+//     values into.
+type Registry struct {
+	byName map[string]*stat
+}
+
+type statKind uint8
+
+const (
+	kCounter statKind = iota
+	kFunc
+	kFormula
+	kDist
+)
+
+type stat struct {
+	name, desc string
+	kind       statKind
+	p          *uint64
+	u64        func() uint64
+	f64        func() float64
+	dist       *Dist
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*stat{}}
+}
+
+func (r *Registry) add(s *stat) {
+	if _, dup := r.byName[s.name]; dup {
+		panic("trace: duplicate stat " + s.name)
+	}
+	r.byName[s.name] = s
+}
+
+// Counter registers a live counter pointer.
+func (r *Registry) Counter(name, desc string, p *uint64) {
+	r.add(&stat{name: name, desc: desc, kind: kCounter, p: p})
+}
+
+// Func registers a dump-time computed integer statistic.
+func (r *Registry) Func(name, desc string, f func() uint64) {
+	r.add(&stat{name: name, desc: desc, kind: kFunc, u64: f})
+}
+
+// Formula registers a dump-time computed derived statistic (ratios,
+// rates) rendered as a float.
+func (r *Registry) Formula(name, desc string, f func() float64) {
+	r.add(&stat{name: name, desc: desc, kind: kFormula, f64: f})
+}
+
+// NewDist registers and returns a bucketed distribution.
+func (r *Registry) NewDist(name, desc string) *Dist {
+	d := &Dist{}
+	r.add(&stat{name: name, desc: desc, kind: kDist, dist: d})
+	return d
+}
+
+// U64 reads an integer statistic by name (0 when absent). Formulas are
+// truncated.
+func (r *Registry) U64(name string) uint64 {
+	s, ok := r.byName[name]
+	if !ok {
+		return 0
+	}
+	switch s.kind {
+	case kCounter:
+		return *s.p
+	case kFunc:
+		return s.u64()
+	case kFormula:
+		return uint64(s.f64())
+	case kDist:
+		return s.dist.Count
+	}
+	return 0
+}
+
+// Value reads any statistic as a float, reporting whether it exists.
+func (r *Registry) Value(name string) (float64, bool) {
+	s, ok := r.byName[name]
+	if !ok {
+		return 0, false
+	}
+	switch s.kind {
+	case kCounter:
+		return float64(*s.p), true
+	case kFunc:
+		return float64(s.u64()), true
+	case kFormula:
+		return s.f64(), true
+	case kDist:
+		return float64(s.dist.Count), true
+	}
+	return 0, false
+}
+
+// Names returns every registered name, sorted.
+func (r *Registry) Names() []string {
+	names := make([]string, 0, len(r.byName))
+	for n := range r.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Text renders the registry as a gem5-style stats.txt block: one line per
+// statistic, sorted by name, value column aligned, description after a
+// '#'. Distributions expand into ::bucket sub-rows. Output is a pure
+// function of the registered values, so same-seed runs export identical
+// bytes.
+func (r *Registry) Text(label string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "---------- Begin Simulation Statistics (%s) ----------\n", label)
+	for _, name := range r.Names() {
+		s := r.byName[name]
+		switch s.kind {
+		case kCounter:
+			fmt.Fprintf(&sb, "%-52s %20d  # %s\n", s.name, *s.p, s.desc)
+		case kFunc:
+			fmt.Fprintf(&sb, "%-52s %20d  # %s\n", s.name, s.u64(), s.desc)
+		case kFormula:
+			fmt.Fprintf(&sb, "%-52s %20.6f  # %s\n", s.name, s.f64(), s.desc)
+		case kDist:
+			d := s.dist
+			fmt.Fprintf(&sb, "%-52s %20d  # %s (samples)\n", s.name+"::samples", d.Count, s.desc)
+			if d.Count > 0 {
+				fmt.Fprintf(&sb, "%-52s %20d  # %s (min)\n", s.name+"::min", d.Min, s.desc)
+				fmt.Fprintf(&sb, "%-52s %20d  # %s (max)\n", s.name+"::max", d.Max, s.desc)
+				fmt.Fprintf(&sb, "%-52s %20.6f  # %s (mean)\n", s.name+"::mean", d.Mean(), s.desc)
+			}
+			for i, c := range d.Buckets {
+				if c == 0 {
+					continue
+				}
+				lo, hi := bucketBounds(i)
+				fmt.Fprintf(&sb, "%-52s %20d  # %s [%d,%d)\n",
+					fmt.Sprintf("%s::%d-%d", s.name, lo, hi), c, s.desc, lo, hi)
+			}
+		}
+	}
+	fmt.Fprintf(&sb, "---------- End Simulation Statistics   ----------\n")
+	return sb.String()
+}
+
+// distBuckets is the fixed bucket count: power-of-two buckets covering
+// the whole uint64 range ([0,1), [1,2), [2,4), ... [2^62,2^63), rest).
+const distBuckets = 65
+
+// Dist is a power-of-two bucketed histogram of uint64 samples.
+type Dist struct {
+	Buckets [distBuckets]uint64
+	Count   uint64
+	Sum     uint64
+	Min     uint64
+	Max     uint64
+}
+
+func bucketIdx(v uint64) int {
+	if v == 0 {
+		return 0
+	}
+	return bits.Len64(v) // v in [2^(n-1), 2^n) -> bucket n
+}
+
+func bucketBounds(i int) (lo, hi uint64) {
+	if i == 0 {
+		return 0, 1
+	}
+	return uint64(1) << (i - 1), uint64(1) << i
+}
+
+// Observe adds one sample.
+func (d *Dist) Observe(v uint64) {
+	if d == nil {
+		return
+	}
+	if d.Count == 0 || v < d.Min {
+		d.Min = v
+	}
+	if v > d.Max {
+		d.Max = v
+	}
+	d.Count++
+	d.Sum += v
+	d.Buckets[bucketIdx(v)]++
+}
+
+// Mean returns the sample mean (0 when empty).
+func (d *Dist) Mean() float64 {
+	if d.Count == 0 {
+		return 0
+	}
+	return float64(d.Sum) / float64(d.Count)
+}
+
+// Reset clears the distribution.
+func (d *Dist) Reset() {
+	if d == nil {
+		return
+	}
+	*d = Dist{}
+}

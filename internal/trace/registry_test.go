@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryCounterAndFunc(t *testing.T) {
+	r := NewRegistry()
+	var misses uint64
+	r.Counter("machine.core0.l1d.misses", "L1D misses", &misses)
+	r.Func("machine.core0.o3.windowCycles", "cycles this window", func() uint64 { return 42 })
+	r.Formula("machine.core0.o3.cpi", "cycles per instruction", func() float64 { return 1.5 })
+
+	misses = 7
+	if got := r.U64("machine.core0.l1d.misses"); got != 7 {
+		t.Fatalf("counter read %d, want 7 (live pointer semantics)", got)
+	}
+	if got := r.U64("machine.core0.o3.windowCycles"); got != 42 {
+		t.Fatalf("func read %d, want 42", got)
+	}
+	if v, ok := r.Value("machine.core0.o3.cpi"); !ok || v != 1.5 {
+		t.Fatalf("formula read %v/%v, want 1.5/true", v, ok)
+	}
+	if _, ok := r.Value("machine.nope"); ok {
+		t.Fatal("absent stat must report !ok")
+	}
+	if got := r.U64("machine.nope"); got != 0 {
+		t.Fatalf("absent stat U64 = %d, want 0", got)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration must panic")
+		}
+	}()
+	r := NewRegistry()
+	var v uint64
+	r.Counter("x", "", &v)
+	r.Counter("x", "", &v)
+}
+
+func TestRegistryNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	var a, b uint64
+	r.Counter("machine.core1.z", "", &a)
+	r.Counter("machine.core0.a", "", &b)
+	names := r.Names()
+	if len(names) != 2 || names[0] != "machine.core0.a" || names[1] != "machine.core1.z" {
+		t.Fatalf("Names() = %v, want sorted", names)
+	}
+}
+
+func TestRegistryTextGem5Style(t *testing.T) {
+	r := NewRegistry()
+	var misses uint64 = 12345
+	r.Counter("machine.core1.l2.misses", "L2 cache misses", &misses)
+	d := r.NewDist("machine.core1.o3.ecallLat", "ecall latency")
+	d.Observe(3)
+	d.Observe(5)
+	d.Observe(100)
+
+	txt := r.Text("dump1")
+	if !strings.Contains(txt, "Begin Simulation Statistics (dump1)") {
+		t.Fatal("missing gem5-style header")
+	}
+	if !strings.Contains(txt, "machine.core1.l2.misses") || !strings.Contains(txt, "12345") {
+		t.Fatal("counter row missing")
+	}
+	if !strings.Contains(txt, "# L2 cache misses") {
+		t.Fatal("description comment missing")
+	}
+	if !strings.Contains(txt, "ecallLat::samples") || !strings.Contains(txt, "ecallLat::mean") {
+		t.Fatal("distribution rows missing")
+	}
+	if txt != r.Text("dump1") {
+		t.Fatal("Text must be deterministic")
+	}
+}
+
+func TestDistBuckets(t *testing.T) {
+	var d Dist
+	d.Observe(0)
+	d.Observe(1)
+	d.Observe(2)
+	d.Observe(3)
+	d.Observe(1024)
+	if d.Count != 5 || d.Min != 0 || d.Max != 1024 {
+		t.Fatalf("count/min/max = %d/%d/%d", d.Count, d.Min, d.Max)
+	}
+	if d.Buckets[0] != 1 { // [0,1)
+		t.Fatalf("bucket[0] = %d, want 1", d.Buckets[0])
+	}
+	if d.Buckets[1] != 1 { // [1,2)
+		t.Fatalf("bucket[1] = %d, want 1", d.Buckets[1])
+	}
+	if d.Buckets[2] != 2 { // [2,4)
+		t.Fatalf("bucket[2] = %d, want 2", d.Buckets[2])
+	}
+	if d.Buckets[11] != 1 { // [1024,2048)
+		t.Fatalf("bucket[11] = %d, want 1", d.Buckets[11])
+	}
+	if got := d.Mean(); got != float64(0+1+2+3+1024)/5 {
+		t.Fatalf("mean = %v", got)
+	}
+	d.Reset()
+	if d.Count != 0 || d.Sum != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	var nd *Dist
+	nd.Observe(1) // must not panic
+	nd.Reset()
+}

@@ -1,0 +1,93 @@
+package trace
+
+import "sort"
+
+// Span is one function's address range in the simulated address space.
+type Span struct {
+	Name       string
+	Start, End uint64
+}
+
+// SymTable resolves guest program counters to function names. The machine
+// populates it from every loaded program image (the kernel plus each
+// spawned process); names are prefixed with the owning program so the two
+// cores' identically-named entry functions stay distinguishable
+// ("server.handler", "client.main", "kernel.k_send").
+type SymTable struct {
+	spans  []Span
+	sorted bool
+}
+
+// NewSymTable returns an empty table.
+func NewSymTable() *SymTable { return &SymTable{} }
+
+// AddProgram registers every function of one loaded image. syms maps
+// symbol name to start address and funcEnd maps function name to end
+// address (data symbols, present only in syms, are skipped). prefix
+// namespaces the program ("server", "client", "kernel").
+func (s *SymTable) AddProgram(prefix string, syms, funcEnd map[string]uint64) {
+	if s == nil {
+		return
+	}
+	for name, start := range syms {
+		end, ok := funcEnd[name]
+		if !ok || end <= start {
+			continue
+		}
+		full := name
+		if prefix != "" {
+			full = prefix + "." + name
+		}
+		s.spans = append(s.spans, Span{Name: full, Start: start, End: end})
+	}
+	s.sorted = false
+}
+
+func (s *SymTable) ensureSorted() {
+	if s.sorted {
+		return
+	}
+	sort.Slice(s.spans, func(i, j int) bool {
+		if s.spans[i].Start != s.spans[j].Start {
+			return s.spans[i].Start < s.spans[j].Start
+		}
+		return s.spans[i].Name < s.spans[j].Name
+	})
+	s.sorted = true
+}
+
+// Resolve maps a PC to its function, returning the span index and name.
+// Unknown PCs return (-1, "").
+func (s *SymTable) Resolve(pc uint64) (int, string) {
+	if s == nil || len(s.spans) == 0 {
+		return -1, ""
+	}
+	s.ensureSorted()
+	// First span starting after pc, then step back.
+	i := sort.Search(len(s.spans), func(i int) bool { return s.spans[i].Start > pc })
+	if i == 0 {
+		return -1, ""
+	}
+	sp := s.spans[i-1]
+	if pc >= sp.Start && pc < sp.End {
+		return i - 1, sp.Name
+	}
+	return -1, ""
+}
+
+// Name returns the function name for a span index from Resolve.
+func (s *SymTable) Name(idx int) string {
+	if s == nil || idx < 0 || idx >= len(s.spans) {
+		return ""
+	}
+	s.ensureSorted()
+	return s.spans[idx].Name
+}
+
+// Len reports how many function spans are registered.
+func (s *SymTable) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.spans)
+}

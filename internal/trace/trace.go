@@ -1,0 +1,184 @@
+// Package trace is the simulator's observability layer, standing in for
+// gem5's stat/trace machinery: a fixed-ring event tracer with per-core
+// virtual-cycle timestamps, a hierarchical statistics registry
+// ("machine.core0.l1d.misses"-style names) that every component registers
+// into, a guest-PC sampling profiler resolved against program symbols,
+// and deterministic exporters (Chrome trace_event JSON for Perfetto, a
+// gem5-style stats.txt dump, and a flat+cumulative profile table).
+//
+// The package imports nothing from the rest of the repository so every
+// layer (cpu, mem, kernel, gemsys, harness) can depend on it. All hot-path
+// entry points are cheap, allocation-free, and designed to sit behind a
+// nil-pointer guard: a component holding a nil *Tracer performs zero extra
+// work. See docs/tracing.md.
+package trace
+
+// Kind classifies a trace event.
+type Kind uint8
+
+// Event kinds. The set mirrors what gem5's exec/cache/ipc debug flags
+// surface: retirement, memory-system misses, front-end redirects,
+// privilege switches, IPC and scheduling, and fault injection.
+const (
+	EvInstRetire Kind = iota // one committed instruction (Arg=class)
+	EvCacheMiss              // Arg=cache level (LvlL1I/LvlL1D/LvlL2), Arg2=address
+	EvBranchMiss             // branch mispredict redirect
+	EvTLBMiss                // Arg=LvlITLB/LvlDTLB, Arg2=address
+	EvSyscallEnter           // serializing ecall issued
+	EvSyscallExit            // serializing ecall completed
+	EvIPCSend                // message send committed (Arg=sequence)
+	EvIPCRecv                // message receive committed (Arg=sequence)
+	EvCtxSwitch              // scheduler switched processes (Arg=process id)
+	EvFault                  // fault-injection event (Arg=fault event code)
+	EvM5Reset                // m5 reset-stats marker: a stats window opens
+	EvM5Dump                 // m5 dump-stats marker: a stats window closes
+	evKinds
+)
+
+// Cache/TLB levels carried in EvCacheMiss/EvTLBMiss Arg.
+const (
+	LvlL1I uint64 = iota
+	LvlL1D
+	LvlL2
+	LvlITLB
+	LvlDTLB
+)
+
+var kindNames = [evKinds]string{
+	"inst-retire", "cache-miss", "branch-mispredict", "tlb-miss",
+	"syscall-enter", "syscall-exit", "ipc-send", "ipc-recv",
+	"ctx-switch", "fault-inject", "m5-reset", "m5-dump",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one typed trace record. Events on a detailed core carry that
+// core's virtual-cycle timestamp; functional-side events (context
+// switches, fault injection) carry the machine's functional clock and are
+// exported on a separate track.
+type Event struct {
+	Cycle uint64
+	PC    uint64
+	Arg   uint64
+	Arg2  uint64
+	Kind  Kind
+	Core  uint8
+}
+
+// DefaultBufferEvents is the default ring capacity. At 48 bytes per event
+// this bounds tracer memory to ~3 MiB while keeping the most recent ~64K
+// events of a run.
+const DefaultBufferEvents = 1 << 16
+
+// Tracer is a fixed-capacity ring buffer of events. Emission never
+// allocates: once the ring is full the oldest events are overwritten and
+// counted in Dropped. A nil *Tracer is a valid "tracing disabled" value
+// for every method.
+type Tracer struct {
+	buf     []Event
+	head    int // next write position
+	filled  bool
+	Dropped uint64
+}
+
+// NewTracer allocates a tracer with the given ring capacity (0 selects
+// DefaultBufferEvents).
+func NewTracer(capEvents int) *Tracer {
+	if capEvents <= 0 {
+		capEvents = DefaultBufferEvents
+	}
+	return &Tracer{buf: make([]Event, capEvents)}
+}
+
+// Enabled reports whether the tracer records events.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Emit appends an event to the ring. Safe on a nil tracer.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	if t.filled {
+		t.Dropped++
+	}
+	t.buf[t.head] = ev
+	t.head++
+	if t.head == len(t.buf) {
+		t.head = 0
+		t.filled = true
+	}
+}
+
+// EmitAt is Emit with the fields spread, for call sites that would
+// otherwise build a composite literal in the hot path.
+func (t *Tracer) EmitAt(kind Kind, core uint8, cycle, pc, arg, arg2 uint64) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Kind: kind, Core: core, Cycle: cycle, PC: pc, Arg: arg, Arg2: arg2})
+}
+
+// Len reports how many events the ring currently holds.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	if t.filled {
+		return len(t.buf)
+	}
+	return t.head
+}
+
+// Cap reports the ring capacity.
+func (t *Tracer) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.buf)
+}
+
+// Events returns the buffered events oldest-first. The slice is a copy.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	out := make([]Event, 0, t.Len())
+	if t.filled {
+		out = append(out, t.buf[t.head:]...)
+	}
+	out = append(out, t.buf[:t.head]...)
+	return out
+}
+
+// Reset empties the ring and clears the drop counter.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.head = 0
+	t.filled = false
+	t.Dropped = 0
+}
+
+// Options configures the observability layer of one simulated machine.
+type Options struct {
+	// Enabled turns on event tracing and profiling. When false the
+	// machine performs zero extra work on the simulation hot path.
+	Enabled bool
+	// BufferEvents is the event ring capacity (0 = DefaultBufferEvents).
+	BufferEvents int
+	// SamplePeriod is the profiler's sampling period in virtual cycles
+	// (0 = DefaultSamplePeriod).
+	SamplePeriod uint64
+}
+
+// DefaultSamplePeriod is the profiler's default sampling period in
+// virtual cycles: fine enough to rank the hot functions of a multi-
+// million-cycle window, coarse enough to stay off the critical path.
+const DefaultSamplePeriod = 251

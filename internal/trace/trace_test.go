@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Kind: EvInstRetire})
+	tr.EmitAt(EvCacheMiss, 0, 1, 2, 3, 4)
+	tr.Reset()
+	if tr.Enabled() || tr.Len() != 0 || tr.Cap() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer must behave as disabled")
+	}
+}
+
+func TestRingOrderAndOverwrite(t *testing.T) {
+	tr := NewTracer(4)
+	for i := uint64(0); i < 6; i++ {
+		tr.Emit(Event{Kind: EvInstRetire, Cycle: i})
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped != 2 {
+		t.Fatalf("Dropped = %d, want 2", tr.Dropped)
+	}
+	evs := tr.Events()
+	for i, ev := range evs {
+		if want := uint64(i + 2); ev.Cycle != want {
+			t.Fatalf("event %d cycle = %d, want %d (oldest-first order)", i, ev.Cycle, want)
+		}
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Dropped != 0 {
+		t.Fatal("Reset did not clear the ring")
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	for k := Kind(0); k < evKinds; k++ {
+		if k.String() == "unknown" || k.String() == "" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if Kind(200).String() != "unknown" {
+		t.Fatal("out-of-range kind must render as unknown")
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	if got := NewTracer(0).Cap(); got != DefaultBufferEvents {
+		t.Fatalf("default cap = %d, want %d", got, DefaultBufferEvents)
+	}
+}
+
+func TestChromeJSONValidAndDeterministic(t *testing.T) {
+	tr := NewTracer(64)
+	syms := NewSymTable()
+	syms.AddProgram("server", map[string]uint64{"handler": 0x100}, map[string]uint64{"handler": 0x200})
+	tr.EmitAt(EvInstRetire, 1, 10, 0x104, 0, 0)
+	tr.EmitAt(EvCacheMiss, 1, 12, 0x104, LvlL1D, 0xbeef)
+	tr.EmitAt(EvSyscallEnter, 0, 13, 0x50, 0, 0)
+	tr.EmitAt(EvSyscallExit, 0, 40, 0x50, 0, 0)
+	tr.EmitAt(EvCtxSwitch, 0, 44, 0, 3, 0)
+	tr.EmitAt(EvM5Dump, 1, 50, 0, 0, 0)
+
+	a, err := ChromeJSON(tr.Events(), syms, tr.Dropped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(a) {
+		t.Fatal("export is not valid JSON")
+	}
+	b, err := ChromeJSON(tr.Events(), syms, tr.Dropped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same events produced different bytes")
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	// 6 events + 3 thread_name metadata rows (core0, core1, core0-functional).
+	if len(parsed.TraceEvents) != 9 {
+		t.Fatalf("got %d trace events, want 9", len(parsed.TraceEvents))
+	}
+	var foundFn bool
+	for _, ev := range parsed.TraceEvents {
+		if args, ok := ev["args"].(map[string]any); ok && args["fn"] == "server.handler" {
+			foundFn = true
+		}
+	}
+	if !foundFn {
+		t.Fatal("no event resolved to server.handler")
+	}
+}
+
+func TestSymTableResolve(t *testing.T) {
+	s := NewSymTable()
+	s.AddProgram("client", map[string]uint64{"main": 0x400, "data": 0x900},
+		map[string]uint64{"main": 0x500})
+	s.AddProgram("", map[string]uint64{"k_send": 0x100}, map[string]uint64{"k_send": 0x140})
+	if _, name := s.Resolve(0x410); name != "client.main" {
+		t.Fatalf("Resolve(0x410) = %q, want client.main", name)
+	}
+	if _, name := s.Resolve(0x120); name != "k_send" {
+		t.Fatalf("Resolve(0x120) = %q, want k_send", name)
+	}
+	if idx, name := s.Resolve(0x900); idx != -1 || name != "" {
+		t.Fatal("data symbol must not resolve (no FuncEnd)")
+	}
+	if idx, _ := s.Resolve(0x50); idx != -1 {
+		t.Fatal("PC before every span must not resolve")
+	}
+	if idx, _ := s.Resolve(0x600); idx != -1 {
+		t.Fatal("PC in a gap must not resolve")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	var nilSyms *SymTable
+	if idx, _ := nilSyms.Resolve(1); idx != -1 {
+		t.Fatal("nil symtable must not resolve")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"svbench/internal/langrt"
 	"svbench/internal/qemu"
 	"svbench/internal/stats"
+	"svbench/internal/trace"
 )
 
 // Re-exported architecture identifiers.
@@ -70,6 +71,17 @@ type (
 	Retry = faults.Retry
 	// ExperimentError is the structured failure one experiment returns.
 	ExperimentError = harness.ExperimentError
+	// TraceOptions configures the observability layer (event tracing,
+	// profiling) of a run; see docs/tracing.md.
+	TraceOptions = trace.Options
+	// Profile is a sampled guest hot-function profile.
+	Profile = trace.Profile
+	// ProfileEntry is one function's flat/cumulative sample counts.
+	ProfileEntry = trace.ProfileEntry
+	// TraceEvent is one typed event of the machine's trace ring.
+	TraceEvent = trace.Event
+	// StatsRegistry is the machine's hierarchical statistics registry.
+	StatsRegistry = trace.Registry
 )
 
 // Runtime models.
