@@ -1,108 +1,95 @@
 // Command experiments regenerates every figure and table of the thesis's
 // evaluation section and writes them as markdown (stdout or -out file)
-// plus per-figure CSVs when -csv DIR is given.
+// plus per-figure CSVs when -csv DIR is given. The sweep runs on a
+// worker pool (-j) with memoized boot checkpoints; the report is
+// byte-identical for every -j value and with memoization disabled.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"svbench/internal/figures"
+	"svbench/internal/sweep"
 )
 
 func main() {
-	var (
-		out     = flag.String("out", "", "write the markdown report to this file (default stdout)")
-		csvDir  = flag.String("csv", "", "also write per-figure CSVs into this directory")
-		quiet   = flag.Bool("q", false, "suppress progress lines")
-		nreq    = flag.Int("requests", 6, "requests per function in the emulation study (fig 4.20)")
-		skipEmu = flag.Bool("skip-emulation", false, "skip fig 4.20 (the slowest study)")
-		chaos   = flag.Bool("chaos", false, "also run the fault-injection/recovery table")
-		seed    = flag.Uint64("seed", 1, "fault-injection seed for -chaos")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	logf := func(s string) { fmt.Fprintln(os.Stderr, s) }
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out     = fs.String("out", "", "write the markdown report to this file (default stdout)")
+		csvDir  = fs.String("csv", "", "also write per-figure CSVs into this directory")
+		quiet   = fs.Bool("q", false, "suppress progress lines")
+		nreq    = fs.Int("requests", 6, "requests per function in the emulation study (fig 4.20)")
+		skipEmu = fs.Bool("skip-emulation", false, "skip fig 4.20 (the slowest study)")
+		chaos   = fs.Bool("chaos", false, "also run the fault-injection/recovery table")
+		seed    = fs.Uint64("seed", 1, "fault-injection seed for -chaos")
+		jobs    = fs.Int("j", sweep.DefaultJobs(),
+			"sweep worker count, >= 1 (results are identical for every value; default GOMAXPROCS)")
+		noMemo = fs.Bool("no-memo", false,
+			"disable boot-checkpoint memoization (every run simulates its own setup; results are identical)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if err := sweep.ValidateJobs(*jobs); err != nil {
+		fmt.Fprintln(stderr, "experiments: -j:", err)
+		return 2
+	}
+
+	logf := func(s string) { fmt.Fprintln(stderr, s) }
 	if *quiet {
 		logf = nil
 	}
-	res, err := figures.Collect(logf)
+	res, err := figures.CollectWith(figures.SweepOpts{Jobs: *jobs, DisableMemo: *noMemo, Log: logf})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "experiments:", err)
+		return 1
 	}
 
-	var all []figures.Data
-	all = append(all, figures.Table41(),
-		res.Fig44(), res.Fig45(), res.Fig46(), res.Fig47(), res.Fig48(), res.Fig49(),
-		res.Fig410(), res.Fig411(), res.Fig412(), res.Fig413(), res.Fig414(),
-		res.Fig415(), res.Fig416(), res.Fig417(), res.Fig418(), res.Fig419(),
-		res.TableMPKI())
-	if !*skipEmu {
-		f420, err := figures.Fig420(*nreq)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
-		all = append(all, f420)
-	}
-	t44, err := figures.Table44()
+	all, err := figures.ReportData(res, figures.ReportOpts{
+		Requests:      *nreq,
+		SkipEmulation: *skipEmu,
+		Chaos:         *chaos,
+		ChaosSeed:     *seed,
+		Log:           logf,
+	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
-	}
-	t45, err := figures.Table45()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
-	}
-	all = append(all, t44, t45)
-	if *chaos {
-		tc, err := figures.TableChaos(*seed, logf)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
-		all = append(all, tc)
+		fmt.Fprintln(stderr, "experiments:", err)
+		return 1
 	}
 
-	var sb strings.Builder
-	sb.WriteString("# Evaluation figures and tables (regenerated)\n\n")
-	sb.WriteString("Cache-miss rates (MPKI) and all per-core counters come from the\n" +
-		"tracing and stats subsystem — see [docs/tracing.md](tracing.md).\n\n")
-	for _, d := range all {
-		sb.WriteString(d.Markdown())
-		sb.WriteString("\n")
-	}
+	report := figures.Render(res, all)
 	if len(res.Failures) > 0 {
-		sb.WriteString("## Failed experiments\n\n")
-		for _, f := range res.Failures {
-			fmt.Fprintf(&sb, "- %v\n", f)
-		}
-		sb.WriteString("\n")
-		fmt.Fprintf(os.Stderr, "experiments: %d experiment(s) failed; report includes a failure section\n",
+		fmt.Fprintf(stderr, "experiments: %d experiment(s) failed; report includes a failure section\n",
 			len(res.Failures))
 	}
 	if *out == "" {
-		fmt.Print(sb.String())
-	} else if err := os.WriteFile(*out, []byte(sb.String()), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+		fmt.Fprint(stdout, report)
+	} else if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
+		fmt.Fprintln(stderr, "experiments:", err)
+		return 1
 	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 1
 		}
 		for _, d := range all {
 			name := strings.ReplaceAll(d.ID, ".", "_") + ".csv"
 			if err := os.WriteFile(filepath.Join(*csvDir, name), []byte(d.CSV()), 0o644); err != nil {
-				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, "experiments:", err)
+				return 1
 			}
 		}
 	}
+	return 0
 }

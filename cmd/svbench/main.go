@@ -1,12 +1,15 @@
 // Command svbench runs a single serverless function experiment through the
 // full methodology (setup → checkpoint → detailed cold/warm evaluation) and
 // prints the measured statistics, or — with -emulate — times requests under
-// functional (QEMU-style) emulation.
+// functional (QEMU-style) emulation. With -all it sweeps every experiment
+// on the chosen ISA across a worker pool (-j) with memoized boot
+// checkpoints; the sweep output is identical for every -j value.
 //
 // Usage:
 //
 //	svbench -list
 //	svbench -fn fibonacci-go [-arch rv64|cisc64] [-engine cassandra|mongodb|mariadb]
+//	svbench -all [-arch rv64] [-j 8]
 //	svbench -fn profile -emulate -requests 10
 //	svbench -fn geo -chaos -seed 7
 //	svbench -fn fibonacci-go -trace trace.json -profile -stats-txt stats.txt
@@ -15,40 +18,71 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"svbench"
+	"svbench/internal/gemsys"
+	"svbench/internal/sweep"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("svbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		fn       = flag.String("fn", "", "experiment name (see -list)")
-		arch     = flag.String("arch", "rv64", "target ISA: rv64 or cisc64")
-		engine   = flag.String("engine", "cassandra", "hotel database backend")
-		emulate  = flag.Bool("emulate", false, "functional (QEMU-style) emulation instead of detailed simulation")
-		requests = flag.Int("requests", 10, "requests to issue under -emulate")
-		list     = flag.Bool("list", false, "list experiment names")
-		chaos    = flag.Bool("chaos", false, "inject the default fault plan and compile the retry policy into the client")
-		seed     = flag.Uint64("seed", 1, "fault-injection seed (same seed = same fault schedule)")
-		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON (Perfetto-loadable) to this file")
-		profile  = flag.Bool("profile", false, "print the sampled guest hot-function profile")
-		statsTxt = flag.String("stats-txt", "", "write the gem5-style stats.txt dump to this file")
+		fn       = fs.String("fn", "", "experiment name (see -list)")
+		arch     = fs.String("arch", "rv64", "target ISA: rv64 or cisc64")
+		engine   = fs.String("engine", "cassandra", "hotel database backend")
+		emulate  = fs.Bool("emulate", false, "functional (QEMU-style) emulation instead of detailed simulation")
+		requests = fs.Int("requests", 10, "requests to issue under -emulate")
+		list     = fs.Bool("list", false, "list experiment names")
+		all      = fs.Bool("all", false, "run every experiment on the chosen ISA (parallel sweep, see -j)")
+		jobs     = fs.Int("j", sweep.DefaultJobs(),
+			"sweep worker count for -all, >= 1 (results are identical for every value; default GOMAXPROCS)")
+		chaos    = fs.Bool("chaos", false, "inject the default fault plan and compile the retry policy into the client")
+		seed     = fs.Uint64("seed", 1, "fault-injection seed (same seed = same fault schedule)")
+		traceOut = fs.String("trace", "", "write a Chrome trace_event JSON (Perfetto-loadable) to this file")
+		profile  = fs.Bool("profile", false, "print the sampled guest hot-function profile")
+		statsTxt = fs.String("stats-txt", "", "write the gem5-style stats.txt dump to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if err := sweep.ValidateJobs(*jobs); err != nil {
+		fmt.Fprintln(stderr, "svbench: -j:", err)
+		return 2
+	}
 
 	if *list {
 		for _, sp := range svbench.AllSpecs() {
-			fmt.Println(sp.Name)
+			fmt.Fprintln(stdout, sp.Name)
 		}
-		return
+		return 0
 	}
+
+	a := svbench.Arch(*arch)
+	if a != svbench.RV64 && a != svbench.CISC64 {
+		fmt.Fprintf(stderr, "svbench: unknown arch %q\n", *arch)
+		return 2
+	}
+
+	specs := append(append(svbench.StandaloneSpecs(), svbench.ShopSpecs()...),
+		svbench.HotelSpecs(svbench.HotelEngine(*engine))...)
+
+	if *all {
+		return runAll(specs, a, *jobs, stdout, stderr)
+	}
+
 	if *fn == "" {
-		fmt.Fprintln(os.Stderr, "svbench: -fn is required (try -list)")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "svbench: -fn is required (try -list, or -all)")
+		return 2
 	}
 	var spec *svbench.Spec
-	for _, sp := range append(append(svbench.StandaloneSpecs(), svbench.ShopSpecs()...),
-		svbench.HotelSpecs(svbench.HotelEngine(*engine))...) {
+	for _, sp := range specs {
 		if sp.Name == *fn {
 			sp := sp
 			spec = &sp
@@ -56,13 +90,8 @@ func main() {
 		}
 	}
 	if spec == nil {
-		fmt.Fprintf(os.Stderr, "svbench: unknown experiment %q (try -list)\n", *fn)
-		os.Exit(2)
-	}
-	a := svbench.Arch(*arch)
-	if a != svbench.RV64 && a != svbench.CISC64 {
-		fmt.Fprintf(os.Stderr, "svbench: unknown arch %q\n", *arch)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "svbench: unknown experiment %q (try -list)\n", *fn)
+		return 2
 	}
 
 	if *chaos {
@@ -76,54 +105,83 @@ func main() {
 	if *emulate {
 		lats, err := svbench.RunEmulated(a, *spec, *requests)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "svbench:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "svbench:", err)
+			return 1
 		}
-		fmt.Printf("%s on %s under emulation (%s backend):\n", spec.Name, a, *engine)
+		fmt.Fprintf(stdout, "%s on %s under emulation (%s backend):\n", spec.Name, a, *engine)
 		for _, l := range lats {
-			fmt.Printf("  request %2d: %8d ns\n", l.Request, l.NS)
+			fmt.Fprintf(stdout, "  request %2d: %8d ns\n", l.Request, l.NS)
 		}
-		return
+		return 0
 	}
 
 	res, err := svbench.RunFunction(a, *spec)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "svbench:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "svbench:", err)
+		return 1
 	}
-	fmt.Printf("%s on %s (server core, detailed O3 model):\n", res.Name, res.Arch)
+	fmt.Fprintf(stdout, "%s on %s (server core, detailed O3 model):\n", res.Name, res.Arch)
 	row := func(label string, s svbench.CoreStats) {
-		fmt.Printf("  %-5s cycles=%-10d insts=%-10d cpi=%-5.2f l1i=%-7d l1d=%-7d l2=%-6d mispred=%d\n",
+		fmt.Fprintf(stdout, "  %-5s cycles=%-10d insts=%-10d cpi=%-5.2f l1i=%-7d l1d=%-7d l2=%-6d mispred=%d\n",
 			label, s.Cycles, s.Insts, s.CPI(), s.L1IMisses, s.L1DMisses, s.L2Misses, s.Mispredicts)
 	}
 	row("cold", res.Cold)
 	row("warm", res.Warm)
-	fmt.Printf("  cold/warm ratio: %.2fx   setup instructions: %d\n",
+	fmt.Fprintf(stdout, "  cold/warm ratio: %.2fx   setup instructions: %d\n",
 		float64(res.Cold.Cycles)/float64(res.Warm.Cycles), res.SetupInsts)
 	if rep := res.FaultReport; rep != nil {
-		fmt.Printf("  faults (seed %d): injected=%d dropped=%d corrupted=%d delayed=%d errors=%d spikes=%d outages=%d\n",
+		fmt.Fprintf(stdout, "  faults (seed %d): injected=%d dropped=%d corrupted=%d delayed=%d errors=%d spikes=%d outages=%d\n",
 			*seed, rep.Injected, rep.Dropped, rep.Corrupted, rep.Delayed,
 			rep.ErrorReplies, rep.Spikes, rep.Outages)
-		fmt.Printf("  recovery: surfaced=%d timeouts=%d badreplies=%d retried=%d recovered=%d exhausted=%d\n",
+		fmt.Fprintf(stdout, "  recovery: surfaced=%d timeouts=%d badreplies=%d retried=%d recovered=%d exhausted=%d\n",
 			rep.Surfaced, rep.Timeouts, rep.BadReplies, rep.Retried, rep.Recovered, rep.Exhausted)
 	}
 	if *traceOut != "" {
 		if err := os.WriteFile(*traceOut, res.TraceJSON, 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "svbench:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "svbench:", err)
+			return 1
 		}
-		fmt.Printf("  trace: %d events -> %s (load in Perfetto or chrome://tracing)\n",
+		fmt.Fprintf(stdout, "  trace: %d events -> %s (load in Perfetto or chrome://tracing)\n",
 			len(res.Events), *traceOut)
 	}
 	if *statsTxt != "" {
 		if err := os.WriteFile(*statsTxt, []byte(res.StatsText), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "svbench:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "svbench:", err)
+			return 1
 		}
-		fmt.Printf("  stats: %s\n", *statsTxt)
+		fmt.Fprintf(stdout, "  stats: %s\n", *statsTxt)
 	}
 	if *profile {
-		fmt.Println()
-		fmt.Print(res.Profile.Table())
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, res.Profile.Table())
 	}
+	return 0
+}
+
+// runAll sweeps every spec on one ISA across the worker pool and prints
+// one summary row per experiment, in catalog order.
+func runAll(specs []svbench.Spec, a svbench.Arch, jobs int, stdout, stderr io.Writer) int {
+	cfg := gemsys.DefaultConfig(a)
+	var tasks []sweep.Task
+	for _, sp := range specs {
+		tasks = append(tasks, sweep.Task{Cfg: cfg, Spec: sp})
+	}
+	out := sweep.Run(tasks, sweep.Options{Jobs: jobs})
+	fmt.Fprintf(stdout, "%d experiments on %s (-j %d):\n", len(out), a, jobs)
+	failed := 0
+	for _, o := range out {
+		if o.Err != nil {
+			failed++
+			fmt.Fprintf(stdout, "  %-24s FAILED: %v\n", o.Task.Spec.Name, o.Err)
+			continue
+		}
+		fmt.Fprintf(stdout, "  %-24s cold=%-10d warm=%-10d ratio=%.2fx\n",
+			o.Task.Spec.Name, o.Result.Cold.Cycles, o.Result.Warm.Cycles,
+			float64(o.Result.Cold.Cycles)/float64(o.Result.Warm.Cycles))
+	}
+	if failed > 0 {
+		fmt.Fprintf(stderr, "svbench: %d experiment(s) failed\n", failed)
+		return 1
+	}
+	return 0
 }

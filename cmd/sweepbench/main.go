@@ -1,0 +1,102 @@
+// Command sweepbench times the evaluation sweep serially and in
+// parallel and writes the comparison as JSON (BENCH_sweep.json). The
+// sweep's figures are asserted byte-identical across both runs first —
+// a speedup that changed the results would be meaningless.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"svbench/internal/figures"
+	"svbench/internal/harness"
+	"svbench/internal/sweep"
+)
+
+type report struct {
+	Date       string  `json:"date"`
+	HostCPUs   int     `json:"host_cpus"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Matrix     string  `json:"matrix"`
+	Tasks      int     `json:"tasks"`
+	JobsBefore int     `json:"jobs_before"`
+	JobsAfter  int     `json:"jobs_after"`
+	SecBefore  float64 `json:"seconds_before"`
+	SecAfter   float64 `json:"seconds_after"`
+	Speedup    float64 `json:"speedup"`
+	MemoHits   uint64  `json:"memo_hits"`
+	MemoMisses uint64  `json:"memo_misses"`
+	Identical  bool    `json:"figures_identical"`
+}
+
+func main() {
+	var (
+		out  = flag.String("out", "BENCH_sweep.json", "output JSON file")
+		jobs = flag.Int("j", sweep.DefaultJobs(), "parallel worker count for the after run")
+	)
+	flag.Parse()
+	if err := sweep.ValidateJobs(*jobs); err != nil {
+		fmt.Fprintln(os.Stderr, "sweepbench: -j:", err)
+		os.Exit(2)
+	}
+
+	collect := func(opt figures.SweepOpts) (*figures.Results, string, float64) {
+		t0 := time.Now()
+		res, err := figures.CollectWith(opt)
+		dt := time.Since(t0).Seconds()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweepbench:", err)
+			os.Exit(1)
+		}
+		all, err := figures.ReportData(res, figures.ReportOpts{SkipEmulation: true})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweepbench:", err)
+			os.Exit(1)
+		}
+		return res, figures.Render(res, all), dt
+	}
+
+	fmt.Fprintf(os.Stderr, "sweepbench: serial sweep (-j 1, no memoization)...\n")
+	_, mdBefore, secBefore := collect(figures.SweepOpts{Jobs: 1, DisableMemo: true})
+	fmt.Fprintf(os.Stderr, "sweepbench: %.2fs; parallel sweep (-j %d, memoized)...\n", secBefore, *jobs)
+
+	cache := harness.NewBootCache()
+	_, mdAfter, secAfter := collect(figures.SweepOpts{Jobs: *jobs, Cache: cache})
+	hits, misses, _ := cache.Stats()
+
+	nTasks := 2 * (len(harness.StandaloneSpecs()) + len(harness.ShopSpecs()) +
+		len(harness.HotelSpecs(harness.EngineCassandra)))
+	rep := report{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		HostCPUs:   runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Matrix:     "standalone+shop+hotel(cassandra) × {rv64, cisc64}, skip-emulation",
+		Tasks:      nTasks,
+		JobsBefore: 1,
+		JobsAfter:  *jobs,
+		SecBefore:  secBefore,
+		SecAfter:   secAfter,
+		Speedup:    secBefore / secAfter,
+		MemoHits:   hits,
+		MemoMisses: misses,
+		Identical:  mdBefore == mdAfter,
+	}
+	if !rep.Identical {
+		fmt.Fprintln(os.Stderr, "sweepbench: FIGURES DIFFER between serial and parallel runs")
+	}
+	js, _ := json.MarshalIndent(rep, "", "  ")
+	js = append(js, '\n')
+	if err := os.WriteFile(*out, js, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "sweepbench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "sweepbench: %.2fs -> %.2fs (%.2fx), identical=%v, %s\n",
+		secBefore, secAfter, rep.Speedup, rep.Identical, *out)
+	if !rep.Identical {
+		os.Exit(1)
+	}
+}

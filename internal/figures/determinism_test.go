@@ -1,0 +1,142 @@
+package figures
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"svbench/internal/harness"
+	"svbench/internal/isa"
+	"svbench/internal/trace"
+)
+
+// reducedMatrix is a small but representative slice of the catalog:
+// standalone functions (memoizable setup) plus hotel functions (native
+// database services, the non-memoizable path), traced so the stats and
+// trace exports are part of the comparison.
+func reducedMatrix(t *testing.T) (fn, hotel []harness.Spec) {
+	t.Helper()
+	for _, sp := range harness.StandaloneSpecs() {
+		switch sp.Name {
+		case "fibonacci-go", "aes-python", "auth-nodejs":
+			sp.Requests = 3
+			sp.Trace = trace.Options{Enabled: true}
+			fn = append(fn, sp)
+		}
+	}
+	for _, sp := range harness.HotelSpecs(harness.EngineCassandra) {
+		switch sp.Name {
+		case "geo", "profile":
+			sp.Requests = 3
+			sp.Trace = trace.Options{Enabled: true}
+			hotel = append(hotel, sp)
+		}
+	}
+	if len(fn) != 3 || len(hotel) != 2 {
+		t.Fatalf("reduced matrix incomplete: %d fn, %d hotel specs", len(fn), len(hotel))
+	}
+	return fn, hotel
+}
+
+// exportDump concatenates every per-run export that the determinism
+// contract covers: the rendered figures, the gem5-style stats-registry
+// text, the Chrome trace JSON, the raw response bytes, and the setup
+// instruction counts.
+func exportDump(t *testing.T, res *Results) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	all := []Data{res.Fig44(), res.Fig45(), res.Fig46(), res.Fig47(), res.Fig48(),
+		res.Fig49(), res.Fig410(), res.Fig411(), res.Fig412(), res.Fig413(),
+		res.Fig414(), res.Fig415(), res.Fig416(), res.Fig417(), res.Fig418(),
+		res.Fig419(), res.TableMPKI()}
+	buf.WriteString(Render(res, all))
+	for _, arch := range []isa.Arch{isa.RV64, isa.CISC64} {
+		for _, name := range append(append([]string{}, FnOrder...), HotelOrder...) {
+			r := res.fn(arch, name)
+			if r == nil {
+				continue
+			}
+			fmt.Fprintf(&buf, "== %s/%s setup=%d ==\n", arch, name, r.SetupInsts)
+			buf.Write(r.Response)
+			buf.WriteString(r.StatsText)
+			buf.Write(r.TraceJSON)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestCollectByteIdentical is the headline determinism claim: the full
+// set of exports is byte-identical whether the sweep runs on one worker,
+// on GOMAXPROCS workers, or with checkpoint memoization disabled.
+func TestCollectByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the reduced matrix three times")
+	}
+	fn, hotel := reducedMatrix(t)
+	arches := []isa.Arch{isa.RV64, isa.CISC64}
+
+	variants := []struct {
+		label string
+		opt   SweepOpts
+	}{
+		{"j1-memo-off", SweepOpts{Jobs: 1, DisableMemo: true}},
+		{"jN-memo-on", SweepOpts{Jobs: runtime.GOMAXPROCS(0)}},
+		{"j4-memo-off", SweepOpts{Jobs: 4, DisableMemo: true}},
+	}
+	var want []byte
+	for i, v := range variants {
+		res := SweepWith(arches, fn, hotel, v.opt)
+		if len(res.Failures) > 0 {
+			t.Fatalf("%s: %d failures: %v", v.label, len(res.Failures), res.Failures[0])
+		}
+		got := exportDump(t, res)
+		if i == 0 {
+			want = got
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: exports differ from %s (%d vs %d bytes)",
+				v.label, variants[0].label, len(got), len(want))
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("empty export dump")
+	}
+}
+
+// TestFailuresSortedDeterministically: failures land in Results.Failures
+// sorted by arch then spec name, regardless of which worker saw them
+// first.
+func TestFailuresSortedDeterministically(t *testing.T) {
+	var zz, aa harness.Spec
+	for _, sp := range harness.StandaloneSpecs() {
+		switch sp.Name {
+		case "fibonacci-go":
+			zz = sp
+		case "aes-go":
+			aa = sp
+		}
+	}
+	// Both fail validation instantly; list them in reverse-sorted order.
+	zz.Requests = 1
+	aa.Requests = 1
+	specs := []harness.Spec{zz, aa}
+
+	for _, jobs := range []int{1, 4} {
+		res := SweepWith([]isa.Arch{isa.RV64, isa.CISC64}, specs, nil, SweepOpts{Jobs: jobs})
+		if len(res.Failures) != 4 {
+			t.Fatalf("jobs=%d: got %d failures, want 4", jobs, len(res.Failures))
+		}
+		var got []string
+		for _, f := range res.Failures {
+			got = append(got, fmt.Sprintf("%s/%s", f.Arch, f.Spec))
+		}
+		want := []string{"cisc64/aes-go", "cisc64/fibonacci-go", "rv64/aes-go", "rv64/fibonacci-go"}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("jobs=%d: failures order %v, want %v", jobs, got, want)
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@ package figures
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 
 	"svbench/internal/gemsys"
@@ -14,6 +15,7 @@ import (
 	"svbench/internal/isa"
 	"svbench/internal/qemu"
 	"svbench/internal/stats"
+	"svbench/internal/sweep"
 )
 
 // Data is one figure's or table's rows.
@@ -70,67 +72,122 @@ type Results struct {
 	Fn map[isa.Arch]map[string]*harness.Result
 	// Hotel results by arch then function name.
 	Hotel map[isa.Arch]map[string]*harness.Result
-	// Failures records experiments that did not complete. The sweep
-	// degrades gracefully: one bad spec no longer aborts the campaign,
-	// and projections skip its rows.
+	// Failures records experiments that did not complete, sorted by
+	// architecture then spec name so the failure report is deterministic
+	// no matter which worker hit the failure first. The sweep degrades
+	// gracefully: one bad spec no longer aborts the campaign, and
+	// projections skip its rows.
 	Failures []*harness.ExperimentError
 }
 
-// Sweep runs fnSpecs and hotelSpecs on each arch, degrading gracefully:
-// a failed experiment lands in Results.Failures as a structured
-// *harness.ExperimentError and the sweep continues. Progress (one line
-// per experiment) goes through log, which may be nil.
+// SweepOpts configures how the experiment matrix is executed. The zero
+// value runs serially with memoization enabled — any worker count and
+// either memoization setting produces identical Results.
+type SweepOpts struct {
+	// Jobs is the worker count; 0 means sweep.DefaultJobs().
+	Jobs int
+	// DisableMemo turns off cross-run checkpoint memoization.
+	DisableMemo bool
+	// Cache, when non-nil, replaces the per-sweep boot cache so
+	// checkpoints memoize across sweeps and callers can read its
+	// hit/miss counters. Ignored when DisableMemo is set.
+	Cache *harness.BootCache
+	// Log, when non-nil, receives one progress line per experiment.
+	// Lines arrive in completion order, which may vary between runs —
+	// the log stream is the one output outside the determinism contract.
+	Log func(string)
+}
+
+// Sweep runs fnSpecs and hotelSpecs on each arch serially. It is the
+// single-worker form of SweepWith, kept for API compatibility.
 func Sweep(arches []isa.Arch, fnSpecs, hotelSpecs []harness.Spec, log func(string)) *Results {
-	say := func(f string, args ...any) {
-		if log != nil {
-			log(fmt.Sprintf(f, args...))
+	return SweepWith(arches, fnSpecs, hotelSpecs, SweepOpts{Jobs: 1, Log: log})
+}
+
+// SweepWith runs fnSpecs and hotelSpecs on each arch across a worker
+// pool, degrading gracefully: a failed experiment lands in
+// Results.Failures as a structured *harness.ExperimentError and the
+// sweep continues. Results are merged in canonical matrix order (arch
+// major, then fn specs, then hotel specs) and Failures are sorted, so
+// the returned Results is identical for every Jobs/DisableMemo setting.
+func SweepWith(arches []isa.Arch, fnSpecs, hotelSpecs []harness.Spec, opt SweepOpts) *Results {
+	type slot struct {
+		hotel bool
+		arch  isa.Arch
+		name  string
+	}
+	var tasks []sweep.Task
+	var slots []slot
+	for _, arch := range arches {
+		cfg := gemsys.DefaultConfig(arch)
+		for _, sp := range fnSpecs {
+			tasks = append(tasks, sweep.Task{Cfg: cfg, Spec: sp})
+			slots = append(slots, slot{arch: arch, name: sp.Name})
+		}
+		for _, sp := range hotelSpecs {
+			tasks = append(tasks, sweep.Task{Cfg: cfg, Spec: sp})
+			slots = append(slots, slot{hotel: true, arch: arch, name: sp.Name})
 		}
 	}
+
+	out := sweep.Run(tasks, sweep.Options{
+		Jobs:        opt.Jobs,
+		DisableMemo: opt.DisableMemo,
+		Cache:       opt.Cache,
+		Log:         opt.Log,
+	})
+
 	res := &Results{
 		Fn:    map[isa.Arch]map[string]*harness.Result{},
 		Hotel: map[isa.Arch]map[string]*harness.Result{},
 	}
-	record := func(arch isa.Arch, name string, err error) {
-		var ee *harness.ExperimentError
-		if !errors.As(err, &ee) {
-			ee = &harness.ExperimentError{Spec: name, Arch: arch, Phase: "run", Err: err}
-		}
-		res.Failures = append(res.Failures, ee)
-		say("%s %-24s FAILED: %v", arch, name, err)
-	}
 	for _, arch := range arches {
 		res.Fn[arch] = map[string]*harness.Result{}
-		for _, sp := range fnSpecs {
-			r, err := harness.Run(arch, sp)
-			if err != nil {
-				record(arch, sp.Name, err)
-				continue
-			}
-			res.Fn[arch][sp.Name] = r
-			say("%s %-24s cold=%-9d warm=%d", arch, sp.Name, r.Cold.Cycles, r.Warm.Cycles)
-		}
 		res.Hotel[arch] = map[string]*harness.Result{}
-		for _, sp := range hotelSpecs {
-			r, err := harness.Run(arch, sp)
-			if err != nil {
-				record(arch, "hotel-"+sp.Name, err)
-				continue
+	}
+	for i, o := range out {
+		s := slots[i]
+		if o.Err != nil {
+			var ee *harness.ExperimentError
+			if !errors.As(o.Err, &ee) {
+				name := s.name
+				if s.hotel {
+					name = "hotel-" + name
+				}
+				ee = &harness.ExperimentError{Spec: name, Arch: s.arch, Phase: "run", Err: o.Err}
 			}
-			res.Hotel[arch][sp.Name] = r
-			say("%s hotel/%-17s cold=%-9d warm=%d", arch, sp.Name, r.Cold.Cycles, r.Warm.Cycles)
+			res.Failures = append(res.Failures, ee)
+			continue
+		}
+		if s.hotel {
+			res.Hotel[s.arch][s.name] = o.Result
+		} else {
+			res.Fn[s.arch][s.name] = o.Result
 		}
 	}
+	sort.SliceStable(res.Failures, func(i, j int) bool {
+		if res.Failures[i].Arch != res.Failures[j].Arch {
+			return res.Failures[i].Arch < res.Failures[j].Arch
+		}
+		return res.Failures[i].Spec < res.Failures[j].Spec
+	})
 	return res
 }
 
-// Collect runs the complete sweep. Progress (one line per experiment) is
-// reported through log, which may be nil. Failed experiments are recorded
-// in Results.Failures and the sweep continues; Collect returns an error
-// only when nothing could run at all.
+// Collect runs the complete sweep serially. Progress (one line per
+// experiment) is reported through log, which may be nil. Failed
+// experiments are recorded in Results.Failures and the sweep continues;
+// Collect returns an error only when nothing could run at all.
 func Collect(log func(string)) (*Results, error) {
-	res := Sweep([]isa.Arch{isa.RV64, isa.CISC64},
+	return CollectWith(SweepOpts{Jobs: 1, Log: log})
+}
+
+// CollectWith runs the complete sweep with explicit execution options.
+// The returned Results is independent of opt.Jobs and opt.DisableMemo.
+func CollectWith(opt SweepOpts) (*Results, error) {
+	res := SweepWith([]isa.Arch{isa.RV64, isa.CISC64},
 		append(harness.StandaloneSpecs(), harness.ShopSpecs()...),
-		harness.HotelSpecs(harness.EngineCassandra), log)
+		harness.HotelSpecs(harness.EngineCassandra), opt)
 	if len(res.Fn[isa.RV64])+len(res.Fn[isa.CISC64])+
 		len(res.Hotel[isa.RV64])+len(res.Hotel[isa.CISC64]) == 0 {
 		return nil, fmt.Errorf("figures: every experiment failed (%d failures)", len(res.Failures))

@@ -1,0 +1,81 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ReportOpts selects which optional studies join the evaluation report.
+type ReportOpts struct {
+	// Requests per function in the emulation study (fig 4.20); 0 means 6.
+	Requests int
+	// SkipEmulation leaves out fig 4.20 (the slowest study).
+	SkipEmulation bool
+	// Chaos adds the fault-injection/recovery table, driven by ChaosSeed.
+	Chaos     bool
+	ChaosSeed uint64
+	// Log receives progress lines from the chaos study; may be nil.
+	Log func(string)
+}
+
+// ReportData assembles the full ordered list of figures and tables for
+// the evaluation report: the sweep projections from res plus the
+// static/emulation tables selected by opt.
+func ReportData(res *Results, opt ReportOpts) ([]Data, error) {
+	all := []Data{Table41(),
+		res.Fig44(), res.Fig45(), res.Fig46(), res.Fig47(), res.Fig48(), res.Fig49(),
+		res.Fig410(), res.Fig411(), res.Fig412(), res.Fig413(), res.Fig414(),
+		res.Fig415(), res.Fig416(), res.Fig417(), res.Fig418(), res.Fig419(),
+		res.TableMPKI()}
+	if !opt.SkipEmulation {
+		nreq := opt.Requests
+		if nreq == 0 {
+			nreq = 6
+		}
+		f420, err := Fig420(nreq)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, f420)
+	}
+	t44, err := Table44()
+	if err != nil {
+		return nil, err
+	}
+	t45, err := Table45()
+	if err != nil {
+		return nil, err
+	}
+	all = append(all, t44, t45)
+	if opt.Chaos {
+		tc, err := TableChaos(opt.ChaosSeed, opt.Log)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, tc)
+	}
+	return all, nil
+}
+
+// Render produces the markdown evaluation report from an assembled data
+// list, appending the failure section when the sweep recorded failures.
+// Its output is a pure function of res and all: byte-identical across
+// worker counts and memoization settings.
+func Render(res *Results, all []Data) string {
+	var sb strings.Builder
+	sb.WriteString("# Evaluation figures and tables (regenerated)\n\n")
+	sb.WriteString("Cache-miss rates (MPKI) and all per-core counters come from the\n" +
+		"tracing and stats subsystem — see [docs/tracing.md](tracing.md).\n\n")
+	for _, d := range all {
+		sb.WriteString(d.Markdown())
+		sb.WriteString("\n")
+	}
+	if len(res.Failures) > 0 {
+		sb.WriteString("## Failed experiments\n\n")
+		for _, f := range res.Failures {
+			fmt.Fprintf(&sb, "- %v\n", f)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -35,6 +35,44 @@ type Checkpoint struct {
 	Cur       []int // per-core current process ID, -1 if none
 	RunQ      [][]int
 	NextRgn   uint64
+	// Console is everything simulated code had written by checkpoint
+	// time. Restoring reinstates it, so a machine that skipped setup
+	// (checkpoint memoization) reports the same Response bytes as one
+	// that executed it.
+	Console []byte
+}
+
+// Clone returns a deep copy sharing no mutable state with the receiver:
+// mutating a machine restored from the clone (or the clone itself) can
+// never reach the original. This is what lets the cross-run checkpoint
+// memoizer hand each concurrent run its own private copy of a cached
+// post-boot snapshot.
+func (ck *Checkpoint) Clone() *Checkpoint {
+	cp := &Checkpoint{
+		Arch:      ck.Arch,
+		MemData:   append([]byte(nil), ck.MemData...),
+		Seq:       ck.Seq,
+		SlabCur:   ck.SlabCur,
+		VirtInstr: ck.VirtInstr,
+		Cur:       append([]int(nil), ck.Cur...),
+		NextRgn:   ck.NextRgn,
+		Console:   append([]byte(nil), ck.Console...),
+	}
+	cp.Procs = make([]ProcSnap, len(ck.Procs))
+	for i, ps := range ck.Procs {
+		cp.Procs[i] = ps
+		cp.Procs[i].CoreState = append([]uint64(nil), ps.CoreState...)
+	}
+	cp.Chans = make([]kernel.ChanSnap, len(ck.Chans))
+	for i, cs := range ck.Chans {
+		cp.Chans[i].Msgs = append([]kernel.MsgSnap(nil), cs.Msgs...)
+		cp.Chans[i].Waiters = append([]int(nil), cs.Waiters...)
+	}
+	cp.RunQ = make([][]int, len(ck.RunQ))
+	for i, q := range ck.RunQ {
+		cp.RunQ[i] = append([]int(nil), q...)
+	}
+	return cp
 }
 
 // TakeCheckpoint captures the machine state and clears the pending
@@ -46,6 +84,7 @@ func (m *Machine) TakeCheckpoint() *Checkpoint {
 		Chans:     m.K.SnapChannels(),
 		VirtInstr: m.virtInstr,
 		NextRgn:   m.nextRegion,
+		Console:   append([]byte(nil), m.K.Console.Bytes()...),
 	}
 	ck.Seq, ck.SlabCur = m.K.SnapState()
 	for _, p := range m.K.Procs {
@@ -71,10 +110,14 @@ func (m *Machine) TakeCheckpoint() *Checkpoint {
 	return ck
 }
 
-// Restore reinstates a checkpoint on the same machine (processes must have
-// been spawned identically). Microarchitectural state starts cold: caches,
-// TLBs and branch predictors are flushed, trace queues cleared, and the
-// IPC coupler reset.
+// Restore reinstates a checkpoint on the same machine — or on any machine
+// with an equal BootFingerprint, i.e. one whose processes were spawned
+// identically (the checkpoint memoizer's cross-machine restore path).
+// Microarchitectural state starts cold: caches, TLBs and branch
+// predictors are flushed, trace queues cleared, and the IPC coupler
+// reset. Restore copies out of ck and never retains references into it,
+// so a shared (cached) checkpoint stays untouched by the restored
+// machine's subsequent execution.
 func (m *Machine) Restore(ck *Checkpoint) error {
 	if ck.Arch != string(m.Cfg.Arch) {
 		return fmt.Errorf("gemsys: checkpoint arch %q does not match machine %q", ck.Arch, m.Cfg.Arch)
@@ -103,6 +146,8 @@ func (m *Machine) Restore(ck *Checkpoint) error {
 	}
 	m.K.RestoreChannels(ck.Chans, byID)
 	m.K.RestoreState(ck.Seq, ck.SlabCur)
+	m.K.Console.Reset()
+	m.K.Console.Write(ck.Console)
 	m.virtInstr = ck.VirtInstr
 	m.nextRegion = ck.NextRgn
 	for ci := 0; ci < m.Cfg.Cores; ci++ {

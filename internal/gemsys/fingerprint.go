@@ -1,0 +1,100 @@
+package gemsys
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+
+	"svbench/internal/isa"
+	"svbench/internal/trace"
+)
+
+// The boot fingerprint identifies everything that determines the
+// machine's state at the end of the setup phase: the behavioral
+// configuration (architecture, core count, memory size, cache/O3/DRAM
+// parameters, scheduling quantum, region layout), the kernel image, and
+// every spawned program (name, placement, image bytes, entry point,
+// arguments) in spawn order. Two machines with equal fingerprints execute
+// identical instruction streams up to the checkpoint, so a post-boot
+// checkpoint taken on one can be restored on the other.
+//
+// Deliberately excluded — they do not influence guest-visible setup
+// state:
+//   - Config.Trace: the observability layer is reset on every Restore,
+//     so traced and untraced machines share boot work.
+//   - the cosmetic label fields (OSLabel, KernelLabel, Compiler,
+//     DockerLabel).
+//   - fault-injection hooks: injectors are armed only after the restore,
+//     and unarmed injectors pass messages through untouched.
+//
+// Host-side native services (database/cache engines) are NOT part of the
+// machine and are not fingerprinted; checkpoint memoization is therefore
+// only sound when setup performed no service round trips (the harness
+// checks the kernel's ServiceReqs counter and refuses to memoize
+// otherwise).
+
+func (m *Machine) fpHash() hash.Hash {
+	if m.fph == nil {
+		m.fph = sha256.New()
+	}
+	return m.fph
+}
+
+func fpU64(h hash.Hash, vs ...uint64) {
+	var b [8]byte
+	for _, v := range vs {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+}
+
+func fpStr(h hash.Hash, s string) {
+	fpU64(h, uint64(len(s)))
+	h.Write([]byte(s))
+}
+
+// fpConfig folds the behavioral configuration into the fingerprint. The
+// cosmetic label fields and the observability options are zeroed first:
+// neither influences guest-visible setup state. Everything else — the
+// full cache hierarchy, DRAM, and detailed-CPU parameter set — is
+// included verbatim (these structs contain no maps, so their %+v
+// rendering is deterministic).
+func (m *Machine) fpConfig(cfg Config) {
+	c := cfg
+	c.Trace = trace.Options{}
+	c.OSLabel, c.KernelLabel, c.Compiler, c.DockerLabel = "", "", "", ""
+	h := m.fpHash()
+	fpStr(h, "cfg")
+	fmt.Fprintf(h, "%+v", c)
+}
+
+// fpProgram folds a loaded program image into the fingerprint.
+func (m *Machine) fpProgram(label string, prog *isa.Program) {
+	h := m.fpHash()
+	fpStr(h, label)
+	fpU64(h, prog.TextBase, uint64(len(prog.Text)))
+	h.Write(prog.Text)
+	fpU64(h, prog.DataBase, uint64(len(prog.Data)))
+	h.Write(prog.Data)
+	fpU64(h, prog.Entry)
+}
+
+// fpSpawn folds one process creation into the fingerprint.
+func (m *Machine) fpSpawn(name string, coreID int, entry uint64, args []uint64, prog *isa.Program) {
+	h := m.fpHash()
+	fpStr(h, "spawn")
+	fpStr(h, name)
+	fpU64(h, uint64(coreID), entry, uint64(len(args)))
+	fpU64(h, args...)
+	m.fpProgram("image", prog)
+}
+
+// BootFingerprint returns the hex digest identifying the machine's boot
+// inputs (see the package comment above). It is stable across processes
+// and runs: equal fingerprints mean interchangeable post-boot
+// checkpoints.
+func (m *Machine) BootFingerprint() string {
+	return hex.EncodeToString(m.fpHash().Sum(nil))
+}

@@ -3,6 +3,7 @@ package gemsys
 import (
 	"errors"
 	"fmt"
+	"hash"
 
 	"svbench/internal/cpu"
 	"svbench/internal/ir"
@@ -10,7 +11,6 @@ import (
 	"svbench/internal/isa/cisc"
 	"svbench/internal/isa/riscv"
 	"svbench/internal/kernel"
-	"svbench/internal/libc"
 	"svbench/internal/mem"
 	"svbench/internal/stats"
 	"svbench/internal/trace"
@@ -48,6 +48,9 @@ type Machine struct {
 	hookProc   *kernel.Process
 
 	kernelProg *isa.Program
+	// fph accumulates the boot fingerprint (config, kernel image, every
+	// spawned program); see fingerprint.go.
+	fph hash.Hash
 
 	// Observability. The registry and symbol table always exist (stat
 	// dumps project from the registry); Tracer and Prof are nil unless
@@ -101,12 +104,19 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.Cores != 2 {
 		return nil, fmt.Errorf("gemsys: this system model is two-core (client+server), got %d", cfg.Cores)
 	}
+	// The kernel image (compiled program + pre-decoded text) is shared
+	// read-only across all machines of one architecture; each machine
+	// still owns a private mutable decode cache layered over it.
+	kimg, err := kernelImageFor(cfg.Arch)
+	if err != nil {
+		return nil, fmt.Errorf("gemsys: kernel: %w", err)
+	}
 	m := &Machine{
 		Cfg:        cfg,
 		Mem:        isa.NewMem(cfg.MemBytes),
 		DRAM:       mem.NewDRAM(cfg.DRAM),
-		decRV:      riscv.NewDecodeCache(),
-		decC:       cisc.NewDecodeCache(),
+		decRV:      riscv.NewDecodeCacheShared(kimg.sharedRV),
+		decC:       cisc.NewDecodeCacheShared(kimg.sharedC),
 		cur:        make([]*kernel.Process, cfg.Cores),
 		rq:         make([][]*kernel.Process, cfg.Cores),
 		traces:     make([][]isa.TraceRec, cfg.Cores),
@@ -131,17 +141,15 @@ func New(cfg Config) (*Machine, error) {
 		m.O3 = append(m.O3, newO3For(m, i))
 	}
 
-	// Compile and load the kernel.
-	kmod := kernel.Module(libc.ForArch(string(cfg.Arch)))
-	prog, err := m.compile(kmod, kernelBase)
-	if err != nil {
-		return nil, fmt.Errorf("gemsys: kernel: %w", err)
-	}
+	// Load the (shared, immutable) kernel image.
+	prog := kimg.prog
 	if end := prog.DataBase + uint64(len(prog.Data)); end > slabBase {
 		return nil, fmt.Errorf("gemsys: kernel image overruns slab base (%#x)", end)
 	}
 	prog.LoadInto(m.Mem)
 	m.kernelProg = prog
+	m.fpConfig(cfg)
+	m.fpProgram("kernel", prog)
 	for _, num := range kernel.UserSyscalls {
 		m.K.HandlerAddr[num] = prog.SymAddr(kernel.HandlerName(num))
 	}
@@ -250,6 +258,7 @@ func (m *Machine) Spawn(name string, mod *ir.Module, entry string, coreID int, a
 	for i, a := range args {
 		p.Core.SetArg(i, a)
 	}
+	m.fpSpawn(name, coreID, prog.SymAddr(entry), args, prog)
 	m.Syms.AddProgram(name, prog.Syms, prog.FuncEnd)
 	m.K.AddProcess(p)
 	m.rq[coreID] = append(m.rq[coreID], p)

@@ -1,0 +1,66 @@
+package gemsys
+
+import (
+	"fmt"
+	"sync"
+
+	"svbench/internal/isa"
+	"svbench/internal/isa/cisc"
+	"svbench/internal/isa/riscv"
+	"svbench/internal/kernel"
+	"svbench/internal/libc"
+)
+
+// kernelImage is the process-wide compiled kernel for one architecture:
+// the program image plus a pre-decoded overlay of its text. Both are
+// immutable after construction, so any number of concurrently booting
+// machines may share them — the parallel sweep boots dozens of machines
+// and this removes the per-boot kernel compile and decode cost.
+type kernelImage struct {
+	prog     *isa.Program
+	sharedRV *riscv.SharedText
+	sharedC  *cisc.SharedText
+}
+
+var kernelImages struct {
+	sync.Mutex
+	byArch map[isa.Arch]*kernelImage
+}
+
+// kernelImageFor compiles (once per process per architecture) the kernel
+// module at kernelBase and pre-decodes its text segment. The kernel build
+// depends only on the architecture's libc flavor, so the cache key is the
+// architecture alone.
+func kernelImageFor(arch isa.Arch) (*kernelImage, error) {
+	kernelImages.Lock()
+	defer kernelImages.Unlock()
+	if img, ok := kernelImages.byArch[arch]; ok {
+		return img, nil
+	}
+	kmod := kernel.Module(libc.ForArch(string(arch)))
+	var prog *isa.Program
+	var err error
+	switch arch {
+	case isa.RV64:
+		prog, err = riscv.Compile(kmod, kernelBase)
+	case isa.CISC64:
+		prog, err = cisc.Compile(kmod, kernelBase)
+	default:
+		return nil, fmt.Errorf("gemsys: unknown arch %q", arch)
+	}
+	if err != nil {
+		return nil, err
+	}
+	img := &kernelImage{prog: prog}
+	switch arch {
+	case isa.RV64:
+		img.sharedRV = riscv.PredecodeText(prog.TextBase, prog.Text)
+	case isa.CISC64:
+		img.sharedC = cisc.PredecodeText(prog.TextBase, prog.Text)
+	}
+	if kernelImages.byArch == nil {
+		kernelImages.byArch = map[isa.Arch]*kernelImage{}
+	}
+	kernelImages.byArch[arch] = img
+	return img, nil
+}

@@ -1,0 +1,125 @@
+package harness
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"svbench/internal/gemsys"
+	"svbench/internal/isa"
+)
+
+func fastSpec(t *testing.T) Spec {
+	t.Helper()
+	for _, sp := range StandaloneSpecs() {
+		if sp.Name == "fibonacci-go" {
+			sp.Requests = 3
+			return sp
+		}
+	}
+	t.Fatal("fibonacci-go missing from catalog")
+	return Spec{}
+}
+
+// TestRunCachedMatchesRunWith: a memoized run must be indistinguishable
+// from an unmemoized one — same stats, same response bytes, same setup
+// instruction count.
+func TestRunCachedMatchesRunWith(t *testing.T) {
+	sp := fastSpec(t)
+	cfg := gemsys.DefaultConfig(isa.RV64)
+
+	plain, err := RunWith(cfg, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewBootCache()
+	first, err := RunCached(cfg, sp, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memoized, err := RunCached(cfg, sp, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses, rejected := cache.Stats(); hits != 1 || misses != 1 || rejected != 0 {
+		t.Fatalf("cache stats hits=%d misses=%d rejected=%d, want 1/1/0", hits, misses, rejected)
+	}
+	if !reflect.DeepEqual(plain, first) {
+		t.Error("leader (cache-miss) result differs from plain RunWith")
+	}
+	if !reflect.DeepEqual(plain, memoized) {
+		t.Error("memoized result differs from plain RunWith")
+	}
+	if memoized.SetupInsts == 0 {
+		t.Error("memoized run lost the setup instruction count")
+	}
+}
+
+// TestBootCacheSingleflight: concurrent runs with one fingerprint setup
+// once; every other run restores from the cache and measures the same.
+func TestBootCacheSingleflight(t *testing.T) {
+	sp := fastSpec(t)
+	cfg := gemsys.DefaultConfig(isa.RV64)
+	cache := NewBootCache()
+
+	const n = 4
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = RunCached(cfg, sp, cache)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("run %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(results[i], results[0]) {
+			t.Errorf("run %d differs from run 0", i)
+		}
+	}
+	hits, misses, rejected := cache.Stats()
+	if misses != 1 || rejected != 0 || hits != n-1 {
+		t.Errorf("cache stats hits=%d misses=%d rejected=%d, want %d/1/0", hits, misses, rejected, n-1)
+	}
+}
+
+// TestBootCacheNegativeEntry exercises the fallback protocol directly: a
+// leader that fails (or declines to memoize) publishes a negative entry,
+// and later arrivals run their own setup instead of waiting forever or
+// reusing garbage.
+func TestBootCacheNegativeEntry(t *testing.T) {
+	cache := NewBootCache()
+	e, leader := cache.acquire("fp-a")
+	if !leader {
+		t.Fatal("first acquire must lead")
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		e2, leader2 := cache.acquire("fp-a")
+		if leader2 {
+			t.Error("second acquire must follow, not lead")
+		}
+		<-e2.ready
+		if e2.ok {
+			t.Error("negative entry reported ok")
+		}
+		cache.noteRejected()
+	}()
+	cache.finish(e, nil, 0)
+	<-done
+	// A later arrival sees the settled negative entry immediately.
+	e3, leader3 := cache.acquire("fp-a")
+	if leader3 || e3.ok {
+		t.Fatal("settled negative entry should be followed and not ok")
+	}
+	hits, misses, rejected := cache.Stats()
+	if hits != 0 || misses != 1 || rejected != 1 {
+		t.Errorf("stats hits=%d misses=%d rejected=%d, want 0/1/1", hits, misses, rejected)
+	}
+}

@@ -124,36 +124,66 @@ func Run(arch isa.Arch, spec Spec) (*Result, error) {
 // returned as a *ExperimentError carrying the phase, fault counters and
 // any partial measurements, so sweep drivers can degrade gracefully.
 func RunWith(cfg gemsys.Config, spec Spec) (*Result, error) {
-	var inj *faults.Injector
-	fail := func(phase string, partial *Result, err error) (*Result, error) {
-		ee := &ExperimentError{Spec: spec.Name, Arch: cfg.Arch, Phase: phase, Partial: partial, Err: err}
-		if inj != nil {
-			rep := inj.Report
-			ee.Faults = &rep
-		}
-		return nil, ee
+	return RunCached(cfg, spec, nil)
+}
+
+// Boot is a machine assembled for one experiment but not yet executed:
+// the methodology's boot-to-checkpoint and checkpoint-to-measurement
+// phases run separately on it (Setup, Measure), which is what lets the
+// sweep engine's memoizer skip Setup for runs whose boot fingerprint it
+// has already simulated.
+type Boot struct {
+	M    *gemsys.Machine
+	cfg  gemsys.Config
+	spec Spec
+	inj  *faults.Injector
+	nreq int
+	// setupInsts and setupSvcReqs are recorded by Setup.
+	setupInsts   uint64
+	setupSvcReqs uint64
+}
+
+func (b *Boot) fail(phase string, partial *Result, err error) (*Result, error) {
+	ee := &ExperimentError{Spec: b.spec.Name, Arch: b.cfg.Arch, Phase: phase, Partial: partial, Err: err}
+	if b.inj != nil {
+		rep := b.inj.Report
+		ee.Faults = &rep
+	}
+	return nil, ee
+}
+
+// BootSpec assembles the machine for one experiment: it compiles the
+// workload and client, spawns both processes, and wires fault and trace
+// hooks — everything up to (but excluding) the functional setup phase.
+func BootSpec(cfg gemsys.Config, spec Spec) (*Boot, error) {
+	b := &Boot{cfg: cfg, spec: spec}
+	failErr := func(phase string, err error) error {
+		_, e := b.fail(phase, nil, err)
+		return e
 	}
 
-	nreq := spec.Requests
-	if nreq == 0 {
-		nreq = 10
+	b.nreq = spec.Requests
+	if b.nreq == 0 {
+		b.nreq = 10
 	}
-	if nreq < 2 {
-		return fail("spec", nil, fmt.Errorf(
-			"Requests must be >= 2, got %d: the cold and warm m5 reset/dump markers need distinct requests", nreq))
+	if b.nreq < 2 {
+		return nil, failErr("spec", fmt.Errorf(
+			"Requests must be >= 2, got %d: the cold and warm m5 reset/dump markers need distinct requests", b.nreq))
 	}
 
 	if spec.Trace.Enabled {
 		cfg.Trace = spec.Trace
+		b.cfg = cfg
 	}
 	m, err := gemsys.New(cfg)
 	if err != nil {
-		return fail("boot", nil, err)
+		return nil, failErr("boot", err)
 	}
+	b.M = m
 	if spec.Faults != nil {
-		inj = faults.NewInjector(*spec.Faults)
-		m.K.IPCFault = inj.IPCFault
-		m.K.OnFault = inj.Note
+		b.inj = faults.NewInjector(*spec.Faults)
+		m.K.IPCFault = b.inj.IPCFault
+		m.K.OnFault = b.inj.Note
 	}
 	if m.Tracer != nil {
 		// Chain the fault-note hook so injected faults also land on the
@@ -166,10 +196,10 @@ func RunWith(cfg gemsys.Config, spec Spec) (*Result, error) {
 			m.EmitFault(ev)
 		}
 	}
-	env := &Env{M: m, Inj: inj}
+	env := &Env{M: m, Inj: b.inj}
 	workload, err := spec.Build(env)
 	if err != nil {
-		return fail("build", nil, fmt.Errorf("build workload: %w", err))
+		return nil, failErr("build", fmt.Errorf("build workload: %w", err))
 	}
 	flavor := libc.ForArch(string(cfg.Arch))
 	if spec.Flavor != nil {
@@ -177,20 +207,20 @@ func RunWith(cfg gemsys.Config, spec Spec) (*Result, error) {
 	}
 	server, err := langrt.BuildServer(spec.Runtime, flavor, workload, vswarm.Handler)
 	if err != nil {
-		return fail("build", nil, fmt.Errorf("build server: %w", err))
+		return nil, failErr("build", fmt.Errorf("build server: %w", err))
 	}
 
 	reqCh := m.K.NewChannel()
 	respCh := m.K.NewChannel()
-	if inj != nil {
-		inj.BindClientChans(reqCh, respCh)
+	if b.inj != nil {
+		b.inj.BindClientChans(reqCh, respCh)
 	}
 	if _, err := m.Spawn("server", server, "main", 1, []uint64{uint64(reqCh), uint64(respCh)}); err != nil {
-		return fail("build", nil, fmt.Errorf("spawn server: %w", err))
+		return nil, failErr("build", fmt.Errorf("spawn server: %w", err))
 	}
-	client := BuildClient(spec.Request(), int64(nreq), spec.Retry)
+	client := BuildClient(spec.Request(), int64(b.nreq), spec.Retry)
 	if _, err := m.Spawn("client", client, "main", 0, []uint64{uint64(reqCh), uint64(respCh)}); err != nil {
-		return fail("build", nil, fmt.Errorf("spawn client: %w", err))
+		return nil, failErr("build", fmt.Errorf("spawn client: %w", err))
 	}
 	if spec.Retry != nil {
 		check := spec.Check
@@ -198,45 +228,74 @@ func RunWith(cfg gemsys.Config, spec Spec) (*Result, error) {
 			return check == nil || check(rpc.NewReader(resp)) == nil
 		}
 	}
+	return b, nil
+}
 
-	// Setup mode (atomic CPU) up to the checkpoint before request 1.
+// Setup runs the functional (atomic CPU) boot-and-container-setup phase
+// up to the m5 checkpoint before request 1, and captures that checkpoint.
+func (b *Boot) Setup() (*gemsys.Checkpoint, error) {
+	m := b.M
 	if err := m.RunSetup(setupBudget); err != nil {
-		return fail("setup", nil, err)
+		_, e := b.fail("setup", nil, err)
+		return nil, e
 	}
 	if !m.CheckpointPending() {
-		return fail("checkpoint", nil, fmt.Errorf("setup finished without checkpoint"))
+		_, e := b.fail("checkpoint", nil, fmt.Errorf("setup finished without checkpoint"))
+		return nil, e
 	}
-	ck := m.TakeCheckpoint()
+	b.setupInsts = m.Atomic.Insts
+	b.setupSvcReqs = m.K.Counts.ServiceReqs
+	return m.TakeCheckpoint(), nil
+}
+
+// SetupInsts returns the instruction count of the completed setup phase.
+func (b *Boot) SetupInsts() uint64 { return b.setupInsts }
+
+// Memoizable reports whether the completed setup phase left the machine
+// in a state another identically-booted run may reuse. Setup that
+// performed native service round trips is not memoizable: service engines
+// live host-side, outside the checkpoint, so their post-setup state
+// cannot be reproduced by restoring guest memory alone.
+func (b *Boot) Memoizable() bool { return b.setupSvcReqs == 0 }
+
+// Measure restores the post-boot checkpoint into the detailed O3 CPU with
+// cold microarchitectural state, arms fault injection, replays the
+// request stream and projects the cold/warm statistics. ck may come from
+// this Boot's own Setup or from a cached clone taken on a machine with an
+// equal boot fingerprint; setupInsts is the setup phase's instruction
+// count (reported in the Result even when this machine skipped setup).
+func (b *Boot) Measure(ck *gemsys.Checkpoint, setupInsts uint64) (*Result, error) {
+	m, spec := b.M, b.spec
 	if err := m.Restore(ck); err != nil {
-		return fail("restore", nil, err)
+		return b.fail("restore", nil, err)
 	}
 	// Faults target steady-state traffic: arm only now, so boot and the
 	// readiness handshake replay cleanly and the post-arm schedule is a
 	// pure function of the seed and the request stream.
-	if inj != nil {
-		inj.Arm()
+	if b.inj != nil {
+		b.inj.Arm()
 	}
 
 	// Evaluation mode (detailed O3 CPU).
 	dumps, err := m.RunEval(evalBudget)
-	partial := partialResult(spec, cfg.Arch, m, dumps, inj)
+	partial := partialResult(spec, b.cfg.Arch, m, dumps, b.inj, setupInsts)
 	if err != nil {
-		return fail("eval", partial, err)
+		return b.fail("eval", partial, err)
 	}
 	if len(dumps) != 2 {
-		return fail("shape", partial, fmt.Errorf("got %d stat dumps, want 2", len(dumps)))
+		return b.fail("shape", partial, fmt.Errorf("got %d stat dumps, want 2", len(dumps)))
 	}
 	res := &Result{
 		Name:       spec.Name,
 		Runtime:    spec.Runtime,
-		Arch:       cfg.Arch,
+		Arch:       b.cfg.Arch,
 		Cold:       dumps[0].Server(),
 		Warm:       dumps[1].Server(),
-		SetupInsts: m.Atomic.Insts,
+		SetupInsts: setupInsts,
 		Response:   append([]byte(nil), m.K.Console.Bytes()...),
 	}
-	if inj != nil {
-		rep := inj.Report
+	if b.inj != nil {
+		rep := b.inj.Report
 		res.FaultReport = &rep
 	}
 	if m.Tracer != nil {
@@ -246,13 +305,13 @@ func RunWith(cfg gemsys.Config, spec Spec) (*Result, error) {
 		res.Syms = m.Syms
 		tj, terr := m.TraceJSON()
 		if terr != nil {
-			return fail("trace", res, terr)
+			return b.fail("trace", res, terr)
 		}
 		res.TraceJSON = tj
 	}
 	if spec.Check != nil {
 		if err := spec.Check(rpc.NewReader(res.Response)); err != nil {
-			return fail("check", res, fmt.Errorf("response check: %w", err))
+			return b.fail("check", res, fmt.Errorf("response check: %w", err))
 		}
 	}
 	return res, nil
@@ -260,7 +319,7 @@ func RunWith(cfg gemsys.Config, spec Spec) (*Result, error) {
 
 // partialResult salvages whatever a failed evaluation measured: the cold
 // window if it closed, the warm one too if both did.
-func partialResult(spec Spec, arch isa.Arch, m *gemsys.Machine, dumps []stats.Dump, inj *faults.Injector) *Result {
+func partialResult(spec Spec, arch isa.Arch, m *gemsys.Machine, dumps []stats.Dump, inj *faults.Injector, setupInsts uint64) *Result {
 	if len(dumps) == 0 {
 		return nil
 	}
@@ -269,7 +328,7 @@ func partialResult(spec Spec, arch isa.Arch, m *gemsys.Machine, dumps []stats.Du
 		Runtime:    spec.Runtime,
 		Arch:       arch,
 		Cold:       dumps[0].Server(),
-		SetupInsts: m.Atomic.Insts,
+		SetupInsts: setupInsts,
 		Response:   append([]byte(nil), m.K.Console.Bytes()...),
 	}
 	if len(dumps) > 1 {

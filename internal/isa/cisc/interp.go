@@ -13,11 +13,50 @@ var (
 	ErrBlock = isa.ErrBlock
 )
 
+// SharedText is an immutable pre-decoded view of a text range. It is
+// never written after PredecodeText returns, so one SharedText can back
+// the decode caches of any number of concurrently running machines; the
+// per-machine DecodeCache remains single-threaded mutable state.
+type SharedText struct {
+	base uint64
+	inst []Inst // Kind==KindInvalid means no instruction starts here
+}
+
+// PredecodeText decodes an instruction at every byte offset of text
+// (loaded at base) into an immutable overlay. Offsets that do not decode
+// (mid-instruction bytes, data) are left invalid and fall back to the
+// per-machine cache at lookup time.
+func PredecodeText(base uint64, text []byte) *SharedText {
+	st := &SharedText{base: base, inst: make([]Inst, len(text))}
+	for i := range text {
+		end := i + 10
+		if end > len(text) {
+			end = len(text)
+		}
+		if in, err := Decode(text[i:end]); err == nil {
+			st.inst[i] = in
+		}
+	}
+	return st
+}
+
+func (s *SharedText) lookup(pc uint64) (Inst, bool) {
+	if s == nil || pc < s.base {
+		return Inst{}, false
+	}
+	i := pc - s.base
+	if i >= uint64(len(s.inst)) || s.inst[i].Kind == KindInvalid {
+		return Inst{}, false
+	}
+	return s.inst[i], true
+}
+
 // DecodeCache caches decoded instructions by byte address.
 type DecodeCache struct {
-	pages map[uint64]*decPage
-	mruK  uint64
-	mruV  *decPage
+	shared *SharedText
+	pages  map[uint64]*decPage
+	mruK   uint64
+	mruV   *decPage
 }
 
 type decPage struct {
@@ -29,7 +68,16 @@ func NewDecodeCache() *DecodeCache {
 	return &DecodeCache{pages: map[uint64]*decPage{}}
 }
 
+// NewDecodeCacheShared returns an empty cache backed by an immutable
+// pre-decoded overlay (may be nil).
+func NewDecodeCacheShared(shared *SharedText) *DecodeCache {
+	return &DecodeCache{shared: shared, pages: map[uint64]*decPage{}}
+}
+
 func (d *DecodeCache) lookup(pc uint64, mem *isa.Mem) (Inst, error) {
+	if in, ok := d.shared.lookup(pc); ok {
+		return in, nil
+	}
 	key := pc >> 12
 	pg := d.mruV
 	if d.mruK != key || pg == nil {

@@ -14,13 +14,55 @@ var (
 	ErrBlock = isa.ErrBlock
 )
 
+// SharedText is an immutable pre-decoded view of a text range. Because it
+// is never written after PredecodeText returns, one SharedText can back
+// the decode caches of any number of concurrently running machines — the
+// per-machine DecodeCache stays single-threaded mutable state while the
+// common prefix (typically the kernel image, identical across machines of
+// one architecture) is decoded exactly once per process.
+type SharedText struct {
+	base uint64
+	ok   []bool
+	inst []Inst
+}
+
+// PredecodeText decodes every aligned instruction slot of text (loaded at
+// base) into an immutable overlay. Slots that do not decode are left
+// unset and fall back to the per-machine cache at lookup time.
+func PredecodeText(base uint64, text []byte) *SharedText {
+	n := len(text) / 4
+	st := &SharedText{base: base, ok: make([]bool, n), inst: make([]Inst, n)}
+	for i := 0; i < n; i++ {
+		w := uint32(text[i*4]) | uint32(text[i*4+1])<<8 |
+			uint32(text[i*4+2])<<16 | uint32(text[i*4+3])<<24
+		if in, err := Decode(w); err == nil {
+			st.inst[i] = in
+			st.ok[i] = true
+		}
+	}
+	return st
+}
+
+func (s *SharedText) lookup(pc uint64) (Inst, bool) {
+	if s == nil || pc < s.base {
+		return Inst{}, false
+	}
+	i := (pc - s.base) >> 2
+	if i >= uint64(len(s.ok)) || !s.ok[i] {
+		return Inst{}, false
+	}
+	return s.inst[i], true
+}
+
 // DecodeCache caches decoded instructions by address. Program text is
 // immutable after load, so entries never invalidate. The cache is shared
-// by all cores of a machine.
+// by all cores of a machine (but never across machines: only the
+// read-only SharedText overlay may cross machine boundaries).
 type DecodeCache struct {
-	pages map[uint64]*decPage
-	mruK  uint64
-	mruV  *decPage
+	shared *SharedText
+	pages  map[uint64]*decPage
+	mruK   uint64
+	mruV   *decPage
 }
 
 type decPage struct {
@@ -33,7 +75,16 @@ func NewDecodeCache() *DecodeCache {
 	return &DecodeCache{pages: map[uint64]*decPage{}}
 }
 
+// NewDecodeCacheShared returns an empty cache backed by an immutable
+// pre-decoded overlay (may be nil).
+func NewDecodeCacheShared(shared *SharedText) *DecodeCache {
+	return &DecodeCache{shared: shared, pages: map[uint64]*decPage{}}
+}
+
 func (d *DecodeCache) lookup(pc uint64, mem *isa.Mem) (Inst, error) {
+	if in, ok := d.shared.lookup(pc); ok {
+		return in, nil
+	}
 	key := pc >> 12
 	pg := d.mruV
 	if d.mruK != key || pg == nil {

@@ -156,6 +156,16 @@ func AllSpecs() []Spec { return harness.AllSpecs() }
 // recorded in Results.Failures; the sweep continues past them.
 func CollectFigures(log func(string)) (*Results, error) { return figures.Collect(log) }
 
+// SweepOpts configures how CollectFiguresWith executes the experiment
+// matrix (worker count, checkpoint memoization, progress log). The
+// returned Results is identical for every setting.
+type SweepOpts = figures.SweepOpts
+
+// CollectFiguresWith is CollectFigures with explicit execution options:
+// opt.Jobs workers (0 = GOMAXPROCS) with memoized boot checkpoints
+// unless opt.DisableMemo is set.
+func CollectFiguresWith(opt SweepOpts) (*Results, error) { return figures.CollectWith(opt) }
+
 // DefaultFaultPlan returns the standard chaos-testing plan for a seed:
 // client-path message drops, delays and response corruption plus service
 // error replies and latency spikes. The same seed always reproduces the
