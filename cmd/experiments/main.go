@@ -31,7 +31,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		nreq    = fs.Int("requests", 6, "requests per function in the emulation study (fig 4.20)")
 		skipEmu = fs.Bool("skip-emulation", false, "skip fig 4.20 (the slowest study)")
 		chaos   = fs.Bool("chaos", false, "also run the fault-injection/recovery table")
-		seed    = fs.Uint64("seed", 1, "fault-injection seed for -chaos")
+		loadFl  = fs.Bool("load", false, "also run the open-loop load study (throughput curve + keep-alive table)")
+		seed    = fs.Uint64("seed", 1, "fault-injection / load-arrival seed for -chaos and -load")
 		jobs    = fs.Int("j", sweep.DefaultJobs(),
 			"sweep worker count, >= 1 (results are identical for every value; default GOMAXPROCS)")
 		noMemo = fs.Bool("no-memo", false,
@@ -60,6 +61,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		SkipEmulation: *skipEmu,
 		Chaos:         *chaos,
 		ChaosSeed:     *seed,
+		Load:          *loadFl,
+		LoadSeed:      *seed,
+		LoadJobs:      *jobs,
 		Log:           logf,
 	})
 	if err != nil {

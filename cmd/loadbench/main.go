@@ -1,0 +1,129 @@
+// Command loadbench times the open-loop load study serially and in
+// parallel and writes the comparison as JSON (BENCH_load.json). Every
+// point's latency table, stats text and trace JSON are asserted
+// byte-identical across both runs first — a speedup that changed the
+// measured tail would be meaningless.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"svbench/internal/gemsys"
+	"svbench/internal/harness"
+	"svbench/internal/isa"
+	"svbench/internal/loadgen"
+	"svbench/internal/sweep"
+)
+
+type report struct {
+	Date       string  `json:"date"`
+	HostCPUs   int     `json:"host_cpus"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Matrix     string  `json:"matrix"`
+	Points     int     `json:"points"`
+	JobsBefore int     `json:"jobs_before"`
+	JobsAfter  int     `json:"jobs_after"`
+	SecBefore  float64 `json:"seconds_before"`
+	SecAfter   float64 `json:"seconds_after"`
+	Speedup    float64 `json:"speedup"`
+	Identical  bool    `json:"reports_identical"`
+}
+
+// points is the benchmarked sweep: the rps grid crossed with two
+// keep-alive settings on the acceptance workload.
+func points(seed uint64) []loadgen.Config {
+	var spec harness.Spec
+	for _, sp := range harness.StandaloneSpecs() {
+		if sp.Name == "fibonacci-go" {
+			spec = sp
+		}
+	}
+	base := loadgen.Config{
+		Cfg:      gemsys.DefaultConfig(isa.RV64),
+		Spec:     spec,
+		Duration: 50_000_000,
+		Seed:     seed,
+	}
+	var cfgs []loadgen.Config
+	for _, rps := range []float64{50, 100, 200, 400} {
+		for _, ka := range []uint64{0, 10_000_000} {
+			c := base
+			c.RPS = rps
+			c.KeepAlive = ka
+			cfgs = append(cfgs, c)
+		}
+	}
+	return cfgs
+}
+
+func main() {
+	var (
+		out  = flag.String("out", "BENCH_load.json", "output JSON file")
+		jobs = flag.Int("j", sweep.DefaultJobs(), "parallel worker count for the after run")
+		seed = flag.Uint64("seed", 7, "arrival-process seed")
+	)
+	flag.Parse()
+	if err := sweep.ValidateJobs(*jobs); err != nil {
+		fmt.Fprintln(os.Stderr, "loadbench: -j:", err)
+		os.Exit(2)
+	}
+
+	run := func(j int) ([]*loadgen.Report, float64) {
+		t0 := time.Now()
+		reps, errs := loadgen.RunMany(points(*seed), j)
+		dt := time.Since(t0).Seconds()
+		for i, err := range errs {
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loadbench: point %d: %v\n", i, err)
+				os.Exit(1)
+			}
+		}
+		return reps, dt
+	}
+
+	fmt.Fprintf(os.Stderr, "loadbench: serial study (-j 1)...\n")
+	before, secBefore := run(1)
+	fmt.Fprintf(os.Stderr, "loadbench: %.2fs; parallel study (-j %d)...\n", secBefore, *jobs)
+	after, secAfter := run(*jobs)
+
+	identical := true
+	for i := range before {
+		if before[i].Table() != after[i].Table() ||
+			before[i].StatsText != after[i].StatsText ||
+			!bytes.Equal(before[i].TraceJSON, after[i].TraceJSON) {
+			identical = false
+			fmt.Fprintf(os.Stderr, "loadbench: point %d DIFFERS between -j 1 and -j %d\n", i, *jobs)
+		}
+	}
+
+	rep := report{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		HostCPUs:   runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Matrix:     "fibonacci-go rv64, rps {50,100,200,400} × keepalive {0, 10ms}",
+		Points:     len(before),
+		JobsBefore: 1,
+		JobsAfter:  *jobs,
+		SecBefore:  secBefore,
+		SecAfter:   secAfter,
+		Speedup:    secBefore / secAfter,
+		Identical:  identical,
+	}
+	js, _ := json.MarshalIndent(rep, "", "  ")
+	js = append(js, '\n')
+	if err := os.WriteFile(*out, js, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "loadbench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "loadbench: %.2fs -> %.2fs (%.2fx), identical=%v, %s\n",
+		secBefore, secAfter, rep.Speedup, rep.Identical, *out)
+	if !rep.Identical {
+		os.Exit(1)
+	}
+}

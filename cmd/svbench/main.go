@@ -13,13 +13,16 @@
 //	svbench -fn profile -emulate -requests 10
 //	svbench -fn geo -chaos -seed 7
 //	svbench -fn fibonacci-go -trace trace.json -profile -stats-txt stats.txt
+//	svbench -load -rps 200 -duration 50ms -keepalive 10ms -seed 7 -j 4
 package main
 
 import (
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"svbench"
 	"svbench/internal/gemsys"
@@ -44,7 +47,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jobs     = fs.Int("j", sweep.DefaultJobs(),
 			"sweep worker count for -all, >= 1 (results are identical for every value; default GOMAXPROCS)")
 		chaos    = fs.Bool("chaos", false, "inject the default fault plan and compile the retry policy into the client")
-		seed     = fs.Uint64("seed", 1, "fault-injection seed (same seed = same fault schedule)")
+		seed     = fs.Uint64("seed", 1, "fault-injection / load-arrival seed (same seed = same schedule)")
+		load     = fs.Bool("load", false, "open-loop load run: replay a seeded arrival process against an instance pool")
+		rps      = fs.Float64("rps", 200, "load: mean arrival rate, invocations per virtual second")
+		duration = fs.Duration("duration", 50*time.Millisecond, "load: arrival window in virtual time")
+		keepal   = fs.Duration("keepalive", 10*time.Millisecond, "load: idle-instance keep-alive in virtual time")
+		arrival  = fs.String("arrival", "poisson", "load: arrival process, poisson or bursty")
+		burst    = fs.Int("burst", 0, "load: bursty batch size (0 = default)")
+		maxInst  = fs.Int("instances", 0, "load: instance pool cap (0 = default)")
 		traceOut = fs.String("trace", "", "write a Chrome trace_event JSON (Perfetto-loadable) to this file")
 		profile  = fs.Bool("profile", false, "print the sampled guest hot-function profile")
 		statsTxt = fs.String("stats-txt", "", "write the gem5-style stats.txt dump to this file")
@@ -75,6 +85,46 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *all {
 		return runAll(specs, a, *jobs, stdout, stderr)
+	}
+
+	if *load {
+		name := *fn
+		if name == "" {
+			name = "fibonacci-go"
+		}
+		var spec *svbench.Spec
+		for _, sp := range specs {
+			if sp.Name == name {
+				sp := sp
+				spec = &sp
+				break
+			}
+		}
+		if spec == nil {
+			fmt.Fprintf(stderr, "svbench: unknown experiment %q (try -list)\n", name)
+			return 2
+		}
+		proc := svbench.LoadPoisson
+		switch *arrival {
+		case "poisson":
+		case "bursty":
+			proc = svbench.LoadBursty
+		default:
+			fmt.Fprintf(stderr, "svbench: unknown arrival process %q (poisson or bursty)\n", *arrival)
+			return 2
+		}
+		cfg := svbench.LoadConfig{
+			Cfg:          gemsys.DefaultConfig(a),
+			Spec:         *spec,
+			RPS:          *rps,
+			Duration:     uint64(duration.Nanoseconds()),
+			Seed:         *seed,
+			Arrival:      proc,
+			Burst:        *burst,
+			KeepAlive:    uint64(keepal.Nanoseconds()),
+			MaxInstances: *maxInst,
+		}
+		return runLoad(cfg, *jobs, *traceOut, *statsTxt, stdout, stderr)
 	}
 
 	if *fn == "" {
@@ -154,6 +204,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *profile {
 		fmt.Fprintln(stdout)
 		fmt.Fprint(stdout, res.Profile.Table())
+	}
+	return 0
+}
+
+// runLoad executes one open-loop load run and prints its deterministic
+// artifacts: the latency table, the stats-registry dump, and a digest of
+// the trace JSON. The worker pool only matters for multi-point sweeps; a
+// single run's output is byte-identical for every -j value.
+func runLoad(cfg svbench.LoadConfig, jobs int, traceOut, statsTxt string, stdout, stderr io.Writer) int {
+	reps, errs := svbench.RunLoadMany([]svbench.LoadConfig{cfg}, jobs)
+	if errs[0] != nil {
+		fmt.Fprintln(stderr, "svbench:", errs[0])
+		return 1
+	}
+	rep := reps[0]
+	fmt.Fprint(stdout, rep.Table())
+	fmt.Fprintln(stdout)
+	fmt.Fprint(stdout, rep.StatsText)
+	fmt.Fprintf(stdout, "trace: %d bytes, sha256 %x\n", len(rep.TraceJSON), sha256.Sum256(rep.TraceJSON))
+	if traceOut != "" {
+		if err := os.WriteFile(traceOut, rep.TraceJSON, 0o644); err != nil {
+			fmt.Fprintln(stderr, "svbench:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "trace written to %s (load in Perfetto or chrome://tracing)\n", traceOut)
+	}
+	if statsTxt != "" {
+		if err := os.WriteFile(statsTxt, []byte(rep.StatsText), 0o644); err != nil {
+			fmt.Fprintln(stderr, "svbench:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "stats written to %s\n", statsTxt)
 	}
 	return 0
 }

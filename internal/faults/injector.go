@@ -15,6 +15,10 @@ type Injector struct {
 	plan  Plan
 	rng   *PRNG
 	armed bool
+	// everArmed latches the first Arm and survives Disarm: any phase that
+	// ran while the injector could fire is tainted for memoization
+	// purposes even if injection is off again by the time anyone asks.
+	everArmed bool
 
 	clientReq  int
 	clientResp int
@@ -33,10 +37,18 @@ func NewInjector(plan Plan) *Injector {
 }
 
 // Arm enables injection.
-func (in *Injector) Arm() { in.armed = true }
+func (in *Injector) Arm() {
+	in.armed = true
+	in.everArmed = true
+}
 
 // Disarm stops injection; counters are preserved.
 func (in *Injector) Disarm() { in.armed = false }
+
+// WasArmed reports whether the injector has ever been armed. Safe on a
+// nil injector (false): callers use it to decide whether a completed
+// phase could have been faulted at all.
+func (in *Injector) WasArmed() bool { return in != nil && in.everArmed }
 
 // BindClientChans resolves the symbolic ClientReq/ClientResp rule targets
 // to the load generator's concrete channel ids.

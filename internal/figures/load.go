@@ -1,0 +1,122 @@
+package figures
+
+import (
+	"fmt"
+
+	"svbench/internal/gemsys"
+	"svbench/internal/harness"
+	"svbench/internal/isa"
+	"svbench/internal/loadgen"
+)
+
+// The open-loop load study (internal/loadgen): a throughput-vs-tail-
+// latency curve over an arrival-rate grid, and a cold-start-rate table
+// over a keep-alive grid. Both run their points across the worker pool
+// with a shared boot cache; like every other figure, the projected Data
+// is identical for every jobs value.
+
+// LoadRPSGrid is the default arrival-rate grid (invocations per virtual
+// second) of the throughput study.
+var LoadRPSGrid = []float64{50, 100, 200, 400}
+
+// LoadKeepAliveGrid is the default keep-alive grid (virtual ns) of the
+// cold-start study. The last point outlives the run window, so its churn
+// cold-start count is structurally zero.
+var LoadKeepAliveGrid = []uint64{0, 1_000_000, 5_000_000, 10_000_000, 500_000_000}
+
+// loadBase is the study's common configuration: the acceptance-point
+// workload (fibonacci-go) with a 50 ms arrival window.
+func loadBase(arch isa.Arch, seed uint64) (loadgen.Config, error) {
+	for _, sp := range harness.StandaloneSpecs() {
+		if sp.Name == "fibonacci-go" {
+			return loadgen.Config{
+				Cfg:       gemsys.DefaultConfig(arch),
+				Spec:      sp,
+				RPS:       200,
+				Duration:  50_000_000,
+				KeepAlive: 10_000_000,
+				Seed:      seed,
+			}, nil
+		}
+	}
+	return loadgen.Config{}, fmt.Errorf("figures: fibonacci-go missing from catalog")
+}
+
+// LoadCurve sweeps the arrival rate and projects achieved throughput
+// against the latency tail — the figure that shows where queueing and
+// cold starts bend the curve.
+func LoadCurve(arch isa.Arch, seed uint64, jobs int) (Data, error) {
+	base, err := loadBase(arch, seed)
+	if err != nil {
+		return Data{}, err
+	}
+	cfgs := make([]loadgen.Config, len(LoadRPSGrid))
+	for i, rps := range LoadRPSGrid {
+		cfgs[i] = base
+		cfgs[i].RPS = rps
+	}
+	reps, errs := loadgen.RunMany(cfgs, jobs)
+	d := Data{
+		ID:    "fig-load-curve",
+		Title: fmt.Sprintf("Open-loop throughput vs tail latency, fibonacci-go (%s, seed %d)", arch, seed),
+		Columns: []string{"offered rps", "achieved rps", "p50 us", "p95 us", "p99 us",
+			"max queue", "cold starts"},
+	}
+	for i, rep := range reps {
+		if errs[i] != nil {
+			return Data{}, fmt.Errorf("load curve point %.0f rps: %w", LoadRPSGrid[i], errs[i])
+		}
+		d.Rows = append(d.Rows, Row{
+			Label: fmt.Sprintf("%.0f rps", LoadRPSGrid[i]),
+			Values: []float64{
+				LoadRPSGrid[i],
+				rep.Throughput,
+				float64(rep.Latency.P50) / 1e3,
+				float64(rep.Latency.P95) / 1e3,
+				float64(rep.Latency.P99) / 1e3,
+				float64(rep.MaxQueueDepth),
+				float64(rep.ColdStarts),
+			},
+		})
+	}
+	return d, nil
+}
+
+// LoadKeepAlive sweeps the keep-alive threshold and projects the
+// cold-start mix — the table that shows keep-alive trading memory
+// (instance-lifetime) for tail latency.
+func LoadKeepAlive(arch isa.Arch, seed uint64, jobs int) (Data, error) {
+	base, err := loadBase(arch, seed)
+	if err != nil {
+		return Data{}, err
+	}
+	cfgs := make([]loadgen.Config, len(LoadKeepAliveGrid))
+	for i, ka := range LoadKeepAliveGrid {
+		cfgs[i] = base
+		cfgs[i].KeepAlive = ka
+	}
+	reps, errs := loadgen.RunMany(cfgs, jobs)
+	d := Data{
+		ID:    "table-load-keepalive",
+		Title: fmt.Sprintf("Cold-start rate vs keep-alive, fibonacci-go (%s, seed %d)", arch, seed),
+		Columns: []string{"cold starts", "churn cold", "warm", "reclaims",
+			"cold %", "p99 us"},
+	}
+	for i, rep := range reps {
+		if errs[i] != nil {
+			return Data{}, fmt.Errorf("keep-alive point %d ns: %w", LoadKeepAliveGrid[i], errs[i])
+		}
+		d.Rows = append(d.Rows, Row{
+			Label: fmt.Sprintf("%.1f ms", float64(LoadKeepAliveGrid[i])/1e6),
+			Values: []float64{
+				float64(rep.ColdStarts),
+				float64(rep.ChurnColdStarts),
+				float64(rep.WarmStarts),
+				float64(rep.Reclaims),
+				100 * rep.ColdRate(),
+				float64(rep.Latency.P99) / 1e3,
+			},
+		})
+	}
+	return d, nil
+}

@@ -1,0 +1,52 @@
+package figures
+
+import (
+	"reflect"
+	"testing"
+
+	"svbench/internal/isa"
+)
+
+// TestLoadFiguresDeterministicAcrossJobs extends the figures determinism
+// contract to the load study: the throughput curve and keep-alive table
+// projected with a serial pool must equal the ones projected with a
+// parallel pool, point for point.
+func TestLoadFiguresDeterministicAcrossJobs(t *testing.T) {
+	c1, err := LoadCurve(isa.RV64, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c4, err := LoadCurve(isa.RV64, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c1, c4) {
+		t.Errorf("load curve differs between -j 1 and -j 4:\n%s\nvs\n%s", c1.Markdown(), c4.Markdown())
+	}
+	if len(c1.Rows) != len(LoadRPSGrid) {
+		t.Fatalf("curve has %d rows, want %d", len(c1.Rows), len(LoadRPSGrid))
+	}
+
+	k1, err := LoadKeepAlive(isa.RV64, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k4, err := LoadKeepAlive(isa.RV64, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(k1, k4) {
+		t.Errorf("keep-alive table differs between -j 1 and -j 4:\n%s\nvs\n%s", k1.Markdown(), k4.Markdown())
+	}
+
+	// The structural keep-alive guarantees: reclaiming instantly churns
+	// cold starts, outliving the window churns none.
+	const churnCol = 1
+	first, last := k1.Rows[0], k1.Rows[len(k1.Rows)-1]
+	if first.Values[churnCol] == 0 {
+		t.Errorf("keep-alive 0 produced no churn cold starts:\n%s", k1.Markdown())
+	}
+	if last.Values[churnCol] != 0 {
+		t.Errorf("keep-alive beyond the run still churned cold starts:\n%s", k1.Markdown())
+	}
+}

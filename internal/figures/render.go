@@ -3,6 +3,8 @@ package figures
 import (
 	"fmt"
 	"strings"
+
+	"svbench/internal/isa"
 )
 
 // ReportOpts selects which optional studies join the evaluation report.
@@ -14,6 +16,12 @@ type ReportOpts struct {
 	// Chaos adds the fault-injection/recovery table, driven by ChaosSeed.
 	Chaos     bool
 	ChaosSeed uint64
+	// Load adds the open-loop load study (throughput-vs-tail-latency
+	// curve and cold-start-vs-keep-alive table), driven by LoadSeed
+	// across LoadJobs workers (0 = serial).
+	Load     bool
+	LoadSeed uint64
+	LoadJobs int
 	// Log receives progress lines from the chaos study; may be nil.
 	Log func(string)
 }
@@ -53,6 +61,21 @@ func ReportData(res *Results, opt ReportOpts) ([]Data, error) {
 			return nil, err
 		}
 		all = append(all, tc)
+	}
+	if opt.Load {
+		jobs := opt.LoadJobs
+		if jobs == 0 {
+			jobs = 1
+		}
+		curve, err := LoadCurve(isa.RV64, opt.LoadSeed, jobs)
+		if err != nil {
+			return nil, err
+		}
+		ka, err := LoadKeepAlive(isa.RV64, opt.LoadSeed, jobs)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, curve, ka)
 	}
 	return all, nil
 }

@@ -555,6 +555,42 @@ func (m *Machine) RunEval(budget uint64) ([]stats.Dump, error) {
 	}
 }
 
+// RunUntilIdle executes functionally until every process is blocked or
+// dead, the machine halts, or budget instructions execute. Unlike
+// RunFunctional, quiescence is success, not deadlock: a host-driven
+// machine (see kernel.Inject) hands control back exactly when it has
+// consumed all injected work and everyone is waiting for more.
+func (m *Machine) RunUntilIdle(budget uint64) error {
+	m.recording = false
+	start := m.virtInstr
+	for !m.halted {
+		ran, err := m.pump()
+		if err != nil {
+			return err
+		}
+		if !ran {
+			return nil
+		}
+		if m.virtInstr-start > budget {
+			return fmt.Errorf("gemsys: host-driven run exceeded %d instructions", budget)
+		}
+	}
+	return m.panicErr()
+}
+
+// KillProcess marks the named process dead, so the scheduler never runs
+// it again. The load-generation layer kills the restored client process
+// and drives the surviving server host-side.
+func (m *Machine) KillProcess(name string) error {
+	for _, p := range m.K.Procs {
+		if p.Name == name {
+			p.State = kernel.ProcDead
+			return nil
+		}
+	}
+	return fmt.Errorf("gemsys: no process named %q", name)
+}
+
 // RunFunctional executes functionally until halt (QEMU mode).
 func (m *Machine) RunFunctional(budget uint64) error {
 	m.recording = false

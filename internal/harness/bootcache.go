@@ -88,6 +88,49 @@ func (c *BootCache) noteRejected() {
 	c.mu.Unlock()
 }
 
+// CheckpointFor returns a post-boot checkpoint for b, consulting the
+// cache by boot fingerprint. The leader (first caller per fingerprint)
+// simulates b's Setup and publishes the result when the boot is
+// memoizable; followers receive a private deep clone. On a negative
+// entry (failed or non-memoizable leader) the caller simulates its own
+// setup and gets its boot's own checkpoint back. A nil cache always runs
+// Setup directly. The returned setupInsts is the setup phase's
+// instruction count — the load layer charges it as the cold-start boot
+// penalty.
+func (c *BootCache) CheckpointFor(b *Boot) (ck *gemsys.Checkpoint, setupInsts uint64, err error) {
+	if c == nil {
+		ck, err = b.Setup()
+		return ck, b.SetupInsts(), err
+	}
+	fp := b.M.BootFingerprint()
+	e, leader := c.acquire(fp)
+	if leader {
+		ck, err = b.Setup()
+		switch {
+		case err != nil:
+			c.finish(e, nil, 0)
+			return nil, 0, err
+		case !b.Memoizable():
+			c.finish(e, nil, 0)
+			return ck, b.SetupInsts(), nil
+		default:
+			// Like RunCached, the leader's own checkpoint is published:
+			// Restore only copies out of it, so later execution on the
+			// leader's machine cannot touch the cached bytes.
+			c.finish(e, ck, b.SetupInsts())
+			return ck, b.SetupInsts(), nil
+		}
+	}
+	<-e.ready
+	if e.ok {
+		c.noteHit()
+		return e.ck.Clone(), e.setupInsts, nil
+	}
+	c.noteRejected()
+	ck, err = b.Setup()
+	return ck, b.SetupInsts(), err
+}
+
 // RunCached executes the methodology like RunWith, consulting cache for a
 // memoized post-boot checkpoint. A nil cache disables memoization. Either
 // way the measured result is identical: the evaluation phase always runs

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"svbench/internal/faults"
 	"svbench/internal/gemsys"
 	"svbench/internal/isa"
 )
@@ -85,6 +86,78 @@ func TestBootCacheSingleflight(t *testing.T) {
 	hits, misses, rejected := cache.Stats()
 	if misses != 1 || rejected != 0 || hits != n-1 {
 		t.Errorf("cache stats hits=%d misses=%d rejected=%d, want %d/1/0", hits, misses, rejected, n-1)
+	}
+}
+
+// faultedSpec returns fastSpec with a fault plan whose rules never fire
+// (probability zero), so an armed setup completes exactly like a clean
+// one — the memoization guard must still refuse it, because the boot
+// fingerprint excludes fault plans and a checkpoint taken under an
+// active injector could otherwise be served to clean runs.
+func faultedSpec(t *testing.T) Spec {
+	sp := fastSpec(t)
+	sp.Faults = &faults.Plan{
+		Seed:  1,
+		Rules: []faults.Rule{{Kind: faults.DropMsg, Channel: faults.ClientReq, Prob: 0}},
+	}
+	return sp
+}
+
+// TestFaultedSetupNotMemoizable: a boot whose setup ran under an armed
+// fault plan must be disqualified from memoization, even when the plan
+// injected nothing and even if the injector is disarmed again later.
+func TestFaultedSetupNotMemoizable(t *testing.T) {
+	b, err := BootSpec(gemsys.DefaultConfig(isa.RV64), faultedSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.inj.Arm()
+	if _, err := b.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	b.inj.Disarm()
+	if b.Memoizable() {
+		t.Fatal("boot whose setup ran under an armed fault plan is memoizable")
+	}
+}
+
+// TestBootCacheRefusesFaultedBoot: when a faulted-setup boot leads the
+// cache entry for a fingerprint, it must publish a negative entry — a
+// later clean boot with the same fingerprint (fault plans are excluded
+// from it) has to run its own setup rather than restore the leader's
+// checkpoint.
+func TestBootCacheRefusesFaultedBoot(t *testing.T) {
+	cfg := gemsys.DefaultConfig(isa.RV64)
+	cache := NewBootCache()
+
+	bf, err := BootSpec(cfg, faultedSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf.inj.Arm()
+	ck, setupInsts, err := cache.CheckpointFor(bf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck == nil || setupInsts == 0 {
+		t.Fatal("faulted leader must still get its own checkpoint")
+	}
+
+	bc, err := BootSpec(cfg, fastSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck2, setupInsts2, err := cache.CheckpointFor(bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck2 == nil || setupInsts2 == 0 {
+		t.Fatal("clean follower must set up on its own after a negative entry")
+	}
+	hits, misses, rejected := cache.Stats()
+	if hits != 0 || misses != 1 || rejected != 1 {
+		t.Fatalf("cache stats hits=%d misses=%d rejected=%d, want 0/1/1 (faulted boot must not be served)",
+			hits, misses, rejected)
 	}
 }
 

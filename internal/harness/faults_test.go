@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"svbench/internal/faults"
+	"svbench/internal/gemsys"
 	"svbench/internal/isa"
 	"svbench/internal/trace"
 )
@@ -133,6 +134,84 @@ func TestOutageRecovery(t *testing.T) {
 	}
 	if rep.Exhausted != 0 {
 		t.Fatalf("requests exhausted despite recovery window: %+v", *rep)
+	}
+}
+
+// TestRetryAccountingLastAttemptSuccess pins the retry ledger for the
+// boundary case the accounting audit targeted: a request that fails on
+// every attempt but the last. With MaxAttempts=4 and an outage window
+// covering exactly the first three attempts, the request must count as
+// recovered (never exhausted), with one retry per failed attempt and no
+// retries charged to any healthy request. The outage window is addressed
+// in served-request space, which starts counting during setup, so the
+// test first probes the spec's setup-phase service request count.
+func TestRetryAccountingLastAttemptSuccess(t *testing.T) {
+	probe, err := BootSpec(gemsys.DefaultConfig(isa.RV64), HotelSpec("geo", EngineCassandra))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := probe.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	setupReqs := int(probe.setupSvcReqs)
+
+	retry := faults.DefaultRetry() // 4 attempts
+	fails := retry.MaxAttempts - 1
+	sp := HotelSpec("geo", EngineCassandra)
+	sp.Faults = &faults.Plan{
+		Seed: 1,
+		Rules: []faults.Rule{
+			{Kind: faults.Outage, Service: "cassandra", After: setupReqs, For: fails},
+		},
+	}
+	sp.Retry = retry
+	r, err := Run(isa.RV64, sp)
+	if err != nil {
+		t.Fatalf("run recovering on the final attempt failed: %v", err)
+	}
+	rep := r.FaultReport
+	if rep == nil {
+		t.Fatal("no FaultReport")
+	}
+	if rep.Outages != uint64(fails) {
+		t.Fatalf("outage served %d requests, want %d: %+v", rep.Outages, fails, *rep)
+	}
+	if rep.Exhausted != 0 {
+		t.Fatalf("final-attempt success counted as exhausted: %+v", *rep)
+	}
+	if rep.Recovered != 1 {
+		t.Fatalf("recovered = %d, want exactly 1: %+v", rep.Recovered, *rep)
+	}
+	if rep.Retried != uint64(fails) {
+		t.Fatalf("retried = %d, want %d (one per failed attempt): %+v", rep.Retried, fails, *rep)
+	}
+	if rep.BadReplies != uint64(fails) || rep.Surfaced != uint64(fails) {
+		t.Fatalf("bad replies/surfaced = %d/%d, want %d/%d: %+v",
+			rep.BadReplies, rep.Surfaced, fails, fails, *rep)
+	}
+	if rep.Timeouts != 0 {
+		t.Fatalf("outage error replies misclassified as timeouts: %+v", *rep)
+	}
+}
+
+// TestRetryBudgetUntouchedWithoutFaults pins the other half of the
+// accounting audit: under an armed but empty fault plan, the compiled
+// retry loop's polling must not consume any retry budget — every
+// first-attempt reply passes the check, so the whole ledger stays zero.
+func TestRetryBudgetUntouchedWithoutFaults(t *testing.T) {
+	sp := findSpec(t, "fibonacci-go")
+	sp.Faults = &faults.Plan{Seed: 1} // armed injector, no rules
+	sp.Retry = faults.DefaultRetry()
+	r, err := Run(isa.RV64, sp)
+	if err != nil {
+		t.Fatalf("retry-compiled run without faults failed: %v", err)
+	}
+	rep := r.FaultReport
+	if rep == nil {
+		t.Fatal("no FaultReport")
+	}
+	if *rep != (faults.Report{}) {
+		t.Fatalf("faultless run under a retry policy charged the ledger: %+v", *rep)
 	}
 }
 

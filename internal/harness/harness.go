@@ -138,10 +138,20 @@ type Boot struct {
 	spec Spec
 	inj  *faults.Injector
 	nreq int
-	// setupInsts and setupSvcReqs are recorded by Setup.
+	// reqCh/respCh are the load generator's channel pair, recorded so
+	// host-side drivers (internal/loadgen) can inject requests and drain
+	// replies without a simulated client.
+	reqCh, respCh int
+	// setupInsts, setupSvcReqs and setupFaulted are recorded by Setup.
 	setupInsts   uint64
 	setupSvcReqs uint64
+	setupFaulted bool
 }
+
+// ClientChans returns the client-side request and response channel ids
+// wired by BootSpec. Host-side load drivers inject requests into reqCh
+// and collect replies from respCh.
+func (b *Boot) ClientChans() (reqCh, respCh int) { return b.reqCh, b.respCh }
 
 func (b *Boot) fail(phase string, partial *Result, err error) (*Result, error) {
 	ee := &ExperimentError{Spec: b.spec.Name, Arch: b.cfg.Arch, Phase: phase, Partial: partial, Err: err}
@@ -212,6 +222,7 @@ func BootSpec(cfg gemsys.Config, spec Spec) (*Boot, error) {
 
 	reqCh := m.K.NewChannel()
 	respCh := m.K.NewChannel()
+	b.reqCh, b.respCh = reqCh, respCh
 	if b.inj != nil {
 		b.inj.BindClientChans(reqCh, respCh)
 	}
@@ -245,6 +256,7 @@ func (b *Boot) Setup() (*gemsys.Checkpoint, error) {
 	}
 	b.setupInsts = m.Atomic.Insts
 	b.setupSvcReqs = m.K.Counts.ServiceReqs
+	b.setupFaulted = b.inj.WasArmed()
 	return m.TakeCheckpoint(), nil
 }
 
@@ -255,8 +267,12 @@ func (b *Boot) SetupInsts() uint64 { return b.setupInsts }
 // in a state another identically-booted run may reuse. Setup that
 // performed native service round trips is not memoizable: service engines
 // live host-side, outside the checkpoint, so their post-setup state
-// cannot be reproduced by restoring guest memory alone.
-func (b *Boot) Memoizable() bool { return b.setupSvcReqs == 0 }
+// cannot be reproduced by restoring guest memory alone. Setup that ran
+// while the fault injector was armed is not memoizable either — the
+// boot fingerprint deliberately excludes fault plans, so a checkpoint
+// with injected corruption baked in could otherwise be served to clean
+// runs of the same fingerprint.
+func (b *Boot) Memoizable() bool { return b.setupSvcReqs == 0 && !b.setupFaulted }
 
 // Measure restores the post-boot checkpoint into the detailed O3 CPU with
 // cold microarchitectural state, arms fault injection, replays the

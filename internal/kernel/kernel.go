@@ -381,6 +381,35 @@ func (k *Kernel) Ecall(c isa.Core, p *Process) isa.EcallResult {
 // Pending reports how many messages sit in channel ch.
 func (k *Kernel) Pending(ch int) int { return len(k.chans[ch].msgs) }
 
+// Inject commits a message into channel ch from the host side, waking one
+// waiter exactly like a guest send. The load-generation layer uses it to
+// drive a restored instance without a simulated client process: the
+// payload is copied into slab memory, so the caller's slice is not
+// retained. Host injection bypasses the IPCFault hook — it models the
+// ingress boundary, not the measured IPC path.
+func (k *Kernel) Inject(ch int, payload []byte) {
+	c := k.chanFor(uint64(ch))
+	addr := k.alloc(uint64(len(payload)))
+	copy(k.Mem.Bytes(addr, uint64(len(payload))), payload)
+	k.seq++
+	k.Counts.Sends++
+	k.enqueue(c, message{addr: addr, ln: uint64(len(payload)), seq: k.seq})
+}
+
+// TakeMessage pops the head message of channel ch host-side and returns a
+// copy of its payload, or (nil, false) when the channel is empty. It is
+// Inject's receive-side counterpart: the egress boundary of a host-driven
+// instance.
+func (k *Kernel) TakeMessage(ch int) ([]byte, bool) {
+	c := k.chanFor(uint64(ch))
+	if len(c.msgs) == 0 {
+		return nil, false
+	}
+	m := c.msgs[0]
+	c.msgs = c.msgs[1:]
+	return append([]byte(nil), k.Mem.Bytes(m.addr, m.ln)...), true
+}
+
 // Snapshot/Restore support: channel and process bookkeeping that must
 // survive a checkpoint.
 type kernelState struct {

@@ -1,0 +1,467 @@
+// Package loadgen is the open-loop invocation load engine: it replays a
+// seeded arrival process (Poisson or bursty, xorshift-driven like
+// internal/faults) against a pool of function instances cloned from
+// memoized post-boot checkpoints (harness.BootCache), under a keep-alive
+// idle-reclaim policy that produces a realistic cold/warm invocation mix.
+//
+// Each instance is a real simulated machine: the harness boots it once
+// per fingerprint, the engine restores private clones of the post-boot
+// checkpoint, kills the simulated client, and drives the surviving
+// function server host-side (kernel.Inject / kernel.TakeMessage +
+// gemsys.RunUntilIdle). Service times are measured on the machine's
+// virtual clock, so the cold/warm difference is the runtime's real lazy
+// initialization, not a modeled constant; only the cold-start boot
+// penalty (the setup phase the restore skipped) is charged analytically.
+//
+// Determinism is the contract, mirroring internal/sweep: one run is a
+// sequential discrete-event simulation whose every decision is a pure
+// function of (config, seed), so identical configs produce byte-identical
+// latency tables, stats-registry text and trace JSON for any worker
+// count; parallelism (RunMany) exists across sweep points, never inside a
+// run. See docs/loadgen.md.
+package loadgen
+
+import (
+	"fmt"
+
+	"svbench/internal/gemsys"
+	"svbench/internal/harness"
+	"svbench/internal/rpc"
+	"svbench/internal/sweep"
+	"svbench/internal/trace"
+)
+
+// Config describes one load run.
+type Config struct {
+	// Cfg is the simulated machine configuration every instance boots
+	// with (gemsys.DefaultConfig of an ISA).
+	Cfg gemsys.Config
+	// Spec is the function under load (harness catalog entry).
+	Spec harness.Spec
+	// RPS is the mean arrival rate in invocations per virtual second.
+	RPS float64
+	// Duration is the arrival window in virtual nanoseconds; completions
+	// drain past it (open loop).
+	Duration uint64
+	// Seed drives the arrival process PRNG.
+	Seed uint64
+	// Arrival selects the arrival process (Poisson default).
+	Arrival Process
+	// Burst is the Bursty process's batch size (0 = DefaultBurst).
+	Burst int
+	// KeepAlive is the idle-reclaim threshold in virtual nanoseconds: an
+	// instance idle for this long is torn down, so the next arrival it
+	// would have served pays a cold start. Zero reclaims immediately on
+	// idling; a value beyond the run keeps every instance warm.
+	KeepAlive uint64
+	// MaxInstances caps the pool (0 = DefaultMaxInstances); arrivals
+	// beyond the cap queue FIFO.
+	MaxInstances int
+	// Cache, when non-nil, memoizes post-boot checkpoints across runs
+	// (RunMany shares one cache over all points of a sweep). Nil boots
+	// one master per run.
+	Cache *harness.BootCache
+}
+
+// DefaultMaxInstances is the pool cap when Config.MaxInstances is zero.
+const DefaultMaxInstances = 4
+
+// invokeBudget bounds one host-driven invocation's functional execution.
+const invokeBudget = 200_000_000
+
+// instance is one warm function machine of the pool.
+type instance struct {
+	id     int
+	b      *harness.Boot
+	reqCh  int
+	respCh int
+	// penalty is the boot time (virtual ns of the skipped setup phase)
+	// charged when this instance was cold-started.
+	penalty   uint64
+	idleSince uint64
+}
+
+// busyRec tracks one in-flight invocation on its instance.
+type busyRec struct {
+	inst *instance
+	inv  int
+	done uint64
+}
+
+type engine struct {
+	cfg     Config
+	reqMsg  []byte
+	arrives []uint64
+	invs    []Invocation
+
+	// masterCk is the shared post-boot checkpoint instances restore from;
+	// nil when the spec's boot is not memoizable (host-side service state
+	// — each cold start then simulates its own setup).
+	masterCk   *gemsys.Checkpoint
+	masterNS   uint64
+	memoizable bool
+
+	idle  []*instance
+	busy  []busyRec
+	free  []*instance // reclaimed machines awaiting re-restore
+	queue []int
+
+	live       int
+	nextInstID int
+
+	// Counters registered into the stats registry.
+	coldStarts    uint64
+	warmStarts    uint64
+	churnColds    uint64
+	reclaims      uint64
+	peak          uint64
+	maxQueue      uint64
+	checkFailures uint64
+
+	// dispatchErr latches the first error raised by a dispatch that runs
+	// inside completion handling (queue-head placement).
+	dispatchErr error
+
+	tracer *trace.Tracer
+	reg    *trace.Registry
+	latD   *trace.Dist
+	queueD *trace.Dist
+	svcD   *trace.Dist
+	coldD  *trace.Dist
+}
+
+// Run executes one load run. The returned Report is a pure function of
+// cfg: rerunning with the same config reproduces it byte-for-byte.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Spec.Build == nil || cfg.Spec.Request == nil {
+		return nil, fmt.Errorf("loadgen: config has no function spec")
+	}
+	if cfg.RPS <= 0 {
+		return nil, fmt.Errorf("loadgen: RPS must be positive, got %g", cfg.RPS)
+	}
+	if cfg.Duration == 0 {
+		return nil, fmt.Errorf("loadgen: duration must be positive")
+	}
+	if cfg.MaxInstances == 0 {
+		cfg.MaxInstances = DefaultMaxInstances
+	}
+	if cfg.MaxInstances < 1 {
+		return nil, fmt.Errorf("loadgen: MaxInstances must be >= 1, got %d", cfg.MaxInstances)
+	}
+	// The engine owns observability: machine-level tracing stays off so
+	// instances run the event-free hot path.
+	cfg.Spec.Trace = trace.Options{}
+
+	e := &engine{cfg: cfg, reqMsg: cfg.Spec.Request()}
+	e.arrives = genArrivals(cfg)
+	e.invs = make([]Invocation, len(e.arrives))
+	e.tracer = trace.NewTracer(6*len(e.arrives) + 64)
+	e.initRegistry()
+
+	if err := e.bootMaster(); err != nil {
+		return nil, err
+	}
+	if err := e.simulate(); err != nil {
+		return nil, err
+	}
+	return e.report()
+}
+
+// RunMany executes one load run per config across a worker pool of jobs
+// workers (0 = sweep.DefaultJobs()); configs without their own Cache
+// share one, so all points of a sweep boot each fingerprint once.
+// Reports come back in config order and each is byte-identical to a solo
+// Run of the same config — parallelism only exists between points.
+func RunMany(cfgs []Config, jobs int) ([]*Report, []error) {
+	shared := harness.NewBootCache()
+	reports := make([]*Report, len(cfgs))
+	errs := make([]error, len(cfgs))
+	sweep.Each(len(cfgs), jobs, func(i int) {
+		c := cfgs[i]
+		if c.Cache == nil {
+			c.Cache = shared
+		}
+		reports[i], errs[i] = Run(c)
+	})
+	return reports, errs
+}
+
+func (e *engine) initRegistry() {
+	r := trace.NewRegistry()
+	e.reg = r
+	e.latD = r.NewDist("load.latencyNS", "end-to-end invocation latency (virtual ns)")
+	e.queueD = r.NewDist("load.queueDelayNS", "arrival-to-placement queueing delay (virtual ns)")
+	e.svcD = r.NewDist("load.serviceNS", "on-instance service time (virtual ns)")
+	e.coldD = r.NewDist("load.coldPenaltyNS", "cold-start boot penalty (virtual ns)")
+	r.Counter("load.coldStarts", "invocations that created an instance", &e.coldStarts)
+	r.Counter("load.warmStarts", "invocations served by a warm instance", &e.warmStarts)
+	r.Counter("load.churnColdStarts", "post-warmup cold starts (keep-alive churn)", &e.churnColds)
+	r.Counter("load.reclaims", "idle instances reclaimed by keep-alive", &e.reclaims)
+	r.Counter("load.peakInstances", "pool high-water mark", &e.peak)
+	r.Counter("load.maxQueueDepth", "deepest FIFO backlog at the pool cap", &e.maxQueue)
+	r.Counter("load.checkFailures", "responses failing the spec's check", &e.checkFailures)
+	r.Func("load.invocations", "arrivals replayed against the pool", func() uint64 {
+		return uint64(len(e.arrives))
+	})
+}
+
+// bootMaster simulates (or fetches from the cache) the post-boot
+// checkpoint instances restore from.
+func (e *engine) bootMaster() error {
+	b, err := harness.BootSpec(e.cfg.Cfg, e.cfg.Spec)
+	if err != nil {
+		return fmt.Errorf("loadgen: master boot: %w", err)
+	}
+	ck, setupInsts, err := e.cfg.Cache.CheckpointFor(b)
+	if err != nil {
+		return fmt.Errorf("loadgen: master setup: %w", err)
+	}
+	e.memoizable = b.Memoizable()
+	if e.memoizable {
+		e.masterCk = ck
+		e.masterNS = setupInsts
+	}
+	return nil
+}
+
+// newInstance cold-starts an instance: a reclaimed machine re-restored
+// from the master checkpoint when possible, otherwise a freshly booted
+// one. The simulated client is killed so the engine can drive the
+// surviving server host-side.
+func (e *engine) newInstance() (*instance, error) {
+	if n := len(e.free); n > 0 && e.memoizable {
+		inst := e.free[n-1]
+		e.free = e.free[:n-1]
+		if err := inst.b.M.Restore(e.masterCk); err != nil {
+			return nil, fmt.Errorf("loadgen: re-restore: %w", err)
+		}
+		if err := inst.b.M.KillProcess("client"); err != nil {
+			return nil, err
+		}
+		inst.id = e.nextInstID
+		e.nextInstID++
+		return inst, nil
+	}
+	b, err := harness.BootSpec(e.cfg.Cfg, e.cfg.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: instance boot: %w", err)
+	}
+	ck := e.masterCk
+	penalty := e.masterNS
+	if !e.memoizable {
+		// Host-side service state cannot be cloned, so this instance
+		// simulates its own container setup — the true cold-start cost.
+		ck, err = b.Setup()
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: instance setup: %w", err)
+		}
+		penalty = b.SetupInsts()
+	}
+	if err := b.M.Restore(ck); err != nil {
+		return nil, fmt.Errorf("loadgen: restore: %w", err)
+	}
+	if err := b.M.KillProcess("client"); err != nil {
+		return nil, err
+	}
+	reqCh, respCh := b.ClientChans()
+	inst := &instance{id: e.nextInstID, b: b, reqCh: reqCh, respCh: respCh, penalty: penalty}
+	e.nextInstID++
+	return inst, nil
+}
+
+// serve drives one invocation through inst's machine and returns the
+// service time on the virtual clock.
+func (e *engine) serve(inst *instance, invID int) (uint64, error) {
+	m := inst.b.M
+	t0 := m.VirtNS()
+	m.K.Inject(inst.reqCh, e.reqMsg)
+	if err := m.RunUntilIdle(invokeBudget); err != nil {
+		return 0, fmt.Errorf("loadgen: invocation %d on instance %d: %w", invID, inst.id, err)
+	}
+	resp, ok := m.K.TakeMessage(inst.respCh)
+	if !ok {
+		return 0, fmt.Errorf("loadgen: invocation %d on instance %d: server produced no reply", invID, inst.id)
+	}
+	if check := e.cfg.Spec.Check; check != nil {
+		if err := check(rpc.NewReader(resp)); err != nil {
+			e.checkFailures++
+			e.invs[invID].CheckFailed = true
+		}
+	}
+	return m.VirtNS() - t0, nil
+}
+
+// simulate runs the discrete-event loop: arrivals and completions in
+// virtual-time order with deterministic tie-breaks (completions first, so
+// a finishing instance can absorb an arrival at the same instant).
+func (e *engine) simulate() error {
+	next := 0
+	for next < len(e.arrives) || len(e.busy) > 0 {
+		ci := e.earliestCompletion()
+		if ci >= 0 && (next >= len(e.arrives) || e.busy[ci].done <= e.arrives[next]) {
+			rec := e.busy[ci]
+			e.busy = append(e.busy[:ci], e.busy[ci+1:]...)
+			e.complete(rec)
+			if e.dispatchErr != nil {
+				return e.dispatchErr
+			}
+			continue
+		}
+		id := next
+		next++
+		now := e.arrives[id]
+		e.invs[id].ID = id
+		e.invs[id].Arrive = now
+		e.tracer.EmitAt(trace.EvInvokeArrive, 0, now, 0, uint64(id), 0)
+		if err := e.dispatch(id, now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// earliestCompletion returns the busy index with the smallest completion
+// time (ties: lowest invocation id), or -1.
+func (e *engine) earliestCompletion() int {
+	best := -1
+	for i := range e.busy {
+		if best < 0 || e.busy[i].done < e.busy[best].done ||
+			(e.busy[i].done == e.busy[best].done && e.busy[i].inv < e.busy[best].inv) {
+			best = i
+		}
+	}
+	return best
+}
+
+// leaseEnd is when an idle instance's keep-alive lease expires
+// (overflow-safe: a huge keep-alive never expires).
+func (e *engine) leaseEnd(inst *instance) uint64 {
+	end := inst.idleSince + e.cfg.KeepAlive
+	if end < inst.idleSince {
+		return ^uint64(0)
+	}
+	return end
+}
+
+// reclaimExpired tears down idle instances whose lease ended at or before
+// now, stamping the reclaim at the lease end (when it really happened).
+func (e *engine) reclaimExpired(now uint64) {
+	kept := e.idle[:0]
+	for _, inst := range e.idle {
+		end := e.leaseEnd(inst)
+		if end > now {
+			kept = append(kept, inst)
+			continue
+		}
+		e.reclaims++
+		e.live--
+		e.tracer.EmitAt(trace.EvInstReclaim, uint8(inst.id), end, 0, uint64(inst.id), 0)
+		if e.memoizable {
+			e.free = append(e.free, inst)
+		}
+	}
+	e.idle = kept
+}
+
+// takeWarm removes and returns the warm instance that has been idle the
+// shortest time (ties: lowest id) — the usual most-recently-used
+// keep-alive policy — or nil when none is live and warm.
+func (e *engine) takeWarm() *instance {
+	best := -1
+	for i, inst := range e.idle {
+		if best < 0 || inst.idleSince > e.idle[best].idleSince ||
+			(inst.idleSince == e.idle[best].idleSince && inst.id < e.idle[best].id) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	inst := e.idle[best]
+	e.idle = append(e.idle[:best], e.idle[best+1:]...)
+	return inst
+}
+
+// dispatch places invocation id arriving (or dequeued) at now onto a
+// warm instance, a cold-started one, or the FIFO queue at the pool cap.
+func (e *engine) dispatch(id int, now uint64) error {
+	e.reclaimExpired(now)
+	if inst := e.takeWarm(); inst != nil {
+		e.warmStarts++
+		return e.start(id, now, inst, false)
+	}
+	if e.live < e.cfg.MaxInstances {
+		inst, err := e.newInstance()
+		if err != nil {
+			return err
+		}
+		e.live++
+		e.coldStarts++
+		if uint64(e.live) > e.peak {
+			e.peak = uint64(e.live)
+		} else {
+			// Refilling capacity the keep-alive policy reclaimed earlier:
+			// a churn cold start, the post-warmup kind.
+			e.churnColds++
+		}
+		e.tracer.EmitAt(trace.EvColdStart, uint8(inst.id), now, 0, uint64(inst.id), inst.penalty)
+		return e.start(id, now, inst, true)
+	}
+	e.queue = append(e.queue, id)
+	if uint64(len(e.queue)) > e.maxQueue {
+		e.maxQueue = uint64(len(e.queue))
+	}
+	return nil
+}
+
+// start serves invocation id on inst beginning at now (plus the boot
+// penalty when cold) and books the completion.
+func (e *engine) start(id int, now uint64, inst *instance, cold bool) error {
+	inv := &e.invs[id]
+	inv.Instance = inst.id
+	inv.Cold = cold
+	inv.QueueDelay = now - inv.Arrive
+	startNS := now
+	if cold {
+		inv.ColdPenalty = inst.penalty
+		startNS += inst.penalty
+	}
+	svc, err := e.serve(inst, id)
+	if err != nil {
+		return err
+	}
+	inv.Start = startNS
+	inv.Service = svc
+	inv.Done = startNS + svc
+	inv.Latency = inv.Done - inv.Arrive
+	e.tracer.EmitAt(trace.EvInvokeRun, uint8(inst.id), startNS, 0, uint64(id), svc)
+	e.busy = append(e.busy, busyRec{inst: inst, inv: id, done: inv.Done})
+	return nil
+}
+
+// complete retires one invocation: the instance idles from the
+// completion instant and the queue head (if any) is placed immediately —
+// warm, on the instance that just freed up.
+func (e *engine) complete(rec busyRec) {
+	inv := &e.invs[rec.inv]
+	now := rec.done
+	rec.inst.idleSince = now
+	e.idle = append(e.idle, rec.inst)
+	e.tracer.EmitAt(trace.EvInvokeDone, 0, now, 0, uint64(rec.inv), inv.Latency)
+	e.latD.Observe(inv.Latency)
+	e.queueD.Observe(inv.QueueDelay)
+	e.svcD.Observe(inv.Service)
+	if inv.Cold {
+		e.coldD.Observe(inv.ColdPenalty)
+	}
+	if len(e.queue) > 0 {
+		id := e.queue[0]
+		e.queue = e.queue[1:]
+		// Normally the queue head lands warm on the instance that just
+		// idled; with KeepAlive 0 it can cold-start instead, which may
+		// fail — latch the error for simulate to surface.
+		if err := e.dispatch(id, now); err != nil && e.dispatchErr == nil {
+			e.dispatchErr = err
+		}
+	}
+}

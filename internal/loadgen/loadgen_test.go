@@ -1,0 +1,267 @@
+package loadgen
+
+import (
+	"bytes"
+	"testing"
+
+	"svbench/internal/gemsys"
+	"svbench/internal/harness"
+	"svbench/internal/isa"
+)
+
+func specByName(t *testing.T, name string) harness.Spec {
+	t.Helper()
+	for _, sp := range harness.AllSpecs() {
+		if sp.Name == name {
+			return sp
+		}
+	}
+	t.Fatalf("no spec %q in catalog", name)
+	return harness.Spec{}
+}
+
+// testConfig is the acceptance-criteria load point: fibonacci-go on rv64,
+// 200 rps over a 50 ms window, seed 7.
+func testConfig(t *testing.T) Config {
+	return Config{
+		Cfg:       gemsys.DefaultConfig(isa.RV64),
+		Spec:      specByName(t, "fibonacci-go"),
+		RPS:       200,
+		Duration:  50_000_000,
+		Seed:      7,
+		KeepAlive: 10_000_000,
+	}
+}
+
+func TestArrivalsAreSeededAndBounded(t *testing.T) {
+	cfg := testConfig(t)
+	a := genArrivals(cfg)
+	b := genArrivals(cfg)
+	if len(a) == 0 {
+		t.Fatal("no arrivals generated")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same config, different arrival counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs: %d vs %d", i, a[i], b[i])
+		}
+		if a[i] >= cfg.Duration {
+			t.Fatalf("arrival %d at %d >= duration %d", i, a[i], cfg.Duration)
+		}
+		if i > 0 && a[i] < a[i-1] {
+			t.Fatalf("arrivals not monotone at %d: %d < %d", i, a[i], a[i-1])
+		}
+	}
+
+	cfg.Seed = 8
+	c := genArrivals(cfg)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical arrival streams")
+	}
+
+	cfg.Arrival = Bursty
+	cfg.Burst = 4
+	d := genArrivals(cfg)
+	if len(d)%4 != 0 {
+		t.Fatalf("bursty arrivals not batch-aligned: %d", len(d))
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	cfg := testConfig(t)
+	cfg.RPS = 0
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("zero RPS accepted")
+	}
+	cfg = testConfig(t)
+	cfg.Duration = 0
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	cfg = testConfig(t)
+	cfg.MaxInstances = -1
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("negative pool cap accepted")
+	}
+}
+
+// TestRunBasics exercises one full run: every invocation completes with a
+// consistent lifecycle and the warmup cold starts match the pool growth.
+func TestRunBasics(t *testing.T) {
+	rep, err := Run(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Invocations) == 0 {
+		t.Fatal("no invocations")
+	}
+	if rep.CheckFailures != 0 {
+		t.Fatalf("%d check failures", rep.CheckFailures)
+	}
+	if rep.ColdStarts == 0 {
+		t.Fatal("first invocation must cold-start")
+	}
+	if rep.ColdStarts+rep.WarmStarts != uint64(len(rep.Invocations)) {
+		t.Fatalf("cold %d + warm %d != invocations %d",
+			rep.ColdStarts, rep.WarmStarts, len(rep.Invocations))
+	}
+	for i, inv := range rep.Invocations {
+		if inv.ID != i {
+			t.Fatalf("invocation %d has ID %d", i, inv.ID)
+		}
+		if inv.Done != inv.Start+inv.Service {
+			t.Fatalf("invocation %d: done %d != start %d + service %d", i, inv.Done, inv.Start, inv.Service)
+		}
+		if inv.Latency != inv.QueueDelay+inv.ColdPenalty+inv.Service {
+			t.Fatalf("invocation %d: latency %d != queue %d + cold %d + service %d",
+				i, inv.Latency, inv.QueueDelay, inv.ColdPenalty, inv.Service)
+		}
+		if !inv.Cold && inv.ColdPenalty != 0 {
+			t.Fatalf("warm invocation %d has cold penalty %d", i, inv.ColdPenalty)
+		}
+		if inv.Cold && inv.ColdPenalty == 0 {
+			t.Fatalf("cold invocation %d has no penalty", i)
+		}
+		if inv.Service == 0 {
+			t.Fatalf("invocation %d has zero service time", i)
+		}
+	}
+	if rep.Latency.P99 < rep.Latency.P50 || rep.Latency.Max < rep.Latency.P99 {
+		t.Fatalf("percentiles not ordered: %+v", rep.Latency)
+	}
+	if rep.Makespan == 0 || rep.Throughput <= 0 {
+		t.Fatalf("missing makespan/throughput: %d %g", rep.Makespan, rep.Throughput)
+	}
+}
+
+// TestKeepAliveControlsColdStarts pins the acceptance criterion: a short
+// keep-alive churns cold starts, a keep-alive beyond the run leaves only
+// the warmup ones.
+func TestKeepAliveControlsColdStarts(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.KeepAlive = 0 // reclaim the instant an instance idles
+	churny, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if churny.ChurnColdStarts == 0 {
+		t.Fatalf("keep-alive 0 produced no churn cold starts (cold %d)", churny.ColdStarts)
+	}
+	if churny.Reclaims == 0 {
+		t.Fatal("keep-alive 0 reclaimed nothing")
+	}
+
+	cfg.KeepAlive = 10 * cfg.Duration
+	warm, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.ChurnColdStarts != 0 {
+		t.Fatalf("infinite keep-alive still churned %d cold starts", warm.ChurnColdStarts)
+	}
+	if warm.ColdStarts != warm.PeakInstances {
+		t.Fatalf("warmup cold starts %d != peak instances %d", warm.ColdStarts, warm.PeakInstances)
+	}
+	if warm.Reclaims != 0 {
+		t.Fatalf("infinite keep-alive reclaimed %d instances", warm.Reclaims)
+	}
+	if warm.Latency.P99 > churny.Latency.Max && churny.ChurnColdStarts > 0 &&
+		warm.ColdStarts > churny.ColdStarts {
+		t.Fatal("longer keep-alive should not increase cold starts")
+	}
+}
+
+// TestBurstyQueuesAtPoolCap drives batch arrivals into a small pool and
+// expects FIFO backlog.
+func TestBurstyQueuesAtPoolCap(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Arrival = Bursty
+	cfg.Burst = 6
+	// Batches arrive every burst/RPS seconds on average; keep the rate
+	// high enough that several batches land inside the window.
+	cfg.RPS = 600
+	cfg.MaxInstances = 2
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PeakInstances != 2 {
+		t.Fatalf("peak %d, want pool cap 2", rep.PeakInstances)
+	}
+	if rep.MaxQueueDepth == 0 {
+		t.Fatal("burst of 6 into a pool of 2 never queued")
+	}
+	if rep.QueueDelay.Max == 0 {
+		t.Fatal("queueing produced no queue delay")
+	}
+}
+
+// TestDeterminismAcrossJobs is the loadgen determinism gate: the same
+// sweep of configs run with -j 1 and -j 4 yields byte-identical latency
+// tables, stats-registry dumps and trace JSON for every point — and a
+// solo Run matches both.
+func TestDeterminismAcrossJobs(t *testing.T) {
+	mkCfgs := func() []Config {
+		base := testConfig(t)
+		short := base
+		short.KeepAlive = 1_000_000
+		bursty := base
+		bursty.Arrival = Bursty
+		bursty.RPS = 600
+		bursty.MaxInstances = 2
+		return []Config{base, short, bursty}
+	}
+
+	seq, errs1 := RunMany(mkCfgs(), 1)
+	for i, err := range errs1 {
+		if err != nil {
+			t.Fatalf("point %d (-j 1): %v", i, err)
+		}
+	}
+	par, errs4 := RunMany(mkCfgs(), 4)
+	for i, err := range errs4 {
+		if err != nil {
+			t.Fatalf("point %d (-j 4): %v", i, err)
+		}
+	}
+
+	solo, err := Run(mkCfgs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range seq {
+		if a, b := seq[i].Table(), par[i].Table(); a != b {
+			t.Errorf("point %d: latency table differs between -j 1 and -j 4:\n--- j1\n%s--- j4\n%s", i, a, b)
+		}
+		if a, b := seq[i].StatsText, par[i].StatsText; a != b {
+			t.Errorf("point %d: stats text differs between -j 1 and -j 4", i)
+		}
+		if !bytes.Equal(seq[i].TraceJSON, par[i].TraceJSON) {
+			t.Errorf("point %d: trace JSON differs between -j 1 and -j 4", i)
+		}
+	}
+	if a, b := seq[0].Table(), solo.Table(); a != b {
+		t.Errorf("solo run table differs from swept run:\n--- sweep\n%s--- solo\n%s", a, b)
+	}
+	if !bytes.Equal(seq[0].TraceJSON, solo.TraceJSON) {
+		t.Error("solo run trace differs from swept run")
+	}
+	if seq[0].StatsText != solo.StatsText {
+		t.Error("solo run stats text differs from swept run")
+	}
+}

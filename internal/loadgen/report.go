@@ -1,0 +1,187 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"svbench/internal/trace"
+)
+
+// Invocation is one request's lifecycle through the pool. All times are
+// virtual nanoseconds; Latency = QueueDelay + ColdPenalty + Service.
+type Invocation struct {
+	ID          int
+	Instance    int
+	Arrive      uint64 // entered the system
+	Start       uint64 // began executing (after queueing + cold start)
+	Done        uint64 // reply produced
+	QueueDelay  uint64 // waited for an instance
+	ColdPenalty uint64 // boot penalty (0 when warm)
+	Service     uint64 // on-instance execution time
+	Latency     uint64 // Done - Arrive
+	Cold        bool
+	CheckFailed bool
+}
+
+// Pcts summarizes one metric's distribution with nearest-rank
+// percentiles over the run's invocations.
+type Pcts struct {
+	P50, P95, P99, Max uint64
+	Mean               float64
+}
+
+// Report is one load run's complete result. Every field — including the
+// rendered table, stats text and trace JSON — is a pure function of the
+// run's Config.
+type Report struct {
+	Cfg         Config
+	Invocations []Invocation
+
+	ColdStarts      uint64
+	WarmStarts      uint64
+	ChurnColdStarts uint64 // post-warmup cold starts (keep-alive churn)
+	Reclaims        uint64
+	PeakInstances   uint64
+	MaxQueueDepth   uint64
+	CheckFailures   uint64
+
+	Latency     Pcts
+	QueueDelay  Pcts
+	Service     Pcts
+	ColdPenalty Pcts // over cold invocations only
+
+	// Makespan is the last completion's timestamp; Throughput is
+	// completions per virtual second over it.
+	Makespan   uint64
+	Throughput float64
+
+	// StatsText is the run's stats-registry dump (gem5 stats.txt style);
+	// TraceJSON the Chrome/Perfetto trace of arrival/run/done/cold-start/
+	// reclaim events.
+	StatsText string
+	TraceJSON []byte
+}
+
+// pcts computes nearest-rank percentiles of vals (unsorted, not
+// modified).
+func pcts(vals []uint64) Pcts {
+	if len(vals) == 0 {
+		return Pcts{}
+	}
+	s := append([]uint64(nil), vals...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	rank := func(p float64) uint64 {
+		i := int(p*float64(len(s))+0.999999) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(s) {
+			i = len(s) - 1
+		}
+		return s[i]
+	}
+	var sum float64
+	for _, v := range s {
+		sum += float64(v)
+	}
+	return Pcts{
+		P50:  rank(0.50),
+		P95:  rank(0.95),
+		P99:  rank(0.99),
+		Max:  s[len(s)-1],
+		Mean: sum / float64(len(s)),
+	}
+}
+
+// report assembles the Report after the event loop drains.
+func (e *engine) report() (*Report, error) {
+	label := fmt.Sprintf("%s load (%s)", e.cfg.Spec.Name, e.cfg.Cfg.Arch)
+	tj, err := trace.ChromeJSON(e.tracer.Events(), nil, e.tracer.Dropped)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: trace export: %w", err)
+	}
+
+	r := &Report{
+		Cfg:             e.cfg,
+		Invocations:     e.invs,
+		ColdStarts:      e.coldStarts,
+		WarmStarts:      e.warmStarts,
+		ChurnColdStarts: e.churnColds,
+		Reclaims:        e.reclaims,
+		PeakInstances:   e.peak,
+		MaxQueueDepth:   e.maxQueue,
+		CheckFailures:   e.checkFailures,
+		StatsText:       e.reg.Text(label),
+		TraceJSON:       tj,
+	}
+
+	lat := make([]uint64, 0, len(e.invs))
+	qd := make([]uint64, 0, len(e.invs))
+	svc := make([]uint64, 0, len(e.invs))
+	var cold []uint64
+	for i := range e.invs {
+		inv := &e.invs[i]
+		lat = append(lat, inv.Latency)
+		qd = append(qd, inv.QueueDelay)
+		svc = append(svc, inv.Service)
+		if inv.Cold {
+			cold = append(cold, inv.ColdPenalty)
+		}
+		if inv.Done > r.Makespan {
+			r.Makespan = inv.Done
+		}
+	}
+	r.Latency = pcts(lat)
+	r.QueueDelay = pcts(qd)
+	r.Service = pcts(svc)
+	r.ColdPenalty = pcts(cold)
+	if r.Makespan > 0 {
+		r.Throughput = float64(len(e.invs)) * 1e9 / float64(r.Makespan)
+	}
+	return r, nil
+}
+
+// ColdRate is the fraction of invocations that cold-started.
+func (r *Report) ColdRate() float64 {
+	if len(r.Invocations) == 0 {
+		return 0
+	}
+	return float64(r.ColdStarts) / float64(len(r.Invocations))
+}
+
+// Table renders the run's deterministic latency table: configuration
+// echo, cold/warm mix, and a percentile row per metric. Same config,
+// same bytes.
+func (r *Report) Table() string {
+	var sb strings.Builder
+	c := r.Cfg
+	fmt.Fprintf(&sb, "== load: %s on %s ==\n", c.Spec.Name, c.Cfg.Arch)
+	fmt.Fprintf(&sb, "arrival      %s, %.1f rps over %.3f ms window (seed %d", c.Arrival, c.RPS, float64(c.Duration)/1e6, c.Seed)
+	if c.Arrival == Bursty {
+		burst := c.Burst
+		if burst <= 0 {
+			burst = DefaultBurst
+		}
+		fmt.Fprintf(&sb, ", burst %d", burst)
+	}
+	sb.WriteString(")\n")
+	fmt.Fprintf(&sb, "policy       keep-alive %.3f ms, pool cap %d\n", float64(c.KeepAlive)/1e6, c.MaxInstances)
+	fmt.Fprintf(&sb, "invocations  %d (%d check failures)\n", len(r.Invocations), r.CheckFailures)
+	fmt.Fprintf(&sb, "cold starts  %d (%d warmup + %d churn), warm %d, reclaims %d\n",
+		r.ColdStarts, r.ColdStarts-r.ChurnColdStarts, r.ChurnColdStarts, r.WarmStarts, r.Reclaims)
+	fmt.Fprintf(&sb, "pool         peak %d instances, max queue depth %d\n", r.PeakInstances, r.MaxQueueDepth)
+	fmt.Fprintf(&sb, "makespan     %.3f ms virtual, throughput %.1f rps\n", float64(r.Makespan)/1e6, r.Throughput)
+	sb.WriteString("\n")
+	fmt.Fprintf(&sb, "%-13s %12s %12s %12s %14s %12s\n", "metric (ns)", "p50", "p95", "p99", "mean", "max")
+	row := func(name string, p Pcts) {
+		fmt.Fprintf(&sb, "%-13s %12d %12d %12d %14.1f %12d\n", name, p.P50, p.P95, p.P99, p.Mean, p.Max)
+	}
+	row("latency", r.Latency)
+	row("queue-delay", r.QueueDelay)
+	row("service", r.Service)
+	fmt.Fprintf(&sb, "%-13s %12d %12d %12d %14.1f %12d  (over %d cold)\n",
+		"cold-penalty", r.ColdPenalty.P50, r.ColdPenalty.P95, r.ColdPenalty.P99,
+		r.ColdPenalty.Mean, r.ColdPenalty.Max, r.ColdStarts)
+	return sb.String()
+}

@@ -26,6 +26,14 @@ func FuzzReaderWriter(f *testing.F) {
 	// Hostile inputs: truncated varint, bytes field with a huge length.
 	f.Add([]byte{16, 0, 0, 0, 0, 0, 0, 0, 0, 0x80, 0x80, 0x80})
 	f.Add([]byte{16, 0, 0, 0, 0, 0, 0, 0, 1, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
+	// Overlong/overflowing varints: a redundant zero terminator, an
+	// unterminated 11-byte run, and a 10th byte with bits past 2^64.
+	f.Add([]byte{16, 0, 0, 0, 0, 0, 0, 0, 0, 0x80, 0x00})
+	f.Add([]byte{16, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0x80, 0x80, 0x00})
+	f.Add([]byte{16, 0, 0, 0, 0, 0, 0, 0, 0,
+		0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01})
+	f.Add([]byte{16, 0, 0, 0, 0, 0, 0, 0, 0,
+		0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Decoding arbitrary bytes must terminate with values or errors,

@@ -276,3 +276,54 @@ func TestGetBytesTruncatesAtMax(t *testing.T) {
 		t.Fatalf("trunc() = %d, want 704", got)
 	}
 }
+
+// TestVarintRejectsOverflowAndOverlong pins the Reader.varint hardening:
+// the loop is bounded at 10 bytes, a 10th byte carrying bits that do not
+// fit in 64 bits is an error (the old decoder silently dropped them), and
+// overlong encodings with a redundant zero terminator are rejected (the
+// Writer never emits them, so every accepted encoding is canonical).
+func TestVarintRejectsOverflowAndOverlong(t *testing.T) {
+	// intMsg frames one int field whose varint payload is raw.
+	intMsg := func(raw ...byte) []byte {
+		msg := make([]byte, rpc.Header, rpc.Header+1+len(raw))
+		msg = append(msg, 0) // int field tag
+		return append(msg, raw...)
+	}
+	rep := func(b byte, n int) []byte { return bytes.Repeat([]byte{b}, n) }
+
+	bad := map[string][]byte{
+		// 10th byte 0x7F: bits 64..69 would be dropped by the shift.
+		"overflow bits in 10th byte": intMsg(append(rep(0xFF, 9), 0x7F)...),
+		// Unterminated past 10 bytes: must stop, not keep shifting.
+		"11 continuation bytes": intMsg(append(rep(0x80, 10), 0x01)...),
+		// Overlong encodings of small values.
+		"overlong zero":      intMsg(0x80, 0x00),
+		"overlong deep zero": intMsg(0xFF, 0x80, 0x80, 0x00),
+	}
+	for name, msg := range bad {
+		if v, err := rpc.NewReader(msg).Int(); err == nil {
+			t.Errorf("%s: accepted as %d, want error", name, v)
+		}
+	}
+
+	// The canonical 10-byte encoding of MaxUint64 must still decode.
+	v, err := rpc.NewReader(intMsg(append(rep(0xFF, 9), 0x01)...)).Int()
+	if err != nil {
+		t.Fatalf("max uint64: %v", err)
+	}
+	if v != 1<<64-1 {
+		t.Fatalf("max uint64 decoded as %d", v)
+	}
+	// Writer output for boundary values stays accepted byte-for-byte.
+	for _, want := range []uint64{0, 1, 127, 128, 1<<63 - 1, 1 << 63, 1<<64 - 1} {
+		w := rpc.NewWriter()
+		w.PutInt(want)
+		got, err := rpc.NewReader(w.Bytes()).Int()
+		if err != nil {
+			t.Fatalf("canonical %d: %v", want, err)
+		}
+		if got != want {
+			t.Fatalf("canonical %d decoded as %d", want, got)
+		}
+	}
+}

@@ -266,11 +266,23 @@ func (r *Reader) varint() (uint64, error) {
 		}
 		c := r.buf[r.cur]
 		r.cur++
+		// At the 10th byte (sh == 63) only the low bit still fits in 64
+		// bits: the shift below would silently drop any higher payload
+		// bits, so reject the encoding before accumulating it.
+		if sh == 63 && c > 1 {
+			return 0, fmt.Errorf("rpc: varint overflow")
+		}
 		v |= uint64(c&0x7F) << sh
-		sh += 7
 		if c < 0x80 {
+			if c == 0 && sh > 0 {
+				// A zero terminator past the first byte is an overlong
+				// encoding (the writer never emits one); rejecting it
+				// keeps every value's encoding canonical and unique.
+				return 0, fmt.Errorf("rpc: non-canonical varint")
+			}
 			return v, nil
 		}
+		sh += 7
 		if sh > 63 {
 			return 0, fmt.Errorf("rpc: varint overflow")
 		}

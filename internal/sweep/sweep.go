@@ -62,6 +62,41 @@ func ValidateJobs(jobs int) error {
 	return nil
 }
 
+// Each runs fn(0)…fn(n-1) across a pool of jobs workers (0 selects
+// DefaultJobs; below 1 panics like Run). Indices are handed out in order
+// and every call completes before Each returns. fn writes its result
+// into its own slot of a caller-owned slice, which is what keeps outputs
+// in input order no matter how the workers interleave — the same merge
+// discipline Run uses for experiment matrices, generalized for other
+// per-index work (the load engine's sweep points).
+func Each(n, jobs int, fn func(i int)) {
+	if jobs == 0 {
+		jobs = DefaultJobs()
+	}
+	if err := ValidateJobs(jobs); err != nil {
+		panic("sweep: " + err.Error())
+	}
+	if jobs > n {
+		jobs = n
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
 // Run executes every task and returns outcomes in task order. Workers
 // pick tasks in order; each task runs on its own machine, so runs never
 // share mutable state (cached checkpoints are handed out as private

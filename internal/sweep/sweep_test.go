@@ -132,3 +132,25 @@ func benchSweep(b *testing.B, jobs int, memo bool) {
 func BenchmarkSweepSerial(b *testing.B)       { benchSweep(b, 1, true) }
 func BenchmarkSweepSerialNoMemo(b *testing.B) { benchSweep(b, 1, false) }
 func BenchmarkSweepParallel(b *testing.B)     { benchSweep(b, DefaultJobs(), true) }
+
+// TestEach covers the generic per-index pool: every index runs exactly
+// once for any worker count, zero selects the default, and invalid
+// counts panic like Run.
+func TestEach(t *testing.T) {
+	for _, jobs := range []int{0, 1, 3, 16} {
+		got := make([]int, 20)
+		Each(len(got), jobs, func(i int) { got[i]++ })
+		for i, n := range got {
+			if n != 1 {
+				t.Fatalf("jobs=%d: index %d ran %d times", jobs, i, n)
+			}
+		}
+	}
+	Each(0, 4, func(int) { t.Fatal("fn called for n=0") })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Each accepted jobs=-1")
+		}
+	}()
+	Each(1, -1, func(int) {})
+}

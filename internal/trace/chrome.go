@@ -32,13 +32,23 @@ type chromeTrace struct {
 
 // Functional-side events (context switch, fault injection) are placed on
 // per-core "functional" tracks offset from the cycle-accurate ones, since
-// their timestamps come from the machine's functional clock.
-const functionalTidBase = 100
+// their timestamps come from the machine's functional clock. Load-engine
+// events get their own track space: one arrivals track plus one track per
+// instance (the event's Core byte).
+const (
+	functionalTidBase = 100
+	loadArrivalTid    = 199
+	loadInstTidBase   = 200
+)
 
 func tidFor(ev Event) int {
 	switch ev.Kind {
 	case EvCtxSwitch, EvFault:
 		return functionalTidBase + int(ev.Core)
+	case EvInvokeArrive, EvInvokeDone:
+		return loadArrivalTid
+	case EvInvokeRun, EvColdStart, EvInstReclaim:
+		return loadInstTidBase + int(ev.Core)
 	}
 	return int(ev.Core)
 }
@@ -61,7 +71,12 @@ func ChromeJSON(events []Event, syms *SymTable, dropped uint64) ([]byte, error) 
 		}
 		seenTid[tid] = true
 		name := fmt.Sprintf("core%d (cycles)", tid)
-		if tid >= functionalTidBase {
+		switch {
+		case tid == loadArrivalTid:
+			name = "load arrivals"
+		case tid >= loadInstTidBase:
+			name = fmt.Sprintf("instance%d (load)", tid-loadInstTidBase)
+		case tid >= functionalTidBase:
 			name = fmt.Sprintf("core%d (functional)", tid-functionalTidBase)
 		}
 		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
@@ -121,6 +136,29 @@ func ChromeJSON(events []Event, syms *SymTable, dropped uint64) ([]byte, error) 
 		case EvM5Reset, EvM5Dump:
 			ce.Ph = "i"
 			ce.S = "g"
+		case EvInvokeArrive:
+			ce.Ph = "i"
+			ce.S = "p"
+			args["invocation"] = fmt.Sprintf("%d", ev.Arg)
+		case EvInvokeRun:
+			// Complete ("X") span: the invocation occupying its instance.
+			ce.Ph = "X"
+			ce.Name = "invoke"
+			ce.Dur = ev.Arg2
+			args["invocation"] = fmt.Sprintf("%d", ev.Arg)
+		case EvInvokeDone:
+			ce.Ph = "i"
+			ce.S = "p"
+			args["invocation"] = fmt.Sprintf("%d", ev.Arg)
+			args["latency_ns"] = fmt.Sprintf("%d", ev.Arg2)
+		case EvColdStart:
+			ce.Ph = "X"
+			ce.Dur = ev.Arg2
+			args["instance"] = fmt.Sprintf("%d", ev.Arg)
+		case EvInstReclaim:
+			ce.Ph = "i"
+			ce.S = "t"
+			args["instance"] = fmt.Sprintf("%d", ev.Arg)
 		default:
 			ce.Ph = "i"
 			ce.S = "t"

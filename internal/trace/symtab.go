@@ -57,7 +57,11 @@ func (s *SymTable) ensureSorted() {
 }
 
 // Resolve maps a PC to its function, returning the span index and name.
-// Unknown PCs return (-1, "").
+// Unknown PCs return (-1, ""). Spans are half-open [Start, End): a PC
+// equal to a span's End belongs to the next span when the two are
+// adjacent, and to no span at all otherwise — samples are never
+// attributed to a neighboring symbol (see symtab_test.go's boundary
+// table).
 func (s *SymTable) Resolve(pc uint64) (int, string) {
 	if s == nil || len(s.spans) == 0 {
 		return -1, ""

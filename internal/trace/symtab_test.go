@@ -1,0 +1,57 @@
+package trace
+
+import "testing"
+
+// TestResolveBoundaries pins the PC→span lookup at every boundary the
+// sort.Search in Resolve has to get right: first-span start, one below
+// it, span ends (exclusive) with and without an adjacent successor, gaps
+// between spans, and the very last end. The audit for this table found
+// the existing search correct; the table keeps it that way.
+func TestResolveBoundaries(t *testing.T) {
+	s := NewSymTable()
+	// Three functions: a and b adjacent, c after a gap.
+	s.AddProgram("p",
+		map[string]uint64{"a": 0x1000, "b": 0x1100, "c": 0x2000},
+		map[string]uint64{"a": 0x1100, "b": 0x1180, "c": 0x2040})
+
+	cases := []struct {
+		name string
+		pc   uint64
+		want string // "" = unresolved
+	}{
+		{"below first span", 0x0FFF, ""},
+		{"zero pc", 0x0, ""},
+		{"first span start", 0x1000, "p.a"},
+		{"inside first span", 0x10A0, "p.a"},
+		{"last byte of a", 0x10FF, "p.a"},
+		{"a's end == b's start", 0x1100, "p.b"},
+		{"last byte of b", 0x117F, "p.b"},
+		{"b's end, gap follows", 0x1180, ""},
+		{"inside the gap", 0x1FFF, ""},
+		{"c's start", 0x2000, "p.c"},
+		{"last byte of c", 0x203F, "p.c"},
+		{"c's end, table end", 0x2040, ""},
+		{"far past everything", 0xFFFF_FFFF, ""},
+	}
+	for _, tc := range cases {
+		idx, name := s.Resolve(tc.pc)
+		if name != tc.want {
+			t.Errorf("%s: Resolve(%#x) = %q, want %q", tc.name, tc.pc, name, tc.want)
+		}
+		if (tc.want == "") != (idx == -1) {
+			t.Errorf("%s: Resolve(%#x) idx=%d inconsistent with name %q", tc.name, tc.pc, idx, name)
+		}
+		if idx >= 0 && s.Name(idx) != tc.want {
+			t.Errorf("%s: Name(%d) = %q, want %q", tc.name, idx, s.Name(idx), tc.want)
+		}
+	}
+
+	// Empty and nil tables resolve nothing.
+	if idx, name := NewSymTable().Resolve(0x1000); idx != -1 || name != "" {
+		t.Errorf("empty table resolved (%d, %q)", idx, name)
+	}
+	var nilTab *SymTable
+	if idx, name := nilTab.Resolve(0x1000); idx != -1 || name != "" {
+		t.Errorf("nil table resolved (%d, %q)", idx, name)
+	}
+}

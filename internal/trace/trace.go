@@ -32,6 +32,15 @@ const (
 	EvFault                  // fault-injection event (Arg=fault event code)
 	EvM5Reset                // m5 reset-stats marker: a stats window opens
 	EvM5Dump                 // m5 dump-stats marker: a stats window closes
+
+	// Load-generation events (internal/loadgen): timestamps are virtual
+	// nanoseconds of the load engine's clock, Core carries the instance
+	// id (mod 256) for track placement.
+	EvInvokeArrive // invocation entered the system (Arg=invocation id)
+	EvInvokeRun    // invocation executing (Arg=invocation id, Arg2=service ns)
+	EvInvokeDone   // invocation completed (Arg=invocation id, Arg2=latency ns)
+	EvColdStart    // instance cold start (Arg=instance id, Arg2=boot penalty ns)
+	EvInstReclaim  // idle instance reclaimed by keep-alive (Arg=instance id)
 	evKinds
 )
 
@@ -48,6 +57,8 @@ var kindNames = [evKinds]string{
 	"inst-retire", "cache-miss", "branch-mispredict", "tlb-miss",
 	"syscall-enter", "syscall-exit", "ipc-send", "ipc-recv",
 	"ctx-switch", "fault-inject", "m5-reset", "m5-dump",
+	"invoke-arrive", "invoke-run", "invoke-done", "cold-start",
+	"instance-reclaim",
 }
 
 // String names the kind.

@@ -21,6 +21,7 @@ import (
 	"svbench/internal/harness"
 	"svbench/internal/isa"
 	"svbench/internal/langrt"
+	"svbench/internal/loadgen"
 	"svbench/internal/qemu"
 	"svbench/internal/stats"
 	"svbench/internal/trace"
@@ -82,6 +83,21 @@ type (
 	TraceEvent = trace.Event
 	// StatsRegistry is the machine's hierarchical statistics registry.
 	StatsRegistry = trace.Registry
+	// LoadConfig describes one open-loop load run (internal/loadgen).
+	LoadConfig = loadgen.Config
+	// LoadReport is one load run's complete result: invocation records,
+	// latency percentiles, cold/warm mix, stats text and trace JSON.
+	LoadReport = loadgen.Report
+	// LoadProcess selects the arrival process of a load run.
+	LoadProcess = loadgen.Process
+	// LoadInvocation is one request's lifecycle through the pool.
+	LoadInvocation = loadgen.Invocation
+)
+
+// Arrival processes for LoadConfig.Arrival.
+const (
+	LoadPoisson = loadgen.Poisson
+	LoadBursty  = loadgen.Bursty
 )
 
 // Runtime models.
@@ -176,6 +192,18 @@ func DefaultFaultPlan(seed uint64) *FaultPlan { return faults.DefaultPlan(seed) 
 // generator: bounded attempts with exponential backoff and a per-attempt
 // deadline, all in virtual time.
 func DefaultRetry() *Retry { return faults.DefaultRetry() }
+
+// RunLoad replays cfg's seeded open-loop arrival process against a pool
+// of function instances with keep-alive idle reclamation and returns the
+// tail-latency/cold-start report. The report is a pure function of cfg
+// (see docs/loadgen.md).
+func RunLoad(cfg LoadConfig) (*LoadReport, error) { return loadgen.Run(cfg) }
+
+// RunLoadMany executes one load run per config across a worker pool with
+// a shared boot cache; each report is byte-identical to a solo RunLoad.
+func RunLoadMany(cfgs []LoadConfig, jobs int) ([]*LoadReport, []error) {
+	return loadgen.RunMany(cfgs, jobs)
+}
 
 // RunLukewarm interleaves two functions on the measured core and reports
 // how much of spec's warm state survives (the §2.1 lukewarm effect).
