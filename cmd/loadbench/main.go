@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"time"
 
+	"svbench/internal/benchutil"
 	"svbench/internal/gemsys"
 	"svbench/internal/harness"
 	"svbench/internal/isa"
@@ -64,13 +65,20 @@ func points(seed uint64) []loadgen.Config {
 
 func main() {
 	var (
-		out  = flag.String("out", "BENCH_load.json", "output JSON file")
-		jobs = flag.Int("j", sweep.DefaultJobs(), "parallel worker count for the after run")
-		seed = flag.Uint64("seed", 7, "arrival-process seed")
+		out     = flag.String("out", "BENCH_load.json", "output JSON file")
+		jobs    = flag.Int("j", sweep.DefaultJobs(), "parallel worker count for the after run")
+		seed    = flag.Uint64("seed", 7, "arrival-process seed")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if err := sweep.ValidateJobs(*jobs); err != nil {
 		fmt.Fprintln(os.Stderr, "loadbench: -j:", err)
+		os.Exit(2)
+	}
+	stopProf, err := benchutil.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadbench:", err)
 		os.Exit(2)
 	}
 
@@ -118,6 +126,10 @@ func main() {
 	js, _ := json.MarshalIndent(rep, "", "  ")
 	js = append(js, '\n')
 	if err := os.WriteFile(*out, js, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "loadbench:", err)
+		os.Exit(1)
+	}
+	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "loadbench:", err)
 		os.Exit(1)
 	}

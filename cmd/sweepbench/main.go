@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"time"
 
+	"svbench/internal/benchutil"
 	"svbench/internal/figures"
 	"svbench/internal/harness"
 	"svbench/internal/sweep"
@@ -35,12 +36,19 @@ type report struct {
 
 func main() {
 	var (
-		out  = flag.String("out", "BENCH_sweep.json", "output JSON file")
-		jobs = flag.Int("j", sweep.DefaultJobs(), "parallel worker count for the after run")
+		out     = flag.String("out", "BENCH_sweep.json", "output JSON file")
+		jobs    = flag.Int("j", sweep.DefaultJobs(), "parallel worker count for the after run")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if err := sweep.ValidateJobs(*jobs); err != nil {
 		fmt.Fprintln(os.Stderr, "sweepbench: -j:", err)
+		os.Exit(2)
+	}
+	stopProf, err := benchutil.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweepbench:", err)
 		os.Exit(2)
 	}
 
@@ -91,6 +99,10 @@ func main() {
 	js, _ := json.MarshalIndent(rep, "", "  ")
 	js = append(js, '\n')
 	if err := os.WriteFile(*out, js, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "sweepbench:", err)
+		os.Exit(1)
+	}
+	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "sweepbench:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,51 @@
+// Package benchutil carries the small shared plumbing of the repo's
+// benchmark commands (cmd/interpbench, cmd/sweepbench, cmd/loadbench):
+// optional CPU and heap profiling behind the conventional -cpuprofile /
+// -memprofile flags.
+package benchutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles starts CPU profiling into cpuFile (if non-empty) and
+// arranges for a heap profile to be written to memFile (if non-empty)
+// when the returned stop function runs. Either path may be empty; with
+// both empty the call is a no-op and stop is still safe to invoke. The
+// caller must invoke stop before exiting for the profiles to be complete.
+func StartProfiles(cpuFile, memFile string) (stop func() error, err error) {
+	var cpu *os.File
+	if cpuFile != "" {
+		cpu, err = os.Create(cpuFile)
+		if err != nil {
+			return nil, fmt.Errorf("benchutil: -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, fmt.Errorf("benchutil: start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			if err := cpu.Close(); err != nil {
+				return err
+			}
+		}
+		if memFile != "" {
+			f, err := os.Create(memFile)
+			if err != nil {
+				return fmt.Errorf("benchutil: -memprofile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize reachable-heap accounting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("benchutil: write heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -165,6 +165,11 @@ func (m *Machine) Restore(ck *Checkpoint) error {
 	}
 	m.halted = false
 	m.ckptReq = false
+	// Decoded instructions and translated blocks survive the restore on
+	// purpose: the memory overwrite above is text-identical by the same
+	// assumption the decode cache already relies on (checkpoints restore
+	// into machines of the same boot image), so re-translating would only
+	// penalize restore-heavy callers like the sweep engine.
 	// Fresh coupler and cold microarchitecture, re-wired everywhere. The
 	// shared DRAM channel's occupancy cursor must also reset: it carries
 	// absolute cycle times from the previous run. The O3 cores are reset

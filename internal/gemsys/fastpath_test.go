@@ -1,0 +1,137 @@
+package gemsys
+
+import (
+	"reflect"
+	"testing"
+
+	"svbench/internal/isa"
+	"svbench/internal/stats"
+	"svbench/internal/trace"
+)
+
+// pipelineResult is everything observable about a full pipeline run that
+// the determinism contract covers: exported stats, console bytes, the
+// virtual clock, retired-instruction counters and the full event trace.
+type pipelineResult struct {
+	dumps   []stats.Dump
+	console string
+	virtNS  uint64
+	atomic  uint64
+	events  []trace.Event
+}
+
+// runPipelineMode executes setup → checkpoint → restore → eval with the
+// requested stepping mode and tracing enabled.
+func runPipelineMode(t *testing.T, arch isa.Arch, singleStep bool) pipelineResult {
+	t.Helper()
+	cfg := DefaultConfig(arch)
+	cfg.Trace.Enabled = true
+	cfg.Trace.BufferEvents = 1 << 20
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SingleStep = singleStep
+	req := m.K.NewChannel()
+	resp := m.K.NewChannel()
+	if _, err := m.Spawn("server", serverMod(), "main", 1, []uint64{uint64(req), uint64(resp)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Spawn("client", clientMod(6, 18), "main", 0, []uint64{uint64(req), uint64(resp)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunSetup(50_000_000); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	if !m.CheckpointPending() {
+		t.Fatal("setup ended without a checkpoint request")
+	}
+	ck := m.TakeCheckpoint()
+	if err := m.Restore(ck); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	dumps, err := m.RunEval(100_000_000)
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	return pipelineResult{
+		dumps:   dumps,
+		console: m.Console(),
+		virtNS:  m.VirtNS(),
+		atomic:  m.Atomic.Insts,
+		events:  append([]trace.Event(nil), m.Tracer.Events()...),
+	}
+}
+
+// TestFastPathMatchesSingleStep is the machine-level determinism pin for
+// the batched StepN fast path: a full setup+eval pipeline must produce
+// byte-identical observables — stat dumps, console output, virtual clock,
+// atomic-retire counters and the complete trace-event stream — whether the
+// scheduler single-steps or executes whole translated blocks.
+func TestFastPathMatchesSingleStep(t *testing.T) {
+	for _, arch := range []isa.Arch{isa.RV64, isa.CISC64} {
+		arch := arch
+		t.Run(string(arch), func(t *testing.T) {
+			slow := runPipelineMode(t, arch, true)
+			fast := runPipelineMode(t, arch, false)
+			if slow.console != fast.console {
+				t.Errorf("console diverged: %q vs %q", slow.console, fast.console)
+			}
+			if slow.virtNS != fast.virtNS {
+				t.Errorf("virtual clock diverged: %d vs %d", slow.virtNS, fast.virtNS)
+			}
+			if slow.atomic != fast.atomic {
+				t.Errorf("atomic retire count diverged: %d vs %d", slow.atomic, fast.atomic)
+			}
+			if !reflect.DeepEqual(slow.dumps, fast.dumps) {
+				t.Errorf("stat dumps diverged:\nslow %+v\nfast %+v", slow.dumps, fast.dumps)
+			}
+			if len(slow.events) != len(fast.events) {
+				t.Fatalf("event counts diverged: %d vs %d", len(slow.events), len(fast.events))
+			}
+			for i := range slow.events {
+				if slow.events[i] != fast.events[i] {
+					t.Fatalf("event %d diverged:\nslow %+v\nfast %+v", i, slow.events[i], fast.events[i])
+				}
+			}
+		})
+	}
+}
+
+// TestFastPathFingerprintUnaffected checks that the SingleStep knob stays
+// outside the boot fingerprint: checkpoints taken under either stepping
+// mode restore interchangeably.
+func TestFastPathFingerprintUnaffected(t *testing.T) {
+	mk := func(singleStep bool) *Machine {
+		m, err := New(DefaultConfig(isa.RV64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.SingleStep = singleStep
+		req := m.K.NewChannel()
+		resp := m.K.NewChannel()
+		if _, err := m.Spawn("server", serverMod(), "main", 1, []uint64{uint64(req), uint64(resp)}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Spawn("client", clientMod(2, 10), "main", 0, []uint64{uint64(req), uint64(resp)}); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	slow, fast := mk(true), mk(false)
+	if slow.BootFingerprint() != fast.BootFingerprint() {
+		t.Fatal("SingleStep leaked into the boot fingerprint")
+	}
+	if err := slow.RunSetup(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	ck := slow.TakeCheckpoint()
+	// Cross-mode restore: checkpoint taken single-stepping, restored into
+	// the fast-path machine, which must then run the eval phase cleanly.
+	if err := fast.Restore(ck); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fast.RunEval(100_000_000); err != nil {
+		t.Fatal(err)
+	}
+}

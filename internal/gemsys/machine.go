@@ -47,6 +47,19 @@ type Machine struct {
 	ckptReq    bool
 	hookProc   *kernel.Process
 
+	// stepBase is the stepping core's InstrCount at the start of the
+	// in-flight Step/StepN call; syncClock folds the delta into virtInstr
+	// so the kernel clock stays per-instruction accurate even while a
+	// whole block executes between hook observations.
+	stepBase uint64
+
+	// SingleStep forces the per-instruction reference interpreter instead
+	// of the batched block-execution fast path. The two are bit-identical
+	// (pinned by the differential tests); the knob exists for those tests
+	// and for interpreter benchmarking. Deliberately not part of Config so
+	// it never enters the boot fingerprint.
+	SingleStep bool
+
 	kernelProg *isa.Program
 	// fph accumulates the boot fingerprint (config, kernel image, every
 	// spawned program); see fingerprint.go.
@@ -265,8 +278,20 @@ func (m *Machine) Spawn(name string, mod *ir.Module, entry string, coreID int, a
 	return p, nil
 }
 
+// syncClock folds instructions the stepping core retired since stepBase
+// into the virtual clock. Called at every hook entry (so kernel code that
+// reads K.Clock mid-block sees an exact per-instruction clock) and after
+// every Step/StepN return.
+func (m *Machine) syncClock(c isa.Core) {
+	if n := c.InstrCount(); n != m.stepBase {
+		m.virtInstr += n - m.stepBase
+		m.stepBase = n
+	}
+}
+
 // hook is the machine's environment-call dispatcher.
 func (m *Machine) hook(c isa.Core) isa.EcallResult {
+	m.syncClock(c)
 	switch c.EcallNum() {
 	case kernel.M5ResetStats:
 		c.Annotate(isa.FlagM5Reset, 0)
@@ -313,8 +338,74 @@ func (m *Machine) pickNext(ci int) *kernel.Process {
 }
 
 // stepQuantum runs up to Quantum instructions of core ci's current
-// process, reporting whether any instruction executed.
+// process through the batched block-execution fast path, reporting
+// whether any instruction executed. Per-instruction concerns of the old
+// loop are hoisted to block boundaries: the recording-mode branch and
+// idle check run once per StepN round, and the checkpoint/panic polls
+// rely on StepN returning at the block boundary after every environment
+// call (the only place those flags can change).
 func (m *Machine) stepQuantum(ci int) (bool, error) {
+	if m.SingleStep {
+		return m.stepQuantumSlow(ci)
+	}
+	p := m.pickNext(ci)
+	if p == nil {
+		return false, nil
+	}
+	m.hookProc = p
+	ran := false
+	for rem := m.Cfg.Quantum; rem > 0; {
+		if p.NeedsIdle {
+			p.NeedsIdle = false
+			if m.recording {
+				m.traces[ci] = append(m.traces[ci], isa.TraceRec{
+					Class: isa.ClassIdle, Seq: p.WakeSeq,
+					Src1: isa.NoDep, Src2: isa.NoDep, Dst: isa.NoDep,
+				})
+			}
+		}
+		m.stepBase = p.Core.InstrCount()
+		var n int
+		var err error
+		if m.recording {
+			// nil means the no-trace lane, so the first recording round
+			// must seed a real (empty) slice.
+			buf := m.traces[ci]
+			if buf == nil {
+				buf = make([]isa.TraceRec, 0, m.Cfg.Quantum)
+			}
+			n, m.traces[ci], err = p.Core.StepN(rem, buf)
+		} else {
+			n, _, err = p.Core.StepN(rem, nil)
+		}
+		m.syncClock(p.Core)
+		if n > 0 {
+			ran = true
+		}
+		rem -= n
+		if err != nil {
+			switch err {
+			case isa.ErrBlock:
+				m.cur[ci] = nil
+				return ran, nil
+			case isa.ErrHalt:
+				m.halted = true
+				return ran, nil
+			default:
+				return ran, fmt.Errorf("gemsys: core %d proc %s: %w", ci, p.Name, err)
+			}
+		}
+		if m.ckptReq || m.K.Panicked {
+			return ran, nil
+		}
+	}
+	return ran, nil
+}
+
+// stepQuantumSlow is the per-instruction reference scheduler loop, kept
+// verbatim as the differential baseline for the fast path above (and as
+// the fast-path-off mode of cmd/interpbench).
+func (m *Machine) stepQuantumSlow(ci int) (bool, error) {
 	p := m.pickNext(ci)
 	if p == nil {
 		return false, nil
@@ -331,13 +422,14 @@ func (m *Machine) stepQuantum(ci int) (bool, error) {
 				})
 			}
 		}
+		m.stepBase = p.Core.InstrCount()
 		var err error
 		if m.recording {
 			m.traces[ci], err = p.Core.Step(m.traces[ci])
 		} else {
 			m.scratch, err = p.Core.Step(m.scratch[:0])
 		}
-		m.virtInstr++
+		m.syncClock(p.Core)
 		ran = true
 		if err != nil {
 			switch err {
@@ -608,6 +700,37 @@ func (m *Machine) RunFunctional(budget uint64) error {
 		}
 	}
 	return m.panicErr()
+}
+
+// MeasureFunctional drives the functional engine to completion (halt) in
+// the requested recording mode, discarding any produced trace after every
+// scheduling round so memory stays flat — no timing model consumes it.
+// It returns the number of virtual instructions executed. This is the
+// interpreter-benchmark entry point (cmd/interpbench): it exercises
+// exactly the hot loop of setup mode (record=false) or of the functional
+// side of eval mode (record=true) without the replay machinery.
+func (m *Machine) MeasureFunctional(budget uint64, record bool) (uint64, error) {
+	m.recording = record
+	start := m.virtInstr
+	for !m.halted {
+		ran, err := m.pump()
+		if record {
+			for ci := range m.traces {
+				m.traces[ci] = m.traces[ci][:0]
+				m.cursor[ci] = 0
+			}
+		}
+		if err != nil {
+			return m.virtInstr - start, err
+		}
+		if !ran {
+			return m.virtInstr - start, fmt.Errorf("%w (measure)", ErrDeadlock)
+		}
+		if m.virtInstr-start > budget {
+			return m.virtInstr - start, fmt.Errorf("gemsys: functional run exceeded %d instructions", budget)
+		}
+	}
+	return m.virtInstr - start, m.panicErr()
 }
 
 // ErrKVMUnstable reports that the KVM-accelerated setup tripped the

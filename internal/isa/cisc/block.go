@@ -1,0 +1,517 @@
+package cisc
+
+import (
+	"fmt"
+
+	"svbench/internal/isa"
+)
+
+// maxBlockLen caps a translated basic block. Long straight-line runs are
+// split; the tail simply becomes another block keyed by its own entry PC.
+const maxBlockLen = 32
+
+// block is a translated basic block: a straight-line run of decoded
+// instructions starting at pc, terminated by a control-flow instruction,
+// a syscall, or maxBlockLen. All but the last instruction are guaranteed
+// straight-line. Blocks are immutable after construction — execution
+// copies the per-instruction TraceRec templates and never writes back.
+type block struct {
+	pc    uint64
+	insts []Inst
+	recs  []isa.TraceRec
+}
+
+// blockEnds reports whether k terminates a basic block.
+func blockEnds(k Kind) bool {
+	switch k {
+	case KindJE, KindJNE, KindJL, KindJLE, KindJG, KindJGE, KindJB, KindJAE,
+		KindJMP, KindCALL, KindCALLr, KindJMPr, KindRET, KindSYSCALL:
+		return true
+	}
+	return false
+}
+
+// recTemplate precomputes every TraceRec field that does not depend on
+// register, flag or memory state. Dynamic fields (Taken, indirect Target,
+// MemAddr, ecall Flags/Seq) stay zero and are filled at execution time.
+func recTemplate(pc uint64, in Inst) isa.TraceRec {
+	rec := isa.TraceRec{
+		PC: pc, Size: in.Size, Class: isa.ClassAlu,
+		Src1: isa.NoDep, Src2: isa.NoDep, Dst: isa.NoDep,
+		MicroOps: 1,
+	}
+	next := pc + uint64(in.Size)
+	switch in.Kind {
+	case KindNOP:
+	case KindFENCE:
+		rec.Class = isa.ClassFence
+	case KindMOVri, KindMOVri32:
+		rec.Dst = in.Dst
+	case KindMOVrr:
+		rec.Src1, rec.Dst = in.Src, in.Dst
+	case KindADD, KindSUB, KindAND, KindOR, KindXOR, KindSHL, KindSHR, KindSAR:
+		rec.Src1, rec.Src2, rec.Dst = in.Dst, in.Src, in.Dst
+	case KindMUL:
+		rec.Class = isa.ClassMul
+		rec.Src1, rec.Src2, rec.Dst = in.Dst, in.Src, in.Dst
+	case KindDIV, KindREM, KindDIVU, KindREMU:
+		rec.Class = isa.ClassDiv
+		rec.Src1, rec.Src2, rec.Dst = in.Dst, in.Src, in.Dst
+	case KindADDri32, KindANDri32, KindORri32, KindXORri32,
+		KindSHLri8, KindSHRri8, KindSARri8:
+		rec.Src1, rec.Dst = in.Dst, in.Dst
+	case KindMULri32:
+		rec.Class = isa.ClassMul
+		rec.Src1, rec.Dst = in.Dst, in.Dst
+	case KindLDB, KindLDBU:
+		rec.Class, rec.MemSize = isa.ClassLoad, 1
+		rec.Src1, rec.Dst = in.Src, in.Dst
+	case KindLDH, KindLDHU:
+		rec.Class, rec.MemSize = isa.ClassLoad, 2
+		rec.Src1, rec.Dst = in.Src, in.Dst
+	case KindLDW, KindLDWU:
+		rec.Class, rec.MemSize = isa.ClassLoad, 4
+		rec.Src1, rec.Dst = in.Src, in.Dst
+	case KindLDQ:
+		rec.Class, rec.MemSize = isa.ClassLoad, 8
+		rec.Src1, rec.Dst = in.Src, in.Dst
+	case KindSTB:
+		rec.Class, rec.MemSize = isa.ClassStore, 1
+		rec.Src1, rec.Src2 = in.Dst, in.Src
+	case KindSTH:
+		rec.Class, rec.MemSize = isa.ClassStore, 2
+		rec.Src1, rec.Src2 = in.Dst, in.Src
+	case KindSTW:
+		rec.Class, rec.MemSize = isa.ClassStore, 4
+		rec.Src1, rec.Src2 = in.Dst, in.Src
+	case KindSTQ:
+		rec.Class, rec.MemSize = isa.ClassStore, 8
+		rec.Src1, rec.Src2 = in.Dst, in.Src
+	case KindCMPrr:
+		rec.Src1, rec.Src2, rec.Dst = in.Dst, in.Src, RegFlags
+	case KindCMPri32:
+		rec.Src1, rec.Dst = in.Dst, RegFlags
+	case KindJE, KindJNE, KindJL, KindJLE, KindJG, KindJGE, KindJB, KindJAE:
+		rec.Class = isa.ClassBranch
+		rec.Src1 = RegFlags
+		rec.Target = next + uint64(in.Imm)
+	case KindSETE, KindSETNE, KindSETL, KindSETLE, KindSETG, KindSETGE, KindSETB, KindSETAE:
+		rec.Src1, rec.Dst = RegFlags, in.Dst
+	case KindJMP:
+		rec.Class = isa.ClassJump
+		rec.Taken = true
+		rec.Target = next + uint64(in.Imm)
+	case KindCALL:
+		rec.Class = isa.ClassCall
+		rec.MemSize = 8
+		rec.MicroOps = 2
+		rec.Src1, rec.Dst = RSP, RSP
+		rec.Taken = true
+		rec.Target = next + uint64(in.Imm)
+	case KindCALLr:
+		rec.Class = isa.ClassCall
+		rec.MemSize = 8
+		rec.MicroOps = 2
+		rec.Src1, rec.Src2, rec.Dst = in.Src, RSP, RSP
+		rec.Taken = true
+	case KindJMPr:
+		rec.Class = isa.ClassJump
+		rec.Src1 = in.Src
+		rec.Taken = true
+	case KindRET:
+		rec.Class = isa.ClassRet
+		rec.MemSize = 8
+		rec.MicroOps = 2
+		rec.Src1, rec.Dst = RSP, RSP
+		rec.Taken = true
+	case KindPUSH:
+		rec.Class = isa.ClassStore
+		rec.MemSize = 8
+		rec.MicroOps = 2
+		rec.Src1, rec.Src2, rec.Dst = in.Dst, RSP, RSP
+	case KindPOP:
+		rec.Class = isa.ClassLoad
+		rec.MemSize = 8
+		rec.MicroOps = 2
+		rec.Src1, rec.Dst = RSP, in.Dst
+	case KindLEA:
+		rec.Src1, rec.Dst = in.Src, in.Dst
+	case KindSYSCALL:
+		rec.Class = isa.ClassEcall
+	}
+	return rec
+}
+
+// blockAt returns the translated block entered at pc, building it on first
+// use. A decode failure at the entry instruction is an error; a failure
+// deeper in the run just ends the block early (the error surfaces if and
+// when execution actually reaches that address).
+func (d *DecodeCache) blockAt(pc uint64, mem *isa.Mem) (*block, error) {
+	if d.mruB != nil && d.mruBPC == pc {
+		return d.mruB, nil
+	}
+	if b, ok := d.blocks[pc]; ok {
+		d.mruBPC, d.mruB = pc, b
+		return b, nil
+	}
+	b := &block{pc: pc}
+	p := pc
+	for len(b.insts) < maxBlockLen {
+		in, err := d.lookup(p, mem)
+		if err != nil {
+			if len(b.insts) == 0 {
+				return nil, err
+			}
+			break
+		}
+		b.insts = append(b.insts, in)
+		b.recs = append(b.recs, recTemplate(p, in))
+		if blockEnds(in.Kind) {
+			break
+		}
+		p += uint64(in.Size)
+	}
+	d.blocks[pc] = b
+	d.mruBPC, d.mruB = pc, b
+	return b, nil
+}
+
+// StepN executes up to max instructions through the block cache. With a
+// non-nil out it appends one TraceRec per retired instruction; with nil
+// out it takes the no-trace lane and builds no records at all. It returns
+// after the block boundary that follows any syscall so the machine can
+// poll hook-side effects with single-step granularity.
+func (c *Core) StepN(max int, out []isa.TraceRec) (int, []isa.TraceRec, error) {
+	total := 0
+	for total < max {
+		b, err := c.Dec.blockAt(c.pc, c.Mem)
+		if err != nil {
+			return total, out, err
+		}
+		var n int
+		var stop bool
+		if out != nil {
+			n, out, stop, err = c.stepBlockTrace(b, max-total, out)
+		} else {
+			n, stop, err = c.stepBlockFast(b, max-total)
+		}
+		total += n
+		if err != nil || stop {
+			return total, out, err
+		}
+	}
+	return total, out, nil
+}
+
+// stepBlockTrace executes up to max instructions of b, appending trace
+// records built from the block's templates. stop reports that a syscall
+// was executed and control must return to the driver. The semantics of
+// every case mirror Core.Step exactly; the lockstep differential and fuzz
+// tests pin the equivalence.
+func (c *Core) stepBlockTrace(b *block, max int, out []isa.TraceRec) (int, []isa.TraceRec, bool, error) {
+	pc := c.pc
+	r := &c.Regs
+	n := len(b.insts)
+	if n > max {
+		n = max
+	}
+	// Append the whole run of template records in one shot, then patch the
+	// dynamic fields in place while executing — one bulk copy instead of a
+	// copy-then-append pair per instruction. Paths that retire fewer than n
+	// instructions truncate back to what actually ran.
+	base := len(out)
+	out = append(out, b.recs[:n]...)
+	for i := 0; i < n; i++ {
+		in := &b.insts[i]
+		if c.DebugRing != nil {
+			c.ringPush(pc)
+		}
+		rec := &out[base+i]
+		next := pc + uint64(in.Size)
+
+		switch in.Kind {
+		case KindNOP, KindFENCE:
+		case KindMOVri, KindMOVri32:
+			r[in.Dst] = uint64(in.Imm)
+		case KindMOVrr:
+			r[in.Dst] = r[in.Src]
+		case KindADD:
+			r[in.Dst] += r[in.Src]
+		case KindSUB:
+			r[in.Dst] -= r[in.Src]
+		case KindMUL:
+			r[in.Dst] *= r[in.Src]
+		case KindDIV:
+			r[in.Dst] = uint64(divS(int64(r[in.Dst]), int64(r[in.Src])))
+		case KindREM:
+			r[in.Dst] = uint64(remS(int64(r[in.Dst]), int64(r[in.Src])))
+		case KindDIVU:
+			r[in.Dst] = divU(r[in.Dst], r[in.Src])
+		case KindREMU:
+			r[in.Dst] = remU(r[in.Dst], r[in.Src])
+		case KindAND:
+			r[in.Dst] &= r[in.Src]
+		case KindOR:
+			r[in.Dst] |= r[in.Src]
+		case KindXOR:
+			r[in.Dst] ^= r[in.Src]
+		case KindSHL:
+			r[in.Dst] <<= r[in.Src] & 63
+		case KindSHR:
+			r[in.Dst] >>= r[in.Src] & 63
+		case KindSAR:
+			r[in.Dst] = uint64(int64(r[in.Dst]) >> (r[in.Src] & 63))
+		case KindADDri32:
+			r[in.Dst] += uint64(in.Imm)
+		case KindANDri32:
+			r[in.Dst] &= uint64(in.Imm)
+		case KindORri32:
+			r[in.Dst] |= uint64(in.Imm)
+		case KindXORri32:
+			r[in.Dst] ^= uint64(in.Imm)
+		case KindMULri32:
+			r[in.Dst] *= uint64(in.Imm)
+		case KindSHLri8:
+			r[in.Dst] <<= uint64(in.Imm) & 63
+		case KindSHRri8:
+			r[in.Dst] >>= uint64(in.Imm) & 63
+		case KindSARri8:
+			r[in.Dst] = uint64(int64(r[in.Dst]) >> (uint64(in.Imm) & 63))
+		case KindLDB, KindLDH, KindLDW:
+			addr := r[in.Src] + uint64(in.Imm)
+			r[in.Dst] = isa.SignExtend(c.Mem.Load(addr, rec.MemSize), rec.MemSize)
+			rec.MemAddr = addr
+		case KindLDBU, KindLDHU, KindLDWU, KindLDQ:
+			addr := r[in.Src] + uint64(in.Imm)
+			r[in.Dst] = c.Mem.Load(addr, rec.MemSize)
+			rec.MemAddr = addr
+		case KindSTB, KindSTH, KindSTW, KindSTQ:
+			addr := r[in.Dst] + uint64(in.Imm)
+			c.Mem.Store(addr, rec.MemSize, r[in.Src])
+			rec.MemAddr = addr
+		case KindCMPrr:
+			c.flagA, c.flagB = int64(r[in.Dst]), int64(r[in.Src])
+		case KindCMPri32:
+			c.flagA, c.flagB = int64(r[in.Dst]), in.Imm
+		case KindJE, KindJNE, KindJL, KindJLE, KindJG, KindJGE, KindJB, KindJAE:
+			if c.cond(in.Kind) {
+				next = rec.Target
+				rec.Taken = true
+			}
+		case KindSETE, KindSETNE, KindSETL, KindSETLE, KindSETG, KindSETGE, KindSETB, KindSETAE:
+			if c.cond(in.Kind) {
+				r[in.Dst] = 1
+			} else {
+				r[in.Dst] = 0
+			}
+		case KindJMP:
+			next = rec.Target
+		case KindCALL:
+			r[RSP] -= 8
+			c.Mem.Store(r[RSP], 8, next)
+			rec.MemAddr = r[RSP]
+			next = rec.Target
+		case KindCALLr:
+			tgt := r[in.Src]
+			r[RSP] -= 8
+			c.Mem.Store(r[RSP], 8, next)
+			rec.MemAddr = r[RSP]
+			next = tgt
+			rec.Target = next
+		case KindJMPr:
+			next = r[in.Src]
+			rec.Target = next
+		case KindRET:
+			next = c.Mem.Load(r[RSP], 8)
+			rec.MemAddr = r[RSP]
+			r[RSP] += 8
+			rec.Target = next
+		case KindPUSH:
+			r[RSP] -= 8
+			c.Mem.Store(r[RSP], 8, r[in.Dst])
+			rec.MemAddr = r[RSP]
+		case KindPOP:
+			r[in.Dst] = c.Mem.Load(r[RSP], 8)
+			rec.MemAddr = r[RSP]
+			r[RSP] += 8
+		case KindLEA:
+			r[in.Dst] = r[in.Src] + uint64(in.Imm)
+		case KindSYSCALL:
+			c.pc = pc
+			if c.Hook == nil {
+				return i, out[:base+i], true, fmt.Errorf("cisc: syscall with no hook at pc=%#x", pc)
+			}
+			c.inflight = rec
+			res := c.Hook(c)
+			c.inflight = nil
+			c.nInstr++
+			switch res {
+			case isa.EcallHandled:
+				c.pc = next
+				return i + 1, out[:base+i+1], true, nil
+			case isa.EcallVector:
+				rec.Target = c.pc
+				rec.Taken = true
+				return i + 1, out[:base+i+1], true, nil
+			case isa.EcallBlock:
+				c.pc = next
+				return i + 1, out[:base+i+1], true, ErrBlock
+			case isa.EcallHalt:
+				c.pc = next
+				return i + 1, out[:base+i+1], true, ErrHalt
+			}
+			return i, out[:base+i], true, fmt.Errorf("cisc: bad ecall result %d", res)
+		default:
+			c.pc = pc
+			return i, out[:base+i], true, fmt.Errorf("cisc: unimplemented %s at pc=%#x", in.Kind, pc)
+		}
+		c.nInstr++
+		pc = next
+	}
+	c.pc = pc
+	return n, out, false, nil
+}
+
+// stepBlockFast executes up to max instructions of b without building any
+// trace records — the setup-phase lane. Architectural effects, retired
+// counts and syscall behavior are identical to stepBlockTrace (Annotate
+// is a no-op because no record is in flight, matching the single-step
+// path whose records the machine discards in this mode).
+func (c *Core) stepBlockFast(b *block, max int) (int, bool, error) {
+	pc := c.pc
+	r := &c.Regs
+	n := len(b.insts)
+	if n > max {
+		n = max
+	}
+	for i := 0; i < n; i++ {
+		in := &b.insts[i]
+		if c.DebugRing != nil {
+			c.ringPush(pc)
+		}
+		next := pc + uint64(in.Size)
+
+		switch in.Kind {
+		case KindNOP, KindFENCE:
+		case KindMOVri, KindMOVri32:
+			r[in.Dst] = uint64(in.Imm)
+		case KindMOVrr:
+			r[in.Dst] = r[in.Src]
+		case KindADD:
+			r[in.Dst] += r[in.Src]
+		case KindSUB:
+			r[in.Dst] -= r[in.Src]
+		case KindMUL:
+			r[in.Dst] *= r[in.Src]
+		case KindDIV:
+			r[in.Dst] = uint64(divS(int64(r[in.Dst]), int64(r[in.Src])))
+		case KindREM:
+			r[in.Dst] = uint64(remS(int64(r[in.Dst]), int64(r[in.Src])))
+		case KindDIVU:
+			r[in.Dst] = divU(r[in.Dst], r[in.Src])
+		case KindREMU:
+			r[in.Dst] = remU(r[in.Dst], r[in.Src])
+		case KindAND:
+			r[in.Dst] &= r[in.Src]
+		case KindOR:
+			r[in.Dst] |= r[in.Src]
+		case KindXOR:
+			r[in.Dst] ^= r[in.Src]
+		case KindSHL:
+			r[in.Dst] <<= r[in.Src] & 63
+		case KindSHR:
+			r[in.Dst] >>= r[in.Src] & 63
+		case KindSAR:
+			r[in.Dst] = uint64(int64(r[in.Dst]) >> (r[in.Src] & 63))
+		case KindADDri32:
+			r[in.Dst] += uint64(in.Imm)
+		case KindANDri32:
+			r[in.Dst] &= uint64(in.Imm)
+		case KindORri32:
+			r[in.Dst] |= uint64(in.Imm)
+		case KindXORri32:
+			r[in.Dst] ^= uint64(in.Imm)
+		case KindMULri32:
+			r[in.Dst] *= uint64(in.Imm)
+		case KindSHLri8:
+			r[in.Dst] <<= uint64(in.Imm) & 63
+		case KindSHRri8:
+			r[in.Dst] >>= uint64(in.Imm) & 63
+		case KindSARri8:
+			r[in.Dst] = uint64(int64(r[in.Dst]) >> (uint64(in.Imm) & 63))
+		case KindLDB, KindLDH, KindLDW:
+			sz := b.recs[i].MemSize
+			r[in.Dst] = isa.SignExtend(c.Mem.Load(r[in.Src]+uint64(in.Imm), sz), sz)
+		case KindLDBU, KindLDHU, KindLDWU, KindLDQ:
+			r[in.Dst] = c.Mem.Load(r[in.Src]+uint64(in.Imm), b.recs[i].MemSize)
+		case KindSTB, KindSTH, KindSTW, KindSTQ:
+			c.Mem.Store(r[in.Dst]+uint64(in.Imm), b.recs[i].MemSize, r[in.Src])
+		case KindCMPrr:
+			c.flagA, c.flagB = int64(r[in.Dst]), int64(r[in.Src])
+		case KindCMPri32:
+			c.flagA, c.flagB = int64(r[in.Dst]), in.Imm
+		case KindJE, KindJNE, KindJL, KindJLE, KindJG, KindJGE, KindJB, KindJAE:
+			if c.cond(in.Kind) {
+				next = b.recs[i].Target
+			}
+		case KindSETE, KindSETNE, KindSETL, KindSETLE, KindSETG, KindSETGE, KindSETB, KindSETAE:
+			if c.cond(in.Kind) {
+				r[in.Dst] = 1
+			} else {
+				r[in.Dst] = 0
+			}
+		case KindJMP:
+			next = b.recs[i].Target
+		case KindCALL:
+			r[RSP] -= 8
+			c.Mem.Store(r[RSP], 8, next)
+			next = b.recs[i].Target
+		case KindCALLr:
+			tgt := r[in.Src]
+			r[RSP] -= 8
+			c.Mem.Store(r[RSP], 8, next)
+			next = tgt
+		case KindJMPr:
+			next = r[in.Src]
+		case KindRET:
+			next = c.Mem.Load(r[RSP], 8)
+			r[RSP] += 8
+		case KindPUSH:
+			r[RSP] -= 8
+			c.Mem.Store(r[RSP], 8, r[in.Dst])
+		case KindPOP:
+			r[in.Dst] = c.Mem.Load(r[RSP], 8)
+			r[RSP] += 8
+		case KindLEA:
+			r[in.Dst] = r[in.Src] + uint64(in.Imm)
+		case KindSYSCALL:
+			c.pc = pc
+			if c.Hook == nil {
+				return i, true, fmt.Errorf("cisc: syscall with no hook at pc=%#x", pc)
+			}
+			res := c.Hook(c)
+			c.nInstr++
+			switch res {
+			case isa.EcallHandled:
+				c.pc = next
+				return i + 1, true, nil
+			case isa.EcallVector:
+				return i + 1, true, nil
+			case isa.EcallBlock:
+				c.pc = next
+				return i + 1, true, ErrBlock
+			case isa.EcallHalt:
+				c.pc = next
+				return i + 1, true, ErrHalt
+			}
+			return i, true, fmt.Errorf("cisc: bad ecall result %d", res)
+		default:
+			c.pc = pc
+			return i, true, fmt.Errorf("cisc: unimplemented %s at pc=%#x", in.Kind, pc)
+		}
+		c.nInstr++
+		pc = next
+	}
+	c.pc = pc
+	return n, false, nil
+}

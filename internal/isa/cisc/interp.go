@@ -57,6 +57,19 @@ type DecodeCache struct {
 	pages  map[uint64]*decPage
 	mruK   uint64
 	mruV   *decPage
+
+	// Sequential-PC fast path: the page, address and size of the last
+	// page-path hit. Straight-line code asks for pc+size next, which this
+	// serves without recomputing the page key or touching the map/MRU.
+	seqPC   uint64
+	seqSize uint8
+	seqKey  uint64
+	seqPg   *decPage
+
+	// blocks caches translated basic blocks by entry PC (see block.go).
+	blocks map[uint64]*block
+	mruBPC uint64
+	mruB   *block
 }
 
 type decPage struct {
@@ -65,16 +78,32 @@ type decPage struct {
 
 // NewDecodeCache returns an empty cache.
 func NewDecodeCache() *DecodeCache {
-	return &DecodeCache{pages: map[uint64]*decPage{}}
+	return &DecodeCache{pages: map[uint64]*decPage{}, blocks: map[uint64]*block{}}
 }
 
 // NewDecodeCacheShared returns an empty cache backed by an immutable
 // pre-decoded overlay (may be nil).
 func NewDecodeCacheShared(shared *SharedText) *DecodeCache {
-	return &DecodeCache{shared: shared, pages: map[uint64]*decPage{}}
+	return &DecodeCache{shared: shared, pages: map[uint64]*decPage{}, blocks: map[uint64]*block{}}
+}
+
+// InvalidateBlocks drops every translated basic block. Checkpoint restore
+// calls this: the restored memory image is guaranteed text-identical, so
+// this is purely defensive, but blocks rebuild lazily and cheaply.
+func (d *DecodeCache) InvalidateBlocks() {
+	d.blocks = map[uint64]*block{}
+	d.mruBPC, d.mruB = 0, nil
 }
 
 func (d *DecodeCache) lookup(pc uint64, mem *isa.Mem) (Inst, error) {
+	// Variable-length encodings advance by the previous instruction's
+	// size; the page-key compare guards against crossing into a new page.
+	if d.seqPg != nil && pc == d.seqPC+uint64(d.seqSize) && pc>>12 == d.seqKey {
+		if in := d.seqPg.inst[pc&0xFFF]; in.Kind != KindInvalid {
+			d.seqPC, d.seqSize = pc, in.Size
+			return in, nil
+		}
+	}
 	if in, ok := d.shared.lookup(pc); ok {
 		return in, nil
 	}
@@ -90,6 +119,7 @@ func (d *DecodeCache) lookup(pc uint64, mem *isa.Mem) (Inst, error) {
 	}
 	idx := pc & 0xFFF
 	if in := pg.inst[idx]; in.Kind != KindInvalid {
+		d.seqPC, d.seqSize, d.seqKey, d.seqPg = pc, in.Size, key, pg
 		return in, nil
 	}
 	end := pc + 10
@@ -101,6 +131,7 @@ func (d *DecodeCache) lookup(pc uint64, mem *isa.Mem) (Inst, error) {
 		return Inst{}, fmt.Errorf("cisc: at pc=%#x: %w", pc, err)
 	}
 	pg.inst[idx] = in
+	d.seqPC, d.seqSize, d.seqKey, d.seqPg = pc, in.Size, key, pg
 	return in, nil
 }
 
@@ -124,8 +155,19 @@ type Core struct {
 	debugPos  int
 }
 
-// DebugPos returns the ring cursor (oldest entry index).
+// DebugPos returns the ring cursor (oldest entry index). It is always in
+// [0, len(DebugRing)).
 func (c *Core) DebugPos() int { return c.debugPos }
+
+// ringPush records pc in the debug ring with explicit wrap-around: no
+// divide in the hot loop and no unbounded cursor.
+func (c *Core) ringPush(pc uint64) {
+	c.DebugRing[c.debugPos] = pc
+	c.debugPos++
+	if c.debugPos == len(c.DebugRing) {
+		c.debugPos = 0
+	}
+}
 
 // NewCore returns a core bound to mem with the given decode cache.
 func NewCore(mem *isa.Mem, dec *DecodeCache) *Core {
@@ -234,8 +276,7 @@ func (c *Core) Step(out []isa.TraceRec) ([]isa.TraceRec, error) {
 	}
 	pc := c.pc
 	if c.DebugRing != nil {
-		c.DebugRing[c.debugPos%len(c.DebugRing)] = pc
-		c.debugPos++
+		c.ringPush(pc)
 	}
 	rec := isa.TraceRec{
 		PC: pc, Size: in.Size, Class: isa.ClassAlu,

@@ -202,6 +202,18 @@ type Core interface {
 	// Step executes one instruction, appending its trace record to out,
 	// and returns the possibly-grown slice.
 	Step(out []TraceRec) ([]TraceRec, error)
+	// StepN executes up to max instructions through the core's translated
+	// basic-block cache, returning how many retired and the possibly-grown
+	// trace slice. When out is nil the core takes a no-trace fast lane and
+	// builds no TraceRec at all (the setup-phase path); callers that want
+	// records must pass a non-nil (possibly empty) slice. StepN returns
+	// early — possibly before max — at the block boundary that follows any
+	// environment call, so the driver can observe hook-side effects
+	// (checkpoint requests, kernel panics) with the same per-ecall
+	// granularity as the single-step path. Architectural effects, retired
+	// counts and trace records are bit-identical to max successive Step
+	// calls.
+	StepN(max int, out []TraceRec) (int, []TraceRec, error)
 	PC() uint64
 	SetPC(pc uint64)
 	// Arg returns the i-th ecall argument register (0-based).

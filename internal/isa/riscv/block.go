@@ -1,0 +1,494 @@
+package riscv
+
+import (
+	"fmt"
+	"math/bits"
+
+	"svbench/internal/isa"
+)
+
+func mulhu(a, b uint64) uint64 {
+	hi, _ := bits.Mul64(a, b)
+	return hi
+}
+
+// maxBlockLen caps a translated basic block. Long straight-line runs are
+// split; the tail simply becomes another block keyed by its own entry PC.
+const maxBlockLen = 32
+
+// block is a translated basic block: a straight-line run of decoded
+// instructions starting at pc, terminated by a control-flow instruction,
+// an environment call, or maxBlockLen. All but the last instruction are
+// guaranteed straight-line. Blocks are immutable after construction —
+// execution copies the per-instruction TraceRec templates and never
+// writes back.
+type block struct {
+	pc    uint64
+	insts []Inst
+	recs  []isa.TraceRec
+}
+
+// blockEnds reports whether k terminates a basic block.
+func blockEnds(k Kind) bool {
+	switch k {
+	case KindJAL, KindJALR, KindBEQ, KindBNE, KindBLT, KindBGE, KindBLTU,
+		KindBGEU, KindECALL, KindEBREAK:
+		return true
+	}
+	return false
+}
+
+// recTemplate precomputes every TraceRec field that does not depend on
+// register or memory state: PC, size, class, register dependences,
+// micro-op count, and the targets of direct branches and jumps. Dynamic
+// fields (Taken, indirect Target, MemAddr, ecall Flags/Seq) stay zero and
+// are filled at execution time.
+func recTemplate(pc uint64, in Inst) isa.TraceRec {
+	rec := isa.TraceRec{
+		PC: pc, Size: 4, Class: isa.ClassAlu,
+		Src1: isa.NoDep, Src2: isa.NoDep, Dst: isa.NoDep,
+		MicroOps: 1,
+	}
+	switch in.Kind {
+	case KindLUI, KindAUIPC:
+		rec.Dst = in.Rd
+	case KindJAL:
+		rec.Dst = in.Rd
+		rec.Taken = true
+		rec.Target = pc + uint64(in.Imm)
+		if in.Rd == RegRA {
+			rec.Class = isa.ClassCall
+		} else {
+			rec.Class = isa.ClassJump
+		}
+	case KindJALR:
+		rec.Src1, rec.Dst = in.Rs1, in.Rd
+		rec.Taken = true
+		switch {
+		case in.Rd == RegRA:
+			rec.Class = isa.ClassCall
+		case in.Rd == RegZero && in.Rs1 == RegRA:
+			rec.Class = isa.ClassRet
+		default:
+			rec.Class = isa.ClassJump
+		}
+	case KindBEQ, KindBNE, KindBLT, KindBGE, KindBLTU, KindBGEU:
+		rec.Class = isa.ClassBranch
+		rec.Src1, rec.Src2 = in.Rs1, in.Rs2
+		rec.Target = pc + uint64(in.Imm)
+	case KindLB, KindLBU:
+		rec.Class, rec.MemSize = isa.ClassLoad, 1
+		rec.Src1, rec.Dst = in.Rs1, in.Rd
+	case KindLH, KindLHU:
+		rec.Class, rec.MemSize = isa.ClassLoad, 2
+		rec.Src1, rec.Dst = in.Rs1, in.Rd
+	case KindLW, KindLWU:
+		rec.Class, rec.MemSize = isa.ClassLoad, 4
+		rec.Src1, rec.Dst = in.Rs1, in.Rd
+	case KindLD:
+		rec.Class, rec.MemSize = isa.ClassLoad, 8
+		rec.Src1, rec.Dst = in.Rs1, in.Rd
+	case KindSB:
+		rec.Class, rec.MemSize = isa.ClassStore, 1
+		rec.Src1, rec.Src2 = in.Rs1, in.Rs2
+	case KindSH:
+		rec.Class, rec.MemSize = isa.ClassStore, 2
+		rec.Src1, rec.Src2 = in.Rs1, in.Rs2
+	case KindSW:
+		rec.Class, rec.MemSize = isa.ClassStore, 4
+		rec.Src1, rec.Src2 = in.Rs1, in.Rs2
+	case KindSD:
+		rec.Class, rec.MemSize = isa.ClassStore, 8
+		rec.Src1, rec.Src2 = in.Rs1, in.Rs2
+	case KindADDI, KindADDIW, KindSLTI, KindSLTIU, KindXORI, KindORI,
+		KindANDI, KindSLLI, KindSRLI, KindSRAI:
+		rec.Src1, rec.Dst = in.Rs1, in.Rd
+	case KindADD, KindSUB, KindSLL, KindSLT, KindSLTU, KindXOR, KindSRL,
+		KindSRA, KindOR, KindAND:
+		rec.Src1, rec.Src2, rec.Dst = in.Rs1, in.Rs2, in.Rd
+	case KindMUL, KindMULHU:
+		rec.Class = isa.ClassMul
+		rec.Src1, rec.Src2, rec.Dst = in.Rs1, in.Rs2, in.Rd
+	case KindDIV, KindDIVU, KindREM, KindREMU:
+		rec.Class = isa.ClassDiv
+		rec.Src1, rec.Src2, rec.Dst = in.Rs1, in.Rs2, in.Rd
+	case KindECALL:
+		rec.Class = isa.ClassEcall
+	case KindFENCE:
+		rec.Class = isa.ClassFence
+	}
+	return rec
+}
+
+// blockAt returns the translated block entered at pc, building it on first
+// use. A decode failure at the entry instruction is an error; a failure
+// deeper in the run just ends the block early (the error surfaces if and
+// when execution actually reaches that address).
+func (d *DecodeCache) blockAt(pc uint64, mem *isa.Mem) (*block, error) {
+	if d.mruB != nil && d.mruBPC == pc {
+		return d.mruB, nil
+	}
+	if b, ok := d.blocks[pc]; ok {
+		d.mruBPC, d.mruB = pc, b
+		return b, nil
+	}
+	b := &block{pc: pc}
+	p := pc
+	for len(b.insts) < maxBlockLen {
+		in, err := d.lookup(p, mem)
+		if err != nil {
+			if len(b.insts) == 0 {
+				return nil, err
+			}
+			break
+		}
+		b.insts = append(b.insts, in)
+		b.recs = append(b.recs, recTemplate(p, in))
+		if blockEnds(in.Kind) {
+			break
+		}
+		p += 4
+	}
+	d.blocks[pc] = b
+	d.mruBPC, d.mruB = pc, b
+	return b, nil
+}
+
+// StepN executes up to max instructions through the block cache. With a
+// non-nil out it appends one TraceRec per retired instruction; with nil
+// out it takes the no-trace lane and builds no records at all. It returns
+// after the block boundary that follows any environment call so the
+// machine can poll hook-side effects with single-step granularity.
+func (c *Core) StepN(max int, out []isa.TraceRec) (int, []isa.TraceRec, error) {
+	total := 0
+	for total < max {
+		b, err := c.Dec.blockAt(c.pc, c.Mem)
+		if err != nil {
+			return total, out, err
+		}
+		var n int
+		var stop bool
+		if out != nil {
+			n, out, stop, err = c.stepBlockTrace(b, max-total, out)
+		} else {
+			n, stop, err = c.stepBlockFast(b, max-total)
+		}
+		total += n
+		if err != nil || stop {
+			return total, out, err
+		}
+	}
+	return total, out, nil
+}
+
+// stepBlockTrace executes up to max instructions of b, appending trace
+// records built from the block's templates. stop reports that an
+// environment call was executed and control must return to the driver.
+// The semantics of every case mirror Core.Step exactly; the lockstep
+// differential and fuzz tests pin the equivalence.
+func (c *Core) stepBlockTrace(b *block, max int, out []isa.TraceRec) (int, []isa.TraceRec, bool, error) {
+	pc := c.pc
+	r := &c.Regs
+	n := len(b.insts)
+	if n > max {
+		n = max
+	}
+	// Append the whole run of template records in one shot, then patch the
+	// dynamic fields in place while executing — one bulk copy instead of a
+	// copy-then-append pair per instruction. Paths that retire fewer than n
+	// instructions truncate back to what actually ran.
+	base := len(out)
+	out = append(out, b.recs[:n]...)
+	for i := 0; i < n; i++ {
+		in := &b.insts[i]
+		if c.DebugRing != nil {
+			c.ringPush(pc)
+		}
+		rec := &out[base+i]
+		next := pc + 4
+
+		switch in.Kind {
+		case KindLUI:
+			c.set(in.Rd, uint64(in.Imm<<12))
+		case KindAUIPC:
+			c.set(in.Rd, pc+uint64(in.Imm<<12))
+		case KindJAL:
+			c.set(in.Rd, pc+4)
+			next = rec.Target
+		case KindJALR:
+			t := (r[in.Rs1] + uint64(in.Imm)) &^ 1
+			c.set(in.Rd, pc+4)
+			next = t
+			rec.Target = next
+		case KindBEQ, KindBNE, KindBLT, KindBGE, KindBLTU, KindBGEU:
+			var take bool
+			a, bb := r[in.Rs1], r[in.Rs2]
+			switch in.Kind {
+			case KindBEQ:
+				take = a == bb
+			case KindBNE:
+				take = a != bb
+			case KindBLT:
+				take = int64(a) < int64(bb)
+			case KindBGE:
+				take = int64(a) >= int64(bb)
+			case KindBLTU:
+				take = a < bb
+			case KindBGEU:
+				take = a >= bb
+			}
+			if take {
+				next = rec.Target
+				rec.Taken = true
+			}
+		case KindLB, KindLH, KindLW, KindLD:
+			addr := r[in.Rs1] + uint64(in.Imm)
+			c.set(in.Rd, isa.SignExtend(c.Mem.Load(addr, rec.MemSize), rec.MemSize))
+			rec.MemAddr = addr
+		case KindLBU, KindLHU, KindLWU:
+			addr := r[in.Rs1] + uint64(in.Imm)
+			c.set(in.Rd, c.Mem.Load(addr, rec.MemSize))
+			rec.MemAddr = addr
+		case KindSB, KindSH, KindSW, KindSD:
+			addr := r[in.Rs1] + uint64(in.Imm)
+			c.Mem.Store(addr, rec.MemSize, r[in.Rs2])
+			rec.MemAddr = addr
+		case KindADDI:
+			c.set(in.Rd, r[in.Rs1]+uint64(in.Imm))
+		case KindADDIW:
+			c.set(in.Rd, uint64(int64(int32(r[in.Rs1]+uint64(in.Imm)))))
+		case KindSLTI:
+			c.set(in.Rd, b2u(int64(r[in.Rs1]) < in.Imm))
+		case KindSLTIU:
+			c.set(in.Rd, b2u(r[in.Rs1] < uint64(in.Imm)))
+		case KindXORI:
+			c.set(in.Rd, r[in.Rs1]^uint64(in.Imm))
+		case KindORI:
+			c.set(in.Rd, r[in.Rs1]|uint64(in.Imm))
+		case KindANDI:
+			c.set(in.Rd, r[in.Rs1]&uint64(in.Imm))
+		case KindSLLI:
+			c.set(in.Rd, r[in.Rs1]<<uint64(in.Imm))
+		case KindSRLI:
+			c.set(in.Rd, r[in.Rs1]>>uint64(in.Imm))
+		case KindSRAI:
+			c.set(in.Rd, uint64(int64(r[in.Rs1])>>uint64(in.Imm)))
+		case KindADD:
+			c.set(in.Rd, r[in.Rs1]+r[in.Rs2])
+		case KindSUB:
+			c.set(in.Rd, r[in.Rs1]-r[in.Rs2])
+		case KindSLL:
+			c.set(in.Rd, r[in.Rs1]<<(r[in.Rs2]&63))
+		case KindSLT:
+			c.set(in.Rd, b2u(int64(r[in.Rs1]) < int64(r[in.Rs2])))
+		case KindSLTU:
+			c.set(in.Rd, b2u(r[in.Rs1] < r[in.Rs2]))
+		case KindXOR:
+			c.set(in.Rd, r[in.Rs1]^r[in.Rs2])
+		case KindSRL:
+			c.set(in.Rd, r[in.Rs1]>>(r[in.Rs2]&63))
+		case KindSRA:
+			c.set(in.Rd, uint64(int64(r[in.Rs1])>>(r[in.Rs2]&63)))
+		case KindOR:
+			c.set(in.Rd, r[in.Rs1]|r[in.Rs2])
+		case KindAND:
+			c.set(in.Rd, r[in.Rs1]&r[in.Rs2])
+		case KindMUL:
+			c.set(in.Rd, r[in.Rs1]*r[in.Rs2])
+		case KindMULHU:
+			c.set(in.Rd, mulhu(r[in.Rs1], r[in.Rs2]))
+		case KindDIV:
+			c.set(in.Rd, uint64(divS(int64(r[in.Rs1]), int64(r[in.Rs2]))))
+		case KindDIVU:
+			c.set(in.Rd, divU(r[in.Rs1], r[in.Rs2]))
+		case KindREM:
+			c.set(in.Rd, uint64(remS(int64(r[in.Rs1]), int64(r[in.Rs2]))))
+		case KindREMU:
+			c.set(in.Rd, remU(r[in.Rs1], r[in.Rs2]))
+		case KindFENCE:
+			// no architectural effect
+		case KindECALL:
+			c.pc = pc
+			if c.Hook == nil {
+				return i, out[:base+i], true, fmt.Errorf("riscv: ecall with no hook at pc=%#x", pc)
+			}
+			c.inflight = rec
+			res := c.Hook(c)
+			c.inflight = nil
+			c.nInstr++
+			switch res {
+			case isa.EcallHandled:
+				c.pc = next
+				return i + 1, out[:base+i+1], true, nil
+			case isa.EcallVector:
+				rec.Target = c.pc
+				rec.Taken = true
+				return i + 1, out[:base+i+1], true, nil
+			case isa.EcallBlock:
+				c.pc = next
+				return i + 1, out[:base+i+1], true, ErrBlock
+			case isa.EcallHalt:
+				c.pc = next
+				return i + 1, out[:base+i+1], true, ErrHalt
+			}
+			return i, out[:base+i], true, fmt.Errorf("riscv: bad ecall result %d", res)
+		case KindEBREAK:
+			c.pc = pc
+			return i, out[:base+i], true, fmt.Errorf("riscv: ebreak at pc=%#x", pc)
+		default:
+			c.pc = pc
+			return i, out[:base+i], true, fmt.Errorf("riscv: unimplemented %s at pc=%#x", in.Kind, pc)
+		}
+		c.nInstr++
+		pc = next
+	}
+	c.pc = pc
+	return n, out, false, nil
+}
+
+// stepBlockFast executes up to max instructions of b without building any
+// trace records — the setup-phase lane. Architectural effects, retired
+// counts and environment-call behavior are identical to stepBlockTrace
+// (Annotate is a no-op because no record is in flight, matching the
+// single-step path whose records the machine discards in this mode).
+func (c *Core) stepBlockFast(b *block, max int) (int, bool, error) {
+	pc := c.pc
+	r := &c.Regs
+	n := len(b.insts)
+	if n > max {
+		n = max
+	}
+	for i := 0; i < n; i++ {
+		in := &b.insts[i]
+		if c.DebugRing != nil {
+			c.ringPush(pc)
+		}
+		next := pc + 4
+
+		switch in.Kind {
+		case KindLUI:
+			c.set(in.Rd, uint64(in.Imm<<12))
+		case KindAUIPC:
+			c.set(in.Rd, pc+uint64(in.Imm<<12))
+		case KindJAL:
+			c.set(in.Rd, pc+4)
+			next = b.recs[i].Target
+		case KindJALR:
+			t := (r[in.Rs1] + uint64(in.Imm)) &^ 1
+			c.set(in.Rd, pc+4)
+			next = t
+		case KindBEQ, KindBNE, KindBLT, KindBGE, KindBLTU, KindBGEU:
+			var take bool
+			a, bb := r[in.Rs1], r[in.Rs2]
+			switch in.Kind {
+			case KindBEQ:
+				take = a == bb
+			case KindBNE:
+				take = a != bb
+			case KindBLT:
+				take = int64(a) < int64(bb)
+			case KindBGE:
+				take = int64(a) >= int64(bb)
+			case KindBLTU:
+				take = a < bb
+			case KindBGEU:
+				take = a >= bb
+			}
+			if take {
+				next = b.recs[i].Target
+			}
+		case KindLB, KindLH, KindLW, KindLD:
+			sz := b.recs[i].MemSize
+			c.set(in.Rd, isa.SignExtend(c.Mem.Load(r[in.Rs1]+uint64(in.Imm), sz), sz))
+		case KindLBU, KindLHU, KindLWU:
+			c.set(in.Rd, c.Mem.Load(r[in.Rs1]+uint64(in.Imm), b.recs[i].MemSize))
+		case KindSB, KindSH, KindSW, KindSD:
+			c.Mem.Store(r[in.Rs1]+uint64(in.Imm), b.recs[i].MemSize, r[in.Rs2])
+		case KindADDI:
+			c.set(in.Rd, r[in.Rs1]+uint64(in.Imm))
+		case KindADDIW:
+			c.set(in.Rd, uint64(int64(int32(r[in.Rs1]+uint64(in.Imm)))))
+		case KindSLTI:
+			c.set(in.Rd, b2u(int64(r[in.Rs1]) < in.Imm))
+		case KindSLTIU:
+			c.set(in.Rd, b2u(r[in.Rs1] < uint64(in.Imm)))
+		case KindXORI:
+			c.set(in.Rd, r[in.Rs1]^uint64(in.Imm))
+		case KindORI:
+			c.set(in.Rd, r[in.Rs1]|uint64(in.Imm))
+		case KindANDI:
+			c.set(in.Rd, r[in.Rs1]&uint64(in.Imm))
+		case KindSLLI:
+			c.set(in.Rd, r[in.Rs1]<<uint64(in.Imm))
+		case KindSRLI:
+			c.set(in.Rd, r[in.Rs1]>>uint64(in.Imm))
+		case KindSRAI:
+			c.set(in.Rd, uint64(int64(r[in.Rs1])>>uint64(in.Imm)))
+		case KindADD:
+			c.set(in.Rd, r[in.Rs1]+r[in.Rs2])
+		case KindSUB:
+			c.set(in.Rd, r[in.Rs1]-r[in.Rs2])
+		case KindSLL:
+			c.set(in.Rd, r[in.Rs1]<<(r[in.Rs2]&63))
+		case KindSLT:
+			c.set(in.Rd, b2u(int64(r[in.Rs1]) < int64(r[in.Rs2])))
+		case KindSLTU:
+			c.set(in.Rd, b2u(r[in.Rs1] < r[in.Rs2]))
+		case KindXOR:
+			c.set(in.Rd, r[in.Rs1]^r[in.Rs2])
+		case KindSRL:
+			c.set(in.Rd, r[in.Rs1]>>(r[in.Rs2]&63))
+		case KindSRA:
+			c.set(in.Rd, uint64(int64(r[in.Rs1])>>(r[in.Rs2]&63)))
+		case KindOR:
+			c.set(in.Rd, r[in.Rs1]|r[in.Rs2])
+		case KindAND:
+			c.set(in.Rd, r[in.Rs1]&r[in.Rs2])
+		case KindMUL:
+			c.set(in.Rd, r[in.Rs1]*r[in.Rs2])
+		case KindMULHU:
+			c.set(in.Rd, mulhu(r[in.Rs1], r[in.Rs2]))
+		case KindDIV:
+			c.set(in.Rd, uint64(divS(int64(r[in.Rs1]), int64(r[in.Rs2]))))
+		case KindDIVU:
+			c.set(in.Rd, divU(r[in.Rs1], r[in.Rs2]))
+		case KindREM:
+			c.set(in.Rd, uint64(remS(int64(r[in.Rs1]), int64(r[in.Rs2]))))
+		case KindREMU:
+			c.set(in.Rd, remU(r[in.Rs1], r[in.Rs2]))
+		case KindFENCE:
+			// no architectural effect
+		case KindECALL:
+			c.pc = pc
+			if c.Hook == nil {
+				return i, true, fmt.Errorf("riscv: ecall with no hook at pc=%#x", pc)
+			}
+			res := c.Hook(c)
+			c.nInstr++
+			switch res {
+			case isa.EcallHandled:
+				c.pc = next
+				return i + 1, true, nil
+			case isa.EcallVector:
+				return i + 1, true, nil
+			case isa.EcallBlock:
+				c.pc = next
+				return i + 1, true, ErrBlock
+			case isa.EcallHalt:
+				c.pc = next
+				return i + 1, true, ErrHalt
+			}
+			return i, true, fmt.Errorf("riscv: bad ecall result %d", res)
+		case KindEBREAK:
+			c.pc = pc
+			return i, true, fmt.Errorf("riscv: ebreak at pc=%#x", pc)
+		default:
+			c.pc = pc
+			return i, true, fmt.Errorf("riscv: unimplemented %s at pc=%#x", in.Kind, pc)
+		}
+		c.nInstr++
+		pc = next
+	}
+	c.pc = pc
+	return n, false, nil
+}

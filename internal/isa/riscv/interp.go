@@ -63,6 +63,18 @@ type DecodeCache struct {
 	pages  map[uint64]*decPage
 	mruK   uint64
 	mruV   *decPage
+
+	// Sequential-PC fast path: the page and index that served the last
+	// page-path lookup. Straight-line code asks for pc+4 next, which this
+	// serves without recomputing the page key or touching the map/MRU.
+	seqPC  uint64
+	seqPg  *decPage
+	seqIdx int
+
+	// blocks caches translated basic blocks by entry PC (see block.go).
+	blocks map[uint64]*block
+	mruBPC uint64
+	mruB   *block
 }
 
 type decPage struct {
@@ -72,16 +84,32 @@ type decPage struct {
 
 // NewDecodeCache returns an empty cache.
 func NewDecodeCache() *DecodeCache {
-	return &DecodeCache{pages: map[uint64]*decPage{}}
+	return &DecodeCache{pages: map[uint64]*decPage{}, blocks: map[uint64]*block{}}
 }
 
 // NewDecodeCacheShared returns an empty cache backed by an immutable
 // pre-decoded overlay (may be nil).
 func NewDecodeCacheShared(shared *SharedText) *DecodeCache {
-	return &DecodeCache{shared: shared, pages: map[uint64]*decPage{}}
+	return &DecodeCache{shared: shared, pages: map[uint64]*decPage{}, blocks: map[uint64]*block{}}
+}
+
+// InvalidateBlocks drops every translated basic block. Checkpoint restore
+// calls this: the restored memory image is guaranteed text-identical, so
+// this is purely defensive, but blocks rebuild lazily and cheaply.
+func (d *DecodeCache) InvalidateBlocks() {
+	d.blocks = map[uint64]*block{}
+	d.mruBPC, d.mruB = 0, nil
 }
 
 func (d *DecodeCache) lookup(pc uint64, mem *isa.Mem) (Inst, error) {
+	// A page cannot be crossed by pc+4 when seqIdx+1 is still in range,
+	// so the single compare covers both the page and the slot.
+	if d.seqPg != nil && pc == d.seqPC+4 && d.seqIdx+1 < len(d.seqPg.ok) {
+		if idx := d.seqIdx + 1; d.seqPg.ok[idx] {
+			d.seqPC, d.seqIdx = pc, idx
+			return d.seqPg.inst[idx], nil
+		}
+	}
 	if in, ok := d.shared.lookup(pc); ok {
 		return in, nil
 	}
@@ -97,6 +125,7 @@ func (d *DecodeCache) lookup(pc uint64, mem *isa.Mem) (Inst, error) {
 	}
 	idx := (pc & 0xFFF) >> 2
 	if pg.ok[idx] {
+		d.seqPC, d.seqPg, d.seqIdx = pc, pg, int(idx)
 		return pg.inst[idx], nil
 	}
 	w := uint32(mem.Load(pc, 4))
@@ -106,6 +135,7 @@ func (d *DecodeCache) lookup(pc uint64, mem *isa.Mem) (Inst, error) {
 	}
 	pg.inst[idx] = in
 	pg.ok[idx] = true
+	d.seqPC, d.seqPg, d.seqIdx = pc, pg, int(idx)
 	return in, nil
 }
 
@@ -126,8 +156,19 @@ type Core struct {
 	debugPos  int
 }
 
-// DebugPos returns the ring cursor (oldest entry index).
+// DebugPos returns the ring cursor (oldest entry index). It is always in
+// [0, len(DebugRing)).
 func (c *Core) DebugPos() int { return c.debugPos }
+
+// ringPush records pc in the debug ring with explicit wrap-around: no
+// divide in the hot loop and no unbounded cursor.
+func (c *Core) ringPush(pc uint64) {
+	c.DebugRing[c.debugPos] = pc
+	c.debugPos++
+	if c.debugPos == len(c.DebugRing) {
+		c.debugPos = 0
+	}
+}
 
 // NewCore returns a core bound to mem with the given decode cache.
 func NewCore(mem *isa.Mem, dec *DecodeCache) *Core {
@@ -213,8 +254,7 @@ func (c *Core) Step(out []isa.TraceRec) ([]isa.TraceRec, error) {
 	}
 	pc := c.pc
 	if c.DebugRing != nil {
-		c.DebugRing[c.debugPos%len(c.DebugRing)] = pc
-		c.debugPos++
+		c.ringPush(pc)
 	}
 	rec := isa.TraceRec{
 		PC: pc, Size: 4, Class: isa.ClassAlu,

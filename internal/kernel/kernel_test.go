@@ -19,20 +19,23 @@ type fakeCore struct {
 }
 
 func (c *fakeCore) Step(out []isa.TraceRec) ([]isa.TraceRec, error) { return out, nil }
-func (c *fakeCore) PC() uint64                                      { return c.pc }
-func (c *fakeCore) SetPC(pc uint64)                                 { c.pc = pc }
-func (c *fakeCore) Arg(i int) uint64                                { return c.args[i] }
-func (c *fakeCore) SetArg(i int, v uint64)                          { c.args[i] = v }
-func (c *fakeCore) EcallNum() uint64                                { return c.num }
-func (c *fakeCore) SetRet(v uint64)                                 { c.ret = v }
-func (c *fakeCore) Annotate(f uint8, s uint64)                      { c.flags |= f; c.seq = s }
-func (c *fakeCore) StackPtr() uint64                                { return 0 }
-func (c *fakeCore) SetStackPtr(uint64)                              {}
-func (c *fakeCore) CallInto(addr uint64)                            { c.pc = addr }
-func (c *fakeCore) Snapshot() []uint64                              { return nil }
-func (c *fakeCore) Restore([]uint64)                                {}
-func (c *fakeCore) InstrCount() uint64                              { return 0 }
-func (c *fakeCore) Arch() isa.Arch                                  { return isa.RV64 }
+func (c *fakeCore) StepN(max int, out []isa.TraceRec) (int, []isa.TraceRec, error) {
+	return 0, out, nil
+}
+func (c *fakeCore) PC() uint64                 { return c.pc }
+func (c *fakeCore) SetPC(pc uint64)            { c.pc = pc }
+func (c *fakeCore) Arg(i int) uint64           { return c.args[i] }
+func (c *fakeCore) SetArg(i int, v uint64)     { c.args[i] = v }
+func (c *fakeCore) EcallNum() uint64           { return c.num }
+func (c *fakeCore) SetRet(v uint64)            { c.ret = v }
+func (c *fakeCore) Annotate(f uint8, s uint64) { c.flags |= f; c.seq = s }
+func (c *fakeCore) StackPtr() uint64           { return 0 }
+func (c *fakeCore) SetStackPtr(uint64)         {}
+func (c *fakeCore) CallInto(addr uint64)       { c.pc = addr }
+func (c *fakeCore) Snapshot() []uint64         { return nil }
+func (c *fakeCore) Restore([]uint64)           {}
+func (c *fakeCore) InstrCount() uint64         { return 0 }
+func (c *fakeCore) Arch() isa.Arch             { return isa.RV64 }
 
 func newTestKernel() (*Kernel, *isa.Mem) {
 	mem := isa.NewMem(1 << 20)
