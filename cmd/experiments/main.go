@@ -32,7 +32,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		skipEmu = fs.Bool("skip-emulation", false, "skip fig 4.20 (the slowest study)")
 		chaos   = fs.Bool("chaos", false, "also run the fault-injection/recovery table")
 		loadFl  = fs.Bool("load", false, "also run the open-loop load study (throughput curve + keep-alive table)")
-		seed    = fs.Uint64("seed", 1, "fault-injection / load-arrival seed for -chaos and -load")
+		scenFl  = fs.Bool("scenarios", false, "also run the chaos-scenario SLO matrix (scenario x arch)")
+		seed    = fs.Uint64("seed", 1, "fault-injection / load-arrival seed for -chaos, -load and -scenarios")
 		jobs    = fs.Int("j", sweep.DefaultJobs(),
 			"sweep worker count, >= 1 (results are identical for every value; default GOMAXPROCS)")
 		noMemo = fs.Bool("no-memo", false,
@@ -64,6 +65,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Load:          *loadFl,
 		LoadSeed:      *seed,
 		LoadJobs:      *jobs,
+		Scenarios:     *scenFl,
+		ScenarioSeed:  *seed,
 		Log:           logf,
 	})
 	if err != nil {

@@ -1,0 +1,164 @@
+// Command scenariobench times the chaos-scenario matrix (every library
+// scenario on both ISAs) serially and in parallel and writes the
+// comparison as JSON (BENCH_scenario.json). Every point's phase-bucketed
+// table, stats text and trace JSON are asserted byte-identical across
+// both runs first, and every calibrated SLO verdict is recorded — a
+// speedup that changed a verdict would be meaningless.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"svbench/internal/benchutil"
+	"svbench/internal/gemsys"
+	"svbench/internal/harness"
+	"svbench/internal/isa"
+	"svbench/internal/scenario"
+	"svbench/internal/sweep"
+)
+
+type verdict struct {
+	Scenario   string  `json:"scenario"`
+	Arch       string  `json:"arch"`
+	SLOPass    bool    `json:"slo_pass"`
+	Recovered  bool    `json:"recovered"`
+	RecoveryMS float64 `json:"recovery_ms"`
+	Retries    uint64  `json:"retries"`
+	Failed     uint64  `json:"failed"`
+}
+
+type report struct {
+	Date       string    `json:"date"`
+	HostCPUs   int       `json:"host_cpus"`
+	GoMaxProcs int       `json:"gomaxprocs"`
+	Matrix     string    `json:"matrix"`
+	Points     int       `json:"points"`
+	JobsBefore int       `json:"jobs_before"`
+	JobsAfter  int       `json:"jobs_after"`
+	SecBefore  float64   `json:"seconds_before"`
+	SecAfter   float64   `json:"seconds_after"`
+	Speedup    float64   `json:"speedup"`
+	Identical  bool      `json:"reports_identical"`
+	Verdicts   []verdict `json:"verdicts"`
+}
+
+// points is the benchmarked matrix: the full scenario library crossed
+// with both ISAs on the acceptance workload.
+func points(seed uint64) []scenario.Config {
+	var spec harness.Spec
+	for _, sp := range harness.StandaloneSpecs() {
+		if sp.Name == "fibonacci-go" {
+			spec = sp
+		}
+	}
+	var cfgs []scenario.Config
+	for _, s := range scenario.Catalog() {
+		for _, arch := range []isa.Arch{isa.RV64, isa.CISC64} {
+			cfgs = append(cfgs, scenario.Config{
+				Scenario: s,
+				Cfg:      gemsys.DefaultConfig(arch),
+				Spec:     spec,
+				Seed:     seed,
+			})
+		}
+	}
+	return cfgs
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_scenario.json", "output JSON file")
+		jobs    = flag.Int("j", sweep.DefaultJobs(), "parallel worker count for the after run")
+		seed    = flag.Uint64("seed", 7, "scenario seed (arrival process + fault schedule)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	)
+	flag.Parse()
+	if err := sweep.ValidateJobs(*jobs); err != nil {
+		fmt.Fprintln(os.Stderr, "scenariobench: -j:", err)
+		os.Exit(2)
+	}
+	stopProf, err := benchutil.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scenariobench:", err)
+		os.Exit(2)
+	}
+
+	run := func(j int) ([]*scenario.Result, float64) {
+		t0 := time.Now()
+		results, errs := scenario.RunMany(points(*seed), j)
+		dt := time.Since(t0).Seconds()
+		for i, err := range errs {
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "scenariobench: point %d: %v\n", i, err)
+				os.Exit(1)
+			}
+		}
+		return results, dt
+	}
+
+	fmt.Fprintf(os.Stderr, "scenariobench: serial matrix (-j 1)...\n")
+	before, secBefore := run(1)
+	fmt.Fprintf(os.Stderr, "scenariobench: %.2fs; parallel matrix (-j %d)...\n", secBefore, *jobs)
+	after, secAfter := run(*jobs)
+
+	identical := true
+	for i := range before {
+		if before[i].Table() != after[i].Table() ||
+			before[i].StatsText != after[i].StatsText ||
+			!bytes.Equal(before[i].TraceJSON, after[i].TraceJSON) {
+			identical = false
+			fmt.Fprintf(os.Stderr, "scenariobench: point %d DIFFERS between -j 1 and -j %d\n", i, *jobs)
+		}
+	}
+
+	cfgs := points(*seed)
+	var verdicts []verdict
+	for i, res := range before {
+		verdicts = append(verdicts, verdict{
+			Scenario:   cfgs[i].Scenario.Name,
+			Arch:       string(cfgs[i].Cfg.Arch),
+			SLOPass:    res.SLOPass,
+			Recovered:  res.Recovered,
+			RecoveryMS: float64(res.RecoveryNS) / 1e6,
+			Retries:    res.Load.Retries,
+			Failed:     res.Load.Failed,
+		})
+	}
+
+	rep := report{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		HostCPUs:   runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Matrix:     "scenario library × {rv64, cisc64}, fibonacci-go",
+		Points:     len(before),
+		JobsBefore: 1,
+		JobsAfter:  *jobs,
+		SecBefore:  secBefore,
+		SecAfter:   secAfter,
+		Speedup:    secBefore / secAfter,
+		Identical:  identical,
+		Verdicts:   verdicts,
+	}
+	js, _ := json.MarshalIndent(rep, "", "  ")
+	js = append(js, '\n')
+	if err := os.WriteFile(*out, js, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "scenariobench:", err)
+		os.Exit(1)
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "scenariobench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "scenariobench: %.2fs -> %.2fs (%.2fx), identical=%v, %s\n",
+		secBefore, secAfter, rep.Speedup, rep.Identical, *out)
+	if !rep.Identical {
+		os.Exit(1)
+	}
+}

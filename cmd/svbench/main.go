@@ -14,6 +14,8 @@
 //	svbench -fn geo -chaos -seed 7
 //	svbench -fn fibonacci-go -trace trace.json -profile -stats-txt stats.txt
 //	svbench -load -rps 200 -duration 50ms -keepalive 10ms -seed 7 -j 4
+//	svbench -scenario retry-storm -arch rv64 -seed 7 -trace storm.json
+//	svbench -scenario list
 package main
 
 import (
@@ -49,6 +51,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		chaos    = fs.Bool("chaos", false, "inject the default fault plan and compile the retry policy into the client")
 		seed     = fs.Uint64("seed", 1, "fault-injection / load-arrival seed (same seed = same schedule)")
 		load     = fs.Bool("load", false, "open-loop load run: replay a seeded arrival process against an instance pool")
+		scenName = fs.String("scenario", "", "run a named chaos scenario under load (\"list\" to enumerate)")
 		rps      = fs.Float64("rps", 200, "load: mean arrival rate, invocations per virtual second")
 		duration = fs.Duration("duration", 50*time.Millisecond, "load: arrival window in virtual time")
 		keepal   = fs.Duration("keepalive", 10*time.Millisecond, "load: idle-instance keep-alive in virtual time")
@@ -74,6 +77,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	if *scenName == "list" {
+		for _, s := range svbench.ScenarioCatalog() {
+			fmt.Fprintf(stdout, "%-24s %s\n", s.Name, s.Description)
+		}
+		return 0
+	}
+
 	a := svbench.Arch(*arch)
 	if a != svbench.RV64 && a != svbench.CISC64 {
 		fmt.Fprintf(stderr, "svbench: unknown arch %q\n", *arch)
@@ -85,6 +95,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *all {
 		return runAll(specs, a, *jobs, stdout, stderr)
+	}
+
+	if *scenName != "" {
+		s, err := svbench.ScenarioByName(*scenName)
+		if err != nil {
+			fmt.Fprintln(stderr, "svbench:", err)
+			return 2
+		}
+		name := *fn
+		if name == "" {
+			name = "fibonacci-go"
+		}
+		var spec *svbench.Spec
+		for _, sp := range specs {
+			if sp.Name == name {
+				sp := sp
+				spec = &sp
+				break
+			}
+		}
+		if spec == nil {
+			fmt.Fprintf(stderr, "svbench: unknown experiment %q (try -list)\n", name)
+			return 2
+		}
+		cfg := svbench.ScenarioConfig{
+			Scenario: s,
+			Cfg:      gemsys.DefaultConfig(a),
+			Spec:     *spec,
+			Seed:     *seed,
+		}
+		return runScenario(cfg, *jobs, *traceOut, *statsTxt, stdout, stderr)
 	}
 
 	if *load {
@@ -232,6 +273,38 @@ func runLoad(cfg svbench.LoadConfig, jobs int, traceOut, statsTxt string, stdout
 	}
 	if statsTxt != "" {
 		if err := os.WriteFile(statsTxt, []byte(rep.StatsText), 0o644); err != nil {
+			fmt.Fprintln(stderr, "svbench:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "stats written to %s\n", statsTxt)
+	}
+	return 0
+}
+
+// runScenario executes one chaos scenario and prints its deterministic
+// artifacts: the phase-bucketed report, the stats-registry dump, and a
+// digest of the trace JSON. As with -load, one point's output is
+// byte-identical for every -j value.
+func runScenario(cfg svbench.ScenarioConfig, jobs int, traceOut, statsTxt string, stdout, stderr io.Writer) int {
+	results, errs := svbench.RunScenarioMany([]svbench.ScenarioConfig{cfg}, jobs)
+	if errs[0] != nil {
+		fmt.Fprintln(stderr, "svbench:", errs[0])
+		return 1
+	}
+	res := results[0]
+	fmt.Fprint(stdout, res.Table())
+	fmt.Fprintln(stdout)
+	fmt.Fprint(stdout, res.StatsText)
+	fmt.Fprintf(stdout, "trace: %d bytes, sha256 %x\n", len(res.TraceJSON), sha256.Sum256(res.TraceJSON))
+	if traceOut != "" {
+		if err := os.WriteFile(traceOut, res.TraceJSON, 0o644); err != nil {
+			fmt.Fprintln(stderr, "svbench:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "trace written to %s (load in Perfetto or chrome://tracing)\n", traceOut)
+	}
+	if statsTxt != "" {
+		if err := os.WriteFile(statsTxt, []byte(res.StatsText), 0o644); err != nil {
 			fmt.Fprintln(stderr, "svbench:", err)
 			return 1
 		}

@@ -91,6 +91,9 @@ const (
 // Rule is one injection rule. IPC rules (DropMsg/CorruptMsg/DelayMsg) use
 // Channel and Prob; service rules (ErrorReply/LatencySpike/Outage) use
 // Service ("" or "*" matches every engine) plus their kind's fields.
+// Window, when non-zero, restricts the rule to a timed interval of
+// virtual time (see Window); the zero window keeps the rule always
+// active, preserving pre-window plans unchanged.
 type Rule struct {
 	Kind    Kind
 	Prob    float64 // per-event probability (ignored by Outage)
@@ -100,6 +103,7 @@ type Rule struct {
 	Mult    uint64  // LatencySpike: service-cycle multiplier
 	After   int     // Outage: healthy requests before the window opens
 	For     int     // Outage: failing requests in the window
+	Window  Window  // timed activation window (zero = always active)
 }
 
 // Plan is a complete injection schedule: a seed and the rules it drives.

@@ -45,7 +45,7 @@ func (f *FlakyService) Handle(req []byte) ([]byte, uint64) {
 	}
 	for i := range f.rules {
 		r := &f.rules[i]
-		if r.Kind != Outage {
+		if r.Kind != Outage || !r.Window.Contains(f.inj.now) {
 			continue
 		}
 		if f.served > r.After && f.served <= r.After+r.For {
@@ -56,7 +56,10 @@ func (f *FlakyService) Handle(req []byte) ([]byte, uint64) {
 	}
 	for i := range f.rules {
 		r := &f.rules[i]
-		if r.Kind != ErrorReply || !f.inj.rng.Chance(r.Prob) {
+		if r.Kind != ErrorReply || !r.Window.Contains(f.inj.now) {
+			continue
+		}
+		if !f.inj.rng.Chance(r.Prob) {
 			continue
 		}
 		f.inj.Report.Injected++
@@ -66,7 +69,10 @@ func (f *FlakyService) Handle(req []byte) ([]byte, uint64) {
 	resp, cycles := f.Inner.Handle(req)
 	for i := range f.rules {
 		r := &f.rules[i]
-		if r.Kind != LatencySpike || !f.inj.rng.Chance(r.Prob) {
+		if r.Kind != LatencySpike || !r.Window.Contains(f.inj.now) {
+			continue
+		}
+		if !f.inj.rng.Chance(r.Prob) {
 			continue
 		}
 		f.inj.Report.Injected++

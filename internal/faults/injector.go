@@ -23,6 +23,11 @@ type Injector struct {
 	clientReq  int
 	clientResp int
 
+	// now is the injector's notion of virtual time, advanced by SetNow /
+	// AttemptAt; windowed rules are inactive whenever now falls outside
+	// their window. Plans without windows never consult it.
+	now uint64
+
 	Report Report
 }
 
@@ -73,6 +78,8 @@ func (in *Injector) chanMatches(target, ch int) bool {
 // message, corrupt the payload in place, or return extra delivery delay
 // in virtual cycles. Rules are consulted in plan order; a drop wins
 // immediately (later rules draw nothing, keeping the schedule stable).
+// Rules whose window excludes the injector's current time are skipped
+// before any draw, so closed windows burn no PRNG state.
 func (in *Injector) IPCFault(ch int, payload []byte) (drop bool, delay uint64) {
 	if in == nil || !in.armed {
 		return false, 0
@@ -82,6 +89,9 @@ func (in *Injector) IPCFault(ch int, payload []byte) (drop bool, delay uint64) {
 		switch r.Kind {
 		case DropMsg, CorruptMsg, DelayMsg:
 		default:
+			continue
+		}
+		if !r.Window.Contains(in.now) {
 			continue
 		}
 		if !in.chanMatches(r.Channel, ch) {

@@ -1,0 +1,249 @@
+package faults
+
+import "sort"
+
+// Window is a half-open interval [Start, End) of virtual time that gates
+// when a Rule is active. The zero Window is special-cased as "always
+// active" so plans written before windows existed keep their meaning; a
+// non-zero window with End <= Start is empty and never fires. Scenario
+// phases (internal/scenario) stamp their window onto every rule they
+// attach, which is how fault plans arm and disarm mid-run on the load
+// engine's virtual clock.
+type Window struct {
+	Start uint64
+	End   uint64
+}
+
+// IsZero reports whether w is the zero value, meaning "no window": the
+// rule is active whenever the injector is armed.
+func (w Window) IsZero() bool { return w.Start == 0 && w.End == 0 }
+
+// Empty reports whether w is a non-zero window that can never contain a
+// timestamp (End <= Start).
+func (w Window) Empty() bool { return !w.IsZero() && w.End <= w.Start }
+
+// Contains reports whether virtual time t falls inside the window. The
+// interval is half-open: Contains(Start) is true, Contains(End) is false,
+// so back-to-back windows never double-fire on a shared boundary tick.
+func (w Window) Contains(t uint64) bool {
+	if w.IsZero() {
+		return true
+	}
+	return t >= w.Start && t < w.End
+}
+
+// Duration is the window's extent (0 for empty and zero windows).
+func (w Window) Duration() uint64 {
+	if w.End <= w.Start {
+		return 0
+	}
+	return w.End - w.Start
+}
+
+// Overlaps reports whether two windows share at least one instant. A zero
+// window overlaps every non-empty window (it is always active); empty
+// windows overlap nothing.
+func (w Window) Overlaps(o Window) bool {
+	if w.Empty() || o.Empty() {
+		return false
+	}
+	if w.IsZero() || o.IsZero() {
+		return true
+	}
+	return w.Start < o.End && o.Start < w.End
+}
+
+// ActiveAt returns the indices of p's rules whose windows contain virtual
+// time t, in plan order — the set the injector would consult at t.
+func (p *Plan) ActiveAt(t uint64) []int {
+	var idx []int
+	for i := range p.Rules {
+		if p.Rules[i].Window.Contains(t) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// WindowSpan returns the union extent of the plan's windowed rules — from
+// the earliest Start to the latest End — and ok=false when no rule
+// carries a (non-empty) window. Scenario reports bucket invocations into
+// pre/during/post slices against this span.
+func (p *Plan) WindowSpan() (Window, bool) {
+	var span Window
+	found := false
+	for i := range p.Rules {
+		w := p.Rules[i].Window
+		if w.IsZero() || w.Empty() {
+			continue
+		}
+		if !found || w.Start < span.Start {
+			span.Start = w.Start
+		}
+		if !found || w.End > span.End {
+			span.End = w.End
+		}
+		found = true
+	}
+	return span, found
+}
+
+// Boundaries returns the sorted, deduplicated window edges (Start and End
+// of every non-empty window) — the instants where the active rule set
+// changes.
+func (p *Plan) Boundaries() []uint64 {
+	var edges []uint64
+	for i := range p.Rules {
+		w := p.Rules[i].Window
+		if w.IsZero() || w.Empty() {
+			continue
+		}
+		edges = append(edges, w.Start, w.End)
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
+	out := edges[:0]
+	for _, e := range edges {
+		if len(out) == 0 || out[len(out)-1] != e {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// AttemptFault is the DES-level outcome of evaluating a plan against one
+// load-generator attempt: what the fault layer does to this request/reply
+// round trip. The zero value means "attempt unaffected". It is produced
+// by Injector.AttemptAt and consumed by loadgen's event loop.
+type AttemptFault struct {
+	// DropRequest loses the request before it reaches the platform: no
+	// instance runs and the client notices only at its reply deadline.
+	DropRequest bool
+	// DropResponse loses the reply on the way back: the instance did the
+	// work, but the client times out and may retry (duplicate work).
+	DropResponse bool
+	// ErrorReply fails the attempt fast with an injected error frame
+	// instead of running the function (outage windows, error-reply rules).
+	ErrorReply bool
+	// BadReply corrupts the reply in flight so it fails the response
+	// check; with a retry policy the client re-attempts.
+	BadReply bool
+	// DelayNS is extra reply delivery delay in virtual nanoseconds.
+	DelayNS uint64
+	// ServiceMult multiplies the on-instance service time (0 or 1 = none).
+	ServiceMult uint64
+}
+
+// Faulted reports whether the attempt was affected at all.
+func (f AttemptFault) Faulted() bool {
+	return f.DropRequest || f.DropResponse || f.ErrorReply || f.BadReply ||
+		f.DelayNS > 0 || f.ServiceMult > 1
+}
+
+// SetNow advances the injector's notion of virtual time, gating windowed
+// rules in the per-message hooks (IPCFault, FlakyService). The DES-level
+// AttemptAt sets it implicitly. Safe on a nil injector.
+func (in *Injector) SetNow(now uint64) {
+	if in == nil {
+		return
+	}
+	in.now = now
+}
+
+// AttemptAt evaluates the plan's window-active rules against one
+// load-generator attempt sent at virtual time now and returns the
+// combined outcome. Rules are consulted in plan order with the same
+// draw-count discipline as IPCFault: a rule whose window is closed draws
+// nothing, so the fault schedule depends only on the seed and the
+// attempts evaluated inside windows.
+//
+// At this level the rule kinds map onto the client round trip: Outage
+// fails every attempt in its window unconditionally (the count-based
+// After/For form belongs to the service layer); ErrorReply fails the
+// attempt fast by probability; DropMsg on ClientReq loses the request,
+// on ClientResp the reply; CorruptMsg and DelayMsg apply to the reply
+// path (ClientResp or AnyChannel targets); LatencySpike multiplies the
+// service time. IPC rules targeting concrete kernel channel ids are
+// skipped — they belong to the in-machine hook.
+func (in *Injector) AttemptAt(now uint64) AttemptFault {
+	var f AttemptFault
+	if in == nil || !in.armed {
+		return f
+	}
+	in.now = now
+	for i := range in.plan.Rules {
+		r := &in.plan.Rules[i]
+		if !r.Window.Contains(now) {
+			continue
+		}
+		switch r.Kind {
+		case Outage:
+			in.Report.Injected++
+			in.Report.Outages++
+			f.ErrorReply = true
+			return f
+		case ErrorReply:
+			if !in.rng.Chance(r.Prob) {
+				continue
+			}
+			in.Report.Injected++
+			in.Report.ErrorReplies++
+			f.ErrorReply = true
+			return f
+		case DropMsg:
+			switch r.Channel {
+			case ClientReq:
+				if !in.rng.Chance(r.Prob) {
+					continue
+				}
+				in.Report.Injected++
+				in.Report.Dropped++
+				f.DropRequest = true
+				return f
+			case ClientResp:
+				if f.DropResponse || !in.rng.Chance(r.Prob) {
+					continue
+				}
+				in.Report.Injected++
+				in.Report.Dropped++
+				f.DropResponse = true
+			}
+		case CorruptMsg:
+			if r.Channel != ClientResp && r.Channel != AnyChannel {
+				continue
+			}
+			// A reply that was already lost cannot also be corrupted.
+			if f.DropResponse || !in.rng.Chance(r.Prob) {
+				continue
+			}
+			in.Report.Injected++
+			in.Report.Corrupted++
+			f.BadReply = true
+		case DelayMsg:
+			if r.Channel != ClientResp && r.Channel != AnyChannel {
+				continue
+			}
+			if f.DropResponse || !in.rng.Chance(r.Prob) {
+				continue
+			}
+			in.Report.Injected++
+			in.Report.Delayed++
+			f.DelayNS += r.Delay
+		case LatencySpike:
+			if !in.rng.Chance(r.Prob) {
+				continue
+			}
+			in.Report.Injected++
+			in.Report.Spikes++
+			m := r.Mult
+			if m <= 1 {
+				m = 2
+			}
+			if f.ServiceMult <= 1 {
+				f.ServiceMult = m
+			} else {
+				f.ServiceMult *= m
+			}
+		}
+	}
+	return f
+}

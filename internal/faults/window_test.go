@@ -1,0 +1,242 @@
+package faults
+
+import "testing"
+
+func TestWindowContainsBoundaries(t *testing.T) {
+	cases := []struct {
+		name string
+		w    Window
+		t    uint64
+		want bool
+	}{
+		{"zero window always active at 0", Window{}, 0, true},
+		{"zero window always active late", Window{}, 1 << 60, true},
+		{"before start", Window{Start: 100, End: 200}, 99, false},
+		{"exactly at start", Window{Start: 100, End: 200}, 100, true},
+		{"inside", Window{Start: 100, End: 200}, 150, true},
+		{"exactly at end (half-open)", Window{Start: 100, End: 200}, 200, false},
+		{"after end", Window{Start: 100, End: 200}, 201, false},
+		{"zero-length window excludes its own instant", Window{Start: 100, End: 100}, 100, false},
+		{"inverted window is empty", Window{Start: 200, End: 100}, 150, false},
+		{"window starting at 0 with an end is not the zero window", Window{Start: 0, End: 50}, 0, true},
+		{"window starting at 0 closes half-open", Window{Start: 0, End: 50}, 50, false},
+	}
+	for _, tc := range cases {
+		if got := tc.w.Contains(tc.t); got != tc.want {
+			t.Errorf("%s: Window%+v.Contains(%d) = %v, want %v", tc.name, tc.w, tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestWindowClassification(t *testing.T) {
+	if !(Window{}).IsZero() || (Window{}).Empty() {
+		t.Error("zero window must be IsZero and not Empty")
+	}
+	for _, w := range []Window{{Start: 100, End: 100}, {Start: 200, End: 100}, {Start: 5, End: 0}} {
+		if w.IsZero() || !w.Empty() {
+			t.Errorf("Window%+v should be empty, not zero", w)
+		}
+		if w.Duration() != 0 {
+			t.Errorf("Window%+v.Duration() = %d, want 0", w, w.Duration())
+		}
+	}
+	if d := (Window{Start: 100, End: 250}).Duration(); d != 150 {
+		t.Errorf("Duration = %d, want 150", d)
+	}
+}
+
+func TestWindowOverlaps(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Window
+		want bool
+	}{
+		{"disjoint", Window{Start: 0, End: 100}, Window{Start: 200, End: 300}, false},
+		{"touching at boundary (half-open)", Window{Start: 0, End: 100}, Window{Start: 100, End: 200}, false},
+		{"overlapping", Window{Start: 0, End: 150}, Window{Start: 100, End: 200}, true},
+		{"nested", Window{Start: 0, End: 1000}, Window{Start: 100, End: 200}, true},
+		{"zero overlaps non-empty", Window{}, Window{Start: 100, End: 200}, true},
+		{"zero overlaps zero", Window{}, Window{}, true},
+		{"empty overlaps nothing", Window{Start: 100, End: 100}, Window{Start: 0, End: 1000}, false},
+		{"empty vs zero", Window{Start: 100, End: 100}, Window{}, false},
+	}
+	for _, tc := range cases {
+		if got := tc.a.Overlaps(tc.b); got != tc.want {
+			t.Errorf("%s: %+v.Overlaps(%+v) = %v, want %v", tc.name, tc.a, tc.b, got, tc.want)
+		}
+		if got := tc.b.Overlaps(tc.a); got != tc.want {
+			t.Errorf("%s (sym): %+v.Overlaps(%+v) = %v, want %v", tc.name, tc.b, tc.a, got, tc.want)
+		}
+	}
+}
+
+func TestPlanActiveAt(t *testing.T) {
+	p := &Plan{Rules: []Rule{
+		{Kind: ErrorReply, Prob: 1, Window: Window{Start: 100, End: 200}},
+		{Kind: LatencySpike, Prob: 1, Mult: 4}, // unwindowed: always active
+		{Kind: DropMsg, Channel: ClientResp, Prob: 1, Window: Window{Start: 150, End: 250}},
+		{Kind: DelayMsg, Channel: ClientResp, Prob: 1, Delay: 7, Window: Window{Start: 300, End: 300}}, // zero-length
+	}}
+	cases := []struct {
+		t    uint64
+		want []int
+	}{
+		{0, []int{1}},
+		{100, []int{0, 1}},
+		{150, []int{0, 1, 2}}, // overlapping windows both active
+		{199, []int{0, 1, 2}},
+		{200, []int{1, 2}}, // first window closed exactly at its end tick
+		{249, []int{1, 2}},
+		{250, []int{1}},
+		{300, []int{1}}, // zero-length window never activates
+	}
+	for _, tc := range cases {
+		got := p.ActiveAt(tc.t)
+		if len(got) != len(tc.want) {
+			t.Errorf("ActiveAt(%d) = %v, want %v", tc.t, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("ActiveAt(%d) = %v, want %v", tc.t, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+func TestPlanWindowSpanAndBoundaries(t *testing.T) {
+	p := &Plan{Rules: []Rule{
+		{Kind: LatencySpike, Prob: 1, Mult: 2}, // unwindowed: excluded from span
+		{Kind: ErrorReply, Prob: 1, Window: Window{Start: 500, End: 800}},
+		{Kind: DropMsg, Channel: ClientResp, Prob: 1, Window: Window{Start: 100, End: 600}},
+		{Kind: DelayMsg, Channel: ClientResp, Prob: 1, Window: Window{Start: 700, End: 700}}, // empty: ignored
+	}}
+	span, ok := p.WindowSpan()
+	if !ok || span.Start != 100 || span.End != 800 {
+		t.Fatalf("WindowSpan = %+v, %v; want {100 800}, true", span, ok)
+	}
+	b := p.Boundaries()
+	want := []uint64{100, 500, 600, 800}
+	if len(b) != len(want) {
+		t.Fatalf("Boundaries = %v, want %v", b, want)
+	}
+	for i := range b {
+		if b[i] != want[i] {
+			t.Fatalf("Boundaries = %v, want %v", b, want)
+		}
+	}
+
+	empty := &Plan{Rules: []Rule{{Kind: ErrorReply, Prob: 1}}}
+	if _, ok := empty.WindowSpan(); ok {
+		t.Error("WindowSpan of an unwindowed plan must report ok=false")
+	}
+	if bs := empty.Boundaries(); len(bs) != 0 {
+		t.Errorf("Boundaries of an unwindowed plan = %v, want none", bs)
+	}
+}
+
+// TestAttemptAtWindowGating pins the DES-level evaluation: outside every
+// window the attempt passes untouched and burns no PRNG draws; inside,
+// rules fire in plan order.
+func TestAttemptAtWindowGating(t *testing.T) {
+	plan := Plan{Seed: 11, Rules: []Rule{
+		{Kind: Outage, Window: Window{Start: 1000, End: 2000}},
+		{Kind: DropMsg, Channel: ClientResp, Prob: 1, Window: Window{Start: 3000, End: 4000}},
+	}}
+	in := NewInjector(plan)
+	in.Arm()
+	rngBefore := in.rng.s
+
+	if f := in.AttemptAt(500); f.Faulted() {
+		t.Fatalf("attempt before any window faulted: %+v", f)
+	}
+	if in.rng.s != rngBefore {
+		t.Error("closed windows must not burn PRNG draws")
+	}
+	if f := in.AttemptAt(1000); !f.ErrorReply {
+		t.Fatalf("attempt at outage window start = %+v, want ErrorReply", f)
+	}
+	if f := in.AttemptAt(2000); f.Faulted() {
+		t.Fatalf("attempt at outage window end (half-open) faulted: %+v", f)
+	}
+	if f := in.AttemptAt(3500); !f.DropResponse {
+		t.Fatalf("attempt inside drop window = %+v, want DropResponse", f)
+	}
+	if in.Report.Outages != 1 || in.Report.Dropped != 1 {
+		t.Errorf("ledger = %+v, want 1 outage + 1 drop", in.Report)
+	}
+
+	var nilInj *Injector
+	if f := nilInj.AttemptAt(1500); f.Faulted() {
+		t.Error("nil injector must return the zero outcome")
+	}
+	disarmed := NewInjector(plan)
+	if f := disarmed.AttemptAt(1500); f.Faulted() {
+		t.Error("disarmed injector must return the zero outcome")
+	}
+}
+
+// TestAttemptAtCombinesRules pins the fault-combination semantics: a
+// dropped response suppresses corruption/delay of the same reply, spikes
+// stack multiplicatively, and a drop of the request preempts later rules.
+func TestAttemptAtCombinesRules(t *testing.T) {
+	in := NewInjector(Plan{Seed: 3, Rules: []Rule{
+		{Kind: DelayMsg, Channel: ClientResp, Prob: 1, Delay: 5000},
+		{Kind: CorruptMsg, Channel: ClientResp, Prob: 1},
+		{Kind: LatencySpike, Prob: 1, Mult: 8},
+	}})
+	in.Arm()
+	f := in.AttemptAt(0)
+	if f.DelayNS != 5000 || !f.BadReply || f.ServiceMult != 8 {
+		t.Fatalf("combined outcome = %+v, want delay 5000 + bad reply + mult 8", f)
+	}
+
+	in2 := NewInjector(Plan{Seed: 3, Rules: []Rule{
+		{Kind: DropMsg, Channel: ClientResp, Prob: 1},
+		{Kind: CorruptMsg, Channel: ClientResp, Prob: 1},
+		{Kind: DelayMsg, Channel: ClientResp, Prob: 1, Delay: 5000},
+	}})
+	in2.Arm()
+	f2 := in2.AttemptAt(0)
+	if !f2.DropResponse || f2.BadReply || f2.DelayNS != 0 {
+		t.Fatalf("dropped reply outcome = %+v, want drop only (no corrupt/delay)", f2)
+	}
+
+	in3 := NewInjector(Plan{Seed: 3, Rules: []Rule{
+		{Kind: DropMsg, Channel: ClientReq, Prob: 1},
+		{Kind: LatencySpike, Prob: 1, Mult: 8},
+	}})
+	in3.Arm()
+	f3 := in3.AttemptAt(0)
+	if !f3.DropRequest || f3.ServiceMult != 0 {
+		t.Fatalf("dropped request outcome = %+v, want immediate DropRequest", f3)
+	}
+}
+
+// TestIPCFaultWindowed pins that the kernel-layer hook honours windows
+// through SetNow with no PRNG draws while a window is closed.
+func TestIPCFaultWindowed(t *testing.T) {
+	in := NewInjector(Plan{Seed: 9, Rules: []Rule{
+		{Kind: DropMsg, Channel: AnyChannel, Prob: 1, Window: Window{Start: 100, End: 200}},
+	}})
+	in.Arm()
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+
+	in.SetNow(50)
+	rngBefore := in.rng.s
+	if drop, _ := in.IPCFault(0, payload); drop {
+		t.Fatal("rule fired outside its window")
+	}
+	if in.rng.s != rngBefore {
+		t.Error("closed window burned a PRNG draw in IPCFault")
+	}
+	in.SetNow(150)
+	if drop, _ := in.IPCFault(0, payload); !drop {
+		t.Fatal("rule did not fire inside its window")
+	}
+	in.SetNow(200)
+	if drop, _ := in.IPCFault(0, payload); drop {
+		t.Fatal("rule fired at its half-open end boundary")
+	}
+}

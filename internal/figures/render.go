@@ -22,6 +22,10 @@ type ReportOpts struct {
 	Load     bool
 	LoadSeed uint64
 	LoadJobs int
+	// Scenarios adds the chaos-scenario SLO matrix (scenario × arch),
+	// driven by ScenarioSeed across LoadJobs workers.
+	Scenarios    bool
+	ScenarioSeed uint64
 	// Log receives progress lines from the chaos study; may be nil.
 	Log func(string)
 }
@@ -76,6 +80,17 @@ func ReportData(res *Results, opt ReportOpts) ([]Data, error) {
 			return nil, err
 		}
 		all = append(all, curve, ka)
+	}
+	if opt.Scenarios {
+		jobs := opt.LoadJobs
+		if jobs == 0 {
+			jobs = 1
+		}
+		ts, err := TableScenarios([]isa.Arch{isa.RV64, isa.CISC64}, opt.ScenarioSeed, jobs, opt.Log)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, ts)
 	}
 	return all, nil
 }

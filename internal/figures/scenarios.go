@@ -1,0 +1,78 @@
+package figures
+
+import (
+	"fmt"
+
+	"svbench/internal/gemsys"
+	"svbench/internal/harness"
+	"svbench/internal/isa"
+	"svbench/internal/scenario"
+)
+
+// The chaos-scenario study (internal/scenario): every library scenario
+// against every ISA, projected as a scenario × arch SLO matrix. Points
+// run across the worker pool with a shared boot cache; the projected
+// Data is identical for every jobs value.
+
+// TableScenarios runs the scenario library on fibonacci-go for each arch
+// and projects the phase-bucketed SLO matrix: during/post degradation,
+// retry and failure counts, recovery time and the per-scenario verdict.
+func TableScenarios(arches []isa.Arch, seed uint64, jobs int, log func(string)) (Data, error) {
+	var spec harness.Spec
+	found := false
+	for _, sp := range harness.StandaloneSpecs() {
+		if sp.Name == "fibonacci-go" {
+			spec, found = sp, true
+		}
+	}
+	if !found {
+		return Data{}, fmt.Errorf("figures: fibonacci-go missing from catalog")
+	}
+
+	var cfgs []scenario.Config
+	for _, s := range scenario.Catalog() {
+		for _, arch := range arches {
+			cfgs = append(cfgs, scenario.Config{
+				Scenario: s,
+				Cfg:      gemsys.DefaultConfig(arch),
+				Spec:     spec,
+				Seed:     seed,
+			})
+		}
+	}
+	results, errs := scenario.RunMany(cfgs, jobs)
+	d := Data{
+		ID:    "table-scenarios",
+		Title: fmt.Sprintf("Chaos scenarios × arch: SLO verdicts, fibonacci-go (seed %d)", seed),
+		Columns: []string{"pre p99 us", "during p99 us", "post p99 us",
+			"retries", "failed", "recovery ms", "slo pass"},
+	}
+	for i, res := range results {
+		cfg := cfgs[i]
+		label := fmt.Sprintf("%s/%s", cfg.Scenario.Name, cfg.Cfg.Arch)
+		if errs[i] != nil {
+			return Data{}, fmt.Errorf("scenario point %s: %w", label, errs[i])
+		}
+		if log != nil {
+			log(fmt.Sprintf("scenario %s: verdict %v, recovery %.3f ms",
+				label, res.SLOPass, float64(res.RecoveryNS)/1e6))
+		}
+		pass := 0.0
+		if res.SLOPass {
+			pass = 1.0
+		}
+		d.Rows = append(d.Rows, Row{
+			Label: label,
+			Values: []float64{
+				float64(res.Pre.Latency.P99) / 1e3,
+				float64(res.During.Latency.P99) / 1e3,
+				float64(res.Post.Latency.P99) / 1e3,
+				float64(res.Load.Retries),
+				float64(res.Load.Failed),
+				float64(res.RecoveryNS) / 1e6,
+				pass,
+			},
+		})
+	}
+	return d, nil
+}

@@ -24,6 +24,7 @@ package loadgen
 import (
 	"fmt"
 
+	"svbench/internal/faults"
 	"svbench/internal/gemsys"
 	"svbench/internal/harness"
 	"svbench/internal/rpc"
@@ -61,6 +62,30 @@ type Config struct {
 	// (RunMany shares one cache over all points of a sweep). Nil boots
 	// one master per run.
 	Cache *harness.BootCache
+	// Retry, when non-nil, is the engine-level recovery policy: a failed
+	// attempt (injected error reply, dropped request or reply, corrupted
+	// reply, spec-check failure) is re-sent up to MaxAttempts times with
+	// exponential backoff, and a lost message surfaces at the per-attempt
+	// reply deadline. All Retry fields are read as virtual nanoseconds on
+	// the load clock. Without a policy a failed attempt fails its
+	// invocation outright.
+	Retry *faults.Retry
+	// Chaos, when non-nil, is the fault layer's hook into the event loop:
+	// it is consulted exactly once per attempt, in deterministic event
+	// order, and its outcome is applied to that attempt. The scenario
+	// engine (internal/scenario) implements it over a windowed fault
+	// plan; see docs/scenarios.md.
+	Chaos AttemptHook
+}
+
+// AttemptHook returns the fault outcome for one load-generator attempt.
+// Implementations must be deterministic in call order: the engine calls
+// Attempt exactly once per attempt, so seed-driven hooks reproduce the
+// same schedule on every run.
+type AttemptHook interface {
+	// Attempt is invoked for attempt (1-based) of invocation inv, sent at
+	// virtual time now.
+	Attempt(inv, attempt int, now uint64) faults.AttemptFault
 }
 
 // DefaultMaxInstances is the pool cap when Config.MaxInstances is zero.
@@ -68,6 +93,11 @@ const DefaultMaxInstances = 4
 
 // invokeBudget bounds one host-driven invocation's functional execution.
 const invokeBudget = 200_000_000
+
+// errorReplyNS is the round-trip time charged for an injected error
+// reply: the platform fails the attempt fast without running the
+// function, well below any real service time.
+const errorReplyNS = 20_000
 
 // instance is one warm function machine of the pool.
 type instance struct {
@@ -81,12 +111,50 @@ type instance struct {
 	idleSince uint64
 }
 
-// busyRec tracks one in-flight invocation on its instance.
-type busyRec struct {
-	inst *instance
-	inv  int
-	done uint64
+// qrec is one attempt waiting for (or heading to) an instance. The fault
+// outcome is frozen at send time, so an attempt that queues behind the
+// pool cap carries the faults it drew when the client sent it.
+type qrec struct {
+	inv     int
+	attempt int
+	sent    uint64 // client send instant (queue-delay and deadline anchor)
+	f       faults.AttemptFault
 }
+
+// busyRec tracks one in-flight attempt on its instance. done is when the
+// instance frees; the client observes the outcome at done plus any
+// injected reply delay, unless the reply was dropped (deliver=false), in
+// which case a timeout timer is already booked.
+type busyRec struct {
+	inst        *instance
+	inv         int
+	attempt     int
+	done        uint64
+	f           faults.AttemptFault
+	deliver     bool
+	checkFailed bool
+}
+
+// Timer kinds of the event loop (chaos/retry path only).
+const (
+	timerRetry   = iota // re-send the invocation's next attempt at due
+	timerTimeout        // the client gives up waiting on a lost message
+)
+
+// timerRec is one pending client-side timer.
+type timerRec struct {
+	due     uint64
+	inv     int
+	attempt int
+	kind    uint8
+}
+
+// Attempt-failure classes for failAttempt's accounting.
+const (
+	failTimeout = iota
+	failBadReply
+	failErrorReply
+)
 
 type engine struct {
 	cfg     Config
@@ -101,10 +169,11 @@ type engine struct {
 	masterNS   uint64
 	memoizable bool
 
-	idle  []*instance
-	busy  []busyRec
-	free  []*instance // reclaimed machines awaiting re-restore
-	queue []int
+	idle   []*instance
+	busy   []busyRec
+	free   []*instance // reclaimed machines awaiting re-restore
+	queue  []qrec
+	timers []timerRec
 
 	live       int
 	nextInstID int
@@ -117,6 +186,16 @@ type engine struct {
 	peak          uint64
 	maxQueue      uint64
 	checkFailures uint64
+
+	// Chaos/retry-path counters (zero on fault-free runs).
+	attempts     uint64
+	retries      uint64
+	timeouts     uint64
+	badReplies   uint64
+	errorReplies uint64
+	faulted      uint64
+	failed       uint64
+	recovered    uint64
 
 	// dispatchErr latches the first error raised by a dispatch that runs
 	// inside completion handling (queue-head placement).
@@ -155,7 +234,13 @@ func Run(cfg Config) (*Report, error) {
 	e := &engine{cfg: cfg, reqMsg: cfg.Spec.Request()}
 	e.arrives = genArrivals(cfg)
 	e.invs = make([]Invocation, len(e.arrives))
-	e.tracer = trace.NewTracer(6*len(e.arrives) + 64)
+	// Chaos runs emit extra retry/fail events: size the ring for the
+	// worst-case attempt count so no window of the run is overwritten.
+	perInv := 6
+	if cfg.Chaos != nil || cfg.Retry != nil {
+		perInv = 6 * e.maxAttempts()
+	}
+	e.tracer = trace.NewTracer(perInv*len(e.arrives) + 64)
 	e.initRegistry()
 
 	if err := e.bootMaster(); err != nil {
@@ -203,6 +288,49 @@ func (e *engine) initRegistry() {
 	r.Func("load.invocations", "arrivals replayed against the pool", func() uint64 {
 		return uint64(len(e.arrives))
 	})
+	// Chaos/retry-path statistics: registered unconditionally so the
+	// stats schema is constant, zero on fault-free runs.
+	r.Counter("load.attempts", "send attempts including retries", &e.attempts)
+	r.Counter("load.retries", "attempts re-sent after a failure", &e.retries)
+	r.Counter("load.timeouts", "attempts that hit the reply deadline", &e.timeouts)
+	r.Counter("load.badReplies", "replies corrupted or failing the check", &e.badReplies)
+	r.Counter("load.errorReplies", "injected fast-fail error replies", &e.errorReplies)
+	r.Counter("load.faultedAttempts", "attempts the fault layer touched", &e.faulted)
+	r.Counter("load.failedInvocations", "invocations that exhausted every attempt", &e.failed)
+	r.Counter("load.recoveredInvocations", "invocations that succeeded after >= 1 retry", &e.recovered)
+}
+
+// maxAttempts is the per-invocation attempt bound under the retry policy
+// (1 without one).
+func (e *engine) maxAttempts() int {
+	if e.cfg.Retry == nil || e.cfg.Retry.MaxAttempts < 1 {
+		return 1
+	}
+	return e.cfg.Retry.MaxAttempts
+}
+
+// deadlineNS is the per-attempt reply deadline for lost messages. A
+// chaos run without an explicit policy still needs one — a dropped
+// message would otherwise hang the client forever — so the default
+// policy's deadline applies.
+func (e *engine) deadlineNS() uint64 {
+	if e.cfg.Retry != nil && e.cfg.Retry.Deadline > 0 {
+		return e.cfg.Retry.Deadline
+	}
+	return faults.DefaultRetry().Deadline
+}
+
+// backoffNS is the wait before re-sending after attempt failures
+// (exponential, shift-capped so it never wraps).
+func (e *engine) backoffNS(attempt int) uint64 {
+	if e.cfg.Retry == nil {
+		return 0
+	}
+	shift := attempt - 1
+	if shift > 32 {
+		shift = 32
+	}
+	return e.cfg.Retry.Backoff << uint(shift)
 }
 
 // bootMaster simulates (or fetches from the cache) the post-boot
@@ -270,54 +398,182 @@ func (e *engine) newInstance() (*instance, error) {
 }
 
 // serve drives one invocation through inst's machine and returns the
-// service time on the virtual clock.
-func (e *engine) serve(inst *instance, invID int) (uint64, error) {
+// service time on the virtual clock plus whether the reply failed the
+// spec's check.
+func (e *engine) serve(inst *instance, invID int) (uint64, bool, error) {
 	m := inst.b.M
 	t0 := m.VirtNS()
 	m.K.Inject(inst.reqCh, e.reqMsg)
 	if err := m.RunUntilIdle(invokeBudget); err != nil {
-		return 0, fmt.Errorf("loadgen: invocation %d on instance %d: %w", invID, inst.id, err)
+		return 0, false, fmt.Errorf("loadgen: invocation %d on instance %d: %w", invID, inst.id, err)
 	}
 	resp, ok := m.K.TakeMessage(inst.respCh)
 	if !ok {
-		return 0, fmt.Errorf("loadgen: invocation %d on instance %d: server produced no reply", invID, inst.id)
+		return 0, false, fmt.Errorf("loadgen: invocation %d on instance %d: server produced no reply", invID, inst.id)
 	}
+	checkFailed := false
 	if check := e.cfg.Spec.Check; check != nil {
 		if err := check(rpc.NewReader(resp)); err != nil {
 			e.checkFailures++
 			e.invs[invID].CheckFailed = true
+			checkFailed = true
 		}
 	}
-	return m.VirtNS() - t0, nil
+	return m.VirtNS() - t0, checkFailed, nil
 }
 
-// simulate runs the discrete-event loop: arrivals and completions in
-// virtual-time order with deterministic tie-breaks (completions first, so
-// a finishing instance can absorb an arrival at the same instant).
+// simulate runs the discrete-event loop: completions, client timers and
+// arrivals in virtual-time order. The tie-break at equal timestamps is
+// completions first (a freeing instance can absorb work at the same
+// instant), then timers (a retrying invocation is older than a new
+// arrival), then arrivals.
 func (e *engine) simulate() error {
 	next := 0
-	for next < len(e.arrives) || len(e.busy) > 0 {
+	for next < len(e.arrives) || len(e.busy) > 0 || len(e.timers) > 0 {
 		ci := e.earliestCompletion()
-		if ci >= 0 && (next >= len(e.arrives) || e.busy[ci].done <= e.arrives[next]) {
+		ti := e.earliestTimer()
+		ct, tt, at := ^uint64(0), ^uint64(0), ^uint64(0)
+		if ci >= 0 {
+			ct = e.busy[ci].done
+		}
+		if ti >= 0 {
+			tt = e.timers[ti].due
+		}
+		if next < len(e.arrives) {
+			at = e.arrives[next]
+		}
+		switch {
+		case ci >= 0 && ct <= tt && ct <= at:
 			rec := e.busy[ci]
 			e.busy = append(e.busy[:ci], e.busy[ci+1:]...)
 			e.complete(rec)
-			if e.dispatchErr != nil {
-				return e.dispatchErr
+		case ti >= 0 && tt <= at:
+			tm := e.timers[ti]
+			e.timers = append(e.timers[:ti], e.timers[ti+1:]...)
+			e.fireTimer(tm)
+		default:
+			id := next
+			next++
+			now := e.arrives[id]
+			e.invs[id].ID = id
+			e.invs[id].Arrive = now
+			e.tracer.EmitAt(trace.EvInvokeArrive, 0, now, 0, uint64(id), 0)
+			if err := e.sendAttempt(id, 1, now); err != nil {
+				return err
 			}
-			continue
 		}
-		id := next
-		next++
-		now := e.arrives[id]
-		e.invs[id].ID = id
-		e.invs[id].Arrive = now
-		e.tracer.EmitAt(trace.EvInvokeArrive, 0, now, 0, uint64(id), 0)
-		if err := e.dispatch(id, now); err != nil {
-			return err
+		if e.dispatchErr != nil {
+			return e.dispatchErr
 		}
 	}
 	return nil
+}
+
+// earliestTimer returns the pending timer index with the smallest due
+// time (ties: lowest invocation id, then attempt, then kind), or -1.
+func (e *engine) earliestTimer() int {
+	best := -1
+	for i := range e.timers {
+		if best < 0 {
+			best = i
+			continue
+		}
+		a, b := &e.timers[i], &e.timers[best]
+		if a.due < b.due ||
+			(a.due == b.due && (a.inv < b.inv ||
+				(a.inv == b.inv && (a.attempt < b.attempt ||
+					(a.attempt == b.attempt && a.kind < b.kind))))) {
+			best = i
+		}
+	}
+	return best
+}
+
+// sendAttempt issues one client attempt: the fault hook is consulted
+// exactly here (once per attempt, in event order), and the outcome
+// decides whether the request reaches the pool at all.
+func (e *engine) sendAttempt(inv, attempt int, now uint64) error {
+	e.invs[inv].Attempts = attempt
+	e.attempts++
+	var f faults.AttemptFault
+	if e.cfg.Chaos != nil {
+		f = e.cfg.Chaos.Attempt(inv, attempt, now)
+	}
+	if f.Faulted() {
+		e.invs[inv].FaultedAttempts++
+		e.faulted++
+	}
+	if f.DropRequest {
+		// The request is lost before it reaches the platform: no instance
+		// is touched and the client notices at its reply deadline.
+		e.timers = append(e.timers, timerRec{due: now + e.deadlineNS(), inv: inv, attempt: attempt, kind: timerTimeout})
+		return nil
+	}
+	return e.dispatch(qrec{inv: inv, attempt: attempt, sent: now, f: f}, now)
+}
+
+// fireTimer handles one client-side timer: a backoff expiring into the
+// next attempt, or a reply deadline expiring on a lost message.
+func (e *engine) fireTimer(tm timerRec) {
+	switch tm.kind {
+	case timerRetry:
+		if err := e.sendAttempt(tm.inv, tm.attempt, tm.due); err != nil && e.dispatchErr == nil {
+			e.dispatchErr = err
+		}
+	case timerTimeout:
+		e.failAttempt(tm.inv, tm.attempt, tm.due, failTimeout)
+	}
+}
+
+// failAttempt books one attempt's failure: the next attempt is scheduled
+// under the retry policy, or the invocation fails once attempts are
+// exhausted (or no policy exists).
+func (e *engine) failAttempt(inv, attempt int, now uint64, why int) {
+	switch why {
+	case failTimeout:
+		e.timeouts++
+	case failBadReply:
+		e.badReplies++
+	case failErrorReply:
+		e.errorReplies++
+	}
+	if attempt < e.maxAttempts() {
+		e.retries++
+		e.tracer.EmitAt(trace.EvInvokeRetry, 0, now, 0, uint64(inv), uint64(attempt+1))
+		e.timers = append(e.timers, timerRec{due: now + e.backoffNS(attempt), inv: inv, attempt: attempt + 1, kind: timerRetry})
+		return
+	}
+	iv := &e.invs[inv]
+	iv.Failed = true
+	e.failed++
+	iv.Done = now
+	iv.Latency = now - iv.Arrive
+	e.observeFinal(iv)
+	e.tracer.EmitAt(trace.EvInvokeFail, 0, now, 0, uint64(inv), uint64(iv.Attempts))
+}
+
+// finish retires an invocation successfully at the instant the client
+// observes the reply.
+func (e *engine) finish(inv int, now uint64) {
+	iv := &e.invs[inv]
+	iv.Done = now
+	iv.Latency = now - iv.Arrive
+	if iv.Attempts > 1 {
+		e.recovered++
+	}
+	e.observeFinal(iv)
+	e.tracer.EmitAt(trace.EvInvokeDone, 0, now, 0, uint64(inv), iv.Latency)
+}
+
+// observeFinal records the invocation's final metrics into the
+// distributions — once per invocation, at success or exhaustion.
+func (e *engine) observeFinal(iv *Invocation) {
+	e.latD.Observe(iv.Latency)
+	e.queueD.Observe(iv.QueueDelay)
+	e.svcD.Observe(iv.Service)
+	if iv.Cold {
+		e.coldD.Observe(iv.ColdPenalty)
+	}
 }
 
 // earliestCompletion returns the busy index with the smallest completion
@@ -382,13 +638,21 @@ func (e *engine) takeWarm() *instance {
 	return inst
 }
 
-// dispatch places invocation id arriving (or dequeued) at now onto a
-// warm instance, a cold-started one, or the FIFO queue at the pool cap.
-func (e *engine) dispatch(id int, now uint64) error {
+// dispatch places one attempt arriving (or dequeued) at now onto a warm
+// instance, a cold-started one, or the FIFO queue at the pool cap.
+//
+// Ordering contract at equal virtual timestamps: reclaim runs before
+// placement, and reclaimExpired keeps only instances whose lease strictly
+// outlives now — an instance whose lease ends exactly when an attempt
+// arrives is already gone, so the attempt cold-starts. This matches the
+// KeepAlive=0 semantics (reclaim on idling) and is pinned by
+// TestReclaimDispatchTieBreak; flipping it would silently shift cold/warm
+// accounting in scenario phase buckets.
+func (e *engine) dispatch(q qrec, now uint64) error {
 	e.reclaimExpired(now)
 	if inst := e.takeWarm(); inst != nil {
 		e.warmStarts++
-		return e.start(id, now, inst, false)
+		return e.start(q, now, inst, false)
 	}
 	if e.live < e.cfg.MaxInstances {
 		inst, err := e.newInstance()
@@ -405,62 +669,88 @@ func (e *engine) dispatch(id int, now uint64) error {
 			e.churnColds++
 		}
 		e.tracer.EmitAt(trace.EvColdStart, uint8(inst.id), now, 0, uint64(inst.id), inst.penalty)
-		return e.start(id, now, inst, true)
+		return e.start(q, now, inst, true)
 	}
-	e.queue = append(e.queue, id)
+	e.queue = append(e.queue, q)
 	if uint64(len(e.queue)) > e.maxQueue {
 		e.maxQueue = uint64(len(e.queue))
 	}
 	return nil
 }
 
-// start serves invocation id on inst beginning at now (plus the boot
-// penalty when cold) and books the completion.
-func (e *engine) start(id int, now uint64, inst *instance, cold bool) error {
-	inv := &e.invs[id]
+// start serves one attempt on inst beginning at now (plus the boot
+// penalty when cold) and books the instance-free instant. Queue delay and
+// cold penalties accumulate across an invocation's attempts.
+func (e *engine) start(q qrec, now uint64, inst *instance, cold bool) error {
+	inv := &e.invs[q.inv]
 	inv.Instance = inst.id
-	inv.Cold = cold
-	inv.QueueDelay = now - inv.Arrive
+	inv.QueueDelay += now - q.sent
 	startNS := now
 	if cold {
-		inv.ColdPenalty = inst.penalty
+		inv.Cold = true
+		inv.ColdPenalty += inst.penalty
 		startNS += inst.penalty
 	}
-	svc, err := e.serve(inst, id)
-	if err != nil {
-		return err
+	var svc uint64
+	checkFailed := false
+	if q.f.ErrorReply {
+		// Fail fast: the injected error frame comes back without running
+		// the function.
+		svc = errorReplyNS
+	} else {
+		var err error
+		svc, checkFailed, err = e.serve(inst, q.inv)
+		if err != nil {
+			return err
+		}
+		if q.f.ServiceMult > 1 {
+			svc *= q.f.ServiceMult
+		}
 	}
 	inv.Start = startNS
 	inv.Service = svc
-	inv.Done = startNS + svc
-	inv.Latency = inv.Done - inv.Arrive
-	e.tracer.EmitAt(trace.EvInvokeRun, uint8(inst.id), startNS, 0, uint64(id), svc)
-	e.busy = append(e.busy, busyRec{inst: inst, inv: id, done: inv.Done})
+	e.tracer.EmitAt(trace.EvInvokeRun, uint8(inst.id), startNS, 0, uint64(q.inv), svc)
+	done := startNS + svc
+	if q.f.DropResponse {
+		// The reply is lost on the way back: the instance did the work,
+		// but the client only notices at its per-attempt deadline.
+		e.timers = append(e.timers, timerRec{due: q.sent + e.deadlineNS(), inv: q.inv, attempt: q.attempt, kind: timerTimeout})
+	}
+	e.busy = append(e.busy, busyRec{
+		inst: inst, inv: q.inv, attempt: q.attempt, done: done,
+		f: q.f, deliver: !q.f.DropResponse, checkFailed: checkFailed,
+	})
 	return nil
 }
 
-// complete retires one invocation: the instance idles from the
-// completion instant and the queue head (if any) is placed immediately —
-// warm, on the instance that just freed up.
+// complete retires one attempt: the instance idles from the completion
+// instant, the client observes the outcome (unless the reply was lost),
+// and the queue head (if any) is placed immediately — warm, on the
+// instance that just freed up.
 func (e *engine) complete(rec busyRec) {
-	inv := &e.invs[rec.inv]
 	now := rec.done
 	rec.inst.idleSince = now
 	e.idle = append(e.idle, rec.inst)
-	e.tracer.EmitAt(trace.EvInvokeDone, 0, now, 0, uint64(rec.inv), inv.Latency)
-	e.latD.Observe(inv.Latency)
-	e.queueD.Observe(inv.QueueDelay)
-	e.svcD.Observe(inv.Service)
-	if inv.Cold {
-		e.coldD.Observe(inv.ColdPenalty)
+	if rec.deliver {
+		observe := now + rec.f.DelayNS
+		switch {
+		case rec.f.ErrorReply:
+			e.failAttempt(rec.inv, rec.attempt, observe, failErrorReply)
+		case rec.f.BadReply, rec.checkFailed && e.cfg.Retry != nil:
+			// A corrupted reply — or one failing the spec's check under a
+			// retry policy — is re-attempted like any client would.
+			e.failAttempt(rec.inv, rec.attempt, observe, failBadReply)
+		default:
+			e.finish(rec.inv, observe)
+		}
 	}
 	if len(e.queue) > 0 {
-		id := e.queue[0]
+		q := e.queue[0]
 		e.queue = e.queue[1:]
 		// Normally the queue head lands warm on the instance that just
 		// idled; with KeepAlive 0 it can cold-start instead, which may
 		// fail — latch the error for simulate to surface.
-		if err := e.dispatch(id, now); err != nil && e.dispatchErr == nil {
+		if err := e.dispatch(q, now); err != nil && e.dispatchErr == nil {
 			e.dispatchErr = err
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"svbench/internal/faults"
 	"svbench/internal/gemsys"
 	"svbench/internal/harness"
 	"svbench/internal/isa"
@@ -263,5 +264,178 @@ func TestDeterminismAcrossJobs(t *testing.T) {
 	}
 	if seq[0].StatsText != solo.StatsText {
 		t.Error("solo run stats text differs from swept run")
+	}
+}
+
+// TestReclaimDispatchTieBreak pins the ordering contract at identical
+// virtual timestamps: dispatch reclaims before placement, and an idle
+// instance whose keep-alive lease ends exactly at the dispatch instant is
+// reclaimed (the arrival cold-starts). Flipping the tie-break would
+// silently shift cold/warm accounting in scenario phase buckets. The
+// cases drive reclaimExpired/leaseEnd/takeWarm directly on fabricated
+// pool state — no machines are involved, so instances carry no Boot.
+func TestReclaimDispatchTieBreak(t *testing.T) {
+	cases := []struct {
+		name      string
+		keepAlive uint64
+		idleSince uint64
+		now       uint64
+		reclaimed bool
+	}{
+		{"lease ends exactly at dispatch: reclaim wins", 10_000, 90_000, 100_000, true},
+		{"lease ends one tick after dispatch: instance stays warm", 10_000, 90_001, 100_000, false},
+		{"lease ended well before dispatch", 10_000, 10_000, 100_000, true},
+		{"keep-alive zero reclaims at the idling instant", 0, 100_000, 100_000, true},
+		{"huge keep-alive never expires (overflow-safe)", ^uint64(0) - 5, 100_000, ^uint64(0) - 1, false},
+	}
+	for _, tc := range cases {
+		e := &engine{cfg: Config{KeepAlive: tc.keepAlive}, live: 1}
+		inst := &instance{id: 0, idleSince: tc.idleSince}
+		e.idle = []*instance{inst}
+		e.reclaimExpired(tc.now)
+		gotReclaimed := len(e.idle) == 0
+		if gotReclaimed != tc.reclaimed {
+			t.Errorf("%s: reclaimed=%v, want %v (leaseEnd %d, now %d)",
+				tc.name, gotReclaimed, tc.reclaimed, e.leaseEnd(inst), tc.now)
+			continue
+		}
+		if tc.reclaimed {
+			if e.reclaims != 1 || e.live != 0 {
+				t.Errorf("%s: reclaims=%d live=%d, want 1/0", tc.name, e.reclaims, e.live)
+			}
+			if w := e.takeWarm(); w != nil {
+				t.Errorf("%s: takeWarm returned instance %d after reclaim", tc.name, w.id)
+			}
+		} else {
+			if w := e.takeWarm(); w != inst {
+				t.Errorf("%s: takeWarm lost the surviving instance", tc.name)
+			}
+		}
+	}
+}
+
+// timedFault returns a fixed AttemptFault inside a window and nothing
+// outside — a minimal deterministic AttemptHook for engine tests.
+type timedFault struct {
+	start, end uint64
+	f          faults.AttemptFault
+	calls      int
+}
+
+func (h *timedFault) Attempt(inv, attempt int, now uint64) faults.AttemptFault {
+	h.calls++
+	if now >= h.start && now < h.end {
+		return h.f
+	}
+	return faults.AttemptFault{}
+}
+
+// TestRetryRecoversErrorReplies pins the engine-level retry path: error
+// replies inside a fault window are retried with backoff, invocations
+// recover once the window closes or attempts land outside it, and the
+// chaos counters reconcile.
+func TestRetryRecoversErrorReplies(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Retry = &faults.Retry{MaxAttempts: 4, Backoff: 2_000_000, Deadline: 20_000_000}
+	hook := &timedFault{start: 10_000_000, end: 25_000_000, f: faults.AttemptFault{ErrorReply: true}}
+	cfg.Chaos = hook
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hook.calls == 0 || uint64(hook.calls) != rep.Attempts {
+		t.Fatalf("hook consulted %d times, %d attempts booked", hook.calls, rep.Attempts)
+	}
+	if rep.Retries == 0 || rep.ErrorReplies == 0 {
+		t.Fatalf("window injected nothing: retries=%d errorReplies=%d", rep.Retries, rep.ErrorReplies)
+	}
+	if rep.Recovered == 0 {
+		t.Fatal("no invocation recovered via retry")
+	}
+	if rep.Attempts != uint64(len(rep.Invocations))+rep.Retries {
+		t.Fatalf("attempts %d != invocations %d + retries %d", rep.Attempts, len(rep.Invocations), rep.Retries)
+	}
+	var failed, recovered uint64
+	for _, inv := range rep.Invocations {
+		if inv.Failed {
+			failed++
+			if inv.Attempts != 4 {
+				t.Fatalf("invocation %d failed after %d attempts, want MaxAttempts=4", inv.ID, inv.Attempts)
+			}
+		} else if inv.Attempts > 1 {
+			recovered++
+		}
+		if inv.Done < inv.Arrive {
+			t.Fatalf("invocation %d: done %d before arrive %d", inv.ID, inv.Done, inv.Arrive)
+		}
+	}
+	if failed != rep.Failed || recovered != rep.Recovered {
+		t.Fatalf("per-invocation failed/recovered %d/%d != counters %d/%d",
+			failed, recovered, rep.Failed, rep.Recovered)
+	}
+}
+
+// TestDroppedRequestTimesOut pins the lost-message path: a dropped
+// request touches no instance and surfaces at the reply deadline; without
+// a retry policy the invocation fails with the default deadline as its
+// latency.
+func TestDroppedRequestTimesOut(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.RPS = 100
+	cfg.Duration = 20_000_000
+	hook := &timedFault{start: 0, end: ^uint64(0), f: faults.AttemptFault{DropRequest: true}}
+	cfg.Chaos = hook
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ColdStarts != 0 || rep.WarmStarts != 0 {
+		t.Fatalf("dropped requests still reached the pool: cold=%d warm=%d", rep.ColdStarts, rep.WarmStarts)
+	}
+	if rep.Timeouts != uint64(len(rep.Invocations)) || rep.Failed != uint64(len(rep.Invocations)) {
+		t.Fatalf("timeouts=%d failed=%d, want all %d", rep.Timeouts, rep.Failed, len(rep.Invocations))
+	}
+	deadline := faults.DefaultRetry().Deadline
+	for _, inv := range rep.Invocations {
+		if !inv.Failed || inv.Latency != deadline {
+			t.Fatalf("invocation %d: failed=%v latency=%d, want failure at default deadline %d",
+				inv.ID, inv.Failed, inv.Latency, deadline)
+		}
+	}
+}
+
+// TestChaosDeterminism re-runs a chaos+retry config solo and through
+// RunMany at different job counts, expecting byte-identical outputs.
+func TestChaosDeterminism(t *testing.T) {
+	mk := func() Config {
+		cfg := testConfig(t)
+		cfg.Retry = &faults.Retry{MaxAttempts: 3, Backoff: 1_000_000, Deadline: 10_000_000}
+		cfg.Chaos = &timedFault{start: 5_000_000, end: 30_000_000, f: faults.AttemptFault{ErrorReply: true}}
+		return cfg
+	}
+	a, errs := RunMany([]Config{mk(), mk()}, 1)
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, errs := RunMany([]Config{mk(), mk()}, 4)
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	solo, err := Run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Table() != b[i].Table() || a[i].StatsText != b[i].StatsText ||
+			!bytes.Equal(a[i].TraceJSON, b[i].TraceJSON) {
+			t.Fatalf("chaos point %d differs between -j 1 and -j 4", i)
+		}
+	}
+	if solo.Table() != a[0].Table() || !bytes.Equal(solo.TraceJSON, a[0].TraceJSON) {
+		t.Fatal("solo chaos run differs from swept run")
 	}
 }

@@ -9,19 +9,26 @@ import (
 )
 
 // Invocation is one request's lifecycle through the pool. All times are
-// virtual nanoseconds; Latency = QueueDelay + ColdPenalty + Service.
+// virtual nanoseconds. On fault-free runs (one attempt per invocation)
+// Latency = QueueDelay + ColdPenalty + Service; under chaos, QueueDelay
+// and ColdPenalty accumulate across attempts and Latency additionally
+// carries backoffs, deadlines and injected delays.
 type Invocation struct {
 	ID          int
-	Instance    int
+	Instance    int    // instance of the last attempt that ran
 	Arrive      uint64 // entered the system
-	Start       uint64 // began executing (after queueing + cold start)
-	Done        uint64 // reply produced
-	QueueDelay  uint64 // waited for an instance
-	ColdPenalty uint64 // boot penalty (0 when warm)
-	Service     uint64 // on-instance execution time
+	Start       uint64 // last attempt began executing
+	Done        uint64 // client observed the final outcome
+	QueueDelay  uint64 // waited for an instance (summed over attempts)
+	ColdPenalty uint64 // boot penalties paid (summed over attempts)
+	Service     uint64 // on-instance execution time of the last attempt
 	Latency     uint64 // Done - Arrive
-	Cold        bool
-	CheckFailed bool
+	Cold        bool   // any attempt cold-started
+	CheckFailed bool   // some reply failed the spec's check
+	// Chaos/retry-path fields (zero on fault-free runs).
+	Attempts        int  // send attempts issued (>= 1)
+	FaultedAttempts int  // attempts the fault layer touched
+	Failed          bool // exhausted every attempt without a good reply
 }
 
 // Pcts summarizes one metric's distribution with nearest-rank
@@ -46,6 +53,16 @@ type Report struct {
 	MaxQueueDepth   uint64
 	CheckFailures   uint64
 
+	// Chaos/retry-path counters (zero on fault-free runs).
+	Attempts        uint64 // send attempts including retries
+	Retries         uint64 // attempts re-sent after a failure
+	Timeouts        uint64 // attempts that hit the reply deadline
+	BadReplies      uint64 // replies corrupted or failing the check
+	ErrorReplies    uint64 // injected fast-fail error replies
+	FaultedAttempts uint64 // attempts the fault layer touched
+	Failed          uint64 // invocations that exhausted every attempt
+	Recovered       uint64 // invocations that succeeded after >= 1 retry
+
 	Latency     Pcts
 	QueueDelay  Pcts
 	Service     Pcts
@@ -58,10 +75,20 @@ type Report struct {
 
 	// StatsText is the run's stats-registry dump (gem5 stats.txt style);
 	// TraceJSON the Chrome/Perfetto trace of arrival/run/done/cold-start/
-	// reclaim events.
-	StatsText string
-	TraceJSON []byte
+	// reclaim (plus retry/fail under chaos) events. Events holds the raw
+	// trace records so downstream layers (internal/scenario) can splice
+	// their own events in before re-exporting; TraceDropped counts ring
+	// overwrites.
+	StatsText    string
+	TraceJSON    []byte
+	Events       []trace.Event
+	TraceDropped uint64
 }
+
+// Percentiles computes nearest-rank percentiles of vals (unsorted, left
+// unmodified) — the same summary the engine applies to its own metrics,
+// exported for phase-bucketed reporting.
+func Percentiles(vals []uint64) Pcts { return pcts(vals) }
 
 // pcts computes nearest-rank percentiles of vals (unsorted, not
 // modified).
@@ -112,8 +139,18 @@ func (e *engine) report() (*Report, error) {
 		PeakInstances:   e.peak,
 		MaxQueueDepth:   e.maxQueue,
 		CheckFailures:   e.checkFailures,
+		Attempts:        e.attempts,
+		Retries:         e.retries,
+		Timeouts:        e.timeouts,
+		BadReplies:      e.badReplies,
+		ErrorReplies:    e.errorReplies,
+		FaultedAttempts: e.faulted,
+		Failed:          e.failed,
+		Recovered:       e.recovered,
 		StatsText:       e.reg.Text(label),
 		TraceJSON:       tj,
+		Events:          e.tracer.Events(),
+		TraceDropped:    e.tracer.Dropped,
 	}
 
 	lat := make([]uint64, 0, len(e.invs))
@@ -150,6 +187,15 @@ func (r *Report) ColdRate() float64 {
 	return float64(r.ColdStarts) / float64(len(r.Invocations))
 }
 
+// ErrorRate is the fraction of invocations that failed outright
+// (exhausted every attempt).
+func (r *Report) ErrorRate() float64 {
+	if len(r.Invocations) == 0 {
+		return 0
+	}
+	return float64(r.Failed) / float64(len(r.Invocations))
+}
+
 // Table renders the run's deterministic latency table: configuration
 // echo, cold/warm mix, and a percentile row per metric. Same config,
 // same bytes.
@@ -171,6 +217,12 @@ func (r *Report) Table() string {
 	fmt.Fprintf(&sb, "cold starts  %d (%d warmup + %d churn), warm %d, reclaims %d\n",
 		r.ColdStarts, r.ColdStarts-r.ChurnColdStarts, r.ChurnColdStarts, r.WarmStarts, r.Reclaims)
 	fmt.Fprintf(&sb, "pool         peak %d instances, max queue depth %d\n", r.PeakInstances, r.MaxQueueDepth)
+	if c.Chaos != nil || c.Retry != nil {
+		fmt.Fprintf(&sb, "attempts     %d total (%d retried, %d faulted): %d timeouts, %d bad replies, %d error replies\n",
+			r.Attempts, r.Retries, r.FaultedAttempts, r.Timeouts, r.BadReplies, r.ErrorReplies)
+		fmt.Fprintf(&sb, "outcome      %d recovered, %d failed (error rate %.2f%%)\n",
+			r.Recovered, r.Failed, 100*r.ErrorRate())
+	}
 	fmt.Fprintf(&sb, "makespan     %.3f ms virtual, throughput %.1f rps\n", float64(r.Makespan)/1e6, r.Throughput)
 	sb.WriteString("\n")
 	fmt.Fprintf(&sb, "%-13s %12s %12s %12s %14s %12s\n", "metric (ns)", "p50", "p95", "p99", "mean", "max")

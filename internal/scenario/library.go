@@ -1,0 +1,141 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"svbench/internal/faults"
+	"svbench/internal/loadgen"
+)
+
+// ms converts milliseconds to virtual nanoseconds for readable specs.
+const ms = 1_000_000
+
+// win is a readable window literal in virtual milliseconds.
+func win(startMS, endMS uint64) faults.Window {
+	return faults.Window{Start: startMS * ms, End: endMS * ms}
+}
+
+// Catalog returns the library of named scenarios, sorted by name. The
+// specs are literals — every run of the same (scenario, spec, seed) is
+// byte-identical — and each targets one canonical failure narrative the
+// serverless literature benchmarks: clean baseline, transient blip,
+// outage with recovery, latency spikes, a retry storm, and keep-alive
+// churn under degraded traffic.
+//
+// The SLO p99 bounds are calibrated against fibonacci-go (the default
+// function under load): its cold-start latency dominates small-sample
+// p99s, so bounds sit above the warmup cold start but below the
+// during-window degradation each scenario is meant to flag.
+func Catalog() []Scenario {
+	list := []Scenario{
+		{
+			Name:        "baseline",
+			Description: "fault-free control: the load shape every other scenario degrades",
+			RPS:         800,
+			Duration:    50 * ms,
+			KeepAlive:   10 * ms,
+			Retry:       faults.DefaultRetry(),
+			SLO:         SLO{P99NS: 10 * ms, ErrorRate: 0},
+		},
+		{
+			Name:        "transient-blip",
+			Description: "a 4 ms total outage a patient retry policy absorbs without failures",
+			RPS:         800,
+			Duration:    50 * ms,
+			KeepAlive:   10 * ms,
+			Retry:       &faults.Retry{MaxAttempts: 4, Backoff: 2 * ms, Deadline: 4 * ms},
+			Phases: []Phase{
+				{Name: "blip", Window: win(20, 24), Rules: []faults.Rule{
+					{Kind: faults.Outage},
+				}},
+			},
+			SLO:              SLO{P99NS: 10 * ms, ErrorRate: 0.05},
+			RecoveryDeadline: 15 * ms,
+		},
+		{
+			Name:        "outage-and-recover",
+			Description: "a 12 ms hard outage: attempts fail until the window closes, then the backlog drains",
+			RPS:         800,
+			Duration:    60 * ms,
+			KeepAlive:   10 * ms,
+			Retry:       &faults.Retry{MaxAttempts: 6, Backoff: 2 * ms, Deadline: 8 * ms},
+			Phases: []Phase{
+				{Name: "outage", Window: win(15, 27), Rules: []faults.Rule{
+					{Kind: faults.Outage},
+				}},
+			},
+			SLO:              SLO{P99NS: 8 * ms, ErrorRate: 0.10},
+			RecoveryDeadline: 25 * ms,
+		},
+		{
+			Name:        "latency-spike",
+			Description: "a 15 ms window of 8x service-time spikes plus delayed replies — degraded, not down",
+			RPS:         800,
+			Duration:    55 * ms,
+			KeepAlive:   10 * ms,
+			Retry:       faults.DefaultRetry(),
+			Phases: []Phase{
+				{Name: "spike", Window: win(18, 33), Rules: []faults.Rule{
+					{Kind: faults.LatencySpike, Prob: 0.8, Mult: 8},
+					{Kind: faults.DelayMsg, Channel: faults.ClientResp, Prob: 0.5, Delay: 2 * ms},
+				}},
+			},
+			SLO:              SLO{P99NS: 1 * ms, ErrorRate: 0},
+			RecoveryDeadline: 20 * ms,
+		},
+		{
+			Name:        "retry-storm",
+			Description: "an 85% reply-loss window under an aggressive retry policy: duplicate work floods the pool",
+			RPS:         900,
+			Duration:    50 * ms,
+			KeepAlive:   10 * ms,
+			Retry:       &faults.Retry{MaxAttempts: 5, Backoff: 1 * ms, Deadline: 5 * ms},
+			Phases: []Phase{
+				{Name: "storm", Window: win(15, 30), Rules: []faults.Rule{
+					{Kind: faults.DropMsg, Channel: faults.ClientResp, Prob: 0.85},
+				}},
+			},
+			SLO:              SLO{P99NS: 10 * ms, ErrorRate: 0.15},
+			RecoveryDeadline: 25 * ms,
+		},
+		{
+			Name:        "degradation-under-churn",
+			Description: "bursty arrivals with zero keep-alive plus an error-reply window: every miss pays a cold start",
+			RPS:         800,
+			Duration:    55 * ms,
+			Arrival:     loadgen.Bursty,
+			Burst:       4,
+			KeepAlive:   0,
+			Retry:       faults.DefaultRetry(),
+			Phases: []Phase{
+				{Name: "degrade", Window: win(18, 30), Rules: []faults.Rule{
+					{Kind: faults.ErrorReply, Prob: 0.5},
+				}},
+			},
+			SLO:              SLO{P99NS: 10 * ms, ErrorRate: 0.10},
+			RecoveryDeadline: 25 * ms,
+		},
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].Name < list[j].Name })
+	return list
+}
+
+// Names returns the catalog's scenario names, sorted.
+func Names() []string {
+	var names []string
+	for _, s := range Catalog() {
+		names = append(names, s.Name)
+	}
+	return names
+}
+
+// ByName looks a scenario up in the catalog.
+func ByName(name string) (Scenario, error) {
+	for _, s := range Catalog() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("scenario: unknown scenario %q (have %v)", name, Names())
+}

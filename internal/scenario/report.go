@@ -1,0 +1,304 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"svbench/internal/faults"
+	"svbench/internal/loadgen"
+	"svbench/internal/trace"
+)
+
+// Bucket is one phase-relative slice of a scenario run: invocations are
+// bucketed by arrival time against the union extent of the fault windows
+// (pre / during / post). A baseline scenario puts everything in pre.
+type Bucket struct {
+	Name        string
+	Invocations int
+	Latency     loadgen.Pcts // end-to-end latency percentiles
+	ColdStarts  int          // invocations that paid >= 1 cold start
+	Errors      int          // failed or check-failed invocations
+	Retries     int          // re-sent attempts of this bucket's invocations
+}
+
+// ErrorRate is the bucket's failed fraction.
+func (b Bucket) ErrorRate() float64 {
+	if b.Invocations == 0 {
+		return 0
+	}
+	return float64(b.Errors) / float64(b.Invocations)
+}
+
+// meetsSLO judges the bucket against the scenario's objective. Empty
+// buckets pass trivially.
+func (b Bucket) meetsSLO(slo SLO) bool {
+	if b.Invocations == 0 {
+		return true
+	}
+	if slo.P99NS > 0 && b.Latency.P99 > slo.P99NS {
+		return false
+	}
+	if b.ErrorRate() > slo.ErrorRate {
+		return false
+	}
+	return true
+}
+
+// Result is one scenario run's complete outcome. Every field — including
+// the rendered table, stats text and trace JSON — is a pure function of
+// the run's Config.
+type Result struct {
+	Cfg  Config
+	Load *loadgen.Report
+	// Faults is the injector's ledger of what was actually injected.
+	Faults faults.Report
+
+	// Phase-bucketed metrics. For a baseline (windowless) scenario only
+	// Pre is populated and Windowed is false.
+	Pre, During, Post Bucket
+	Windowed          bool
+	WindowStart       uint64 // earliest phase window start
+	WindowEnd         uint64 // latest phase window end
+
+	// Recovery: over completions observed after WindowEnd, a violation is
+	// a failed invocation or one over the SLO's p99 bound. RecoveredAt is
+	// the last violating completion (WindowEnd when none violate);
+	// RecoveryNS = RecoveredAt - WindowEnd. Recovered reports that the
+	// run actually reattained the SLO: no violations remained, or at
+	// least one clean completion followed the last violation.
+	Recovered   bool
+	RecoveryNS  uint64
+	RecoveredAt uint64
+
+	// SLOPass is the scenario verdict: the pre bucket meets the SLO, the
+	// run recovered, and recovery beat the deadline (when one is set).
+	SLOPass bool
+
+	// StatsText is the load run's registry dump plus the scenario.*
+	// block; TraceJSON the combined Perfetto trace (load events plus
+	// fault-window spans and the recovery marker).
+	StatsText string
+	TraceJSON []byte
+}
+
+// bucketize splits the invocations by arrival time against the window
+// span and summarizes each slice.
+func bucketize(name string, invs []loadgen.Invocation, pick func(loadgen.Invocation) bool) Bucket {
+	b := Bucket{Name: name}
+	var lat []uint64
+	for _, inv := range invs {
+		if !pick(inv) {
+			continue
+		}
+		b.Invocations++
+		lat = append(lat, inv.Latency)
+		if inv.Cold {
+			b.ColdStarts++
+		}
+		if inv.Failed || inv.CheckFailed {
+			b.Errors++
+		}
+		if inv.Attempts > 1 {
+			b.Retries += inv.Attempts - 1
+		}
+	}
+	b.Latency = loadgen.Percentiles(lat)
+	return b
+}
+
+// assemble computes buckets, recovery and the verdict, renders the
+// scenario.* stats block and splices the scenario events into the trace.
+func assemble(cfg Config, plan faults.Plan, ledger faults.Report, lr *loadgen.Report) (*Result, error) {
+	s := &cfg.Scenario
+	r := &Result{Cfg: cfg, Load: lr, Faults: ledger}
+
+	span, windowed := plan.WindowSpan()
+	r.Windowed = windowed
+	if windowed {
+		r.WindowStart, r.WindowEnd = span.Start, span.End
+	}
+
+	invs := lr.Invocations
+	if !windowed {
+		r.Pre = bucketize("steady", invs, func(loadgen.Invocation) bool { return true })
+		r.During = Bucket{Name: "during"}
+		r.Post = Bucket{Name: "post"}
+	} else {
+		r.Pre = bucketize("pre", invs, func(iv loadgen.Invocation) bool { return iv.Arrive < span.Start })
+		r.During = bucketize("during", invs, func(iv loadgen.Invocation) bool { return span.Contains(iv.Arrive) })
+		r.Post = bucketize("post", invs, func(iv loadgen.Invocation) bool { return iv.Arrive >= span.End })
+	}
+
+	// Recovery over post-window completions.
+	r.RecoveredAt = r.WindowEnd
+	if windowed {
+		var lastClean uint64
+		anyClean := false
+		for _, iv := range invs {
+			if iv.Done < r.WindowEnd {
+				continue
+			}
+			violating := iv.Failed || (s.SLO.P99NS > 0 && iv.Latency > s.SLO.P99NS)
+			if violating && iv.Done > r.RecoveredAt {
+				r.RecoveredAt = iv.Done
+			}
+			if !violating {
+				anyClean = true
+				if iv.Done > lastClean {
+					lastClean = iv.Done
+				}
+			}
+		}
+		r.RecoveryNS = r.RecoveredAt - r.WindowEnd
+		// Recovered: no violation remained, or clean traffic followed the
+		// last violating completion.
+		r.Recovered = r.RecoveredAt == r.WindowEnd || (anyClean && lastClean > r.RecoveredAt)
+	} else {
+		r.Recovered = true
+	}
+
+	r.SLOPass = r.Pre.meetsSLO(s.SLO) && r.Recovered &&
+		(s.RecoveryDeadline == 0 || r.RecoveryNS <= s.RecoveryDeadline)
+	if !windowed {
+		// Baseline: the steady bucket is the whole story.
+		r.SLOPass = r.Pre.meetsSLO(s.SLO)
+	}
+
+	r.StatsText = lr.StatsText + r.statsBlock()
+	tj, err := r.traceJSON(lr)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: trace export: %w", s.Name, err)
+	}
+	r.TraceJSON = tj
+	return r, nil
+}
+
+// statsBlock renders the scenario.* registry entries.
+func (r *Result) statsBlock() string {
+	reg := trace.NewRegistry()
+	u := func(name, desc string, v uint64) {
+		reg.Func("scenario."+name, desc, func() uint64 { return v })
+	}
+	b01 := func(v bool) uint64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	u("phases", "timed fault phases of the scenario", uint64(len(r.Cfg.Scenario.Phases)))
+	u("windowStartNS", "earliest fault window start (virtual ns)", r.WindowStart)
+	u("windowEndNS", "latest fault window end (virtual ns)", r.WindowEnd)
+	for _, b := range []Bucket{r.Pre, r.During, r.Post} {
+		p := b.Name + "."
+		u(p+"invocations", b.Name+"-bucket invocations", uint64(b.Invocations))
+		u(p+"p50NS", b.Name+"-bucket p50 latency (virtual ns)", b.Latency.P50)
+		u(p+"p95NS", b.Name+"-bucket p95 latency (virtual ns)", b.Latency.P95)
+		u(p+"p99NS", b.Name+"-bucket p99 latency (virtual ns)", b.Latency.P99)
+		u(p+"coldStarts", b.Name+"-bucket invocations paying a cold start", uint64(b.ColdStarts))
+		u(p+"errors", b.Name+"-bucket failed or check-failed invocations", uint64(b.Errors))
+		u(p+"retries", b.Name+"-bucket re-sent attempts", uint64(b.Retries))
+	}
+	u("faults.injected", "faults injected across all layers", r.Faults.Injected)
+	u("faults.dropped", "messages dropped by the fault plan", r.Faults.Dropped)
+	u("faults.corrupted", "replies corrupted by the fault plan", r.Faults.Corrupted)
+	u("faults.delayed", "replies delayed by the fault plan", r.Faults.Delayed)
+	u("faults.errorReplies", "injected error replies", r.Faults.ErrorReplies)
+	u("faults.spikes", "injected latency spikes", r.Faults.Spikes)
+	u("faults.outages", "attempts rejected inside outage windows", r.Faults.Outages)
+	u("recovered", "run reattained the SLO after the last window (bool)", b01(r.Recovered))
+	u("recoveryNS", "time from window close to SLO reattainment (virtual ns)", r.RecoveryNS)
+	u("sloPass", "scenario SLO verdict (bool)", b01(r.SLOPass))
+	return reg.Text("scenario " + r.Cfg.Scenario.Name)
+}
+
+// traceJSON splices the scenario's window spans and recovery marker into
+// the load run's event stream and re-exports Chrome trace JSON.
+func (r *Result) traceJSON(lr *loadgen.Report) ([]byte, error) {
+	events := append([]trace.Event(nil), lr.Events...)
+	for i, ph := range r.Cfg.Scenario.Phases {
+		events = append(events, trace.Event{
+			Kind:  trace.EvScenarioWindow,
+			Cycle: ph.Window.Start,
+			Arg:   uint64(i),
+			Arg2:  ph.Window.Duration(),
+		})
+	}
+	if r.Windowed && r.RecoveryNS > 0 && r.Recovered {
+		events = append(events, trace.Event{
+			Kind:  trace.EvScenarioRecover,
+			Cycle: r.RecoveredAt,
+			Arg2:  r.RecoveryNS,
+		})
+	}
+	return trace.ChromeJSON(events, nil, lr.TraceDropped)
+}
+
+// Table renders the scenario's deterministic phase-bucketed report:
+// configuration echo, per-phase windows, the pre/during/post matrix,
+// fault ledger, recovery measurement and verdict. Same config, same
+// bytes.
+func (r *Result) Table() string {
+	var sb strings.Builder
+	s := &r.Cfg.Scenario
+	verdict := func(pass bool) string {
+		if pass {
+			return "PASS"
+		}
+		return "FAIL"
+	}
+	fmt.Fprintf(&sb, "== scenario: %s (%s on %s, seed %d) ==\n",
+		s.Name, r.Cfg.Spec.Name, r.Cfg.Cfg.Arch, r.Cfg.Seed)
+	fmt.Fprintf(&sb, "%s\n", s.Description)
+	fmt.Fprintf(&sb, "load         %s, %.1f rps over %.3f ms, keep-alive %.3f ms, pool cap %d\n",
+		s.Arrival, s.RPS, float64(s.Duration)/1e6, float64(s.KeepAlive)/1e6, r.Load.Cfg.MaxInstances)
+	if s.Retry != nil {
+		fmt.Fprintf(&sb, "retry        %d attempts, backoff %.3f ms, deadline %.3f ms\n",
+			s.Retry.MaxAttempts, float64(s.Retry.Backoff)/1e6, float64(s.Retry.Deadline)/1e6)
+	}
+	for i, ph := range s.Phases {
+		fmt.Fprintf(&sb, "phase %-6d %s: [%.3f, %.3f) ms, %d rule(s)\n",
+			i, ph.Name, float64(ph.Window.Start)/1e6, float64(ph.Window.End)/1e6, len(ph.Rules))
+	}
+	fmt.Fprintf(&sb, "slo          p99 <= %.3f ms, error rate <= %.2f%%", float64(s.SLO.P99NS)/1e6, 100*s.SLO.ErrorRate)
+	if s.RecoveryDeadline > 0 {
+		fmt.Fprintf(&sb, ", recovery <= %.3f ms", float64(s.RecoveryDeadline)/1e6)
+	}
+	sb.WriteString("\n\n")
+
+	fmt.Fprintf(&sb, "%-8s %6s %12s %12s %12s %6s %7s %8s %5s\n",
+		"bucket", "invs", "p50 ns", "p95 ns", "p99 ns", "cold", "errors", "retries", "slo")
+	row := func(b Bucket) {
+		if b.Invocations == 0 && b.Name != "steady" {
+			fmt.Fprintf(&sb, "%-8s %6d %12s %12s %12s %6s %7s %8s %5s\n",
+				b.Name, 0, "-", "-", "-", "-", "-", "-", "-")
+			return
+		}
+		fmt.Fprintf(&sb, "%-8s %6d %12d %12d %12d %6d %7d %8d %5s\n",
+			b.Name, b.Invocations, b.Latency.P50, b.Latency.P95, b.Latency.P99,
+			b.ColdStarts, b.Errors, b.Retries, verdict(b.meetsSLO(s.SLO)))
+	}
+	row(r.Pre)
+	if r.Windowed {
+		row(r.During)
+		row(r.Post)
+	}
+	sb.WriteString("\n")
+	fmt.Fprintf(&sb, "faults       %d injected: %d dropped, %d corrupted, %d delayed, %d error replies, %d spikes, %d outage rejections\n",
+		r.Faults.Injected, r.Faults.Dropped, r.Faults.Corrupted, r.Faults.Delayed,
+		r.Faults.ErrorReplies, r.Faults.Spikes, r.Faults.Outages)
+	fmt.Fprintf(&sb, "attempts     %d total, %d retries, %d recovered, %d failed\n",
+		r.Load.Attempts, r.Load.Retries, r.Load.Recovered, r.Load.Failed)
+	if r.Windowed {
+		if r.Recovered {
+			fmt.Fprintf(&sb, "recovery     SLO reattained %.3f ms after window close", float64(r.RecoveryNS)/1e6)
+		} else {
+			fmt.Fprintf(&sb, "recovery     NOT reattained (last violation %.3f ms after window close)", float64(r.RecoveryNS)/1e6)
+		}
+		if s.RecoveryDeadline > 0 {
+			fmt.Fprintf(&sb, " (deadline %.3f ms)", float64(s.RecoveryDeadline)/1e6)
+		}
+		sb.WriteString("\n")
+	}
+	fmt.Fprintf(&sb, "verdict      %s\n", verdict(r.SLOPass))
+	return sb.String()
+}

@@ -1,0 +1,177 @@
+// Package scenario is the declarative chaos-scenario engine: it arms
+// timed fault plans mid-load-run against the open-loop load engine
+// (internal/loadgen) and reports how the platform degrades and recovers.
+//
+// A Scenario is a named, seed-deterministic spec: a load shape (arrival
+// process, rate, window, keep-alive policy), a list of timed Phases that
+// each attach faults.Rules inside a virtual-time window, a retry policy,
+// and an SLO (p99 latency bound, error-rate bound) with an expected
+// recovery deadline. The engine compiles the phases into one windowed
+// faults.Plan, hooks the injector into the load engine's event loop
+// (loadgen.Config.Chaos), and lets retry storms and queue buildup emerge
+// from the retry policy and the keep-alive pool rather than modeling
+// them. Recovery is measured as time-to-SLO-reattainment after the last
+// window closes.
+//
+// Determinism is inherited from loadgen's contract: one run is a
+// sequential DES whose every decision — including every fault draw — is
+// a pure function of (config, seed), so reports, stats text and trace
+// JSON are byte-identical across repeated runs and any RunMany worker
+// count. See docs/scenarios.md.
+package scenario
+
+import (
+	"fmt"
+
+	"svbench/internal/faults"
+	"svbench/internal/gemsys"
+	"svbench/internal/harness"
+	"svbench/internal/loadgen"
+	"svbench/internal/sweep"
+)
+
+// Phase is one timed fault window of a scenario: while Window contains
+// the load clock, Rules are live on the injector. Phases may overlap;
+// rules fire in phase order.
+type Phase struct {
+	Name   string
+	Window faults.Window
+	Rules  []faults.Rule
+}
+
+// SLO is the service-level objective a scenario is judged against. Zero
+// fields are unbounded.
+type SLO struct {
+	// P99NS bounds the p99 end-to-end latency in virtual nanoseconds.
+	P99NS uint64
+	// ErrorRate bounds the failed-invocation fraction (0..1).
+	ErrorRate float64
+}
+
+// Scenario is one named chaos experiment: a load shape, timed fault
+// phases, a recovery policy and the SLO to judge the run against.
+type Scenario struct {
+	Name        string
+	Description string
+
+	// Load shape (loadgen.Config fields the scenario owns).
+	RPS          float64
+	Duration     uint64
+	Arrival      loadgen.Process
+	Burst        int
+	KeepAlive    uint64
+	MaxInstances int
+
+	// Retry is the client recovery policy (nil = fail on first fault).
+	Retry *faults.Retry
+
+	// Phases are the timed fault windows (empty = fault-free baseline).
+	Phases []Phase
+
+	// SLO is the objective; RecoveryDeadline bounds how long after the
+	// last window closes the SLO must be reattained (0 = unbounded).
+	SLO              SLO
+	RecoveryDeadline uint64
+}
+
+// Config binds a scenario to a machine configuration and function spec.
+type Config struct {
+	Scenario Scenario
+	// Cfg is the simulated machine configuration (gemsys.DefaultConfig).
+	Cfg gemsys.Config
+	// Spec is the function under load.
+	Spec harness.Spec
+	// Seed drives both the arrival process and the fault plan.
+	Seed uint64
+	// Cache, when non-nil, memoizes post-boot checkpoints across runs.
+	Cache *harness.BootCache
+}
+
+// planSeedMix decorrelates the fault plan's PRNG from the arrival
+// process, which consumes the raw seed ("scenario" in ASCII).
+const planSeedMix = 0x7363656E6172696F
+
+// compilePlan stamps each phase's window onto its rules and flattens
+// them into one windowed fault plan.
+func (s *Scenario) compilePlan(seed uint64) faults.Plan {
+	p := faults.Plan{Seed: seed ^ planSeedMix}
+	for _, ph := range s.Phases {
+		for _, r := range ph.Rules {
+			r.Window = ph.Window
+			p.Rules = append(p.Rules, r)
+		}
+	}
+	return p
+}
+
+// hook adapts an armed injector to loadgen's AttemptHook: every attempt
+// is evaluated against the window-active rules at its send instant.
+type hook struct {
+	inj *faults.Injector
+}
+
+func (h *hook) Attempt(inv, attempt int, now uint64) faults.AttemptFault {
+	return h.inj.AttemptAt(now)
+}
+
+// Run executes one scenario. The returned Result — including its
+// rendered table, stats text and trace JSON — is a pure function of cfg.
+func Run(cfg Config) (*Result, error) {
+	s := &cfg.Scenario
+	if s.Name == "" {
+		return nil, fmt.Errorf("scenario: unnamed scenario")
+	}
+	for _, ph := range s.Phases {
+		if ph.Window.IsZero() || ph.Window.Empty() {
+			return nil, fmt.Errorf("scenario %s: phase %q needs a non-empty window", s.Name, ph.Name)
+		}
+		if len(ph.Rules) == 0 {
+			return nil, fmt.Errorf("scenario %s: phase %q has no rules", s.Name, ph.Name)
+		}
+	}
+
+	plan := s.compilePlan(cfg.Seed)
+	inj := faults.NewInjector(plan)
+	lc := loadgen.Config{
+		Cfg:          cfg.Cfg,
+		Spec:         cfg.Spec,
+		RPS:          s.RPS,
+		Duration:     s.Duration,
+		Seed:         cfg.Seed,
+		Arrival:      s.Arrival,
+		Burst:        s.Burst,
+		KeepAlive:    s.KeepAlive,
+		MaxInstances: s.MaxInstances,
+		Cache:        cfg.Cache,
+		Retry:        s.Retry,
+	}
+	if len(s.Phases) > 0 {
+		// Arm for the whole run: the windows themselves open and close the
+		// fault plan on the virtual clock.
+		inj.Arm()
+		lc.Chaos = &hook{inj: inj}
+	}
+	lr, err := loadgen.Run(lc)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	return assemble(cfg, plan, inj.Report, lr)
+}
+
+// RunMany executes one scenario run per config across a worker pool of
+// jobs workers (0 = sweep.DefaultJobs()); configs without their own
+// Cache share one. Results come back in config order and each is
+// byte-identical to a solo Run of the same config.
+func RunMany(cfgs []Config, jobs int) ([]*Result, []error) {
+	shared := harness.NewBootCache()
+	results := make([]*Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	sweep.Each(len(cfgs), jobs, func(i int) {
+		c := cfgs[i]
+		if c.Cache == nil {
+			c.Cache = shared
+		}
+		results[i], errs[i] = Run(c)
+	})
+	return results, errs
+}

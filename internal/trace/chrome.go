@@ -37,6 +37,7 @@ type chromeTrace struct {
 // instance (the event's Core byte).
 const (
 	functionalTidBase = 100
+	scenarioTid       = 198
 	loadArrivalTid    = 199
 	loadInstTidBase   = 200
 )
@@ -45,7 +46,9 @@ func tidFor(ev Event) int {
 	switch ev.Kind {
 	case EvCtxSwitch, EvFault:
 		return functionalTidBase + int(ev.Core)
-	case EvInvokeArrive, EvInvokeDone:
+	case EvScenarioWindow, EvScenarioRecover:
+		return scenarioTid
+	case EvInvokeArrive, EvInvokeDone, EvInvokeRetry, EvInvokeFail:
 		return loadArrivalTid
 	case EvInvokeRun, EvColdStart, EvInstReclaim:
 		return loadInstTidBase + int(ev.Core)
@@ -74,6 +77,8 @@ func ChromeJSON(events []Event, syms *SymTable, dropped uint64) ([]byte, error) 
 		switch {
 		case tid == loadArrivalTid:
 			name = "load arrivals"
+		case tid == scenarioTid:
+			name = "scenario (chaos windows)"
 		case tid >= loadInstTidBase:
 			name = fmt.Sprintf("instance%d (load)", tid-loadInstTidBase)
 		case tid >= functionalTidBase:
@@ -159,6 +164,26 @@ func ChromeJSON(events []Event, syms *SymTable, dropped uint64) ([]byte, error) 
 			ce.Ph = "i"
 			ce.S = "t"
 			args["instance"] = fmt.Sprintf("%d", ev.Arg)
+		case EvInvokeRetry:
+			ce.Ph = "i"
+			ce.S = "p"
+			args["invocation"] = fmt.Sprintf("%d", ev.Arg)
+			args["attempt"] = fmt.Sprintf("%d", ev.Arg2)
+		case EvInvokeFail:
+			ce.Ph = "i"
+			ce.S = "g"
+			args["invocation"] = fmt.Sprintf("%d", ev.Arg)
+			args["attempts"] = fmt.Sprintf("%d", ev.Arg2)
+		case EvScenarioWindow:
+			// Complete ("X") span covering the whole fault window.
+			ce.Ph = "X"
+			ce.Name = "fault-window"
+			ce.Dur = ev.Arg2
+			args["phase"] = fmt.Sprintf("%d", ev.Arg)
+		case EvScenarioRecover:
+			ce.Ph = "i"
+			ce.S = "g"
+			args["recovery_ns"] = fmt.Sprintf("%d", ev.Arg2)
 		default:
 			ce.Ph = "i"
 			ce.S = "t"

@@ -20,18 +20,18 @@ type Kind uint8
 // surface: retirement, memory-system misses, front-end redirects,
 // privilege switches, IPC and scheduling, and fault injection.
 const (
-	EvInstRetire Kind = iota // one committed instruction (Arg=class)
-	EvCacheMiss              // Arg=cache level (LvlL1I/LvlL1D/LvlL2), Arg2=address
-	EvBranchMiss             // branch mispredict redirect
-	EvTLBMiss                // Arg=LvlITLB/LvlDTLB, Arg2=address
-	EvSyscallEnter           // serializing ecall issued
-	EvSyscallExit            // serializing ecall completed
-	EvIPCSend                // message send committed (Arg=sequence)
-	EvIPCRecv                // message receive committed (Arg=sequence)
-	EvCtxSwitch              // scheduler switched processes (Arg=process id)
-	EvFault                  // fault-injection event (Arg=fault event code)
-	EvM5Reset                // m5 reset-stats marker: a stats window opens
-	EvM5Dump                 // m5 dump-stats marker: a stats window closes
+	EvInstRetire   Kind = iota // one committed instruction (Arg=class)
+	EvCacheMiss                // Arg=cache level (LvlL1I/LvlL1D/LvlL2), Arg2=address
+	EvBranchMiss               // branch mispredict redirect
+	EvTLBMiss                  // Arg=LvlITLB/LvlDTLB, Arg2=address
+	EvSyscallEnter             // serializing ecall issued
+	EvSyscallExit              // serializing ecall completed
+	EvIPCSend                  // message send committed (Arg=sequence)
+	EvIPCRecv                  // message receive committed (Arg=sequence)
+	EvCtxSwitch                // scheduler switched processes (Arg=process id)
+	EvFault                    // fault-injection event (Arg=fault event code)
+	EvM5Reset                  // m5 reset-stats marker: a stats window opens
+	EvM5Dump                   // m5 dump-stats marker: a stats window closes
 
 	// Load-generation events (internal/loadgen): timestamps are virtual
 	// nanoseconds of the load engine's clock, Core carries the instance
@@ -41,6 +41,13 @@ const (
 	EvInvokeDone   // invocation completed (Arg=invocation id, Arg2=latency ns)
 	EvColdStart    // instance cold start (Arg=instance id, Arg2=boot penalty ns)
 	EvInstReclaim  // idle instance reclaimed by keep-alive (Arg=instance id)
+	EvInvokeRetry  // client re-sends an invocation (Arg=invocation id, Arg2=next attempt)
+	EvInvokeFail   // invocation exhausted its attempts (Arg=invocation id, Arg2=attempts)
+
+	// Scenario events (internal/scenario): fault windows opening/closing
+	// on the load clock and SLO reattainment after the last window.
+	EvScenarioWindow  // one fault phase's window (Arg=phase index, Arg2=window ns)
+	EvScenarioRecover // SLO reattained post-window (Arg2=recovery ns)
 	evKinds
 )
 
@@ -58,7 +65,8 @@ var kindNames = [evKinds]string{
 	"syscall-enter", "syscall-exit", "ipc-send", "ipc-recv",
 	"ctx-switch", "fault-inject", "m5-reset", "m5-dump",
 	"invoke-arrive", "invoke-run", "invoke-done", "cold-start",
-	"instance-reclaim",
+	"instance-reclaim", "invoke-retry", "invoke-fail",
+	"scenario-window", "scenario-recover",
 }
 
 // String names the kind.

@@ -23,6 +23,7 @@ import (
 	"svbench/internal/langrt"
 	"svbench/internal/loadgen"
 	"svbench/internal/qemu"
+	"svbench/internal/scenario"
 	"svbench/internal/stats"
 	"svbench/internal/trace"
 )
@@ -92,6 +93,22 @@ type (
 	LoadProcess = loadgen.Process
 	// LoadInvocation is one request's lifecycle through the pool.
 	LoadInvocation = loadgen.Invocation
+	// FaultWindow is a half-open [Start, End) activation window in
+	// virtual time; the zero window means "always active".
+	FaultWindow = faults.Window
+	// Scenario is a declarative chaos scenario: a load shape plus timed
+	// fault phases, an SLO and a recovery deadline (internal/scenario).
+	Scenario = scenario.Scenario
+	// ScenarioPhase is one timed fault window of a scenario.
+	ScenarioPhase = scenario.Phase
+	// ScenarioSLO is the latency/error objective a scenario is judged by.
+	ScenarioSLO = scenario.SLO
+	// ScenarioConfig binds a scenario to a function, system config and seed.
+	ScenarioConfig = scenario.Config
+	// ScenarioResult is one scenario run's phase-bucketed verdict.
+	ScenarioResult = scenario.Result
+	// ScenarioBucket is the per-phase (pre/during/post) latency summary.
+	ScenarioBucket = scenario.Bucket
 )
 
 // Arrival processes for LoadConfig.Arrival.
@@ -203,6 +220,29 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) { return loadgen.Run(cfg) }
 // a shared boot cache; each report is byte-identical to a solo RunLoad.
 func RunLoadMany(cfgs []LoadConfig, jobs int) ([]*LoadReport, []error) {
 	return loadgen.RunMany(cfgs, jobs)
+}
+
+// ScenarioCatalog returns the library of named chaos scenarios, sorted
+// by name (see docs/scenarios.md).
+func ScenarioCatalog() []Scenario { return scenario.Catalog() }
+
+// ScenarioNames returns the catalog's scenario names, sorted.
+func ScenarioNames() []string { return scenario.Names() }
+
+// ScenarioByName looks a scenario up in the catalog.
+func ScenarioByName(name string) (Scenario, error) { return scenario.ByName(name) }
+
+// RunScenario executes one chaos scenario: it arms the scenario's timed
+// fault plan against an open-loop load run and returns the
+// phase-bucketed report with the SLO verdict and recovery time. The
+// result is a pure function of cfg.
+func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) { return scenario.Run(cfg) }
+
+// RunScenarioMany executes one scenario run per config across a worker
+// pool with a shared boot cache; each result is byte-identical to a
+// solo RunScenario.
+func RunScenarioMany(cfgs []ScenarioConfig, jobs int) ([]*ScenarioResult, []error) {
+	return scenario.RunMany(cfgs, jobs)
 }
 
 // RunLukewarm interleaves two functions on the measured core and reports
