@@ -1,0 +1,154 @@
+// Command clusterbench drives the multi-machine fabric study: every
+// shipped DeathStarBench-style topology on every ISA, serially and in
+// parallel, asserting each point's fabric event log, summary table and
+// Perfetto trace byte-identical across job counts before writing the
+// per-topology latency figure table and the timing comparison
+// (BENCH_cluster.json).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"svbench/internal/benchutil"
+	"svbench/internal/cluster"
+	"svbench/internal/figures"
+	"svbench/internal/isa"
+	"svbench/internal/sweep"
+)
+
+type report struct {
+	Date       string  `json:"date"`
+	HostCPUs   int     `json:"host_cpus"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Matrix     string  `json:"matrix"`
+	Points     int     `json:"points"`
+	Requests   int     `json:"requests_per_point"`
+	JobsBefore int     `json:"jobs_before"`
+	JobsAfter  int     `json:"jobs_after"`
+	SecBefore  float64 `json:"seconds_before"`
+	SecAfter   float64 `json:"seconds_after"`
+	Speedup    float64 `json:"speedup"`
+	Identical  bool    `json:"reports_identical"`
+}
+
+func points(seed uint64, requests int, rps float64) []cluster.Config {
+	var cfgs []cluster.Config
+	for _, top := range cluster.Topologies() {
+		for _, arch := range []isa.Arch{isa.RV64, isa.CISC64} {
+			cfgs = append(cfgs, cluster.Config{
+				Topology: top,
+				Arch:     arch,
+				Requests: requests,
+				RPS:      rps,
+				Seed:     seed,
+			})
+		}
+	}
+	return cfgs
+}
+
+func main() {
+	var (
+		out      = flag.String("out", "BENCH_cluster.json", "output JSON file")
+		jobs     = flag.Int("j", sweep.DefaultJobs(), "parallel worker count for the after run")
+		seed     = flag.Uint64("seed", 7, "arrival-process seed")
+		requests = flag.Int("requests", figures.ClusterRequests, "client requests per point")
+		rps      = flag.Float64("rps", figures.ClusterRPS, "Poisson arrival rate")
+		traceOut = flag.String("trace", "", "write the first point's Perfetto trace JSON to this file")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	)
+	flag.Parse()
+	if err := sweep.ValidateJobs(*jobs); err != nil {
+		fmt.Fprintln(os.Stderr, "clusterbench: -j:", err)
+		os.Exit(2)
+	}
+	stopProf, err := benchutil.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clusterbench:", err)
+		os.Exit(2)
+	}
+
+	run := func(j int) ([]*cluster.Report, float64) {
+		t0 := time.Now()
+		reps, err := cluster.RunMany(points(*seed, *requests, *rps), j)
+		dt := time.Since(t0).Seconds()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clusterbench:", err)
+			os.Exit(1)
+		}
+		return reps, dt
+	}
+
+	fmt.Fprintf(os.Stderr, "clusterbench: serial study (-j 1)...\n")
+	before, secBefore := run(1)
+	fmt.Fprintf(os.Stderr, "clusterbench: %.2fs; parallel study (-j %d)...\n", secBefore, *jobs)
+	after, secAfter := run(*jobs)
+
+	identical := true
+	for i := range before {
+		bj, errB := before[i].TraceJSON()
+		aj, errA := after[i].TraceJSON()
+		if errB != nil || errA != nil {
+			fmt.Fprintf(os.Stderr, "clusterbench: trace render: %v %v\n", errB, errA)
+			os.Exit(1)
+		}
+		if before[i].EventLog != after[i].EventLog ||
+			before[i].Table() != after[i].Table() ||
+			before[i].StatsText != after[i].StatsText ||
+			!bytes.Equal(bj, aj) {
+			identical = false
+			fmt.Fprintf(os.Stderr, "clusterbench: point %d DIFFERS between -j 1 and -j %d\n", i, *jobs)
+		}
+	}
+
+	for _, rep := range before {
+		fmt.Print(rep.Table())
+	}
+	if *traceOut != "" {
+		js, err := before[0].TraceJSON()
+		if err == nil {
+			err = os.WriteFile(*traceOut, js, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clusterbench:", err)
+			os.Exit(1)
+		}
+	}
+
+	rep := report{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		HostCPUs:   runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Matrix:     "topology {hotel-reservation, social-network} × arch {rv64, cisc64}",
+		Points:     len(before),
+		Requests:   *requests,
+		JobsBefore: 1,
+		JobsAfter:  *jobs,
+		SecBefore:  secBefore,
+		SecAfter:   secAfter,
+		Speedup:    secBefore / secAfter,
+		Identical:  identical,
+	}
+	js, _ := json.MarshalIndent(rep, "", "  ")
+	js = append(js, '\n')
+	if err := os.WriteFile(*out, js, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "clusterbench:", err)
+		os.Exit(1)
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "clusterbench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "clusterbench: %.2fs -> %.2fs (%.2fx), identical=%v, %s\n",
+		secBefore, secAfter, rep.Speedup, rep.Identical, *out)
+	if !rep.Identical {
+		os.Exit(1)
+	}
+}

@@ -33,7 +33,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		chaos   = fs.Bool("chaos", false, "also run the fault-injection/recovery table")
 		loadFl  = fs.Bool("load", false, "also run the open-loop load study (throughput curve + keep-alive table)")
 		scenFl  = fs.Bool("scenarios", false, "also run the chaos-scenario SLO matrix (scenario x arch)")
-		seed    = fs.Uint64("seed", 1, "fault-injection / load-arrival seed for -chaos, -load and -scenarios")
+		clustFl = fs.Bool("cluster", false, "also run the multi-machine cluster fabric table (topology x arch)")
+		seed    = fs.Uint64("seed", 1, "fault-injection / load-arrival seed for -chaos, -load, -scenarios and -cluster")
 		jobs    = fs.Int("j", sweep.DefaultJobs(),
 			"sweep worker count, >= 1 (results are identical for every value; default GOMAXPROCS)")
 		noMemo = fs.Bool("no-memo", false,
@@ -67,6 +68,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		LoadJobs:      *jobs,
 		Scenarios:     *scenFl,
 		ScenarioSeed:  *seed,
+		Cluster:       *clustFl,
+		ClusterSeed:   *seed,
 		Log:           logf,
 	})
 	if err != nil {

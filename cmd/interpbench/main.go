@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -70,6 +71,8 @@ type row struct {
 
 type report struct {
 	Date           string  `json:"date"`
+	HostCPUs       int     `json:"host_cpus"`
+	GoMaxProcs     int     `json:"gomaxprocs"`
 	Workloads      int     `json:"workloads"`
 	SetupSpeedup   float64 `json:"geomean_speedup_setup"`
 	RecordSpeedup  float64 `json:"geomean_speedup_record"`
@@ -182,7 +185,12 @@ func main() {
 		}
 	}
 
-	rep := report{Date: time.Now().UTC().Format(time.RFC3339), Identical: true}
+	rep := report{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		HostCPUs:   runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Identical:  true,
+	}
 	var setupUps, recordUps []float64
 	for _, arch := range []isa.Arch{isa.RV64, isa.CISC64} {
 		for _, spec := range harness.StandaloneSpecs() {

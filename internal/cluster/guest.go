@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"fmt"
+
+	"svbench/internal/ir"
+	"svbench/internal/kernel"
+	"svbench/internal/langrt"
+	"svbench/internal/vswarm"
+)
+
+// relayBufSize bounds one datastore request or response on the wire.
+const relayBufSize = 16 << 10
+
+// relayModule builds the guest program of a datastore node: an infinite
+// loop shuttling each network request to the locally-bound storage
+// service and its reply back out. The relay is deliberately minimal (no
+// libc, no runtime model) — the store's cost model already charges the
+// engine's service time, so the relay adds only the syscall path, which
+// stands in for the wire-protocol frontend of the real engine. Serving
+// is serial: concurrent requests queue in the ingress channel, modeling
+// a single-threaded engine frontend.
+func relayModule(ingress, localReq, localResp, egress int) *ir.Module {
+	m := ir.NewModule("dsrelay")
+	m.AddGlobal(&ir.Global{Name: "relay_buf", Data: make([]byte, relayBufSize)})
+	b := ir.NewFunc("main", 0)
+	buf := b.Global("relay_buf", 0)
+	bufCap := b.Const(relayBufSize)
+	loop := b.NewLabel("loop")
+	b.Label(loop)
+	n := b.Ecall(kernel.SysRecv, b.Const(int64(ingress)), buf, bufCap)
+	b.EcallV(kernel.SysSend, b.Const(int64(localReq)), buf, n)
+	rn := b.Ecall(kernel.SysRecv, b.Const(int64(localResp)), buf, bufCap)
+	b.EcallV(kernel.SysSend, b.Const(int64(egress)), buf, rn)
+	b.Jmp(loop)
+	b.Ret(b.Const(0))
+	m.AddFunc(b.Build())
+	return m
+}
+
+// orchestratorModule builds the workload module of an orchestrator node
+// as a regular handler (wrapped by langrt.BuildServer like any
+// function). Each stage sends its canned requests back-to-back — the
+// fan-out — then gathers every reply before the next stage starts; the
+// response summarizes {calls, total reply bytes}. chans maps each called
+// service name to the node's channel pair for that dependency.
+func orchestratorModule(name string, stages [][]Call, chans map[string]ChanPair) *ir.Module {
+	m := ir.NewModule("orch-" + name)
+	m.AddGlobal(&ir.Global{Name: "oc_rbuf", Data: make([]byte, langrt.RBufSize)})
+	for si, stage := range stages {
+		for ci, c := range stage {
+			m.AddGlobal(&ir.Global{
+				Name: fmt.Sprintf("oc_req_%d_%d", si, ci),
+				Data: append([]byte(nil), c.Request...),
+			})
+		}
+	}
+	b := ir.NewFunc(vswarm.Handler, 3)
+	resp := b.Param(2)
+	rbuf := b.Global("oc_rbuf", 0)
+	rbufCap := b.Const(langrt.RBufSize)
+	total := b.Const(0)
+	calls := 0
+	for si, stage := range stages {
+		for ci, c := range stage {
+			p := chans[c.Service]
+			g := b.Global(fmt.Sprintf("oc_req_%d_%d", si, ci), 0)
+			b.EcallV(kernel.SysSend, b.Const(int64(p.Req)), g, b.Const(int64(len(c.Request))))
+		}
+		for _, c := range stage {
+			p := chans[c.Service]
+			n := b.Ecall(kernel.SysRecv, b.Const(int64(p.Resp)), rbuf, rbufCap)
+			total = b.Add(total, n)
+			calls++
+		}
+	}
+	b.CallV("mbuf_reset", resp)
+	b.CallV("mbuf_put_int", resp, b.Const(int64(calls)))
+	b.CallV("mbuf_put_int", resp, total)
+	b.Ret(b.Call("mbuf_len", resp))
+	m.AddFunc(b.Build())
+	return m
+}

@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"svbench/internal/isa"
+	"svbench/internal/loadgen"
+	"svbench/internal/sweep"
+	"svbench/internal/trace"
+)
+
+// Report is the outcome of one fabric run. Every field is a pure
+// function of (Topology, Arch, Requests, RPS, Seed, QuantumNS): same
+// inputs, same bytes — the cluster determinism tests compare EventLog,
+// Table() and TraceJSON() across job counts and processes.
+type Report struct {
+	Topology  string
+	Arch      isa.Arch
+	Machines  int
+	Requests  int
+	RPS       float64
+	Seed      uint64
+	Latency   loadgen.Pcts
+	Latencies []uint64 // per request id, virtual ns
+	NetMsgs   uint64
+	NetBytes  uint64
+	// Instructions counts guest instructions executed across all
+	// machines after boot; MakespanNS is the completion time of the
+	// last reply.
+	Instructions uint64
+	MakespanNS   uint64
+	// EventLog is the deterministic line-per-event fabric log.
+	EventLog  string
+	StatsText string
+	Events    []trace.Event
+	Dropped   uint64
+}
+
+func (f *Fabric) report() *Report {
+	r := &Report{
+		Topology:     f.top.Name,
+		Arch:         f.cfg.Arch,
+		Machines:     len(f.nodes),
+		Requests:     f.cfg.Requests,
+		RPS:          f.cfg.RPS,
+		Seed:         f.cfg.Seed,
+		Latencies:    append([]uint64(nil), f.lats...),
+		NetMsgs:      f.nMsgs,
+		NetBytes:     f.nBytes,
+		Instructions: f.instr,
+		EventLog:     f.log.String(),
+		Events:       f.tracer.Events(),
+		Dropped:      f.tracer.Dropped,
+	}
+	r.Latency = loadgen.Percentiles(append([]uint64(nil), f.lats...))
+	for i, at := range f.started {
+		if end := at + f.lats[i]; end > r.MakespanNS {
+			r.MakespanNS = end
+		}
+	}
+	r.StatsText = f.reg.Text(fmt.Sprintf("%s cluster (%s)", f.top.Name, f.cfg.Arch))
+	return r
+}
+
+// TraceJSON renders the fabric's event trace as Chrome/Perfetto JSON.
+func (r *Report) TraceJSON() ([]byte, error) {
+	return trace.ChromeJSON(r.Events, nil, r.Dropped)
+}
+
+// Table renders the run as a deterministic text summary.
+func (r *Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster %s on %s: %d machines, %d requests @ %.1f rps (seed %d)\n",
+		r.Topology, r.Arch, r.Machines, r.Requests, r.RPS, r.Seed)
+	fmt.Fprintf(&b, "  e2e latency ns  p50=%d p95=%d p99=%d max=%d mean=%.0f\n",
+		r.Latency.P50, r.Latency.P95, r.Latency.P99, r.Latency.Max, r.Latency.Mean)
+	fmt.Fprintf(&b, "  network         msgs=%d bytes=%d\n", r.NetMsgs, r.NetBytes)
+	fmt.Fprintf(&b, "  execution       insts=%d makespan_ns=%d\n", r.Instructions, r.MakespanNS)
+	return b.String()
+}
+
+// Run executes one fabric configuration end to end.
+func Run(cfg Config) (*Report, error) {
+	f, err := NewFabric(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return f.Run()
+}
+
+// RunMany executes independent fabric runs with up to `jobs` in flight
+// (0 = one per host core, like the rest of the suite). Each run is
+// internally sequential; results are ordered by input index regardless
+// of job count, and errors carry the failing run's index.
+func RunMany(cfgs []Config, jobs int) ([]*Report, error) {
+	reports := make([]*Report, len(cfgs))
+	errs := make([]error, len(cfgs))
+	sweep.Each(len(cfgs), jobs, func(i int) {
+		reports[i], errs[i] = Run(cfgs[i])
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster run %d: %w", i, err)
+		}
+	}
+	return reports, nil
+}

@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"svbench/internal/db"
+	"svbench/internal/ir"
+	"svbench/internal/langrt"
+	"svbench/internal/rpc"
+	"svbench/internal/vswarm"
+)
+
+// The two shipped topologies model the DeathStarBench service graphs the
+// motel project runs on real RISC-V clusters: hotel-reservation (12
+// services, parallel geo+rate search) and social-network (15 services,
+// compose-post fan-out). Services reuse the existing vSwarm workload
+// modules and db engines; orchestrator nodes reproduce the fan-out /
+// gather structure of the original Go microservices.
+
+func opaqueRequest(tag uint64) []byte {
+	w := rpc.NewWriter()
+	w.PutInt(tag)
+	return w.Bytes()
+}
+
+func dbGet(table, key string) []byte {
+	w := rpc.NewWriter()
+	w.PutInt(uint64(db.OpGet))
+	w.PutBytes([]byte(table))
+	w.PutBytes([]byte(key))
+	return w.Bytes()
+}
+
+func dbPut(table, key string, val []byte) []byte {
+	w := rpc.NewWriter()
+	w.PutInt(uint64(db.OpPut))
+	w.PutBytes([]byte(table))
+	w.PutBytes([]byte(key))
+	w.PutBytes(val)
+	return w.Bytes()
+}
+
+// hotelFn adapts a vswarm hotel workload to the fabric's dependency
+// wiring: dep 0 is the database pair, dep 1 (when present) the memcached
+// pair. Functions without a cache tier get the DB pair mirrored into the
+// MC fields; their stubs never touch it.
+func hotelFn(build func(vswarm.HotelChans) *ir.Module) func([]ChanPair) *ir.Module {
+	return func(deps []ChanPair) *ir.Module {
+		ch := vswarm.HotelChans{DBReq: deps[0].Req, DBResp: deps[0].Resp}
+		mc := deps[0]
+		if len(deps) > 1 {
+			mc = deps[1]
+		}
+		ch.MCReq, ch.MCResp = mc.Req, mc.Resp
+		return build(ch)
+	}
+}
+
+// HotelReservation returns the 12-service hotel-reservation topology:
+//
+//	client → frontend ─┬→ search ─┬→ geo  → mongodb
+//	                   │          └→ rate → mongodb, memcached-rate
+//	                   ├→ recommendation → mongodb
+//	                   ├→ user → mongodb
+//	                   ├→ profile → mongodb, memcached-profile
+//	                   └→ reservation → mongodb, memcached-reserve
+//
+// The frontend's first stage runs search and recommendation in parallel;
+// search fans out to geo and rate in parallel (the DSB search path).
+func HotelReservation() Topology {
+	geoLat, geoLon := vswarm.HotelGeo(0)
+	recLat, recLon := vswarm.HotelGeo(3)
+	return Topology{
+		Name:     "hotel-reservation",
+		Frontend: "frontend",
+		Request:  opaqueRequest(1),
+		Links: []LinkSpec{
+			// Client traffic crosses the load balancer: a longer edge.
+			{Src: Client, Dst: "frontend", Link: Link{LatencyNS: 50_000, GbitPS: 10}},
+			// Storage tier sits in-rack: shorter, fatter edges.
+			{Src: "geo", Dst: "mongodb", Link: Link{LatencyNS: 10_000, GbitPS: 25}},
+			{Src: "rate", Dst: "mongodb", Link: Link{LatencyNS: 10_000, GbitPS: 25}},
+		},
+		Services: []ServiceSpec{
+			{Name: "frontend", Kind: Orchestrator, Stages: [][]Call{
+				{
+					{Service: "search", Request: opaqueRequest(2)},
+					{Service: "recommendation", Request: vswarm.RecommendRequest(0, recLat, recLon)},
+				},
+				{{Service: "user", Request: vswarm.UserRequest(2, true)}},
+				{{Service: "profile", Request: vswarm.ProfileRequest(1, 5, 9)}},
+				{{Service: "reservation", Request: vswarm.ReservationRequest(6, 20260801, 20260805, 1)}},
+			}},
+			{Name: "search", Kind: Orchestrator, Stages: [][]Call{
+				{
+					{Service: "geo", Request: vswarm.GeoRequest(geoLat+30, geoLon+40)},
+					{Service: "rate", Request: vswarm.RateRequest(20260801, 20260805, 4, 8, 12)},
+				},
+			}},
+			{Name: "geo", Kind: Function, Runtime: langrt.GoRT,
+				Deps: []string{"mongodb"}, Fn: hotelFn(vswarm.HotelGeoFn)},
+			{Name: "rate", Kind: Function, Runtime: langrt.GoRT,
+				Deps: []string{"mongodb", "memcached-rate"}, Fn: hotelFn(vswarm.HotelRateFn)},
+			{Name: "recommendation", Kind: Function, Runtime: langrt.GoRT,
+				Deps: []string{"mongodb"}, Fn: hotelFn(vswarm.HotelRecommendFn)},
+			{Name: "user", Kind: Function, Runtime: langrt.GoRT,
+				Deps: []string{"mongodb"}, Fn: hotelFn(vswarm.HotelUserFn)},
+			{Name: "profile", Kind: Function, Runtime: langrt.GoRT,
+				Deps: []string{"mongodb", "memcached-profile"}, Fn: hotelFn(vswarm.HotelProfileFn)},
+			{Name: "reservation", Kind: Function, Runtime: langrt.GoRT,
+				Deps: []string{"mongodb", "memcached-reserve"}, Fn: hotelFn(vswarm.HotelReservationFn)},
+			{Name: "mongodb", Kind: Datastore, Engine: "mongodb",
+				Seed: func(s db.Store) { vswarm.SeedHotel(s) }},
+			{Name: "memcached-rate", Kind: Datastore, Engine: "memcached"},
+			{Name: "memcached-profile", Kind: Datastore, Engine: "memcached"},
+			{Name: "memcached-reserve", Kind: Datastore, Engine: "memcached"},
+		},
+	}
+}
+
+// SocialNetwork returns the 15-service social-network topology centred
+// on the compose-post fan-out:
+//
+//	client → frontend ─┬→ compose-post ─┬→ unique-id (fibonacci)
+//	                   │                ├→ media (aes)
+//	                   │                ├→ text (email render)
+//	                   │                ├→ user-mention (recommendation)
+//	                   │                ├→ user-service (auth)
+//	                   │                ├→ post-storage → mongodb-post
+//	                   │                └→ user-timeline → mongodb-timeline
+//	                   └→ home-timeline ─┬→ social-graph → redis-social
+//	                                     └→ redis-home
+//
+// compose-post's first stage issues five parallel calls; storage writes
+// follow; the timeline fan-out closes the request. Function services map
+// onto the existing vSwarm workloads standing in for the corresponding
+// DSB microservice kernels.
+func SocialNetwork() Topology {
+	return Topology{
+		Name:     "social-network",
+		Frontend: "frontend",
+		Request:  opaqueRequest(1),
+		Services: []ServiceSpec{
+			{Name: "frontend", Kind: Orchestrator, Stages: [][]Call{
+				{{Service: "compose-post", Request: opaqueRequest(2)}},
+				{{Service: "home-timeline", Request: opaqueRequest(3)}},
+			}},
+			{Name: "compose-post", Kind: Orchestrator, Stages: [][]Call{
+				{
+					{Service: "unique-id", Request: vswarm.FibRequest(27)},
+					{Service: "media", Request: vswarm.AESRequest(256)},
+					{Service: "text", Request: vswarm.EmailRequest("Ada", 31415)},
+					{Service: "user-mention", Request: vswarm.RecommendationRequest(4242, 3)},
+					{Service: "user-service", Request: vswarm.AuthRequestMsg(3, true)},
+				},
+				{{Service: "post-storage", Request: opaqueRequest(4)}},
+				{{Service: "user-timeline", Request: opaqueRequest(5)}},
+			}},
+			{Name: "unique-id", Kind: Function, Runtime: langrt.GoRT,
+				Fn: func([]ChanPair) *ir.Module { return vswarm.Fibonacci() }},
+			{Name: "media", Kind: Function, Runtime: langrt.GoRT,
+				Fn: func([]ChanPair) *ir.Module { return vswarm.AES() }},
+			{Name: "text", Kind: Function, Runtime: langrt.PyRT,
+				Fn: func([]ChanPair) *ir.Module { return vswarm.Email() }},
+			{Name: "user-mention", Kind: Function, Runtime: langrt.PyRT,
+				Fn: func([]ChanPair) *ir.Module { return vswarm.Recommendation() }},
+			{Name: "user-service", Kind: Function, Runtime: langrt.GoRT,
+				Fn: func([]ChanPair) *ir.Module { return vswarm.Auth() }},
+			{Name: "post-storage", Kind: Orchestrator, Stages: [][]Call{
+				{{Service: "mongodb-post",
+					Request: dbPut("posts", "post_0001", vswarm.AESPayload(384))}},
+			}},
+			{Name: "mongodb-post", Kind: Datastore, Engine: "mongodb"},
+			{Name: "user-timeline", Kind: Orchestrator, Stages: [][]Call{
+				{{Service: "mongodb-timeline",
+					Request: dbPut("timeline", "u1", vswarm.AESPayload(128))}},
+			}},
+			{Name: "mongodb-timeline", Kind: Datastore, Engine: "mongodb"},
+			{Name: "home-timeline", Kind: Orchestrator, Stages: [][]Call{
+				{{Service: "social-graph", Request: opaqueRequest(6)}},
+				{{Service: "redis-home", Request: dbGet("home", "u1")}},
+			}},
+			{Name: "social-graph", Kind: Orchestrator, Stages: [][]Call{
+				{{Service: "redis-social", Request: dbGet("followers", "u1")}},
+			}},
+			{Name: "redis-home", Kind: Datastore, Engine: "memcached",
+				Seed: func(s db.Store) { s.Put("home", "u1", vswarm.AESPayload(512)) }},
+			{Name: "redis-social", Kind: Datastore, Engine: "memcached",
+				Seed: func(s db.Store) { s.Put("followers", "u1", vswarm.AESPayload(256)) }},
+		},
+	}
+}
+
+// Topologies returns the shipped topology catalog.
+func Topologies() []Topology {
+	return []Topology{HotelReservation(), SocialNetwork()}
+}

@@ -1,0 +1,261 @@
+// Package cluster runs multiple simulated machines under one global
+// virtual clock, coupled by a modeled network. It is the multi-machine
+// counterpart of internal/loadgen's single-machine serverless model: each
+// service of a DeathStarBench-style topology boots on its own
+// gemsys.Machine, and RPCs between services travel over per-edge links
+// with propagation latency, serialization (bandwidth) delay, and FIFO
+// queueing — instead of the host-side injection the single-machine
+// harness uses.
+//
+// The fabric is a discrete-event simulation: a global event queue ordered
+// by (virtual time, insertion sequence) advances machines in bounded
+// quanta and delivers cross-machine messages deterministically. Same
+// topology + seed ⇒ byte-identical event log, figures and trace export,
+// regardless of host parallelism (runs are sequential internally;
+// parallelism only exists across runs, via RunMany).
+package cluster
+
+import (
+	"fmt"
+
+	"svbench/internal/db"
+	"svbench/internal/ir"
+	"svbench/internal/langrt"
+)
+
+// ServiceKind classifies a topology node.
+type ServiceKind int
+
+// Node kinds: a Function node runs a vSwarm workload under a language
+// runtime; an Orchestrator node fans canned requests out to downstream
+// services in stages (the "compose-post" / "search" pattern); a Datastore
+// node fronts a native storage engine behind a guest relay loop.
+const (
+	Function ServiceKind = iota
+	Orchestrator
+	Datastore
+)
+
+func (k ServiceKind) String() string {
+	switch k {
+	case Function:
+		return "function"
+	case Orchestrator:
+		return "orchestrator"
+	case Datastore:
+		return "datastore"
+	}
+	return "unknown"
+}
+
+// ChanPair is a request/response channel pair on a machine, used to wire
+// a function workload's client stubs to remote dependencies.
+type ChanPair struct {
+	Req, Resp int
+}
+
+// Call is one downstream RPC an orchestrator issues: the target service
+// and the canned request payload to send it.
+type Call struct {
+	Service string
+	Request []byte
+}
+
+// ServiceSpec describes one node of a topology. Exactly one of the
+// kind-specific field groups applies.
+type ServiceSpec struct {
+	Name string
+	Kind ServiceKind
+
+	// Function nodes. Fn builds the workload module given one ChanPair
+	// per entry of Deps (the function's client stubs send on pair.Req
+	// and receive on pair.Resp; the fabric routes pair.Req traffic to
+	// the named service's machine). Runtime selects the language
+	// runtime wrapper (default langrt.GoRT).
+	Runtime langrt.Runtime
+	Fn      func(deps []ChanPair) *ir.Module
+	Deps    []string
+
+	// Orchestrator nodes: stages execute sequentially; the calls within
+	// a stage are issued back-to-back (fan-out) and gathered before the
+	// next stage starts.
+	Stages [][]Call
+
+	// Datastore nodes: Engine names the storage engine ("cassandra",
+	// "mongodb", "mariadb", "memcached"); Seed, when non-nil, populates
+	// it host-side before boot.
+	Engine string
+	Seed   func(db.Store)
+}
+
+// Link models one directed network edge: fixed propagation latency plus
+// a serialization rate. Transmission time for b bytes at G Gbit/s is
+// ceil(8b/G) virtual nanoseconds; messages queue FIFO behind the link's
+// busy time.
+type Link struct {
+	LatencyNS uint64
+	GbitPS    uint64
+}
+
+// Default link parameters: a 10 Gbit/s datacenter edge with 20 µs
+// one-way latency.
+const (
+	DefaultLatencyNS = 20_000
+	DefaultGbitPS    = 10
+)
+
+// TxNS returns the serialization delay for a payload of n bytes.
+func (l Link) TxNS(n int) uint64 {
+	g := l.GbitPS
+	if g == 0 {
+		g = DefaultGbitPS
+	}
+	return (8*uint64(n) + g - 1) / g
+}
+
+// LinkSpec overrides the link parameters of one directed edge. The
+// pseudo-endpoint "client" names the external load source.
+type LinkSpec struct {
+	Src, Dst string
+	Link     Link
+}
+
+// Client is the pseudo-endpoint name of the external load source in
+// LinkSpec entries and the fabric event log.
+const Client = "client"
+
+// Topology is a complete service graph: the nodes, the entry service
+// receiving client requests, the canned client request payload, and the
+// link model.
+type Topology struct {
+	Name     string
+	Services []ServiceSpec
+	Frontend string
+	Request  []byte
+
+	// DefaultLink applies to every edge without a LinkSpec override.
+	// The zero value selects DefaultLatencyNS/DefaultGbitPS.
+	DefaultLink Link
+	Links       []LinkSpec
+}
+
+// Validate checks the topology for structural errors: duplicate or empty
+// names, dangling references, kind-specific field mismatches, and call
+// cycles (which would deadlock the fabric).
+func (t *Topology) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("cluster: topology has no name")
+	}
+	if len(t.Request) == 0 {
+		return fmt.Errorf("cluster: topology %s has no client request", t.Name)
+	}
+	idx := map[string]int{}
+	for i, s := range t.Services {
+		if s.Name == "" || s.Name == Client {
+			return fmt.Errorf("cluster: bad service name %q", s.Name)
+		}
+		if _, dup := idx[s.Name]; dup {
+			return fmt.Errorf("cluster: duplicate service %s", s.Name)
+		}
+		idx[s.Name] = i
+	}
+	if _, ok := idx[t.Frontend]; !ok {
+		return fmt.Errorf("cluster: frontend %q is not a service", t.Frontend)
+	}
+	edges := make([][]int, len(t.Services))
+	for i, s := range t.Services {
+		switch s.Kind {
+		case Function:
+			if s.Fn == nil {
+				return fmt.Errorf("cluster: function %s has no builder", s.Name)
+			}
+			for _, d := range s.Deps {
+				j, ok := idx[d]
+				if !ok {
+					return fmt.Errorf("cluster: %s depends on unknown service %s", s.Name, d)
+				}
+				edges[i] = append(edges[i], j)
+			}
+		case Orchestrator:
+			if len(s.Stages) == 0 {
+				return fmt.Errorf("cluster: orchestrator %s has no stages", s.Name)
+			}
+			for _, stage := range s.Stages {
+				if len(stage) == 0 {
+					return fmt.Errorf("cluster: orchestrator %s has an empty stage", s.Name)
+				}
+				for _, c := range stage {
+					j, ok := idx[c.Service]
+					if !ok {
+						return fmt.Errorf("cluster: %s calls unknown service %s", s.Name, c.Service)
+					}
+					if c.Service == s.Name {
+						return fmt.Errorf("cluster: %s calls itself", s.Name)
+					}
+					if len(c.Request) == 0 {
+						return fmt.Errorf("cluster: %s sends an empty request to %s", s.Name, c.Service)
+					}
+					edges[i] = append(edges[i], j)
+				}
+			}
+		case Datastore:
+			if s.Engine == "" {
+				return fmt.Errorf("cluster: datastore %s has no engine", s.Name)
+			}
+		default:
+			return fmt.Errorf("cluster: service %s has unknown kind %d", s.Name, s.Kind)
+		}
+	}
+	for _, l := range t.Links {
+		for _, end := range []string{l.Src, l.Dst} {
+			if end == Client {
+				continue
+			}
+			if _, ok := idx[end]; !ok {
+				return fmt.Errorf("cluster: link references unknown endpoint %s", end)
+			}
+		}
+	}
+	// Reject call cycles: a blocking request loop would park every
+	// machine on the cycle forever.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(t.Services))
+	var visit func(i int) error
+	visit = func(i int) error {
+		color[i] = gray
+		for _, j := range edges[i] {
+			switch color[j] {
+			case gray:
+				return fmt.Errorf("cluster: call cycle through %s", t.Services[j].Name)
+			case white:
+				if err := visit(j); err != nil {
+					return err
+				}
+			}
+		}
+		color[i] = black
+		return nil
+	}
+	for i := range t.Services {
+		if color[i] == white {
+			if err := visit(i); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// service returns the spec index by name (valid after Validate).
+func (t *Topology) service(name string) int {
+	for i := range t.Services {
+		if t.Services[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}

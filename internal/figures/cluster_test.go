@@ -1,0 +1,36 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"svbench/internal/isa"
+)
+
+// TestTableClusterShape runs the cluster figure on one arch and checks
+// the projected rows cover every shipped topology with sane values.
+func TestTableClusterShape(t *testing.T) {
+	d, err := TableCluster([]isa.Arch{isa.RV64}, 7, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Rows) != 2 {
+		t.Fatalf("rows = %d, want one per topology", len(d.Rows))
+	}
+	for _, r := range d.Rows {
+		if !strings.HasSuffix(r.Label, "/rv64") {
+			t.Errorf("row label %q missing arch suffix", r.Label)
+		}
+		if len(r.Values) != len(d.Columns) {
+			t.Fatalf("row %s has %d values for %d columns", r.Label, len(r.Values), len(d.Columns))
+		}
+		if r.Values[0] < 12 {
+			t.Errorf("row %s machines = %g", r.Label, r.Values[0])
+		}
+		for i, v := range r.Values {
+			if v <= 0 {
+				t.Errorf("row %s column %s = %g", r.Label, d.Columns[i], v)
+			}
+		}
+	}
+}

@@ -26,6 +26,10 @@ type ReportOpts struct {
 	// driven by ScenarioSeed across LoadJobs workers.
 	Scenarios    bool
 	ScenarioSeed uint64
+	// Cluster adds the multi-machine fabric table (topology × arch),
+	// driven by ClusterSeed across LoadJobs workers.
+	Cluster     bool
+	ClusterSeed uint64
 	// Log receives progress lines from the chaos study; may be nil.
 	Log func(string)
 }
@@ -91,6 +95,17 @@ func ReportData(res *Results, opt ReportOpts) ([]Data, error) {
 			return nil, err
 		}
 		all = append(all, ts)
+	}
+	if opt.Cluster {
+		jobs := opt.LoadJobs
+		if jobs == 0 {
+			jobs = 1
+		}
+		tc, err := TableCluster([]isa.Arch{isa.RV64, isa.CISC64}, opt.ClusterSeed, jobs, opt.Log)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, tc)
 	}
 	return all, nil
 }

@@ -647,6 +647,27 @@ func (m *Machine) RunEval(budget uint64) ([]stats.Dump, error) {
 	}
 }
 
+// Quiescent reports whether the machine is alive but idle: not halted,
+// with no runnable process on any core. This is the single halted/idle
+// predicate shared by RunUntilIdle and the cluster fabric's quantum loop —
+// a machine parked in a channel wait (e.g. blocked on a network message
+// that has not arrived yet) is quiescent, never "halted": halting is
+// exclusively the m5 exit operation. Every runnable process is reachable
+// through the per-core run queues and steps at least one instruction when
+// scheduled, so "no runnable process" is exactly the condition under which
+// a scheduler pump would report no progress.
+func (m *Machine) Quiescent() bool {
+	if m.halted {
+		return false
+	}
+	for _, p := range m.K.Procs {
+		if p.State == kernel.ProcRunnable {
+			return false
+		}
+	}
+	return true
+}
+
 // RunUntilIdle executes functionally until every process is blocked or
 // dead, the machine halts, or budget instructions execute. Unlike
 // RunFunctional, quiescence is success, not deadlock: a host-driven
@@ -656,18 +677,53 @@ func (m *Machine) RunUntilIdle(budget uint64) error {
 	m.recording = false
 	start := m.virtInstr
 	for !m.halted {
-		ran, err := m.pump()
-		if err != nil {
-			return err
-		}
-		if !ran {
+		if m.Quiescent() {
 			return nil
+		}
+		if _, err := m.pump(); err != nil {
+			return err
 		}
 		if m.virtInstr-start > budget {
 			return fmt.Errorf("gemsys: host-driven run exceeded %d instructions", budget)
 		}
 	}
 	return m.panicErr()
+}
+
+// RunQuantum advances functional execution by roughly quantum virtual
+// instructions (rounded up to whole scheduling rounds), stopping early on
+// quiescence or halt. It returns done=true when the machine has no more
+// work — quiescent (waiting for the next injected message) or halted —
+// and done=false when the quantum expired with work still runnable, in
+// which case the caller (the cluster fabric) should reschedule the
+// machine after giving co-simulated machines a chance to catch up in
+// virtual time. RunQuantum and RunUntilIdle share the Quiescent
+// predicate, so the fabric can never misreport a parked machine.
+func (m *Machine) RunQuantum(quantum uint64) (bool, error) {
+	m.recording = false
+	start := m.virtInstr
+	for !m.halted {
+		if m.Quiescent() {
+			return true, nil
+		}
+		if _, err := m.pump(); err != nil {
+			return false, err
+		}
+		if m.virtInstr-start >= quantum {
+			return m.Quiescent(), nil
+		}
+	}
+	return true, m.panicErr()
+}
+
+// AdvanceClock raises the machine's virtual clock to at least `to`
+// nanoseconds, modeling idle wall-clock time passing while the machine
+// waits for external input (a network message in flight). Clocks never
+// move backwards: a `to` at or below the current clock is a no-op.
+func (m *Machine) AdvanceClock(to uint64) {
+	if to > m.virtInstr {
+		m.virtInstr = to
+	}
 }
 
 // KillProcess marks the named process dead, so the scheduler never runs

@@ -36,6 +36,19 @@ type Env struct {
 	M *gemsys.Machine
 	// Inj is the run's fault injector; nil when the spec has no plan.
 	Inj *faults.Injector
+
+	bindings []ServiceBinding
+}
+
+// ServiceBinding records one guest→service channel wiring made through
+// Env.NewService: which engine (by its faults.NamedService name, "" for
+// anonymous services) sits behind which request/response channel pair.
+// The fault layer consumes these to target per-service rules at a
+// specific instance's channels instead of matching engine names globally.
+type ServiceBinding struct {
+	Name   string
+	ReqCh  int
+	RespCh int
 }
 
 // NewService creates a request/response channel pair and binds a native
@@ -46,6 +59,11 @@ func (e *Env) NewService(svc kernel.Service) (reqCh, respCh int) {
 	reqCh = e.M.K.NewChannel()
 	respCh = e.M.K.NewChannel()
 	e.M.K.Bind(reqCh, respCh, e.Inj.WrapService(svc))
+	name := ""
+	if n, ok := svc.(faults.NamedService); ok {
+		name = n.ServiceName()
+	}
+	e.bindings = append(e.bindings, ServiceBinding{Name: name, ReqCh: reqCh, RespCh: respCh})
 	return reqCh, respCh
 }
 
@@ -146,12 +164,23 @@ type Boot struct {
 	setupInsts   uint64
 	setupSvcReqs uint64
 	setupFaulted bool
+	// bindings are the guest→service channel wirings the spec's Build
+	// made through Env.NewService.
+	bindings []ServiceBinding
 }
 
 // ClientChans returns the client-side request and response channel ids
 // wired by BootSpec. Host-side load drivers inject requests into reqCh
 // and collect replies from respCh.
 func (b *Boot) ClientChans() (reqCh, respCh int) { return b.reqCh, b.respCh }
+
+// ServiceBindings returns the machine's guest→service channel wirings in
+// creation order (a copy; safe to retain). The load generator forwards
+// these to the fault layer so per-service rules can target one pool
+// instance's concrete channels.
+func (b *Boot) ServiceBindings() []ServiceBinding {
+	return append([]ServiceBinding(nil), b.bindings...)
+}
 
 func (b *Boot) fail(phase string, partial *Result, err error) (*Result, error) {
 	ee := &ExperimentError{Spec: b.spec.Name, Arch: b.cfg.Arch, Phase: phase, Partial: partial, Err: err}
@@ -211,6 +240,7 @@ func BootSpec(cfg gemsys.Config, spec Spec) (*Boot, error) {
 	if err != nil {
 		return nil, failErr("build", fmt.Errorf("build workload: %w", err))
 	}
+	b.bindings = env.bindings
 	flavor := libc.ForArch(string(cfg.Arch))
 	if spec.Flavor != nil {
 		flavor = *spec.Flavor

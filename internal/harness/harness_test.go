@@ -3,6 +3,7 @@ package harness
 import (
 	"testing"
 
+	"svbench/internal/gemsys"
 	"svbench/internal/isa"
 )
 
@@ -46,5 +47,47 @@ func TestHotelOnMongoAndMariaDB(t *testing.T) {
 			t.Fatalf("%s: %v", eng, err)
 		}
 		t.Logf("%s: cold=%d warm=%d", eng, res.Cold.Cycles, res.Warm.Cycles)
+	}
+}
+
+// TestServiceBindingsExposed pins the fault-layer contract: a booted
+// machine reports every guest→service channel binding, named after the
+// engine behind it, and the returned slice is a defensive copy.
+func TestServiceBindingsExposed(t *testing.T) {
+	b, err := BootSpec(gemsys.DefaultConfig(isa.RV64), HotelSpec("geo", EngineCassandra))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := b.ServiceBindings()
+	if len(bs) != 2 {
+		t.Fatalf("geo bindings = %+v, want db + memcached", bs)
+	}
+	if bs[0].Name != "cassandra" || bs[1].Name != "memcached" {
+		t.Fatalf("binding names = %q, %q", bs[0].Name, bs[1].Name)
+	}
+	seen := map[int]bool{}
+	for _, bd := range bs {
+		if bd.ReqCh == bd.RespCh || seen[bd.ReqCh] || seen[bd.RespCh] {
+			t.Fatalf("channel ids not distinct: %+v", bs)
+		}
+		seen[bd.ReqCh], seen[bd.RespCh] = true, true
+	}
+	bs[0].Name = "clobbered"
+	if b.ServiceBindings()[0].Name != "cassandra" {
+		t.Fatal("ServiceBindings returned the internal slice, not a copy")
+	}
+
+	var fib Spec
+	for _, sp := range StandaloneSpecs() {
+		if sp.Name == "fibonacci-go" {
+			fib = sp
+		}
+	}
+	fb, err := BootSpec(gemsys.DefaultConfig(isa.RV64), fib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fb.ServiceBindings(); len(got) != 0 {
+		t.Fatalf("fibonacci-go has bindings %+v, want none", got)
 	}
 }

@@ -66,6 +66,9 @@ type Channel struct {
 	waiters []*Process
 	svc     Service
 	svcOut  int // reply channel when svc != nil
+	// remote marks a fabric-routed egress channel: committed messages are
+	// handed to OnEgress instead of being enqueued locally.
+	remote bool
 }
 
 // Kernel is the host-side OS state.
@@ -111,6 +114,12 @@ type Kernel struct {
 	ReplyCheck func(resp []byte) bool
 	// OnFault receives fault events user code reports via HFaultNote.
 	OnFault func(ev uint64)
+	// OnEgress receives messages committed to remote-bound channels (see
+	// BindRemote): the network boundary of a cluster machine. The payload
+	// is a copy, safe to retain; delay is any extra virtual latency the
+	// fault layer attached to the send. The message is NOT enqueued
+	// locally — delivery is the fabric's job.
+	OnEgress func(ch int, payload []byte, delay uint64)
 
 	// Panicked is set when simulated code raised the panic host call
 	// (e.g. a stack-smash detection).
@@ -175,6 +184,13 @@ func (k *Kernel) NewChannel() int {
 func (k *Kernel) Bind(reqCh, outCh int, svc Service) {
 	k.chans[reqCh].svc = svc
 	k.chans[reqCh].svcOut = outCh
+}
+
+// BindRemote marks ch as a fabric egress: guest sends commit to the
+// network (OnEgress) instead of the local FIFO. Ingress is unchanged —
+// the fabric delivers remote messages with Inject.
+func (k *Kernel) BindRemote(ch int) {
+	k.chans[ch].remote = true
 }
 
 // AddProcess registers p and assigns its id.
@@ -268,6 +284,16 @@ func (k *Kernel) Ecall(c isa.Core, p *Process) isa.EcallResult {
 		}
 		if delay > 0 {
 			k.Counts.Delayed++
+		}
+		if ch.remote {
+			// Fabric egress: the payload leaves this machine. The copy is
+			// mandatory — the slab slot is recycled long before the network
+			// delivers the message.
+			if k.OnEgress != nil {
+				k.OnEgress(ch.id, append([]byte(nil), k.Mem.Bytes(kbuf, ln)...), delay)
+			}
+			c.SetRet(0)
+			return isa.EcallHandled
 		}
 		if ch.svc != nil {
 			// Native service: run host-side, deliver the reply on the

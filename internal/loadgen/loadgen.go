@@ -76,6 +76,13 @@ type Config struct {
 	// engine (internal/scenario) implements it over a windowed fault
 	// plan; see docs/scenarios.md.
 	Chaos AttemptHook
+	// OnInstance, when non-nil, is called once per instance creation — in
+	// deterministic event order, with the pool-assigned instance id and
+	// the machine's guest→service channel bindings — so the fault layer
+	// can aim per-service rules at a specific instance's channels.
+	// Implementations must not simulate on the callback: it fires inside
+	// the event loop.
+	OnInstance func(instID int, bindings []harness.ServiceBinding)
 }
 
 // AttemptHook returns the fault outcome for one load-generator attempt.
@@ -368,6 +375,9 @@ func (e *engine) newInstance() (*instance, error) {
 		}
 		inst.id = e.nextInstID
 		e.nextInstID++
+		if e.cfg.OnInstance != nil {
+			e.cfg.OnInstance(inst.id, inst.b.ServiceBindings())
+		}
 		return inst, nil
 	}
 	b, err := harness.BootSpec(e.cfg.Cfg, e.cfg.Spec)
@@ -394,6 +404,9 @@ func (e *engine) newInstance() (*instance, error) {
 	reqCh, respCh := b.ClientChans()
 	inst := &instance{id: e.nextInstID, b: b, reqCh: reqCh, respCh: respCh, penalty: penalty}
 	e.nextInstID++
+	if e.cfg.OnInstance != nil {
+		e.cfg.OnInstance(inst.id, b.ServiceBindings())
+	}
 	return inst, nil
 }
 

@@ -439,3 +439,47 @@ func TestChaosDeterminism(t *testing.T) {
 		t.Fatal("solo chaos run differs from swept run")
 	}
 }
+
+// TestOnInstanceExposesBindings pins the fault-layer hook: every booted
+// instance reports its guest→service bindings (engine-named channel
+// pairs), and binding-free workloads report an empty set.
+func TestOnInstanceExposesBindings(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Spec = specByName(t, "geo")
+	cfg.RPS = 100
+	cfg.Duration = 20_000_000
+	got := map[int][]harness.ServiceBinding{}
+	cfg.OnInstance = func(id int, bs []harness.ServiceBinding) {
+		got[id] = append([]harness.ServiceBinding(nil), bs...)
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("OnInstance never called")
+	}
+	if uint64(len(got)) != rep.ColdStarts {
+		t.Fatalf("OnInstance calls %d != cold starts %d", len(got), rep.ColdStarts)
+	}
+	for id, bs := range got {
+		if len(bs) != 2 || bs[0].Name != "cassandra" || bs[1].Name != "memcached" {
+			t.Fatalf("instance %d bindings = %+v", id, bs)
+		}
+	}
+
+	cfg = testConfig(t)
+	calls := 0
+	cfg.OnInstance = func(id int, bs []harness.ServiceBinding) {
+		calls++
+		if len(bs) != 0 {
+			t.Errorf("fibonacci-go instance %d has bindings %+v", id, bs)
+		}
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("OnInstance never called for fibonacci-go")
+	}
+}

@@ -40,6 +40,10 @@ const (
 	scenarioTid       = 198
 	loadArrivalTid    = 199
 	loadInstTidBase   = 200
+	// Cluster-fabric track space: one request track plus one network track
+	// per machine (the event's Core byte).
+	clusterReqTid  = 460
+	clusterNetBase = 500
 )
 
 func tidFor(ev Event) int {
@@ -52,6 +56,10 @@ func tidFor(ev Event) int {
 		return loadArrivalTid
 	case EvInvokeRun, EvColdStart, EvInstReclaim:
 		return loadInstTidBase + int(ev.Core)
+	case EvClusterArrive, EvClusterDone:
+		return clusterReqTid
+	case EvNetSend, EvNetDeliver:
+		return clusterNetBase + int(ev.Core)
 	}
 	return int(ev.Core)
 }
@@ -79,7 +87,11 @@ func ChromeJSON(events []Event, syms *SymTable, dropped uint64) ([]byte, error) 
 			name = "load arrivals"
 		case tid == scenarioTid:
 			name = "scenario (chaos windows)"
-		case tid >= loadInstTidBase:
+		case tid == clusterReqTid:
+			name = "cluster requests"
+		case tid >= clusterNetBase:
+			name = fmt.Sprintf("machine%d (network)", tid-clusterNetBase)
+		case tid >= loadInstTidBase && tid < clusterReqTid:
 			name = fmt.Sprintf("instance%d (load)", tid-loadInstTidBase)
 		case tid >= functionalTidBase:
 			name = fmt.Sprintf("core%d (functional)", tid-functionalTidBase)
@@ -184,6 +196,25 @@ func ChromeJSON(events []Event, syms *SymTable, dropped uint64) ([]byte, error) 
 			ce.Ph = "i"
 			ce.S = "g"
 			args["recovery_ns"] = fmt.Sprintf("%d", ev.Arg2)
+		case EvNetSend:
+			ce.Ph = "i"
+			ce.S = "p"
+			args["msg"] = fmt.Sprintf("%d", ev.Arg)
+			args["bytes"] = fmt.Sprintf("%d", ev.Arg2)
+		case EvNetDeliver:
+			ce.Ph = "i"
+			ce.S = "p"
+			args["msg"] = fmt.Sprintf("%d", ev.Arg)
+			args["net_ns"] = fmt.Sprintf("%d", ev.Arg2)
+		case EvClusterArrive:
+			ce.Ph = "i"
+			ce.S = "p"
+			args["request"] = fmt.Sprintf("%d", ev.Arg)
+		case EvClusterDone:
+			ce.Ph = "i"
+			ce.S = "p"
+			args["request"] = fmt.Sprintf("%d", ev.Arg)
+			args["latency_ns"] = fmt.Sprintf("%d", ev.Arg2)
 		default:
 			ce.Ph = "i"
 			ce.S = "t"

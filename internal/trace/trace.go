@@ -48,6 +48,14 @@ const (
 	// on the load clock and SLO reattainment after the last window.
 	EvScenarioWindow  // one fault phase's window (Arg=phase index, Arg2=window ns)
 	EvScenarioRecover // SLO reattained post-window (Arg2=recovery ns)
+
+	// Cluster-fabric events (internal/cluster): timestamps are global
+	// virtual nanoseconds of the fabric clock, Core carries the source
+	// (send) or destination (deliver) machine index (mod 256).
+	EvNetSend       // message committed to a link (Arg=message id, Arg2=bytes)
+	EvNetDeliver    // message delivered to its machine (Arg=message id, Arg2=link queue+tx+latency ns)
+	EvClusterArrive // client request entered the fabric (Arg=request id)
+	EvClusterDone   // client observed the reply (Arg=request id, Arg2=latency ns)
 	evKinds
 )
 
@@ -67,6 +75,7 @@ var kindNames = [evKinds]string{
 	"invoke-arrive", "invoke-run", "invoke-done", "cold-start",
 	"instance-reclaim", "invoke-retry", "invoke-fail",
 	"scenario-window", "scenario-recover",
+	"net-send", "net-deliver", "cluster-arrive", "cluster-done",
 }
 
 // String names the kind.

@@ -15,6 +15,7 @@
 package svbench
 
 import (
+	"svbench/internal/cluster"
 	"svbench/internal/faults"
 	"svbench/internal/figures"
 	"svbench/internal/gemsys"
@@ -109,6 +110,13 @@ type (
 	ScenarioResult = scenario.Result
 	// ScenarioBucket is the per-phase (pre/during/post) latency summary.
 	ScenarioBucket = scenario.Bucket
+	// ClusterTopology is a multi-machine service graph (internal/cluster).
+	ClusterTopology = cluster.Topology
+	// ClusterConfig binds a topology to an ISA, load and seed.
+	ClusterConfig = cluster.Config
+	// ClusterReport is one fabric run's result: per-request latencies,
+	// network traffic, the deterministic event log and trace export.
+	ClusterReport = cluster.Report
 )
 
 // Arrival processes for LoadConfig.Arrival.
@@ -243,6 +251,21 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) { return scenario.
 // solo RunScenario.
 func RunScenarioMany(cfgs []ScenarioConfig, jobs int) ([]*ScenarioResult, []error) {
 	return scenario.RunMany(cfgs, jobs)
+}
+
+// ClusterTopologies returns the shipped multi-machine topologies
+// (hotel-reservation and social-network; see DESIGN.md §4d).
+func ClusterTopologies() []ClusterTopology { return cluster.Topologies() }
+
+// RunCluster executes one multi-machine fabric run: the topology's
+// machines advance under a single global clock, exchanging RPCs over
+// the modeled network. Same config ⇒ byte-identical report.
+func RunCluster(cfg ClusterConfig) (*ClusterReport, error) { return cluster.Run(cfg) }
+
+// RunClusterMany executes independent fabric runs across a worker pool;
+// each result is byte-identical to a solo RunCluster.
+func RunClusterMany(cfgs []ClusterConfig, jobs int) ([]*ClusterReport, error) {
+	return cluster.RunMany(cfgs, jobs)
 }
 
 // RunLukewarm interleaves two functions on the measured core and reports
