@@ -67,6 +67,15 @@ type row struct {
 	RecFast  float64 `json:"mips_record_fast"`
 	Speedup  float64 `json:"speedup_setup"`
 	RecSpeed float64 `json:"speedup_record"`
+	// Superblock-chain telemetry from the fast lane's last recorded
+	// repetition (the single-step lane never builds blocks). Breaks stays
+	// zero here — nothing overwrites text mid-run — but is exported so
+	// the schema matches the machine's interp.* stats registry.
+	ChainBlocks  uint64  `json:"chain_blocks"`
+	ChainHits    uint64  `json:"chain_hits"`
+	ChainMisses  uint64  `json:"chain_misses"`
+	ChainBreaks  uint64  `json:"chain_breaks"`
+	ChainLenMean float64 `json:"chain_len_mean"`
 }
 
 type report struct {
@@ -76,9 +85,16 @@ type report struct {
 	Workloads      int     `json:"workloads"`
 	SetupSpeedup   float64 `json:"geomean_speedup_setup"`
 	RecordSpeedup  float64 `json:"geomean_speedup_record"`
-	Identical      bool    `json:"runs_identical"`
-	Rows           []row   `json:"rows"`
-	TotalSlowInsts uint64  `json:"total_insts_slow_path"`
+	// Geomean speedups divided by the PR 5 snapshot of the same metric:
+	// the further gain contributed by superblock chaining + uop dispatch,
+	// normalized against the unchanged single-step reference so host
+	// speed cancels out.
+	SetupVsPR5  float64 `json:"geomean_speedup_vs_pr5_setup"`
+	RecordVsPR5 float64 `json:"geomean_speedup_vs_pr5_record"`
+	Identical   bool    `json:"runs_identical"`
+	Rows        []row   `json:"rows"`
+
+	TotalSlowInsts uint64 `json:"total_insts_slow_path"`
 }
 
 const instrBudget = 600_000_000
@@ -111,20 +127,20 @@ func runSetupTimed(arch isa.Arch, spec harness.Spec, singleStep bool, p *phase) 
 // post-checkpoint request-serving run with trace recording on. Each phase
 // repeats — fresh boots for setup, checkpoint restores for the record
 // phase — with only stepping inside the timed region.
-func runOnce(arch isa.Arch, spec harness.Spec, singleStep bool) (setup, record phase, console string, err error) {
+func runOnce(arch isa.Arch, spec harness.Spec, singleStep bool) (setup, record phase, console string, cs isa.ChainStats, err error) {
 	m, err := runSetupTimed(arch, spec, singleStep, &setup)
 	if err != nil {
-		return phase{}, phase{}, "", err
+		return phase{}, phase{}, "", cs, err
 	}
 	setup.perRep = setup.insts
 	ck := m.TakeCheckpoint()
 	for !setup.done() {
 		m2, err := runSetupTimed(arch, spec, singleStep, &setup)
 		if err != nil {
-			return phase{}, phase{}, "", err
+			return phase{}, phase{}, "", cs, err
 		}
 		if n := m2.Atomic.Insts; n != setup.perRep {
-			return phase{}, phase{}, "", fmt.Errorf("setup retired %d insts, then %d", setup.perRep, n)
+			return phase{}, phase{}, "", cs, fmt.Errorf("setup retired %d insts, then %d", setup.perRep, n)
 		}
 	}
 
@@ -134,12 +150,12 @@ func runOnce(arch isa.Arch, spec harness.Spec, singleStep bool) (setup, record p
 	// same run; the checkpoint copy stays outside the timed region.
 	for rep := 0; rep == 0 || (record.perRep > 0 && !record.done()); rep++ {
 		if err := m.Restore(ck); err != nil {
-			return phase{}, phase{}, "", fmt.Errorf("restore: %w", err)
+			return phase{}, phase{}, "", cs, fmt.Errorf("restore: %w", err)
 		}
 		t0 := time.Now()
 		n, err := m.MeasureFunctional(instrBudget, true)
 		if err != nil {
-			return phase{}, phase{}, "", fmt.Errorf("measure: %w", err)
+			return phase{}, phase{}, "", cs, fmt.Errorf("measure: %w", err)
 		}
 		record.sec += time.Since(t0).Seconds()
 		record.insts += n
@@ -147,10 +163,13 @@ func runOnce(arch isa.Arch, spec harness.Spec, singleStep bool) (setup, record p
 			record.perRep = n
 			console = m.Console()
 		} else if n != record.perRep {
-			return phase{}, phase{}, "", fmt.Errorf("record rep retired %d insts, then %d", record.perRep, n)
+			return phase{}, phase{}, "", cs, fmt.Errorf("record rep retired %d insts, then %d", record.perRep, n)
 		}
 	}
-	return setup, record, console, nil
+	// Restore severed links and zeroed the counters before each rep, so
+	// this snapshot covers exactly one record repetition.
+	cs = m.ChainStats()
+	return setup, record, console, cs, nil
 }
 
 func geomean(vals []float64) float64 {
@@ -170,6 +189,8 @@ func main() {
 		filter  = flag.String("workloads", "", "comma-separated workload name filter (default: all standalone)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		pr5Set  = flag.Float64("pr5-setup", 3.735160194271716, "PR 5 geomean setup speedup baseline")
+		pr5Rec  = flag.Float64("pr5-record", 3.6027334391720136, "PR 5 geomean record speedup baseline")
 	)
 	flag.Parse()
 	stopProf, err := benchutil.StartProfiles(*cpuProf, *memProf)
@@ -197,12 +218,12 @@ func main() {
 			if len(keep) > 0 && !keep[spec.Name] {
 				continue
 			}
-			slowSetup, slowRec, slowCon, err := runOnce(arch, spec, true)
+			slowSetup, slowRec, slowCon, _, err := runOnce(arch, spec, true)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "interpbench: %s/%s slow: %v\n", spec.Name, arch, err)
 				os.Exit(1)
 			}
-			fastSetup, fastRec, fastCon, err := runOnce(arch, spec, false)
+			fastSetup, fastRec, fastCon, chain, err := runOnce(arch, spec, false)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "interpbench: %s/%s fast: %v\n", spec.Name, arch, err)
 				os.Exit(1)
@@ -215,14 +236,19 @@ func main() {
 					slowRec.perRep, fastRec.perRep, len(slowCon), len(fastCon))
 			}
 			r := row{
-				Workload: spec.Name,
-				Arch:     string(arch),
-				Insts:    slowSetup.perRep,
-				RecInsts: slowRec.perRep,
-				MIPSSlow: slowSetup.mips(),
-				MIPSFast: fastSetup.mips(),
-				RecSlow:  slowRec.mips(),
-				RecFast:  fastRec.mips(),
+				Workload:     spec.Name,
+				Arch:         string(arch),
+				Insts:        slowSetup.perRep,
+				RecInsts:     slowRec.perRep,
+				MIPSSlow:     slowSetup.mips(),
+				MIPSFast:     fastSetup.mips(),
+				RecSlow:      slowRec.mips(),
+				RecFast:      fastRec.mips(),
+				ChainBlocks:  chain.Blocks,
+				ChainHits:    chain.Hits,
+				ChainMisses:  chain.Misses,
+				ChainBreaks:  chain.Breaks,
+				ChainLenMean: chain.MeanChainLen(),
 			}
 			if r.MIPSSlow > 0 {
 				r.Speedup = r.MIPSFast / r.MIPSSlow
@@ -234,13 +260,20 @@ func main() {
 			recordUps = append(recordUps, r.RecSpeed)
 			rep.TotalSlowInsts += slowSetup.perRep + slowRec.perRep
 			rep.Rows = append(rep.Rows, r)
-			fmt.Printf("%-14s %-7s setup %7.1f → %7.1f MIPS (%.2fx)   record %7.1f → %7.1f MIPS (%.2fx)\n",
-				spec.Name, arch, r.MIPSSlow, r.MIPSFast, r.Speedup, r.RecSlow, r.RecFast, r.RecSpeed)
+			fmt.Printf("%-14s %-7s setup %7.1f → %7.1f MIPS (%.2fx)   record %7.1f → %7.1f MIPS (%.2fx)   chain %d blk, %.0f len\n",
+				spec.Name, arch, r.MIPSSlow, r.MIPSFast, r.Speedup, r.RecSlow, r.RecFast, r.RecSpeed,
+				r.ChainBlocks, r.ChainLenMean)
 		}
 	}
 	rep.Workloads = len(rep.Rows)
 	rep.SetupSpeedup = geomean(setupUps)
 	rep.RecordSpeedup = geomean(recordUps)
+	if *pr5Set > 0 {
+		rep.SetupVsPR5 = rep.SetupSpeedup / *pr5Set
+	}
+	if *pr5Rec > 0 {
+		rep.RecordVsPR5 = rep.RecordSpeedup / *pr5Rec
+	}
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -258,8 +291,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "interpbench:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("geomean speedup: setup %.2fx, record %.2fx → %s\n",
-		rep.SetupSpeedup, rep.RecordSpeedup, *out)
+	fmt.Printf("geomean speedup: setup %.2fx (%.2fx vs PR5), record %.2fx (%.2fx vs PR5) → %s\n",
+		rep.SetupSpeedup, rep.SetupVsPR5, rep.RecordSpeedup, rep.RecordVsPR5, *out)
 	if !rep.Identical {
 		fmt.Fprintln(os.Stderr, "interpbench: fast and single-step runs diverged")
 		os.Exit(1)

@@ -1,0 +1,62 @@
+package gemsys
+
+import (
+	"strings"
+	"testing"
+
+	"svbench/internal/isa"
+)
+
+// TestRestoreSeversChainLinks pins the machine-level half of the
+// superblock contract: checkpoint Restore keeps translated blocks warm
+// but drops every inline link and zeroes the chain telemetry, so a
+// restored run's interp.* stats never depend on whether the block cache
+// was populated before the restore.
+func TestRestoreSeversChainLinks(t *testing.T) {
+	for _, arch := range []isa.Arch{isa.RV64, isa.CISC64} {
+		arch := arch
+		t.Run(string(arch), func(t *testing.T) {
+			mach, err := New(DefaultConfig(arch))
+			if err != nil {
+				t.Fatal(err)
+			}
+			req := mach.K.NewChannel()
+			resp := mach.K.NewChannel()
+			if _, err := mach.Spawn("server", serverMod(), "main", 1, []uint64{uint64(req), uint64(resp)}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := mach.Spawn("client", clientMod(6, 15), "main", 0, []uint64{uint64(req), uint64(resp)}); err != nil {
+				t.Fatal(err)
+			}
+			if err := mach.RunSetup(50_000_000); err != nil {
+				t.Fatal(err)
+			}
+			ck := mach.TakeCheckpoint()
+			st := mach.ChainStats()
+			if st.Blocks == 0 || st.Misses == 0 {
+				t.Fatalf("setup produced no chain activity: %+v", st)
+			}
+			if err := mach.Restore(ck); err != nil {
+				t.Fatal(err)
+			}
+			if got := mach.ChainStats(); got != (isa.ChainStats{}) {
+				t.Fatalf("Restore left chain telemetry behind: %+v", got)
+			}
+			if _, err := mach.RunEval(100_000_000); err != nil {
+				t.Fatal(err)
+			}
+			st2 := mach.ChainStats()
+			if st2.Blocks == 0 || st2.Hits == 0 {
+				t.Fatalf("eval after restore shows no chaining: %+v", st2)
+			}
+			// The chain counters are part of the exported stats dump.
+			text := mach.StatsText("eval")
+			for _, key := range []string{"interp.blocks", "interp.chain_hits",
+				"interp.chain_misses", "interp.chain_breaks", "interp.chain_len_mean"} {
+				if !strings.Contains(text, key) {
+					t.Fatalf("stats text missing %q", key)
+				}
+			}
+		})
+	}
+}

@@ -169,7 +169,14 @@ func (m *Machine) Restore(ck *Checkpoint) error {
 	// purpose: the memory overwrite above is text-identical by the same
 	// assumption the decode cache already relies on (checkpoints restore
 	// into machines of the same boot image), so re-translating would only
-	// penalize restore-heavy callers like the sweep engine.
+	// penalize restore-heavy callers like the sweep engine. Superblock
+	// links and chain telemetry do NOT survive: with links severed, the
+	// first post-restore entry into every block goes through the entry-PC
+	// map, so the interp.* stats are identical whether the block cache was
+	// warm or cold and both restored runs of a same-seed pair export
+	// identical bytes.
+	m.decRV.ResetChains()
+	m.decC.ResetChains()
 	// Fresh coupler and cold microarchitecture, re-wired everywhere. The
 	// shared DRAM channel's occupancy cursor must also reset: it carries
 	// absolute cycle times from the previous run. The O3 cores are reset

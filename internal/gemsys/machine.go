@@ -183,6 +183,21 @@ func New(cfg Config) (*Machine, error) {
 		func() uint64 { return m.virtInstr })
 	m.Reg.Func("machine.dram.accesses", "shared-channel DRAM line fills",
 		func() uint64 { return m.DRAM.Accesses })
+	// Superblock-chaining telemetry of the active interpreter. Every value
+	// counts execution since the last checkpoint restore (which severs all
+	// links and resets the counters), so the export is identical whether
+	// the block cache itself was warm or cold — the memoized and
+	// non-memoized boot paths must stay byte-identical.
+	m.Reg.Func("interp.blocks", "distinct translated blocks entered since restore",
+		func() uint64 { return m.ChainStats().Blocks })
+	m.Reg.Func("interp.chain_hits", "block transitions served by superblock links",
+		func() uint64 { return m.ChainStats().Hits })
+	m.Reg.Func("interp.chain_misses", "block transitions resolved through the entry-PC map",
+		func() uint64 { return m.ChainStats().Misses })
+	m.Reg.Func("interp.chain_breaks", "superblock links severed by block invalidation",
+		func() uint64 { return m.ChainStats().Breaks })
+	m.Reg.Formula("interp.chain_len_mean", "mean blocks executed per entry-PC map lookup",
+		func() float64 { return m.ChainStats().MeanChainLen() })
 	if cfg.Trace.Enabled {
 		m.Tracer = trace.NewTracer(cfg.Trace.BufferEvents)
 		period := cfg.Trace.SamplePeriod
@@ -219,6 +234,16 @@ func (m *Machine) VirtNS() uint64 { return m.virtInstr }
 
 // Halted reports whether an m5 exit was executed.
 func (m *Machine) Halted() bool { return m.halted }
+
+// ChainStats snapshots the superblock-chaining telemetry of the active
+// architecture's decode cache (see isa.ChainStats). Counters accumulate
+// from the last checkpoint restore; in SingleStep mode they stay zero.
+func (m *Machine) ChainStats() isa.ChainStats {
+	if m.Cfg.Arch == isa.RV64 {
+		return m.decRV.ChainStats()
+	}
+	return m.decC.ChainStats()
+}
 
 // Spawn compiles mod into a fresh region, creates a process running entry
 // with args, pins it to coreID and enqueues it.
@@ -354,10 +379,18 @@ func (m *Machine) stepQuantum(ci int) (bool, error) {
 	}
 	m.hookProc = p
 	ran := false
+	// The recording-lane decision cannot change mid-quantum, so the
+	// trace-buffer seeding is hoisted out of the superblock-exit loop
+	// (nil means the no-trace lane, so the first recording round must
+	// seed a real, empty slice).
+	recording := m.recording
+	if recording && m.traces[ci] == nil {
+		m.traces[ci] = make([]isa.TraceRec, 0, m.Cfg.Quantum)
+	}
 	for rem := m.Cfg.Quantum; rem > 0; {
 		if p.NeedsIdle {
 			p.NeedsIdle = false
-			if m.recording {
+			if recording {
 				m.traces[ci] = append(m.traces[ci], isa.TraceRec{
 					Class: isa.ClassIdle, Seq: p.WakeSeq,
 					Src1: isa.NoDep, Src2: isa.NoDep, Dst: isa.NoDep,
@@ -367,14 +400,8 @@ func (m *Machine) stepQuantum(ci int) (bool, error) {
 		m.stepBase = p.Core.InstrCount()
 		var n int
 		var err error
-		if m.recording {
-			// nil means the no-trace lane, so the first recording round
-			// must seed a real (empty) slice.
-			buf := m.traces[ci]
-			if buf == nil {
-				buf = make([]isa.TraceRec, 0, m.Cfg.Quantum)
-			}
-			n, m.traces[ci], err = p.Core.StepN(rem, buf)
+		if recording {
+			n, m.traces[ci], err = p.Core.StepN(rem, m.traces[ci])
 		} else {
 			n, _, err = p.Core.StepN(rem, nil)
 		}

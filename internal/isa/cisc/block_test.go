@@ -336,6 +336,25 @@ func fuzzProgram(data []byte) []Inst {
 			prog = append(prog, Inst{Kind: KindPOP, Dst: reg(i)})
 		case sel < 97:
 			prog = append(prog, Inst{Kind: KindLEA, Dst: reg(i), Src: uint8(byteAt(i+1) % 16), Imm: int64(byteAt(i + 3))})
+		case sel < 99:
+			// Bounded backward loop: R13 = k; { R13--; } while R13 != 0.
+			// Backward branches re-enter the just-executed block, so these
+			// exercise link patching and chain-following — including chains
+			// cut mid-loop by small StepN batches at quantum boundaries.
+			// rel32 is relative to the end of the JNE, so the backward
+			// offset spans the decrement, the compare and the jump itself.
+			// The AND mask bounds the trip count even when a forward
+			// branch jumps into the middle of the loop with an arbitrary
+			// value already in R13.
+			k := 1 + byteAt(i+3)%7
+			back := -(int64(Size(KindADDri32)) + int64(Size(KindANDri32)) +
+				int64(Size(KindCMPri32)) + int64(Size(KindJNE)))
+			prog = append(prog,
+				Inst{Kind: KindMOVri32, Dst: R13, Imm: int64(k)},
+				Inst{Kind: KindADDri32, Dst: R13, Imm: -1},
+				Inst{Kind: KindANDri32, Dst: R13, Imm: 7},
+				Inst{Kind: KindCMPri32, Dst: R13, Imm: 0},
+				Inst{Kind: KindJNE, Imm: back})
 		default:
 			prog = append(prog, Inst{Kind: KindNOP})
 		}
@@ -367,6 +386,10 @@ func FuzzStepN(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
 	f.Add([]byte{0xFF, 0x80, 0x42, 0x13, 0x37, 0x99, 0xAA, 0x55, 0x00, 0x01, 0x23})
+	// Branch-heavy seeds (several bounded backward loops each) so chained
+	// execution is exercised from the seed corpus, not just mutations.
+	f.Add([]byte("chain#7"))
+	f.Add([]byte("qqqq"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		prog := fuzzProgram(data)
 		mk := func() *Core {

@@ -6,6 +6,7 @@
 package isa
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -118,6 +119,81 @@ func (m *Mem) Store(addr uint64, sz uint8, val uint64) {
 	for i := uint8(0); i < sz; i++ {
 		m.Data[addr+uint64(i)] = byte(val >> (8 * i))
 	}
+}
+
+// loadFault/storeFault keep the fault panic (with its message format
+// shared with Load/Store) out of the inlinable fast accessors below.
+//
+//go:noinline
+func (m *Mem) loadFault(addr uint64, sz uint8) {
+	panic(fmt.Sprintf("isa: load fault addr=%#x sz=%d", addr, sz))
+}
+
+//go:noinline
+func (m *Mem) storeFault(addr uint64, sz uint8) {
+	panic(fmt.Sprintf("isa: store fault addr=%#x sz=%d", addr, sz))
+}
+
+// Load8..Load64 / Store8..Store64 are size-specialized, inlinable
+// equivalents of Load/Store for the block interpreters' hot paths, where
+// the access width is fixed at translation time. Semantics (little-endian
+// order, fault condition and panic text) match the generic versions
+// exactly; only the per-byte loop and the non-inlinable panic are gone.
+
+func (m *Mem) Load8(addr uint64) uint64 {
+	if addr >= uint64(len(m.Data)) {
+		m.loadFault(addr, 1)
+	}
+	return uint64(m.Data[addr])
+}
+
+func (m *Mem) Load16(addr uint64) uint64 {
+	if addr+2 > uint64(len(m.Data)) {
+		m.loadFault(addr, 2)
+	}
+	return uint64(binary.LittleEndian.Uint16(m.Data[addr:]))
+}
+
+func (m *Mem) Load32(addr uint64) uint64 {
+	if addr+4 > uint64(len(m.Data)) {
+		m.loadFault(addr, 4)
+	}
+	return uint64(binary.LittleEndian.Uint32(m.Data[addr:]))
+}
+
+func (m *Mem) Load64(addr uint64) uint64 {
+	if addr+8 > uint64(len(m.Data)) {
+		m.loadFault(addr, 8)
+	}
+	return binary.LittleEndian.Uint64(m.Data[addr:])
+}
+
+func (m *Mem) Store8(addr uint64, val uint64) {
+	if addr >= uint64(len(m.Data)) {
+		m.storeFault(addr, 1)
+	}
+	m.Data[addr] = byte(val)
+}
+
+func (m *Mem) Store16(addr uint64, val uint64) {
+	if addr+2 > uint64(len(m.Data)) {
+		m.storeFault(addr, 2)
+	}
+	binary.LittleEndian.PutUint16(m.Data[addr:], uint16(val))
+}
+
+func (m *Mem) Store32(addr uint64, val uint64) {
+	if addr+4 > uint64(len(m.Data)) {
+		m.storeFault(addr, 4)
+	}
+	binary.LittleEndian.PutUint32(m.Data[addr:], uint32(val))
+}
+
+func (m *Mem) Store64(addr uint64, val uint64) {
+	if addr+8 > uint64(len(m.Data)) {
+		m.storeFault(addr, 8)
+	}
+	binary.LittleEndian.PutUint64(m.Data[addr:], val)
 }
 
 // Bytes returns the slice [addr, addr+n).
@@ -242,4 +318,29 @@ type Core interface {
 	// InstrCount reports instructions executed by this core state.
 	InstrCount() uint64
 	Arch() Arch
+}
+
+// ChainStats is a snapshot of a decode cache's superblock-chaining
+// telemetry. Hits are block-to-block transitions served by an inline link
+// slot; Misses are transitions (and StepN entries) that resolved through
+// the entry-PC map; Breaks counts links severed by block invalidation.
+// Blocks counts distinct translated blocks entered since the cache's last
+// chain reset — a restore-relative "hot code footprint", deliberately
+// independent of how warm the underlying block cache is so that memoized
+// and freshly-booted machines report identical values.
+type ChainStats struct {
+	Blocks uint64
+	Hits   uint64
+	Misses uint64
+	Breaks uint64
+}
+
+// MeanChainLen reports the average number of blocks executed per map
+// lookup: (Hits+Misses)/Misses. With no chaining it is 1; longer is
+// better.
+func (s ChainStats) MeanChainLen() float64 {
+	if s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Misses) / float64(s.Misses)
 }

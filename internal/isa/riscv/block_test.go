@@ -352,6 +352,20 @@ func fuzzProgram(data []byte) []Inst {
 			prog = append(prog, Inst{Kind: KindLUI, Rd: reg(i), Imm: int64(byteAt(i+3) - 128)})
 		case sel < 96:
 			prog = append(prog, Inst{Kind: KindAUIPC, Rd: reg(i), Imm: int64(byteAt(i + 3))})
+		case sel < 98:
+			// Bounded backward loop: x29 = k; { x29--; } while x29 != 0.
+			// Backward branches re-enter the just-executed block, so these
+			// exercise link patching and chain-following — including chains
+			// cut mid-loop by small StepN batches at quantum boundaries.
+			// The ANDI mask bounds the trip count even when a forward
+			// branch jumps into the middle of the loop with an arbitrary
+			// value already in x29.
+			k := 1 + byteAt(i+3)%7
+			prog = append(prog,
+				Inst{Kind: KindADDI, Rd: 29, Rs1: RegZero, Imm: int64(k)},
+				Inst{Kind: KindADDI, Rd: 29, Rs1: 29, Imm: -1},
+				Inst{Kind: KindANDI, Rd: 29, Rs1: 29, Imm: 7},
+				Inst{Kind: KindBNE, Rs1: 29, Rs2: RegZero, Imm: -8})
 		default:
 			prog = append(prog, Inst{Kind: KindFENCE})
 		}
@@ -378,6 +392,10 @@ func FuzzStepN(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
 	f.Add([]byte{0xFF, 0x80, 0x42, 0x13, 0x37, 0x99, 0xAA, 0x55, 0x00, 0x01, 0x23})
+	// Branch-heavy seeds (several bounded backward loops each) so chained
+	// execution is exercised from the seed corpus, not just mutations.
+	f.Add([]byte("hotloop42"))
+	f.Add([]byte("backward!"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		prog := fuzzProgram(data)
 		mk := func() *Core {
