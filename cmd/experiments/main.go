@@ -34,7 +34,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		loadFl  = fs.Bool("load", false, "also run the open-loop load study (throughput curve + keep-alive table)")
 		scenFl  = fs.Bool("scenarios", false, "also run the chaos-scenario SLO matrix (scenario x arch)")
 		clustFl = fs.Bool("cluster", false, "also run the multi-machine cluster fabric table (topology x arch)")
-		seed    = fs.Uint64("seed", 1, "fault-injection / load-arrival seed for -chaos, -load, -scenarios and -cluster")
+		scaleFl = fs.Bool("autoscale", false, "also run the cluster-autoscaling policy x RPS matrix")
+		seed    = fs.Uint64("seed", 1, "fault-injection / load-arrival seed for -chaos, -load, -scenarios, -cluster and -autoscale")
 		jobs    = fs.Int("j", sweep.DefaultJobs(),
 			"sweep worker count, >= 1 (results are identical for every value; default GOMAXPROCS)")
 		noMemo = fs.Bool("no-memo", false,
@@ -70,6 +71,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ScenarioSeed:  *seed,
 		Cluster:       *clustFl,
 		ClusterSeed:   *seed,
+		Autoscale:     *scaleFl,
+		AutoscaleSeed: *seed,
 		Log:           logf,
 	})
 	if err != nil {

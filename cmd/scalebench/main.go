@@ -1,0 +1,185 @@
+// Command scalebench runs the cluster-autoscaling policy × RPS sweep
+// serially and in parallel and writes the comparison plus every cell's
+// headline metrics as JSON (BENCH_scale.json). Every cell's summary
+// table, stats text and trace JSON are asserted byte-identical across
+// both runs first — a speedup that changed an SLO number would be
+// meaningless.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"svbench/internal/autoscale"
+	"svbench/internal/benchutil"
+	"svbench/internal/gemsys"
+	"svbench/internal/harness"
+	"svbench/internal/isa"
+	"svbench/internal/loadgen"
+	"svbench/internal/sweep"
+)
+
+type cell struct {
+	Policy        string    `json:"policy"`
+	RPS           float64   `json:"rps"`
+	Invocations   int       `json:"invocations"`
+	SLOAttainment float64   `json:"slo_attainment"`
+	ColdAmp       float64   `json:"cold_amplification"`
+	ChurnColdRate float64   `json:"churn_cold_rate"`
+	PeakInstances uint64    `json:"peak_instances"`
+	MaxQueueDepth uint64    `json:"max_queue_depth"`
+	P99LatencyUS  float64   `json:"p99_latency_us"`
+	MeanUtil      float64   `json:"mean_utilization"`
+	NodeUtil      []float64 `json:"node_utilization"`
+}
+
+type report struct {
+	Date       string  `json:"date"`
+	HostCPUs   int     `json:"host_cpus"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Matrix     string  `json:"matrix"`
+	Points     int     `json:"points"`
+	JobsBefore int     `json:"jobs_before"`
+	JobsAfter  int     `json:"jobs_after"`
+	SecBefore  float64 `json:"seconds_before"`
+	SecAfter   float64 `json:"seconds_after"`
+	Speedup    float64 `json:"speedup"`
+	Identical  bool    `json:"reports_identical"`
+	Cells      []cell  `json:"cells"`
+}
+
+// arrivalsPerCell keeps cell cost flat across the rate grid: each RPS
+// point's window is sized to replay about this many invocations.
+const arrivalsPerCell = 40
+
+// points is the benchmarked sweep: the full policy catalog crossed with
+// the figure's arrival-rate grid on the default 4-node cluster, bursty
+// arrivals, keep-alive well under the batch gaps.
+func points(seed uint64) []autoscale.Config {
+	var spec harness.Spec
+	for _, sp := range harness.StandaloneSpecs() {
+		if sp.Name == "fibonacci-go" {
+			spec = sp
+		}
+	}
+	base := autoscale.Config{
+		Cfg:       gemsys.DefaultConfig(isa.RV64),
+		Spec:      spec,
+		Seed:      seed,
+		Arrival:   loadgen.Bursty,
+		Burst:     8,
+		KeepAlive: 2_000_000,
+	}
+	var cfgs []autoscale.Config
+	for _, pol := range autoscale.Policies() {
+		for _, rps := range []float64{500, 2000, 8000, 20000} {
+			c := base
+			c.Policy = pol
+			c.RPS = rps
+			c.Duration = uint64(arrivalsPerCell * 1e9 / rps)
+			cfgs = append(cfgs, c)
+		}
+	}
+	return cfgs
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_scale.json", "output JSON file")
+		jobs    = flag.Int("j", sweep.DefaultJobs(), "parallel worker count for the after run")
+		seed    = flag.Uint64("seed", 7, "arrival-process seed")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	)
+	flag.Parse()
+	if err := sweep.ValidateJobs(*jobs); err != nil {
+		fmt.Fprintln(os.Stderr, "scalebench: -j:", err)
+		os.Exit(2)
+	}
+	stopProf, err := benchutil.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scalebench:", err)
+		os.Exit(2)
+	}
+
+	run := func(j int) ([]*autoscale.Report, float64) {
+		t0 := time.Now()
+		reps, errs := autoscale.RunMany(points(*seed), j)
+		dt := time.Since(t0).Seconds()
+		for i, err := range errs {
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "scalebench: cell %d: %v\n", i, err)
+				os.Exit(1)
+			}
+		}
+		return reps, dt
+	}
+
+	fmt.Fprintf(os.Stderr, "scalebench: serial sweep (-j 1)...\n")
+	before, secBefore := run(1)
+	fmt.Fprintf(os.Stderr, "scalebench: %.2fs; parallel sweep (-j %d)...\n", secBefore, *jobs)
+	after, secAfter := run(*jobs)
+
+	identical := true
+	for i := range before {
+		if before[i].Table() != after[i].Table() ||
+			before[i].StatsText != after[i].StatsText ||
+			!bytes.Equal(before[i].TraceJSON, after[i].TraceJSON) {
+			identical = false
+			fmt.Fprintf(os.Stderr, "scalebench: cell %d DIFFERS between -j 1 and -j %d\n", i, *jobs)
+		}
+	}
+
+	rep := report{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		HostCPUs:   runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Matrix:     "fibonacci-go rv64, policies {fixed-cap,concurrency,scale-to-zero,panic} × rps {500,2000,8000,20000}, bursty(8)",
+		Points:     len(before),
+		JobsBefore: 1,
+		JobsAfter:  *jobs,
+		SecBefore:  secBefore,
+		SecAfter:   secAfter,
+		Speedup:    secBefore / secAfter,
+		Identical:  identical,
+	}
+	for _, r := range before {
+		nodeUtil := make([]float64, len(r.Nodes))
+		for n := range r.Nodes {
+			nodeUtil[n] = r.Nodes[n].Utilization
+		}
+		rep.Cells = append(rep.Cells, cell{
+			Policy:        r.Cfg.ScalePolicy().Name(),
+			RPS:           r.Cfg.RPS,
+			Invocations:   len(r.Invocations),
+			SLOAttainment: r.SLOAttainment,
+			ColdAmp:       r.ColdAmplification,
+			ChurnColdRate: r.ChurnColdRate,
+			PeakInstances: r.PeakInstances,
+			MaxQueueDepth: r.MaxQueueDepth,
+			P99LatencyUS:  float64(r.Latency.P99) / 1e3,
+			MeanUtil:      r.MeanUtilization,
+			NodeUtil:      nodeUtil,
+		})
+	}
+	js, _ := json.MarshalIndent(rep, "", "  ")
+	js = append(js, '\n')
+	if err := os.WriteFile(*out, js, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "scalebench:", err)
+		os.Exit(1)
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "scalebench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "scalebench: %.2fs -> %.2fs (%.2fx), identical=%v, %s\n",
+		secBefore, secAfter, rep.Speedup, rep.Identical, *out)
+	if !rep.Identical {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,263 @@
+package autoscale
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Observation is one reconcile tick's view of the cluster — everything a
+// policy may base its decision on. All fields are pure functions of the
+// run's event history, so identical configs observe identical sequences.
+type Observation struct {
+	// Now is the tick instant (virtual ns on the load clock).
+	Now uint64
+	// Ready counts instances able to serve (idle + busy).
+	Ready int
+	// Starting counts instances still paying their cold-start boot.
+	Starting int
+	// Busy counts instances currently serving an invocation.
+	Busy int
+	// Queued counts invocations waiting for capacity (FIFO backlog).
+	Queued int
+}
+
+// Demand is the observed concurrency: in-flight plus queued work.
+func (o Observation) Demand() int { return o.Busy + o.Queued }
+
+// Policy names one autoscaling strategy and builds its per-run state.
+// Policies must be pure factories: every New yields fresh state, so a
+// policy value can be shared across the sweep's points.
+type Policy interface {
+	Name() string
+	New() Scaler
+}
+
+// Scaler is one run's autoscaler: consulted once per reconcile tick, in
+// virtual-time order, it returns the instance count the engine should
+// reconcile the cluster toward. Implementations may keep state (panic
+// mode, windows) but must derive it only from the observations seen.
+type Scaler interface {
+	Desired(obs Observation) int
+}
+
+// Panicker is implemented by scalers with a panic mode. The engine
+// watches transitions across ticks to book panic-entry/exit counters and
+// trace events.
+type Panicker interface {
+	InPanic() bool
+}
+
+// DefaultTarget is the per-instance concurrency target of the shipped
+// policies: one in-flight invocation plus one queued behind it.
+const DefaultTarget = 2
+
+// DefaultPanicFactor is panic mode's entry threshold multiplier: panic
+// begins when observed concurrency reaches twice the stable capacity
+// (Target × Ready) — "observed concurrency doubles the target".
+const DefaultPanicFactor = 2.0
+
+// DefaultPanicExitTicks is the hysteresis window: panic mode ends only
+// after this many consecutive calm observations.
+const DefaultPanicExitTicks = 4
+
+// ceilDiv is ceil(a/b) for positive b.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// Fixed provisions a constant fleet and never scales — the
+// no-autoscaler baseline every policy is judged against. N is the
+// instance count; 0 means the whole cluster capacity.
+type Fixed struct {
+	N int
+}
+
+// Name labels the policy in reports.
+func (p Fixed) Name() string {
+	if p.N <= 0 {
+		return "fixed-cap"
+	}
+	return fmt.Sprintf("fixed-%d", p.N)
+}
+
+// New builds the run's scaler.
+func (p Fixed) New() Scaler { return fixedScaler{n: p.N} }
+
+type fixedScaler struct{ n int }
+
+func (s fixedScaler) Desired(obs Observation) int {
+	if s.n <= 0 {
+		// The engine clamps to cluster capacity, so "all of it".
+		return int(^uint(0) >> 1)
+	}
+	return s.n
+}
+
+// Concurrency is the Knative-style stable-mode autoscaler: desired =
+// ceil(demand / Target), floored at Min. Min 0 allows scale-to-zero —
+// an idle cluster sheds every instance once keep-alive leases lapse,
+// and the next arrival pays the full cold-start amplification.
+type Concurrency struct {
+	// Label overrides the report name ("" derives one from the fields).
+	Label string
+	// Target is the per-instance concurrency target (0 = DefaultTarget).
+	Target int
+	// Min floors the desired count (0 allows scale to zero).
+	Min int
+}
+
+// Name labels the policy in reports.
+func (p Concurrency) Name() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	return fmt.Sprintf("concurrency-t%d-min%d", p.target(), p.Min)
+}
+
+func (p Concurrency) target() int {
+	if p.Target <= 0 {
+		return DefaultTarget
+	}
+	return p.Target
+}
+
+// New builds the run's scaler.
+func (p Concurrency) New() Scaler { return concScaler{p: p} }
+
+type concScaler struct{ p Concurrency }
+
+func (s concScaler) Desired(obs Observation) int {
+	d := ceilDiv(obs.Demand(), s.p.target())
+	if d < s.p.Min {
+		d = s.p.Min
+	}
+	return d
+}
+
+// Panic wraps the Concurrency core with Knative-style panic mode: when
+// observed concurrency reaches Factor times the stable capacity
+// (Target × Ready), the scaler jumps straight to one instance per
+// in-flight invocation and refuses to scale down until demand has
+// stayed calm for ExitTicks consecutive observations (hysteresis, so a
+// sawtooth load cannot flap the fleet).
+type Panic struct {
+	// Label overrides the report name ("" derives one from the fields).
+	Label string
+	// Target is the per-instance concurrency target (0 = DefaultTarget).
+	Target int
+	// Min floors the desired count (0 allows scale to zero).
+	Min int
+	// Factor is the panic entry multiplier (0 = DefaultPanicFactor).
+	Factor float64
+	// ExitTicks is the calm-observation count required to leave panic
+	// mode (0 = DefaultPanicExitTicks).
+	ExitTicks int
+}
+
+// Name labels the policy in reports.
+func (p Panic) Name() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	return fmt.Sprintf("panic-t%d-min%d", p.target(), p.Min)
+}
+
+func (p Panic) target() int {
+	if p.Target <= 0 {
+		return DefaultTarget
+	}
+	return p.Target
+}
+
+func (p Panic) factor() float64 {
+	if p.Factor <= 0 {
+		return DefaultPanicFactor
+	}
+	return p.Factor
+}
+
+func (p Panic) exitTicks() int {
+	if p.ExitTicks <= 0 {
+		return DefaultPanicExitTicks
+	}
+	return p.ExitTicks
+}
+
+// New builds the run's scaler.
+func (p Panic) New() Scaler { return &panicScaler{p: p} }
+
+type panicScaler struct {
+	p       Panic
+	inPanic bool
+	calm    int
+	floor   int // panic high-water desired: no scale-down while panicking
+}
+
+func (s *panicScaler) Desired(obs Observation) int {
+	target := s.p.target()
+	stable := ceilDiv(obs.Demand(), target)
+	if stable < s.p.Min {
+		stable = s.p.Min
+	}
+	ready := obs.Ready
+	if ready < 1 {
+		ready = 1
+	}
+	hot := obs.Demand() > 0 && float64(obs.Demand()) >= s.p.factor()*float64(target*ready)
+	switch {
+	case hot:
+		s.inPanic = true
+		s.calm = 0
+		// One instance per in-flight invocation, never below stable.
+		d := obs.Demand()
+		if d < stable {
+			d = stable
+		}
+		if d > s.floor {
+			s.floor = d
+		}
+	case s.inPanic:
+		s.calm++
+		if s.calm >= s.p.exitTicks() {
+			s.inPanic = false
+			s.floor = 0
+		}
+	}
+	if s.inPanic && stable < s.floor {
+		return s.floor
+	}
+	return stable
+}
+
+// InPanic reports whether the scaler is in panic mode.
+func (s *panicScaler) InPanic() bool { return s.inPanic }
+
+// Policies returns the shipped policy catalog, the rows of the
+// policy × RPS sweep: the fixed-fleet baseline, the Knative-style
+// concurrency target, scale-to-zero, and panic mode.
+func Policies() []Policy {
+	return []Policy{
+		Fixed{},
+		Concurrency{Label: "concurrency", Target: DefaultTarget, Min: 1},
+		Concurrency{Label: "scale-to-zero", Target: DefaultTarget, Min: 0},
+		Panic{Label: "panic", Target: DefaultTarget, Min: 1},
+	}
+}
+
+// PolicyNames returns the catalog's policy names, sorted.
+func PolicyNames() []string {
+	var names []string
+	for _, p := range Policies() {
+		names = append(names, p.Name())
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PolicyByName looks a policy up in the catalog.
+func PolicyByName(name string) (Policy, error) {
+	for _, p := range Policies() {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("autoscale: unknown policy %q (have %v)", name, PolicyNames())
+}

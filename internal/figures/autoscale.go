@@ -1,0 +1,101 @@
+package figures
+
+import (
+	"fmt"
+
+	"svbench/internal/autoscale"
+	"svbench/internal/gemsys"
+	"svbench/internal/harness"
+	"svbench/internal/isa"
+	"svbench/internal/loadgen"
+)
+
+// The cluster-autoscaling study (internal/autoscale): a policy × RPS
+// matrix over the simulated multi-node cluster, grading each autoscaling
+// policy's SLO attainment, cold-start amplification and utilization as
+// the arrival rate climbs toward millions-of-daily-users territory. All
+// points run across the worker pool with a shared boot cache; the
+// projected Data is identical for every jobs value.
+
+// AutoscaleRPSGrid is the arrival-rate grid (invocations per virtual
+// second). The top rate corresponds to a service fielding millions of
+// requests per day with strong diurnal peaks.
+var AutoscaleRPSGrid = []float64{500, 2000, 8000, 20000}
+
+// autoscaleArrivals is the per-point arrival budget: each RPS point's
+// window is sized so every cell replays about this many invocations,
+// keeping cell cost flat as the rate climbs.
+const autoscaleArrivals = 40
+
+// autoscaleBase is the study's common configuration: the acceptance
+// workload on the default 4×4-core cluster, bursty arrivals (the
+// trace-shaped worst case autoscalers exist for), and a keep-alive lease
+// well below the batch gaps so scale-downs actually happen.
+func autoscaleBase(arch isa.Arch, seed uint64) (autoscale.Config, error) {
+	for _, sp := range harness.StandaloneSpecs() {
+		if sp.Name == "fibonacci-go" {
+			return autoscale.Config{
+				Cfg:       gemsys.DefaultConfig(arch),
+				Spec:      sp,
+				Seed:      seed,
+				Arrival:   loadgen.Bursty,
+				Burst:     8,
+				KeepAlive: 2_000_000,
+			}, nil
+		}
+	}
+	return autoscale.Config{}, fmt.Errorf("figures: fibonacci-go missing from catalog")
+}
+
+// TableAutoscale sweeps the policy catalog against the arrival-rate grid
+// and projects each cell's SLO attainment, cold-start amplification and
+// cluster utilization — the table that shows what a scale-to-zero or
+// panic autoscaler buys (and costs) over a fixed fleet.
+func TableAutoscale(arch isa.Arch, seed uint64, jobs int, log func(string)) (Data, error) {
+	base, err := autoscaleBase(arch, seed)
+	if err != nil {
+		return Data{}, err
+	}
+	policies := autoscale.Policies()
+	var cfgs []autoscale.Config
+	for _, pol := range policies {
+		for _, rps := range AutoscaleRPSGrid {
+			c := base
+			c.Policy = pol
+			c.RPS = rps
+			c.Duration = uint64(float64(autoscaleArrivals) * 1e9 / rps)
+			cfgs = append(cfgs, c)
+		}
+	}
+	if log != nil {
+		log(fmt.Sprintf("autoscale: %d policies x %d rates on %s", len(policies), len(AutoscaleRPSGrid), arch))
+	}
+	reps, errs := autoscale.RunMany(cfgs, jobs)
+	d := Data{
+		ID: "table-autoscale",
+		Title: fmt.Sprintf("Autoscaling policy × arrival rate, fibonacci-go on the %d-node cluster (%s, seed %d)",
+			base.NodeCount(), arch, seed),
+		Columns: []string{"offered rps", "slo %", "cold amp", "churn %", "peak inst",
+			"max queue", "p99 us", "mean util %"},
+	}
+	for i, rep := range reps {
+		if errs[i] != nil {
+			return Data{}, fmt.Errorf("autoscale cell %s @ %.0f rps: %w",
+				cfgs[i].ScalePolicy().Name(), cfgs[i].RPS, errs[i])
+		}
+		d.Rows = append(d.Rows, Row{
+			Label: fmt.Sprintf("%s @ %.0f rps", cfgs[i].ScalePolicy().Name(), cfgs[i].RPS),
+			Values: []float64{
+				cfgs[i].RPS,
+				100 * rep.SLOAttainment,
+				rep.ColdAmplification,
+				100 * rep.ChurnColdRate,
+				float64(rep.PeakInstances),
+				float64(rep.MaxQueueDepth),
+				float64(rep.Latency.P99) / 1e3,
+				100 * rep.MeanUtilization,
+			},
+		})
+	}
+	return d, nil
+}

@@ -1,0 +1,45 @@
+package figures
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"svbench/internal/autoscale"
+	"svbench/internal/isa"
+)
+
+// TestTableAutoscaleShape pins the policy × RPS matrix's structure and
+// extends the figures determinism contract to it: serial and parallel
+// pools must project identical cells.
+func TestTableAutoscaleShape(t *testing.T) {
+	t1, err := TableAutoscale(isa.RV64, 7, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t4, err := TableAutoscale(isa.RV64, 7, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(t1, t4) {
+		t.Errorf("autoscale table differs between -j 1 and -j 4:\n%s\nvs\n%s", t1.Markdown(), t4.Markdown())
+	}
+	wantRows := len(autoscale.Policies()) * len(AutoscaleRPSGrid)
+	if len(t1.Rows) != wantRows {
+		t.Fatalf("table has %d rows, want %d", len(t1.Rows), wantRows)
+	}
+	for _, p := range autoscale.Policies() {
+		if !strings.Contains(t1.Markdown(), p.Name()) {
+			t.Errorf("policy %q missing from table:\n%s", p.Name(), t1.Markdown())
+		}
+	}
+	const sloCol, utilCol = 1, 7
+	for _, r := range t1.Rows {
+		if r.Values[sloCol] < 0 || r.Values[sloCol] > 100 {
+			t.Errorf("row %q: SLO attainment %.2f%% out of range", r.Label, r.Values[sloCol])
+		}
+		if r.Values[utilCol] < 0 || r.Values[utilCol] > 100 {
+			t.Errorf("row %q: utilization %.2f%% out of range", r.Label, r.Values[utilCol])
+		}
+	}
+}

@@ -30,6 +30,10 @@ type ReportOpts struct {
 	// driven by ClusterSeed across LoadJobs workers.
 	Cluster     bool
 	ClusterSeed uint64
+	// Autoscale adds the cluster-autoscaling policy × RPS matrix, driven
+	// by AutoscaleSeed across LoadJobs workers.
+	Autoscale     bool
+	AutoscaleSeed uint64
 	// Log receives progress lines from the chaos study; may be nil.
 	Log func(string)
 }
@@ -106,6 +110,17 @@ func ReportData(res *Results, opt ReportOpts) ([]Data, error) {
 			return nil, err
 		}
 		all = append(all, tc)
+	}
+	if opt.Autoscale {
+		jobs := opt.LoadJobs
+		if jobs == 0 {
+			jobs = 1
+		}
+		ta, err := TableAutoscale(isa.RV64, opt.AutoscaleSeed, jobs, opt.Log)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, ta)
 	}
 	return all, nil
 }

@@ -34,6 +34,12 @@ func (p Process) String() string {
 // Config.Burst is zero.
 const DefaultBurst = 8
 
+// Arrivals materializes the seeded arrival process of cfg (only RPS,
+// Duration, Seed, Arrival and Burst are read) — exported so other
+// schedulers (internal/autoscale) replay the exact same invocation
+// streams the keep-alive pool sees.
+func Arrivals(cfg Config) []uint64 { return genArrivals(cfg) }
+
 // genArrivals materializes the seeded arrival process: virtual-ns
 // timestamps, nondecreasing, all strictly below cfg.Duration. The stream
 // is a pure function of (seed, process, rate, duration), which is the

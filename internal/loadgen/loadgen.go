@@ -27,7 +27,6 @@ import (
 	"svbench/internal/faults"
 	"svbench/internal/gemsys"
 	"svbench/internal/harness"
-	"svbench/internal/rpc"
 	"svbench/internal/sweep"
 	"svbench/internal/trace"
 )
@@ -98,6 +97,17 @@ type AttemptHook interface {
 // DefaultMaxInstances is the pool cap when Config.MaxInstances is zero.
 const DefaultMaxInstances = 4
 
+// PoolCap is the effective pool cap: Config.MaxInstances with the
+// default resolved. Report renderers must use this rather than echoing
+// the raw field — Run keeps the user's config verbatim (like Burst), so
+// a defaulted cap stays zero in Report.Cfg.
+func (c Config) PoolCap() int {
+	if c.MaxInstances <= 0 {
+		return DefaultMaxInstances
+	}
+	return c.MaxInstances
+}
+
 // invokeBudget bounds one host-driven invocation's functional execution.
 const invokeBudget = 200_000_000
 
@@ -105,18 +115,6 @@ const invokeBudget = 200_000_000
 // reply: the platform fails the attempt fast without running the
 // function, well below any real service time.
 const errorReplyNS = 20_000
-
-// instance is one warm function machine of the pool.
-type instance struct {
-	id     int
-	b      *harness.Boot
-	reqCh  int
-	respCh int
-	// penalty is the boot time (virtual ns of the skipped setup phase)
-	// charged when this instance was cold-started.
-	penalty   uint64
-	idleSince uint64
-}
 
 // qrec is one attempt waiting for (or heading to) an instance. The fault
 // outcome is frozen at send time, so an attempt that queues behind the
@@ -133,7 +131,7 @@ type qrec struct {
 // injected reply delay, unless the reply was dropped (deliver=false), in
 // which case a timeout timer is already booked.
 type busyRec struct {
-	inst        *instance
+	inst        *Instance
 	inv         int
 	attempt     int
 	done        uint64
@@ -165,25 +163,17 @@ const (
 
 type engine struct {
 	cfg     Config
-	reqMsg  []byte
+	maxInst int // effective pool cap (cfg.PoolCap())
+	fleet   *Fleet
 	arrives []uint64
 	invs    []Invocation
 
-	// masterCk is the shared post-boot checkpoint instances restore from;
-	// nil when the spec's boot is not memoizable (host-side service state
-	// — each cold start then simulates its own setup).
-	masterCk   *gemsys.Checkpoint
-	masterNS   uint64
-	memoizable bool
-
-	idle   []*instance
+	idle   []*Instance
 	busy   []busyRec
-	free   []*instance // reclaimed machines awaiting re-restore
 	queue  []qrec
 	timers []timerRec
 
-	live       int
-	nextInstID int
+	live int
 
 	// Counters registered into the stats registry.
 	coldStarts    uint64
@@ -228,17 +218,13 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.Duration == 0 {
 		return nil, fmt.Errorf("loadgen: duration must be positive")
 	}
-	if cfg.MaxInstances == 0 {
-		cfg.MaxInstances = DefaultMaxInstances
-	}
-	if cfg.MaxInstances < 1 {
+	if cfg.MaxInstances < 0 {
 		return nil, fmt.Errorf("loadgen: MaxInstances must be >= 1, got %d", cfg.MaxInstances)
 	}
-	// The engine owns observability: machine-level tracing stays off so
-	// instances run the event-free hot path.
-	cfg.Spec.Trace = trace.Options{}
 
-	e := &engine{cfg: cfg, reqMsg: cfg.Spec.Request()}
+	// The config is kept verbatim (Report.Cfg echoes what the caller
+	// asked for); the effective cap is resolved into the engine.
+	e := &engine{cfg: cfg, maxInst: cfg.PoolCap()}
 	e.arrives = genArrivals(cfg)
 	e.invs = make([]Invocation, len(e.arrives))
 	// Chaos runs emit extra retry/fail events: size the ring for the
@@ -340,99 +326,29 @@ func (e *engine) backoffNS(attempt int) uint64 {
 	return e.cfg.Retry.Backoff << uint(shift)
 }
 
-// bootMaster simulates (or fetches from the cache) the post-boot
-// checkpoint instances restore from.
+// bootMaster builds the fleet, which simulates (or fetches from the
+// cache) the post-boot checkpoint instances restore from.
 func (e *engine) bootMaster() error {
-	b, err := harness.BootSpec(e.cfg.Cfg, e.cfg.Spec)
+	f, err := NewFleet(e.cfg.Cfg, e.cfg.Spec, e.cfg.Cache, e.cfg.OnInstance)
 	if err != nil {
-		return fmt.Errorf("loadgen: master boot: %w", err)
+		return err
 	}
-	ck, setupInsts, err := e.cfg.Cache.CheckpointFor(b)
-	if err != nil {
-		return fmt.Errorf("loadgen: master setup: %w", err)
-	}
-	e.memoizable = b.Memoizable()
-	if e.memoizable {
-		e.masterCk = ck
-		e.masterNS = setupInsts
-	}
+	e.fleet = f
 	return nil
 }
 
-// newInstance cold-starts an instance: a reclaimed machine re-restored
-// from the master checkpoint when possible, otherwise a freshly booted
-// one. The simulated client is killed so the engine can drive the
-// surviving server host-side.
-func (e *engine) newInstance() (*instance, error) {
-	if n := len(e.free); n > 0 && e.memoizable {
-		inst := e.free[n-1]
-		e.free = e.free[:n-1]
-		if err := inst.b.M.Restore(e.masterCk); err != nil {
-			return nil, fmt.Errorf("loadgen: re-restore: %w", err)
-		}
-		if err := inst.b.M.KillProcess("client"); err != nil {
-			return nil, err
-		}
-		inst.id = e.nextInstID
-		e.nextInstID++
-		if e.cfg.OnInstance != nil {
-			e.cfg.OnInstance(inst.id, inst.b.ServiceBindings())
-		}
-		return inst, nil
-	}
-	b, err := harness.BootSpec(e.cfg.Cfg, e.cfg.Spec)
+// serve drives one invocation through inst's machine, booking the
+// check-failure accounting the fleet leaves to its owner.
+func (e *engine) serve(inst *Instance, invID int) (uint64, bool, error) {
+	svc, checkFailed, err := e.fleet.Serve(inst, invID)
 	if err != nil {
-		return nil, fmt.Errorf("loadgen: instance boot: %w", err)
+		return 0, false, err
 	}
-	ck := e.masterCk
-	penalty := e.masterNS
-	if !e.memoizable {
-		// Host-side service state cannot be cloned, so this instance
-		// simulates its own container setup — the true cold-start cost.
-		ck, err = b.Setup()
-		if err != nil {
-			return nil, fmt.Errorf("loadgen: instance setup: %w", err)
-		}
-		penalty = b.SetupInsts()
+	if checkFailed {
+		e.checkFailures++
+		e.invs[invID].CheckFailed = true
 	}
-	if err := b.M.Restore(ck); err != nil {
-		return nil, fmt.Errorf("loadgen: restore: %w", err)
-	}
-	if err := b.M.KillProcess("client"); err != nil {
-		return nil, err
-	}
-	reqCh, respCh := b.ClientChans()
-	inst := &instance{id: e.nextInstID, b: b, reqCh: reqCh, respCh: respCh, penalty: penalty}
-	e.nextInstID++
-	if e.cfg.OnInstance != nil {
-		e.cfg.OnInstance(inst.id, b.ServiceBindings())
-	}
-	return inst, nil
-}
-
-// serve drives one invocation through inst's machine and returns the
-// service time on the virtual clock plus whether the reply failed the
-// spec's check.
-func (e *engine) serve(inst *instance, invID int) (uint64, bool, error) {
-	m := inst.b.M
-	t0 := m.VirtNS()
-	m.K.Inject(inst.reqCh, e.reqMsg)
-	if err := m.RunUntilIdle(invokeBudget); err != nil {
-		return 0, false, fmt.Errorf("loadgen: invocation %d on instance %d: %w", invID, inst.id, err)
-	}
-	resp, ok := m.K.TakeMessage(inst.respCh)
-	if !ok {
-		return 0, false, fmt.Errorf("loadgen: invocation %d on instance %d: server produced no reply", invID, inst.id)
-	}
-	checkFailed := false
-	if check := e.cfg.Spec.Check; check != nil {
-		if err := check(rpc.NewReader(resp)); err != nil {
-			e.checkFailures++
-			e.invs[invID].CheckFailed = true
-			checkFailed = true
-		}
-	}
-	return m.VirtNS() - t0, checkFailed, nil
+	return svc, checkFailed, nil
 }
 
 // simulate runs the discrete-event loop: completions, client timers and
@@ -604,9 +520,9 @@ func (e *engine) earliestCompletion() int {
 
 // leaseEnd is when an idle instance's keep-alive lease expires
 // (overflow-safe: a huge keep-alive never expires).
-func (e *engine) leaseEnd(inst *instance) uint64 {
-	end := inst.idleSince + e.cfg.KeepAlive
-	if end < inst.idleSince {
+func (e *engine) leaseEnd(inst *Instance) uint64 {
+	end := inst.IdleSince + e.cfg.KeepAlive
+	if end < inst.IdleSince {
 		return ^uint64(0)
 	}
 	return end
@@ -624,9 +540,9 @@ func (e *engine) reclaimExpired(now uint64) {
 		}
 		e.reclaims++
 		e.live--
-		e.tracer.EmitAt(trace.EvInstReclaim, uint8(inst.id), end, 0, uint64(inst.id), 0)
-		if e.memoizable {
-			e.free = append(e.free, inst)
+		e.tracer.EmitAt(trace.EvInstReclaim, uint8(inst.ID), end, 0, uint64(inst.ID), 0)
+		if e.fleet != nil {
+			e.fleet.Release(inst)
 		}
 	}
 	e.idle = kept
@@ -635,11 +551,11 @@ func (e *engine) reclaimExpired(now uint64) {
 // takeWarm removes and returns the warm instance that has been idle the
 // shortest time (ties: lowest id) — the usual most-recently-used
 // keep-alive policy — or nil when none is live and warm.
-func (e *engine) takeWarm() *instance {
+func (e *engine) takeWarm() *Instance {
 	best := -1
 	for i, inst := range e.idle {
-		if best < 0 || inst.idleSince > e.idle[best].idleSince ||
-			(inst.idleSince == e.idle[best].idleSince && inst.id < e.idle[best].id) {
+		if best < 0 || inst.IdleSince > e.idle[best].IdleSince ||
+			(inst.IdleSince == e.idle[best].IdleSince && inst.ID < e.idle[best].ID) {
 			best = i
 		}
 	}
@@ -667,8 +583,8 @@ func (e *engine) dispatch(q qrec, now uint64) error {
 		e.warmStarts++
 		return e.start(q, now, inst, false)
 	}
-	if e.live < e.cfg.MaxInstances {
-		inst, err := e.newInstance()
+	if e.live < e.maxInst {
+		inst, err := e.fleet.Acquire()
 		if err != nil {
 			return err
 		}
@@ -681,7 +597,7 @@ func (e *engine) dispatch(q qrec, now uint64) error {
 			// a churn cold start, the post-warmup kind.
 			e.churnColds++
 		}
-		e.tracer.EmitAt(trace.EvColdStart, uint8(inst.id), now, 0, uint64(inst.id), inst.penalty)
+		e.tracer.EmitAt(trace.EvColdStart, uint8(inst.ID), now, 0, uint64(inst.ID), inst.Penalty)
 		return e.start(q, now, inst, true)
 	}
 	e.queue = append(e.queue, q)
@@ -694,15 +610,15 @@ func (e *engine) dispatch(q qrec, now uint64) error {
 // start serves one attempt on inst beginning at now (plus the boot
 // penalty when cold) and books the instance-free instant. Queue delay and
 // cold penalties accumulate across an invocation's attempts.
-func (e *engine) start(q qrec, now uint64, inst *instance, cold bool) error {
+func (e *engine) start(q qrec, now uint64, inst *Instance, cold bool) error {
 	inv := &e.invs[q.inv]
-	inv.Instance = inst.id
+	inv.Instance = inst.ID
 	inv.QueueDelay += now - q.sent
 	startNS := now
 	if cold {
 		inv.Cold = true
-		inv.ColdPenalty += inst.penalty
-		startNS += inst.penalty
+		inv.ColdPenalty += inst.Penalty
+		startNS += inst.Penalty
 	}
 	var svc uint64
 	checkFailed := false
@@ -722,7 +638,7 @@ func (e *engine) start(q qrec, now uint64, inst *instance, cold bool) error {
 	}
 	inv.Start = startNS
 	inv.Service = svc
-	e.tracer.EmitAt(trace.EvInvokeRun, uint8(inst.id), startNS, 0, uint64(q.inv), svc)
+	e.tracer.EmitAt(trace.EvInvokeRun, uint8(inst.ID), startNS, 0, uint64(q.inv), svc)
 	done := startNS + svc
 	if q.f.DropResponse {
 		// The reply is lost on the way back: the instance did the work,
@@ -742,7 +658,7 @@ func (e *engine) start(q qrec, now uint64, inst *instance, cold bool) error {
 // instance that just freed up.
 func (e *engine) complete(rec busyRec) {
 	now := rec.done
-	rec.inst.idleSince = now
+	rec.inst.IdleSince = now
 	e.idle = append(e.idle, rec.inst)
 	if rec.deliver {
 		observe := now + rec.f.DelayNS

@@ -290,8 +290,8 @@ func TestReclaimDispatchTieBreak(t *testing.T) {
 	}
 	for _, tc := range cases {
 		e := &engine{cfg: Config{KeepAlive: tc.keepAlive}, live: 1}
-		inst := &instance{id: 0, idleSince: tc.idleSince}
-		e.idle = []*instance{inst}
+		inst := &Instance{ID: 0, IdleSince: tc.idleSince}
+		e.idle = []*Instance{inst}
 		e.reclaimExpired(tc.now)
 		gotReclaimed := len(e.idle) == 0
 		if gotReclaimed != tc.reclaimed {
@@ -304,7 +304,7 @@ func TestReclaimDispatchTieBreak(t *testing.T) {
 				t.Errorf("%s: reclaims=%d live=%d, want 1/0", tc.name, e.reclaims, e.live)
 			}
 			if w := e.takeWarm(); w != nil {
-				t.Errorf("%s: takeWarm returned instance %d after reclaim", tc.name, w.id)
+				t.Errorf("%s: takeWarm returned instance %d after reclaim", tc.name, w.ID)
 			}
 		} else {
 			if w := e.takeWarm(); w != inst {

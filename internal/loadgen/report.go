@@ -91,20 +91,20 @@ type Report struct {
 func Percentiles(vals []uint64) Pcts { return pcts(vals) }
 
 // pcts computes nearest-rank percentiles of vals (unsorted, not
-// modified).
+// modified). The rank is the exact integer ceil(p·n) — a float product
+// plus a fudge constant can misrank at large n, where the rounding
+// error of p·n outgrows any fixed epsilon.
 func pcts(vals []uint64) Pcts {
 	if len(vals) == 0 {
 		return Pcts{}
 	}
 	s := append([]uint64(nil), vals...)
 	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	rank := func(p float64) uint64 {
-		i := int(p*float64(len(s))+0.999999) - 1
+	rank := func(pct int) uint64 {
+		// ceil(pct·n/100) in integer arithmetic, 1-based → index.
+		i := (pct*len(s)+99)/100 - 1
 		if i < 0 {
 			i = 0
-		}
-		if i >= len(s) {
-			i = len(s) - 1
 		}
 		return s[i]
 	}
@@ -113,9 +113,9 @@ func pcts(vals []uint64) Pcts {
 		sum += float64(v)
 	}
 	return Pcts{
-		P50:  rank(0.50),
-		P95:  rank(0.95),
-		P99:  rank(0.99),
+		P50:  rank(50),
+		P95:  rank(95),
+		P99:  rank(99),
 		Max:  s[len(s)-1],
 		Mean: sum / float64(len(s)),
 	}
@@ -157,6 +157,7 @@ func (e *engine) report() (*Report, error) {
 	qd := make([]uint64, 0, len(e.invs))
 	svc := make([]uint64, 0, len(e.invs))
 	var cold []uint64
+	completions := 0
 	for i := range e.invs {
 		inv := &e.invs[i]
 		lat = append(lat, inv.Latency)
@@ -164,6 +165,9 @@ func (e *engine) report() (*Report, error) {
 		svc = append(svc, inv.Service)
 		if inv.Cold {
 			cold = append(cold, inv.ColdPenalty)
+		}
+		if !inv.Failed {
+			completions++
 		}
 		if inv.Done > r.Makespan {
 			r.Makespan = inv.Done
@@ -174,17 +178,29 @@ func (e *engine) report() (*Report, error) {
 	r.Service = pcts(svc)
 	r.ColdPenalty = pcts(cold)
 	if r.Makespan > 0 {
-		r.Throughput = float64(len(e.invs)) * 1e9 / float64(r.Makespan)
+		// Completions per virtual second: invocations that exhausted every
+		// attempt never completed, so they don't count as throughput.
+		r.Throughput = float64(completions) * 1e9 / float64(r.Makespan)
 	}
 	return r, nil
 }
 
-// ColdRate is the fraction of invocations that cold-started.
+// ColdRate is the fraction of invocations that cold-started at least
+// once. It is defined over invocations with Cold set — not over the
+// attempt-level ColdStarts counter, which can exceed the invocation
+// count under retries (every re-sent attempt may cold-start again) and
+// would push a "rate" past 1.0.
 func (r *Report) ColdRate() float64 {
 	if len(r.Invocations) == 0 {
 		return 0
 	}
-	return float64(r.ColdStarts) / float64(len(r.Invocations))
+	cold := 0
+	for i := range r.Invocations {
+		if r.Invocations[i].Cold {
+			cold++
+		}
+	}
+	return float64(cold) / float64(len(r.Invocations))
 }
 
 // ErrorRate is the fraction of invocations that failed outright
@@ -212,7 +228,7 @@ func (r *Report) Table() string {
 		fmt.Fprintf(&sb, ", burst %d", burst)
 	}
 	sb.WriteString(")\n")
-	fmt.Fprintf(&sb, "policy       keep-alive %.3f ms, pool cap %d\n", float64(c.KeepAlive)/1e6, c.MaxInstances)
+	fmt.Fprintf(&sb, "policy       keep-alive %.3f ms, pool cap %d\n", float64(c.KeepAlive)/1e6, c.PoolCap())
 	fmt.Fprintf(&sb, "invocations  %d (%d check failures)\n", len(r.Invocations), r.CheckFailures)
 	fmt.Fprintf(&sb, "cold starts  %d (%d warmup + %d churn), warm %d, reclaims %d\n",
 		r.ColdStarts, r.ColdStarts-r.ChurnColdStarts, r.ChurnColdStarts, r.WarmStarts, r.Reclaims)

@@ -250,7 +250,7 @@ func (r *Result) Table() string {
 		s.Name, r.Cfg.Spec.Name, r.Cfg.Cfg.Arch, r.Cfg.Seed)
 	fmt.Fprintf(&sb, "%s\n", s.Description)
 	fmt.Fprintf(&sb, "load         %s, %.1f rps over %.3f ms, keep-alive %.3f ms, pool cap %d\n",
-		s.Arrival, s.RPS, float64(s.Duration)/1e6, float64(s.KeepAlive)/1e6, r.Load.Cfg.MaxInstances)
+		s.Arrival, s.RPS, float64(s.Duration)/1e6, float64(s.KeepAlive)/1e6, r.Load.Cfg.PoolCap())
 	if s.Retry != nil {
 		fmt.Fprintf(&sb, "retry        %d attempts, backoff %.3f ms, deadline %.3f ms\n",
 			s.Retry.MaxAttempts, float64(s.Retry.Backoff)/1e6, float64(s.Retry.Deadline)/1e6)

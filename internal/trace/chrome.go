@@ -44,6 +44,9 @@ const (
 	// per machine (the event's Core byte).
 	clusterReqTid  = 460
 	clusterNetBase = 500
+	// Autoscaler decisions (scale-up/scale-down/panic transitions) share
+	// one track above the load-instance space.
+	autoscaleTid = 459
 )
 
 func tidFor(ev Event) int {
@@ -56,6 +59,8 @@ func tidFor(ev Event) int {
 		return loadArrivalTid
 	case EvInvokeRun, EvColdStart, EvInstReclaim:
 		return loadInstTidBase + int(ev.Core)
+	case EvScaleUp, EvScaleDown, EvPanicMode:
+		return autoscaleTid
 	case EvClusterArrive, EvClusterDone:
 		return clusterReqTid
 	case EvNetSend, EvNetDeliver:
@@ -89,6 +94,8 @@ func ChromeJSON(events []Event, syms *SymTable, dropped uint64) ([]byte, error) 
 			name = "scenario (chaos windows)"
 		case tid == clusterReqTid:
 			name = "cluster requests"
+		case tid == autoscaleTid:
+			name = "autoscaler (scale events)"
 		case tid >= clusterNetBase:
 			name = fmt.Sprintf("machine%d (network)", tid-clusterNetBase)
 		case tid >= loadInstTidBase && tid < clusterReqTid:
@@ -215,6 +222,19 @@ func ChromeJSON(events []Event, syms *SymTable, dropped uint64) ([]byte, error) 
 			ce.S = "p"
 			args["request"] = fmt.Sprintf("%d", ev.Arg)
 			args["latency_ns"] = fmt.Sprintf("%d", ev.Arg2)
+		case EvScaleUp, EvScaleDown:
+			ce.Ph = "i"
+			ce.S = "t"
+			args["instance"] = fmt.Sprintf("%d", ev.Arg)
+			args["node"] = fmt.Sprintf("%d", ev.Arg2)
+		case EvPanicMode:
+			ce.Ph = "i"
+			ce.S = "g"
+			if ev.Arg == 1 {
+				ce.Name = "panic-enter"
+			} else {
+				ce.Name = "panic-exit"
+			}
 		default:
 			ce.Ph = "i"
 			ce.S = "t"

@@ -56,6 +56,13 @@ const (
 	EvNetDeliver    // message delivered to its machine (Arg=message id, Arg2=link queue+tx+latency ns)
 	EvClusterArrive // client request entered the fabric (Arg=request id)
 	EvClusterDone   // client observed the reply (Arg=request id, Arg2=latency ns)
+
+	// Autoscale events (internal/autoscale): timestamps are virtual
+	// nanoseconds of the load clock, Core carries the node index
+	// (mod 256) for scale events.
+	EvScaleUp   // autoscaler started an instance (Arg=instance id, Arg2=node index)
+	EvScaleDown // autoscaler reclaimed an instance (Arg=instance id, Arg2=node index)
+	EvPanicMode // panic-mode transition (Arg=1 enter / 0 exit)
 	evKinds
 )
 
@@ -76,6 +83,7 @@ var kindNames = [evKinds]string{
 	"instance-reclaim", "invoke-retry", "invoke-fail",
 	"scenario-window", "scenario-recover",
 	"net-send", "net-deliver", "cluster-arrive", "cluster-done",
+	"scale-up", "scale-down", "panic-mode",
 }
 
 // String names the kind.
