@@ -35,6 +35,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		scenFl  = fs.Bool("scenarios", false, "also run the chaos-scenario SLO matrix (scenario x arch)")
 		clustFl = fs.Bool("cluster", false, "also run the multi-machine cluster fabric table (topology x arch)")
 		scaleFl = fs.Bool("autoscale", false, "also run the cluster-autoscaling policy x RPS matrix")
+		sampleFl = fs.Bool("sampling", false, "also run the sampled-vs-full CPI error table (SMARTS-style sampled simulation)")
 		seed    = fs.Uint64("seed", 1, "fault-injection / load-arrival seed for -chaos, -load, -scenarios, -cluster and -autoscale")
 		jobs    = fs.Int("j", sweep.DefaultJobs(),
 			"sweep worker count, >= 1 (results are identical for every value; default GOMAXPROCS)")
@@ -73,6 +74,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ClusterSeed:   *seed,
 		Autoscale:     *scaleFl,
 		AutoscaleSeed: *seed,
+		Sampling:      *sampleFl,
 		Log:           logf,
 	})
 	if err != nil {

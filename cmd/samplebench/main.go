@@ -1,0 +1,269 @@
+// Command samplebench measures SMARTS-style sampled detailed simulation
+// (gemsys.Machine.RunEvalSampled) against full-detail evaluation: for each
+// sampling-study workload on both ISAs it boots and checkpoints once, then
+// times the evaluation phase in both modes from the same checkpoint and
+// reports the wall-clock speedup plus the cold/warm CPI error of the
+// extrapolated stats. Sampled runs are repeated and checked byte-identical
+// — a speedup from a nondeterministic estimate would be meaningless. The
+// comparison is written as JSON (BENCH_sample.json).
+//
+// The workloads are the scaled variants (harness.ScaledFibSpec /
+// ScaledAESSpec): sampling only pays off when a stats window spans many
+// sampling intervals, which the catalog-default requests (fib(30), 64-byte
+// AES) never reach. See docs/perf.md.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"reflect"
+	"runtime"
+	"strings"
+	"time"
+
+	"svbench/internal/benchutil"
+	"svbench/internal/figures"
+	"svbench/internal/gemsys"
+	"svbench/internal/harness"
+	"svbench/internal/isa"
+	"svbench/internal/stats"
+)
+
+const evalBudget = 600_000_000
+
+// Each mode is timed over enough repetitions to drown out timer noise;
+// repetition counts derive from accumulated wall time of the mode itself,
+// so fast sampled runs simply repeat more often than full-detail ones.
+const (
+	minModeSec = 0.5
+	maxReps    = 10
+)
+
+type row struct {
+	Workload string `json:"workload"`
+	Arch     string `json:"arch"`
+	Config   string `json:"config"`
+
+	FullEvalSec    float64 `json:"full_eval_sec"`
+	SampledEvalSec float64 `json:"sampled_eval_sec"`
+	Speedup        float64 `json:"speedup"`
+
+	FullColdCPI    float64 `json:"full_cold_cpi"`
+	SampledColdCPI float64 `json:"sampled_cold_cpi"`
+	ColdErrPct     float64 `json:"cold_err_pct"`
+	FullWarmCPI    float64 `json:"full_warm_cpi"`
+	SampledWarmCPI float64 `json:"sampled_warm_cpi"`
+	WarmErrPct     float64 `json:"warm_err_pct"`
+
+	WarmWindows  int     `json:"warm_windows"`
+	WarmCoverage float64 `json:"warm_coverage"`
+}
+
+type report struct {
+	Date       string `json:"date"`
+	HostCPUs   int    `json:"host_cpus"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Config     string `json:"config"`
+	Workloads  int    `json:"workloads"`
+
+	GeomeanSpeedup   float64 `json:"geomean_speedup"`
+	GeomeanCPIErrPct float64 `json:"geomean_cpi_err_pct"`
+	MaxCPIErrPct     float64 `json:"max_cpi_err_pct"`
+	Deterministic    bool    `json:"sampled_runs_identical"`
+
+	Rows []row `json:"rows"`
+}
+
+// evalOnce restores the checkpoint and runs one evaluation, timing only
+// RunEvalSampled — restore (checkpoint copy) stays outside the clock.
+func evalOnce(b *harness.Boot, ck *gemsys.Checkpoint, sc gemsys.SamplingConfig) ([]stats.Dump, float64, error) {
+	if err := b.M.Restore(ck); err != nil {
+		return nil, 0, fmt.Errorf("restore: %w", err)
+	}
+	t0 := time.Now()
+	dumps, err := b.M.RunEvalSampled(evalBudget, sc)
+	sec := time.Since(t0).Seconds()
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(dumps) != 2 {
+		return nil, 0, fmt.Errorf("got %d stat dumps, want 2", len(dumps))
+	}
+	return dumps, sec, nil
+}
+
+// evalTimed repeats evalOnce until the mode has accumulated minModeSec of
+// timed work, returning the first repetition's dumps, the mean wall time
+// per repetition, and whether every repetition produced identical dumps.
+func evalTimed(b *harness.Boot, ck *gemsys.Checkpoint, sc gemsys.SamplingConfig) ([]stats.Dump, float64, bool, error) {
+	var first []stats.Dump
+	var total float64
+	identical := true
+	reps := 0
+	for reps == 0 || (total < minModeSec && reps < maxReps) {
+		dumps, sec, err := evalOnce(b, ck, sc)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		total += sec
+		reps++
+		if first == nil {
+			first = dumps
+		} else if !reflect.DeepEqual(first, dumps) {
+			identical = false
+		}
+	}
+	return first, total / float64(reps), identical, nil
+}
+
+func geomean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vals {
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(vals)))
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_sample.json", "output JSON file")
+		filter  = flag.String("workloads", "", "comma-separated workload name filter (default: the sampling study set)")
+		sample  = flag.String("sample", "", "sampling config override (uU-wW-dD or U,W,D; default: the tuned default)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	)
+	flag.Parse()
+	stopProf, err := benchutil.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "samplebench:", err)
+		os.Exit(2)
+	}
+
+	sc := gemsys.DefaultSamplingConfig()
+	if *sample != "" {
+		sc, err = gemsys.ParseSamplingConfig(*sample)
+		if err != nil || !sc.Enabled() {
+			fmt.Fprintf(os.Stderr, "samplebench: -sample: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	keep := map[string]bool{}
+	for _, n := range strings.Split(*filter, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			keep[n] = true
+		}
+	}
+
+	rep := report{
+		Date:          time.Now().UTC().Format(time.RFC3339),
+		HostCPUs:      runtime.NumCPU(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Config:        sc.String(),
+		Deterministic: true,
+	}
+	var speedups, errs []float64
+	for _, arch := range []isa.Arch{isa.RV64, isa.CISC64} {
+		for _, spec := range figures.SamplingSpecs() {
+			if len(keep) > 0 && !keep[spec.Name] {
+				continue
+			}
+			b, err := harness.BootSpec(gemsys.DefaultConfig(arch), spec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "samplebench: %s/%s: %v\n", spec.Name, arch, err)
+				os.Exit(1)
+			}
+			ck, err := b.Setup()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "samplebench: %s/%s: %v\n", spec.Name, arch, err)
+				os.Exit(1)
+			}
+			fullDumps, fullSec, _, err := evalTimed(b, ck, gemsys.SamplingConfig{})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "samplebench: %s/%s full: %v\n", spec.Name, arch, err)
+				os.Exit(1)
+			}
+			sampDumps, sampSec, identical, err := evalTimed(b, ck, sc)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "samplebench: %s/%s sampled: %v\n", spec.Name, arch, err)
+				os.Exit(1)
+			}
+			if !identical {
+				rep.Deterministic = false
+				fmt.Fprintf(os.Stderr, "samplebench: DIVERGENCE %s/%s: repeated sampled runs differ\n",
+					spec.Name, arch)
+			}
+			fullCold, fullWarm := fullDumps[0].Server(), fullDumps[1].Server()
+			sampCold, sampWarm := sampDumps[0].Server(), sampDumps[1].Server()
+			r := row{
+				Workload:       spec.Name,
+				Arch:           string(arch),
+				Config:         sc.String(),
+				FullEvalSec:    fullSec,
+				SampledEvalSec: sampSec,
+				Speedup:        fullSec / sampSec,
+				FullColdCPI:    fullCold.CPI(),
+				SampledColdCPI: sampCold.CPI(),
+				ColdErrPct:     100 * (sampCold.CPI() - fullCold.CPI()) / fullCold.CPI(),
+				FullWarmCPI:    fullWarm.CPI(),
+				SampledWarmCPI: sampWarm.CPI(),
+				WarmErrPct:     100 * (sampWarm.CPI() - fullWarm.CPI()) / fullWarm.CPI(),
+			}
+			if sm := sampDumps[1].ServerSampling(); sm != nil {
+				r.WarmWindows = sm.Windows
+				r.WarmCoverage = sm.Coverage()
+			}
+			speedups = append(speedups, r.Speedup)
+			// The geomean of |err| collapses to zero the moment one window
+			// lands exactly; floor each term at 0.01% so a lucky hit cannot
+			// mask the others.
+			for _, e := range []float64{r.ColdErrPct, r.WarmErrPct} {
+				a := math.Abs(e)
+				if a < 0.01 {
+					a = 0.01
+				}
+				errs = append(errs, a)
+				if a > rep.MaxCPIErrPct {
+					rep.MaxCPIErrPct = a
+				}
+			}
+			rep.Rows = append(rep.Rows, r)
+			fmt.Printf("%-22s %-7s eval %6.3fs → %6.3fs (%.2fx)   cold CPI %.3f → %.3f (%+.1f%%)   warm %.3f → %.3f (%+.1f%%)   windows=%d\n",
+				spec.Name, arch, r.FullEvalSec, r.SampledEvalSec, r.Speedup,
+				r.FullColdCPI, r.SampledColdCPI, r.ColdErrPct,
+				r.FullWarmCPI, r.SampledWarmCPI, r.WarmErrPct, r.WarmWindows)
+		}
+	}
+	rep.Workloads = len(rep.Rows)
+	rep.GeomeanSpeedup = geomean(speedups)
+	rep.GeomeanCPIErrPct = geomean(errs)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "samplebench:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "samplebench:", err)
+		os.Exit(1)
+	}
+	f.Close()
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "samplebench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("geomean: speedup %.2fx, CPI error %.2f%% (max %.2f%%), %s → %s\n",
+		rep.GeomeanSpeedup, rep.GeomeanCPIErrPct, rep.MaxCPIErrPct, rep.Config, *out)
+	if !rep.Deterministic {
+		fmt.Fprintln(os.Stderr, "samplebench: repeated sampled runs diverged")
+		os.Exit(1)
+	}
+}

@@ -13,6 +13,7 @@
 //	svbench -fn profile -emulate -requests 10
 //	svbench -fn geo -chaos -seed 7
 //	svbench -fn fibonacci-go -trace trace.json -profile -stats-txt stats.txt
+//	svbench -fn aes-python -sample default
 //	svbench -load -rps 200 -duration 50ms -keepalive 10ms -seed 7 -j 4
 //	svbench -scenario retry-storm -arch rv64 -seed 7 -trace storm.json
 //	svbench -scenario list
@@ -58,6 +59,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		arrival  = fs.String("arrival", "poisson", "load: arrival process, poisson or bursty")
 		burst    = fs.Int("burst", 0, "load: bursty batch size (0 = default)")
 		maxInst  = fs.Int("instances", 0, "load: instance pool cap (0 = default)")
+		sample = fs.String("sample", "", "SMARTS-style sampled evaluation: \"default\", \"uU-wW-dD\" or \"U,W,D\" "+
+			"(units: retired records; see docs/perf.md)")
 		traceOut = fs.String("trace", "", "write a Chrome trace_event JSON (Perfetto-loadable) to this file")
 		profile  = fs.Bool("profile", false, "print the sampled guest hot-function profile")
 		statsTxt = fs.String("stats-txt", "", "write the gem5-style stats.txt dump to this file")
@@ -189,6 +192,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		spec.Faults = svbench.DefaultFaultPlan(*seed)
 		spec.Retry = svbench.DefaultRetry()
 	}
+	if *sample != "" {
+		sc, err := parseSample(*sample)
+		if err != nil {
+			fmt.Fprintln(stderr, "svbench:", err)
+			return 2
+		}
+		spec.Sampling = sc
+	}
 	if *traceOut != "" || *profile || *statsTxt != "" {
 		spec.Trace = svbench.TraceOptions{Enabled: true}
 	}
@@ -220,6 +231,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	row("warm", res.Warm)
 	fmt.Fprintf(stdout, "  cold/warm ratio: %.2fx   setup instructions: %d\n",
 		float64(res.Cold.Cycles)/float64(res.Warm.Cycles), res.SetupInsts)
+	if res.SampleWarm != nil {
+		sm := func(label string, m *svbench.SampleMeta) {
+			fmt.Fprintf(stdout, "  sampled %-5s windows=%-4d coverage=%.3f cpi=%.3f±%.3f\n",
+				label, m.Windows, m.Coverage(), m.CPIMean, m.CPIStdErr)
+		}
+		sm("cold", res.SampleCold)
+		sm("warm", res.SampleWarm)
+	}
 	if rep := res.FaultReport; rep != nil {
 		fmt.Fprintf(stdout, "  faults (seed %d): injected=%d dropped=%d corrupted=%d delayed=%d errors=%d spikes=%d outages=%d\n",
 			*seed, rep.Injected, rep.Dropped, rep.Corrupted, rep.Delayed,
@@ -247,6 +266,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprint(stdout, res.Profile.Table())
 	}
 	return 0
+}
+
+// parseSample resolves the -sample flag value: "default" selects the tuned
+// default config, anything else parses as uU-wW-dD or U,W,D.
+func parseSample(s string) (svbench.SamplingConfig, error) {
+	if s == "default" {
+		return svbench.DefaultSamplingConfig(), nil
+	}
+	return svbench.ParseSamplingConfig(s)
 }
 
 // runLoad executes one open-loop load run and prints its deterministic

@@ -82,6 +82,22 @@ func (b *BPred) btbIdx(pc uint64) int {
 // record, reporting whether the front end would have mispredicted.
 func (b *BPred) Mispredicted(rec *isa.TraceRec) bool {
 	b.Lookups++
+	miss := b.observe(rec)
+	if miss {
+		b.Mispredicts++
+	}
+	return miss
+}
+
+// Warm trains the predictor on a control-flow record without counting the
+// lookup or any misprediction: the functional-warming flavour of
+// Mispredicted, used while fast-forwarding between detailed sample windows.
+func (b *BPred) Warm(rec *isa.TraceRec) { b.observe(rec) }
+
+// observe applies the predictor's state update for rec (counters, BTB,
+// RAS) and reports whether the prediction would have missed. It touches no
+// statistics.
+func (b *BPred) observe(rec *isa.TraceRec) bool {
 	miss := false
 	switch rec.Class {
 	case isa.ClassBranch:
@@ -130,9 +146,6 @@ func (b *BPred) Mispredicted(rec *isa.TraceRec) bool {
 		}
 	default:
 		return false
-	}
-	if miss {
-		b.Mispredicts++
 	}
 	return miss
 }

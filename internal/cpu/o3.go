@@ -61,6 +61,14 @@ type WindowStats struct {
 type Coupler struct {
 	commitAt map[uint64]uint64
 	derived  map[uint64][]derivation // base seq -> dependents
+
+	// floorSeq/floorTime summarize sends that happened during a purely
+	// functional stretch (the sampled simulation's fast-forward): every
+	// sequence at or below floorSeq is deemed committed no later than
+	// floorTime. Kernel sequences are globally monotonic, so a single
+	// high-water mark covers all of them.
+	floorSeq  uint64
+	floorTime uint64
 }
 
 type derivation struct {
@@ -100,8 +108,34 @@ func (c *Coupler) post(seq, t uint64) {
 
 // ready returns the commit time of seq, if posted.
 func (c *Coupler) ready(seq uint64) (uint64, bool) {
-	t, ok := c.commitAt[seq]
-	return t, ok
+	if t, ok := c.commitAt[seq]; ok {
+		return t, ok
+	}
+	if seq != 0 && seq <= c.floorSeq {
+		return c.floorTime, true
+	}
+	return 0, false
+}
+
+// SetFloor marks every sequence at or below seq as committed by cycle t.
+// The machine calls this after a functional fast-forward: sends executed
+// during the sprint produced no timed records, so their (and their
+// derivations') commit times collapse onto the sprint's end-of-time
+// horizon. Pending derivations rooted at or below the floor resolve
+// immediately; without this a post-sprint receive would wait forever on a
+// base sequence that will never be posted.
+func (c *Coupler) SetFloor(seq, t uint64) {
+	if seq > c.floorSeq {
+		c.floorSeq = seq
+	}
+	if t > c.floorTime {
+		c.floorTime = t
+	}
+	for base := range c.derived {
+		if base != 0 && base <= c.floorSeq {
+			c.post(base, c.floorTime)
+		}
+	}
 }
 
 const ringWindow = 8192
@@ -480,6 +514,150 @@ func (o *O3) Retire(rec *isa.TraceRec) (uint64, error) {
 		o.coupler.post(rec.Seq, ct)
 	}
 	return ct, nil
+}
+
+// FastForward advances the core past one trace record without modeling
+// the pipeline: the record "commits" one functional cycle after the
+// previous one, no statistics move, and no structural or dataflow hazards
+// are evaluated. Cross-core coupling stays exact — idle/recv records still
+// wait for their peer send (returning ErrWait when it has not been
+// replayed) and send records still post commit times — so interleaving
+// decisions made while fast-forwarding remain deterministic and deadlock-
+// free. With warm set, caches, TLBs and the branch predictor receive
+// functional-warming updates (tags/LRU/counters, zero modeled latency) so
+// the next detailed sample window starts with realistic state.
+func (o *O3) FastForward(rec *isa.TraceRec, warm bool) (uint64, error) {
+	if rec.Class == isa.ClassIdle {
+		t, ok := o.coupler.ready(rec.Seq)
+		if !ok {
+			return 0, ErrWait
+		}
+		o.bump(t + o.Cfg.WakeLat)
+		if o.lastCommit < o.now {
+			o.lastCommit = o.now
+		}
+		return o.now, nil
+	}
+	if rec.Flags&isa.FlagRecv != 0 {
+		t, ok := o.coupler.ready(rec.Seq)
+		if !ok {
+			return 0, ErrWait
+		}
+		o.bump(t + o.Cfg.WakeLat)
+	}
+	if warm {
+		if line := rec.PC >> 6; line != o.curFetchLine {
+			o.curFetchLine = line
+			o.Hier.WarmFetchI(rec.PC)
+		}
+		switch rec.Class {
+		case isa.ClassLoad:
+			o.Hier.WarmAccessD(rec.MemAddr, false)
+		case isa.ClassStore:
+			o.Hier.WarmAccessD(rec.MemAddr, true)
+		case isa.ClassBranch, isa.ClassJump, isa.ClassCall, isa.ClassRet:
+			o.BP.Warm(rec)
+		}
+	}
+	// One functional cycle per record keeps per-core clocks monotone and
+	// cross-core coupling timestamps ordered without pipeline modeling.
+	ct := o.lastCommit + 1
+	if o.now > ct {
+		ct = o.now
+	}
+	o.lastCommit = ct
+	o.now = ct
+	o.renameCount = 0
+	if rec.Flags&isa.FlagSend != 0 {
+		o.coupler.post(rec.Seq, ct)
+	}
+	return ct, nil
+}
+
+// BatchCounts tallies the architectural classes of a fast-forwarded
+// record batch — the exact counts a sampled dump preserves while the
+// pipeline model is bypassed.
+type BatchCounts struct {
+	Insts    uint64
+	MicroOps uint64
+	Loads    uint64
+	Stores   uint64
+	Branches uint64
+}
+
+// FastForwardBatch fast-forwards a run of plain records in one tight
+// loop, equivalent to calling FastForward on each but without the
+// per-record dispatch the eval loop pays. It stops before the first
+// record that carries flags or is an idle pseudo-record — those need the
+// coupler and the caller's event plumbing — and returns the number of
+// records consumed. Class counts accumulate into bc.
+func (o *O3) FastForwardBatch(recs []isa.TraceRec, warm bool, bc *BatchCounts) int {
+	n := 0
+	for i := range recs {
+		rec := &recs[i]
+		if rec.Flags != 0 || rec.Class == isa.ClassIdle {
+			break
+		}
+		bc.Insts++
+		bc.MicroOps += uint64(rec.MicroOps)
+		switch rec.Class {
+		case isa.ClassLoad:
+			bc.Loads++
+			if warm {
+				o.Hier.WarmAccessD(rec.MemAddr, false)
+			}
+		case isa.ClassStore:
+			bc.Stores++
+			if warm {
+				o.Hier.WarmAccessD(rec.MemAddr, true)
+			}
+		case isa.ClassBranch, isa.ClassJump, isa.ClassCall, isa.ClassRet:
+			bc.Branches++
+			if warm {
+				o.BP.Warm(rec)
+			}
+		}
+		if warm {
+			if line := rec.PC >> 6; line != o.curFetchLine {
+				o.curFetchLine = line
+				o.Hier.WarmFetchI(rec.PC)
+			}
+		}
+		n++
+	}
+	if n > 0 {
+		// Same clock arithmetic as n sequential FastForward calls: the
+		// first record commits at max(lastCommit+1, now), each subsequent
+		// one a cycle later.
+		ct := o.lastCommit + 1
+		if o.now > ct {
+			ct = o.now
+		}
+		ct += uint64(n - 1)
+		o.lastCommit = ct
+		o.now = ct
+		o.renameCount = 0
+	}
+	return n
+}
+
+// SkipAhead advances the functional clock by n committed record slots
+// without touching any model state — the timing image of a purely
+// functional sprint, mirroring the one-cycle-per-record advance of the
+// record-replay fast-forward lanes so cross-lane commit timestamps stay
+// comparable.
+func (o *O3) SkipAhead(n uint64) {
+	if n == 0 {
+		return
+	}
+	ct := o.lastCommit + 1
+	if o.now > ct {
+		ct = o.now
+	}
+	ct += n - 1
+	o.lastCommit = ct
+	o.now = ct
+	o.renameCount = 0
 }
 
 // ResetStats begins a new stats window at the current commit time and

@@ -34,6 +34,9 @@ type ReportOpts struct {
 	// by AutoscaleSeed across LoadJobs workers.
 	Autoscale     bool
 	AutoscaleSeed uint64
+	// Sampling adds the sampled-vs-full CPI error table (SMARTS-style
+	// sampled detailed simulation, docs/perf.md).
+	Sampling bool
 	// Log receives progress lines from the chaos study; may be nil.
 	Log func(string)
 }
@@ -121,6 +124,13 @@ func ReportData(res *Results, opt ReportOpts) ([]Data, error) {
 			return nil, err
 		}
 		all = append(all, ta)
+	}
+	if opt.Sampling {
+		ts, err := TableSampling([]isa.Arch{isa.RV64, isa.CISC64}, opt.Log)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, ts)
 	}
 	return all, nil
 }

@@ -1,0 +1,69 @@
+package figures
+
+import (
+	"fmt"
+
+	"svbench/internal/gemsys"
+	"svbench/internal/harness"
+	"svbench/internal/isa"
+	"svbench/internal/langrt"
+)
+
+// SamplingSpecs returns the scaled standalone workloads of the sampling
+// study: request sizes are scaled up (see harness.ScaledFibSpec) so every
+// stats window spans many sampling intervals — the regime SMARTS-style
+// sampled simulation targets. One workload per runtime.
+func SamplingSpecs() []harness.Spec {
+	return []harness.Spec{
+		harness.ScaledFibSpec(langrt.GoRT, 50000),
+		harness.ScaledAESSpec(langrt.PyRT, 1024),
+		harness.ScaledAESSpec(langrt.NodeRT, 1024),
+	}
+}
+
+// TableSampling runs the sampling-study workloads full-detail and sampled
+// (gemsys.DefaultSamplingConfig) on each arch and reports the cold/warm
+// CPI of both modes plus the sampled run's relative error in percent. The
+// full and sampled runs of one workload share a memoized boot checkpoint:
+// sampling never enters the boot fingerprint.
+func TableSampling(arches []isa.Arch, log func(string)) (Data, error) {
+	sc := gemsys.DefaultSamplingConfig()
+	d := Data{
+		ID: "table-sampling",
+		Title: fmt.Sprintf("Sampled vs full-detail CPI (%s; windows = measured detail windows in the warm stats window)",
+			sc),
+		Columns: []string{"full cold CPI", "sampled cold CPI", "cold err %",
+			"full warm CPI", "sampled warm CPI", "warm err %", "windows"},
+	}
+	for _, arch := range arches {
+		for _, spec := range SamplingSpecs() {
+			cache := harness.NewBootCache()
+			cfg := gemsys.DefaultConfig(arch)
+			full, err := harness.RunCached(cfg, spec, cache)
+			if err != nil {
+				return d, fmt.Errorf("table-sampling %s/%s full: %w", spec.Name, arch, err)
+			}
+			sp := spec
+			sp.Sampling = sc
+			sampled, err := harness.RunCached(cfg, sp, cache)
+			if err != nil {
+				return d, fmt.Errorf("table-sampling %s/%s sampled: %w", spec.Name, arch, err)
+			}
+			coldErr := 100 * (sampled.Cold.CPI() - full.Cold.CPI()) / full.Cold.CPI()
+			warmErr := 100 * (sampled.Warm.CPI() - full.Warm.CPI()) / full.Warm.CPI()
+			var windows float64
+			if sampled.SampleWarm != nil {
+				windows = float64(sampled.SampleWarm.Windows)
+			}
+			if log != nil {
+				log(fmt.Sprintf("table-sampling %s/%s: cold %+.2f%% warm %+.2f%%", spec.Name, arch, coldErr, warmErr))
+			}
+			d.Rows = append(d.Rows, Row{
+				Label: fmt.Sprintf("%s/%s", spec.Name, arch),
+				Values: []float64{full.Cold.CPI(), sampled.Cold.CPI(), coldErr,
+					full.Warm.CPI(), sampled.Warm.CPI(), warmErr, windows},
+			})
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,43 @@
+package figures
+
+import (
+	"math"
+	"testing"
+
+	"svbench/internal/isa"
+)
+
+// TestTableSampling: the sampled-vs-full table must have one row per
+// workload, CPI columns consistent with the reported error columns, and a
+// positive measured-window count for every row.
+func TestTableSampling(t *testing.T) {
+	d, err := TableSampling([]isa.Arch{isa.RV64}, func(s string) { t.Log(s) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(SamplingSpecs()); len(d.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(d.Rows), want)
+	}
+	if len(d.Columns) != 7 {
+		t.Fatalf("columns = %d, want 7", len(d.Columns))
+	}
+	for _, r := range d.Rows {
+		fullCold, sampCold, coldErr := r.Values[0], r.Values[1], r.Values[2]
+		fullWarm, sampWarm, warmErr := r.Values[3], r.Values[4], r.Values[5]
+		windows := r.Values[6]
+		if fullCold <= 0 || fullWarm <= 0 {
+			t.Errorf("%s: non-positive full CPI", r.Label)
+		}
+		wantCold := 100 * (sampCold - fullCold) / fullCold
+		if math.Abs(coldErr-wantCold) > 1e-9 {
+			t.Errorf("%s: cold err %.4f inconsistent with CPIs (want %.4f)", r.Label, coldErr, wantCold)
+		}
+		wantWarm := 100 * (sampWarm - fullWarm) / fullWarm
+		if math.Abs(warmErr-wantWarm) > 1e-9 {
+			t.Errorf("%s: warm err %.4f inconsistent with CPIs (want %.4f)", r.Label, warmErr, wantWarm)
+		}
+		if windows < 1 {
+			t.Errorf("%s: %v measured windows in warm stats window", r.Label, windows)
+		}
+	}
+}

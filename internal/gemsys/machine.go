@@ -41,11 +41,25 @@ type Machine struct {
 	recording bool
 	scratch   []isa.TraceRec
 
-	nextRegion uint64
-	virtInstr  uint64
-	halted     bool
-	ckptReq    bool
-	hookProc   *kernel.Process
+	nextRegion  uint64
+	virtInstr   uint64
+	evalRetired uint64
+	halted      bool
+	ckptReq     bool
+	hookProc    *kernel.Process
+
+	// Functional-sprint state (see Machine.sprint). While sprinting,
+	// recording is off and there is no trace record to annotate, so the
+	// hook parks m5 markers in m5Pending and every stepping loop polls it
+	// to stop at the next block boundary. The per-core counters are the
+	// sprint's substitute for per-record accounting: stepQuantum folds
+	// no-trace-lane deltas into them so the sampler sees the same exact
+	// architectural census it would have read off the trace.
+	sprinting   bool
+	m5Pending   uint8
+	sprintIdle  []uint64
+	sprintInsts []uint64
+	sprintCnt   []isa.ClassCounts
 
 	// stepBase is the stepping core's InstrCount at the start of the
 	// in-flight Step/StepN call; syncClock folds the delta into virtInstr
@@ -125,16 +139,19 @@ func New(cfg Config) (*Machine, error) {
 		return nil, fmt.Errorf("gemsys: kernel: %w", err)
 	}
 	m := &Machine{
-		Cfg:        cfg,
-		Mem:        isa.NewMem(cfg.MemBytes),
-		DRAM:       mem.NewDRAM(cfg.DRAM),
-		decRV:      riscv.NewDecodeCacheShared(kimg.sharedRV),
-		decC:       cisc.NewDecodeCacheShared(kimg.sharedC),
-		cur:        make([]*kernel.Process, cfg.Cores),
-		rq:         make([][]*kernel.Process, cfg.Cores),
-		traces:     make([][]isa.TraceRec, cfg.Cores),
-		cursor:     make([]int, cfg.Cores),
-		nextRegion: firstProc,
+		Cfg:         cfg,
+		Mem:         isa.NewMem(cfg.MemBytes),
+		DRAM:        mem.NewDRAM(cfg.DRAM),
+		decRV:       riscv.NewDecodeCacheShared(kimg.sharedRV),
+		decC:        cisc.NewDecodeCacheShared(kimg.sharedC),
+		cur:         make([]*kernel.Process, cfg.Cores),
+		rq:          make([][]*kernel.Process, cfg.Cores),
+		traces:      make([][]isa.TraceRec, cfg.Cores),
+		cursor:      make([]int, cfg.Cores),
+		sprintIdle:  make([]uint64, cfg.Cores),
+		sprintInsts: make([]uint64, cfg.Cores),
+		sprintCnt:   make([]isa.ClassCounts, cfg.Cores),
+		nextRegion:  firstProc,
 	}
 	m.K = kernel.New(m.Mem, slabBase, slabSize)
 	m.K.Clock = func() uint64 { return m.virtInstr }
@@ -319,11 +336,19 @@ func (m *Machine) hook(c isa.Core) isa.EcallResult {
 	m.syncClock(c)
 	switch c.EcallNum() {
 	case kernel.M5ResetStats:
-		c.Annotate(isa.FlagM5Reset, 0)
+		if m.sprinting {
+			m.m5Pending |= isa.FlagM5Reset
+		} else {
+			c.Annotate(isa.FlagM5Reset, 0)
+		}
 		c.SetRet(0)
 		return isa.EcallHandled
 	case kernel.M5DumpStats:
-		c.Annotate(isa.FlagM5Dump, 0)
+		if m.sprinting {
+			m.m5Pending |= isa.FlagM5Dump
+		} else {
+			c.Annotate(isa.FlagM5Dump, 0)
+		}
 		c.SetRet(0)
 		return isa.EcallHandled
 	case kernel.M5Checkpoint:
@@ -395,6 +420,16 @@ func (m *Machine) stepQuantum(ci int) (bool, error) {
 					Class: isa.ClassIdle, Seq: p.WakeSeq,
 					Src1: isa.NoDep, Src2: isa.NoDep, Dst: isa.NoDep,
 				})
+			} else if m.sprinting {
+				// The idle pseudo-record the recording lane would have
+				// appended occupies one retired-record slot; charging it
+				// against the quantum keeps the sprint's record count
+				// exact so it never overshoots its target.
+				m.sprintIdle[ci]++
+				rem--
+				if rem == 0 {
+					return ran, nil
+				}
 			}
 		}
 		m.stepBase = p.Core.InstrCount()
@@ -402,6 +437,13 @@ func (m *Machine) stepQuantum(ci int) (bool, error) {
 		var err error
 		if recording {
 			n, m.traces[ci], err = p.Core.StepN(rem, m.traces[ci])
+		} else if m.sprinting {
+			cc0 := p.Core.Classes()
+			n, _, err = p.Core.StepN(rem, nil)
+			if n > 0 {
+				m.sprintInsts[ci] += uint64(n)
+				m.sprintCnt[ci].Add(p.Core.Classes().Since(cc0))
+			}
 		} else {
 			n, _, err = p.Core.StepN(rem, nil)
 		}
@@ -422,7 +464,7 @@ func (m *Machine) stepQuantum(ci int) (bool, error) {
 				return ran, fmt.Errorf("gemsys: core %d proc %s: %w", ci, p.Name, err)
 			}
 		}
-		if m.ckptReq || m.K.Panicked {
+		if m.ckptReq || m.K.Panicked || m.m5Pending != 0 {
 			return ran, nil
 		}
 	}
@@ -527,7 +569,11 @@ func (m *Machine) queueLen(ci int) int { return len(m.traces[ci]) - m.cursor[ci]
 
 func (m *Machine) popRec(ci int) {
 	m.cursor[ci]++
-	// Compact the queue once the consumed prefix dominates.
+	m.compactTrace(ci)
+}
+
+// compactTrace drops the consumed queue prefix once it dominates.
+func (m *Machine) compactTrace(ci int) {
 	if m.cursor[ci] > 1<<16 && m.cursor[ci]*2 > len(m.traces[ci]) {
 		n := copy(m.traces[ci], m.traces[ci][m.cursor[ci]:])
 		m.traces[ci] = m.traces[ci][:n]
@@ -535,60 +581,226 @@ func (m *Machine) popRec(ci int) {
 	}
 }
 
-// collectStats projects a stats.Dump out of the hierarchical registry —
-// the registry is the single source; the Dump is just the shape the
+// coreStats projects one core's counters out of the hierarchical registry
+// — the registry is the single source; CoreStats is just the shape the
 // figures pipeline consumes.
+func (m *Machine) coreStats(ci int) stats.CoreStats {
+	p := fmt.Sprintf("machine.core%d", ci)
+	return stats.CoreStats{
+		Cycles:      m.Reg.U64(p + ".o3.windowCycles"),
+		Insts:       m.Reg.U64(p + ".o3.insts"),
+		MicroOps:    m.Reg.U64(p + ".o3.microops"),
+		Loads:       m.Reg.U64(p + ".o3.loads"),
+		Stores:      m.Reg.U64(p + ".o3.stores"),
+		Branches:    m.Reg.U64(p + ".o3.branches"),
+		Mispredicts: m.Reg.U64(p + ".o3.mispredicts"),
+		L1IAccesses: m.Reg.U64(p + ".l1i.accesses"),
+		L1IMisses:   m.Reg.U64(p + ".l1i.misses"),
+		L1DAccesses: m.Reg.U64(p + ".l1d.accesses"),
+		L1DMisses:   m.Reg.U64(p + ".l1d.misses"),
+		L2Accesses:  m.Reg.U64(p + ".l2.accesses"),
+		L2Misses:    m.Reg.U64(p + ".l2.misses"),
+		ITLBMisses:  m.Reg.U64(p + ".itlb.misses"),
+		DTLBMisses:  m.Reg.U64(p + ".dtlb.misses"),
+	}
+}
+
+// collectStats projects a full-detail stats.Dump for every core.
 func (m *Machine) collectStats(label string) stats.Dump {
 	d := stats.Dump{Label: label}
 	for ci := 0; ci < m.Cfg.Cores; ci++ {
-		p := fmt.Sprintf("machine.core%d", ci)
-		d.Cores = append(d.Cores, stats.CoreStats{
-			Cycles:      m.Reg.U64(p + ".o3.windowCycles"),
-			Insts:       m.Reg.U64(p + ".o3.insts"),
-			MicroOps:    m.Reg.U64(p + ".o3.microops"),
-			Loads:       m.Reg.U64(p + ".o3.loads"),
-			Stores:      m.Reg.U64(p + ".o3.stores"),
-			Branches:    m.Reg.U64(p + ".o3.branches"),
-			Mispredicts: m.Reg.U64(p + ".o3.mispredicts"),
-			L1IAccesses: m.Reg.U64(p + ".l1i.accesses"),
-			L1IMisses:   m.Reg.U64(p + ".l1i.misses"),
-			L1DAccesses: m.Reg.U64(p + ".l1d.accesses"),
-			L1DMisses:   m.Reg.U64(p + ".l1d.misses"),
-			L2Accesses:  m.Reg.U64(p + ".l2.accesses"),
-			L2Misses:    m.Reg.U64(p + ".l2.misses"),
-			ITLBMisses:  m.Reg.U64(p + ".itlb.misses"),
-			DTLBMisses:  m.Reg.U64(p + ".dtlb.misses"),
-		})
+		d.Cores = append(d.Cores, m.coreStats(ci))
 	}
 	return d
 }
+
+// pendingTrace reports whether any core still has unretired trace records.
+func (m *Machine) pendingTrace() bool {
+	for ci := range m.traces {
+		if m.queueLen(ci) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// EvalRetired returns how many trace records the last (or in-progress)
+// RunEval retired — the clock the sampling phase machine and the eval
+// budget are measured in.
+func (m *Machine) EvalRetired() uint64 { return m.evalRetired }
 
 // RunEval runs evaluation mode: functional execution feeds per-core
 // instruction traces into the detailed O3 models; m5 reset/dump markers
 // delimit stats windows. It returns one Dump per m5 dump-stats operation.
 func (m *Machine) RunEval(budget uint64) ([]stats.Dump, error) {
+	return m.RunEvalSampled(budget, SamplingConfig{})
+}
+
+// sprintDone is the number of retired-record slots the in-progress (or
+// just-finished) sprint consumed: instructions stepped plus idle events
+// that would have produced pseudo-records on the recording lane.
+func (m *Machine) sprintDone() uint64 {
+	var t uint64
+	for ci, n := range m.sprintInsts {
+		t += n + m.sprintIdle[ci]
+	}
+	return t
+}
+
+// sprint executes up to target retired-record slots purely functionally —
+// no trace records built, no timing models touched — and reports how many
+// it consumed. This is the sampled eval loop's true fast-forward lane: the
+// bulk record lane still pays the recording interpreter plus a touch per
+// record, while a sprint runs the no-trace interpreter flat out. The
+// caller owns the consequences: it must fold the per-core census into the
+// sampler, advance the retired clock, set the coupler floor (sends during
+// the sprint post no commit times), and process any parked m5 marker.
+// The sprint stops early at a marker, a halt, a checkpoint request, or a
+// kernel panic; running out of runnable processes with slots still to
+// consume is the same deadlock it would be in setup mode.
+func (m *Machine) sprint(target uint64) (uint64, error) {
+	m.recording = false
+	m.sprinting = true
+	for ci := range m.sprintCnt {
+		m.sprintIdle[ci] = 0
+		m.sprintInsts[ci] = 0
+		m.sprintCnt[ci] = isa.ClassCounts{}
+	}
+	q0 := m.Cfg.Quantum
+	defer func() {
+		m.Cfg.Quantum = q0
+		m.sprinting = false
+		m.recording = true
+	}()
+	for {
+		d0 := m.sprintDone()
+		if d0 >= target || m.halted || m.ckptReq || m.K.Panicked || m.m5Pending != 0 {
+			break
+		}
+		any := false
+		for ci := 0; ci < m.Cfg.Cores; ci++ {
+			d := m.sprintDone()
+			if d >= target {
+				break
+			}
+			// Narrowing the quantum to the remaining slot count makes
+			// StepN (and the idle charge above) land exactly on target.
+			if left := target - d; left < uint64(q0) {
+				m.Cfg.Quantum = int(left)
+			} else {
+				m.Cfg.Quantum = q0
+			}
+			ran, err := m.stepQuantum(ci)
+			if err != nil {
+				return m.sprintDone(), err
+			}
+			any = any || ran
+			if m.halted || m.ckptReq || m.K.Panicked || m.m5Pending != 0 {
+				break
+			}
+		}
+		if err := m.panicErr(); err != nil {
+			return m.sprintDone(), err
+		}
+		if !any && m.sprintDone() == d0 &&
+			!m.halted && !m.ckptReq && m.m5Pending == 0 {
+			return d0, fmt.Errorf("%w (eval sprint: all processes blocked)", ErrDeadlock)
+		}
+	}
+	if err := m.panicErr(); err != nil {
+		return m.sprintDone(), err
+	}
+	return m.sprintDone(), nil
+}
+
+// RunEvalSampled is RunEval with SMARTS-style sampling: per interval of
+// sc.Interval retired records, the first sc.Detail retire through the full
+// O3 model, the last sc.Warmup fast-forward with functional warming of
+// caches/TLBs/branch predictors, and the remainder fast-forward at one
+// functional cycle per record. Dumps are extrapolated from the measured
+// windows (see sampler.dump). The zero SamplingConfig is bit-identical to
+// RunEval.
+func (m *Machine) RunEvalSampled(budget uint64, sc SamplingConfig) ([]stats.Dump, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
 	m.recording = true
 	for _, o := range m.O3 {
 		o.ColdStart()
 		o.ResetStats()
 	}
+	var smp *sampler
+	if sc.Enabled() {
+		smp = newSampler(sc, m.O3)
+	}
 	var dumps []stats.Dump
 	var retired uint64
+	m.evalRetired = 0
 	ndump := 0
+	order := make([]int, m.Cfg.Cores)
+	times := make([]uint64, m.Cfg.Cores)
 	for {
+		// Exact budget bound: the (budget+1)-th record must not retire.
+		if retired >= budget && m.pendingTrace() {
+			return dumps, fmt.Errorf("gemsys: eval exceeded %d instructions", budget)
+		}
 		// Order candidate cores by local time to approximate global
 		// interleaving on the shared DRAM channel.
-		order := []int{0, 1}
-		if m.O3[1].Now() < m.O3[0].Now() {
-			order = []int{1, 0}
+		for ci := range times {
+			times[ci] = m.O3[ci].Now()
 		}
+		orderCoresByTime(order, times)
 		progressed := false
 		for _, ci := range order {
 			if m.queueLen(ci) == 0 {
 				continue
 			}
+			// Bulk fast-forward lane: outside detailed windows, plain
+			// records need none of the per-record plumbing below (tracer,
+			// profiler, flag dispatch), so a whole run up to the next
+			// phase boundary retires in one tight loop. Observability
+			// keeps the per-record path.
+			if smp != nil && (smp.phase == phaseFF || smp.phase == phaseWarm) &&
+				m.Tracer == nil && m.Prof == nil {
+				room := smp.bulkRoom(retired)
+				if left := budget - retired; left < room {
+					room = left
+				}
+				if room > 0 {
+					recs := m.traces[ci][m.cursor[ci]:]
+					if uint64(len(recs)) > room {
+						recs = recs[:room]
+					}
+					var bc cpu.BatchCounts
+					if n := m.O3[ci].FastForwardBatch(recs, smp.phase == phaseWarm, &bc); n > 0 {
+						smp.accountBatch(ci, &bc)
+						m.cursor[ci] += n
+						m.compactTrace(ci)
+						retired += uint64(n)
+						m.evalRetired = retired
+						smp.advance(retired)
+						progressed = true
+						break
+					}
+					// A flagged or idle record heads the queue: fall
+					// through to the per-record path.
+				}
+			}
 			rec := &m.traces[ci][m.cursor[ci]]
-			ct, err := m.O3[ci].Retire(rec)
+			var ct uint64
+			var err error
+			if smp == nil {
+				ct, err = m.O3[ci].Retire(rec)
+			} else {
+				switch smp.phase {
+				case phaseDetail, phaseDetailPre:
+					ct, err = m.O3[ci].Retire(rec)
+				case phaseWarm:
+					ct, err = m.O3[ci].FastForward(rec, true)
+				default:
+					ct, err = m.O3[ci].FastForward(rec, false)
+				}
+			}
 			if err == cpu.ErrWait {
 				continue
 			}
@@ -632,9 +844,15 @@ func (m *Machine) RunEval(budget uint64) ([]stats.Dump, error) {
 					m.Prof.Observe(ci, ct, rec.PC)
 				}
 			}
+			if smp != nil {
+				// Like the tracer/profiler reads above, account must see
+				// rec before popRec's queue compaction can move it.
+				smp.account(ci, rec)
+			}
 			m.popRec(ci)
 			progressed = true
 			retired++
+			m.evalRetired = retired
 			if flags&isa.FlagM5Reset != 0 {
 				for _, o := range m.O3 {
 					o.ResetStats()
@@ -642,33 +860,102 @@ func (m *Machine) RunEval(budget uint64) ([]stats.Dump, error) {
 				for _, d := range m.ecallLat {
 					d.Reset()
 				}
+				if smp != nil {
+					smp.reset(retired)
+				}
 			}
 			if flags&isa.FlagM5Dump != 0 {
 				ndump++
-				dumps = append(dumps, m.collectStats(fmt.Sprintf("dump%d", ndump)))
+				if smp != nil {
+					dumps = append(dumps, smp.dump(m, fmt.Sprintf("dump%d", ndump)))
+				} else {
+					dumps = append(dumps, m.collectStats(fmt.Sprintf("dump%d", ndump)))
+				}
+			}
+			if smp != nil {
+				smp.advance(retired)
 			}
 			break
 		}
 		if progressed {
-			if retired > budget {
-				return dumps, fmt.Errorf("gemsys: eval exceeded %d instructions", budget)
-			}
 			continue
 		}
 		if m.halted {
 			if err := m.panicErr(); err != nil {
 				return dumps, err
 			}
-			if m.queueLen(0) == 0 && m.queueLen(1) == 0 {
+			if !m.pendingTrace() {
 				return dumps, nil
 			}
 			return dumps, fmt.Errorf("%w (eval: pending trace cannot retire)", ErrDeadlock)
+		}
+		// Nothing can retire and the grid is in the fast-forward phase:
+		// sprint the functional cores to the phase boundary with recording
+		// off entirely, then fold the census and let any parked m5 marker
+		// replay through the same bookkeeping the per-record path uses.
+		// Observability and the single-step reference keep the recorded
+		// pump below.
+		if smp != nil && smp.phase == phaseFF && !m.SingleStep &&
+			m.Tracer == nil && m.Prof == nil {
+			room := smp.bulkRoom(retired)
+			if left := budget - retired; left < room {
+				room = left
+			}
+			if room > 0 {
+				n, err := m.sprint(room)
+				if n > 0 {
+					for ci := range m.O3 {
+						smp.sprintFold(ci, m.sprintInsts[ci], m.sprintCnt[ci])
+						// Advance each core's functional clock exactly as
+						// the record-replay fast-forward lane would have:
+						// one cycle per retired-record slot.
+						m.O3[ci].SkipAhead(m.sprintInsts[ci] + m.sprintIdle[ci])
+					}
+					retired += n
+					m.evalRetired = retired
+					// Sends executed during the sprint never post commit
+					// times; collapse them (and their derivations) onto the
+					// modeled-time horizon so post-sprint receives resolve
+					// instead of waiting forever.
+					seq, _ := m.K.SnapState()
+					var horizon uint64
+					for _, o := range m.O3 {
+						if t := o.Now(); t > horizon {
+							horizon = t
+						}
+					}
+					m.Coupler.SetFloor(seq, horizon)
+				}
+				if err != nil {
+					return dumps, err
+				}
+				if pend := m.m5Pending; pend != 0 {
+					m.m5Pending = 0
+					if pend&isa.FlagM5Reset != 0 {
+						for _, o := range m.O3 {
+							o.ResetStats()
+						}
+						for _, d := range m.ecallLat {
+							d.Reset()
+						}
+						smp.reset(retired)
+					}
+					if pend&isa.FlagM5Dump != 0 {
+						ndump++
+						dumps = append(dumps, smp.dump(m, fmt.Sprintf("dump%d", ndump)))
+					}
+				}
+				smp.advance(retired)
+				if n > 0 {
+					continue
+				}
+			}
 		}
 		ran, err := m.pump()
 		if err != nil {
 			return dumps, err
 		}
-		if !ran && m.queueLen(0) == 0 && m.queueLen(1) == 0 {
+		if !ran && !m.pendingTrace() {
 			return dumps, fmt.Errorf("%w (eval: all processes blocked)", ErrDeadlock)
 		}
 	}

@@ -93,6 +93,15 @@ type Spec struct {
 	// gem5-style stats text, and the sampled guest profile.
 	Trace trace.Options
 
+	// Sampling, when enabled, runs the evaluation phase in SMARTS-style
+	// sampled-detailed mode (gemsys.Machine.RunEvalSampled): functional
+	// fast-forward with functional warming between periodic detailed O3
+	// windows, stats extrapolated from the measured windows. The zero
+	// value is full detail, bit-identical to not setting it. Sampling is
+	// an eval-phase knob only: it never enters the boot fingerprint, so
+	// sampled and full-detail runs share memoized boot checkpoints.
+	Sampling gemsys.SamplingConfig
+
 	// Faults, when set, injects the plan's deterministic fault schedule
 	// into the run (armed after the checkpoint restore, so setup is
 	// never faulted).
@@ -109,6 +118,10 @@ type Result struct {
 	Runtime    langrt.Runtime
 	Arch       isa.Arch
 	Cold, Warm stats.CoreStats
+	// SampleCold/SampleWarm describe the extrapolation quality of the
+	// server core's cold/warm windows when Spec.Sampling was enabled;
+	// nil for full-detail runs.
+	SampleCold, SampleWarm *stats.SampleMeta
 	SetupInsts uint64
 	Response   []byte
 	// FaultReport is the run's fault ledger; nil without a fault plan.
@@ -208,6 +221,9 @@ func BootSpec(cfg gemsys.Config, spec Spec) (*Boot, error) {
 	if b.nreq < 2 {
 		return nil, failErr("spec", fmt.Errorf(
 			"Requests must be >= 2, got %d: the cold and warm m5 reset/dump markers need distinct requests", b.nreq))
+	}
+	if err := spec.Sampling.Validate(); err != nil {
+		return nil, failErr("spec", err)
 	}
 
 	if spec.Trace.Enabled {
@@ -322,8 +338,8 @@ func (b *Boot) Measure(ck *gemsys.Checkpoint, setupInsts uint64) (*Result, error
 		b.inj.Arm()
 	}
 
-	// Evaluation mode (detailed O3 CPU).
-	dumps, err := m.RunEval(evalBudget)
+	// Evaluation mode (detailed O3 CPU, optionally sampled).
+	dumps, err := m.RunEvalSampled(evalBudget, spec.Sampling)
 	partial := partialResult(spec, b.cfg.Arch, m, dumps, b.inj, setupInsts)
 	if err != nil {
 		return b.fail("eval", partial, err)
@@ -337,6 +353,8 @@ func (b *Boot) Measure(ck *gemsys.Checkpoint, setupInsts uint64) (*Result, error
 		Arch:       b.cfg.Arch,
 		Cold:       dumps[0].Server(),
 		Warm:       dumps[1].Server(),
+		SampleCold: dumps[0].ServerSampling(),
+		SampleWarm: dumps[1].ServerSampling(),
 		SetupInsts: setupInsts,
 		Response:   append([]byte(nil), m.K.Console.Bytes()...),
 	}
@@ -374,11 +392,13 @@ func partialResult(spec Spec, arch isa.Arch, m *gemsys.Machine, dumps []stats.Du
 		Runtime:    spec.Runtime,
 		Arch:       arch,
 		Cold:       dumps[0].Server(),
+		SampleCold: dumps[0].ServerSampling(),
 		SetupInsts: setupInsts,
 		Response:   append([]byte(nil), m.K.Console.Bytes()...),
 	}
 	if len(dumps) > 1 {
 		r.Warm = dumps[1].Server()
+		r.SampleWarm = dumps[1].ServerSampling()
 	}
 	if inj != nil {
 		rep := inj.Report

@@ -74,6 +74,64 @@ func StandaloneSpecs() []Spec {
 	return specs
 }
 
+// FibMod64 computes fib(n) mod 2^64, the workload's natural wrap — the
+// expected response of a scaled fibonacci request.
+func FibMod64(n int) uint64 {
+	var x, y uint64 = 0, 1
+	for i := 0; i < n; i++ {
+		x, y = y, x+y
+	}
+	return x
+}
+
+// ScaledFibSpec returns a fibonacci Spec with an explicit iteration count.
+// The default catalog entry runs fib(30) — a few thousand instructions per
+// request, far below one SMARTS sampling interval. The sampling studies
+// (samplebench, the figures sampling table) scale n up so each stats
+// window spans many intervals, which is the regime sampled simulation is
+// designed for.
+func ScaledFibSpec(rt langrt.Runtime, n int) Spec {
+	want := FibMod64(n)
+	return Spec{
+		Name:    fmt.Sprintf("fibonacci-%s-n%d", rt, n),
+		Runtime: rt,
+		Build:   static(vswarm.Fibonacci),
+		Request: func() []byte { return vswarm.FibRequest(n) },
+		Check: func(r *rpc.Reader) error {
+			v, err := r.Int()
+			if err != nil {
+				return err
+			}
+			if v != want {
+				return fmt.Errorf("fib(%d) = %d, want %d", n, v, want)
+			}
+			return nil
+		},
+	}
+}
+
+// ScaledAESSpec returns an aes Spec with an explicit payload size (the
+// catalog default is 64 bytes). See ScaledFibSpec for why the sampling
+// studies scale the request up.
+func ScaledAESSpec(rt langrt.Runtime, payload int) Spec {
+	return Spec{
+		Name:    fmt.Sprintf("aes-%s-p%d", rt, payload),
+		Runtime: rt,
+		Build:   static(vswarm.AES),
+		Request: func() []byte { return vswarm.AESRequest(payload) },
+		Check: func(r *rpc.Reader) error {
+			b, err := r.Bytes()
+			if err != nil {
+				return err
+			}
+			if len(b) != payload {
+				return fmt.Errorf("cipher length %d, want %d", len(b), payload)
+			}
+			return nil
+		},
+	}
+}
+
 // ShopSpecs returns the six Online Shop functions (Table 3.3).
 func ShopSpecs() []Spec {
 	expectCount := func(min uint64) func(*rpc.Reader) error {

@@ -25,6 +25,7 @@ type block struct {
 	insts []Inst
 	recs  []isa.TraceRec
 	uops  []uop
+	cnt   isa.ClassCounts // static census of recs (whole-block fast-lane add)
 
 	// Superblock links: successor blocks keyed by the architectural next
 	// PC observed after this block completed. Two slots cover the common
@@ -413,6 +414,7 @@ func (d *DecodeCache) blockAt(pc uint64, mem *isa.Mem) (*block, error) {
 		}
 	}
 	b.end = p
+	b.cnt.AddRecs(b.recs)
 	d.blocks[pc] = b
 	d.mruBPC, d.mruB = pc, b
 	return b, nil
@@ -794,11 +796,24 @@ func (c *Core) stepBlockTrace(b *block, max int, out []isa.TraceRec) (int, []isa
 }
 
 // stepBlockFast executes up to max instructions of b without building any
-// trace records — the setup-phase lane. Architectural effects, retired
-// counts and syscall behavior are identical to stepBlockTrace (Annotate
-// is a no-op because no record is in flight, matching the single-step
-// path whose records the machine discards in this mode).
+// trace records — the setup-phase and fast-forward lane. Architectural
+// effects, retired counts and syscall behavior are identical to
+// stepBlockTrace (Annotate is a no-op because no record is in flight,
+// matching the single-step path whose records the machine discards in
+// this mode). The class census is folded from the block's static totals —
+// one whole-block add in the common case, a template prefix scan when the
+// run was cut short by the budget or a control transfer.
 func (c *Core) stepBlockFast(b *block, max int) (int, bool, error) {
+	n, stop, err := c.stepBlockFastInner(b, max)
+	if n == len(b.recs) {
+		c.classes.Add(b.cnt)
+	} else if n > 0 {
+		c.classes.AddRecs(b.recs[:n])
+	}
+	return n, stop, err
+}
+
+func (c *Core) stepBlockFastInner(b *block, max int) (int, bool, error) {
 	r := &c.Regs
 	n := len(b.uops)
 	full := n <= max

@@ -202,6 +202,7 @@ type Core struct {
 	Dec          *DecodeCache
 
 	nInstr   uint64
+	classes  isa.ClassCounts // census of the no-trace lane (see isa.ClassCounts)
 	inflight *isa.TraceRec
 
 	// DebugRing, when non-nil, records the most recent executed PCs for
@@ -263,6 +264,9 @@ func (c *Core) SetStackPtr(v uint64) { c.Regs[RSP] = v }
 
 // InstrCount reports retired instructions.
 func (c *Core) InstrCount() uint64 { return c.nInstr }
+
+// Classes reports the cumulative class census of the no-trace lane.
+func (c *Core) Classes() isa.ClassCounts { return c.classes }
 
 // CallInto redirects execution to a handler at addr, pushing the resume
 // address so the handler's RET continues after the current instruction.

@@ -89,6 +89,56 @@ type TraceRec struct {
 	MicroOps uint8  // decoded micro-operations (>=1); CISC may expand
 }
 
+// ClassCounts is a cumulative census of retired instructions by class,
+// maintained only by the no-trace StepN lane. When the machine executes
+// instructions without building TraceRecs (the setup phase and the sampled
+// simulation's functional fast-forward), deltas of these counters replace
+// the per-record accounting that the trace queue would otherwise provide.
+type ClassCounts struct {
+	MicroOps uint64
+	Loads    uint64
+	Stores   uint64
+	Branches uint64 // conditional + unconditional + call + ret
+}
+
+// Since returns the census accumulated between prev and cc, where prev is
+// an earlier reading of the same monotonic counter.
+func (cc ClassCounts) Since(prev ClassCounts) ClassCounts {
+	return ClassCounts{
+		MicroOps: cc.MicroOps - prev.MicroOps,
+		Loads:    cc.Loads - prev.Loads,
+		Stores:   cc.Stores - prev.Stores,
+		Branches: cc.Branches - prev.Branches,
+	}
+}
+
+// Add accumulates o into cc.
+func (cc *ClassCounts) Add(o ClassCounts) {
+	cc.MicroOps += o.MicroOps
+	cc.Loads += o.Loads
+	cc.Stores += o.Stores
+	cc.Branches += o.Branches
+}
+
+// AddRecs accumulates the census of recs into cc. The class mapping
+// mirrors the sampler's per-record accounting exactly: every record
+// contributes its micro-ops, and control transfers of all four flavors
+// count as branches.
+func (cc *ClassCounts) AddRecs(recs []TraceRec) {
+	for i := range recs {
+		r := &recs[i]
+		cc.MicroOps += uint64(r.MicroOps)
+		switch r.Class {
+		case ClassLoad:
+			cc.Loads++
+		case ClassStore:
+			cc.Stores++
+		case ClassBranch, ClassJump, ClassCall, ClassRet:
+			cc.Branches++
+		}
+	}
+}
+
 // Mem is the flat physical memory of a simulated machine. All functional
 // cores of the machine share one Mem; the cache models only observe the
 // trace, so functional accesses go straight to the backing slice.
@@ -317,6 +367,11 @@ type Core interface {
 	Restore([]uint64)
 	// InstrCount reports instructions executed by this core state.
 	InstrCount() uint64
+	// Classes reports the cumulative per-class census of instructions
+	// retired through the no-trace StepN lane (see ClassCounts). Callers
+	// that interleave traced and untraced execution must difference the
+	// counter around untraced stretches rather than read it absolutely.
+	Classes() ClassCounts
 	Arch() Arch
 }
 

@@ -203,7 +203,8 @@ type Core struct {
 	Dec  *DecodeCache
 
 	nInstr   uint64
-	inflight *isa.TraceRec // record being built during Step (for Annotate)
+	classes  isa.ClassCounts // census of the no-trace lane (see isa.ClassCounts)
+	inflight *isa.TraceRec   // record being built during Step (for Annotate)
 
 	// DebugRing, when non-nil, records the most recent executed PCs for
 	// post-mortem diagnostics.
@@ -262,6 +263,9 @@ func (c *Core) SetStackPtr(v uint64) { c.Regs[RegSP] = v }
 
 // InstrCount reports retired instructions.
 func (c *Core) InstrCount() uint64 { return c.nInstr }
+
+// Classes reports the cumulative class census of the no-trace lane.
+func (c *Core) Classes() isa.ClassCounts { return c.classes }
 
 // CallInto redirects execution to a handler at addr; the handler's return
 // (jalr x0, 0(ra)) resumes after the current ecall instruction.

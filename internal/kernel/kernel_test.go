@@ -35,6 +35,7 @@ func (c *fakeCore) CallInto(addr uint64)       { c.pc = addr }
 func (c *fakeCore) Snapshot() []uint64         { return nil }
 func (c *fakeCore) Restore([]uint64)           {}
 func (c *fakeCore) InstrCount() uint64         { return 0 }
+func (c *fakeCore) Classes() isa.ClassCounts   { return isa.ClassCounts{} }
 func (c *fakeCore) Arch() isa.Arch             { return isa.RV64 }
 
 func newTestKernel() (*Kernel, *isa.Mem) {

@@ -126,6 +126,56 @@ func (c *Cache) Access(addr uint64, write bool) AccessResult {
 	return res
 }
 
+// Warm performs a functional-warming access: it updates tags, LRU age and
+// dirty bits exactly as Access would, but bumps no statistics counters and
+// models no latency. Sampled simulation uses it to keep cache contents hot
+// across fast-forwarded regions without perturbing the measured windows.
+// It reports whether the line was already resident so callers can decide
+// whether the next level would have been touched.
+func (c *Cache) Warm(addr uint64, write bool) (hit bool) {
+	c.tick++
+	set, tag := c.index(addr)
+	lines := c.sets[set]
+	for i := range lines {
+		if lines[i].valid && lines[i].tag == tag {
+			lines[i].lru = c.tick
+			if write {
+				lines[i].dirty = true
+			}
+			return true
+		}
+	}
+	vi := 0
+	for i := range lines {
+		if !lines[i].valid {
+			vi = i
+			break
+		}
+		if lines[i].lru < lines[vi].lru {
+			vi = i
+		}
+	}
+	lines[vi] = line{tag: tag, valid: true, dirty: write, lru: c.tick}
+	return false
+}
+
+// Drop invalidates the line containing addr without touching stats — the
+// functional-warming flavour of Invalidate. It returns whether the line was
+// present and dirty so coherence warming can mirror the timed path's state
+// transitions.
+func (c *Cache) Drop(addr uint64) (present, dirty bool) {
+	set, tag := c.index(addr)
+	lines := c.sets[set]
+	for i := range lines {
+		if lines[i].valid && lines[i].tag == tag {
+			dirty = lines[i].dirty
+			lines[i] = line{}
+			return true, dirty
+		}
+	}
+	return false, false
+}
+
 // Probe reports whether addr is resident without touching LRU or stats.
 func (c *Cache) Probe(addr uint64) bool {
 	set, tag := c.index(addr)

@@ -103,6 +103,29 @@ func (t *TLB) Access(addr uint64) uint64 {
 	return t.cfg.MissPenalty
 }
 
+// Warm touches addr's page, updating residency and LRU age exactly as
+// Access would but without counting hits/misses or returning a penalty.
+func (t *TLB) Warm(addr uint64) {
+	t.tick++
+	page := addr >> t.cfg.PageBits
+	if _, ok := t.pages[page]; ok {
+		t.pages[page] = t.tick
+		return
+	}
+	if len(t.pages) >= t.cfg.Entries {
+		var victim uint64
+		oldest := ^uint64(0)
+		for p, use := range t.pages {
+			if use < oldest {
+				oldest = use
+				victim = p
+			}
+		}
+		delete(t.pages, victim)
+	}
+	t.pages[page] = t.tick
+}
+
 // Flush empties the TLB.
 func (t *TLB) Flush() {
 	t.pages = make(map[uint64]uint64, t.cfg.Entries)
@@ -261,6 +284,43 @@ func (h *Hierarchy) AccessD(now uint64, addr uint64, write bool) uint64 {
 		}
 	}
 	return now + lat + extra
+}
+
+// warmRemoteInvalidate mirrors remoteInvalidate's state transitions (line
+// drops in the peer) without bumping coherence counters or returning
+// latency.
+func (h *Hierarchy) warmRemoteInvalidate(addr uint64) {
+	if h.peer == nil {
+		return
+	}
+	h.peer.L1D.Drop(addr)
+	h.peer.L2.Drop(addr)
+}
+
+// WarmFetchI performs a functional-warming instruction fetch: the ITLB,
+// L1I and (on an L1I miss) L2 see the same residency/LRU updates as a
+// timed FetchI, but no stats counters move and no latency is modeled.
+func (h *Hierarchy) WarmFetchI(addr uint64) {
+	h.ITLB.Warm(addr)
+	if !h.L1I.Warm(addr, false) {
+		h.L2.Warm(addr, false)
+	}
+}
+
+// WarmAccessD performs a functional-warming data access, mirroring
+// AccessD's state transitions (including write-invalidate coherence in the
+// peer) at zero modeled latency and with no stats counters.
+func (h *Hierarchy) WarmAccessD(addr uint64, write bool) {
+	h.DTLB.Warm(addr)
+	if write {
+		h.warmRemoteInvalidate(addr)
+	}
+	if !h.L1D.Warm(addr, write) {
+		if !write {
+			h.warmRemoteInvalidate(addr)
+		}
+		h.L2.Warm(addr, write)
+	}
 }
 
 // Flush empties all caches and TLBs (checkpoint restore starts cold, as

@@ -68,11 +68,44 @@ func (c CoreStats) String() string {
 		c.Cycles, c.Insts, c.CPI(), c.L1IMisses, c.L1DMisses, c.L2Misses, c.Mispredicts)
 }
 
+// SampleMeta describes how one core's window counters were obtained when
+// the evaluation ran in sampled-detailed mode: how many detailed sample
+// windows fell inside the stats window, what fraction of the instruction
+// stream they covered, and a CPI confidence proxy (mean and standard error
+// of the per-window CPI samples). Full-detail runs carry no SampleMeta.
+type SampleMeta struct {
+	// Windows counts detailed sample windows that committed at least one
+	// instruction on this core within the stats window.
+	Windows int
+	// SampledInsts / TotalInsts give the measured coverage: counters
+	// were extrapolated by TotalInsts/SampledInsts.
+	SampledInsts uint64
+	TotalInsts   uint64
+	// SampledCycles is the cycle time actually spent inside detailed
+	// windows (before extrapolation).
+	SampledCycles uint64
+	// CPIMean and CPIStdErr summarize the per-window CPI samples; a
+	// large CPIStdErr relative to CPIMean flags an unstable estimate
+	// (sampling interval too coarse for the workload's phases).
+	CPIMean   float64
+	CPIStdErr float64
+}
+
+// Coverage returns the sampled fraction of the instruction stream.
+func (s SampleMeta) Coverage() float64 {
+	if s.TotalInsts == 0 {
+		return 0
+	}
+	return float64(s.SampledInsts) / float64(s.TotalInsts)
+}
+
 // Dump is one m5 dump-stats event: a labeled snapshot of every core's
-// window counters.
+// window counters. Sampling is nil for full-detail runs; in sampled mode
+// it holds one SampleMeta per core describing the extrapolation.
 type Dump struct {
-	Label string
-	Cores []CoreStats
+	Label    string
+	Cores    []CoreStats
+	Sampling []SampleMeta
 }
 
 // Server returns the measured core's stats (the function server is pinned
@@ -85,4 +118,16 @@ func (d Dump) Server() CoreStats {
 		return d.Cores[0]
 	}
 	return CoreStats{}
+}
+
+// ServerSampling returns the measured core's sample metadata, or nil when
+// the dump came from a full-detail run.
+func (d Dump) ServerSampling() *SampleMeta {
+	if len(d.Sampling) > 1 {
+		return &d.Sampling[1]
+	}
+	if len(d.Sampling) == 1 {
+		return &d.Sampling[0]
+	}
+	return nil
 }

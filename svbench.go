@@ -64,6 +64,13 @@ type (
 	HotelEngine = harness.HotelEngine
 	// LukewarmResult compares solo-warm against interleaved execution.
 	LukewarmResult = harness.LukewarmResult
+	// SamplingConfig selects SMARTS-style sampled detailed simulation for
+	// the evaluation phase (Spec.Sampling); the zero value is full detail.
+	// See docs/perf.md.
+	SamplingConfig = gemsys.SamplingConfig
+	// SampleMeta reports a sampled window's extrapolation quality
+	// (measured windows, coverage, CPI confidence proxy).
+	SampleMeta = stats.SampleMeta
 	// FaultPlan is a deterministic, seed-driven fault-injection plan.
 	FaultPlan = faults.Plan
 	// FaultRule is one probabilistic fault rule of a plan.
@@ -206,6 +213,14 @@ type SweepOpts = figures.SweepOpts
 // opt.Jobs workers (0 = GOMAXPROCS) with memoized boot checkpoints
 // unless opt.DisableMemo is set.
 func CollectFiguresWith(opt SweepOpts) (*Results, error) { return figures.CollectWith(opt) }
+
+// DefaultSamplingConfig returns the tuned sampling default used by
+// cmd/samplebench and the figures sampling table.
+func DefaultSamplingConfig() SamplingConfig { return gemsys.DefaultSamplingConfig() }
+
+// ParseSamplingConfig parses "uU-wW-dD" or "U,W,D" into a validated
+// SamplingConfig ("" or "full-detail" turn sampling off).
+func ParseSamplingConfig(s string) (SamplingConfig, error) { return gemsys.ParseSamplingConfig(s) }
 
 // DefaultFaultPlan returns the standard chaos-testing plan for a seed:
 // client-path message drops, delays and response corruption plus service
